@@ -1,0 +1,74 @@
+// Figure 1 / §2: the cache-sizing feedback control loop in action.
+//
+// Reproduces the behavioural content of the paper's Figure 1 (a schematic)
+// as a time series: the buffer pool grows into free memory while the
+// workload misses, shrinks when a competing application claims the
+// machine, re-grows when it exits, and is capped by Eq. (1) when the
+// database is small. Windows CE mode is shown as a second trace.
+#include <cstdio>
+
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+namespace {
+
+constexpr uint64_t kMB = 1ull << 20;
+
+void RunTrace(bool ce_mode) {
+  engine::DatabaseOptions opts;
+  opts.initial_pool_frames = 512;  // 2 MB
+  opts.physical_memory_bytes = 96 * kMB;
+  opts.pool_governor.min_bytes = 1 * kMB;
+  opts.pool_governor.max_bytes = 48 * kMB;
+  opts.pool_governor.ce_mode = ce_mode;
+  BenchDb db(opts);
+
+  db.Exec("CREATE TABLE t (k INT, pad VARCHAR(200))");
+  std::vector<table::Row> rows;
+  for (int i = 0; i < 200000; ++i) {
+    rows.push_back(
+        {Value::Int(i % 1000), Value::String(std::string(180, 'p'))});
+  }
+  db.Load("t", rows);
+
+  std::printf("\n-- %s trace --\n", ce_mode ? "Windows CE mode" : "default");
+  PrintHeader({"minute", "phase", "ws_MB", "free_MB", "pool_MB"});
+
+  auto step = [&](int minute, const char* phase, bool run_queries) {
+    if (run_queries) {
+      db.Exec("SELECT COUNT(*) FROM t WHERE k < 500");
+    }
+    db.db->Tick(60ll * 1000 * 1000);
+    const auto& env = db.db->memory_env();
+    PrintRow({std::to_string(minute), phase,
+              Fmt(env.WorkingSetSize("hdb-server") / double(kMB)),
+              Fmt(env.FreePhysical() / double(kMB)),
+              Fmt(db.db->pool().CurrentBytes() / double(kMB))});
+  };
+
+  int minute = 0;
+  // Phase 1: active workload, plenty of free memory -> grow.
+  for (int i = 0; i < 6; ++i) step(minute++, "grow", true);
+  // Phase 2: competing application allocates 80 MB -> shrink.
+  db.db->memory_env().SetAllocation("browser", 88 * kMB);
+  for (int i = 0; i < 6; ++i) step(minute++, "pressure", true);
+  // Phase 3: the application exits -> re-grow (needs misses).
+  db.db->memory_env().RemoveProcess("browser");
+  for (int i = 0; i < 6; ++i) step(minute++, "release", true);
+  // Phase 4: idle (no buffer misses) -> growth gated, size stable.
+  for (int i = 0; i < 3; ++i) step(minute++, "idle", false);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1 / §2: buffer pool feedback control ===\n");
+  std::printf(
+      "target = working set + free physical - 5MB reserve, damped by\n"
+      "Eq.(2), bounded by Eq.(1); growth requires buffer misses.\n");
+  RunTrace(/*ce_mode=*/false);
+  RunTrace(/*ce_mode=*/true);
+  return 0;
+}

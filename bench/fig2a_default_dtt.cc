@@ -1,0 +1,39 @@
+// Figure 2(a): the default (generic) Disk Transfer Time model.
+//
+// Prints the four curves of the paper's figure — Read 4K, Read 8K,
+// Write 4K, Write 8K — in amortized microseconds per page as a function
+// of band size (1 = sequential). Expected shape: sequential ~transfer
+// time only; cost rises with band size toward seek+rotation; the write
+// curves sit below the read curves at large bands.
+#include <cstdio>
+
+#include "os/dtt_model.h"
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+int main() {
+  const os::DttModel model = os::DttModel::Default();
+  std::printf("=== Figure 2(a): default DTT model (microseconds/page) ===\n");
+  PrintHeader({"band", "read_4k", "read_8k", "write_4k", "write_8k"});
+  for (const double band :
+       {1.0,    2.0,    8.0,     32.0,    128.0,   256.0,  512.0,
+        1024.0, 1536.0, 2048.0,  2560.0,  3072.0,  3500.0}) {
+    PrintRow({Fmt(band, 0),
+              Fmt(model.MicrosPerPage(os::DttOp::kRead, 4096, band)),
+              Fmt(model.MicrosPerPage(os::DttOp::kRead, 8192, band)),
+              Fmt(model.MicrosPerPage(os::DttOp::kWrite, 4096, band)),
+              Fmt(model.MicrosPerPage(os::DttOp::kWrite, 8192, band))});
+  }
+  std::printf(
+      "\nshape checks: seq read4k=%.0fus; random read4k(3500)=%.0fus; "
+      "write<read at band 3500: %s\n",
+      model.MicrosPerPage(os::DttOp::kRead, 4096, 1),
+      model.MicrosPerPage(os::DttOp::kRead, 4096, 3500),
+      model.MicrosPerPage(os::DttOp::kWrite, 4096, 3500) <
+              model.MicrosPerPage(os::DttOp::kRead, 4096, 3500)
+          ? "yes"
+          : "NO");
+  return 0;
+}

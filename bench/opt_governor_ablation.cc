@@ -1,0 +1,128 @@
+// §4.1: the optimizer governor's value. "A problem with traversing the
+// search tree using branch-and-bound with early halting is that the
+// search effort is not well-distributed over the entire search space."
+//
+// Three search-control policies optimize the same 12-table join at a
+// sweep of effort quotas:
+//   naive      - plain DFS that stops after N node visits (no spreading)
+//   governor-r - quota halving per child, but no 20% redistribution
+//   governor   - the full paper mechanism
+// Reported: estimated cost of the best plan found (lower is better) and
+// visits actually used. The governor should dominate at small quotas.
+#include <cstdio>
+
+#include "engine/binder.h"
+#include "optimizer/optimizer.h"
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+int main() {
+  BenchDb db;
+  // A star query crafted so that the promise heuristic (rank by output
+  // cardinality) is misleading: half the dimensions are huge tables whose
+  // selective local predicates make them *look* attractive early, while
+  // the cheap tiny dimensions look unattractive. Join-order and
+  // join-method choices interact, so the greedy-first plan is not optimal
+  // and additional, well-distributed search pays off.
+  constexpr int kDims = 11;
+  Rng rng(9);
+  std::string hub_cols = "id INT NOT NULL";
+  for (int d = 0; d < kDims; ++d) hub_cols += ", c" + std::to_string(d) + " INT";
+  db.Exec("CREATE TABLE hub (" + hub_cols + ")");
+  {
+    std::vector<table::Row> rows;
+    for (int i = 0; i < 3000; ++i) {
+      table::Row row = {Value::Int(i)};
+      for (int d = 0; d < kDims; ++d) {
+        const int domain = (d % 2 == 0) ? 200 : 40000;
+        row.push_back(Value::Int(static_cast<int32_t>(rng.Uniform(domain))));
+      }
+      rows.push_back(std::move(row));
+    }
+    db.Load("hub", rows);
+  }
+  for (int d = 0; d < kDims; ++d) {
+    const std::string name = "t" + std::to_string(d);
+    db.Exec("CREATE TABLE " + name + " (a INT NOT NULL, f INT)");
+    const int rows_n = (d % 2 == 0) ? 200 : 40000;
+    std::vector<table::Row> data;
+    for (int i = 0; i < rows_n; ++i) {
+      data.push_back({Value::Int(i),
+                      Value::Int(static_cast<int32_t>(rng.Uniform(1000)))});
+    }
+    db.Load(name, data);
+  }
+  std::string sql = "SELECT COUNT(*) FROM hub";
+  for (int d = 0; d < kDims; ++d) sql += ", t" + std::to_string(d);
+  sql += " WHERE ";
+  for (int d = 0; d < kDims; ++d) {
+    if (d > 0) sql += " AND ";
+    sql += "hub.c" + std::to_string(d) + " = t" + std::to_string(d) + ".a";
+  }
+  // Selective predicates on the big dimensions.
+  for (int d = 1; d < kDims; d += 2) {
+    sql += " AND t" + std::to_string(d) + ".f < " + std::to_string(2 + d);
+  }
+
+  auto stmt = engine::Parse(sql);
+  engine::Binder binder(&db.db->catalog());
+  auto query = binder.BindSelect(std::get<engine::SelectAst>(*stmt));
+  if (!query.ok()) std::abort();
+
+  bool adversarial = false;
+  auto run = [&](uint64_t quota, bool distribute, double redistribute) {
+    optimizer::OptimizerContext ctx;
+    ctx.catalog = &db.db->catalog();
+    ctx.stats = &db.db->stats();
+    ctx.pool = &db.db->pool();
+    ctx.index_stats = db.db->IndexStatsProvider();
+    ctx.governor.initial_quota = quota;
+    ctx.governor.distribute = distribute;
+    ctx.governor.redistribute_improvement = redistribute;
+    ctx.invert_promise_order = adversarial;
+    optimizer::Optimizer opt(ctx);
+    optimizer::OptimizeDiagnostics diag;
+    auto plan = opt.Optimize(*query, false, &diag);
+    if (!plan.ok()) std::abort();
+    return diag.enumeration;
+  };
+
+  std::printf("=== §4.1 optimizer governor ablation (12-way star join) ===\n");
+  for (const bool adv : {false, true}) {
+  adversarial = adv;
+  std::printf("\n-- %s candidate ranking --\n",
+              adv ? "ADVERSARIAL (worst-case heuristic)" : "accurate");
+  PrintHeader({"quota", "policy", "best_cost", "visits", "plans", "prefixes"});
+  for (const uint64_t quota : {300ull, 1000ull, 3000ull, 10000ull,
+                               50000ull}) {
+    const auto naive = run(quota, /*distribute=*/false, 2.0);
+    const auto no_redist = run(quota, true, 2.0);
+    const auto full = run(quota, true, 0.20);
+    PrintRow({std::to_string(quota), "naive-dfs", Fmt(naive.best_cost, 0),
+              std::to_string(naive.nodes_visited),
+              std::to_string(naive.plans_completed),
+              std::to_string(naive.distinct_prefixes)});
+    PrintRow({std::to_string(quota), "governor-r",
+              Fmt(no_redist.best_cost, 0),
+              std::to_string(no_redist.nodes_visited),
+              std::to_string(no_redist.plans_completed),
+              std::to_string(no_redist.distinct_prefixes)});
+    PrintRow({std::to_string(quota), "governor", Fmt(full.best_cost, 0),
+              std::to_string(full.nodes_visited),
+              std::to_string(full.plans_completed),
+              std::to_string(full.distinct_prefixes)});
+  }
+  }
+  std::printf(
+      "\nreading: `prefixes` counts distinct 2-table join prefixes among\n"
+      "completed plans. Naive early-halting burns its whole budget in one\n"
+      "corner of the space (prefixes ~1-2); the governor spreads effort\n"
+      "across dissimilar regions, the paper's §4.1 argument. When the\n"
+      "ranking heuristic is accurate (as here) the corner already contains\n"
+      "near-optimal plans, so best_cost differences stay small — the\n"
+      "governor's value is robustness when the heuristic misleads, at\n"
+      "bounded optimization effort.\n");
+  return 0;
+}

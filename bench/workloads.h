@@ -1,0 +1,43 @@
+#ifndef HDB_BENCH_WORKLOADS_H_
+#define HDB_BENCH_WORKLOADS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace hdb::bench {
+
+/// An opened database plus one connection, with EXPECT-free error handling
+/// (benches abort loudly on failure).
+struct BenchDb {
+  explicit BenchDb(engine::DatabaseOptions opts = {});
+
+  engine::QueryResult Exec(const std::string& sql);
+  void Load(const std::string& table, const std::vector<table::Row>& rows);
+
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<engine::Connection> conn;
+};
+
+/// Loads a star schema: one `fact` table with `fact_rows` rows and
+/// `dims` dimension tables `dim0..` of `dim_rows` rows each; fact column
+/// `dK` joins dimK.id. Fact also has a `v` measure column. Declares FKs
+/// and builds statistics.
+void LoadStarSchema(BenchDb& db, int dims, int fact_rows, int dim_rows,
+                    uint64_t seed = 42);
+
+/// Loads `n` rows of a single-column Zipf-distributed INT table `name`.
+void LoadZipfTable(BenchDb& db, const std::string& name, int n, int domain,
+                   double theta, uint64_t seed = 7);
+
+/// printf-style row helpers for aligned bench tables.
+void PrintHeader(const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+std::string Fmt(double v, int precision = 1);
+
+}  // namespace hdb::bench
+
+#endif  // HDB_BENCH_WORKLOADS_H_

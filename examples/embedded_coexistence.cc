@@ -1,0 +1,90 @@
+// Embedded co-existence: the paper's front-line scenario (§1–§2).
+//
+// A database embedded in an application "cannot normally use all the
+// machine's resources. Rather, it must co-exist with other software ...
+// whose configuration and memory usage vary from installation to
+// installation, and from moment to moment."
+//
+// This example simulates a work day on a 128 MB machine: the embedded
+// database serves a steady workload while other applications come and go.
+// Watch the buffer pool grow into free memory, retreat when a big app
+// launches, and return when it exits — no DBA, no knobs.
+//
+// Build & run:   ./build/examples/embedded_coexistence
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace hdb;
+
+namespace {
+constexpr uint64_t kMB = 1ull << 20;
+}
+
+int main() {
+  engine::DatabaseOptions opts;
+  opts.physical_memory_bytes = 128 * kMB;
+  opts.initial_pool_frames = 512;  // starts at 2 MB
+  opts.pool_governor.min_bytes = 1 * kMB;
+  opts.pool_governor.max_bytes = 64 * kMB;
+
+  auto db = engine::Database::Open(opts);
+  if (!db.ok()) return 1;
+  auto conn = (*db)->Connect();
+  if (!conn.ok()) return 1;
+
+  // The application's data: an order log it appends to and reports over.
+  (void)(*conn)->Execute(
+      "CREATE TABLE orders (id INT NOT NULL, item INT, qty INT, "
+      "note VARCHAR(120))");
+  std::vector<table::Row> rows;
+  for (int i = 0; i < 300000; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i % 500), Value::Int(1 + i % 9),
+                    Value::String(std::string(100, 'n'))});
+  }
+  if (!(*db)->LoadTable("orders", rows).ok()) return 1;
+
+  auto& env = (*db)->memory_env();
+  auto hour = [&](const char* what, bool busy) {
+    // One simulated hour: the app queries periodically; virtual time
+    // advances in governor-poll-sized steps.
+    for (int tick = 0; tick < 8; ++tick) {
+      if (busy) {
+        (void)(*conn)->Execute(
+            "SELECT item, SUM(qty) FROM orders WHERE item < 250 GROUP BY "
+            "item");
+      }
+      (*db)->Tick(8 * 60 * 1000 * 1000ll / 8);
+    }
+    std::printf("%-28s pool=%5.1fMB  free=%5.1fMB  (ws=%5.1fMB)\n", what,
+                (*db)->pool().CurrentBytes() / double(kMB),
+                env.FreePhysical() / double(kMB),
+                env.WorkingSetSize("hdb-server") / double(kMB));
+  };
+
+  std::printf("hour-by-hour on a 128MB machine:\n\n");
+  hour("09:00 app starts, idle", false);
+  hour("10:00 reports running", true);
+  hour("11:00 reports running", true);
+
+  env.SetAllocation("video-call", 85 * kMB);
+  hour("12:00 +video call (85MB)", true);
+  hour("13:00 video call ongoing", true);
+
+  env.SetAllocation("photo-editor", 25 * kMB);
+  hour("14:00 +photo editor (25MB)", true);
+
+  env.RemoveProcess("video-call");
+  hour("15:00 call ends", true);
+  env.RemoveProcess("photo-editor");
+  hour("16:00 editor closed", true);
+  hour("17:00 reports running", true);
+  hour("18:00 idle again", false);
+
+  const auto& history = (*db)->pool_governor().history();
+  std::printf("\n%zu governor polls; every decision follows Eq.(1)/(2) and\n"
+              "the miss-gated growth rule of paper §2 — with zero operator\n"
+              "intervention.\n",
+              history.size());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Handheld deployment: the paper's Windows CE story (§1, §2, §4.1, §4.2).
+//
+// SQL Anywhere ran as "a mobile database installed on a handheld device",
+// and the paper's headline optimizer claim is a 100-way join optimized and
+// executed on a Dell Axim with a 3 MB buffer pool. This example configures
+// HolisticDB the same way: SD-card storage (flat DTT), CE-mode pool
+// governor (no working-set reporting), 3 MB pool, 1 MB optimizer arena —
+// then calibrates the device and runs a 20-way join.
+//
+// Build & run:   ./build/examples/handheld_device
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace hdb;
+
+int main() {
+  engine::DatabaseOptions opts;
+  opts.device = engine::DeviceKind::kFlash;        // 512 MB SD card
+  opts.physical_memory_bytes = 32ull << 20;        // a 32 MB handheld
+  opts.initial_pool_frames = 768;                  // 3 MB pool
+  opts.pool_governor.ce_mode = true;               // no working-set API
+  opts.pool_governor.min_bytes = 1 << 20;
+  opts.pool_governor.max_bytes = 8 << 20;
+  opts.optimizer_arena_bytes = 1 << 20;            // 1 MB optimizer memory
+
+  auto db = engine::Database::Open(opts);
+  if (!db.ok()) return 1;
+  auto conn = (*db)->Connect();
+  if (!conn.ok()) return 1;
+  engine::Connection& c = **conn;
+
+  // Calibrate the SD card: the DTT model in the catalog now reflects the
+  // device's flat random-access profile (paper Figure 3), and could be
+  // deployed to thousands of identical devices as a text blob.
+  if (!c.Execute("CALIBRATE DATABASE").ok()) return 1;
+  const auto& dtt = (*db)->catalog().dtt_model();
+  std::printf("calibrated '%s': seq read %.0fus, random read %.0fus "
+              "(flat), write %.0fus\n\n",
+              dtt.device_name().c_str(),
+              dtt.MicrosPerPage(os::DttOp::kRead, 4096, 1),
+              dtt.MicrosPerPage(os::DttOp::kRead, 4096, 100000),
+              dtt.MicrosPerPage(os::DttOp::kWrite, 4096, 100000));
+
+  // A synchronized mobile schema: 20 small reference tables joined into
+  // one report — complex application design on a tiny device, which the
+  // paper notes is the norm ("developers tend to complicate, rather than
+  // simplify, application design when they migrate to business
+  // front-lines").
+  constexpr int kTables = 20;
+  for (int t = 0; t < kTables; ++t) {
+    const std::string name = "ref" + std::to_string(t);
+    if (!c.Execute("CREATE TABLE " + name +
+                   " (a INT NOT NULL, b INT NOT NULL)")
+             .ok()) {
+      return 1;
+    }
+    std::vector<table::Row> rows;
+    for (int i = 0; i < 8; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(i)});
+    }
+    if (!(*db)->LoadTable(name, rows).ok()) return 1;
+  }
+  std::string sql = "SELECT COUNT(*) FROM ref0";
+  for (int t = 1; t < kTables; ++t) sql += ", ref" + std::to_string(t);
+  sql += " WHERE ";
+  for (int t = 0; t + 1 < kTables; ++t) {
+    if (t > 0) sql += " AND ";
+    sql += "ref" + std::to_string(t) + ".b = ref" + std::to_string(t + 1) +
+           ".a";
+  }
+
+  auto r = c.Execute(sql);
+  if (!r.ok()) {
+    std::printf("join failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("20-way join on the device:\n");
+  std::printf("  result rows        : %lld\n",
+              static_cast<long long>(r->rows[0][0].AsInt()));
+  std::printf("  pool size          : %llu bytes (3 MB budget)\n",
+              static_cast<unsigned long long>((*db)->pool().CurrentBytes()));
+  std::printf("  optimizer memory   : %zu bytes (1 MB budget)\n",
+              r->diag.enumeration.arena_high_water);
+  std::printf("  enumeration visits : %llu (governor-bounded)\n",
+              static_cast<unsigned long long>(
+                  r->diag.enumeration.nodes_visited));
+  std::printf("\nCE-mode governor: the pool never grows unless device free "
+              "memory rises,\nbut always shrinks for foreground apps "
+              "(paper §2, final paragraph).\n");
+  return 0;
+}

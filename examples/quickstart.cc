@@ -1,0 +1,88 @@
+// Quickstart: HolisticDB as an embedded SQL database.
+//
+// The zero-administration model of the paper's §1: open a database with no
+// configuration, connect, run SQL. Statistics, buffer management and
+// optimization manage themselves.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace hdb;
+
+namespace {
+
+void Run(engine::Connection& conn, const std::string& sql) {
+  auto r = conn.Execute(sql);
+  if (!r.ok()) {
+    std::printf("!! %s\n   %s\n", sql.c_str(), r.status().ToString().c_str());
+    return;
+  }
+  std::printf(">> %s\n", sql.c_str());
+  if (!r->columns.empty()) {
+    for (const auto& c : r->columns) std::printf("%-14s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : r->rows) {
+      for (const auto& v : row) std::printf("%-14s", v.ToString().c_str());
+      std::printf("\n");
+    }
+  }
+  if (r->rows_affected > 0) {
+    std::printf("   (%llu rows affected)\n",
+                static_cast<unsigned long long>(r->rows_affected));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Open: no tuning knobs required. Every option has a self-managing
+  // default (the paper's thesis).
+  auto db = engine::Database::Open();
+  if (!db.ok()) return 1;
+  auto conn = (*db)->Connect();
+  if (!conn.ok()) return 1;
+  engine::Connection& c = **conn;
+
+  Run(c, "CREATE TABLE department (id INT NOT NULL, name VARCHAR(30))");
+  Run(c, "CREATE TABLE employee (id INT NOT NULL, name VARCHAR(30), "
+         "dept INT, salary DOUBLE)");
+  Run(c, "INSERT INTO department VALUES (10, 'engineering'), (20, 'sales')");
+  Run(c, "INSERT INTO employee VALUES "
+         "(1, 'ada', 10, 95000), (2, 'grace', 10, 105000), "
+         "(3, 'edsger', 20, 88000), (4, 'barbara', 10, 99000)");
+
+  Run(c, "SELECT e.name, d.name AS dept, e.salary FROM employee e "
+         "JOIN department d ON e.dept = d.id "
+         "WHERE e.salary > 90000 ORDER BY e.salary DESC");
+
+  Run(c, "SELECT d.name AS dept, COUNT(*) AS heads, AVG(e.salary) AS avg_sal "
+         "FROM employee e JOIN department d ON e.dept = d.id "
+         "GROUP BY d.name ORDER BY d.name");
+
+  // Transactions with rollback.
+  Run(c, "BEGIN");
+  Run(c, "UPDATE employee SET salary = salary * 2 WHERE dept = 10");
+  Run(c, "ROLLBACK");
+  Run(c, "SELECT MAX(salary) AS top FROM employee");
+
+  // The optimizer explains itself.
+  auto explain = c.Explain(
+      "SELECT e.name FROM employee e JOIN department d ON e.dept = d.id "
+      "WHERE d.name = 'engineering'");
+  if (explain.ok()) {
+    std::printf("EXPLAIN:\n%s\n", explain->c_str());
+  }
+
+  // Stored procedures train the per-connection plan cache (paper §4.1).
+  Run(c, "CREATE PROCEDURE by_dept (:d) AS "
+         "SELECT name FROM employee WHERE dept = :d");
+  for (int i = 0; i < 6; ++i) Run(c, "CALL by_dept(10)");
+  const auto& cache = c.plan_cache().stats();
+  std::printf("plan cache: %llu optimizations, %llu cached uses\n",
+              static_cast<unsigned long long>(cache.optimizations),
+              static_cast<unsigned long long>(cache.cached_uses));
+  return 0;
+}

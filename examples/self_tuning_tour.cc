@@ -1,0 +1,102 @@
+// A tour of the self-management loop working "in concert" (§3, §4, §5):
+//
+//   1. statistics appear automatically as data loads;
+//   2. the data drifts; plain DML maintenance keeps counts but execution
+//      feedback sharpens the distribution knowledge — watch an estimate
+//      correct itself after a few queries;
+//   3. the Application Profiler watches the workload and flags the
+//      client-side join anti-pattern;
+//   4. the Index Consultant turns the optimizer's own virtual-index
+//      wishes into a CREATE INDEX, and the workload gets cheaper.
+//
+// Build & run:   ./build/examples/self_tuning_tour
+#include <cstdio>
+
+#include "engine/database.h"
+#include "profile/analyzer.h"
+#include "profile/index_consultant.h"
+#include "profile/tracer.h"
+
+using namespace hdb;
+
+int main() {
+  auto db = engine::Database::Open();
+  if (!db.ok()) return 1;
+  auto conn = (*db)->Connect();
+  if (!conn.ok()) return 1;
+  engine::Connection& c = **conn;
+
+  // --- 1. statistics for free -------------------------------------------
+  (void)c.Execute(
+      "CREATE TABLE sales (id INT NOT NULL, region INT, amount DOUBLE)");
+  std::vector<table::Row> rows;
+  Rng rng(1);
+  for (int i = 0; i < 30000; ++i) {
+    rows.push_back({Value::Int(i),
+                    Value::Int(static_cast<int32_t>(rng.Uniform(5000))),
+                    Value::Double(rng.NextDouble() * 500)});
+  }
+  if (!(*db)->LoadTable("sales", rows).ok()) return 1;
+  const uint32_t oid = (*db)->catalog().GetTable("sales").value()->oid;
+  std::printf("1. LOAD TABLE built histograms automatically:\n");
+  std::printf("   sel(region = 7) = %.6f   (truth: ~0.0002)\n\n",
+              (*db)->stats().SelEquals(oid, 1, Value::Int(7)));
+
+  // --- 2. drift + feedback ----------------------------------------------
+  for (int i = 0; i < 100; ++i) {
+    (void)c.Execute(
+        "INSERT INTO sales VALUES (0, 7, 1), (0, 7, 1), (0, 7, 1), "
+        "(0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), "
+        "(0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), "
+        "(0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), (0, 7, 1), "
+        "(0, 7, 1), (0, 7, 1)");
+  }
+  std::printf("2. region 7 exploded from ~0.02%% to ~6%% of rows. Per-row\n"
+              "   DML maintenance adds the mass to a bucket, but only "
+              "execution\n   feedback recognizes the value as a new "
+              "frequent-value singleton:\n");
+  std::printf("   sel(region = 7) after drift : %.4f\n",
+              (*db)->stats().SelEquals(oid, 1, Value::Int(7)));
+  for (int i = 0; i < 4; ++i) {
+    (void)c.Execute("SELECT COUNT(*) FROM sales WHERE region = 7");
+  }
+  std::printf("   sel(region = 7) after 4 runs: %.4f   (truth: ~0.0625)\n\n",
+              (*db)->stats().SelEquals(oid, 1, Value::Int(7)));
+
+  // --- 3. application profiling ------------------------------------------
+  profile::RequestTracer tracer;
+  if (!tracer.Attach(db->get(), nullptr).ok()) return 1;
+  std::vector<std::string> workload;
+  for (int i = 0; i < 20; ++i) {
+    const std::string q =
+        "SELECT amount FROM sales WHERE id = " + std::to_string(i * 100);
+    workload.push_back(q);
+    (void)c.Execute(q);
+  }
+  tracer.Detach();
+  std::printf("3. the profiler watched %zu requests and found:\n",
+              tracer.events().size());
+  profile::WorkloadAnalyzer analyzer;
+  for (const auto& f : analyzer.Analyze(tracer.events(), db->get())) {
+    std::printf("   - %s\n", f.message.c_str());
+  }
+
+  // --- 4. index consultant -----------------------------------------------
+  profile::IndexConsultant consultant(db->get());
+  auto analysis = consultant.Analyze(workload);
+  if (!analysis.ok()) return 1;
+  std::printf("\n4. the Index Consultant (from the optimizer's own "
+              "virtual-index requests):\n");
+  for (const auto& rec : analysis->recommendations) {
+    std::printf("   %s\n", rec.ddl.c_str());
+  }
+  if (!analysis->recommendations.empty()) {
+    const auto& rec = analysis->recommendations.front();
+    (void)c.Execute(rec.ddl);
+    auto after = c.Execute(workload[0]);
+    std::printf("   applied; the lookup now runs as:\n");
+    auto explain = c.Explain(workload[0]);
+    if (explain.ok()) std::printf("%s", explain->c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "catalog/catalog.h"
+
+namespace hdb::catalog {
+
+Catalog::Catalog() {
+  // Defaults that the Application Profiling analyzer knows how to audit.
+  options_["optimization_goal"] = "all-rows";
+  options_["max_query_tasks"] = "0";  // 0 = server decides
+  options_["collect_statistics_on_dml"] = "on";
+}
+
+Result<TableDef*> Catalog::CreateTable(const std::string& name,
+                                       std::vector<ColumnDef> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  auto def = std::make_unique<TableDef>();
+  def->oid = next_oid_++;
+  def->name = name;
+  def->columns = std::move(columns);
+  TableDef* raw = def.get();
+  tables_[name] = std::move(def);
+  return raw;
+}
+
+Result<TableDef*> Catalog::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Result<TableDef*> Catalog::GetTableByOid(uint32_t oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, def] : tables_) {
+    if (def->oid == oid) return def.get();
+  }
+  return Status::NotFound("table oid");
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  const uint32_t oid = it->second->oid;
+  tables_.erase(it);
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (iit->second->table_oid == oid) {
+      iit = indexes_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
+  std::erase_if(fks_, [oid](const ForeignKey& fk) {
+    return fk.table_oid == oid || fk.ref_table_oid == oid;
+  });
+  return Status::OK();
+}
+
+std::vector<TableDef*> Catalog::AllTables() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TableDef*> out;
+  for (auto& [name, def] : tables_) out.push_back(def.get());
+  return out;
+}
+
+Result<IndexDef*> Catalog::CreateIndex(const std::string& index_name,
+                                       const std::string& table_name,
+                                       std::vector<int> column_indexes,
+                                       bool unique) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.count(index_name) != 0) {
+    return Status::AlreadyExists("index " + index_name);
+  }
+  auto tit = tables_.find(table_name);
+  if (tit == tables_.end()) return Status::NotFound("table " + table_name);
+  if (column_indexes.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+  for (const int c : column_indexes) {
+    if (c < 0 || c >= static_cast<int>(tit->second->columns.size())) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  auto def = std::make_unique<IndexDef>();
+  def->oid = next_oid_++;
+  def->name = index_name;
+  def->table_oid = tit->second->oid;
+  def->column_indexes = std::move(column_indexes);
+  def->unique = unique;
+  IndexDef* raw = def.get();
+  indexes_[index_name] = std::move(def);
+  return raw;
+}
+
+Result<IndexDef*> Catalog::GetIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) return Status::NotFound("index " + name);
+  return it->second.get();
+}
+
+Result<IndexDef*> Catalog::GetIndexByOid(uint32_t oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, def] : indexes_) {
+    if (def->oid == oid) return def.get();
+  }
+  return Status::NotFound("index oid");
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.erase(name) == 0) return Status::NotFound("index " + name);
+  return Status::OK();
+}
+
+std::vector<IndexDef*> Catalog::TableIndexes(uint32_t table_oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IndexDef*> out;
+  for (auto& [name, def] : indexes_) {
+    if (def->table_oid == table_oid) out.push_back(def.get());
+  }
+  return out;
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fks_.push_back(fk);
+  return Status::OK();
+}
+
+bool Catalog::HasForeignKey(uint32_t table_oid, int col,
+                            uint32_t ref_table_oid, int ref_col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ForeignKey& fk : fks_) {
+    if (fk.table_oid == table_oid && fk.column_index == col &&
+        fk.ref_table_oid == ref_table_oid && fk.ref_column_index == ref_col) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Catalog::CreateProcedure(ProcedureDef def) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = def.name;
+  if (procedures_.count(name) != 0) {
+    return Status::AlreadyExists("procedure " + name);
+  }
+  procedures_[name] = std::move(def);
+  return Status::OK();
+}
+
+Result<const ProcedureDef*> Catalog::GetProcedure(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procedures_.find(name);
+  if (it == procedures_.end()) return Status::NotFound("procedure " + name);
+  return &it->second;
+}
+
+void Catalog::SetOption(const std::string& name, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_[name] = value;
+}
+
+std::string Catalog::GetOption(const std::string& name,
+                               const std::string& default_value) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = options_.find(name);
+  return it == options_.end() ? default_value : it->second;
+}
+
+void Catalog::SetDttModel(const os::DttModel& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dtt_model_ = model;
+}
+
+}  // namespace hdb::catalog

@@ -1,0 +1,82 @@
+#ifndef HDB_CATALOG_CATALOG_H_
+#define HDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "catalog/schema.h"
+#include "os/dtt_model.h"
+
+namespace hdb::catalog {
+
+/// System catalog: tables, indexes, referential-integrity constraints,
+/// procedures, database options, and the DTT cost model blob (paper §4.2:
+/// "the DTT model is stored in the catalog and can be altered or loaded
+/// with the execution of a DDL statement").
+class Catalog {
+ public:
+  Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- Tables ---
+  Result<TableDef*> CreateTable(const std::string& name,
+                                std::vector<ColumnDef> columns);
+  Result<TableDef*> GetTable(const std::string& name);
+  Result<TableDef*> GetTableByOid(uint32_t oid);
+  Status DropTable(const std::string& name);
+  std::vector<TableDef*> AllTables();
+
+  // --- Indexes ---
+  Result<IndexDef*> CreateIndex(const std::string& index_name,
+                                const std::string& table_name,
+                                std::vector<int> column_indexes, bool unique);
+  Result<IndexDef*> GetIndex(const std::string& name);
+  Result<IndexDef*> GetIndexByOid(uint32_t oid);
+  Status DropIndex(const std::string& name);
+  /// Indexes whose table is `table_oid` (first-key-column order).
+  std::vector<IndexDef*> TableIndexes(uint32_t table_oid);
+
+  // --- Referential integrity ---
+  Status AddForeignKey(ForeignKey fk);
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  /// True if `table.col` is declared to reference `ref_table.ref_col`.
+  bool HasForeignKey(uint32_t table_oid, int col, uint32_t ref_table_oid,
+                     int ref_col) const;
+
+  // --- Procedures ---
+  Status CreateProcedure(ProcedureDef def);
+  Result<const ProcedureDef*> GetProcedure(const std::string& name) const;
+
+  // --- Options ---
+  void SetOption(const std::string& name, const std::string& value);
+  std::string GetOption(const std::string& name,
+                        const std::string& default_value = "") const;
+  const std::map<std::string, std::string>& options() const {
+    return options_;
+  }
+
+  // --- DTT model ---
+  void SetDttModel(const os::DttModel& model);
+  const os::DttModel& dtt_model() const { return dtt_model_; }
+
+ private:
+  mutable std::mutex mu_;
+  uint32_t next_oid_ = 1;
+  std::map<std::string, std::unique_ptr<TableDef>> tables_;
+  std::map<std::string, std::unique_ptr<IndexDef>> indexes_;
+  std::vector<ForeignKey> fks_;
+  std::map<std::string, ProcedureDef> procedures_;
+  std::map<std::string, std::string> options_;
+  os::DttModel dtt_model_ = os::DttModel::Default();
+};
+
+}  // namespace hdb::catalog
+
+#endif  // HDB_CATALOG_CATALOG_H_

@@ -1,0 +1,69 @@
+#ifndef HDB_CATALOG_SCHEMA_H_
+#define HDB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace hdb::catalog {
+
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt;
+  bool nullable = true;
+};
+
+/// Declared referential-integrity constraint. The optimizer uses these to
+/// constrain join selectivity estimates for multi-column joins (paper §3.2).
+struct ForeignKey {
+  uint32_t table_oid = kInvalidOid;
+  int column_index = -1;
+  uint32_t ref_table_oid = kInvalidOid;
+  int ref_column_index = -1;
+};
+
+struct TableDef {
+  uint32_t oid = kInvalidOid;
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  // Storage cursor, maintained by the table heap.
+  storage::PageId first_page = storage::kInvalidPageId;
+  storage::PageId last_page = storage::kInvalidPageId;
+  uint64_t row_count = 0;
+  uint64_t page_count = 0;
+
+  int ColumnIndex(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+struct IndexDef {
+  uint32_t oid = kInvalidOid;
+  std::string name;
+  uint32_t table_oid = kInvalidOid;
+  /// Key columns in order; the B+-tree keys on the first column's
+  /// order-preserving hash, further columns record the consultant's
+  /// composition choice.
+  std::vector<int> column_indexes;
+  bool unique = false;
+  storage::PageId root_page = storage::kInvalidPageId;
+};
+
+/// A stored procedure: named, parameterized statement list. Statements
+/// inside procedures are the plan-cache-eligible class of paper §4.1.
+struct ProcedureDef {
+  std::string name;
+  std::vector<std::string> param_names;
+  std::vector<std::string> statements;  // SQL with :param placeholders
+};
+
+}  // namespace hdb::catalog
+
+#endif  // HDB_CATALOG_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace hdb {
+
+void* Arena::Allocate(size_t n, size_t align) {
+  if (n == 0) n = 1;
+  if (budget_ != 0 && used_ + n > budget_) return nullptr;
+
+  if (!blocks_.empty()) {
+    Block& b = blocks_.back();
+    const size_t aligned = (b.pos + align - 1) & ~(align - 1);
+    if (aligned + n <= b.size) {
+      b.pos = aligned + n;
+      used_ += n;
+      high_water_ = std::max(high_water_, used_);
+      return b.data.get() + aligned;
+    }
+  }
+
+  const size_t block_size = std::max(block_bytes_, n + align);
+  Block b;
+  b.data = std::make_unique<uint8_t[]>(block_size);
+  b.size = block_size;
+  const auto base = reinterpret_cast<uintptr_t>(b.data.get());
+  const size_t offset = ((base + align - 1) & ~(uintptr_t(align) - 1)) - base;
+  b.pos = offset + n;
+  blocks_.push_back(std::move(b));
+  used_ += n;
+  high_water_ = std::max(high_water_, used_);
+  return blocks_.back().data.get() + offset;
+}
+
+void Arena::Reset() {
+  if (blocks_.size() > 1) {
+    blocks_.erase(blocks_.begin() + 1, blocks_.end());
+  }
+  if (!blocks_.empty()) blocks_.front().pos = 0;
+  used_ = 0;
+}
+
+}  // namespace hdb

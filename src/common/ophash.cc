@@ -1,0 +1,77 @@
+#include "common/ophash.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+namespace hdb {
+
+double OrderPreservingHash(const Value& v) {
+  if (v.is_null()) return -std::numeric_limits<double>::infinity();
+  switch (v.type()) {
+    case TypeId::kBoolean:
+      return v.AsBool() ? 1.0 : 0.0;
+    case TypeId::kInt:
+    case TypeId::kBigint:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
+      return static_cast<double>(v.AsInt());
+    case TypeId::kDouble:
+      return v.AsDouble();
+    case TypeId::kVarchar: {
+      // Pack the first kShortStringHashBytes bytes, big-endian, into an
+      // integer. 7 bytes = 56 bits fits exactly in a double's mantissa
+      // (53 bits would be lossless for 6; at 7 bytes the low bits of the
+      // last byte may round, which preserves order to within one code
+      // point — acceptable for statistics).
+      const std::string& s = v.AsString();
+      double acc = 0.0;
+      for (int i = 0; i < kShortStringHashBytes; ++i) {
+        const double byte =
+            i < static_cast<int>(s.size())
+                ? static_cast<double>(static_cast<unsigned char>(s[i]))
+                : 0.0;
+        acc = acc * 256.0 + byte;
+      }
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+double OrderPreservingHashWidth(TypeId t) {
+  if (t == TypeId::kVarchar) {
+    // Consecutive short-string codes differ in the last packed byte.
+    return 1.0;
+  }
+  return TypeValueWidth(t);
+}
+
+uint64_t LongStringHash(std::string_view s) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(c)));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::string> ExtractWords(std::string_view s) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        words.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) words.push_back(cur);
+  return words;
+}
+
+}  // namespace hdb

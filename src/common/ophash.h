@@ -1,0 +1,50 @@
+#ifndef HDB_COMMON_OPHASH_H_
+#define HDB_COMMON_OPHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/value.h"
+
+namespace hdb {
+
+/// Maximum number of leading bytes of a string that contribute to the
+/// order-preserving hash. Strings that differ only beyond this prefix
+/// collide, which the statistics layer tolerates (paper §3.1: short-string
+/// hash built from the binary values of characters).
+inline constexpr int kShortStringHashBytes = 7;
+
+/// Length threshold above which a VARCHAR column is considered a "long
+/// string" and uses the observed-predicate statistics infrastructure
+/// instead of ordinary histograms (paper §3.1).
+inline constexpr size_t kLongStringThreshold = 64;
+
+/// Order-preserving hash (paper §3.1): maps any short, orderable value into
+/// a double such that v1 < v2 implies Hash(v1) <= Hash(v2). Numeric and
+/// date/time types simply convert to double; short strings pack their first
+/// kShortStringHashBytes bytes into the integer part of a double.
+///
+/// NULL maps to -infinity so NULLs sort below every real value, matching
+/// Value::Compare.
+double OrderPreservingHash(const Value& v);
+
+/// The domain step between two consecutive hash codes for values of type
+/// `t` (paper §3.1 "value width").
+double OrderPreservingHashWidth(TypeId t);
+
+/// Non-order-preserving 64-bit hash used for long-string predicate buckets
+/// (paper §3.1: bucket boundaries for long strings store a hash, never the
+/// string itself).
+uint64_t LongStringHash(std::string_view s);
+
+/// Splits `s` into "words": maximal runs of non-whitespace characters
+/// (paper §3.1 — word buckets make LIKE '%word%' estimable). Words are
+/// lower-cased so the LIKE estimator is case-insensitive like the engine's
+/// default collation.
+std::vector<std::string> ExtractWords(std::string_view s);
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_OPHASH_H_

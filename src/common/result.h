@@ -1,0 +1,75 @@
+#ifndef HDB_COMMON_RESULT_H_
+#define HDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hdb {
+
+/// A value-or-error holder, the Result/StatusOr idiom. A Result is either an
+/// OK status together with a T, or a non-OK Status and no value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;` inside a Result<int> function.
+  Result(T value) : repr_(std::move(value)) {}
+  /// Implicit from error status. Constructing from an OK status is a bug
+  /// (a Result must carry a value when OK) and is normalized to kInternal.
+  Result(Status status) : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates a Result-returning expression; on error returns the error to
+/// the caller, otherwise assigns the value into `lhs` (a declaration).
+#define HDB_ASSIGN_OR_RETURN(lhs, expr)                \
+  HDB_ASSIGN_OR_RETURN_IMPL_(                          \
+      HDB_RESULT_CONCAT_(_hdb_result, __LINE__), lhs, expr)
+
+#define HDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define HDB_RESULT_CONCAT_(a, b) HDB_RESULT_CONCAT_INNER_(a, b)
+#define HDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_RESULT_H_

@@ -1,0 +1,101 @@
+#ifndef HDB_COMMON_RNG_H_
+#define HDB_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hdb {
+
+/// Deterministic xoshiro256**-based RNG. All adaptive machinery and all
+/// workload generators draw from seeded Rng instances so that tests and
+/// benches are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed generator over [0, n): rank r has probability
+/// proportional to 1/(r+1)^theta. Uses an inverse-CDF table; O(n) setup,
+/// O(log n) draw. Workhorse for the skewed-column workloads in the paper's
+/// frequent-value-statistics discussion.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_RNG_H_

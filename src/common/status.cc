@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace hdb {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace hdb

@@ -1,0 +1,108 @@
+#ifndef HDB_COMMON_STATUS_H_
+#define HDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hdb {
+
+/// Canonical error codes for all HolisticDB operations. The library does not
+/// throw exceptions across public API boundaries; every fallible operation
+/// returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  /// A memory-governor hard limit was exceeded and the statement was
+  /// terminated (paper §4.3, Eq. (4)).
+  kResourceExhausted,
+  kNotSupported,
+  kIOError,
+  kSyntaxError,
+  kConstraintViolation,
+  /// Lock conflict or deadlock victim.
+  kAborted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); error messages are heap-allocated strings.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define HDB_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::hdb::Status _hdb_status = (expr);            \
+    if (!_hdb_status.ok()) return _hdb_status;     \
+  } while (0)
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#include "common/types.h"
+
+namespace hdb {
+
+std::string_view TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean:
+      return "BOOLEAN";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kBigint:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "UNKNOWN";
+}
+
+double TypeValueWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean:
+    case TypeId::kInt:
+    case TypeId::kBigint:
+    case TypeId::kDate:
+      return 1.0;
+    case TypeId::kTimestamp:
+      return 1.0;  // one microsecond tick
+    case TypeId::kDouble:
+      return 1e-35;  // the paper's REAL width
+    case TypeId::kVarchar:
+      return 1.0;  // distance between consecutive short-string hash codes
+  }
+  return 1.0;
+}
+
+bool IsNumericLike(TypeId t) { return t != TypeId::kVarchar; }
+
+}  // namespace hdb

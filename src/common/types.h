@@ -1,0 +1,50 @@
+#ifndef HDB_COMMON_TYPES_H_
+#define HDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdb {
+
+/// SQL data types supported by HolisticDB. All of the short, orderable types
+/// share one histogram infrastructure via the order-preserving hash (paper
+/// §3.1); long strings use the observed-predicate infrastructure.
+enum class TypeId : uint8_t {
+  kBoolean = 0,
+  kInt,        // 32-bit signed
+  kBigint,     // 64-bit signed
+  kDouble,     // IEEE double
+  kVarchar,    // variable-length string
+  kDate,       // days since 1970-01-01, stored as int64
+  kTimestamp,  // microseconds since epoch, stored as int64
+};
+
+/// Returns the SQL-ish name of `t` ("INT", "VARCHAR", ...).
+std::string_view TypeName(TypeId t);
+
+/// The paper (§3.1) assigns each data type a "value width": the difference
+/// between two consecutive values in the domain, used to maintain
+/// discreteness when interpolating in histogram buckets. E.g. INT has width
+/// 1 and REAL/DOUBLE a tiny epsilon (the paper quotes 1e-35 for REAL).
+double TypeValueWidth(TypeId t);
+
+/// True for types whose histogram keys come from the order-preserving hash
+/// (everything except long strings; VARCHAR values up to
+/// kShortStringHashBytes participate too, see ophash.h).
+bool IsNumericLike(TypeId t);
+
+/// Row identifier: page + slot within the owning table's segment.
+struct Rid {
+  uint32_t page_id = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  auto operator<=>(const Rid&) const = default;
+};
+
+/// Invalid/unset object identifiers.
+inline constexpr uint32_t kInvalidOid = 0xffffffffu;
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_TYPES_H_

@@ -1,0 +1,230 @@
+#ifndef HDB_ENGINE_DATABASE_H_
+#define HDB_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/binder.h"
+#include "engine/parser.h"
+#include "exec/executor.h"
+#include "exec/memory_governor.h"
+#include "index/btree.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "os/memory_env.h"
+#include "os/virtual_clock.h"
+#include "os/virtual_disk.h"
+#include "stats/feedback.h"
+#include "stats/proc_stats.h"
+#include "stats/stats_registry.h"
+#include "storage/buffer_pool.h"
+#include "storage/pool_governor.h"
+#include "table/table_heap.h"
+#include "txn/transaction.h"
+
+namespace hdb::engine {
+
+/// Simulated device backing the database's I/O cost (DESIGN.md
+/// substitution #2).
+enum class DeviceKind { kNone, kRotational, kFlash };
+
+struct DatabaseOptions {
+  uint32_t page_bytes = storage::kDefaultPageBytes;
+  size_t initial_pool_frames = 512;
+  uint64_t physical_memory_bytes = 256ull << 20;
+
+  DeviceKind device = DeviceKind::kNone;
+  os::RotationalDiskOptions rotational;
+  os::FlashDiskOptions flash;
+
+  storage::PoolGovernorOptions pool_governor;
+  exec::MemoryGovernorOptions memory_governor;
+  optimizer::GovernorOptions optimizer_governor;
+  size_t optimizer_arena_bytes = 0;
+  optimizer::PlanCacheOptions plan_cache;
+
+  /// Collect statistics from query execution feedback (paper §3).
+  bool auto_feedback = true;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  uint64_t rows_affected = 0;
+  exec::RuntimeStats exec_stats;
+  optimizer::OptimizeDiagnostics diag;
+  std::string explain;
+  bool used_cached_plan = false;
+};
+
+/// One request observed by the engine; the Application Profiling module
+/// subscribes to these (paper §5 — the "detailed trace of all server
+/// activity", transported in-process instead of over TCP/IP).
+struct TraceEvent {
+  std::string sql;
+  double elapsed_micros = 0;
+  uint64_t rows_returned = 0;
+  uint64_t rows_scanned = 0;
+  std::string plan_fingerprint;
+  bool bypassed_optimizer = false;
+  bool from_procedure = false;
+};
+
+class Connection;
+
+/// An embedded HolisticDB server instance: storage, governors, statistics,
+/// optimizer and SQL front end wired together (the paper's thesis is that
+/// these only work *in concert*). Databases start on first Connect and can
+/// be dropped when the last connection closes — the zero-administration
+/// embedding model of §1.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Result<std::unique_ptr<Connection>> Connect();
+  int connection_count() const { return connections_; }
+
+  // --- Subsystem access (benches, tests, profiler) ---
+  catalog::Catalog& catalog() { return *catalog_; }
+  storage::BufferPool& pool() { return *pool_; }
+  storage::DiskManager& disk() { return *disk_; }
+  storage::PoolGovernor& pool_governor() { return *pool_governor_; }
+  exec::MemoryGovernor& memory_governor() { return *memory_governor_; }
+  os::VirtualClock& clock() { return clock_; }
+  os::MemoryEnv& memory_env() { return *memory_env_; }
+  stats::StatsRegistry& stats() { return stats_; }
+  stats::ProcStatsRegistry& proc_stats() { return proc_stats_; }
+  txn::TransactionManager& txn_manager() { return *txn_manager_; }
+  txn::LockManager& lock_manager() { return *lock_manager_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  table::TableHeap* heap(uint32_t table_oid);
+  index::BTree* btree(uint32_t index_oid);
+  const index::IndexStats* index_stats(uint32_t index_oid);
+
+  /// Advances virtual time and runs the periodic self-management work
+  /// (buffer-pool governor polling).
+  void Tick(int64_t micros);
+
+  /// Bulk load: appends rows and (re)builds statistics for every column —
+  /// the paper's LOAD TABLE histogram-creation path (§3.2).
+  Status LoadTable(const std::string& table, const std::vector<table::Row>& rows);
+
+  /// CREATE STATISTICS path: full-column statistics (re)build.
+  Status BuildStatistics(const std::string& table, int column);
+
+  /// CALIBRATE DATABASE: probes the device, stores the model in the
+  /// catalog (paper §4.2).
+  Status Calibrate(const os::CalibrationOptions& opts = {});
+
+  /// Subscribe to request traces (Application Profiling, §5).
+  using TraceHook = std::function<void(const TraceEvent&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+  /// Index statistics provider for the optimizer.
+  optimizer::IndexStatsProvider IndexStatsProvider();
+
+  /// Index-probing callback for the selectivity estimator (paper §3).
+  optimizer::IndexProber IndexProber();
+
+ private:
+  friend class Connection;
+
+  explicit Database(DatabaseOptions options);
+  Status Init();
+
+  Status CreateTableImpl(const CreateTableAst& ast);
+  Status CreateIndexImpl(const CreateIndexAst& ast);
+  Status DropTableImpl(const std::string& name);
+  Status DropIndexImpl(const std::string& name);
+
+  void EmitTrace(const TraceEvent& ev) {
+    if (trace_hook_) trace_hook_(ev);
+  }
+
+  DatabaseOptions options_;
+  os::VirtualClock clock_;
+  std::unique_ptr<os::MemoryEnv> memory_env_;
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::PoolGovernor> pool_governor_;
+  std::unique_ptr<exec::MemoryGovernor> memory_governor_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<txn::LockManager> lock_manager_;
+  std::unique_ptr<txn::TransactionManager> txn_manager_;
+  stats::StatsRegistry stats_;
+  stats::ProcStatsRegistry proc_stats_;
+
+  std::map<uint32_t, std::unique_ptr<table::TableHeap>> heaps_;
+  std::map<uint32_t, std::unique_ptr<index::BTree>> btrees_;
+
+  TraceHook trace_hook_;
+  int connections_ = 0;
+};
+
+/// A client connection: SQL execution, per-connection plan cache,
+/// autocommit transactions.
+class Connection {
+ public:
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// EXPLAIN convenience: optimizes and renders without executing.
+  Result<std::string> Explain(const std::string& select_sql);
+
+  Database* database() { return db_; }
+  const optimizer::PlanCache& plan_cache() const { return plan_cache_; }
+
+ private:
+  friend class Database;
+  explicit Connection(Database* db);
+
+  Result<QueryResult> ExecuteSelect(
+      const SelectAst& ast,
+      const std::vector<std::pair<std::string, Value>>* params,
+      const std::string& cache_key, QueryResult* out);
+  Result<QueryResult> ExecuteInsert(const InsertAst& ast);
+  Result<QueryResult> ExecuteUpdate(const UpdateAst& ast);
+  Result<QueryResult> ExecuteDelete(const DeleteAst& ast);
+  Result<QueryResult> ExecuteCall(const CallAst& ast);
+
+  /// Runs a single-table scan collecting matching (rid, row) pairs — the
+  /// DML victim scan, planned by the heuristic bypass (paper §4.1).
+  Result<std::vector<std::pair<Rid, table::Row>>> CollectDmlVictims(
+      const optimizer::Query& scan, optimizer::OptimizeDiagnostics* diag);
+
+  /// Transaction helpers (autocommit when no explicit BEGIN).
+  txn::Transaction* CurrentTxn(bool* auto_started);
+  Status FinishAuto(txn::Transaction* txn, bool auto_started, bool ok);
+  Status ApplyUndo(const txn::UndoRecord& rec);
+
+  /// Index + statistics maintenance on DML.
+  Status MaintainOnInsert(catalog::TableDef* table, Rid rid,
+                          const table::Row& row);
+  Status MaintainOnDelete(catalog::TableDef* table, Rid rid,
+                          const table::Row& row);
+
+  optimizer::OptimizerContext MakeOptimizerContext();
+
+  Database* db_;
+  optimizer::PlanCache plan_cache_;
+  txn::Transaction* txn_ = nullptr;  // explicit transaction, if any
+};
+
+}  // namespace hdb::engine
+
+#endif  // HDB_ENGINE_DATABASE_H_

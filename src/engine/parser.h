@@ -1,0 +1,165 @@
+#ifndef HDB_ENGINE_PARSER_H_
+#define HDB_ENGINE_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "engine/lexer.h"
+#include "optimizer/query.h"
+
+namespace hdb::engine {
+
+// --- Parse-tree expressions (column names unresolved) ---
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+struct AstExpr {
+  enum Kind {
+    kLiteral,
+    kColumn,   // [table.]column
+    kParam,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kIsNull,   // negated flag for IS NOT NULL
+    kBetween,
+    kLike,
+    kInList,
+    kArith,
+    kAggregate,
+    kStar,     // only inside COUNT(*)
+  };
+
+  Kind kind = kLiteral;
+  Value literal;
+  std::string table;   // qualifier, may be empty
+  std::string column;  // column or parameter name
+  optimizer::CompareOp cmp = optimizer::CompareOp::kEq;
+  optimizer::ArithOp arith = optimizer::ArithOp::kAdd;
+  optimizer::AggKind agg = optimizer::AggKind::kCountStar;
+  std::string pattern;
+  bool negated = false;
+  std::vector<AstExprPtr> children;
+};
+
+// --- Statements ---
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = table name
+};
+
+struct SelectAst {
+  struct Item {
+    AstExprPtr expr;  // null for '*'
+    std::string alias;
+    bool star = false;
+  };
+  struct Order {
+    AstExprPtr expr;
+    bool ascending = true;
+  };
+  bool distinct = false;
+  std::vector<Item> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;  // JOIN ... ON conditions are folded in
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<Order> order_by;
+  int64_t limit = -1;
+};
+
+struct InsertAst {
+  std::string table;
+  std::vector<std::string> columns;  // empty = all, in table order
+  std::vector<std::vector<AstExprPtr>> rows;
+};
+
+struct UpdateAst {
+  std::string table;
+  std::vector<std::pair<std::string, AstExprPtr>> sets;
+  AstExprPtr where;
+};
+
+struct DeleteAst {
+  std::string table;
+  AstExprPtr where;
+};
+
+struct CreateTableAst {
+  struct Column {
+    std::string name;
+    TypeId type;
+    bool not_null = false;
+  };
+  struct Fk {
+    std::string column;
+    std::string ref_table;
+    std::string ref_column;
+  };
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<Fk> foreign_keys;
+};
+
+struct CreateIndexAst {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct CreateStatisticsAst {
+  std::string table;
+  std::vector<std::string> columns;  // empty = all columns
+};
+
+struct CreateProcedureAst {
+  std::string name;
+  std::vector<std::string> params;
+  /// One or more statements (';'-separated in the source), each of which
+  /// may reference :params. A CALL returns the last statement's result.
+  std::vector<std::string> body_statements;
+};
+
+struct CallAst {
+  std::string name;
+  std::vector<Value> args;
+};
+
+struct SetOptionAst {
+  std::string name;
+  std::string value;
+};
+
+struct SimpleAst {
+  enum Kind { kBegin, kCommit, kRollback, kCalibrate } kind;
+};
+
+struct DropAst {
+  enum Kind { kTable, kIndex } kind;
+  std::string name;
+};
+
+struct ExplainAst {
+  std::shared_ptr<SelectAst> select;
+};
+
+using StatementAst =
+    std::variant<SelectAst, InsertAst, UpdateAst, DeleteAst, CreateTableAst,
+                 CreateIndexAst, CreateStatisticsAst, CreateProcedureAst,
+                 CallAst, SetOptionAst, SimpleAst, DropAst, ExplainAst>;
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+Result<StatementAst> Parse(const std::string& sql);
+
+}  // namespace hdb::engine
+
+#endif  // HDB_ENGINE_PARSER_H_

@@ -1,0 +1,1576 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ophash.h"
+#include "exec/spill.h"
+#include "table/row_codec.h"
+
+namespace hdb::exec {
+
+namespace {
+
+using optimizer::CompareOp;
+using optimizer::Expr;
+using optimizer::ExprKind;
+using optimizer::ExprPtr;
+using optimizer::PlanKind;
+using optimizer::PlanNode;
+using optimizer::RowContext;
+
+// ---------------------------------------------------------------------------
+// Feedback observation: recognize single-column predicates whose outcomes
+// can update the self-managing statistics (paper §3.2: "the evaluation of
+// (almost) any predicate over a base column can lead to an update of the
+// histogram for this column").
+// ---------------------------------------------------------------------------
+
+struct ObservablePred {
+  enum Kind { kEq, kRange, kIsNull, kLike } kind = kEq;
+  int column = -1;
+  std::optional<Value> lo, hi;
+  std::string pattern;
+};
+
+std::optional<ObservablePred> ClassifyObservable(const ExprPtr& e,
+                                                 int quantifier) {
+  ObservablePred p;
+  if (e->kind() == ExprKind::kCompare) {
+    const Expr* l = e->children()[0].get();
+    const Expr* r = e->children()[1].get();
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    CompareOp op = e->compare_op();
+    if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+      col = l;
+      lit = r;
+    } else if (r->kind() == ExprKind::kColumnRef &&
+               l->kind() == ExprKind::kLiteral) {
+      col = r;
+      lit = l;
+      switch (op) {
+        case CompareOp::kLt: op = CompareOp::kGt; break;
+        case CompareOp::kLe: op = CompareOp::kGe; break;
+        case CompareOp::kGt: op = CompareOp::kLt; break;
+        case CompareOp::kGe: op = CompareOp::kLe; break;
+        default: break;
+      }
+    } else {
+      return std::nullopt;
+    }
+    if (col->quantifier() != quantifier) return std::nullopt;
+    p.column = col->column();
+    switch (op) {
+      case CompareOp::kEq:
+        p.kind = ObservablePred::kEq;
+        p.lo = lit->literal();
+        return p;
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        p.kind = ObservablePred::kRange;
+        p.hi = lit->literal();
+        return p;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        p.kind = ObservablePred::kRange;
+        p.lo = lit->literal();
+        return p;
+      default:
+        return std::nullopt;
+    }
+  }
+  if (e->kind() == ExprKind::kBetween) {
+    const Expr* v = e->children()[0].get();
+    const Expr* lo = e->children()[1].get();
+    const Expr* hi = e->children()[2].get();
+    if (v->kind() == ExprKind::kColumnRef && v->quantifier() == quantifier &&
+        lo->kind() == ExprKind::kLiteral && hi->kind() == ExprKind::kLiteral) {
+      p.kind = ObservablePred::kRange;
+      p.column = v->column();
+      p.lo = lo->literal();
+      p.hi = hi->literal();
+      return p;
+    }
+    return std::nullopt;
+  }
+  if (e->kind() == ExprKind::kIsNull) {
+    const Expr* v = e->children()[0].get();
+    if (v->kind() == ExprKind::kColumnRef && v->quantifier() == quantifier &&
+        !e->negated()) {
+      p.kind = ObservablePred::kIsNull;
+      p.column = v->column();
+      return p;
+    }
+    return std::nullopt;
+  }
+  if (e->kind() == ExprKind::kLike) {
+    const Expr* v = e->children()[0].get();
+    if (v->kind() == ExprKind::kColumnRef && v->quantifier() == quantifier) {
+      p.kind = ObservablePred::kLike;
+      p.column = v->column();
+      p.pattern = e->pattern();
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+void Observe(ExecContext* ec, uint32_t table_oid, const ObservablePred& p,
+             bool matched) {
+  if (ec->feedback == nullptr) return;
+  switch (p.kind) {
+    case ObservablePred::kEq:
+      ec->feedback->ObserveEquals(table_oid, p.column, *p.lo, matched);
+      break;
+    case ObservablePred::kRange:
+      ec->feedback->ObserveRange(table_oid, p.column, p.lo, p.hi, matched);
+      break;
+    case ObservablePred::kIsNull:
+      ec->feedback->ObserveIsNull(table_oid, p.column, matched);
+      break;
+    case ObservablePred::kLike:
+      ec->feedback->ObserveLike(table_oid, p.column, p.pattern, matched);
+      break;
+  }
+}
+
+/// A conjunct plus its (optional) observable classification.
+struct CheckedPred {
+  ExprPtr expr;
+  std::optional<ObservablePred> observable;
+};
+
+std::vector<CheckedPred> PrepareResidual(const ExprPtr& residual,
+                                         int quantifier) {
+  std::vector<CheckedPred> out;
+  std::vector<ExprPtr> conjuncts;
+  optimizer::SplitConjuncts(residual, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    out.push_back(CheckedPred{c, ClassifyObservable(c, quantifier)});
+  }
+  return out;
+}
+
+/// Evaluates the residual conjuncts, observing outcomes. Short-circuits on
+/// the first failure (later conjuncts go unobserved, which matches a real
+/// engine's evaluation order).
+Result<bool> EvalResidual(ExecContext* ec, uint32_t table_oid,
+                          const std::vector<CheckedPred>& preds,
+                          const RowContext& ctx) {
+  for (const CheckedPred& p : preds) {
+    HDB_ASSIGN_OR_RETURN(const bool ok, p.expr->EvaluatesToTrue(ctx));
+    if (p.observable.has_value()) {
+      Observe(ec, table_oid, *p.observable, ok);
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void CollectBoundQuantifiers(const PlanNode* n, std::vector<int>* out) {
+  switch (n->kind) {
+    case PlanKind::kSeqScan:
+    case PlanKind::kIndexScan:
+      out->push_back(n->quantifier);
+      return;
+    case PlanKind::kIndexNLJoin:
+      CollectBoundQuantifiers(n->children[0].get(), out);
+      out->push_back(n->quantifier);
+      return;
+    default:
+      for (const auto& c : n->children) {
+        CollectBoundQuantifiers(c.get(), out);
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const PlanNode* plan, ExecContext* ec)
+      : plan_(plan), ec_(ec),
+        preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
+
+  Status Open() override {
+    heap_ = ec_->table_heap(plan_->table->oid);
+    if (heap_ == nullptr) return Status::Internal("missing table heap");
+    it_ = heap_->Scan();
+    return Status::OK();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    Rid rid;
+    std::string bytes;
+    while (it_->Next(&rid, &bytes)) {
+      ec_->stats.rows_scanned++;
+      HDB_ASSIGN_OR_RETURN(
+          row_, table::DecodeRow(*plan_->table, bytes.data(), bytes.size()));
+      ctx->rows[plan_->quantifier] = &row_;
+      HDB_ASSIGN_OR_RETURN(const bool pass,
+                           EvalResidual(ec_, plan_->table->oid, preds_, *ctx));
+      if (pass) return true;
+    }
+    ctx->rows[plan_->quantifier] = nullptr;
+    return false;
+  }
+
+  void Close() override { it_.reset(); }
+
+ private:
+  const PlanNode* plan_;
+  ExecContext* ec_;
+  std::vector<CheckedPred> preds_;
+  table::TableHeap* heap_ = nullptr;
+  std::optional<table::TableHeap::Iterator> it_;
+  std::vector<Value> row_;
+};
+
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const PlanNode* plan, ExecContext* ec)
+      : plan_(plan), ec_(ec),
+        preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
+
+  Status Open() override {
+    heap_ = ec_->table_heap(plan_->table->oid);
+    index::BTree* tree = ec_->index(plan_->index->oid);
+    if (heap_ == nullptr || tree == nullptr) {
+      return Status::Internal("missing table heap or index");
+    }
+    rids_.clear();
+    pos_ = 0;
+    double lo = plan_->index_lo.value_or(
+        -std::numeric_limits<double>::infinity());
+    double hi =
+        plan_->index_hi.value_or(std::numeric_limits<double>::infinity());
+    // Parameterized bounds: the cached plan is parameter-independent; the
+    // concrete range binds here, per invocation (paper §4.1).
+    RowContext param_ctx;
+    param_ctx.params = ec_->params;
+    if (plan_->index_lo_expr != nullptr) {
+      HDB_ASSIGN_OR_RETURN(const Value v,
+                           plan_->index_lo_expr->Evaluate(param_ctx));
+      lo = OrderPreservingHash(v);
+    }
+    if (plan_->index_hi_expr != nullptr) {
+      HDB_ASSIGN_OR_RETURN(const Value v,
+                           plan_->index_hi_expr->Evaluate(param_ctx));
+      hi = OrderPreservingHash(v);
+    }
+    return tree->ScanRange(lo, plan_->index_lo_inclusive, hi,
+                           plan_->index_hi_inclusive,
+                           [this](double, Rid rid) {
+                             rids_.push_back(rid);
+                             return true;
+                           });
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    while (pos_ < rids_.size()) {
+      const Rid rid = rids_[pos_++];
+      ec_->stats.rows_scanned++;
+      HDB_ASSIGN_OR_RETURN(const std::string bytes, heap_->Get(rid));
+      HDB_ASSIGN_OR_RETURN(
+          row_, table::DecodeRow(*plan_->table, bytes.data(), bytes.size()));
+      ctx->rows[plan_->quantifier] = &row_;
+      HDB_ASSIGN_OR_RETURN(const bool pass,
+                           EvalResidual(ec_, plan_->table->oid, preds_, *ctx));
+      if (pass) return true;
+    }
+    ctx->rows[plan_->quantifier] = nullptr;
+    return false;
+  }
+
+  void Close() override {}
+
+ private:
+  const PlanNode* plan_;
+  ExecContext* ec_;
+  std::vector<CheckedPred> preds_;
+  table::TableHeap* heap_ = nullptr;
+  std::vector<Rid> rids_;
+  size_t pos_ = 0;
+  std::vector<Value> row_;
+};
+
+// ---------------------------------------------------------------------------
+// Simple relational operators
+// ---------------------------------------------------------------------------
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(const PlanNode* plan, std::unique_ptr<Operator> child)
+      : plan_(plan), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(RowContext* ctx) override {
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
+      if (!more) return false;
+      if (plan_->residual == nullptr) return true;
+      HDB_ASSIGN_OR_RETURN(const bool ok,
+                           plan_->residual->EvaluatesToTrue(*ctx));
+      if (ok) return true;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+  bool ProducesOutput() const override { return child_->ProducesOutput(); }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(const PlanNode* plan, std::unique_ptr<Operator> child)
+      : plan_(plan), child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(RowContext* ctx) override {
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
+    if (!more) return false;
+    ctx->output.clear();
+    ctx->output.reserve(plan_->projections.size());
+    for (const auto& item : plan_->projections) {
+      HDB_ASSIGN_OR_RETURN(Value v, item.expr->Evaluate(*ctx));
+      ctx->output.push_back(std::move(v));
+    }
+    return true;
+  }
+
+  void Close() override { child_->Close(); }
+  bool ProducesOutput() const override { return true; }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(const PlanNode* plan, std::unique_ptr<Operator> child)
+      : plan_(plan), child_(std::move(child)) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    if (plan_->limit >= 0 && emitted_ >= plan_->limit) return false;
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
+    if (!more) return false;
+    ++emitted_;
+    return true;
+  }
+
+  void Close() override { child_->Close(); }
+  bool ProducesOutput() const override { return child_->ProducesOutput(); }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+  int64_t emitted_ = 0;
+};
+
+class HashDistinctOp : public Operator {
+ public:
+  HashDistinctOp(const PlanNode* plan, std::unique_ptr<Operator> child,
+                 ExecContext* ec)
+      : plan_(plan), child_(std::move(child)), ec_(ec) {}
+
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
+      if (!more) return false;
+      std::string key = EncodeValues(ctx->output);
+      if (seen_.insert(key).second) {
+        if (ec_->memory != nullptr) {
+          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(key.size() + 32));
+        }
+        return true;
+      }
+    }
+  }
+
+  void Close() override {
+    child_->Close();
+    if (ec_->memory != nullptr) {
+      uint64_t bytes = 0;
+      for (const auto& k : seen_) bytes += k.size() + 32;
+      ec_->memory->ReleaseBytes(bytes);
+    }
+    seen_.clear();
+  }
+  bool ProducesOutput() const override { return true; }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+  ExecContext* ec_;
+  std::unordered_set<std::string> seen_;
+};
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+class NLJoinOp : public Operator {
+ public:
+  NLJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
+           std::unique_ptr<Operator> inner)
+      : plan_(plan), outer_(std::move(outer)), inner_(std::move(inner)) {}
+
+  Status Open() override {
+    HDB_RETURN_IF_ERROR(outer_->Open());
+    have_outer_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    for (;;) {
+      if (!have_outer_) {
+        HDB_ASSIGN_OR_RETURN(const bool more, outer_->Next(ctx));
+        if (!more) return false;
+        have_outer_ = true;
+        inner_->Close();
+        HDB_RETURN_IF_ERROR(inner_->Open());
+      }
+      HDB_ASSIGN_OR_RETURN(const bool imore, inner_->Next(ctx));
+      if (!imore) {
+        have_outer_ = false;
+        continue;
+      }
+      if (plan_->extra_condition != nullptr) {
+        HDB_ASSIGN_OR_RETURN(const bool ok,
+                             plan_->extra_condition->EvaluatesToTrue(*ctx));
+        if (!ok) continue;
+      }
+      return true;
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    inner_->Close();
+  }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  bool have_outer_ = false;
+};
+
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
+                ExecContext* ec)
+      : plan_(plan), outer_(std::move(outer)), ec_(ec),
+        preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
+
+  Status Open() override {
+    heap_ = ec_->table_heap(plan_->table->oid);
+    tree_ = ec_->index(plan_->index->oid);
+    if (heap_ == nullptr || tree_ == nullptr) {
+      return Status::Internal("index-NL join: missing heap or index");
+    }
+    matches_.clear();
+    pos_ = 0;
+    return outer_->Open();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    for (;;) {
+      while (pos_ < matches_.size()) {
+        const Rid rid = matches_[pos_++];
+        HDB_ASSIGN_OR_RETURN(const std::string bytes, heap_->Get(rid));
+        HDB_ASSIGN_OR_RETURN(row_, table::DecodeRow(*plan_->table,
+                                                    bytes.data(),
+                                                    bytes.size()));
+        ctx->rows[plan_->quantifier] = &row_;
+        HDB_ASSIGN_OR_RETURN(
+            const bool pass,
+            EvalResidual(ec_, plan_->table->oid, preds_, *ctx));
+        if (!pass) continue;
+        if (plan_->extra_condition != nullptr) {
+          HDB_ASSIGN_OR_RETURN(const bool ok,
+                               plan_->extra_condition->EvaluatesToTrue(*ctx));
+          if (!ok) continue;
+        }
+        return true;
+      }
+      // Advance the outer row and probe.
+      HDB_ASSIGN_OR_RETURN(const bool more, outer_->Next(ctx));
+      if (!more) {
+        ctx->rows[plan_->quantifier] = nullptr;
+        return false;
+      }
+      HDB_ASSIGN_OR_RETURN(const Value key, plan_->outer_key->Evaluate(*ctx));
+      matches_.clear();
+      pos_ = 0;
+      if (key.is_null()) continue;  // NULL never equi-joins
+      const double h = OrderPreservingHash(key);
+      HDB_RETURN_IF_ERROR(tree_->ScanRange(h, true, h, true,
+                                           [this](double, Rid rid) {
+                                             matches_.push_back(rid);
+                                             return true;
+                                           }));
+    }
+  }
+
+  void Close() override { outer_->Close(); }
+
+ private:
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> outer_;
+  ExecContext* ec_;
+  std::vector<CheckedPred> preds_;
+  table::TableHeap* heap_ = nullptr;
+  index::BTree* tree_ = nullptr;
+  std::vector<Rid> matches_;
+  size_t pos_ = 0;
+  std::vector<Value> row_;
+};
+
+// ---------------------------------------------------------------------------
+// Hash join with partition eviction and the alternate index-NL strategy
+// (paper §4.3)
+// ---------------------------------------------------------------------------
+
+class HashJoinOp : public Operator, public MemoryConsumer {
+ public:
+  static constexpr int kPartitions = 8;
+
+  HashJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
+             std::unique_ptr<Operator> inner, ExecContext* ec)
+      : plan_(plan), outer_(std::move(outer)), inner_(std::move(inner)),
+        ec_(ec) {
+    CollectBoundQuantifiers(plan_->children[0].get(), &outer_quants_);
+  }
+
+  Status Open() override {
+    build_quantifier_ = plan_->children[1]->quantifier;
+    if (ec_->memory != nullptr) {
+      plan_level = 1;
+      ec_->memory->RegisterConsumer(this);
+    }
+    HDB_RETURN_IF_ERROR(BuildPhase());
+    if (plan_->alt_index_nl && !AnyPartitionSpilled() &&
+        TotalBuildRows() <= plan_->alt_switch_threshold_rows &&
+        (plan_->children[0]->kind == PlanKind::kSeqScan ||
+         plan_->children[0]->kind == PlanKind::kIndexScan)) {
+      // The optimizer's estimate was wrong and the build input is tiny:
+      // switch to the annotated index nested-loops strategy instead of
+      // scanning the whole probe side (paper §4.3).
+      alternate_ = true;
+      ec_->stats.hash_join_used_alternate = true;
+      return OpenAlternate();
+    }
+    HDB_RETURN_IF_ERROR(outer_->Open());
+    return Status::OK();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    if (alternate_) return NextAlternate(ctx);
+    for (;;) {
+      // Emit pending matches for the current probe row.
+      while (match_pos_ < current_matches_.size()) {
+        const size_t idx = current_matches_[match_pos_++];
+        ctx->rows[build_quantifier_] = &build_rows_[idx];
+        if (plan_->extra_condition != nullptr) {
+          HDB_ASSIGN_OR_RETURN(const bool ok,
+                               plan_->extra_condition->EvaluatesToTrue(*ctx));
+          if (!ok) continue;
+        }
+        return true;
+      }
+      // Spilled-partition processing after the main probe is drained.
+      if (outer_done_) {
+        HDB_ASSIGN_OR_RETURN(const bool more, NextSpilled(ctx));
+        if (more) return true;
+        ctx->rows[build_quantifier_] = nullptr;
+        return false;
+      }
+      HDB_ASSIGN_OR_RETURN(const bool more, outer_->Next(ctx));
+      if (!more) {
+        outer_done_ = true;
+        HDB_RETURN_IF_ERROR(PrepareSpilledProcessing());
+        continue;
+      }
+      HDB_ASSIGN_OR_RETURN(const Value key, plan_->outer_key->Evaluate(*ctx));
+      current_matches_.clear();
+      match_pos_ = 0;
+      if (key.is_null()) continue;
+      const uint64_t h = key.Hash();
+      const int p = static_cast<int>(h % kPartitions);
+      if (partition_spilled_[p]) {
+        // Probe rows destined for an evicted partition are spilled too.
+        std::vector<Value> flat;
+        FlattenOuter(*ctx, &flat);
+        HDB_RETURN_IF_ERROR(probe_spill_[p]->Append(flat));
+        ec_->stats.hash_spilled_tuples++;
+        continue;
+      }
+      auto it = table_.find(h);
+      if (it == table_.end()) continue;
+      for (const size_t idx : it->second) {
+        if (build_partition_[idx] == p &&
+            build_keys_[idx].Compare(key) == 0) {
+          current_matches_.push_back(idx);
+        }
+      }
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    inner_->Close();
+    if (ec_->memory != nullptr) {
+      ec_->memory->UnregisterConsumer(this);
+      ec_->memory->ReleaseBytes(build_bytes_);
+    }
+    build_bytes_ = 0;
+  }
+
+  // MemoryConsumer: evict the partition holding the most rows (paper §4.3:
+  // "by selecting the partition with the most rows, the governor frees up
+  // the most memory for future processing").
+  size_t ReleasePages(size_t target_pages) override {
+    size_t freed_bytes = 0;
+    const size_t target_bytes =
+        target_pages * ec_->pool->page_bytes();
+    while (freed_bytes < target_bytes) {
+      int victim = -1;
+      size_t victim_rows = 0;
+      for (int p = 0; p < kPartitions; ++p) {
+        if (partition_spilled_[p]) continue;
+        if (partition_rows_[p] > victim_rows) {
+          victim_rows = partition_rows_[p];
+          victim = p;
+        }
+      }
+      if (victim < 0 || victim_rows == 0) break;
+      const size_t bytes = EvictPartition(victim);
+      if (bytes == 0) break;
+      freed_bytes += bytes;
+    }
+    const size_t freed_pages = freed_bytes / ec_->pool->page_bytes();
+    build_bytes_ -= std::min<uint64_t>(build_bytes_, freed_bytes);
+    return freed_pages;
+  }
+
+  size_t PagesHeld() const override {
+    return build_bytes_ / ec_->pool->page_bytes();
+  }
+
+ private:
+  size_t TotalBuildRows() const {
+    size_t n = 0;
+    for (int p = 0; p < kPartitions; ++p) n += partition_rows_[p];
+    for (int p = 0; p < kPartitions; ++p) {
+      if (build_spill_[p] != nullptr) n += build_spill_[p]->tuple_count();
+    }
+    return n;
+  }
+
+  bool AnyPartitionSpilled() const {
+    for (int p = 0; p < kPartitions; ++p) {
+      if (partition_spilled_[p]) return true;
+    }
+    return false;
+  }
+
+  Status BuildPhase() {
+    HDB_RETURN_IF_ERROR(inner_->Open());
+    RowContext build_ctx;
+    build_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    build_ctx.params = ec_->params;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, inner_->Next(&build_ctx));
+      if (!more) break;
+      HDB_ASSIGN_OR_RETURN(const Value key,
+                           plan_->inner_key->Evaluate(build_ctx));
+      if (key.is_null()) continue;
+      const uint64_t h = key.Hash();
+      const int p = static_cast<int>(h % kPartitions);
+      const std::vector<Value>& row = *build_ctx.rows[build_quantifier_];
+      if (partition_spilled_[p]) {
+        HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
+        ec_->stats.hash_spilled_tuples++;
+        continue;
+      }
+      const uint64_t row_bytes = 48 * row.size() + 64;
+      if (ec_->memory != nullptr) {
+        // Charging may trigger reclamation, which may evict partitions —
+        // including p — via ReleasePages re-entering this operator.
+        HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(row_bytes));
+      }
+      build_bytes_ += row_bytes;
+      if (partition_spilled_[p]) {
+        HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
+        ec_->stats.hash_spilled_tuples++;
+        continue;
+      }
+      const size_t idx = build_rows_.size();
+      build_rows_.push_back(row);
+      build_keys_.push_back(key);
+      build_partition_.push_back(p);
+      partition_rows_[p]++;
+      table_[h].push_back(idx);
+    }
+    inner_->Close();
+    return Status::OK();
+  }
+
+  /// Moves every in-memory row of partition `p` to its spill file.
+  /// Returns bytes freed.
+  size_t EvictPartition(int p) {
+    if (partition_spilled_[p]) return 0;
+    partition_spilled_[p] = true;
+    if (build_spill_[p] == nullptr) {
+      build_spill_[p] = std::make_unique<SpillFile>(ec_->pool);
+      probe_spill_[p] = std::make_unique<SpillFile>(ec_->pool);
+    }
+    size_t freed = 0;
+    for (size_t i = 0; i < build_rows_.size(); ++i) {
+      if (build_partition_[i] != p || build_rows_[i].empty()) continue;
+      (void)build_spill_[p]->Append(build_rows_[i]);
+      freed += 48 * build_rows_[i].size() + 64;
+      build_rows_[i].clear();
+      build_keys_[i] = Value::Null();
+      build_partition_[i] = -1;
+    }
+    ec_->stats.hash_partitions_evicted++;
+    partition_rows_[p] = 0;
+    return freed;
+  }
+
+  void FlattenOuter(const RowContext& ctx, std::vector<Value>* flat) const {
+    for (const int q : outer_quants_) {
+      const std::vector<Value>& row = *ctx.rows[q];
+      for (const Value& v : row) flat->push_back(v);
+    }
+  }
+
+  void RestoreOuter(const std::vector<Value>& flat, RowContext* ctx) {
+    size_t pos = 0;
+    reload_rows_.assign(ec_->num_quantifiers + 1, {});
+    for (const int q : outer_quants_) {
+      const size_t arity = outer_arity_.at(q);
+      reload_rows_[q].assign(flat.begin() + pos, flat.begin() + pos + arity);
+      ctx->rows[q] = &reload_rows_[q];
+      pos += arity;
+    }
+  }
+
+  Status PrepareSpilledProcessing() {
+    // Record outer arities for reload (from the plan's table defs).
+    outer_arity_.clear();
+    RecordArities(plan_->children[0].get());
+    spill_partition_ = 0;
+    spill_loaded_ = false;
+    return Status::OK();
+  }
+
+  void RecordArities(const PlanNode* n) {
+    if (n->table != nullptr && n->quantifier >= 0) {
+      outer_arity_[n->quantifier] = n->table->columns.size();
+    }
+    for (const auto& c : n->children) RecordArities(c.get());
+  }
+
+  Result<bool> NextSpilled(RowContext* ctx) {
+    for (;;) {
+      while (match_pos_ < current_matches_.size()) {
+        const size_t idx = current_matches_[match_pos_++];
+        ctx->rows[build_quantifier_] = &spill_build_rows_[idx];
+        if (plan_->extra_condition != nullptr) {
+          HDB_ASSIGN_OR_RETURN(const bool ok,
+                               plan_->extra_condition->EvaluatesToTrue(*ctx));
+          if (!ok) continue;
+        }
+        return true;
+      }
+      // Advance within the current spilled partition's probe stream.
+      if (spill_loaded_) {
+        std::vector<Value> flat;
+        HDB_ASSIGN_OR_RETURN(const bool more, probe_reader_->Next(&flat));
+        if (more) {
+          RestoreOuter(flat, ctx);
+          HDB_ASSIGN_OR_RETURN(const Value key,
+                               plan_->outer_key->Evaluate(*ctx));
+          current_matches_.clear();
+          match_pos_ = 0;
+          if (key.is_null()) continue;
+          auto it = spill_table_.find(key.Hash());
+          if (it == spill_table_.end()) continue;
+          for (const size_t idx : it->second) {
+            if (spill_build_keys_[idx].Compare(key) == 0) {
+              current_matches_.push_back(idx);
+            }
+          }
+          continue;
+        }
+        spill_loaded_ = false;
+        ++spill_partition_;
+      }
+      // Load the next spilled partition's build side into memory.
+      while (spill_partition_ < kPartitions &&
+             (build_spill_[spill_partition_] == nullptr ||
+              !partition_spilled_[spill_partition_])) {
+        ++spill_partition_;
+      }
+      if (spill_partition_ >= kPartitions) return false;
+      spill_build_rows_.clear();
+      spill_build_keys_.clear();
+      spill_table_.clear();
+      RowContext key_ctx;
+      key_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+      key_ctx.params = ec_->params;
+      auto reader = build_spill_[spill_partition_]->Read();
+      std::vector<Value> row;
+      for (;;) {
+        HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&row));
+        if (!more) break;
+        spill_build_rows_.push_back(row);
+        key_ctx.rows[build_quantifier_] = &spill_build_rows_.back();
+        HDB_ASSIGN_OR_RETURN(const Value key,
+                             plan_->inner_key->Evaluate(key_ctx));
+        spill_build_keys_.push_back(key);
+        spill_table_[key.Hash()].push_back(spill_build_rows_.size() - 1);
+      }
+      probe_reader_.emplace(probe_spill_[spill_partition_]->Read());
+      spill_loaded_ = true;
+      current_matches_.clear();
+      match_pos_ = 0;
+    }
+  }
+
+  // --- Alternate index-NL strategy ---
+  Status OpenAlternate() {
+    const PlanNode* outer_scan = plan_->children[0].get();
+    alt_heap_ = ec_->table_heap(outer_scan->table->oid);
+    alt_tree_ = ec_->index(plan_->alt_index->oid);
+    if (alt_heap_ == nullptr || alt_tree_ == nullptr) {
+      return Status::Internal("alternate strategy: missing heap or index");
+    }
+    alt_outer_preds_ =
+        PrepareResidual(outer_scan->residual, outer_scan->quantifier);
+    alt_build_pos_ = 0;
+    alt_matches_.clear();
+    alt_match_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> NextAlternate(RowContext* ctx) {
+    const PlanNode* outer_scan = plan_->children[0].get();
+    const int outer_q = outer_scan->quantifier;
+    for (;;) {
+      while (alt_match_pos_ < alt_matches_.size()) {
+        const Rid rid = alt_matches_[alt_match_pos_++];
+        HDB_ASSIGN_OR_RETURN(const std::string bytes, alt_heap_->Get(rid));
+        HDB_ASSIGN_OR_RETURN(
+            alt_outer_row_,
+            table::DecodeRow(*outer_scan->table, bytes.data(), bytes.size()));
+        ctx->rows[outer_q] = &alt_outer_row_;
+        ctx->rows[build_quantifier_] = &build_rows_[alt_build_pos_ - 1];
+        HDB_ASSIGN_OR_RETURN(const bool pass,
+                             EvalResidual(ec_, outer_scan->table->oid,
+                                          alt_outer_preds_, *ctx));
+        if (!pass) continue;
+        // Re-verify the equi condition on values (index probes use hash
+        // codes) and any extra condition.
+        HDB_ASSIGN_OR_RETURN(const Value ov, plan_->outer_key->Evaluate(*ctx));
+        HDB_ASSIGN_OR_RETURN(const Value iv, plan_->inner_key->Evaluate(*ctx));
+        if (ov.is_null() || iv.is_null() || ov.Compare(iv) != 0) continue;
+        if (plan_->extra_condition != nullptr) {
+          HDB_ASSIGN_OR_RETURN(const bool ok,
+                               plan_->extra_condition->EvaluatesToTrue(*ctx));
+          if (!ok) continue;
+        }
+        return true;
+      }
+      // Next build row: probe the outer table's index with its key.
+      for (;;) {
+        if (alt_build_pos_ >= build_rows_.size()) return false;
+        if (!build_rows_[alt_build_pos_].empty()) break;
+        ++alt_build_pos_;
+      }
+      RowContext key_ctx;
+      key_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+      key_ctx.params = ec_->params;
+      key_ctx.rows[build_quantifier_] = &build_rows_[alt_build_pos_];
+      ++alt_build_pos_;
+      HDB_ASSIGN_OR_RETURN(const Value key,
+                           plan_->inner_key->Evaluate(key_ctx));
+      alt_matches_.clear();
+      alt_match_pos_ = 0;
+      if (key.is_null()) continue;
+      const double h = OrderPreservingHash(key);
+      HDB_RETURN_IF_ERROR(alt_tree_->ScanRange(h, true, h, true,
+                                               [this](double, Rid rid) {
+                                                 alt_matches_.push_back(rid);
+                                                 return true;
+                                               }));
+    }
+  }
+
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  ExecContext* ec_;
+
+  int build_quantifier_ = -1;
+  std::vector<int> outer_quants_;
+
+  // In-memory build state.
+  std::unordered_map<uint64_t, std::vector<size_t>> table_;
+  std::vector<std::vector<Value>> build_rows_;
+  std::vector<Value> build_keys_;
+  std::vector<int> build_partition_;
+  size_t partition_rows_[kPartitions] = {};
+  bool partition_spilled_[kPartitions] = {};
+  std::unique_ptr<SpillFile> build_spill_[kPartitions];
+  std::unique_ptr<SpillFile> probe_spill_[kPartitions];
+  uint64_t build_bytes_ = 0;
+
+  // Probe state.
+  std::vector<size_t> current_matches_;
+  size_t match_pos_ = 0;
+  bool outer_done_ = false;
+
+  // Spilled-partition processing state.
+  int spill_partition_ = 0;
+  bool spill_loaded_ = false;
+  std::map<int, size_t> outer_arity_;
+  std::vector<std::vector<Value>> reload_rows_;
+  std::vector<std::vector<Value>> spill_build_rows_;
+  std::vector<Value> spill_build_keys_;
+  std::unordered_map<uint64_t, std::vector<size_t>> spill_table_;
+  std::optional<SpillFile::Reader> probe_reader_;
+
+  // Alternate-strategy state.
+  bool alternate_ = false;
+  table::TableHeap* alt_heap_ = nullptr;
+  index::BTree* alt_tree_ = nullptr;
+  std::vector<CheckedPred> alt_outer_preds_;
+  size_t alt_build_pos_ = 0;
+  std::vector<Rid> alt_matches_;
+  size_t alt_match_pos_ = 0;
+  std::vector<Value> alt_outer_row_;
+};
+
+// ---------------------------------------------------------------------------
+// Hash group by with the low-memory fallback (paper §4.3)
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  int64_t count = 0;       // non-null inputs
+  int64_t count_star = 0;  // all rows
+  double sum = 0;
+  bool int_only = true;
+  bool has = false;
+  Value min, max;
+};
+
+void AggUpdate(AggState& s, optimizer::AggKind kind, const Value& v) {
+  s.count_star++;
+  if (kind == optimizer::AggKind::kCountStar) return;
+  if (v.is_null()) return;
+  s.count++;
+  if (v.type() == TypeId::kDouble) s.int_only = false;
+  const double d = v.type() == TypeId::kVarchar ? 0 : v.AsDouble();
+  s.sum += d;
+  if (!s.has || v.Compare(s.min) < 0) s.min = v;
+  if (!s.has || v.Compare(s.max) > 0) s.max = v;
+  s.has = true;
+}
+
+void AggMerge(AggState& into, const AggState& from) {
+  into.count += from.count;
+  into.count_star += from.count_star;
+  into.sum += from.sum;
+  into.int_only = into.int_only && from.int_only;
+  if (from.has) {
+    if (!into.has || from.min.Compare(into.min) < 0) into.min = from.min;
+    if (!into.has || from.max.Compare(into.max) > 0) into.max = from.max;
+    into.has = true;
+  }
+}
+
+Value AggFinalize(const AggState& s, optimizer::AggKind kind) {
+  switch (kind) {
+    case optimizer::AggKind::kCountStar:
+      return Value::Bigint(s.count_star);
+    case optimizer::AggKind::kCount:
+      return Value::Bigint(s.count);
+    case optimizer::AggKind::kSum:
+      if (s.count == 0) return Value::Null(TypeId::kDouble);
+      return s.int_only ? Value::Bigint(static_cast<int64_t>(s.sum))
+                        : Value::Double(s.sum);
+    case optimizer::AggKind::kMin:
+      return s.has ? s.min : Value::Null();
+    case optimizer::AggKind::kMax:
+      return s.has ? s.max : Value::Null();
+    case optimizer::AggKind::kAvg:
+      if (s.count == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(s.sum / static_cast<double>(s.count));
+  }
+  return Value::Null();
+}
+
+std::vector<Value> EncodeAggState(const AggState& s) {
+  return {Value::Bigint(s.count),          Value::Bigint(s.count_star),
+          Value::Double(s.sum),            Value::Boolean(s.int_only),
+          Value::Boolean(s.has),           s.has ? s.min : Value::Null(),
+          s.has ? s.max : Value::Null()};
+}
+
+AggState DecodeAggState(const std::vector<Value>& v, size_t at) {
+  AggState s;
+  s.count = v[at].AsInt();
+  s.count_star = v[at + 1].AsInt();
+  s.sum = v[at + 2].AsDouble();
+  s.int_only = v[at + 3].AsBool();
+  s.has = v[at + 4].AsBool();
+  s.min = v[at + 5];
+  s.max = v[at + 6];
+  return s;
+}
+constexpr size_t kAggStateArity = 7;
+
+class HashGroupByOp : public Operator, public MemoryConsumer {
+ public:
+  HashGroupByOp(const PlanNode* plan, std::unique_ptr<Operator> child,
+                ExecContext* ec)
+      : plan_(plan), child_(std::move(child)), ec_(ec) {}
+
+  Status Open() override {
+    if (ec_->memory != nullptr) {
+      plan_level = 2;
+      ec_->memory->RegisterConsumer(this);
+    }
+    HDB_RETURN_IF_ERROR(Aggregate());
+    pos_ = results_.begin();
+    return Status::OK();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    const size_t group_slot = ec_->num_quantifiers;
+    while (pos_ != results_.end()) {
+      current_ = pos_->second;
+      ++pos_;
+      ctx->rows[group_slot] = &current_;
+      if (plan_->having != nullptr) {
+        HDB_ASSIGN_OR_RETURN(const bool ok,
+                             plan_->having->EvaluatesToTrue(*ctx));
+        if (!ok) continue;
+      }
+      return true;
+    }
+    ctx->rows[group_slot] = nullptr;
+    return false;
+  }
+
+  void Close() override {
+    child_->Close();
+    if (ec_->memory != nullptr) {
+      ec_->memory->UnregisterConsumer(this);
+      ec_->memory->ReleaseBytes(bytes_held_);
+    }
+    bytes_held_ = 0;
+  }
+
+  // MemoryConsumer: the low-memory fallback — flush partially computed
+  // groups to an indexed temporary stream and start over (paper §4.3).
+  size_t ReleasePages(size_t target_pages) override {
+    if (groups_.empty()) return 0;
+    if (spill_ == nullptr) spill_ = std::make_unique<SpillFile>(ec_->pool);
+    for (auto& [key, entry] : groups_) {
+      std::vector<Value> tuple = entry.key_values;
+      for (const AggState& s : entry.states) {
+        const auto enc = EncodeAggState(s);
+        tuple.insert(tuple.end(), enc.begin(), enc.end());
+      }
+      (void)spill_->Append(tuple);
+    }
+    ec_->stats.group_by_used_fallback = true;
+    ec_->stats.group_by_spilled_groups += groups_.size();
+    const size_t freed = bytes_held_ / ec_->pool->page_bytes();
+    groups_.clear();
+    bytes_held_ = 0;
+    return freed;
+  }
+
+  size_t PagesHeld() const override {
+    return bytes_held_ / ec_->pool->page_bytes();
+  }
+
+ private:
+  struct GroupEntry {
+    std::vector<Value> key_values;
+    std::vector<AggState> states;
+  };
+
+  Status Aggregate() {
+    HDB_RETURN_IF_ERROR(child_->Open());
+    RowContext ctx;
+    ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    ctx.params = ec_->params;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(&ctx));
+      if (!more) break;
+      std::vector<Value> keys;
+      keys.reserve(plan_->group_keys.size());
+      for (const ExprPtr& k : plan_->group_keys) {
+        HDB_ASSIGN_OR_RETURN(Value v, k->Evaluate(ctx));
+        keys.push_back(std::move(v));
+      }
+      const std::string key = EncodeValues(keys);
+      auto [it, inserted] = groups_.try_emplace(key);
+      if (inserted) {
+        it->second.key_values = keys;
+        it->second.states.resize(plan_->aggregates.size());
+        const uint64_t bytes = key.size() + 64 * plan_->aggregates.size() + 64;
+        bytes_held_ += bytes;
+        if (ec_->memory != nullptr) {
+          // May trigger ReleasePages -> fallback spill, clearing groups_.
+          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
+          if (groups_.empty()) {
+            auto [it2, ins2] = groups_.try_emplace(key);
+            it2->second.key_values = keys;
+            it2->second.states.resize(plan_->aggregates.size());
+            it = it2;
+          }
+        }
+      }
+      for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
+        const auto& spec = plan_->aggregates[a];
+        Value v;
+        if (spec.arg != nullptr) {
+          HDB_ASSIGN_OR_RETURN(v, spec.arg->Evaluate(ctx));
+        }
+        AggUpdate(it->second.states[a], spec.kind, v);
+      }
+    }
+
+    // Finalize: merge the in-memory groups with any spilled partials.
+    results_.clear();
+    auto emit = [this](const std::string& key, const GroupEntry& e) {
+      auto [it, inserted] = results_.try_emplace(key);
+      if (inserted) {
+        it->second = e.key_values;
+        for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
+          it->second.push_back(
+              AggFinalize(e.states[a], plan_->aggregates[a].kind));
+        }
+      }
+    };
+    if (spill_ != nullptr) {
+      // Merge spilled partial groups first (keyed merge), then the
+      // residual in-memory groups.
+      std::map<std::string, GroupEntry> merged;
+      auto reader = spill_->Read();
+      std::vector<Value> tuple;
+      const size_t nkeys = plan_->group_keys.size();
+      for (;;) {
+        HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&tuple));
+        if (!more) break;
+        GroupEntry e;
+        e.key_values.assign(tuple.begin(), tuple.begin() + nkeys);
+        for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
+          e.states.push_back(
+              DecodeAggState(tuple, nkeys + a * kAggStateArity));
+        }
+        const std::string key = EncodeValues(e.key_values);
+        auto [it, inserted] = merged.try_emplace(key, e);
+        if (!inserted) {
+          for (size_t a = 0; a < e.states.size(); ++a) {
+            AggMerge(it->second.states[a], e.states[a]);
+          }
+        }
+      }
+      for (auto& [key, entry] : groups_) {
+        auto [it, inserted] = merged.try_emplace(key, entry);
+        if (!inserted) {
+          for (size_t a = 0; a < entry.states.size(); ++a) {
+            AggMerge(it->second.states[a], entry.states[a]);
+          }
+        }
+      }
+      for (const auto& [key, entry] : merged) emit(key, entry);
+      spill_.reset();
+    } else {
+      for (const auto& [key, entry] : groups_) emit(key, entry);
+    }
+    groups_.clear();
+
+    // Scalar aggregation (no GROUP BY) over zero rows still yields one row.
+    if (plan_->group_keys.empty() && results_.empty() &&
+        !plan_->aggregates.empty()) {
+      std::vector<Value> row;
+      for (const auto& spec : plan_->aggregates) {
+        row.push_back(AggFinalize(AggState{}, spec.kind));
+      }
+      results_[""] = row;
+    }
+    return Status::OK();
+  }
+
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+  ExecContext* ec_;
+
+  std::unordered_map<std::string, GroupEntry> groups_;
+  std::unique_ptr<SpillFile> spill_;
+  uint64_t bytes_held_ = 0;
+
+  std::map<std::string, std::vector<Value>> results_;
+  std::map<std::string, std::vector<Value>>::iterator pos_;
+  std::vector<Value> current_;
+};
+
+// ---------------------------------------------------------------------------
+// Sort (external merge when over quota)
+// ---------------------------------------------------------------------------
+
+class SortOp : public Operator, public MemoryConsumer {
+ public:
+  SortOp(const PlanNode* plan, std::unique_ptr<Operator> child,
+         ExecContext* ec)
+      : plan_(plan), child_(std::move(child)), ec_(ec) {
+    for (const auto& c : plan_->children) CollectBoundQuantifiers(c.get(), &quants_);
+  }
+
+  Status Open() override {
+    if (ec_->memory != nullptr) {
+      plan_level = 3;
+      ec_->memory->RegisterConsumer(this);
+    }
+    HDB_RETURN_IF_ERROR(Materialize());
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    if (pos_ >= rows_.size()) return false;
+    Bind(rows_[pos_++], ctx);
+    return true;
+  }
+
+  void Close() override {
+    child_->Close();
+    if (ec_->memory != nullptr) {
+      ec_->memory->UnregisterConsumer(this);
+      ec_->memory->ReleaseBytes(bytes_held_);
+    }
+    bytes_held_ = 0;
+  }
+
+  size_t ReleasePages(size_t target_pages) override {
+    // Spill the current run (sorted) to a run file.
+    if (pending_.empty()) return 0;
+    SortPending();
+    auto run = std::make_unique<SpillFile>(ec_->pool);
+    for (const auto& r : pending_) {
+      (void)run->Append(Flatten(r));
+    }
+    runs_.push_back(std::move(run));
+    ec_->stats.sort_runs_spilled++;
+    const size_t freed = bytes_held_ / ec_->pool->page_bytes();
+    pending_.clear();
+    bytes_held_ = 0;
+    return freed;
+  }
+
+  size_t PagesHeld() const override {
+    return bytes_held_ / ec_->pool->page_bytes();
+  }
+
+ private:
+  struct MatRow {
+    std::vector<std::vector<Value>> slots;  // indexed by quantifier
+    std::vector<Value> group_row;           // pseudo-quantifier content
+    bool has_group = false;
+    std::vector<Value> keys;                // precomputed sort keys
+  };
+
+  int Compare(const MatRow& a, const MatRow& b) const {
+    for (size_t i = 0; i < plan_->order.size(); ++i) {
+      const int c = a.keys[i].Compare(b.keys[i]);
+      if (c != 0) return plan_->order[i].ascending ? c : -c;
+    }
+    return 0;
+  }
+
+  void SortPending() {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [this](const MatRow& a, const MatRow& b) {
+                       return Compare(a, b) < 0;
+                     });
+  }
+
+  std::vector<Value> Flatten(const MatRow& r) const {
+    // [keys..., has_group, group arity, group..., per quant: arity, vals...]
+    std::vector<Value> flat = r.keys;
+    flat.push_back(Value::Boolean(r.has_group));
+    flat.push_back(Value::Bigint(static_cast<int64_t>(r.group_row.size())));
+    for (const Value& v : r.group_row) flat.push_back(v);
+    for (const int q : quants_) {
+      const auto& slot = r.slots[q];
+      flat.push_back(Value::Bigint(static_cast<int64_t>(slot.size())));
+      for (const Value& v : slot) flat.push_back(v);
+    }
+    return flat;
+  }
+
+  MatRow Unflatten(const std::vector<Value>& flat) const {
+    MatRow r;
+    size_t pos = 0;
+    r.keys.assign(flat.begin(), flat.begin() + plan_->order.size());
+    pos = plan_->order.size();
+    r.has_group = flat[pos++].AsBool();
+    const auto garity = static_cast<size_t>(flat[pos++].AsInt());
+    r.group_row.assign(flat.begin() + pos, flat.begin() + pos + garity);
+    pos += garity;
+    r.slots.resize(ec_->num_quantifiers + 1);
+    for (const int q : quants_) {
+      const auto arity = static_cast<size_t>(flat[pos++].AsInt());
+      r.slots[q].assign(flat.begin() + pos, flat.begin() + pos + arity);
+      pos += arity;
+    }
+    return r;
+  }
+
+  void Bind(const MatRow& r, RowContext* ctx) {
+    current_ = r;
+    for (size_t q = 0; q < ctx->rows.size(); ++q) ctx->rows[q] = nullptr;
+    for (const int q : quants_) ctx->rows[q] = &current_.slots[q];
+    if (current_.has_group) {
+      ctx->rows[ec_->num_quantifiers] = &current_.group_row;
+    }
+  }
+
+  Status Materialize() {
+    HDB_RETURN_IF_ERROR(child_->Open());
+    RowContext ctx;
+    ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    ctx.params = ec_->params;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(&ctx));
+      if (!more) break;
+      MatRow r;
+      r.slots.resize(ec_->num_quantifiers + 1);
+      for (const int q : quants_) {
+        if (ctx.rows[q] != nullptr) r.slots[q] = *ctx.rows[q];
+      }
+      if (ctx.rows[ec_->num_quantifiers] != nullptr) {
+        r.group_row = *ctx.rows[ec_->num_quantifiers];
+        r.has_group = true;
+      }
+      r.keys.reserve(plan_->order.size());
+      for (const auto& o : plan_->order) {
+        HDB_ASSIGN_OR_RETURN(Value v, o.expr->Evaluate(ctx));
+        r.keys.push_back(std::move(v));
+      }
+      uint64_t bytes = 96;
+      for (const auto& s : r.slots) bytes += 48 * s.size();
+      bytes_held_ += bytes;
+      pending_.push_back(std::move(r));
+      if (ec_->memory != nullptr) {
+        HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
+      }
+    }
+
+    if (runs_.empty()) {
+      SortPending();
+      rows_ = std::move(pending_);
+      pending_.clear();
+      return Status::OK();
+    }
+    // External merge: the in-memory remainder becomes a final run, then
+    // all runs (each sorted) merge.
+    if (!pending_.empty()) {
+      ReleasePages(SIZE_MAX / 2);  // spill the remainder as a run
+    }
+    struct Cursor {
+      SpillFile::Reader reader;
+      MatRow row;
+      bool done = false;
+    };
+    std::vector<Cursor> cursors;
+    for (const auto& run : runs_) {
+      Cursor c{run->Read(), {}, false};
+      std::vector<Value> flat;
+      HDB_ASSIGN_OR_RETURN(const bool more, c.reader.Next(&flat));
+      if (!more) {
+        c.done = true;
+      } else {
+        c.row = Unflatten(flat);
+      }
+      cursors.push_back(std::move(c));
+    }
+    rows_.clear();
+    for (;;) {
+      int best = -1;
+      for (size_t i = 0; i < cursors.size(); ++i) {
+        if (cursors[i].done) continue;
+        if (best < 0 || Compare(cursors[i].row, cursors[best].row) < 0) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      rows_.push_back(cursors[best].row);
+      std::vector<Value> flat;
+      HDB_ASSIGN_OR_RETURN(const bool more, cursors[best].reader.Next(&flat));
+      if (!more) {
+        cursors[best].done = true;
+      } else {
+        cursors[best].row = Unflatten(flat);
+      }
+    }
+    runs_.clear();
+    return Status::OK();
+  }
+
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> child_;
+  ExecContext* ec_;
+  std::vector<int> quants_;
+
+  std::vector<MatRow> pending_;
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+  std::vector<MatRow> rows_;
+  size_t pos_ = 0;
+  MatRow current_;
+  uint64_t bytes_held_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Operator>> BuildExecutor(const PlanNode* plan,
+                                                ExecContext* ctx) {
+  switch (plan->kind) {
+    case PlanKind::kSeqScan:
+      return std::unique_ptr<Operator>(new SeqScanOp(plan, ctx));
+    case PlanKind::kIndexScan:
+      if (plan->index_is_virtual) {
+        return Status::Internal("virtual index in an executable plan");
+      }
+      return std::unique_ptr<Operator>(new IndexScanOp(plan, ctx));
+    case PlanKind::kFilter: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(new FilterOp(plan, std::move(child)));
+    }
+    case PlanKind::kProject: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(new ProjectOp(plan, std::move(child)));
+    }
+    case PlanKind::kLimit: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(new LimitOp(plan, std::move(child)));
+    }
+    case PlanKind::kHashDistinct: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new HashDistinctOp(plan, std::move(child), ctx));
+    }
+    case PlanKind::kNLJoin: {
+      HDB_ASSIGN_OR_RETURN(auto outer,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      HDB_ASSIGN_OR_RETURN(auto inner,
+                           BuildExecutor(plan->children[1].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new NLJoinOp(plan, std::move(outer), std::move(inner)));
+    }
+    case PlanKind::kIndexNLJoin: {
+      if (plan->index_is_virtual) {
+        return Status::Internal("virtual index in an executable plan");
+      }
+      HDB_ASSIGN_OR_RETURN(auto outer,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new IndexNLJoinOp(plan, std::move(outer), ctx));
+    }
+    case PlanKind::kHashJoin: {
+      HDB_ASSIGN_OR_RETURN(auto outer,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      HDB_ASSIGN_OR_RETURN(auto inner,
+                           BuildExecutor(plan->children[1].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new HashJoinOp(plan, std::move(outer), std::move(inner), ctx));
+    }
+    case PlanKind::kHashGroupBy: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new HashGroupByOp(plan, std::move(child), ctx));
+    }
+    case PlanKind::kSort: {
+      HDB_ASSIGN_OR_RETURN(auto child,
+                           BuildExecutor(plan->children[0].get(), ctx));
+      return std::unique_ptr<Operator>(
+          new SortOp(plan, std::move(child), ctx));
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+Result<std::vector<std::vector<Value>>> ExecuteToRows(const PlanNode* plan,
+                                                      ExecContext* ctx) {
+  HDB_ASSIGN_OR_RETURN(auto op, BuildExecutor(plan, ctx));
+  RowContext rc;
+  rc.rows.assign(ctx->num_quantifiers + 1, nullptr);
+  rc.params = ctx->params;
+  HDB_RETURN_IF_ERROR(op->Open());
+  std::vector<std::vector<Value>> out;
+  const bool projected = op->ProducesOutput();
+  for (;;) {
+    HDB_ASSIGN_OR_RETURN(const bool more, op->Next(&rc));
+    if (!more) break;
+    ctx->stats.rows_output++;
+    if (projected) {
+      out.push_back(rc.output);
+    } else {
+      std::vector<Value> flat;
+      for (const auto* slot : rc.rows) {
+        if (slot != nullptr) {
+          flat.insert(flat.end(), slot->begin(), slot->end());
+        }
+      }
+      out.push_back(std::move(flat));
+    }
+  }
+  op->Close();
+  return out;
+}
+
+}  // namespace hdb::exec

@@ -1,0 +1,71 @@
+#ifndef HDB_EXEC_EXECUTOR_H_
+#define HDB_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/memory_governor.h"
+#include "index/btree.h"
+#include "optimizer/expr.h"
+#include "optimizer/plan.h"
+#include "stats/feedback.h"
+#include "table/table_heap.h"
+
+namespace hdb::exec {
+
+/// Counters the adaptive machinery exposes for tests and benches.
+struct RuntimeStats {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_output = 0;
+  uint64_t hash_partitions_evicted = 0;
+  uint64_t hash_spilled_tuples = 0;
+  bool hash_join_used_alternate = false;
+  bool group_by_used_fallback = false;
+  uint64_t group_by_spilled_groups = 0;
+  uint64_t sort_runs_spilled = 0;
+};
+
+/// Everything an executor needs from the engine.
+struct ExecContext {
+  storage::BufferPool* pool = nullptr;
+  /// Table heap by table oid; index by index oid.
+  std::function<table::TableHeap*(uint32_t)> table_heap;
+  std::function<index::BTree*(uint32_t)> index;
+  /// Optional: execution-feedback statistics collection (paper §3).
+  stats::FeedbackCollector* feedback = nullptr;
+  /// Optional: memory governor context (paper §4.3).
+  TaskMemoryContext* memory = nullptr;
+  /// Quantifier count of the query (sizes RowContext).
+  size_t num_quantifiers = 0;
+  /// Procedure parameter bindings, propagated into every RowContext.
+  const std::vector<std::pair<std::string, Value>>* params = nullptr;
+  RuntimeStats stats;
+};
+
+/// Pull-based physical operator. Next() binds quantifier slots in the
+/// shared RowContext (and, for Project and above, fills ctx->output).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(optimizer::RowContext* ctx) = 0;
+  virtual void Close() = 0;
+  /// True when this operator (or its pass-through chain) fills
+  /// ctx->output rather than just quantifier slots.
+  virtual bool ProducesOutput() const { return false; }
+};
+
+/// Compiles a physical plan into an operator tree.
+Result<std::unique_ptr<Operator>> BuildExecutor(
+    const optimizer::PlanNode* plan, ExecContext* ctx);
+
+/// Runs the plan to completion and returns the projected rows (requires a
+/// Project somewhere at the root chain) or flattened quantifier rows.
+Result<std::vector<std::vector<Value>>> ExecuteToRows(
+    const optimizer::PlanNode* plan, ExecContext* ctx);
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_EXECUTOR_H_

@@ -1,0 +1,116 @@
+#include "exec/memory_governor.h"
+
+#include <algorithm>
+
+namespace hdb::exec {
+
+MemoryGovernor::MemoryGovernor(storage::BufferPool* pool,
+                               MemoryGovernorOptions options)
+    : pool_(pool), options_(options), mpl_(options.multiprogramming_level) {}
+
+std::unique_ptr<TaskMemoryContext> MemoryGovernor::BeginTask() {
+  return std::make_unique<TaskMemoryContext>(this);
+}
+
+uint64_t MemoryGovernor::HardLimitPages() const {
+  const uint64_t active =
+      std::max<uint64_t>(1, active_.load(std::memory_order_relaxed));
+  return static_cast<uint64_t>(options_.hard_limit_factor *
+                               static_cast<double>(options_.max_pool_pages)) /
+         active;
+}
+
+uint64_t MemoryGovernor::SoftLimitPages() const {
+  const int mpl = std::max(1, mpl_.load(std::memory_order_relaxed));
+  return std::max<uint64_t>(1, pool_->CurrentFrames() /
+                                   static_cast<uint64_t>(mpl));
+}
+
+uint64_t MemoryGovernor::PredictedSoftLimitPages() const {
+  return SoftLimitPages();
+}
+
+void MemoryGovernor::SetMultiprogrammingLevel(int mpl) {
+  mpl_.store(std::max(1, mpl), std::memory_order_relaxed);
+}
+
+int MemoryGovernor::multiprogramming_level() const {
+  return mpl_.load(std::memory_order_relaxed);
+}
+
+TaskMemoryContext::TaskMemoryContext(MemoryGovernor* governor)
+    : governor_(governor) {
+  governor_->active_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TaskMemoryContext::~TaskMemoryContext() {
+  governor_->active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t TaskMemoryContext::pages_charged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (bytes_ + governor_->pool()->page_bytes() - 1) /
+         governor_->pool()->page_bytes();
+}
+
+void TaskMemoryContext::ReclaimLocked() {
+  const uint64_t page_bytes = governor_->pool()->page_bytes();
+  const uint64_t soft = governor_->SoftLimitPages();
+  uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
+  if (pages <= soft) return;
+  ++reclamations_;
+  // Highest consumer first: prevents an input operator from being starved
+  // by its consumer while letting each proceed with as much memory as
+  // possible (paper §4.3).
+  std::vector<MemoryConsumer*> order = consumers_;
+  std::sort(order.begin(), order.end(),
+            [](const MemoryConsumer* a, const MemoryConsumer* b) {
+              return a->plan_level > b->plan_level;
+            });
+  for (MemoryConsumer* c : order) {
+    pages = (bytes_ + page_bytes - 1) / page_bytes;
+    if (pages <= soft) break;
+    const size_t freed = c->ReleasePages(pages - soft);
+    reclaimed_pages_ += freed;
+    const uint64_t freed_bytes = static_cast<uint64_t>(freed) * page_bytes;
+    bytes_ = bytes_ > freed_bytes ? bytes_ - freed_bytes : 0;
+  }
+}
+
+Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t page_bytes = governor_->pool()->page_bytes();
+  bytes_ += bytes;
+  const uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
+  if (pages > governor_->HardLimitPages()) {
+    // Attempt reclamation first; the hard limit only kills when the task
+    // genuinely cannot fit.
+    ReclaimLocked();
+    const uint64_t after = (bytes_ + page_bytes - 1) / page_bytes;
+    if (after > governor_->HardLimitPages()) {
+      bytes_ -= std::min(bytes_, bytes);
+      return Status::ResourceExhausted(
+          "statement exceeded its hard memory limit (Eq. 4)");
+    }
+    return Status::OK();
+  }
+  if (pages > governor_->SoftLimitPages()) ReclaimLocked();
+  return Status::OK();
+}
+
+void TaskMemoryContext::ReleaseBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_ = bytes_ > bytes ? bytes_ - bytes : 0;
+}
+
+void TaskMemoryContext::RegisterConsumer(MemoryConsumer* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumers_.push_back(c);
+}
+
+void TaskMemoryContext::UnregisterConsumer(MemoryConsumer* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(consumers_, c);
+}
+
+}  // namespace hdb::exec

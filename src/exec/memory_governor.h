@@ -1,0 +1,132 @@
+#ifndef HDB_EXEC_MEMORY_GOVERNOR_H_
+#define HDB_EXEC_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::exec {
+
+struct MemoryGovernorOptions {
+  /// Numerator factor of the hard limit, Eq. (4):
+  ///   hard = hard_limit_factor * max_pool_pages / active_requests.
+  /// The paper's PDF renders the fraction ambiguously ("( 43 ...")); we
+  /// read it as 4/3 — a kill limit above the soft limit — and keep it
+  /// configurable (see DESIGN.md substitution #6).
+  double hard_limit_factor = 4.0 / 3.0;
+  /// Server multiprogramming level, the denominator of Eq. (5).
+  int multiprogramming_level = 8;
+  /// Maximum buffer pool size in pages (the pool governor's hard upper
+  /// bound); used by Eq. (4).
+  uint64_t max_pool_pages = 1 << 18;
+};
+
+class TaskMemoryContext;
+
+/// A memory-intensive operator (hash join, hash group by, hash distinct,
+/// sort) registers one of these with its task so the governor can demand
+/// memory back, starting at the *highest* consumer in the plan and moving
+/// down — producers must not be starved by consumers (paper §4.3).
+class MemoryConsumer {
+ public:
+  virtual ~MemoryConsumer() = default;
+
+  /// Frees up to `target_pages`, e.g. by evicting the largest hash-join
+  /// partition; returns pages actually released.
+  virtual size_t ReleasePages(size_t target_pages) = 0;
+
+  virtual size_t PagesHeld() const = 0;
+
+  /// Height in the execution tree (root = large). Reclamation order.
+  int plan_level = 0;
+};
+
+/// Server-wide memory governor (paper §4.3). Tracks active requests and
+/// hands each task a TaskMemoryContext enforcing:
+///  * hard limit, Eq. (4): exceeding it terminates the statement with an
+///    error (Status::ResourceExhausted);
+///  * soft limit, Eq. (5) = current pool size / multiprogramming level:
+///    crossing it triggers top-down reclamation from registered consumers.
+class MemoryGovernor {
+ public:
+  MemoryGovernor(storage::BufferPool* pool,
+                 MemoryGovernorOptions options = {});
+
+  /// Begins a request; the context's destructor ends it.
+  std::unique_ptr<TaskMemoryContext> BeginTask();
+
+  uint64_t active_requests() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Eq. (4), in pages.
+  uint64_t HardLimitPages() const;
+  /// Eq. (5), in pages.
+  uint64_t SoftLimitPages() const;
+  /// What the optimizer should assume at plan time (paper: "the query
+  /// optimizer uses the predicted soft limit to estimate execution
+  /// costs"). One more request (this one) will be active at run time.
+  uint64_t PredictedSoftLimitPages() const;
+
+  void SetMultiprogrammingLevel(int mpl);
+  int multiprogramming_level() const;
+
+  storage::BufferPool* pool() { return pool_; }
+  const MemoryGovernorOptions& options() const { return options_; }
+
+ private:
+  friend class TaskMemoryContext;
+
+  storage::BufferPool* pool_;
+  MemoryGovernorOptions options_;
+  std::atomic<uint64_t> active_{0};
+  std::atomic<int> mpl_;
+};
+
+/// Per-request memory accounting and reclamation.
+class TaskMemoryContext {
+ public:
+  explicit TaskMemoryContext(MemoryGovernor* governor);
+  ~TaskMemoryContext();
+
+  TaskMemoryContext(const TaskMemoryContext&) = delete;
+  TaskMemoryContext& operator=(const TaskMemoryContext&) = delete;
+
+  /// Accounts `bytes` of operator memory. Returns kResourceExhausted when
+  /// the hard limit would be exceeded even after reclaiming everything
+  /// reclaimable (the statement must terminate, Eq. (4)).
+  Status ChargeBytes(uint64_t bytes);
+  void ReleaseBytes(uint64_t bytes);
+
+  void RegisterConsumer(MemoryConsumer* c);
+  void UnregisterConsumer(MemoryConsumer* c);
+
+  uint64_t pages_charged() const;
+  uint64_t bytes_charged() const { return bytes_; }
+  uint64_t soft_limit_pages() const { return governor_->SoftLimitPages(); }
+  uint64_t hard_limit_pages() const { return governor_->HardLimitPages(); }
+
+  uint64_t reclamations() const { return reclamations_; }
+  uint64_t reclaimed_pages() const { return reclaimed_pages_; }
+
+ private:
+  /// Asks consumers, highest plan level first, to release until the task
+  /// is back under the soft limit.
+  void ReclaimLocked();
+
+  MemoryGovernor* governor_;
+  mutable std::mutex mu_;
+  uint64_t bytes_ = 0;
+  std::vector<MemoryConsumer*> consumers_;
+  uint64_t reclamations_ = 0;
+  uint64_t reclaimed_pages_ = 0;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_MEMORY_GOVERNOR_H_

@@ -1,0 +1,44 @@
+#include "exec/mpl_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdb::exec {
+
+MplController::MplController(MemoryGovernor* governor,
+                             os::VirtualClock* clock, Options options)
+    : governor_(governor), clock_(clock), options_(options),
+      interval_start_(clock->NowMicros()) {}
+
+void MplController::OnRequestComplete() { ++completed_in_interval_; }
+
+bool MplController::MaybeAdapt() {
+  const int64_t now = clock_->NowMicros();
+  if (now - interval_start_ < options_.interval_micros) return false;
+  const double seconds =
+      static_cast<double>(now - interval_start_) / 1e6;
+  const double throughput =
+      seconds > 0 ? static_cast<double>(completed_in_interval_) / seconds : 0;
+
+  int mpl = governor_->multiprogramming_level();
+  if (last_throughput_ >= 0) {
+    const double base = std::max(last_throughput_, 1e-9);
+    const double change = (throughput - last_throughput_) / base;
+    if (change < -options_.dead_band) {
+      direction_ = -direction_;  // got worse: reverse course
+    }
+    // Improved or flat: keep climbing in the current direction.
+    if (std::abs(change) > options_.dead_band || last_throughput_ == 0) {
+      mpl = std::clamp(mpl + direction_ * options_.step, options_.min_mpl,
+                       options_.max_mpl);
+      governor_->SetMultiprogrammingLevel(mpl);
+    }
+  }
+  history_.push_back(Sample{now, mpl, throughput, direction_});
+  last_throughput_ = throughput;
+  completed_in_interval_ = 0;
+  interval_start_ = now;
+  return true;
+}
+
+}  // namespace hdb::exec

@@ -1,0 +1,66 @@
+#ifndef HDB_EXEC_MPL_CONTROLLER_H_
+#define HDB_EXEC_MPL_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/memory_governor.h"
+#include "os/virtual_clock.h"
+
+namespace hdb::exec {
+
+struct MplControllerOptions {
+  int min_mpl = 2;
+  int max_mpl = 64;
+  int step = 2;
+  int64_t interval_micros = 1000000;
+  /// Relative throughput change below this is noise: hold position.
+  double dead_band = 0.02;
+};
+
+/// Adaptive multiprogramming-level controller — one of the paper's §6
+/// future-work items ("dynamically changing the server's multiprogramming
+/// level in response to database workload"), implemented as an extension.
+///
+/// Hill-climbing on throughput: each control interval compares completed
+/// requests per second against the previous interval; if throughput
+/// improved, keep moving the MPL in the same direction, otherwise reverse.
+/// The MPL feeds straight into the memory governor's Eq. (5) denominator.
+class MplController {
+ public:
+  using Options = MplControllerOptions;
+
+  struct Sample {
+    int64_t at_micros;
+    int mpl;
+    double throughput;  // completed requests per second
+    int direction;
+  };
+
+  MplController(MemoryGovernor* governor, os::VirtualClock* clock,
+                Options options = {});
+
+  /// Report one completed request.
+  void OnRequestComplete();
+
+  /// Runs one control step if the interval has elapsed. Returns true when
+  /// an adaptation decision was made.
+  bool MaybeAdapt();
+
+  const std::vector<Sample>& history() const { return history_; }
+
+ private:
+  MemoryGovernor* governor_;
+  os::VirtualClock* clock_;
+  Options options_;
+
+  int64_t interval_start_;
+  uint64_t completed_in_interval_ = 0;
+  double last_throughput_ = -1;
+  int direction_ = +1;
+  std::vector<Sample> history_;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_MPL_CONTROLLER_H_

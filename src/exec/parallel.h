@@ -1,0 +1,111 @@
+#ifndef HDB_EXEC_PARALLEL_H_
+#define HDB_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "catalog/schema.h"
+#include "table/table_heap.h"
+
+namespace hdb::exec {
+
+/// Adaptive intra-query parallelism (paper §4.4, after Manegold et al.):
+/// a pipeline of hash joins driven by one probe scan. Worker threads fetch
+/// rows first-come-first-served from the single scan feeding the pipeline
+/// — preserving the sequential disk pattern — and run each row through
+/// every hash table. The build phase is parallelized the same way:
+/// workers build per-worker hash tables from FCFS-dispatched build rows,
+/// merged into one table per join before probing. Bloom filters and a
+/// partial hash group by ride the pipeline per the paper's extensions.
+///
+/// The worker count can be *reduced while the query runs*
+/// (ReduceWorkers); with one worker the total cost is only slightly worse
+/// than a serial plan — the adaptivity property the paper highlights.
+class ParallelHashPipeline {
+ public:
+  struct JoinSpec {
+    const catalog::TableDef* build_table = nullptr;
+    int build_key_column = 0;
+    /// Column of the probe table joined against build_key_column.
+    int probe_key_column = 0;
+    bool use_bloom_filter = true;
+  };
+
+  struct Spec {
+    const catalog::TableDef* probe_table = nullptr;
+    std::vector<JoinSpec> joins;
+    /// Optional grouping on a probe-table column; each worker aggregates
+    /// partially and partials merge at the end. -1 = global count only.
+    int group_by_column = -1;
+  };
+
+  struct Stats {
+    uint64_t probe_rows = 0;
+    uint64_t output_rows = 0;  // probe rows surviving every join
+    uint64_t bloom_rejects = 0;
+    int workers_started = 0;
+    int workers_at_finish = 0;
+    double build_wall_micros = 0;
+    double probe_wall_micros = 0;
+    std::map<std::string, int64_t> groups;  // group key -> count
+  };
+
+  using HeapProvider = std::function<table::TableHeap*(uint32_t)>;
+
+  ParallelHashPipeline(HeapProvider heaps, Spec spec, int num_workers);
+
+  /// Runs build then probe; blocking.
+  Result<Stats> Run();
+
+  /// Dynamically lowers the worker target; takes effect at the next batch
+  /// boundary. Safe to call from another thread while Run() executes.
+  void ReduceWorkers(int target);
+
+ private:
+  struct HashTable {
+    // key hash -> indexes into keys/rows
+    std::vector<std::vector<uint32_t>> buckets;
+    std::vector<Value> keys;
+    std::vector<uint64_t> bloom;
+    uint64_t bloom_mask = 0;
+    bool use_bloom = false;
+
+    void Reserve(size_t buckets_pow2);
+    void Insert(const Value& key);
+    bool MaybeContains(uint64_t h) const;
+    bool Contains(const Value& key, uint64_t h) const;
+  };
+
+  /// FCFS batch dispenser over a table scan (the "single scan feeding the
+  /// pipeline"); a short critical section hands out row batches in scan
+  /// order so disk access stays sequential.
+  class RowDispenser {
+   public:
+    RowDispenser(table::TableHeap* heap, size_t batch_rows);
+    /// Fills `batch`; returns false at end of table.
+    bool NextBatch(std::vector<std::string>* batch);
+
+   private:
+    std::mutex mu_;
+    table::TableHeap::Iterator it_;
+    size_t batch_rows_;
+    bool done_ = false;
+  };
+
+  HeapProvider heaps_;
+  Spec spec_;
+  int num_workers_;
+  std::atomic<int> target_workers_;
+  std::vector<HashTable> tables_;
+  Stats stats_;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_PARALLEL_H_

@@ -1,0 +1,198 @@
+#include "exec/spill.h"
+
+#include <cstring>
+
+namespace hdb::exec {
+
+namespace {
+// Type tags for the schema-free codec.
+enum Tag : uint8_t {
+  kTagNull = 0,
+  kTagBool,
+  kTagInt,
+  kTagBigint,
+  kTagDouble,
+  kTagString,
+  kTagDate,
+  kTagTimestamp,
+};
+}  // namespace
+
+std::string EncodeValues(const std::vector<Value>& values) {
+  std::string out;
+  const auto n = static_cast<uint16_t>(values.size());
+  out.append(reinterpret_cast<const char*>(&n), 2);
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      out.push_back(static_cast<char>(kTagNull));
+      continue;
+    }
+    switch (v.type()) {
+      case TypeId::kBoolean:
+        out.push_back(static_cast<char>(kTagBool));
+        out.push_back(v.AsBool() ? 1 : 0);
+        break;
+      case TypeId::kInt:
+      case TypeId::kBigint:
+      case TypeId::kDate:
+      case TypeId::kTimestamp: {
+        const Tag tag = v.type() == TypeId::kInt        ? kTagInt
+                        : v.type() == TypeId::kBigint   ? kTagBigint
+                        : v.type() == TypeId::kDate     ? kTagDate
+                                                        : kTagTimestamp;
+        out.push_back(static_cast<char>(tag));
+        const int64_t x = v.AsInt();
+        out.append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        out.push_back(static_cast<char>(kTagDouble));
+        const double d = v.AsDouble();
+        out.append(reinterpret_cast<const char*>(&d), 8);
+        break;
+      }
+      case TypeId::kVarchar: {
+        out.push_back(static_cast<char>(kTagString));
+        const auto len = static_cast<uint32_t>(v.AsString().size());
+        out.append(reinterpret_cast<const char*>(&len), 4);
+        out.append(v.AsString());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Value>> DecodeValues(const char* data, size_t len,
+                                        size_t* consumed) {
+  if (len < 2) return Status::Internal("spill tuple underflow");
+  uint16_t n = 0;
+  std::memcpy(&n, data, 2);
+  size_t pos = 2;
+  std::vector<Value> out;
+  out.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    if (pos >= len) return Status::Internal("spill tuple underflow");
+    const Tag tag = static_cast<Tag>(data[pos++]);
+    switch (tag) {
+      case kTagNull:
+        out.push_back(Value::Null());
+        break;
+      case kTagBool:
+        if (pos + 1 > len) return Status::Internal("spill underflow");
+        out.push_back(Value::Boolean(data[pos] != 0));
+        pos += 1;
+        break;
+      case kTagInt:
+      case kTagBigint:
+      case kTagDate:
+      case kTagTimestamp: {
+        if (pos + 8 > len) return Status::Internal("spill underflow");
+        int64_t x = 0;
+        std::memcpy(&x, data + pos, 8);
+        pos += 8;
+        switch (tag) {
+          case kTagInt: out.push_back(Value::Int(static_cast<int32_t>(x))); break;
+          case kTagBigint: out.push_back(Value::Bigint(x)); break;
+          case kTagDate: out.push_back(Value::Date(x)); break;
+          default: out.push_back(Value::Timestamp(x)); break;
+        }
+        break;
+      }
+      case kTagDouble: {
+        if (pos + 8 > len) return Status::Internal("spill underflow");
+        double d = 0;
+        std::memcpy(&d, data + pos, 8);
+        pos += 8;
+        out.push_back(Value::Double(d));
+        break;
+      }
+      case kTagString: {
+        if (pos + 4 > len) return Status::Internal("spill underflow");
+        uint32_t slen = 0;
+        std::memcpy(&slen, data + pos, 4);
+        pos += 4;
+        if (pos + slen > len) return Status::Internal("spill underflow");
+        out.push_back(Value::String(std::string(data + pos, slen)));
+        pos += slen;
+        break;
+      }
+      default:
+        return Status::Internal("bad spill tag");
+    }
+  }
+  *consumed = pos;
+  return out;
+}
+
+SpillFile::SpillFile(storage::BufferPool* pool) : pool_(pool) {}
+
+SpillFile::~SpillFile() { Clear(); }
+
+void SpillFile::Clear() {
+  for (const storage::PageId id : pages_) {
+    pool_->DiscardPage(
+        storage::SpacePageId{storage::SpaceId::kTemp, id});
+  }
+  pages_.clear();
+  used_.clear();
+  tuples_ = 0;
+}
+
+Status SpillFile::Append(const std::vector<Value>& tuple) {
+  const std::string bytes = EncodeValues(tuple);
+  // Record: [u32 len][payload], never spanning pages.
+  const uint32_t need = 4 + static_cast<uint32_t>(bytes.size());
+  const uint32_t capacity = pool_->page_bytes();
+  if (need > capacity) {
+    return Status::InvalidArgument("spilled tuple larger than a page");
+  }
+  if (pages_.empty() || used_.back() + need > capacity) {
+    storage::PageId id = storage::kInvalidPageId;
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        pool_->NewPage(storage::SpaceId::kTemp,
+                       storage::PageType::kTempTable, /*owner=*/0, &id));
+    h.MarkDirty();
+    pages_.push_back(id);
+    used_.push_back(0);
+  }
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->FetchPage(
+          storage::SpacePageId{storage::SpaceId::kTemp, pages_.back()},
+          storage::PageType::kTempTable, /*owner=*/0));
+  const auto len = static_cast<uint32_t>(bytes.size());
+  std::memcpy(h.data() + used_.back(), &len, 4);
+  std::memcpy(h.data() + used_.back() + 4, bytes.data(), bytes.size());
+  h.MarkDirty();
+  used_.back() += need;
+  ++tuples_;
+  return Status::OK();
+}
+
+Result<bool> SpillFile::Reader::Next(std::vector<Value>* tuple) {
+  while (page_index_ < file_->pages_.size()) {
+    if (offset_ + 4 > file_->used_[page_index_]) {
+      ++page_index_;
+      offset_ = 0;
+      continue;
+    }
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        file_->pool_->FetchPage(
+            storage::SpacePageId{storage::SpaceId::kTemp,
+                                 file_->pages_[page_index_]},
+            storage::PageType::kTempTable, /*owner=*/0));
+    uint32_t len = 0;
+    std::memcpy(&len, h.data() + offset_, 4);
+    size_t consumed = 0;
+    HDB_ASSIGN_OR_RETURN(*tuple,
+                         DecodeValues(h.data() + offset_ + 4, len, &consumed));
+    offset_ += 4 + len;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace hdb::exec

@@ -1,0 +1,68 @@
+#ifndef HDB_EXEC_SPILL_H_
+#define HDB_EXEC_SPILL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::exec {
+
+/// Schema-free value-tuple codec for spilled intermediate results.
+std::string EncodeValues(const std::vector<Value>& values);
+Result<std::vector<Value>> DecodeValues(const char* data, size_t len,
+                                        size_t* consumed);
+
+/// An append-only stream of value tuples in temporary-space pages
+/// (PageType::kTempTable). This is the sink for every operator spill:
+/// evicted hash-join partitions, hash-group-by partial groups, and
+/// external-sort runs. Pages are discarded to the buffer pool's lookaside
+/// queue on destruction — exactly the "immediately reusable" page class of
+/// paper §2.2.
+class SpillFile {
+ public:
+  explicit SpillFile(storage::BufferPool* pool);
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  Status Append(const std::vector<Value>& tuple);
+
+  /// Sequential reader over all appended tuples.
+  class Reader {
+   public:
+    /// Returns false at end of stream.
+    Result<bool> Next(std::vector<Value>* tuple);
+
+   private:
+    friend class SpillFile;
+    explicit Reader(const SpillFile* file) : file_(file) {}
+    const SpillFile* file_;
+    size_t page_index_ = 0;
+    uint32_t offset_ = 0;
+  };
+
+  Reader Read() const { return Reader(this); }
+
+  uint64_t tuple_count() const { return tuples_; }
+  size_t page_count() const { return pages_.size(); }
+
+  /// Releases all pages now (lookaside reuse) and resets to empty.
+  void Clear();
+
+ private:
+  friend class Reader;
+
+  storage::BufferPool* pool_;
+  std::vector<storage::PageId> pages_;
+  // Per-page used byte count (records never span pages).
+  std::vector<uint32_t> used_;
+  uint64_t tuples_ = 0;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_SPILL_H_

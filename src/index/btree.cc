@@ -1,0 +1,413 @@
+#include "index/btree.h"
+
+#include <cstring>
+#include <vector>
+
+namespace hdb::index {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::PageHandle;
+using storage::PageId;
+using storage::PageType;
+using storage::SpaceId;
+using storage::SpacePageId;
+
+struct NodeHeader {
+  uint16_t count;
+  uint8_t is_leaf;
+  uint8_t pad;
+  PageId extra;  // leaf: next-leaf page; internal: rightmost child
+};
+
+struct LeafEntry {
+  double key;
+  uint32_t heap_page;
+  uint16_t heap_slot;
+  uint16_t pad;
+};
+
+struct InternalEntry {
+  double key;       // separator: child holds entries < (key, rid)
+  uint32_t sep_page;
+  uint16_t sep_slot;
+  uint16_t pad;
+  PageId child;
+};
+
+constexpr size_t kHeaderBytes = sizeof(NodeHeader);
+
+NodeHeader ReadHeader(const char* p) {
+  NodeHeader h;
+  std::memcpy(&h, p, sizeof(h));
+  return h;
+}
+void WriteHeader(char* p, const NodeHeader& h) {
+  std::memcpy(p, &h, sizeof(h));
+}
+LeafEntry ReadLeaf(const char* p, uint16_t i) {
+  LeafEntry e;
+  std::memcpy(&e, p + kHeaderBytes + i * sizeof(LeafEntry), sizeof(e));
+  return e;
+}
+void WriteLeaf(char* p, uint16_t i, const LeafEntry& e) {
+  std::memcpy(p + kHeaderBytes + i * sizeof(LeafEntry), &e, sizeof(e));
+}
+InternalEntry ReadInternal(const char* p, uint16_t i) {
+  InternalEntry e;
+  std::memcpy(&e, p + kHeaderBytes + i * sizeof(InternalEntry), sizeof(e));
+  return e;
+}
+void WriteInternal(char* p, uint16_t i, const InternalEntry& e) {
+  std::memcpy(p + kHeaderBytes + i * sizeof(InternalEntry), &e, sizeof(e));
+}
+
+// (key, rid) composite ordering.
+int CompareEntry(double k1, Rid r1, double k2, Rid r2) {
+  if (k1 < k2) return -1;
+  if (k1 > k2) return 1;
+  if (r1 < r2) return -1;
+  if (r2 < r1) return 1;
+  return 0;
+}
+
+Rid LeafRid(const LeafEntry& e) {
+  return Rid{e.heap_page, e.heap_slot};
+}
+
+}  // namespace
+
+BTree::BTree(storage::BufferPool* pool, catalog::IndexDef* def)
+    : pool_(pool), def_(def) {}
+
+Result<PageId> BTree::NewNode(bool is_leaf) {
+  PageId id = kInvalidPageId;
+  HDB_ASSIGN_OR_RETURN(
+      PageHandle h,
+      pool_->NewPage(SpaceId::kMain, PageType::kIndex, def_->oid, &id));
+  NodeHeader header{0, static_cast<uint8_t>(is_leaf ? 1 : 0), 0,
+                    kInvalidPageId};
+  WriteHeader(h.data(), header);
+  h.MarkDirty();
+  return id;
+}
+
+Status BTree::Init() {
+  if (def_->root_page != kInvalidPageId) return Status::OK();
+  HDB_ASSIGN_OR_RETURN(def_->root_page, NewNode(/*is_leaf=*/true));
+  stats_.leaf_pages = 1;
+  return Status::OK();
+}
+
+uint32_t LeafCapacity(uint32_t page_bytes) {
+  return (page_bytes - kHeaderBytes) / sizeof(LeafEntry);
+}
+uint32_t InternalCapacity(uint32_t page_bytes) {
+  return (page_bytes - kHeaderBytes) / sizeof(InternalEntry);
+}
+
+Result<std::optional<BTree::SplitResult>> BTree::InsertRec(PageId node,
+                                                           double key,
+                                                           Rid rid) {
+  HDB_ASSIGN_OR_RETURN(PageHandle h,
+                       pool_->FetchPage(SpacePageId{SpaceId::kMain, node},
+                                        PageType::kIndex, def_->oid));
+  NodeHeader header = ReadHeader(h.data());
+
+  if (header.is_leaf) {
+    // Find insert position (first entry > (key, rid)).
+    uint16_t pos = 0;
+    while (pos < header.count) {
+      const LeafEntry e = ReadLeaf(h.data(), pos);
+      const int c = CompareEntry(e.key, LeafRid(e), key, rid);
+      if (c >= 0) break;
+      ++pos;
+    }
+    // Maintain the distinct-keys statistic by neighbor comparison, and
+    // remember the key-order predecessor's heap page for the clustering
+    // statistic.
+    last_pred_heap_page_ =
+        pos > 0 ? ReadLeaf(h.data(), pos - 1).heap_page
+                : storage::kInvalidPageId;
+    bool has_equal_neighbor = false;
+    if (pos > 0 && ReadLeaf(h.data(), pos - 1).key == key) {
+      has_equal_neighbor = true;
+    }
+    if (pos < header.count && ReadLeaf(h.data(), pos).key == key) {
+      has_equal_neighbor = true;
+    }
+
+    const uint32_t capacity = LeafCapacity(pool_->page_bytes());
+    if (header.count < capacity) {
+      for (uint16_t i = header.count; i > pos; --i) {
+        WriteLeaf(h.data(), i, ReadLeaf(h.data(), i - 1));
+      }
+      WriteLeaf(h.data(), pos, LeafEntry{key, rid.page_id, rid.slot, 0});
+      header.count++;
+      WriteHeader(h.data(), header);
+      h.MarkDirty();
+      if (!has_equal_neighbor) stats_.distinct_keys++;
+      return std::optional<SplitResult>{};
+    }
+
+    // Split the leaf: left keeps the lower half, right gets the rest.
+    HDB_ASSIGN_OR_RETURN(const PageId right_id, NewNode(/*is_leaf=*/true));
+    HDB_ASSIGN_OR_RETURN(
+        PageHandle rh, pool_->FetchPage(SpacePageId{SpaceId::kMain, right_id},
+                                        PageType::kIndex, def_->oid));
+    const uint16_t mid = header.count / 2;
+    NodeHeader rheader = ReadHeader(rh.data());
+    rheader.count = header.count - mid;
+    rheader.extra = header.extra;  // old next-leaf
+    for (uint16_t i = mid; i < header.count; ++i) {
+      WriteLeaf(rh.data(), i - mid, ReadLeaf(h.data(), i));
+    }
+    WriteHeader(rh.data(), rheader);
+    rh.MarkDirty();
+    header.count = mid;
+    header.extra = right_id;
+    WriteHeader(h.data(), header);
+    h.MarkDirty();
+    stats_.leaf_pages++;
+    if (!has_equal_neighbor) stats_.distinct_keys++;
+
+    // Insert into the proper half (recursion depth 1: it has space now).
+    const LeafEntry sep = ReadLeaf(rh.data(), 0);
+    rh.Release();
+    h.Release();
+    const bool go_right = CompareEntry(key, rid, sep.key, LeafRid(sep)) >= 0;
+    // Temporarily decrement so the recursive insert's distinct-neighbor
+    // logic does not double count (we already accounted for it).
+    if (!has_equal_neighbor) stats_.distinct_keys--;
+    HDB_ASSIGN_OR_RETURN(auto sub,
+                         InsertRec(go_right ? right_id : node, key, rid));
+    (void)sub;  // cannot split again immediately after a split
+    return std::optional<SplitResult>(
+        SplitResult{sep.key, LeafRid(sep), right_id});
+  }
+
+  // Internal node: find child to descend into.
+  uint16_t pos = 0;
+  PageId child = header.extra;
+  while (pos < header.count) {
+    const InternalEntry e = ReadInternal(h.data(), pos);
+    if (CompareEntry(key, rid, e.key, Rid{e.sep_page, e.sep_slot}) < 0) {
+      child = e.child;
+      break;
+    }
+    ++pos;
+  }
+  const bool descended_rightmost = (pos == header.count);
+  h.Release();
+
+  HDB_ASSIGN_OR_RETURN(auto split, InsertRec(child, key, rid));
+  if (!split.has_value()) return std::optional<SplitResult>{};
+
+  // Child split: insert (split->up_key, left=old child, right=new page).
+  HDB_ASSIGN_OR_RETURN(PageHandle h2,
+                       pool_->FetchPage(SpacePageId{SpaceId::kMain, node},
+                                        PageType::kIndex, def_->oid));
+  NodeHeader header2 = ReadHeader(h2.data());
+  const uint32_t capacity = InternalCapacity(pool_->page_bytes());
+  // New separator goes at position `pos`; its child pointer is the left
+  // half (old child), and the entry that used to point at the child (or
+  // the rightmost pointer) now points at the right half.
+  if (header2.count < capacity) {
+    for (uint16_t i = header2.count; i > pos; --i) {
+      WriteInternal(h2.data(), i, ReadInternal(h2.data(), i - 1));
+    }
+    WriteInternal(h2.data(), pos,
+                  InternalEntry{split->up_key, split->up_rid.page_id,
+                                split->up_rid.slot, 0, child});
+    if (descended_rightmost) {
+      header2.extra = split->right_page;
+    } else {
+      InternalEntry next = ReadInternal(h2.data(), pos + 1);
+      next.child = split->right_page;
+      WriteInternal(h2.data(), pos + 1, next);
+    }
+    header2.count++;
+    WriteHeader(h2.data(), header2);
+    h2.MarkDirty();
+    return std::optional<SplitResult>{};
+  }
+
+  // Split this internal node. Materialize entries, insert, split in memory.
+  std::vector<InternalEntry> entries;
+  entries.reserve(header2.count + 1);
+  for (uint16_t i = 0; i < header2.count; ++i) {
+    entries.push_back(ReadInternal(h2.data(), i));
+  }
+  InternalEntry fresh{split->up_key, split->up_rid.page_id, split->up_rid.slot,
+                      0, child};
+  entries.insert(entries.begin() + pos, fresh);
+  PageId rightmost = header2.extra;
+  if (descended_rightmost) {
+    rightmost = split->right_page;
+  } else {
+    entries[pos + 1].child = split->right_page;
+  }
+
+  const size_t mid = entries.size() / 2;
+  const InternalEntry promote = entries[mid];
+
+  HDB_ASSIGN_OR_RETURN(const PageId right_id, NewNode(/*is_leaf=*/false));
+  HDB_ASSIGN_OR_RETURN(
+      PageHandle rh, pool_->FetchPage(SpacePageId{SpaceId::kMain, right_id},
+                                      PageType::kIndex, def_->oid));
+  NodeHeader rheader = ReadHeader(rh.data());
+  uint16_t rc = 0;
+  for (size_t i = mid + 1; i < entries.size(); ++i) {
+    WriteInternal(rh.data(), rc++, entries[i]);
+  }
+  rheader.count = rc;
+  rheader.extra = rightmost;
+  WriteHeader(rh.data(), rheader);
+  rh.MarkDirty();
+
+  header2.count = static_cast<uint16_t>(mid);
+  header2.extra = promote.child;  // left node's rightmost = promoted's child
+  for (size_t i = 0; i < mid; ++i) {
+    WriteInternal(h2.data(), static_cast<uint16_t>(i), entries[i]);
+  }
+  WriteHeader(h2.data(), header2);
+  h2.MarkDirty();
+
+  return std::optional<SplitResult>(SplitResult{
+      promote.key, Rid{promote.sep_page, promote.sep_slot}, right_id});
+}
+
+Status BTree::Insert(double key, Rid rid) {
+  HDB_RETURN_IF_ERROR(Init());
+  HDB_ASSIGN_OR_RETURN(auto split, InsertRec(def_->root_page, key, rid));
+  if (split.has_value()) {
+    // Grow a new root.
+    HDB_ASSIGN_OR_RETURN(const PageId new_root, NewNode(/*is_leaf=*/false));
+    HDB_ASSIGN_OR_RETURN(
+        PageHandle h, pool_->FetchPage(SpacePageId{SpaceId::kMain, new_root},
+                                       PageType::kIndex, def_->oid));
+    NodeHeader header = ReadHeader(h.data());
+    header.count = 1;
+    header.extra = split->right_page;
+    WriteHeader(h.data(), header);
+    WriteInternal(h.data(), 0,
+                  InternalEntry{split->up_key, split->up_rid.page_id,
+                                split->up_rid.slot, 0, def_->root_page});
+    h.MarkDirty();
+    def_->root_page = new_root;
+  }
+  stats_.num_entries++;
+  stats_.total_inserts++;
+  const storage::PageId pred = last_pred_heap_page_;
+  if (pred == kInvalidPageId || rid.page_id == pred ||
+      rid.page_id == pred + 1) {
+    stats_.clustered_inserts++;
+  }
+  return Status::OK();
+}
+
+Result<PageId> BTree::FindLeaf(double key) const {
+  PageId node = def_->root_page;
+  if (node == kInvalidPageId) return Status::NotFound("empty index");
+  for (;;) {
+    HDB_ASSIGN_OR_RETURN(PageHandle h,
+                         pool_->FetchPage(SpacePageId{SpaceId::kMain, node},
+                                          PageType::kIndex, def_->oid));
+    const NodeHeader header = ReadHeader(h.data());
+    if (header.is_leaf) return node;
+    PageId child = header.extra;
+    for (uint16_t i = 0; i < header.count; ++i) {
+      const InternalEntry e = ReadInternal(h.data(), i);
+      // Descend left of the first separator whose (key, minimal rid) is
+      // above our search key: use Rid{0,0} so equal keys go left, ensuring
+      // the scan starts at the first duplicate.
+      if (CompareEntry(key, Rid{0, 0}, e.key,
+                       Rid{e.sep_page, e.sep_slot}) < 0) {
+        child = e.child;
+        break;
+      }
+    }
+    node = child;
+  }
+}
+
+Status BTree::ScanRange(double lo, bool lo_inclusive, double hi,
+                        bool hi_inclusive,
+                        const std::function<bool(double, Rid)>& fn) const {
+  if (def_->root_page == kInvalidPageId) return Status::OK();
+  HDB_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
+  while (leaf != kInvalidPageId) {
+    HDB_ASSIGN_OR_RETURN(PageHandle h,
+                         pool_->FetchPage(SpacePageId{SpaceId::kMain, leaf},
+                                          PageType::kIndex, def_->oid));
+    const NodeHeader header = ReadHeader(h.data());
+    for (uint16_t i = 0; i < header.count; ++i) {
+      const LeafEntry e = ReadLeaf(h.data(), i);
+      if (e.key < lo || (!lo_inclusive && e.key == lo)) continue;
+      if (e.key > hi || (!hi_inclusive && e.key == hi)) return Status::OK();
+      if (!fn(e.key, LeafRid(e))) return Status::OK();
+    }
+    leaf = header.extra;
+  }
+  return Status::OK();
+}
+
+Result<bool> BTree::Contains(double key) const {
+  bool found = false;
+  HDB_RETURN_IF_ERROR(ScanRange(key, true, key, true,
+                                [&found](double, Rid) {
+                                  found = true;
+                                  return false;
+                                }));
+  return found;
+}
+
+Result<uint64_t> BTree::CountRange(double lo, double hi) const {
+  uint64_t n = 0;
+  HDB_RETURN_IF_ERROR(ScanRange(lo, true, hi, true, [&n](double, Rid) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+Status BTree::Remove(double key, Rid rid) {
+  if (def_->root_page == kInvalidPageId) return Status::NotFound("empty");
+  HDB_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
+  while (leaf != kInvalidPageId) {
+    HDB_ASSIGN_OR_RETURN(PageHandle h,
+                         pool_->FetchPage(SpacePageId{SpaceId::kMain, leaf},
+                                          PageType::kIndex, def_->oid));
+    NodeHeader header = ReadHeader(h.data());
+    bool past = false;
+    for (uint16_t i = 0; i < header.count; ++i) {
+      const LeafEntry e = ReadLeaf(h.data(), i);
+      if (e.key > key) {
+        past = true;
+        break;
+      }
+      if (e.key == key && LeafRid(e) == rid) {
+        const bool equal_left = i > 0 && ReadLeaf(h.data(), i - 1).key == key;
+        const bool equal_right =
+            i + 1 < header.count && ReadLeaf(h.data(), i + 1).key == key;
+        for (uint16_t j = i; j + 1 < header.count; ++j) {
+          WriteLeaf(h.data(), j, ReadLeaf(h.data(), j + 1));
+        }
+        header.count--;
+        WriteHeader(h.data(), header);
+        h.MarkDirty();
+        if (stats_.num_entries > 0) stats_.num_entries--;
+        if (!equal_left && !equal_right && stats_.distinct_keys > 0) {
+          stats_.distinct_keys--;
+        }
+        return Status::OK();
+      }
+    }
+    if (past) break;
+    leaf = header.extra;
+  }
+  return Status::NotFound("index entry");
+}
+
+}  // namespace hdb::index

@@ -1,0 +1,99 @@
+#ifndef HDB_INDEX_BTREE_H_
+#define HDB_INDEX_BTREE_H_
+
+#include <functional>
+#include <optional>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "catalog/schema.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::index {
+
+/// Live per-index statistics, maintained in real time during server
+/// operation (paper §3.2: "index statistics, such as the number of
+/// distinct values, number of leaf pages, and clustering statistics, are
+/// maintained in real time").
+struct IndexStats {
+  uint64_t num_entries = 0;
+  uint64_t leaf_pages = 0;
+  /// Distinct key estimate maintained by neighbor comparison at
+  /// insert/delete time (exact within a leaf, approximate at boundaries).
+  uint64_t distinct_keys = 0;
+  /// Of all inserts, how many landed on the same or an adjacent heap page
+  /// as their *key-order predecessor* in the leaf — a clustering measure
+  /// in [0,1] the cost model turns into an I/O band size. (Key-order
+  /// adjacency is what matters: an index range scan fetches rows in key
+  /// order.)
+  uint64_t clustered_inserts = 0;
+  uint64_t total_inserts = 0;
+
+  double clustering_fraction() const {
+    return total_inserts == 0
+               ? 1.0
+               : static_cast<double>(clustered_inserts) / total_inserts;
+  }
+};
+
+/// B+-tree mapping (order-preserving-hash key, rid) pairs to rows.
+///
+/// Keys are the `double` codes of common/ophash.h, which is what lets one
+/// index implementation cover every data type (paper §2.1: "these
+/// techniques allow SQL Anywhere to eliminate restrictions on what data
+/// types can be indexed"): executors re-verify predicates against base
+/// rows, so hash collisions on long strings cost only extra row fetches.
+/// Deletion is lazy (no rebalancing); duplicate keys are ordered by rid.
+class BTree {
+ public:
+  BTree(storage::BufferPool* pool, catalog::IndexDef* def);
+
+  /// Creates the root leaf if the index is empty. Must be called once.
+  Status Init();
+
+  Status Insert(double key, Rid rid);
+
+  /// Removes the exact (key, rid) entry.
+  Status Remove(double key, Rid rid);
+
+  /// True if some entry with exactly `key` exists — used for index
+  /// probing during selectivity estimation (paper §3).
+  Result<bool> Contains(double key) const;
+
+  /// Calls `fn(key, rid)` over [lo, hi] (inclusive bounds selected by the
+  /// flags); stops early when fn returns false.
+  Status ScanRange(double lo, bool lo_inclusive, double hi,
+                   bool hi_inclusive,
+                   const std::function<bool(double, Rid)>& fn) const;
+
+  /// Number of entries in [lo, hi], by leaf walk (used by index probing).
+  Result<uint64_t> CountRange(double lo, double hi) const;
+
+  const IndexStats& stats() const { return stats_; }
+  catalog::IndexDef* def() { return def_; }
+
+ private:
+  struct SplitResult {
+    double up_key;
+    Rid up_rid;
+    storage::PageId right_page;
+  };
+
+  Result<storage::PageId> NewNode(bool is_leaf);
+  Result<std::optional<SplitResult>> InsertRec(storage::PageId node,
+                                               double key, Rid rid);
+  /// Page id of the first leaf whose range may contain `key`.
+  Result<storage::PageId> FindLeaf(double key) const;
+
+  storage::BufferPool* pool_;
+  catalog::IndexDef* def_;
+  IndexStats stats_;
+  // Heap page of the key-order predecessor of the entry just inserted
+  // (set by InsertRec; kInvalidPageId when the entry became the minimum).
+  storage::PageId last_pred_heap_page_ = storage::kInvalidPageId;
+};
+
+}  // namespace hdb::index
+
+#endif  // HDB_INDEX_BTREE_H_

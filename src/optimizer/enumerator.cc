@@ -1,0 +1,377 @@
+#include "optimizer/enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdb::optimizer {
+
+JoinEnumerator::JoinEnumerator(const Query& query,
+                               const SelectivityEstimator* estimator,
+                               const CostModel* cost_model,
+                               catalog::Catalog* catalog,
+                               storage::BufferPool* pool,
+                               VirtualIndexCollector* virtual_indexes,
+                               EnumeratorOptions options)
+    : query_(query),
+      estimator_(estimator),
+      cost_model_(cost_model),
+      catalog_(catalog),
+      pool_(pool),
+      virtual_indexes_(virtual_indexes),
+      options_(options),
+      governor_(options.governor),
+      arena_(options.arena_budget_bytes) {}
+
+void JoinEnumerator::PrepareQuantifiers() {
+  classified_ = estimator_->Classify(query_);
+  const size_t n = query_.quantifiers.size();
+  quants_.assign(n, QuantInfo{});
+
+  // Edges and local predicate folding.
+  for (const ClassifiedConjunct& c : classified_) {
+    if (c.is_equijoin) {
+      JoinEdge e{c.qa, c.ca, c.qb, c.cb, c.selectivity, c.expr};
+      const int idx = static_cast<int>(edges_.size());
+      edges_.push_back(e);
+      quants_[c.qa].edge_indexes.push_back(idx);
+      quants_[c.qb].edge_indexes.push_back(idx);
+    } else if (c.quantifiers.size() == 1) {
+      QuantInfo& qi = quants_[c.quantifiers[0]];
+      qi.local_selectivity *= c.selectivity;
+      qi.num_local_predicates++;
+    }
+  }
+
+  assumed_pool_pages_ = static_cast<double>(pool_->CurrentFrames()) *
+                        options_.assumed_pool_fraction;
+
+  for (size_t q = 0; q < n; ++q) {
+    QuantInfo& qi = quants_[q];
+    const catalog::TableDef& t = *query_.quantifiers[q].table;
+    qi.base_rows = std::max<double>(1.0, static_cast<double>(t.row_count));
+    qi.effective_rows =
+        std::max(1.0, qi.base_rows * qi.local_selectivity);
+
+    // Sequential scan is always available.
+    AccessPath seq;
+    seq.cost = cost_model_->SeqScanCost(
+        t, static_cast<double>(qi.num_local_predicates));
+    qi.paths.push_back(seq);
+
+    // Collect this quantifier's indexable local ranges once.
+    std::vector<SelectivityEstimator::IndexRange> ranges;
+    for (const ClassifiedConjunct& c : classified_) {
+      if (c.is_equijoin || c.quantifiers.size() != 1 ||
+          c.quantifiers[0] != static_cast<int>(q)) {
+        continue;
+      }
+      const auto range = estimator_->AsIndexRange(query_, c.expr);
+      if (range.has_value()) ranges.push_back(*range);
+    }
+
+    // Physical index paths: one range path per matching (index, range)
+    // pair on the index's leading key column, plus a probe-capable path
+    // per index (no range) that enables index nested-loops on join keys.
+    const std::vector<catalog::IndexDef*> indexes =
+        catalog_->TableIndexes(t.oid);
+    std::vector<bool> column_has_index(t.columns.size(), false);
+    for (catalog::IndexDef* idx : indexes) {
+      if (idx->column_indexes.empty()) continue;
+      const int lead = idx->column_indexes[0];
+      if (lead >= 0 && lead < static_cast<int>(t.columns.size())) {
+        column_has_index[lead] = true;
+      }
+      bool had_range = false;
+      for (const auto& r : ranges) {
+        if (r.column != lead) continue;
+        had_range = true;
+        AccessPath p;
+        p.index = idx;
+        p.lo = r.lo;
+        p.hi = r.hi;
+        p.lo_expr = r.lo_expr;
+        p.hi_expr = r.hi_expr;
+        p.lo_inclusive = r.lo_inclusive;
+        p.hi_inclusive = r.hi_inclusive;
+        p.index_selectivity = r.selectivity;
+        p.cost = cost_model_->IndexScanCost(t, idx->oid, r.selectivity,
+                                            assumed_pool_pages_);
+        qi.paths.push_back(p);
+      }
+      if (!had_range) {
+        AccessPath p;
+        p.index = idx;
+        p.index_selectivity = 1.0;
+        p.cost = cost_model_->IndexScanCost(t, idx->oid, 1.0,
+                                            assumed_pool_pages_);
+        qi.paths.push_back(p);
+      }
+    }
+
+    // Virtual-index generation (paper §5): the optimizer requests indexes
+    // it would have liked for unindexed predicate and join columns.
+    if (virtual_indexes_ != nullptr) {
+      auto add_virtual = [&](int col, double benefit) {
+        virtual_indexes_->Request(t.oid, t.name, col, benefit);
+        if (!virtual_indexes_->what_if()) return;
+        auto vdef = std::make_unique<catalog::IndexDef>();
+        vdef->oid = kInvalidOid;
+        vdef->name = "virtual_" + t.name + "_" + t.columns[col].name;
+        vdef->table_oid = t.oid;
+        vdef->column_indexes = {col};
+        AccessPath p;
+        p.index = vdef.get();
+        p.is_virtual = true;
+        p.index_selectivity = 1.0;
+        p.cost = cost_model_->IndexScanCost(t, kInvalidOid, 1.0,
+                                            assumed_pool_pages_);
+        for (const auto& r : ranges) {
+          if (r.column == col) {
+            p.lo = r.lo;
+            p.hi = r.hi;
+            p.lo_inclusive = r.lo_inclusive;
+            p.hi_inclusive = r.hi_inclusive;
+            p.index_selectivity = r.selectivity;
+            p.cost = cost_model_->IndexScanCost(t, kInvalidOid, r.selectivity,
+                                                assumed_pool_pages_);
+            break;
+          }
+        }
+        qi.paths.push_back(p);
+        virtual_defs_.push_back(std::move(vdef));
+      };
+      std::vector<int> requested_cols;
+      for (const auto& r : ranges) {
+        if (r.column >= 0 && !column_has_index[r.column]) {
+          const double hypothetical = cost_model_->IndexScanCost(
+              t, kInvalidOid, r.selectivity, assumed_pool_pages_);
+          add_virtual(r.column, std::max(0.0, seq.cost - hypothetical));
+          column_has_index[r.column] = true;  // one request per column
+          requested_cols.push_back(r.column);
+        }
+      }
+      for (const int ei : qi.edge_indexes) {
+        const JoinEdge& e = edges_[ei];
+        const int col = (e.qa == static_cast<int>(q)) ? e.ca : e.cb;
+        if (col >= 0 && !column_has_index[col]) {
+          add_virtual(col, seq.cost);
+          column_has_index[col] = true;
+          // Tighten earlier predicate-column specs with the join column —
+          // the consultant's progressively-specific ordering requirement.
+          for (const int pc : requested_cols) {
+            virtual_indexes_->Tighten(t.oid, pc, {col});
+          }
+        }
+      }
+    }
+  }
+}
+
+std::optional<JoinEnumerator::Delta> JoinEnumerator::CostStep(
+    const std::vector<char>& placed, double rows_so_far, int q,
+    const AccessPath& path, JoinMethod method) {
+  const QuantInfo& qi = quants_[q];
+  const catalog::TableDef& t = *query_.quantifiers[q].table;
+
+  // Combined selectivity of all edges between q and the placed set, and
+  // the most selective edge as the join key.
+  double edge_sel = 1.0;
+  int key_edge = -1;
+  double key_sel = 1.0;
+  for (const int ei : qi.edge_indexes) {
+    const JoinEdge& e = edges_[ei];
+    const int other = (e.qa == q) ? e.qb : e.qa;
+    if (!placed[other]) continue;
+    edge_sel *= e.selectivity;
+    if (key_edge < 0 || e.selectivity < key_sel) {
+      key_edge = ei;
+      key_sel = e.selectivity;
+    }
+  }
+
+  const double out_rows =
+      std::max(1.0, rows_so_far * qi.effective_rows * edge_sel);
+
+  double cost = 0;
+  switch (method) {
+    case JoinMethod::kFirst:
+      cost = path.cost;
+      break;
+    case JoinMethod::kNL:
+      cost = cost_model_->NLJoinCost(rows_so_far, path.cost,
+                                     qi.effective_rows);
+      break;
+    case JoinMethod::kIndexNL: {
+      if (key_edge < 0 || path.index == nullptr) return std::nullopt;
+      const JoinEdge& e = edges_[key_edge];
+      const int join_col = (e.qa == q) ? e.ca : e.cb;
+      if (path.index->column_indexes.empty() ||
+          path.index->column_indexes[0] != join_col) {
+        return std::nullopt;  // this index cannot probe the join key
+      }
+      const double rows_per_probe =
+          std::max(qi.base_rows * key_sel, 1e-6);
+      cost = cost_model_->IndexProbeCost(t, path.index->oid, rows_so_far,
+                                         rows_per_probe, assumed_pool_pages_);
+      break;
+    }
+    case JoinMethod::kHash: {
+      if (key_edge < 0) return std::nullopt;  // hash join needs an equi key
+      cost = path.cost + cost_model_->HashJoinCost(qi.effective_rows,
+                                                   rows_so_far,
+                                                   assumed_pool_pages_);
+      break;
+    }
+  }
+  return Delta{cost, out_rows, key_edge};
+}
+
+void JoinEnumerator::Dfs(std::vector<char>& placed, int placed_count,
+                         double rows_so_far, double cost_so_far,
+                         std::vector<EnumerationStep>& prefix,
+                         EnumerationResult* result) {
+  const int n = static_cast<int>(query_.quantifiers.size());
+  if (placed_count == n) {
+    ++plans_completed_;
+    if (prefix.size() >= 2) {
+      // Identify the plan's opening region by its first three placements
+      // (the first two are often forced by connectivity).
+      const int third = prefix.size() >= 3 ? prefix[2].quantifier : -1;
+      completed_prefixes_.insert(
+          {prefix[0].quantifier * 1000 + prefix[1].quantifier, third});
+    }
+    if (cost_so_far < best_cost_) {
+      const double improvement =
+          best_cost_ == std::numeric_limits<double>::infinity()
+              ? 0.0
+              : (best_cost_ - cost_so_far) / best_cost_;
+      best_cost_ = cost_so_far;
+      best_steps_ = prefix;
+      governor_.OnImprovedPlan(improvement);
+    }
+    return;
+  }
+
+  // Candidate quantifiers: defer Cartesian products by considering only
+  // candidates connected to the placed prefix whenever any exist.
+  struct Candidate {
+    int q;
+    double promise;  // estimated resulting cardinality (lower = better)
+  };
+  // Per-level candidate array lives in the enumeration arena so the
+  // memory footprint of the whole search is observable and budgeted.
+  auto* cands = arena_.NewArray<Candidate>(static_cast<size_t>(n));
+  if (cands == nullptr) return;  // arena budget exhausted: stop deepening
+  int num_cands = 0;
+  bool any_connected = false;
+  for (int q = 0; q < n; ++q) {
+    if (placed[q]) continue;
+    bool connected = false;
+    double edge_sel = 1.0;
+    for (const int ei : quants_[q].edge_indexes) {
+      const JoinEdge& e = edges_[ei];
+      const int other = (e.qa == q) ? e.qb : e.qa;
+      if (placed[other]) {
+        connected = true;
+        edge_sel *= e.selectivity;
+      }
+    }
+    if (connected) any_connected = true;
+    cands[num_cands++] =
+        Candidate{q, rows_so_far * quants_[q].effective_rows * edge_sel +
+                         (connected ? 0.0 : 1e18)};
+  }
+  if (placed_count == 0) any_connected = false;
+  const bool invert = options_.invert_promise_order;
+  std::sort(cands, cands + num_cands,
+            [invert](const Candidate& a, const Candidate& b) {
+              // Cartesian deferral (the 1e18 penalty) survives inversion.
+              const bool a_cart = a.promise >= 1e18;
+              const bool b_cart = b.promise >= 1e18;
+              if (a_cart != b_cart) return b_cart;
+              return invert ? a.promise > b.promise : a.promise < b.promise;
+            });
+
+  for (int ci = 0; ci < num_cands; ++ci) {
+    const int q = cands[ci].q;
+    if (any_connected && cands[ci].promise >= 1e18) {
+      break;  // only Cartesian candidates remain; defer them
+    }
+    for (const AccessPath& path : quants_[q].paths) {
+      if (path.is_virtual && !options_.use_virtual_indexes) continue;
+      static constexpr JoinMethod kAllMethods[] = {
+          JoinMethod::kHash, JoinMethod::kIndexNL, JoinMethod::kNL};
+      const JoinMethod first_only[] = {JoinMethod::kFirst};
+      const JoinMethod* methods =
+          placed_count == 0 ? first_only : kAllMethods;
+      const int num_methods = placed_count == 0 ? 1 : 3;
+      for (int mi = 0; mi < num_methods; ++mi) {
+        // One <quantifier, index, join method> 3-tuple = one search-tree
+        // node visit, the governor's unit of effort. An exhausted quota
+        // prunes the subtree — except that the search must always finish
+        // at least one complete strategy, so before any plan exists the
+        // descent continues greedily (first promising tuple only).
+        const bool quota_ok = governor_.TryVisit();
+        if (!quota_ok && !best_steps_.empty()) {
+          ++prunes_;
+          return;  // unused quota returns upward via LeaveChild
+        }
+        const auto delta =
+            CostStep(placed, rows_so_far, q, path, methods[mi]);
+        if (!delta.has_value()) continue;
+        const double new_cost = cost_so_far + delta->cost;
+        if (new_cost >= best_cost_) {
+          // Branch-and-bound prune: additional quantifiers only add cost,
+          // so the whole prefix extension set is abandoned.
+          ++prunes_;
+          continue;
+        }
+        placed[q] = 1;
+        prefix.push_back(EnumerationStep{q, path, methods[mi],
+                                         delta->key_edge, delta->rows,
+                                         new_cost});
+        governor_.EnterChild();
+        Dfs(placed, placed_count + 1, delta->rows, new_cost, prefix, result);
+        governor_.LeaveChild();
+        prefix.pop_back();
+        placed[q] = 0;
+        if (!quota_ok) return;  // greedy completion path: one tuple only
+      }
+    }
+  }
+}
+
+Result<EnumerationResult> JoinEnumerator::Run() {
+  if (query_.quantifiers.empty()) {
+    return Status::InvalidArgument("query has no quantifiers");
+  }
+  PrepareQuantifiers();
+
+  best_cost_ = std::numeric_limits<double>::infinity();
+  best_steps_.clear();
+  governor_.Reset();
+
+  EnumerationResult result;
+  std::vector<char> placed(query_.quantifiers.size(), 0);
+  std::vector<EnumerationStep> prefix;
+  prefix.reserve(query_.quantifiers.size());
+  Dfs(placed, 0, 1.0, 0.0, prefix, &result);
+
+  if (best_steps_.empty()) {
+    return Status::Internal("join enumeration found no complete plan");
+  }
+  result.steps = std::move(best_steps_);
+  result.edges = edges_;
+  result.best_cost = best_cost_;
+  result.nodes_visited = governor_.visits_used();
+  result.plans_completed = plans_completed_;
+  result.prunes = prunes_;
+  result.governor_redistributions = governor_.redistributions();
+  result.distinct_prefixes = completed_prefixes_.size();
+  result.arena_high_water = arena_.high_water_mark();
+  result.governor_exhausted = governor_.Exhausted();
+  return result;
+}
+
+}  // namespace hdb::optimizer

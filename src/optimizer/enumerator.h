@@ -1,0 +1,154 @@
+#ifndef HDB_OPTIMIZER_ENUMERATOR_H_
+#define HDB_OPTIMIZER_ENUMERATOR_H_
+
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/result.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/governor.h"
+#include "optimizer/query.h"
+#include "optimizer/selectivity.h"
+#include "optimizer/virtual_index.h"
+
+namespace hdb::optimizer {
+
+enum class JoinMethod : uint8_t { kFirst, kNL, kIndexNL, kHash };
+
+/// One way to read a quantifier's rows.
+struct AccessPath {
+  const catalog::IndexDef* index = nullptr;  // null = sequential scan
+  bool is_virtual = false;
+  std::optional<double> lo, hi;  // hash-domain index condition
+  ExprPtr lo_expr, hi_expr;      // parameterized bounds (evaluated at run)
+  bool lo_inclusive = true, hi_inclusive = true;
+  double index_selectivity = 1.0;  // fraction satisfying the index cond
+  double cost = 0;                 // cost of producing filtered rows
+};
+
+/// An equi-join edge `qa.ca = qb.cb`.
+struct JoinEdge {
+  int qa, ca, qb, cb;
+  double selectivity;
+  ExprPtr expr;
+};
+
+struct EnumerationStep {
+  int quantifier = -1;
+  AccessPath path;
+  JoinMethod method = JoinMethod::kFirst;
+  int key_edge = -1;  // index into EnumerationResult::edges for the join key
+  double rows_after = 0;
+  double cost_after = 0;
+};
+
+struct EnumerationResult {
+  std::vector<EnumerationStep> steps;  // left-deep order
+  std::vector<JoinEdge> edges;
+  double best_cost = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t plans_completed = 0;
+  uint64_t prunes = 0;
+  /// Distinct (first, second) quantifier prefixes among completed plans —
+  /// a diversity measure of where the search effort landed (paper §4.1:
+  /// with naive early halting, "most of the enumerated plans will be very
+  /// similar").
+  uint64_t distinct_prefixes = 0;
+  uint64_t governor_redistributions = 0;
+  size_t arena_high_water = 0;
+  bool governor_exhausted = false;
+};
+
+struct EnumeratorOptions {
+  GovernorOptions governor;
+  /// Byte budget for enumeration state (the 100-way-join claim runs with
+  /// 1 MiB). 0 = unlimited.
+  size_t arena_budget_bytes = 0;
+  /// The optimistic prefix metric (paper §4.1): assume this fraction of
+  /// the pool is available to *each* quantifier while costing prefixes —
+  /// "clearly nonsense with any join degree greater than 1", but cheap.
+  double assumed_pool_fraction = 0.5;
+  /// Let the search *choose* virtual access paths (consultant what-if).
+  bool use_virtual_indexes = false;
+  /// Experiment knob (governor ablation bench): invert the promise
+  /// ordering of candidates, emulating a worst-case heuristic ranking.
+  /// The paper's §4.1 argument — naive early halting strands the budget
+  /// in one bad corner — only bites when the ranking misleads.
+  bool invert_promise_order = false;
+};
+
+/// Branch-and-bound, depth-first join enumeration over left-deep trees of
+/// <quantifier, index, join method> 3-tuples (paper §4.1):
+///  * quantifiers heuristically ranked, deferring Cartesian products;
+///  * incremental prefix costing with provable pruning against the best
+///    complete strategy;
+///  * search effort managed by the OptimizerGovernor quota;
+///  * all search state lives in a budgeted Arena whose high-water mark is
+///    reported (the Dell Axim memory claim).
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const Query& query, const SelectivityEstimator* estimator,
+                 const CostModel* cost_model, catalog::Catalog* catalog,
+                 storage::BufferPool* pool,
+                 VirtualIndexCollector* virtual_indexes,
+                 EnumeratorOptions options = {});
+
+  Result<EnumerationResult> Run();
+
+  const OptimizerGovernor& governor() const { return governor_; }
+
+ private:
+  struct QuantInfo {
+    double base_rows = 0;
+    double local_selectivity = 1.0;
+    int num_local_predicates = 0;
+    double effective_rows = 0;
+    std::vector<AccessPath> paths;
+    std::vector<int> edge_indexes;
+  };
+
+  void PrepareQuantifiers();
+  void Dfs(std::vector<char>& placed, int placed_count, double rows_so_far,
+           double cost_so_far, std::vector<EnumerationStep>& prefix,
+           EnumerationResult* result);
+
+  /// Cost and cardinality of appending (q, path, method) to the prefix.
+  struct Delta {
+    double cost;
+    double rows;
+    int key_edge;
+  };
+  std::optional<Delta> CostStep(const std::vector<char>& placed,
+                                double rows_so_far, int q,
+                                const AccessPath& path, JoinMethod method);
+
+  const Query& query_;
+  const SelectivityEstimator* estimator_;
+  const CostModel* cost_model_;
+  catalog::Catalog* catalog_;
+  storage::BufferPool* pool_;
+  VirtualIndexCollector* virtual_indexes_;
+  EnumeratorOptions options_;
+
+  OptimizerGovernor governor_;
+  Arena arena_;
+  std::vector<QuantInfo> quants_;
+  std::vector<JoinEdge> edges_;
+  std::vector<ClassifiedConjunct> classified_;
+  // Synthesized virtual index defs live here (what-if mode).
+  std::vector<std::unique_ptr<catalog::IndexDef>> virtual_defs_;
+
+  double assumed_pool_pages_ = 0;
+  double best_cost_ = 0;
+  std::vector<EnumerationStep> best_steps_;
+  uint64_t plans_completed_ = 0;
+  uint64_t prunes_ = 0;
+  std::set<std::pair<int, int>> completed_prefixes_;
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_ENUMERATOR_H_

@@ -1,0 +1,80 @@
+#include "optimizer/governor.h"
+
+#include <numeric>
+
+namespace hdb::optimizer {
+
+OptimizerGovernor::OptimizerGovernor(GovernorOptions options)
+    : options_(options) {
+  Reset();
+}
+
+void OptimizerGovernor::Reset() { Reset(options_.initial_quota); }
+
+void OptimizerGovernor::Reset(uint64_t quota) {
+  stack_.assign(1, quota);
+  visits_ = 0;
+  redistributions_ = 0;
+}
+
+bool OptimizerGovernor::TryVisit() {
+  if (!options_.enabled) {
+    ++visits_;
+    return true;
+  }
+  if (stack_.back() == 0) return false;
+  stack_.back()--;
+  ++visits_;
+  return true;
+}
+
+void OptimizerGovernor::EnterChild() {
+  if (!options_.enabled) {
+    stack_.push_back(0);
+    return;
+  }
+  // Non-distributing (ablation) mode: the child simply inherits the whole
+  // remainder — one global countdown, no effort spreading.
+  const uint64_t grant =
+      options_.distribute ? stack_.back() / 2 : stack_.back();
+  stack_.back() -= grant;
+  stack_.push_back(grant);
+}
+
+void OptimizerGovernor::LeaveChild() {
+  if (stack_.size() <= 1) return;
+  const uint64_t unused = stack_.back();
+  stack_.pop_back();
+  if (options_.enabled) stack_.back() += unused;
+}
+
+void OptimizerGovernor::OnImprovedPlan(double improvement) {
+  if (!options_.enabled ||
+      improvement < options_.redistribute_improvement) {
+    return;
+  }
+  // Pool every level's remainder and re-concentrate it on the current
+  // path, starting at the root (paper: "any remaining quota for that
+  // search path is completely redistributed, starting at the root").
+  const uint64_t total =
+      std::accumulate(stack_.begin(), stack_.end(), uint64_t{0});
+  // The deepest (current) level gets half, its parent half of the rest,
+  // and the residue lands at the root for fresh branches.
+  uint64_t remaining = total;
+  for (size_t i = stack_.size(); i-- > 0;) {
+    const uint64_t grant = (i == 0) ? remaining : remaining / 2;
+    stack_[i] = grant;
+    remaining -= grant;
+  }
+  ++redistributions_;
+}
+
+bool OptimizerGovernor::Exhausted() const {
+  if (!options_.enabled) return false;
+  for (const uint64_t q : stack_) {
+    if (q > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace hdb::optimizer

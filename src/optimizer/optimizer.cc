@@ -1,0 +1,364 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdb::optimizer {
+
+namespace {
+
+/// AND-combines a list of conjuncts (nullptr when empty).
+ExprPtr Conjoin(const std::vector<ExprPtr>& parts) {
+  ExprPtr acc;
+  for (const ExprPtr& p : parts) {
+    acc = acc == nullptr ? p : Expr::And(acc, p);
+  }
+  return acc;
+}
+
+bool AllBound(const ClassifiedConjunct& c, const std::vector<char>& bound) {
+  for (const int q : c.quantifiers) {
+    if (q >= static_cast<int>(bound.size()) || !bound[q]) return false;
+  }
+  return !c.quantifiers.empty();
+}
+
+}  // namespace
+
+Optimizer::Optimizer(OptimizerContext ctx)
+    : ctx_(ctx),
+      estimator_(ctx.stats, ctx.catalog, ctx.index_prober),
+      cost_model_(&ctx.catalog->dtt_model(), ctx.pool, ctx.index_stats,
+                  ctx.cost_options) {}
+
+bool Optimizer::QualifiesForBypass(const Query& q) {
+  return q.quantifiers.size() == 1 && !q.has_grouping() &&
+         q.order_by.empty() && !q.distinct;
+}
+
+PlanPtr Optimizer::BuildScanNode(
+    const Query& q, const EnumerationStep& step,
+    const std::vector<ClassifiedConjunct>& classified) {
+  auto node = std::make_unique<PlanNode>();
+  const int quant = step.quantifier;
+  node->quantifier = quant;
+  node->table = q.quantifiers[quant].table;
+  const bool has_range =
+      step.path.lo.has_value() || step.path.hi.has_value() ||
+      step.path.lo_expr != nullptr || step.path.hi_expr != nullptr;
+  if (step.path.index != nullptr && has_range) {
+    node->kind = PlanKind::kIndexScan;
+    node->index = step.path.index;
+    node->index_is_virtual = step.path.is_virtual;
+    node->index_lo = step.path.lo;
+    node->index_hi = step.path.hi;
+    node->index_lo_expr = step.path.lo_expr;
+    node->index_hi_expr = step.path.hi_expr;
+    node->index_lo_inclusive = step.path.lo_inclusive;
+    node->index_hi_inclusive = step.path.hi_inclusive;
+  } else {
+    node->kind = PlanKind::kSeqScan;
+  }
+  // Residual: every local predicate, including the index condition — index
+  // keys are order-preserving hashes, so matches must be re-verified.
+  std::vector<ExprPtr> locals;
+  for (const ClassifiedConjunct& c : classified) {
+    if (!c.is_equijoin && c.quantifiers.size() == 1 &&
+        c.quantifiers[0] == quant) {
+      locals.push_back(c.expr);
+    }
+  }
+  node->residual = Conjoin(locals);
+  node->est_rows = step.rows_after;
+  node->est_cost = step.path.cost;
+  return node;
+}
+
+void Optimizer::AnnotateHashJoinAlternate(const Query& q, PlanNode* join,
+                                          int outer_quantifier,
+                                          int outer_column,
+                                          double est_build_rows,
+                                          double probe_rows) {
+  const catalog::TableDef& outer_table = *q.quantifiers[outer_quantifier].table;
+  for (catalog::IndexDef* idx : ctx_.catalog->TableIndexes(outer_table.oid)) {
+    if (idx->column_indexes.empty() ||
+        idx->column_indexes[0] != outer_column) {
+      continue;
+    }
+    // Cost of probing the outer's index once, with an average number of
+    // matches per key.
+    const double rows_per_probe = std::max(
+        1.0, static_cast<double>(outer_table.row_count) /
+                 std::max(1.0, est_build_rows * 4));
+    const double one_probe = cost_model_.IndexProbeCost(
+        outer_table, idx->oid, 1.0, rows_per_probe,
+        ctx_.predicted_soft_limit_pages);
+    const double hash_side =
+        cost_model_.SeqScanCost(outer_table, 1.0) +
+        probe_rows * cost_model_.options().cpu_hash_us;
+    join->alt_index_nl = true;
+    join->alt_index = idx;
+    join->alt_switch_threshold_rows =
+        one_probe > 0 ? hash_side / one_probe : 0;
+    return;
+  }
+}
+
+Result<PlanPtr> Optimizer::BuildPlanFromSteps(
+    const Query& q, const EnumerationResult& enumeration) {
+  const auto classified = estimator_.Classify(q);
+  std::vector<char> bound(q.quantifiers.size(), 0);
+  std::vector<char> conjunct_applied(classified.size(), 0);
+
+  // Mark single-quantifier conjuncts applied: scans carry them.
+  for (size_t i = 0; i < classified.size(); ++i) {
+    if (!classified[i].is_equijoin && classified[i].quantifiers.size() == 1) {
+      conjunct_applied[i] = 1;
+    }
+  }
+
+  PlanPtr current;
+  for (size_t si = 0; si < enumeration.steps.size(); ++si) {
+    const EnumerationStep& step = enumeration.steps[si];
+    const int quant = step.quantifier;
+    const catalog::TableDef& t = *q.quantifiers[quant].table;
+    PlanPtr scan = BuildScanNode(q, step, classified);
+
+    if (si == 0) {
+      current = std::move(scan);
+      bound[quant] = 1;
+      continue;
+    }
+
+    auto join = std::make_unique<PlanNode>();
+    join->est_rows = step.rows_after;
+    join->est_cost = step.cost_after;
+    join->quantifier = quant;
+    join->table = &t;
+
+    const JoinEdge* key = step.key_edge >= 0
+                              ? &enumeration.edges[step.key_edge]
+                              : nullptr;
+    // Orient the key: "outer" is the already-bound side.
+    int outer_q = -1, outer_c = -1, inner_c = -1;
+    if (key != nullptr) {
+      if (key->qa == quant) {
+        outer_q = key->qb;
+        outer_c = key->cb;
+        inner_c = key->ca;
+      } else {
+        outer_q = key->qa;
+        outer_c = key->ca;
+        inner_c = key->cb;
+      }
+    }
+
+    switch (step.method) {
+      case JoinMethod::kHash: {
+        join->kind = PlanKind::kHashJoin;
+        join->outer_key = Expr::Column(
+            outer_q, outer_c,
+            q.quantifiers[outer_q].table->columns[outer_c].type,
+            q.quantifiers[outer_q].table->columns[outer_c].name);
+        join->inner_key =
+            Expr::Column(quant, inner_c, t.columns[inner_c].type,
+                         t.columns[inner_c].name);
+        join->memory_quota_pages =
+            static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+        // The alternate index-NL strategy applies when the probe side is a
+        // single base table with an index on the join column (paper §4.3).
+        if (si == 1) {
+          AnnotateHashJoinAlternate(q, join.get(), outer_q, outer_c,
+                                    step.rows_after, step.rows_after);
+        }
+        join->children.push_back(std::move(current));  // probe / outer
+        join->children.push_back(std::move(scan));     // build / inner
+        break;
+      }
+      case JoinMethod::kIndexNL: {
+        join->kind = PlanKind::kIndexNLJoin;
+        join->index = step.path.index;
+        join->index_is_virtual = step.path.is_virtual;
+        join->outer_key = Expr::Column(
+            outer_q, outer_c,
+            q.quantifiers[outer_q].table->columns[outer_c].type,
+            q.quantifiers[outer_q].table->columns[outer_c].name);
+        join->inner_key =
+            Expr::Column(quant, inner_c, t.columns[inner_c].type,
+                         t.columns[inner_c].name);
+        // Residual: local predicates plus the equi condition itself (the
+        // probe is on hash codes; re-verify on values).
+        join->residual = scan->residual;
+        if (key != nullptr) {
+          join->residual = join->residual == nullptr
+                               ? key->expr
+                               : Expr::And(join->residual, key->expr);
+        }
+        join->children.push_back(std::move(current));
+        break;
+      }
+      case JoinMethod::kNL:
+      case JoinMethod::kFirst: {
+        join->kind = PlanKind::kNLJoin;
+        join->children.push_back(std::move(current));
+        join->children.push_back(std::move(scan));
+        break;
+      }
+    }
+
+    bound[quant] = 1;
+    // Mark the key conjunct applied where the join method itself enforces
+    // it: hash joins match on Values (exact) and index-NL rechecks via the
+    // residual above. Plain NL joins evaluate it as an extra condition.
+    if (key != nullptr && step.method != JoinMethod::kNL) {
+      for (size_t i = 0; i < classified.size(); ++i) {
+        if (classified[i].expr == key->expr) conjunct_applied[i] = 1;
+      }
+    }
+    // Any other conjunct that just became fully bound attaches here.
+    std::vector<ExprPtr> extras;
+    for (size_t i = 0; i < classified.size(); ++i) {
+      if (!conjunct_applied[i] && AllBound(classified[i], bound)) {
+        extras.push_back(classified[i].expr);
+        conjunct_applied[i] = 1;
+      }
+    }
+    join->extra_condition = Conjoin(extras);
+    current = std::move(join);
+  }
+
+  // Safety net: conjuncts that never became bound (shouldn't happen).
+  std::vector<ExprPtr> leftovers;
+  for (size_t i = 0; i < classified.size(); ++i) {
+    if (!conjunct_applied[i]) leftovers.push_back(classified[i].expr);
+  }
+  if (!leftovers.empty()) {
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanKind::kFilter;
+    filter->residual = Conjoin(leftovers);
+    filter->est_rows = current->est_rows;
+    filter->est_cost = current->est_cost;
+    filter->children.push_back(std::move(current));
+    current = std::move(filter);
+  }
+
+  AddPostJoinNodes(q, &current);
+  return current;
+}
+
+void Optimizer::AddPostJoinNodes(const Query& q, PlanPtr* root) {
+  if (q.has_grouping()) {
+    auto gb = std::make_unique<PlanNode>();
+    gb->kind = PlanKind::kHashGroupBy;
+    gb->group_keys = q.group_by;
+    gb->aggregates = q.aggregates;
+    gb->having = q.having;
+    gb->memory_quota_pages =
+        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+    gb->est_rows = std::max(1.0, (*root)->est_rows / 10.0);
+    gb->est_cost = (*root)->est_cost;
+    gb->children.push_back(std::move(*root));
+    *root = std::move(gb);
+  }
+  if (!q.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->kind = PlanKind::kSort;
+    sort->order = q.order_by;
+    sort->memory_quota_pages =
+        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+    sort->est_rows = (*root)->est_rows;
+    sort->est_cost = (*root)->est_cost;
+    sort->children.push_back(std::move(*root));
+    *root = std::move(sort);
+  }
+  {
+    auto proj = std::make_unique<PlanNode>();
+    proj->kind = PlanKind::kProject;
+    proj->projections = q.select;
+    proj->est_rows = (*root)->est_rows;
+    proj->est_cost = (*root)->est_cost;
+    proj->children.push_back(std::move(*root));
+    *root = std::move(proj);
+  }
+  if (q.distinct) {
+    auto d = std::make_unique<PlanNode>();
+    d->kind = PlanKind::kHashDistinct;
+    d->memory_quota_pages =
+        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+    d->est_rows = (*root)->est_rows;
+    d->est_cost = (*root)->est_cost;
+    d->children.push_back(std::move(*root));
+    *root = std::move(d);
+  }
+  if (q.limit >= 0) {
+    auto l = std::make_unique<PlanNode>();
+    l->kind = PlanKind::kLimit;
+    l->limit = q.limit;
+    l->est_rows = std::min<double>((*root)->est_rows,
+                                   static_cast<double>(q.limit));
+    l->est_cost = (*root)->est_cost;
+    l->children.push_back(std::move(*root));
+    *root = std::move(l);
+  }
+}
+
+Result<PlanPtr> Optimizer::BuildBypassPlan(const Query& q) {
+  if (q.quantifiers.size() != 1) {
+    return Status::InvalidArgument("bypass plan needs exactly one table");
+  }
+  const catalog::TableDef& t = *q.quantifiers[0].table;
+  const auto classified = estimator_.Classify(q);
+
+  // Heuristic: first indexable predicate with a matching index wins; no
+  // costing at all (paper §4.1).
+  PlanPtr scan = std::make_unique<PlanNode>();
+  scan->kind = PlanKind::kSeqScan;
+  scan->quantifier = 0;
+  scan->table = &t;
+  for (const ClassifiedConjunct& c : classified) {
+    if (c.is_equijoin) continue;
+    const auto range = estimator_.AsIndexRange(q, c.expr);
+    if (!range.has_value()) continue;
+    for (catalog::IndexDef* idx : ctx_.catalog->TableIndexes(t.oid)) {
+      if (!idx->column_indexes.empty() &&
+          idx->column_indexes[0] == range->column) {
+        scan->kind = PlanKind::kIndexScan;
+        scan->index = idx;
+        scan->index_lo = range->lo;
+        scan->index_hi = range->hi;
+        scan->index_lo_expr = range->lo_expr;
+        scan->index_hi_expr = range->hi_expr;
+        scan->index_lo_inclusive = range->lo_inclusive;
+        scan->index_hi_inclusive = range->hi_inclusive;
+        break;
+      }
+    }
+    if (scan->kind == PlanKind::kIndexScan) break;
+  }
+  std::vector<ExprPtr> locals;
+  for (const ClassifiedConjunct& c : classified) locals.push_back(c.expr);
+  scan->residual = Conjoin(locals);
+  scan->est_rows = static_cast<double>(t.row_count);
+  AddPostJoinNodes(q, &scan);
+  return scan;
+}
+
+Result<PlanPtr> Optimizer::Optimize(const Query& q, bool allow_bypass,
+                                    OptimizeDiagnostics* diag) {
+  if (allow_bypass && QualifiesForBypass(q)) {
+    if (diag != nullptr) diag->bypassed = true;
+    return BuildBypassPlan(q);
+  }
+  EnumeratorOptions opts;
+  opts.governor = ctx_.governor;
+  opts.arena_budget_bytes = ctx_.arena_budget_bytes;
+  opts.use_virtual_indexes = ctx_.use_virtual_indexes;
+  opts.invert_promise_order = ctx_.invert_promise_order;
+  JoinEnumerator enumerator(q, &estimator_, &cost_model_, ctx_.catalog,
+                            ctx_.pool, ctx_.virtual_indexes, opts);
+  HDB_ASSIGN_OR_RETURN(EnumerationResult result, enumerator.Run());
+  if (diag != nullptr) diag->enumeration = result;
+  return BuildPlanFromSteps(q, result);
+}
+
+}  // namespace hdb::optimizer

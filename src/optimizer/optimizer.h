@@ -1,0 +1,80 @@
+#ifndef HDB_OPTIMIZER_OPTIMIZER_H_
+#define HDB_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/enumerator.h"
+#include "optimizer/plan.h"
+#include "optimizer/query.h"
+#include "optimizer/selectivity.h"
+#include "optimizer/virtual_index.h"
+#include "stats/stats_registry.h"
+
+namespace hdb::optimizer {
+
+/// Everything the optimizer consults, wired by the engine per statement.
+struct OptimizerContext {
+  catalog::Catalog* catalog = nullptr;
+  const stats::StatsRegistry* stats = nullptr;
+  storage::BufferPool* pool = nullptr;
+  IndexStatsProvider index_stats;
+  /// Optional index-probing callback for selectivity (paper §3).
+  IndexProber index_prober;
+  /// The memory governor's predicted soft limit in pages (Eq. (5)); used
+  /// to cost and annotate memory-intensive operators (paper §4.3).
+  double predicted_soft_limit_pages = 256;
+  GovernorOptions governor;
+  size_t arena_budget_bytes = 0;
+  VirtualIndexCollector* virtual_indexes = nullptr;
+  bool use_virtual_indexes = false;
+  bool invert_promise_order = false;  // ablation experiments only
+  CostModelOptions cost_options;
+};
+
+struct OptimizeDiagnostics {
+  bool bypassed = false;
+  EnumerationResult enumeration;
+};
+
+/// Cost-based optimizer facade (paper §4.1). SQL Anywhere re-optimizes a
+/// query at each invocation, so this object is cheap to use per statement;
+/// the heuristic bypass handles the simple single-table DML class.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerContext ctx);
+
+  /// True when the statement qualifies for the heuristic bypass: a single
+  /// table, no grouping/ordering — "the cost of optimization approaches
+  /// the cost of statement execution".
+  static bool QualifiesForBypass(const Query& q);
+
+  /// Full optimization. `allow_bypass` lets simple statements skip the
+  /// cost-based search (set for DML and trivial selects).
+  Result<PlanPtr> Optimize(const Query& q, bool allow_bypass = false,
+                           OptimizeDiagnostics* diag = nullptr);
+
+  /// The heuristic (non-cost-based) single-table plan.
+  Result<PlanPtr> BuildBypassPlan(const Query& q);
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  PlanPtr BuildScanNode(const Query& q, const EnumerationStep& step,
+                        const std::vector<ClassifiedConjunct>& classified);
+  Result<PlanPtr> BuildPlanFromSteps(const Query& q,
+                                     const EnumerationResult& enumeration);
+  void AddPostJoinNodes(const Query& q, PlanPtr* root);
+  void AnnotateHashJoinAlternate(const Query& q, PlanNode* join,
+                                 int outer_quantifier, int outer_column,
+                                 double est_build_rows, double probe_rows);
+
+  OptimizerContext ctx_;
+  SelectivityEstimator estimator_;
+  CostModel cost_model_;
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,63 @@
+#include "optimizer/plan.h"
+
+#include <cstdio>
+
+namespace hdb::optimizer {
+
+std::string_view PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kSeqScan: return "SeqScan";
+    case PlanKind::kIndexScan: return "IndexScan";
+    case PlanKind::kNLJoin: return "NestedLoopJoin";
+    case PlanKind::kIndexNLJoin: return "IndexNLJoin";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kHashGroupBy: return "HashGroupBy";
+    case PlanKind::kHashDistinct: return "HashDistinct";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+std::string PlanNode::Fingerprint() const {
+  std::string fp(PlanKindName(kind));
+  if (table != nullptr) fp += ":" + table->name;
+  if (index != nullptr) fp += ":" + index->name;
+  if (index_is_virtual) fp += ":virtual";
+  if (alt_index_nl) fp += ":alt";
+  fp += "(";
+  for (const auto& c : children) fp += c->Fingerprint() + ",";
+  fp += ")";
+  return fp;
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += PlanKindName(kind);
+  if (table != nullptr) out += " " + table->name;
+  if (index != nullptr) {
+    out += " using " + index->name;
+    if (index_is_virtual) out += " (virtual)";
+  }
+  if (kind == PlanKind::kHashJoin || kind == PlanKind::kIndexNLJoin) {
+    if (outer_key != nullptr && inner_key != nullptr) {
+      out += " on " + outer_key->ToString() + " = " + inner_key->ToString();
+    }
+  }
+  if (residual != nullptr) out += " filter " + residual->ToString();
+  if (memory_quota_pages > 0) {
+    out += " mem=" + std::to_string(memory_quota_pages) + "p";
+  }
+  if (alt_index_nl) out += " [alt: index-NL]";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  (rows=%.0f cost=%.0f)", est_rows,
+                est_cost);
+  out += buf;
+  out += "\n";
+  for (const auto& c : children) out += c->Explain(indent + 1);
+  return out;
+}
+
+}  // namespace hdb::optimizer

@@ -1,0 +1,94 @@
+#ifndef HDB_OPTIMIZER_PLAN_H_
+#define HDB_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "optimizer/query.h"
+
+namespace hdb::optimizer {
+
+enum class PlanKind : uint8_t {
+  kSeqScan,
+  kIndexScan,
+  kNLJoin,
+  kIndexNLJoin,
+  kHashJoin,
+  kFilter,
+  kProject,
+  kHashGroupBy,
+  kHashDistinct,
+  kSort,
+  kLimit,
+};
+
+std::string_view PlanKindName(PlanKind k);
+
+/// A physical plan node. One fat struct rather than a class hierarchy: the
+/// executor dispatches on `kind`, the plan cache fingerprints the tree, and
+/// EXPLAIN renders it. Children: scans none; joins two (outer=0, inner=1);
+/// the rest one.
+struct PlanNode {
+  PlanKind kind = PlanKind::kSeqScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Scans ---
+  int quantifier = -1;
+  const catalog::TableDef* table = nullptr;
+  const catalog::IndexDef* index = nullptr;
+  bool index_is_virtual = false;
+  /// Index scan key range in the order-preserving-hash domain.
+  std::optional<double> index_lo, index_hi;
+  /// Parameterized bounds: evaluated against RowContext::params at Open
+  /// (how one cached procedure plan serves every parameter value, §4.1).
+  ExprPtr index_lo_expr, index_hi_expr;
+  bool index_lo_inclusive = true, index_hi_inclusive = true;
+  /// Predicate re-checked against fetched rows (always includes the index
+  /// condition: hash collisions must not produce wrong answers).
+  ExprPtr residual;
+
+  // --- Joins ---
+  /// Equi-join keys (outer side evaluated against outer row, inner against
+  /// inner). For index-NL the inner key identifies the probe column.
+  ExprPtr outer_key, inner_key;
+  /// Extra join condition checked after the equi-match.
+  ExprPtr extra_condition;
+
+  // --- Memory-governor annotations (paper §4.3) ---
+  /// Pages this memory-intensive operator was costed to use (the
+  /// optimizer's prediction of the soft limit share).
+  uint32_t memory_quota_pages = 0;
+  /// Hash join: alternate strategy annotation — switch to index-NL after
+  /// building if the real build cardinality is below the threshold.
+  bool alt_index_nl = false;
+  const catalog::IndexDef* alt_index = nullptr;
+  double alt_switch_threshold_rows = 0;
+
+  // --- Grouping / distinct / sort / limit / projection ---
+  std::vector<ExprPtr> group_keys;
+  std::vector<AggSpec> aggregates;
+  ExprPtr having;
+  std::vector<OrderItem> order;
+  int64_t limit = -1;
+  std::vector<SelectItem> projections;
+
+  // --- Estimates (for EXPLAIN, adaptivity thresholds, benches) ---
+  double est_rows = 0;
+  double est_cost = 0;
+
+  /// Stable structural fingerprint: equal plans (same shape, same access
+  /// choices) fingerprint equal. The plan cache's training test (§4.1).
+  std::string Fingerprint() const;
+
+  /// Multi-line EXPLAIN rendering.
+  std::string Explain(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_PLAN_H_

@@ -1,0 +1,88 @@
+#include "optimizer/plan_cache.h"
+
+namespace hdb::optimizer {
+
+void PlanCache::TouchLru(const std::string& key, Entry& e) {
+  if (e.lru_it != lru_.end()) lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+void PlanCache::EvictIfNeeded() {
+  while (entries_.size() > options_.max_entries && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+}
+
+PlanCache::Decision PlanCache::OnInvocation(const std::string& key) {
+  stats_.invocations++;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.lru_it = lru_.end();
+    it = entries_.emplace(key, std::move(e)).first;
+    EvictIfNeeded();
+  }
+  Entry& e = it->second;
+  TouchLru(key, e);
+
+  if (e.state == State::kTraining) {
+    stats_.optimizations++;
+    return Decision{Action::kOptimize, nullptr};
+  }
+  // Cached: check the decaying verification schedule.
+  e.uses_since_verify++;
+  if (e.uses_since_verify >= e.verify_interval) {
+    e.verifying = true;
+    stats_.verifications++;
+    stats_.optimizations++;
+    return Decision{Action::kVerify, e.plan};
+  }
+  stats_.cached_uses++;
+  return Decision{Action::kUseCached, e.plan};
+}
+
+std::shared_ptr<const PlanNode> PlanCache::OnPlanReady(
+    const std::string& key, std::shared_ptr<const PlanNode> fresh) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fresh;
+  Entry& e = it->second;
+  const std::string fp = fresh->Fingerprint();
+
+  if (e.state == State::kCached && e.verifying) {
+    e.verifying = false;
+    e.uses_since_verify = 0;
+    if (fp == e.fingerprint) {
+      // Plan is still fresh: verify less often from now on.
+      e.verify_interval *= options_.verify_interval_growth;
+      return e.plan;
+    }
+    // The world changed: drop the cache and retrain.
+    stats_.invalidations++;
+    e.state = State::kTraining;
+    e.identical_count = 1;
+    e.fingerprint = fp;
+    e.plan = nullptr;
+    return fresh;
+  }
+
+  // Training.
+  if (fp == e.fingerprint) {
+    e.identical_count++;
+  } else {
+    e.fingerprint = fp;
+    e.identical_count = 1;
+  }
+  if (e.identical_count >= options_.training_executions) {
+    e.state = State::kCached;
+    e.plan = fresh;
+    e.uses_since_verify = 0;
+    e.verify_interval = options_.first_verify_interval;
+    stats_.trainings_completed++;
+  }
+  return fresh;
+}
+
+}  // namespace hdb::optimizer

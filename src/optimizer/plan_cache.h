@@ -1,0 +1,97 @@
+#ifndef HDB_OPTIMIZER_PLAN_CACHE_H_
+#define HDB_OPTIMIZER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "optimizer/plan.h"
+
+namespace hdb::optimizer {
+
+struct PlanCacheOptions {
+  /// Consecutive optimizations that must produce the *identical* plan
+  /// before it is cached (the paper's training period).
+  int training_executions = 4;
+  /// First verification happens after this many cached uses...
+  uint64_t first_verify_interval = 8;
+  /// ...and each subsequent verification multiplies the interval by this
+  /// factor — the paper's "decaying logarithmic scale" of re-verification.
+  uint64_t verify_interval_growth = 8;
+  /// LRU capacity (per connection in SQL Anywhere; per cache here).
+  size_t max_entries = 64;
+};
+
+/// Plan cache for statements inside stored procedures, user-defined
+/// functions and triggers (paper §4.1). Everything else re-optimizes on
+/// every invocation.
+///
+/// Lifecycle per statement: TRAINING (optimize every time; cache only
+/// after `training_executions` identical plans) -> CACHED (skip
+/// optimization) with periodic VERIFY invocations on a decaying schedule;
+/// a verification producing a different plan evicts and retrains.
+class PlanCache {
+ public:
+  enum class Action {
+    kOptimize,   // no usable cache entry: optimize (training data point)
+    kUseCached,  // execute the cached plan, skip optimization
+    kVerify,     // execute cached plan is NOT safe to skip: re-optimize,
+                 // compare, then run the fresh or cached plan
+  };
+
+  struct Decision {
+    Action action = Action::kOptimize;
+    std::shared_ptr<const PlanNode> plan;  // set for kUseCached / kVerify
+  };
+
+  struct Stats {
+    uint64_t invocations = 0;
+    uint64_t cached_uses = 0;
+    uint64_t optimizations = 0;
+    uint64_t verifications = 0;
+    uint64_t invalidations = 0;
+    uint64_t trainings_completed = 0;
+  };
+
+  explicit PlanCache(PlanCacheOptions options = {}) : options_(options) {}
+
+  /// Call at each invocation of a cache-eligible statement.
+  Decision OnInvocation(const std::string& key);
+
+  /// Call after optimizing `key` (because OnInvocation said kOptimize or
+  /// kVerify). Returns the plan to execute — the cached one when the fresh
+  /// plan verified identical, otherwise the fresh plan.
+  std::shared_ptr<const PlanNode> OnPlanReady(
+      const std::string& key, std::shared_ptr<const PlanNode> fresh);
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  enum class State { kTraining, kCached };
+
+  struct Entry {
+    State state = State::kTraining;
+    int identical_count = 0;
+    std::string fingerprint;
+    std::shared_ptr<const PlanNode> plan;
+    uint64_t uses_since_verify = 0;
+    uint64_t verify_interval = 0;
+    bool verifying = false;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void TouchLru(const std::string& key, Entry& e);
+  void EvictIfNeeded();
+
+  PlanCacheOptions options_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_PLAN_CACHE_H_

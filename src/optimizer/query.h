@@ -1,0 +1,70 @@
+#ifndef HDB_OPTIMIZER_QUERY_H_
+#define HDB_OPTIMIZER_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "optimizer/expr.h"
+
+namespace hdb::optimizer {
+
+/// A range variable in the FROM list. (The paper's enumeration operates on
+/// quantifiers rather than tables, since converted subqueries and table
+/// functions also enumerate; here quantifiers are base tables.)
+struct Quantifier {
+  const catalog::TableDef* table = nullptr;
+  std::string alias;
+};
+
+enum class AggKind : uint8_t { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  ExprPtr arg;  // null for COUNT(*)
+  std::string name;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectItem {
+  ExprPtr expr;   // null when this item is an aggregate output
+  int agg_index = -1;  // >= 0: index into Query::aggregates
+  std::string name;
+};
+
+/// Bound logical SELECT query — the optimizer's input. WHERE is kept as a
+/// flat conjunct list; the enumerator classifies conjuncts into local
+/// predicates and join edges itself.
+struct Query {
+  std::vector<Quantifier> quantifiers;
+  std::vector<ExprPtr> conjuncts;
+
+  std::vector<SelectItem> select;
+  bool distinct = false;
+
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggregates;
+  /// HAVING, expressed over the grouped output row: ColumnRefs with
+  /// quantifier == quantifiers.size() address [group keys..., aggregates...].
+  ExprPtr having;
+
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1: no limit
+
+  bool has_grouping() const {
+    return !group_by.empty() || !aggregates.empty();
+  }
+  /// Pseudo-quantifier index used by HAVING / post-aggregation exprs.
+  int group_quantifier() const {
+    return static_cast<int>(quantifiers.size());
+  }
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_QUERY_H_

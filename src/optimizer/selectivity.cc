@@ -1,0 +1,369 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ophash.h"
+#include "stats/join_histogram.h"
+
+namespace hdb::optimizer {
+
+namespace {
+
+// Matches Compare(ColumnRef, Literal) in either orientation; flips the
+// operator when the column is on the right.
+bool MatchColLit(const ExprPtr& e, const Expr** col, const Value** lit,
+                 CompareOp* op) {
+  if (e->kind() != ExprKind::kCompare) return false;
+  const Expr* l = e->children()[0].get();
+  const Expr* r = e->children()[1].get();
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    *col = l;
+    *lit = &r->literal();
+    *op = e->compare_op();
+    return true;
+  }
+  if (r->kind() == ExprKind::kColumnRef && l->kind() == ExprKind::kLiteral) {
+    *col = r;
+    *lit = &l->literal();
+    switch (e->compare_op()) {
+      case CompareOp::kLt: *op = CompareOp::kGt; break;
+      case CompareOp::kLe: *op = CompareOp::kGe; break;
+      case CompareOp::kGt: *op = CompareOp::kLt; break;
+      case CompareOp::kGe: *op = CompareOp::kLe; break;
+      default: *op = e->compare_op(); break;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool MatchColCol(const ExprPtr& e, const Expr** a, const Expr** b) {
+  if (e->kind() != ExprKind::kCompare ||
+      e->compare_op() != CompareOp::kEq) {
+    return false;
+  }
+  const Expr* l = e->children()[0].get();
+  const Expr* r = e->children()[1].get();
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kColumnRef &&
+      l->quantifier() != r->quantifier()) {
+    *a = l;
+    *b = r;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> SelectivityEstimator::ProbeSelectivity(
+    uint32_t table_oid, int column, double lo, double hi) const {
+  if (prober_ == nullptr) return std::nullopt;
+  for (catalog::IndexDef* idx : catalog_->TableIndexes(table_oid)) {
+    if (idx->column_indexes.empty() || idx->column_indexes[0] != column) {
+      continue;
+    }
+    return prober_(idx->oid, lo, hi);
+  }
+  return std::nullopt;
+}
+
+double SelectivityEstimator::LocalSelectivity(const Query& q, int quant,
+                                              const ExprPtr& e) const {
+  const catalog::TableDef* t = q.quantifiers[quant].table;
+  const Expr* col = nullptr;
+  const Value* lit = nullptr;
+  CompareOp op = CompareOp::kEq;
+
+  if (MatchColLit(e, &col, &lit, &op)) {
+    const int c = col->column();
+    // Index probing (paper §3): when the column's histogram cannot answer
+    // — no statistics at all, or a long-string column whose predicate has
+    // never been observed — probe a physical index on the column instead
+    // of guessing.
+    const stats::ColumnStats* cs = stats_->Get(t->oid, c);
+    const bool hist_blind =
+        cs == nullptr ||
+        (cs->long_string &&
+         stats_->SelEquals(t->oid, c, *lit) ==
+             stats::DefaultSelectivity::kEquals) ||
+        (cs->histogram != nullptr && cs->histogram->total_rows() == 0 &&
+         t->row_count > 0);
+    if (hist_blind) {
+      const double h = OrderPreservingHash(*lit);
+      std::optional<double> probed;
+      switch (op) {
+        case CompareOp::kEq:
+          probed = ProbeSelectivity(t->oid, c, h, h);
+          break;
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          probed = ProbeSelectivity(
+              t->oid, c, -std::numeric_limits<double>::infinity(), h);
+          break;
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          probed = ProbeSelectivity(
+              t->oid, c, h, std::numeric_limits<double>::infinity());
+          break;
+        default:
+          break;
+      }
+      if (probed.has_value()) return *probed;
+    }
+    switch (op) {
+      case CompareOp::kEq:
+        return stats_->SelEquals(t->oid, c, *lit);
+      case CompareOp::kNe:
+        return std::clamp(1.0 - stats_->SelEquals(t->oid, c, *lit) -
+                              stats_->SelIsNull(t->oid, c),
+                          0.0, 1.0);
+      case CompareOp::kLt:
+        return stats_->SelRange(t->oid, c, nullptr, true, lit, false);
+      case CompareOp::kLe:
+        return stats_->SelRange(t->oid, c, nullptr, true, lit, true);
+      case CompareOp::kGt:
+        return stats_->SelRange(t->oid, c, lit, false, nullptr, true);
+      case CompareOp::kGe:
+        return stats_->SelRange(t->oid, c, lit, true, nullptr, true);
+    }
+  }
+  switch (e->kind()) {
+    case ExprKind::kIsNull: {
+      const Expr* child = e->children()[0].get();
+      if (child->kind() == ExprKind::kColumnRef) {
+        const double null_sel = stats_->SelIsNull(t->oid, child->column());
+        return e->negated() ? 1.0 - null_sel : null_sel;
+      }
+      break;
+    }
+    case ExprKind::kBetween: {
+      const Expr* v = e->children()[0].get();
+      const Expr* lo = e->children()[1].get();
+      const Expr* hi = e->children()[2].get();
+      if (v->kind() == ExprKind::kColumnRef &&
+          lo->kind() == ExprKind::kLiteral &&
+          hi->kind() == ExprKind::kLiteral) {
+        return stats_->SelRange(t->oid, v->column(), &lo->literal(), true,
+                                &hi->literal(), true);
+      }
+      break;
+    }
+    case ExprKind::kLike: {
+      const Expr* v = e->children()[0].get();
+      if (v->kind() == ExprKind::kColumnRef) {
+        return stats_->SelLike(t->oid, v->column(), e->pattern());
+      }
+      break;
+    }
+    case ExprKind::kInList: {
+      const Expr* v = e->children()[0].get();
+      if (v->kind() == ExprKind::kColumnRef) {
+        double sel = 0;
+        for (size_t i = 1; i < e->children().size(); ++i) {
+          if (e->children()[i]->kind() == ExprKind::kLiteral) {
+            sel += stats_->SelEquals(t->oid, v->column(),
+                                     e->children()[i]->literal());
+          }
+        }
+        return std::min(sel, 1.0);
+      }
+      break;
+    }
+    case ExprKind::kOr: {
+      std::vector<ExprPtr> sides = {e->children()[0], e->children()[1]};
+      double s0 = LocalSelectivity(q, quant, sides[0]);
+      double s1 = LocalSelectivity(q, quant, sides[1]);
+      return std::min(1.0, s0 + s1 - s0 * s1);
+    }
+    case ExprKind::kNot: {
+      return std::clamp(1.0 - LocalSelectivity(q, quant, e->children()[0]),
+                        0.0, 1.0);
+    }
+    default:
+      break;
+  }
+  return 0.33;  // generic predicate guess
+}
+
+double SelectivityEstimator::JoinSelectivity(const catalog::TableDef& ta,
+                                             int ca,
+                                             const catalog::TableDef& tb,
+                                             int cb) const {
+  // Referential integrity: a child FK joining its parent key matches
+  // exactly one parent row — selectivity 1/parent_rows (paper §3.2).
+  if (catalog_->HasForeignKey(ta.oid, ca, tb.oid, cb)) {
+    return tb.row_count > 0 ? 1.0 / static_cast<double>(tb.row_count) : 1.0;
+  }
+  if (catalog_->HasForeignKey(tb.oid, cb, ta.oid, ca)) {
+    return ta.row_count > 0 ? 1.0 / static_cast<double>(ta.row_count) : 1.0;
+  }
+
+  // Join histogram, computed on the fly (paper §3.2).
+  const stats::ColumnStats* sa = stats_->Get(ta.oid, ca);
+  const stats::ColumnStats* sb = stats_->Get(tb.oid, cb);
+  if (sa != nullptr && sb != nullptr && sa->histogram != nullptr &&
+      sb->histogram != nullptr && sa->histogram->total_rows() > 0 &&
+      sb->histogram->total_rows() > 0) {
+    return stats::JoinHistogram(*sa->histogram, *sb->histogram).selectivity();
+  }
+
+  // Distinct-count containment fallback.
+  double da = 0, db = 0;
+  if (sa != nullptr && sa->histogram != nullptr) {
+    da = sa->histogram->EstimateDistinct();
+  }
+  if (sb != nullptr && sb->histogram != nullptr) {
+    db = sb->histogram->EstimateDistinct();
+  }
+  const double d = std::max(da, db);
+  if (d >= 1) return 1.0 / d;
+  const double m = static_cast<double>(std::max(ta.row_count, tb.row_count));
+  return m > 0 ? 1.0 / m : 1.0;
+}
+
+std::vector<ClassifiedConjunct> SelectivityEstimator::Classify(
+    const Query& q) const {
+  std::vector<ClassifiedConjunct> out;
+  out.reserve(q.conjuncts.size());
+  for (const ExprPtr& e : q.conjuncts) {
+    ClassifiedConjunct c;
+    c.expr = e;
+    std::vector<bool> mask;
+    e->CollectQuantifiers(&mask);
+    for (size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) c.quantifiers.push_back(static_cast<int>(i));
+    }
+    const Expr* a = nullptr;
+    const Expr* b = nullptr;
+    if (MatchColCol(e, &a, &b)) {
+      c.is_equijoin = true;
+      c.qa = a->quantifier();
+      c.ca = a->column();
+      c.qb = b->quantifier();
+      c.cb = b->column();
+      c.selectivity = JoinSelectivity(*q.quantifiers[c.qa].table, c.ca,
+                                      *q.quantifiers[c.qb].table, c.cb);
+    } else if (c.quantifiers.size() == 1) {
+      c.selectivity = LocalSelectivity(q, c.quantifiers[0], e);
+    } else {
+      c.selectivity = 0.33;  // generic multi-quantifier predicate
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::optional<SelectivityEstimator::IndexRange>
+SelectivityEstimator::AsIndexRange(const Query& q, const ExprPtr& e) const {
+  const Expr* col = nullptr;
+  const Value* lit = nullptr;
+  CompareOp op = CompareOp::kEq;
+  IndexRange r;
+
+  // Parameterized predicate: column <op> :param. The bound is symbolic —
+  // evaluated per invocation — and selectivity falls back to the default
+  // guesses (the realistic price of plan caching, §4.1).
+  if (e->kind() == ExprKind::kCompare) {
+    const Expr* l = e->children()[0].get();
+    const Expr* rr = e->children()[1].get();
+    const Expr* column = nullptr;
+    ExprPtr operand;
+    CompareOp pop = e->compare_op();
+    if (l->kind() == ExprKind::kColumnRef && rr->kind() == ExprKind::kParam) {
+      column = l;
+      operand = e->children()[1];
+    } else if (rr->kind() == ExprKind::kColumnRef &&
+               l->kind() == ExprKind::kParam) {
+      column = rr;
+      operand = e->children()[0];
+      switch (pop) {
+        case CompareOp::kLt: pop = CompareOp::kGt; break;
+        case CompareOp::kLe: pop = CompareOp::kGe; break;
+        case CompareOp::kGt: pop = CompareOp::kLt; break;
+        case CompareOp::kGe: pop = CompareOp::kLe; break;
+        default: break;
+      }
+    }
+    if (column != nullptr) {
+      r.quantifier = column->quantifier();
+      r.column = column->column();
+      switch (pop) {
+        case CompareOp::kEq:
+          r.lo_expr = operand;
+          r.hi_expr = operand;
+          r.selectivity = stats::DefaultSelectivity::kEquals;
+          break;
+        case CompareOp::kLt:
+          r.hi_expr = operand;
+          r.hi_inclusive = false;
+          r.selectivity = stats::DefaultSelectivity::kRange;
+          break;
+        case CompareOp::kLe:
+          r.hi_expr = operand;
+          r.selectivity = stats::DefaultSelectivity::kRange;
+          break;
+        case CompareOp::kGt:
+          r.lo_expr = operand;
+          r.lo_inclusive = false;
+          r.selectivity = stats::DefaultSelectivity::kRange;
+          break;
+        case CompareOp::kGe:
+          r.lo_expr = operand;
+          r.selectivity = stats::DefaultSelectivity::kRange;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return r;
+    }
+  }
+
+  if (MatchColLit(e, &col, &lit, &op)) {
+    r.quantifier = col->quantifier();
+    r.column = col->column();
+    const double h = OrderPreservingHash(*lit);
+    switch (op) {
+      case CompareOp::kEq:
+        r.lo = h;
+        r.hi = h;
+        break;
+      case CompareOp::kLt:
+        r.hi = h;
+        r.hi_inclusive = false;
+        break;
+      case CompareOp::kLe:
+        r.hi = h;
+        break;
+      case CompareOp::kGt:
+        r.lo = h;
+        r.lo_inclusive = false;
+        break;
+      case CompareOp::kGe:
+        r.lo = h;
+        break;
+      default:
+        return std::nullopt;  // <> is not an index range
+    }
+    r.selectivity = LocalSelectivity(q, r.quantifier, e);
+    return r;
+  }
+  if (e->kind() == ExprKind::kBetween) {
+    const Expr* v = e->children()[0].get();
+    const Expr* lo = e->children()[1].get();
+    const Expr* hi = e->children()[2].get();
+    if (v->kind() == ExprKind::kColumnRef &&
+        lo->kind() == ExprKind::kLiteral &&
+        hi->kind() == ExprKind::kLiteral) {
+      r.quantifier = v->quantifier();
+      r.column = v->column();
+      r.lo = OrderPreservingHash(lo->literal());
+      r.hi = OrderPreservingHash(hi->literal());
+      r.selectivity = LocalSelectivity(q, r.quantifier, e);
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hdb::optimizer

@@ -1,0 +1,86 @@
+#ifndef HDB_OPTIMIZER_SELECTIVITY_H_
+#define HDB_OPTIMIZER_SELECTIVITY_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/query.h"
+#include "stats/stats_registry.h"
+
+namespace hdb::optimizer {
+
+/// A conjunct classified for the enumerator.
+struct ClassifiedConjunct {
+  ExprPtr expr;
+  /// Quantifiers referenced.
+  std::vector<int> quantifiers;
+  /// Equi-join edge decomposition when the conjunct is `qa.ca = qb.cb`.
+  bool is_equijoin = false;
+  int qa = -1, ca = -1, qb = -1, cb = -1;
+  /// Estimated selectivity (fraction of candidate rows / cross product).
+  double selectivity = 1.0;
+};
+
+/// Probes a physical index at optimization time: fraction of entries in
+/// the hash-domain range [lo, hi] (paper §3 lists "index probing" among
+/// the automatic statistics techniques). Returns nullopt when the index
+/// is unavailable.
+using IndexProber = std::function<std::optional<double>(
+    uint32_t index_oid, double lo, double hi)>;
+
+/// Selectivity analysis over the self-managing statistics (paper §3):
+/// singleton/histogram estimates for local predicates, join histograms,
+/// referential-integrity constraints, index statistics for join edges,
+/// and index probing where histograms cannot answer (long-string columns
+/// and columns with no statistics at all).
+class SelectivityEstimator {
+ public:
+  SelectivityEstimator(const stats::StatsRegistry* stats,
+                       catalog::Catalog* catalog,
+                       IndexProber prober = nullptr)
+      : stats_(stats), catalog_(catalog), prober_(std::move(prober)) {}
+
+  /// Classifies every conjunct of `q` and estimates its selectivity.
+  std::vector<ClassifiedConjunct> Classify(const Query& q) const;
+
+  /// Selectivity of one predicate local to quantifier `quant`.
+  double LocalSelectivity(const Query& q, int quant, const ExprPtr& e) const;
+
+  /// Selectivity of the equi-join `ta.ca = tb.cb` as a fraction of the
+  /// cross product. Preference order: declared foreign key, join
+  /// histogram, index distinct statistics, 1/max(card) fallback.
+  double JoinSelectivity(const catalog::TableDef& ta, int ca,
+                         const catalog::TableDef& tb, int cb) const;
+
+  /// If `e` is a single-column predicate usable as an index range on
+  /// (quantifier, column), returns the hash-domain range. Used by access-
+  /// path generation.
+  struct IndexRange {
+    int quantifier = -1;
+    int column = -1;
+    std::optional<double> lo, hi;
+    /// Parameterized bounds (procedure statements keep :params symbolic so
+    /// one cached plan serves every invocation, §4.1): evaluated against
+    /// the parameter bindings at execution time.
+    ExprPtr lo_expr, hi_expr;
+    bool lo_inclusive = true, hi_inclusive = true;
+    double selectivity = 1.0;
+  };
+  std::optional<IndexRange> AsIndexRange(const Query& q,
+                                         const ExprPtr& e) const;
+
+ private:
+  /// Index-probe fallback for a predicate the registry cannot estimate.
+  std::optional<double> ProbeSelectivity(uint32_t table_oid, int column,
+                                         double lo, double hi) const;
+
+  const stats::StatsRegistry* stats_;
+  catalog::Catalog* catalog_;
+  IndexProber prober_;
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_SELECTIVITY_H_

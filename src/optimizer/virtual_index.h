@@ -1,0 +1,78 @@
+#ifndef HDB_OPTIMIZER_VIRTUAL_INDEX_H_
+#define HDB_OPTIMIZER_VIRTUAL_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hdb::optimizer {
+
+/// A "virtual index" specification generated *by the optimizer itself*
+/// while costing access paths (paper §5: "the query optimizer is able to
+/// generate specifications for indexes it would like to have"). Starts
+/// general (a column it wished were indexed) and tightens as optimization
+/// proceeds (column order requirements from repeated requests); the Index
+/// Consultant imposes a physical composition at the end.
+struct VirtualIndexSpec {
+  uint32_t table_oid = 0;
+  std::string table_name;
+  std::vector<int> columns;  // tightened key column order
+  double benefit_micros = 0; // accumulated predicted cost saved
+  int requests = 0;
+};
+
+/// Collects virtual-index requests across an optimization (or a whole
+/// profiled workload). When `what_if` is set, the enumerator may *choose*
+/// virtual access paths, letting the consultant cost the workload as if
+/// the index existed.
+class VirtualIndexCollector {
+ public:
+  explicit VirtualIndexCollector(bool what_if = false) : what_if_(what_if) {}
+
+  bool what_if() const { return what_if_; }
+
+  /// The optimizer wishes table/column had an index worth ~`benefit` us.
+  void Request(uint32_t table_oid, const std::string& table_name, int column,
+               double benefit) {
+    VirtualIndexSpec& spec = specs_[{table_oid, column}];
+    spec.table_oid = table_oid;
+    spec.table_name = table_name;
+    if (spec.columns.empty()) spec.columns.push_back(column);
+    spec.benefit_micros += benefit;
+    spec.requests++;
+  }
+
+  /// Tightens a spec with an ordering requirement: `column` should lead,
+  /// followed by `then` (paper §5: "the specification becomes tighter as
+  /// optimization proceeds, as the optimizer desires more specific
+  /// orderings").
+  void Tighten(uint32_t table_oid, int column, const std::vector<int>& then) {
+    auto it = specs_.find({table_oid, column});
+    if (it == specs_.end()) return;
+    for (const int c : then) {
+      bool present = false;
+      for (const int existing : it->second.columns) {
+        if (existing == c) present = true;
+      }
+      if (!present) it->second.columns.push_back(c);
+    }
+  }
+
+  std::vector<VirtualIndexSpec> specs() const {
+    std::vector<VirtualIndexSpec> out;
+    out.reserve(specs_.size());
+    for (const auto& [key, spec] : specs_) out.push_back(spec);
+    return out;
+  }
+
+  void Clear() { specs_.clear(); }
+
+ private:
+  bool what_if_;
+  std::map<std::pair<uint32_t, int>, VirtualIndexSpec> specs_;
+};
+
+}  // namespace hdb::optimizer
+
+#endif  // HDB_OPTIMIZER_VIRTUAL_INDEX_H_

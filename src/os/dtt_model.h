@@ -1,0 +1,77 @@
+#ifndef HDB_OS_DTT_MODEL_H_
+#define HDB_OS_DTT_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hdb::os {
+
+enum class DttOp { kRead = 0, kWrite = 1 };
+
+/// Disk-Transfer-Time model (paper §4.2, Figures 2–3).
+///
+/// DTT(band) is the amortized cost, in microseconds, of transferring one
+/// page chosen randomly within a contiguous *band* of `band` pages. A band
+/// of 1 is sequential I/O; larger bands raise the probability that each
+/// access needs a seek and lengthen the arm travel. Write curves lie below
+/// read curves at large bands because database writes are asynchronous and
+/// benefit from scheduling (paper §4.2's "counterintuitive" observation).
+///
+/// A DttModel is either the built-in generic analytic model (Figure 2(a)),
+/// or a calibrated table of (band, microseconds) sample points per
+/// (operation, page size) produced by CALIBRATE DATABASE (Figure 2(b), 3).
+/// Models serialize to a small text blob stored in the catalog, so a model
+/// calibrated on one representative device can be deployed to thousands of
+/// databases (paper §4.2).
+class DttModel {
+ public:
+  /// One calibrated curve: sample points sorted by band, interpolated
+  /// piecewise-linearly in log(band), clamped at the extremes.
+  struct Curve {
+    std::vector<double> bands;
+    std::vector<double> micros;
+  };
+
+  /// The generic default model validated "over a variety of machine
+  /// architectures and disk subsystems".
+  static DttModel Default();
+
+  /// An empty calibrated model; add curves with SetCurve.
+  static DttModel Calibrated(std::string device_name);
+
+  /// Amortized microseconds to transfer one page of `page_bytes` randomly
+  /// placed within a band of `band_pages` pages.
+  double MicrosPerPage(DttOp op, uint32_t page_bytes,
+                       double band_pages) const;
+
+  /// Installs/replaces the curve for (op, page_bytes).
+  void SetCurve(DttOp op, uint32_t page_bytes, Curve curve);
+
+  bool is_default() const { return is_default_; }
+  const std::string& device_name() const { return device_name_; }
+
+  /// Catalog text encoding; round-trips through Parse.
+  std::string Serialize() const;
+  static Result<DttModel> Parse(const std::string& text);
+
+ private:
+  DttModel() = default;
+
+  double DefaultMicros(DttOp op, uint32_t page_bytes,
+                       double band_pages) const;
+  static double Interpolate(const Curve& c, double band);
+
+  bool is_default_ = true;
+  std::string device_name_ = "generic";
+  // Key: (op, page_bytes).
+  std::map<std::pair<int, uint32_t>, Curve> curves_;
+};
+
+}  // namespace hdb::os
+
+#endif  // HDB_OS_DTT_MODEL_H_

@@ -1,0 +1,46 @@
+#include "os/memory_env.h"
+
+#include <algorithm>
+
+namespace hdb::os {
+
+void MemoryEnv::SetAllocation(const std::string& name, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  allocations_[name] = bytes;
+}
+
+void MemoryEnv::RemoveProcess(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  allocations_.erase(name);
+}
+
+uint64_t MemoryEnv::Allocation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = allocations_.find(name);
+  return it == allocations_.end() ? 0 : it->second;
+}
+
+uint64_t MemoryEnv::TotalDemandLocked() const {
+  uint64_t total = 0;
+  for (const auto& [name, bytes] : allocations_) total += bytes;
+  return total;
+}
+
+uint64_t MemoryEnv::WorkingSetSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = allocations_.find(name);
+  if (it == allocations_.end()) return 0;
+  const uint64_t demand = TotalDemandLocked();
+  if (demand <= physical_) return it->second;
+  // Overcommitted: proportional working-set trim.
+  const double scale = static_cast<double>(physical_) / demand;
+  return static_cast<uint64_t>(static_cast<double>(it->second) * scale);
+}
+
+uint64_t MemoryEnv::FreePhysical() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t demand = TotalDemandLocked();
+  return demand >= physical_ ? 0 : physical_ - demand;
+}
+
+}  // namespace hdb::os

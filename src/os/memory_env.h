@@ -1,0 +1,64 @@
+#ifndef HDB_OS_MEMORY_ENV_H_
+#define HDB_OS_MEMORY_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace hdb::os {
+
+/// Simulated machine memory, the sensor for the buffer-pool feedback
+/// control loop of paper §2 / Figure 1.
+///
+/// The real SQL Anywhere polls the operating system for two reference
+/// inputs: the server process's *working-set size* (real memory in use by
+/// the process) and the machine's *free physical memory*. HolisticDB runs
+/// in environments where we cannot depend on those OS facilities for a
+/// reproducible experiment, so MemoryEnv models them:
+///
+///  * Each named process (the DB server plus any number of competing
+///    applications) has an *allocation* — its virtual memory demand.
+///  * When total demand fits in physical memory, every process's working
+///    set equals its allocation.
+///  * When demand exceeds physical memory, the OS pages: working sets are
+///    scaled down proportionally so they sum to physical memory (a simple
+///    global-LRU approximation). This is exactly the pressure signal the
+///    paper's governor reacts to by shrinking the pool.
+///
+/// This is substitution #1 in DESIGN.md: the control law above the sensor
+/// is the paper's, unchanged.
+class MemoryEnv {
+ public:
+  explicit MemoryEnv(uint64_t physical_bytes) : physical_(physical_bytes) {}
+
+  uint64_t physical_bytes() const { return physical_; }
+
+  /// Sets process `name`'s memory demand (creates the process if needed).
+  void SetAllocation(const std::string& name, uint64_t bytes);
+
+  /// Removes a process entirely.
+  void RemoveProcess(const std::string& name);
+
+  /// Current allocation of `name` (0 if absent).
+  uint64_t Allocation(const std::string& name) const;
+
+  /// Working-set size of `name` under the paging model described above.
+  uint64_t WorkingSetSize(const std::string& name) const;
+
+  /// Unused physical memory: physical - min(physical, total demand).
+  uint64_t FreePhysical() const;
+
+ private:
+  uint64_t TotalDemandLocked() const;
+
+  const uint64_t physical_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> allocations_;
+};
+
+}  // namespace hdb::os
+
+#endif  // HDB_OS_MEMORY_ENV_H_

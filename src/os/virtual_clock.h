@@ -1,0 +1,37 @@
+#ifndef HDB_OS_VIRTUAL_CLOCK_H_
+#define HDB_OS_VIRTUAL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hdb::os {
+
+/// Deterministic virtual time source, in microseconds.
+///
+/// Every time-dependent self-management mechanism in HolisticDB (buffer-pool
+/// governor polling, plan-cache verification schedule, I/O cost accounting)
+/// reads this clock rather than the wall clock, so adaptive trajectories are
+/// exactly reproducible in tests and benches. Simulated I/O and workload
+/// steps advance it explicitly.
+class VirtualClock {
+ public:
+  explicit VirtualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const { return now_.load(std::memory_order_relaxed); }
+
+  /// Advances time by `micros` and returns the new now.
+  int64_t Advance(int64_t micros) {
+    return now_.fetch_add(micros, std::memory_order_relaxed) + micros;
+  }
+
+  void SetMicros(int64_t micros) {
+    now_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace hdb::os
+
+#endif  // HDB_OS_VIRTUAL_CLOCK_H_

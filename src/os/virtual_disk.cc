@@ -1,0 +1,109 @@
+#include "os/virtual_disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdb::os {
+
+RotationalDisk::RotationalDisk(RotationalDiskOptions opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+double RotationalDisk::AccessMicros(uint64_t page_id, bool is_write) {
+  const uint64_t clamped = std::min(page_id, opts_.total_pages - 1);
+  const double transfer =
+      static_cast<double>(opts_.page_bytes) / (opts_.transfer_mbps * 1e6) * 1e6;
+
+  double positioning = 0.0;
+  const bool sequential = (clamped == head_page_ + 1 || clamped == head_page_);
+  if (!sequential) {
+    const double dist = static_cast<double>(
+        clamped > head_page_ ? clamped - head_page_ : head_page_ - clamped);
+    const double frac =
+        std::sqrt(dist / static_cast<double>(opts_.total_pages));
+    const double seek =
+        opts_.min_seek_us + (opts_.full_seek_us - opts_.min_seek_us) * frac;
+    // Rotational latency uniform in [0, full rotation).
+    const double rot = rng_.NextDouble() * (60.0e6 / opts_.rpm);
+    positioning = seek + rot;
+    if (is_write) positioning *= opts_.write_discount;
+  }
+  head_page_ = clamped;
+  return transfer + positioning;
+}
+
+double RotationalDisk::ReadMicros(uint64_t page_id) {
+  return AccessMicros(page_id, /*is_write=*/false);
+}
+
+double RotationalDisk::WriteMicros(uint64_t page_id) {
+  return AccessMicros(page_id, /*is_write=*/true);
+}
+
+double FlashDisk::Jitter(double us) {
+  const double j = 1.0 + (rng_.NextDouble() * 2.0 - 1.0) * opts_.jitter;
+  return us * j;
+}
+
+double FlashDisk::ReadMicros(uint64_t page_id) {
+  (void)page_id;  // Flash latency is position-independent.
+  const double kb = static_cast<double>(opts_.page_bytes) / 1024.0;
+  return Jitter(opts_.read_base_us + opts_.read_per_kb_us * kb);
+}
+
+double FlashDisk::WriteMicros(uint64_t page_id) {
+  (void)page_id;
+  const double kb = static_cast<double>(opts_.page_bytes) / 1024.0;
+  return Jitter(opts_.write_base_us + opts_.write_per_kb_us * kb);
+}
+
+DttModel CalibrateDisk(VirtualDisk& disk, const CalibrationOptions& opts) {
+  Rng rng(opts.seed);
+  const uint64_t total = disk.total_pages();
+
+  DttModel::Curve read_curve;
+  for (const double band : opts.bands) {
+    const auto band_pages =
+        static_cast<uint64_t>(std::min<double>(band, static_cast<double>(total)));
+    if (band_pages == 0) continue;
+    // Place the band in the middle of the device so full-stroke seeks do
+    // not dominate small bands.
+    const uint64_t start =
+        band_pages >= total ? 0 : (total - band_pages) / 2;
+    double sum = 0.0;
+    if (band_pages == 1) {
+      // Sequential probe: consecutive pages.
+      for (int i = 0; i < opts.samples_per_band; ++i) {
+        sum += disk.ReadMicros(start + static_cast<uint64_t>(i));
+      }
+    } else {
+      for (int i = 0; i < opts.samples_per_band; ++i) {
+        sum += disk.ReadMicros(start + rng.Uniform(band_pages));
+      }
+    }
+    read_curve.bands.push_back(static_cast<double>(band_pages));
+    read_curve.micros.push_back(sum / opts.samples_per_band);
+  }
+
+  // Fit the write factor from a few probes at the largest band; the write
+  // curve is then the read curve scaled by that factor.
+  double write_factor = 1.0;
+  if (!read_curve.bands.empty() && opts.write_probe_samples > 0) {
+    const auto band_pages = static_cast<uint64_t>(read_curve.bands.back());
+    const uint64_t start = band_pages >= total ? 0 : (total - band_pages) / 2;
+    double wsum = 0.0, rsum = 0.0;
+    for (int i = 0; i < opts.write_probe_samples; ++i) {
+      wsum += disk.WriteMicros(start + rng.Uniform(std::max<uint64_t>(1, band_pages)));
+      rsum += disk.ReadMicros(start + rng.Uniform(std::max<uint64_t>(1, band_pages)));
+    }
+    if (rsum > 0) write_factor = wsum / rsum;
+  }
+  DttModel::Curve write_curve = read_curve;
+  for (auto& us : write_curve.micros) us *= write_factor;
+
+  DttModel model = DttModel::Calibrated(disk.name());
+  model.SetCurve(DttOp::kRead, disk.page_bytes(), std::move(read_curve));
+  model.SetCurve(DttOp::kWrite, disk.page_bytes(), std::move(write_curve));
+  return model;
+}
+
+}  // namespace hdb::os

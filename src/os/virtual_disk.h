@@ -1,0 +1,125 @@
+#ifndef HDB_OS_VIRTUAL_DISK_H_
+#define HDB_OS_VIRTUAL_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "os/dtt_model.h"
+
+namespace hdb::os {
+
+/// A storage device with a simulated per-request service time.
+///
+/// This is substitution #2 in DESIGN.md: the paper calibrated against a
+/// Seagate Barracuda 7200 RPM disk (Figure 2(b)) and a SanDisk 512 MB SD
+/// card (Figure 3). VirtualDisk implements the same observable interface —
+/// service time as a function of access position history — so CALIBRATE
+/// DATABASE exercises the identical code path and the cost model can be
+/// validated against "actual" (simulated) run times, Eq. (3).
+///
+/// Service times are returned, not slept; the caller accrues them on the
+/// virtual clock.
+class VirtualDisk {
+ public:
+  virtual ~VirtualDisk() = default;
+
+  /// Service time in microseconds for reading the page at `page_id`,
+  /// updating internal positioning state.
+  virtual double ReadMicros(uint64_t page_id) = 0;
+
+  /// Service time in microseconds for writing the page at `page_id`.
+  virtual double WriteMicros(uint64_t page_id) = 0;
+
+  virtual uint64_t total_pages() const = 0;
+  virtual uint32_t page_bytes() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Rotational disk: seek time grows with arm travel distance, half-rotation
+/// latency on each discontiguous access, fixed transfer rate. A write-back
+/// cache plus elevator scheduling discounts write positioning cost.
+struct RotationalDiskOptions {
+  uint64_t total_pages = 1 << 22;  // 16 GiB of 4K pages
+  uint32_t page_bytes = 4096;
+  double min_seek_us = 800.0;
+  double full_seek_us = 8500.0;
+  double rpm = 7200.0;
+  double transfer_mbps = 70.0;
+  /// Fraction of positioning cost paid by asynchronous writes.
+  double write_discount = 0.6;
+  uint64_t seed = 7;
+};
+
+class RotationalDisk : public VirtualDisk {
+ public:
+  explicit RotationalDisk(RotationalDiskOptions opts);
+
+  double ReadMicros(uint64_t page_id) override;
+  double WriteMicros(uint64_t page_id) override;
+  uint64_t total_pages() const override { return opts_.total_pages; }
+  uint32_t page_bytes() const override { return opts_.page_bytes; }
+  const char* name() const override { return "rotational-7200"; }
+
+ private:
+  double AccessMicros(uint64_t page_id, bool is_write);
+
+  RotationalDiskOptions opts_;
+  Rng rng_;
+  uint64_t head_page_ = 0;
+};
+
+/// Flash/SD storage: position-independent access times (the paper's
+/// Figure 3 shows uniform random-read latency on the SD card), with writes
+/// several times costlier than reads due to program/erase cycles.
+struct FlashDiskOptions {
+  uint64_t total_pages = 131072;  // 512 MiB of 4K pages
+  uint32_t page_bytes = 4096;
+  double read_base_us = 180.0;
+  double read_per_kb_us = 12.0;
+  double write_base_us = 900.0;
+  double write_per_kb_us = 110.0;
+  /// Jitter fraction applied uniformly to each access.
+  double jitter = 0.08;
+  uint64_t seed = 11;
+};
+
+class FlashDisk : public VirtualDisk {
+ public:
+  explicit FlashDisk(FlashDiskOptions opts) : opts_(opts), rng_(opts.seed) {}
+
+  double ReadMicros(uint64_t page_id) override;
+  double WriteMicros(uint64_t page_id) override;
+  uint64_t total_pages() const override { return opts_.total_pages; }
+  uint32_t page_bytes() const override { return opts_.page_bytes; }
+  const char* name() const override { return "sd-card-512mb"; }
+
+ private:
+  double Jitter(double us);
+
+  FlashDiskOptions opts_;
+  Rng rng_;
+};
+
+/// Options controlling CALIBRATE DATABASE's probe sequence.
+struct CalibrationOptions {
+  std::vector<double> bands = {1,    4,     16,    64,     256,    1024,
+                               4096, 16384, 65536, 262144, 1048576};
+  int samples_per_band = 200;
+  /// Number of write probes (at the smallest and largest band) used to fit
+  /// the write-scale factor; the write curve is the read curve times that
+  /// factor (paper §4.2: "the write DTT curve is approximated using the
+  /// read curve as a baseline").
+  int write_probe_samples = 64;
+  uint64_t seed = 1234;
+};
+
+/// Runs the calibration probe sequence against `disk` and returns a
+/// calibrated DttModel containing a measured read curve and the
+/// read-derived write curve for the disk's page size.
+DttModel CalibrateDisk(VirtualDisk& disk, const CalibrationOptions& opts);
+
+}  // namespace hdb::os
+
+#endif  // HDB_OS_VIRTUAL_DISK_H_

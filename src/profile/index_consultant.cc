@@ -1,0 +1,116 @@
+#include "profile/index_consultant.h"
+
+#include <algorithm>
+#include <set>
+
+#include "engine/binder.h"
+#include "engine/parser.h"
+#include "optimizer/optimizer.h"
+
+namespace hdb::profile {
+
+namespace {
+
+void CollectUsedIndexes(const optimizer::PlanNode* n,
+                        std::set<uint32_t>* used) {
+  if (n->index != nullptr && !n->index_is_virtual) {
+    used->insert(n->index->oid);
+  }
+  if (n->alt_index != nullptr) used->insert(n->alt_index->oid);
+  for (const auto& c : n->children) CollectUsedIndexes(c.get(), used);
+}
+
+}  // namespace
+
+Result<IndexConsultant::Analysis> IndexConsultant::Analyze(
+    const std::vector<std::string>& workload) {
+  Analysis analysis;
+  optimizer::VirtualIndexCollector collector(/*what_if=*/true);
+  engine::Binder binder(&db_->catalog());
+  std::set<uint32_t> used_indexes;
+
+  // Bind once, optimize twice per statement: a baseline pass (virtual
+  // paths visible to the collector but not choosable) and a what-if pass
+  // (the optimizer may pick virtual indexes).
+  for (const std::string& sql : workload) {
+    HDB_ASSIGN_OR_RETURN(engine::StatementAst stmt, engine::Parse(sql));
+    if (!std::holds_alternative<engine::SelectAst>(stmt)) continue;
+    HDB_ASSIGN_OR_RETURN(
+        optimizer::Query q,
+        binder.BindSelect(std::get<engine::SelectAst>(stmt)));
+
+    optimizer::OptimizerContext base_ctx;
+    base_ctx.catalog = &db_->catalog();
+    base_ctx.stats = &db_->stats();
+    base_ctx.pool = &db_->pool();
+    base_ctx.index_stats = db_->IndexStatsProvider();
+    base_ctx.virtual_indexes = &collector;
+    base_ctx.use_virtual_indexes = false;
+
+    optimizer::Optimizer baseline(base_ctx);
+    optimizer::OptimizeDiagnostics diag;
+    HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
+                         baseline.Optimize(q, false, &diag));
+    analysis.workload_cost_before += diag.enumeration.best_cost;
+    CollectUsedIndexes(plan.get(), &used_indexes);
+
+    optimizer::OptimizerContext what_if_ctx = base_ctx;
+    what_if_ctx.use_virtual_indexes = true;
+    optimizer::Optimizer what_if(what_if_ctx);
+    optimizer::OptimizeDiagnostics diag2;
+    HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan2,
+                         what_if.Optimize(q, false, &diag2));
+    analysis.workload_cost_after += diag2.enumeration.best_cost;
+  }
+
+  analysis.raw_specs = collector.specs();
+
+  // Impose the physical composition and ordering on surviving specs
+  // (paper §5: "when the Index Consultant is finished, a physical
+  // composition and ordering is imposed on the index").
+  std::vector<optimizer::VirtualIndexSpec> specs = analysis.raw_specs;
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) {
+              return a.benefit_micros > b.benefit_micros;
+            });
+  for (const auto& spec : specs) {
+    if (spec.benefit_micros < options_.min_benefit_micros) continue;
+    if (analysis.recommendations.size() >= options_.max_recommendations) {
+      break;
+    }
+    auto table = db_->catalog().GetTableByOid(spec.table_oid);
+    if (!table.ok()) continue;
+    Recommendation rec;
+    rec.kind = Recommendation::Kind::kCreateIndex;
+    rec.table = spec.table_name;
+    rec.benefit_micros = spec.benefit_micros;
+    rec.requests = spec.requests;
+    std::string cols;
+    for (const int c : spec.columns) {
+      const std::string& name = (*table)->columns[c].name;
+      rec.columns.push_back(name);
+      if (!cols.empty()) cols += ", ";
+      cols += name;
+    }
+    rec.index_name = "idx_" + spec.table_name + "_" + rec.columns.front();
+    rec.ddl = "CREATE INDEX " + rec.index_name + " ON " + spec.table_name +
+              " (" + cols + ")";
+    analysis.recommendations.push_back(std::move(rec));
+  }
+
+  // Drop recommendations: physical indexes never chosen by any plan.
+  for (catalog::TableDef* table : db_->catalog().AllTables()) {
+    for (catalog::IndexDef* idx : db_->catalog().TableIndexes(table->oid)) {
+      if (used_indexes.count(idx->oid) != 0) continue;
+      Recommendation rec;
+      rec.kind = Recommendation::Kind::kDropIndex;
+      rec.table = table->name;
+      rec.index_name = idx->name;
+      rec.ddl = "DROP INDEX " + idx->name;
+      analysis.recommendations.push_back(std::move(rec));
+    }
+  }
+  return analysis;
+}
+
+}  // namespace hdb::profile

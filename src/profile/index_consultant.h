@@ -1,0 +1,58 @@
+#ifndef HDB_PROFILE_INDEX_CONSULTANT_H_
+#define HDB_PROFILE_INDEX_CONSULTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "optimizer/virtual_index.h"
+
+namespace hdb::profile {
+
+struct Recommendation {
+  enum class Kind { kCreateIndex, kDropIndex };
+  Kind kind = Kind::kCreateIndex;
+  std::string table;
+  std::vector<std::string> columns;  // create: key columns in final order
+  std::string index_name;            // drop: victim index
+  double benefit_micros = 0;         // predicted workload cost saved
+  int requests = 0;
+  std::string ddl;                   // ready-to-run statement
+};
+
+/// The Index Consultant (paper §5): replays a workload through the
+/// optimizer letting it generate virtual-index specifications (the
+/// "indexes it would like to have"), costs the workload with and without
+/// those indexes available, imposes a physical composition and ordering on
+/// the surviving specs, and also flags physical indexes no plan used.
+class IndexConsultant {
+ public:
+  struct Options {
+    /// Keep recommendations predicted to save at least this much.
+    double min_benefit_micros = 1.0;
+    size_t max_recommendations = 10;
+  };
+
+  IndexConsultant(engine::Database* db, Options options)
+      : db_(db), options_(options) {}
+  explicit IndexConsultant(engine::Database* db)
+      : IndexConsultant(db, Options{}) {}
+
+  struct Analysis {
+    std::vector<Recommendation> recommendations;
+    double workload_cost_before = 0;
+    double workload_cost_after = 0;  // with virtual indexes usable
+    std::vector<optimizer::VirtualIndexSpec> raw_specs;
+  };
+
+  /// Analyzes a workload of SELECT statements.
+  Result<Analysis> Analyze(const std::vector<std::string>& workload);
+
+ private:
+  engine::Database* db_;
+  Options options_;
+};
+
+}  // namespace hdb::profile
+
+#endif  // HDB_PROFILE_INDEX_CONSULTANT_H_

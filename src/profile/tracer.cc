@@ -1,0 +1,79 @@
+#include "profile/tracer.h"
+
+#include "engine/lexer.h"
+
+namespace hdb::profile {
+
+std::string NormalizeStatement(const std::string& sql) {
+  auto tokens = engine::Lex(sql);
+  if (!tokens.ok()) return sql;
+  std::string out;
+  for (const engine::Token& t : *tokens) {
+    if (t.kind == engine::TokenKind::kEnd) break;
+    if (!out.empty()) out += " ";
+    switch (t.kind) {
+      case engine::TokenKind::kNumber:
+      case engine::TokenKind::kString:
+        out += "?";
+        break;
+      case engine::TokenKind::kParam:
+        out += ":?";
+        break;
+      default:
+        out += t.text;  // uppercased idents/symbols
+    }
+  }
+  return out;
+}
+
+Status RequestTracer::Attach(engine::Database* monitored,
+                             engine::Database* sink) {
+  monitored_ = monitored;
+  sink_ = sink;
+  if (sink_ != nullptr) {
+    HDB_ASSIGN_OR_RETURN(sink_conn_, sink_->Connect());
+    // Trace schema: one row per request.
+    const auto r = sink_conn_->Execute(
+        "CREATE TABLE profile_trace (sql VARCHAR, shape VARCHAR, "
+        "elapsed_us DOUBLE, rows_returned BIGINT, rows_scanned BIGINT, "
+        "bypassed BOOLEAN)");
+    if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  monitored_->set_trace_hook(
+      [this](const engine::TraceEvent& ev) { OnEvent(ev); });
+  return Status::OK();
+}
+
+void RequestTracer::Detach() {
+  if (monitored_ != nullptr) monitored_->set_trace_hook(nullptr);
+  monitored_ = nullptr;
+}
+
+void RequestTracer::OnEvent(const engine::TraceEvent& ev) {
+  if (in_sink_write_) return;  // ignore our own inserts when sink == source
+  events_.push_back(ev);
+  if (sink_conn_ == nullptr) return;
+  in_sink_write_ = true;
+  std::string esc;
+  for (const char c : ev.sql) {
+    esc += c;
+    if (c == '\'') esc += '\'';
+  }
+  std::string shape_esc;
+  for (const char c : NormalizeStatement(ev.sql)) {
+    shape_esc += c;
+    if (c == '\'') shape_esc += '\'';
+  }
+  const std::string insert =
+      "INSERT INTO profile_trace VALUES ('" + esc + "', '" + shape_esc +
+      "', " + std::to_string(ev.elapsed_micros) + ", " +
+      std::to_string(ev.rows_returned) + ", " +
+      std::to_string(ev.rows_scanned) + ", " +
+      (ev.bypassed_optimizer ? "TRUE" : "FALSE") + ")";
+  if (!sink_conn_->Execute(insert).ok()) ++dropped_;
+  in_sink_write_ = false;
+}
+
+}  // namespace hdb::profile

@@ -1,0 +1,51 @@
+#ifndef HDB_PROFILE_TRACER_H_
+#define HDB_PROFILE_TRACER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace hdb::profile {
+
+/// Captures a detailed trace of all server activity (paper §5). The trace
+/// can be held in memory and/or *written into another HolisticDB
+/// database* — the paper's architecture, where the trace streams (there,
+/// over TCP/IP; here, in process — DESIGN.md substitution #5) into any SQL
+/// Anywhere database for analysis, including the monitored database
+/// itself (convenience) or a separate one (performance).
+class RequestTracer {
+ public:
+  RequestTracer() = default;
+
+  /// Starts capturing `monitored`'s requests. If `sink` is non-null, each
+  /// event is also inserted into a `profile_trace` table there.
+  Status Attach(engine::Database* monitored, engine::Database* sink);
+
+  /// Stops capturing (clears the hook).
+  void Detach();
+
+  const std::vector<engine::TraceEvent>& events() const { return events_; }
+  uint64_t dropped_sink_writes() const { return dropped_; }
+
+ private:
+  void OnEvent(const engine::TraceEvent& ev);
+
+  engine::Database* monitored_ = nullptr;
+  engine::Database* sink_ = nullptr;
+  std::unique_ptr<engine::Connection> sink_conn_;
+  std::vector<engine::TraceEvent> events_;
+  uint64_t dropped_ = 0;
+  bool in_sink_write_ = false;
+};
+
+/// Normalizes a SQL text to its *statement shape*: literals replaced by
+/// '?', whitespace canonicalized, keywords uppercased. Statements that
+/// differ only in constants — the client-side join signature — normalize
+/// identically.
+std::string NormalizeStatement(const std::string& sql);
+
+}  // namespace hdb::profile
+
+#endif  // HDB_PROFILE_TRACER_H_

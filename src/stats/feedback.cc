@@ -1,0 +1,105 @@
+#include "stats/feedback.h"
+
+#include "common/ophash.h"
+
+namespace hdb::stats {
+
+void FeedbackCollector::ObserveEquals(uint32_t table_oid, int col,
+                                      const Value& operand, bool matched) {
+  AggKey key;
+  key.table_oid = table_oid;
+  key.col = col;
+  key.kind = Kind::kEquals;
+  key.lo = OrderPreservingHash(operand);
+  key.has_lo = true;
+  if (operand.type() == TypeId::kVarchar && !operand.is_null()) {
+    key.text = operand.AsString();
+  }
+  Agg& a = aggregates_[key];
+  if (a.seen == 0) a.lo_value = operand;
+  a.seen++;
+  if (matched) a.matched++;
+}
+
+void FeedbackCollector::ObserveRange(uint32_t table_oid, int col,
+                                     const std::optional<Value>& lo,
+                                     const std::optional<Value>& hi,
+                                     bool matched) {
+  AggKey key;
+  key.table_oid = table_oid;
+  key.col = col;
+  key.kind = Kind::kRange;
+  if (lo.has_value()) {
+    key.lo = OrderPreservingHash(*lo);
+    key.has_lo = true;
+  }
+  if (hi.has_value()) {
+    key.hi = OrderPreservingHash(*hi);
+    key.has_hi = true;
+  }
+  Agg& a = aggregates_[key];
+  if (a.seen == 0) {
+    a.lo_value = lo;
+    a.hi_value = hi;
+  }
+  a.seen++;
+  if (matched) a.matched++;
+}
+
+void FeedbackCollector::ObserveIsNull(uint32_t table_oid, int col,
+                                      bool matched) {
+  AggKey key;
+  key.table_oid = table_oid;
+  key.col = col;
+  key.kind = Kind::kIsNull;
+  Agg& a = aggregates_[key];
+  a.seen++;
+  if (matched) a.matched++;
+}
+
+void FeedbackCollector::ObserveLike(uint32_t table_oid, int col,
+                                    const std::string& pattern,
+                                    bool matched) {
+  AggKey key;
+  key.table_oid = table_oid;
+  key.col = col;
+  key.kind = Kind::kLike;
+  key.text = pattern;
+  Agg& a = aggregates_[key];
+  a.seen++;
+  if (matched) a.matched++;
+}
+
+void FeedbackCollector::Flush(StatsRegistry* registry) {
+  for (const auto& [key, agg] : aggregates_) {
+    if (agg.seen < options_.min_rows) continue;
+    const double observed =
+        static_cast<double>(agg.matched) / static_cast<double>(agg.seen);
+    switch (key.kind) {
+      case Kind::kEquals:
+        if (agg.lo_value.has_value()) {
+          registry->FeedbackEquals(key.table_oid, key.col, *agg.lo_value,
+                                   observed);
+        }
+        break;
+      case Kind::kRange: {
+        const Value* lo =
+            agg.lo_value.has_value() ? &*agg.lo_value : nullptr;
+        const Value* hi =
+            agg.hi_value.has_value() ? &*agg.hi_value : nullptr;
+        registry->FeedbackRange(key.table_oid, key.col, lo, hi, observed);
+        break;
+      }
+      case Kind::kIsNull:
+        registry->FeedbackIsNull(key.table_oid, key.col, observed);
+        break;
+      case Kind::kLike:
+        registry->FeedbackString(key.table_oid, key.col,
+                                 StringPredicate::kLike, key.text, observed);
+        break;
+    }
+  }
+  aggregates_.clear();
+}
+
+}  // namespace hdb::stats

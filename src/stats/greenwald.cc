@@ -1,0 +1,100 @@
+#include "stats/greenwald.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdb::stats {
+
+GreenwaldSketch::GreenwaldSketch(double epsilon, size_t buffer_size)
+    : epsilon_(epsilon), buffer_capacity_(std::max<size_t>(1, buffer_size)) {
+  buffer_.reserve(buffer_capacity_);
+}
+
+void GreenwaldSketch::Insert(double v) {
+  buffer_.push_back(v);
+  if (buffer_.size() >= buffer_capacity_) FlushBuffer();
+}
+
+void GreenwaldSketch::FlushBuffer() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  // Merge the sorted batch into the tuple list.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  for (const double v : buffer_) {
+    while (ti < tuples_.size() && tuples_[ti].v <= v) {
+      merged.push_back(tuples_[ti++]);
+    }
+    // New tuple: g = 1; delta = floor(2*eps*n) except at the extremes.
+    const bool extreme = merged.empty() || ti >= tuples_.size();
+    const size_t delta =
+        extreme ? 0
+                : static_cast<size_t>(std::floor(2.0 * epsilon_ *
+                                                 static_cast<double>(n_)));
+    merged.push_back(Tuple{v, 1, delta});
+    ++n_;
+  }
+  while (ti < tuples_.size()) merged.push_back(tuples_[ti++]);
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  Compress();
+}
+
+void GreenwaldSketch::Compress() const {
+  if (tuples_.size() < 3) return;
+  const auto threshold =
+      static_cast<size_t>(std::floor(2.0 * epsilon_ * static_cast<double>(n_)));
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    Tuple& prev = out.back();
+    // Merge t into its successor when band capacity allows; here we use
+    // the simpler pairwise rule: fold t into prev when the combined
+    // uncertainty stays within threshold.
+    if (prev.g + t.g + t.delta <= threshold && out.size() > 1) {
+      prev.g += t.g;
+      prev.v = t.v;
+      prev.delta = t.delta;
+    } else {
+      out.push_back(t);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double GreenwaldSketch::Quantile(double phi) const {
+  FlushBuffer();
+  if (tuples_.empty()) return 0.0;
+  phi = std::clamp(phi, 0.0, 1.0);
+  const double target = phi * static_cast<double>(n_);
+  const auto bound = static_cast<double>(
+      std::floor(epsilon_ * static_cast<double>(n_)));
+  double rmin = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += static_cast<double>(t.g);
+    const double rmax = rmin + static_cast<double>(t.delta);
+    if (rmax >= target - bound && rmin <= target + bound) return t.v;
+    if (rmin > target + bound) return t.v;
+  }
+  return tuples_.back().v;
+}
+
+std::vector<double> GreenwaldSketch::EquiDepthBoundaries(size_t k) const {
+  FlushBuffer();
+  std::vector<double> bounds;
+  if (tuples_.empty() || k == 0) return bounds;
+  bounds.reserve(k + 1);
+  for (size_t i = 0; i <= k; ++i) {
+    bounds.push_back(Quantile(static_cast<double>(i) / static_cast<double>(k)));
+  }
+  // Boundaries must strictly increase where possible.
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+}  // namespace hdb::stats

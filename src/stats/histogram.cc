@@ -1,0 +1,416 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ophash.h"
+
+namespace hdb::stats {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Histogram::Histogram(TypeId type, Options options)
+    : type_(type),
+      options_(options),
+      value_width_(OrderPreservingHashWidth(type)) {}
+
+Histogram Histogram::Build(TypeId type, std::vector<double> values,
+                           double null_count, Options options) {
+  Histogram h(type, options);
+  h.null_count_ = null_count;
+  h.total_ = null_count + static_cast<double>(values.size());
+  if (values.empty()) return h;
+  std::sort(values.begin(), values.end());
+
+  // Pass 1: frequency count (values are sorted, so runs are adjacent).
+  struct Run {
+    double v;
+    double count;
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    runs.push_back(Run{values[i], static_cast<double>(j - i)});
+    i = j;
+  }
+  h.distinct_estimate_ = static_cast<double>(runs.size());
+
+  // Singletons: >= threshold of rows, or top-N, capped at max_singletons.
+  const double n = static_cast<double>(values.size());
+  std::vector<size_t> order(runs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&runs](size_t a, size_t b) {
+    return runs[a].count > runs[b].count;
+  });
+  std::vector<bool> is_singleton(runs.size(), false);
+  int taken = 0;
+  for (const size_t idx : order) {
+    if (taken >= options.max_singletons) break;
+    if (runs[idx].count / n >= options.singleton_threshold) {
+      is_singleton[idx] = true;
+      ++taken;
+    } else {
+      break;  // sorted by count: nothing later qualifies
+    }
+  }
+  double rest_total = 0;
+  std::vector<Run> rest;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (is_singleton[i]) {
+      h.singletons_[runs[i].v] = runs[i].count;
+    } else {
+      rest.push_back(runs[i]);
+      rest_total += runs[i].count;
+    }
+  }
+
+  if (rest.empty()) {
+    // Compressed all-singleton histogram.
+    h.lo_ = runs.front().v;
+    return h;
+  }
+
+  // Equi-depth buckets over the remaining values.
+  h.lo_ = rest.front().v;
+  const int nb = std::max(
+      1, std::min(options.target_buckets, static_cast<int>(rest.size())));
+  const double per_bucket = rest_total / nb;
+  double acc = 0;
+  Bucket cur{rest.front().v, 0};
+  for (const Run& r : rest) {
+    cur.count += r.count;
+    cur.hi = r.v;
+    acc += r.count;
+    if (cur.count >= per_bucket && static_cast<int>(h.buckets_.size()) + 1 < nb) {
+      h.buckets_.push_back(cur);
+      cur = Bucket{r.v, 0};
+    }
+  }
+  if (cur.count > 0 || h.buckets_.empty()) h.buckets_.push_back(cur);
+  return h;
+}
+
+Histogram Histogram::FromBoundaries(TypeId type,
+                                    const std::vector<double>& boundaries,
+                                    double rows_per_bucket, double null_count,
+                                    Options options) {
+  Histogram h(type, options);
+  h.null_count_ = null_count;
+  if (boundaries.size() < 2) {
+    h.total_ = null_count;
+    if (!boundaries.empty()) h.lo_ = boundaries[0];
+    return h;
+  }
+  h.lo_ = boundaries.front();
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    h.buckets_.push_back(Bucket{boundaries[i], rows_per_bucket});
+  }
+  const double nrows = rows_per_bucket * (boundaries.size() - 1);
+  h.total_ = null_count + nrows;
+  // Without frequency information, assume a moderately distinct column.
+  h.distinct_estimate_ = std::max(1.0, nrows / 4.0);
+  return h;
+}
+
+double Histogram::NonNullCount() const {
+  return std::max(0.0, total_ - null_count_);
+}
+
+double Histogram::SingletonTotal() const {
+  double s = 0;
+  for (const auto& [v, c] : singletons_) s += c;
+  return s;
+}
+
+bool Histogram::all_singletons() const {
+  if (singletons_.empty()) return false;
+  double b = 0;
+  for (const Bucket& bk : buckets_) b += bk.count;
+  return b < 0.5;
+}
+
+int Histogram::FindBucket(double v) const {
+  if (buckets_.empty() || v < lo_ || v > buckets_.back().hi) return -1;
+  // Binary search over inclusive upper bounds.
+  size_t lo = 0, hi = buckets_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (buckets_[mid].hi < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+double Histogram::density() const {
+  // Average selectivity of one non-singleton value.
+  const double nonsingleton_rows = std::max(0.0, NonNullCount() - SingletonTotal());
+  const double nonsingleton_distinct =
+      std::max(1.0, distinct_estimate_ - static_cast<double>(singletons_.size()));
+  if (total_ < kEps) return 0.0;
+  return (nonsingleton_rows / nonsingleton_distinct) / total_;
+}
+
+double Histogram::EstimateDistinct() const {
+  return std::max(distinct_estimate_, static_cast<double>(singletons_.size()));
+}
+
+double Histogram::EstimateIsNull() const {
+  return total_ < kEps ? 0.0 : null_count_ / total_;
+}
+
+double Histogram::EstimateEquals(double v) const {
+  if (total_ < kEps) return 0.0;
+  const auto it = singletons_.find(v);
+  if (it != singletons_.end()) return it->second / total_;
+  const int b = FindBucket(v);
+  if (b < 0) return 0.0;
+  // Density, but never more than the whole bucket.
+  const double bucket_frac = buckets_[b].count / total_;
+  return std::min(density(), bucket_frac);
+}
+
+double Histogram::EstimateRange(double lo, bool lo_inclusive, double hi,
+                                bool hi_inclusive) const {
+  if (total_ < kEps || hi < lo) return 0.0;
+  double rows = 0;
+
+  // Singletons inside the range.
+  for (auto it = singletons_.lower_bound(lo); it != singletons_.end(); ++it) {
+    if (it->first > hi) break;
+    if (it->first == lo && !lo_inclusive) continue;
+    if (it->first == hi && !hi_inclusive) continue;
+    rows += it->second;
+  }
+
+  // Buckets, with uniform interpolation; value width keeps the domain
+  // discrete so [v, v] on an INT column means one value, not zero width.
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double blo = BucketLo(i);
+    const double bhi = buckets_[i].hi;
+    if (bhi < lo || blo > hi) continue;
+    const double cover_lo = std::max(lo, blo);
+    const double cover_hi = std::min(hi, bhi);
+    const double width = std::max(bhi - blo, value_width_);
+    double frac = (cover_hi - cover_lo + value_width_) / (width + value_width_);
+    frac = std::clamp(frac, 0.0, 1.0);
+    rows += buckets_[i].count * frac;
+  }
+  return std::clamp(rows / total_, 0.0, 1.0);
+}
+
+double Histogram::NonSingletonRangeRows(double lo, double hi) const {
+  double rows = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double blo = BucketLo(i);
+    const double bhi = buckets_[i].hi;
+    if (bhi < lo || blo > hi) continue;
+    const double width = std::max(bhi - blo, value_width_);
+    const double cover =
+        std::clamp((std::min(hi, bhi) - std::max(lo, blo) + value_width_) /
+                       (width + value_width_),
+                   0.0, 1.0);
+    rows += buckets_[i].count * cover;
+  }
+  return rows;
+}
+
+double Histogram::NonSingletonDistinct() const {
+  return std::max(
+      1.0, distinct_estimate_ - static_cast<double>(singletons_.size()));
+}
+
+void Histogram::ExtendDomain(double v) {
+  if (buckets_.empty()) {
+    lo_ = v;
+    buckets_.push_back(Bucket{v, 0});
+    return;
+  }
+  if (v < lo_) lo_ = v;
+  if (v > buckets_.back().hi) buckets_.back().hi = v;
+}
+
+void Histogram::AddToBuckets(double v, double count) {
+  ExtendDomain(v);
+  const int b = FindBucket(v);
+  if (b >= 0) buckets_[b].count += count;
+}
+
+void Histogram::OnInsert(double v, bool is_null) {
+  total_ += 1;
+  if (is_null) {
+    null_count_ += 1;
+    return;
+  }
+  auto it = singletons_.find(v);
+  if (it != singletons_.end()) {
+    it->second += 1;
+  } else {
+    AddToBuckets(v, 1.0);
+    // A fraction of inserts introduce new values; nudge the distinct
+    // estimate with the long-run expectation 1/(1 + count(v)) ~ density.
+    distinct_estimate_ += 1.0 / (1.0 + std::max(0.0, density() * total_));
+  }
+  ++updates_since_restructure_;
+  MaybeRestructure();
+}
+
+void Histogram::OnDelete(double v, bool is_null) {
+  if (total_ >= 1) total_ -= 1;
+  if (is_null) {
+    if (null_count_ >= 1) null_count_ -= 1;
+    return;
+  }
+  auto it = singletons_.find(v);
+  if (it != singletons_.end()) {
+    it->second = std::max(0.0, it->second - 1);
+  } else {
+    const int b = FindBucket(v);
+    if (b >= 0) buckets_[b].count = std::max(0.0, buckets_[b].count - 1);
+  }
+  ++updates_since_restructure_;
+  MaybeRestructure();
+}
+
+void Histogram::FeedbackEquals(double v, double observed_fraction) {
+  if (total_ < kEps) return;
+  const double observed_rows = observed_fraction * total_;
+  auto it = singletons_.find(v);
+  const double gain = options_.feedback_gain;
+  const double current = EstimateEquals(v);
+  // A value whose observed frequency is far from its current estimate is
+  // worth remembering individually, whether or not it crosses the 1%
+  // threshold — the paper's top-N side of "at least 1% or 'top N'".
+  const bool surprising =
+      std::abs(observed_fraction - current) >
+      0.5 * std::max({observed_fraction, current, 1e-6});
+  if (it != singletons_.end()) {
+    it->second = (1 - gain) * it->second + gain * observed_rows;
+  } else if ((observed_fraction >= options_.singleton_threshold ||
+              (surprising && observed_rows >= 1.0)) &&
+             static_cast<int>(singletons_.size()) < options_.max_singletons) {
+    // Promote to a singleton bucket; remove its mass from the bucket.
+    singletons_[v] = observed_rows;
+    const int b = FindBucket(v);
+    if (b >= 0) {
+      buckets_[b].count = std::max(0.0, buckets_[b].count - observed_rows);
+    }
+  } else if (!surprising) {
+    // The observation is consistent with the density model: refine the
+    // density estimate toward it, gently (one value must not whipsaw the
+    // whole column's density).
+    const double implied_distinct =
+        observed_fraction > kEps
+            ? (NonNullCount() - SingletonTotal()) / observed_rows
+            : distinct_estimate_;
+    const double gentle = 0.15;
+    distinct_estimate_ =
+        (1 - gentle) * distinct_estimate_ +
+        gentle * std::max(1.0, implied_distinct +
+                                   static_cast<double>(singletons_.size()));
+  }
+  ++updates_since_restructure_;
+  MaybeRestructure();
+}
+
+void Histogram::FeedbackRange(double lo, double hi,
+                              double observed_fraction) {
+  if (total_ < kEps || buckets_.empty()) return;
+  const double est = EstimateRange(lo, true, hi, true);
+  if (est < kEps && observed_fraction < kEps) return;
+  // Scale the overlapped portions of buckets by a damped correction
+  // factor, leaving the rest of the distribution untouched (the
+  // self-tuning-histogram update of Aboulnaga & Chaudhuri, which the paper
+  // cites as the related rediscovery of its 1992 technique).
+  double factor = (observed_fraction + kEps) / (est + kEps);
+  const double gain = options_.feedback_gain;
+  factor = (1 - gain) + gain * factor;
+  factor = std::clamp(factor, 0.2, 5.0);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double blo = BucketLo(i);
+    const double bhi = buckets_[i].hi;
+    if (bhi < lo || blo > hi) continue;
+    const double width = std::max(bhi - blo, value_width_);
+    const double cover =
+        std::clamp((std::min(hi, bhi) - std::max(lo, blo) + value_width_) /
+                       (width + value_width_),
+                   0.0, 1.0);
+    const double affected = buckets_[i].count * cover;
+    buckets_[i].count += affected * (factor - 1.0);
+  }
+  ++updates_since_restructure_;
+  MaybeRestructure();
+}
+
+void Histogram::FeedbackIsNull(double observed_fraction) {
+  const double gain = options_.feedback_gain;
+  null_count_ =
+      (1 - gain) * null_count_ + gain * observed_fraction * total_;
+}
+
+void Histogram::MaybeRestructure() {
+  if (updates_since_restructure_ < options_.restructure_period) return;
+  updates_since_restructure_ = 0;
+  Restructure();
+}
+
+void Histogram::Restructure() {
+  // Demote cold singletons, but only under budget pressure: sub-threshold
+  // values planted by equality feedback (the top-N side of §3.1) are kept
+  // while the [0, 100] budget has room.
+  const bool crowded =
+      static_cast<int>(singletons_.size()) > options_.max_singletons * 3 / 4;
+  if (crowded) {
+    for (auto it = singletons_.begin(); it != singletons_.end();) {
+      if (total_ > kEps &&
+          it->second / total_ < options_.singleton_threshold / 2) {
+        AddToBuckets(it->first, it->second);
+        it = singletons_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (buckets_.empty()) return;
+
+  double bucket_total = 0;
+  for (const Bucket& b : buckets_) bucket_total += b.count;
+  if (bucket_total < kEps) return;
+  const double target = bucket_total / options_.target_buckets;
+
+  // Split overweight buckets (dynamic expansion).
+  std::vector<Bucket> out;
+  out.reserve(buckets_.size() + 4);
+  double prev = lo_;
+  for (const Bucket& b : buckets_) {
+    if (b.count > 2 * target &&
+        static_cast<int>(buckets_.size()) < options_.max_buckets &&
+        b.hi - prev > 2 * value_width_) {
+      const double mid = prev + (b.hi - prev) / 2;
+      out.push_back(Bucket{mid, b.count / 2});
+      out.push_back(Bucket{b.hi, b.count / 2});
+    } else {
+      out.push_back(b);
+    }
+    prev = b.hi;
+  }
+  // Merge adjacent underweight buckets (dynamic contraction).
+  std::vector<Bucket> merged;
+  merged.reserve(out.size());
+  for (const Bucket& b : out) {
+    if (!merged.empty() && merged.back().count + b.count < target / 2) {
+      merged.back().count += b.count;
+      merged.back().hi = b.hi;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  buckets_ = std::move(merged);
+}
+
+}  // namespace hdb::stats

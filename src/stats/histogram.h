@@ -1,0 +1,138 @@
+#ifndef HDB_STATS_HISTOGRAM_H_
+#define HDB_STATS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hdb::stats {
+
+struct HistogramOptions {
+  int target_buckets = 20;
+  int max_buckets = 64;
+  int max_singletons = 100;
+  double singleton_threshold = 0.01;
+  /// EWMA weight of new feedback against the stored estimate.
+  double feedback_gain = 0.5;
+  /// Restructure (split/merge/promote/demote) every this many updates.
+  int restructure_period = 64;
+};
+
+/// Self-managing single-column histogram (paper §3.1).
+///
+/// Combines equi-depth buckets with frequent-value "singleton" buckets:
+///  * a value holding at least `singleton_threshold` (default 1%) of the
+///    rows — or ranking in the top N — is kept as a singleton bucket, up to
+///    `max_singletons` (the paper's range [0, 100]);
+///  * remaining values live in equi-depth buckets over the
+///    order-preserving-hash domain, interpolated uniformly with the
+///    column's *value width* keeping the domain discrete;
+///  * a *density* value — the average selectivity of one non-singleton
+///    value — guides equality and join estimates;
+///  * the bucket set expands and contracts dynamically as feedback and DML
+///    reveal distribution change; a histogram may degenerate to the
+///    compressed all-singletons form.
+///
+/// All counts are stored as doubles; estimates are fractions of the
+/// table's rows (including NULLs, which never satisfy comparisons).
+class Histogram {
+ public:
+  using Options = HistogramOptions;
+
+  explicit Histogram(TypeId type, Options options = {});
+
+  /// Builds from a full value sample (NULLs passed via `null_count`).
+  /// Values are order-preserving hash codes; need not be sorted.
+  static Histogram Build(TypeId type, std::vector<double> values,
+                         double null_count = 0, Options options = {});
+
+  /// Builds from pre-computed equi-depth boundaries (the Greenwald path),
+  /// with `rows_per_bucket` rows in each.
+  static Histogram FromBoundaries(TypeId type,
+                                  const std::vector<double>& boundaries,
+                                  double rows_per_bucket,
+                                  double null_count = 0, Options options = {});
+
+  // --- Estimation (fractions in [0, 1] of all rows) ---
+  double EstimateEquals(double v) const;
+  double EstimateRange(double lo, bool lo_inclusive, double hi,
+                       bool hi_inclusive) const;
+  double EstimateIsNull() const;
+  double density() const;
+  /// Estimated number of distinct non-null values.
+  double EstimateDistinct() const;
+
+  // --- DML maintenance (paper §3.2) ---
+  void OnInsert(double v, bool is_null);
+  void OnDelete(double v, bool is_null);
+
+  // --- Query-feedback maintenance (paper §3, since 1992) ---
+  void FeedbackEquals(double v, double observed_fraction);
+  void FeedbackRange(double lo, double hi, double observed_fraction);
+  void FeedbackIsNull(double observed_fraction);
+
+  // --- Introspection ---
+  double total_rows() const { return total_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  size_t singleton_count() const { return singletons_.size(); }
+  /// Compressed representation: only singleton buckets remain.
+  bool all_singletons() const;
+  /// Domain bounds, covering both equi-depth buckets and singleton
+  /// buckets (a compressed all-singleton histogram has no buckets).
+  double min_value() const {
+    double lo = lo_;
+    if (!singletons_.empty()) lo = std::min(lo, singletons_.begin()->first);
+    return lo;
+  }
+  double max_value() const {
+    double hi = buckets_.empty() ? lo_ : buckets_.back().hi;
+    if (!singletons_.empty()) hi = std::max(hi, singletons_.rbegin()->first);
+    return hi;
+  }
+  TypeId type() const { return type_; }
+
+  // --- Join-histogram support (paper §3.2) ---
+  /// The frequent-value (singleton) buckets: value -> row count.
+  const std::map<double, double>& singleton_buckets() const {
+    return singletons_;
+  }
+  /// Interpolated non-singleton rows in [lo, hi].
+  double NonSingletonRangeRows(double lo, double hi) const;
+  /// Estimated distinct non-null, non-singleton values.
+  double NonSingletonDistinct() const;
+
+ private:
+  struct Bucket {
+    double hi;     // inclusive upper boundary
+    double count;  // non-singleton rows in (previous hi, hi]
+  };
+
+  double BucketLo(size_t i) const { return i == 0 ? lo_ : buckets_[i - 1].hi; }
+  /// Index of the bucket containing v, or -1 when outside the domain.
+  int FindBucket(double v) const;
+  void ExtendDomain(double v);
+  void AddToBuckets(double v, double count);
+  void MaybeRestructure();
+  void Restructure();
+  double NonNullCount() const;
+  double SingletonTotal() const;
+
+  TypeId type_;
+  Options options_;
+  double value_width_;
+
+  double lo_ = 0;  // inclusive lower bound of bucket domain
+  std::vector<Bucket> buckets_;
+  std::map<double, double> singletons_;  // value -> row count
+  double null_count_ = 0;
+  double total_ = 0;
+  double distinct_estimate_ = 0;  // non-null distinct values
+  int updates_since_restructure_ = 0;
+};
+
+}  // namespace hdb::stats
+
+#endif  // HDB_STATS_HISTOGRAM_H_

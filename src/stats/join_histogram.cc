@@ -1,0 +1,66 @@
+#include "stats/join_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdb::stats {
+
+JoinHistogram::JoinHistogram(const Histogram& left, const Histogram& right) {
+  const double ltotal = left.total_rows();
+  const double rtotal = right.total_rows();
+  if (ltotal < 1 || rtotal < 1) {
+    selectivity_ = 0;
+    return;
+  }
+
+  // 1. Singleton x (singleton or bucket): exact frequent-value matching.
+  //    EstimateEquals on the other side covers both cases (it consults the
+  //    other side's singletons first, then its density).
+  double pairs = 0;
+  for (const auto& [v, lcount] : left.singleton_buckets()) {
+    const double rfrac = right.EstimateEquals(v);
+    const double p = lcount * rfrac * rtotal;
+    pairs += p;
+    if (right.singleton_buckets().count(v) != 0) {
+      ss_pairs_ += p;
+    } else {
+      sb_pairs_ += p;
+    }
+  }
+  // 2. Right singletons against the left's non-singleton mass (the left's
+  //    own singletons were already handled above; EstimateEquals excludes
+  //    them here by construction since v is not a left singleton).
+  for (const auto& [v, rcount] : right.singleton_buckets()) {
+    if (left.singleton_buckets().count(v) != 0) continue;
+    const double lfrac = left.EstimateEquals(v);
+    const double p = rcount * lfrac * ltotal;
+    pairs += p;
+    sb_pairs_ += p;
+  }
+
+  // 3. Non-singleton x non-singleton over the domain overlap: containment
+  //    assumption — every value on the smaller-distinct side finds a
+  //    partner; expected pairs = (l_rows * r_rows) / max(distincts).
+  const double lo = std::max(left.min_value(), right.min_value());
+  const double hi = std::min(left.max_value(), right.max_value());
+  if (lo <= hi) {
+    const double lrows = left.NonSingletonRangeRows(lo, hi);
+    const double rrows = right.NonSingletonRangeRows(lo, hi);
+    // Scale each side's distinct count by the fraction of its domain that
+    // overlaps (uniform-spread assumption).
+    const auto domain_frac = [lo, hi](const Histogram& h) {
+      const double w = h.max_value() - h.min_value();
+      if (w <= 0) return 1.0;
+      return std::clamp((hi - lo) / w, 0.0, 1.0);
+    };
+    const double ld = std::max(1.0, left.NonSingletonDistinct() * domain_frac(left));
+    const double rd = std::max(1.0, right.NonSingletonDistinct() * domain_frac(right));
+    const double p = lrows * rrows / std::max(ld, rd);
+    pairs += p;
+    bb_pairs_ = p;
+  }
+
+  selectivity_ = std::clamp(pairs / (ltotal * rtotal), 0.0, 1.0);
+}
+
+}  // namespace hdb::stats

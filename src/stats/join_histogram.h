@@ -1,0 +1,40 @@
+#ifndef HDB_STATS_JOIN_HISTOGRAM_H_
+#define HDB_STATS_JOIN_HISTOGRAM_H_
+
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace hdb::stats {
+
+/// Join histogram over a single attribute, computed on the fly during
+/// query optimization (paper §3.2): aligns the two columns' histograms on
+/// the overlap of their domains and estimates, per aligned region, how
+/// many (left, right) row pairs agree on the join key.
+class JoinHistogram {
+ public:
+  JoinHistogram(const Histogram& left, const Histogram& right);
+
+  /// Fraction of the cross product |L| x |R| that joins.
+  double selectivity() const { return selectivity_; }
+
+  /// Expected join cardinality given the base row counts.
+  double EstimateCardinality(double left_rows, double right_rows) const {
+    return selectivity_ * left_rows * right_rows;
+  }
+
+  /// Diagnostic decomposition.
+  double singleton_singleton_pairs() const { return ss_pairs_; }
+  double singleton_bucket_pairs() const { return sb_pairs_; }
+  double bucket_bucket_pairs() const { return bb_pairs_; }
+
+ private:
+  double selectivity_ = 0;
+  double ss_pairs_ = 0;
+  double sb_pairs_ = 0;
+  double bb_pairs_ = 0;
+};
+
+}  // namespace hdb::stats
+
+#endif  // HDB_STATS_JOIN_HISTOGRAM_H_

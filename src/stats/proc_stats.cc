@@ -1,0 +1,74 @@
+#include "stats/proc_stats.h"
+
+#include <cmath>
+
+namespace hdb::stats {
+
+namespace {
+void Blend(ProcInvocationStats& s, double alpha, double cpu, double card) {
+  if (s.invocations == 0) {
+    s.avg_cpu_micros = cpu;
+    s.avg_cardinality = card;
+  } else {
+    s.avg_cpu_micros = (1 - alpha) * s.avg_cpu_micros + alpha * cpu;
+    s.avg_cardinality = (1 - alpha) * s.avg_cardinality + alpha * card;
+  }
+  s.invocations++;
+}
+
+bool DiffersSufficiently(const ProcInvocationStats& avg, double cpu,
+                         double card, double factor) {
+  const auto off = [factor](double a, double b) {
+    const double lo = std::min(a, b), hi = std::max(a, b);
+    return lo <= 0 ? hi > 0 : hi / lo > factor;
+  };
+  return off(avg.avg_cpu_micros, cpu) || off(avg.avg_cardinality, card);
+}
+}  // namespace
+
+void ProcStatsRegistry::Record(const std::string& proc, uint64_t param_hash,
+                               double cpu_micros, double cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = procs_[proc];
+  // A parameter signature with its own entry is "managed separately"
+  // (paper §3.2): its invocations update the variant, not the average.
+  auto vit = e.variants.find(param_hash);
+  if (vit != e.variants.end()) {
+    Blend(vit->second, options_.ewma_alpha, cpu_micros, cardinality);
+    return;
+  }
+  const bool had_history = e.average.invocations > 0;
+  const bool outlier =
+      had_history && DiffersSufficiently(e.average, cpu_micros, cardinality,
+                                         options_.outlier_factor);
+  if (outlier && param_hash != 0 &&
+      e.variants.size() < options_.max_param_variants) {
+    Blend(e.variants[param_hash], options_.ewma_alpha, cpu_micros,
+          cardinality);
+    return;
+  }
+  Blend(e.average, options_.ewma_alpha, cpu_micros, cardinality);
+}
+
+ProcInvocationStats ProcStatsRegistry::Estimate(const std::string& proc,
+                                                uint64_t param_hash,
+                                                bool* found) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = procs_.find(proc);
+  if (it == procs_.end() || it->second.average.invocations == 0) {
+    *found = false;
+    return {};
+  }
+  *found = true;
+  const auto vit = it->second.variants.find(param_hash);
+  if (vit != it->second.variants.end()) return vit->second;
+  return it->second.average;
+}
+
+size_t ProcStatsRegistry::variant_count(const std::string& proc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = procs_.find(proc);
+  return it == procs_.end() ? 0 : it->second.variants.size();
+}
+
+}  // namespace hdb::stats

@@ -1,0 +1,63 @@
+#ifndef HDB_STATS_PROC_STATS_H_
+#define HDB_STATS_PROC_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hdb::stats {
+
+/// Summary of prior invocations: exponentially-weighted moving averages of
+/// total CPU time and result cardinality (paper §3.2).
+struct ProcInvocationStats {
+  double avg_cpu_micros = 0;
+  double avg_cardinality = 0;
+  uint64_t invocations = 0;
+};
+
+struct ProcStatsOptions {
+  double ewma_alpha = 0.25;
+  /// A parameter-specific observation that differs from the moving
+  /// average by more than this factor gets its own entry.
+  double outlier_factor = 4.0;
+  size_t max_param_variants = 32;
+};
+
+/// Statistics for stored procedures used in FROM clauses (paper §3.2):
+/// a moving average per procedure, plus per-parameter-value variants that
+/// are "saved and managed separately if they differ sufficiently from the
+/// moving average".
+class ProcStatsRegistry {
+ public:
+  using Options = ProcStatsOptions;
+
+  explicit ProcStatsRegistry(Options options = {}) : options_(options) {}
+
+  /// Records an invocation of `proc` with parameter signature
+  /// `param_hash` (0 when parameters are unknown/irrelevant).
+  void Record(const std::string& proc, uint64_t param_hash,
+              double cpu_micros, double cardinality);
+
+  /// Best estimate for the upcoming invocation: the parameter-specific
+  /// variant when one exists, otherwise the moving average. `found` is
+  /// false when the procedure has never run.
+  ProcInvocationStats Estimate(const std::string& proc, uint64_t param_hash,
+                               bool* found) const;
+
+  size_t variant_count(const std::string& proc) const;
+
+ private:
+  struct Entry {
+    ProcInvocationStats average;
+    std::map<uint64_t, ProcInvocationStats> variants;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> procs_;
+};
+
+}  // namespace hdb::stats
+
+#endif  // HDB_STATS_PROC_STATS_H_

@@ -1,0 +1,278 @@
+#include "stats/stats_registry.h"
+
+#include <algorithm>
+
+#include "common/ophash.h"
+#include "stats/greenwald.h"
+
+namespace hdb::stats {
+
+void StatsRegistry::BuildColumn(const catalog::TableDef& table, int col,
+                                const std::vector<Value>& values,
+                                size_t sketch_threshold) {
+  const TypeId type = table.columns[col].type;
+  ColumnStats stats;
+  stats.type = type;
+
+  double null_count = 0;
+  std::vector<double> hashes;
+  hashes.reserve(values.size());
+  bool long_string = false;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      null_count += 1;
+      continue;
+    }
+    if (type == TypeId::kVarchar &&
+        v.AsString().size() > kLongStringThreshold) {
+      long_string = true;
+    }
+    hashes.push_back(OrderPreservingHash(v));
+  }
+
+  if (type == TypeId::kVarchar) {
+    stats.strings = std::make_unique<StringStats>();
+    for (const Value& v : values) {
+      if (!v.is_null()) stats.strings->RecordValue(v.AsString());
+    }
+  }
+  stats.long_string = long_string;
+
+  if (!long_string) {
+    if (hashes.size() > sketch_threshold) {
+      // Greenwald path: boundaries from the sketch; frequent values from a
+      // sample (the paper's "marginal reduction in quality").
+      GreenwaldSketch sketch;
+      for (const double h : hashes) sketch.Insert(h);
+      const auto bounds = sketch.EquiDepthBoundaries(20);
+      const double per_bucket =
+          bounds.size() > 1
+              ? static_cast<double>(hashes.size()) /
+                    static_cast<double>(bounds.size() - 1)
+              : static_cast<double>(hashes.size());
+      auto hist = Histogram::FromBoundaries(type, bounds, per_bucket,
+                                            null_count);
+      // Frequent-value pass over a 10% stride sample, fed as feedback.
+      std::map<double, size_t> sample_counts;
+      size_t sampled = 0;
+      for (size_t i = 0; i < hashes.size(); i += 10) {
+        sample_counts[hashes[i]]++;
+        ++sampled;
+      }
+      for (const auto& [v, c] : sample_counts) {
+        const double frac = static_cast<double>(c) / sampled;
+        if (frac >= 0.01) hist.FeedbackEquals(v, frac);
+      }
+      stats.histogram = std::make_unique<Histogram>(std::move(hist));
+    } else {
+      stats.histogram = std::make_unique<Histogram>(
+          Histogram::Build(type, std::move(hashes), null_count));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  columns_[{table.oid, col}] = std::move(stats);
+}
+
+void StatsRegistry::DropTable(uint32_t table_oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = columns_.begin(); it != columns_.end();) {
+    if (it->first.first == table_oid) {
+      it = columns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool StatsRegistry::HasStats(uint32_t table_oid, int col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  return it != columns_.end() &&
+         (it->second.histogram != nullptr || it->second.strings != nullptr);
+}
+
+ColumnStats& StatsRegistry::Ensure(uint32_t table_oid, int col, TypeId type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ColumnStats& s = columns_[{table_oid, col}];
+  if (s.histogram == nullptr && s.strings == nullptr) {
+    s.type = type;
+    s.histogram = std::make_unique<Histogram>(type);
+    if (type == TypeId::kVarchar) {
+      s.strings = std::make_unique<StringStats>();
+    }
+  }
+  return s;
+}
+
+const ColumnStats* StatsRegistry::Get(uint32_t table_oid, int col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+double StatsRegistry::SelEquals(uint32_t table_oid, int col,
+                                const Value& v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end()) return DefaultSelectivity::kEquals;
+  const ColumnStats& s = it->second;
+  if (s.long_string && s.strings != nullptr && v.type() == TypeId::kVarchar) {
+    bool found = false;
+    const double est =
+        s.strings->Estimate(StringPredicate::kEquals, v.AsString(), &found);
+    return found ? est : DefaultSelectivity::kEquals;
+  }
+  if (s.histogram == nullptr) return DefaultSelectivity::kEquals;
+  return s.histogram->EstimateEquals(OrderPreservingHash(v));
+}
+
+double StatsRegistry::SelRange(uint32_t table_oid, int col, const Value* lo,
+                               bool lo_inclusive, const Value* hi,
+                               bool hi_inclusive) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end() || it->second.histogram == nullptr) {
+    return DefaultSelectivity::kRange;
+  }
+  const Histogram& h = *it->second.histogram;
+  const double l = lo != nullptr ? OrderPreservingHash(*lo) : h.min_value();
+  const double r = hi != nullptr ? OrderPreservingHash(*hi) : h.max_value();
+  return h.EstimateRange(l, lo == nullptr || lo_inclusive, r,
+                         hi == nullptr || hi_inclusive);
+}
+
+double StatsRegistry::SelIsNull(uint32_t table_oid, int col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end() || it->second.histogram == nullptr) {
+    return DefaultSelectivity::kIsNull;
+  }
+  return it->second.histogram->EstimateIsNull();
+}
+
+double StatsRegistry::SelLike(uint32_t table_oid, int col,
+                              const std::string& pattern) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end()) return DefaultSelectivity::kLike;
+  const ColumnStats& s = it->second;
+
+  // '%word%' -> word statistics.
+  if (pattern.size() > 2 && pattern.front() == '%' && pattern.back() == '%' &&
+      pattern.find('%', 1) == pattern.size() - 1 &&
+      pattern.find('_') == std::string::npos) {
+    if (s.strings != nullptr) {
+      bool found = false;
+      const double est = s.strings->EstimateLikeWord(
+          pattern.substr(1, pattern.size() - 2), &found);
+      if (found) return est;
+    }
+    return DefaultSelectivity::kLike;
+  }
+  // 'prefix%' -> histogram range on the hash domain.
+  const size_t pct = pattern.find('%');
+  if (pct != std::string::npos && pct > 0 &&
+      pattern.find('_') == std::string::npos && s.histogram != nullptr) {
+    const std::string prefix = pattern.substr(0, pct);
+    std::string upper = prefix;
+    upper.back() = static_cast<char>(upper.back() + 1);
+    return s.histogram->EstimateRange(
+        OrderPreservingHash(Value::String(prefix)), true,
+        OrderPreservingHash(Value::String(upper)), false);
+  }
+  if (s.strings != nullptr) {
+    bool found = false;
+    const double est =
+        s.strings->Estimate(StringPredicate::kLike, pattern, &found);
+    if (found) return est;
+  }
+  return DefaultSelectivity::kLike;
+}
+
+void StatsRegistry::OnInsertValue(uint32_t table_oid, int col,
+                                  const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end()) return;  // no stats yet: nothing to maintain
+  ColumnStats& s = it->second;
+  if (s.histogram != nullptr) {
+    s.histogram->OnInsert(v.is_null() ? 0 : OrderPreservingHash(v),
+                          v.is_null());
+  }
+  if (s.strings != nullptr && !v.is_null() &&
+      v.type() == TypeId::kVarchar) {
+    s.strings->RecordValue(v.AsString());
+    if (v.AsString().size() > kLongStringThreshold) s.long_string = true;
+  }
+}
+
+void StatsRegistry::OnDeleteValue(uint32_t table_oid, int col,
+                                  const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end()) return;
+  ColumnStats& s = it->second;
+  if (s.histogram != nullptr) {
+    s.histogram->OnDelete(v.is_null() ? 0 : OrderPreservingHash(v),
+                          v.is_null());
+  }
+  if (s.strings != nullptr && !v.is_null() &&
+      v.type() == TypeId::kVarchar) {
+    s.strings->RecordDelete(v.AsString());
+  }
+}
+
+void StatsRegistry::FeedbackEquals(uint32_t table_oid, int col,
+                                   const Value& v, double observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end()) return;
+  ColumnStats& s = it->second;
+  if (s.long_string && s.strings != nullptr &&
+      v.type() == TypeId::kVarchar) {
+    s.strings->RecordPredicate(StringPredicate::kEquals, v.AsString(),
+                               observed);
+    return;
+  }
+  if (s.histogram != nullptr) {
+    s.histogram->FeedbackEquals(OrderPreservingHash(v), observed);
+  }
+}
+
+void StatsRegistry::FeedbackRange(uint32_t table_oid, int col,
+                                  const Value* lo, const Value* hi,
+                                  double observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end() || it->second.histogram == nullptr) return;
+  Histogram& h = *it->second.histogram;
+  const double l = lo != nullptr ? OrderPreservingHash(*lo) : h.min_value();
+  const double r = hi != nullptr ? OrderPreservingHash(*hi) : h.max_value();
+  h.FeedbackRange(l, r, observed);
+}
+
+void StatsRegistry::FeedbackIsNull(uint32_t table_oid, int col,
+                                   double observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end() || it->second.histogram == nullptr) return;
+  it->second.histogram->FeedbackIsNull(observed);
+}
+
+void StatsRegistry::FeedbackString(uint32_t table_oid, int col,
+                                   StringPredicate pred,
+                                   const std::string& operand,
+                                   double observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find({table_oid, col});
+  if (it == columns_.end() || it->second.strings == nullptr) return;
+  it->second.strings->RecordPredicate(pred, operand, observed);
+}
+
+size_t StatsRegistry::column_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return columns_.size();
+}
+
+}  // namespace hdb::stats

@@ -1,0 +1,97 @@
+#ifndef HDB_STATS_STATS_REGISTRY_H_
+#define HDB_STATS_STATS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "catalog/schema.h"
+#include "stats/histogram.h"
+#include "stats/string_stats.h"
+
+namespace hdb::stats {
+
+/// Statistics kept for one column: a histogram over the order-preserving
+/// hash domain and — for string columns — the observed-predicate/word
+/// statistics. A column observed to hold long strings abandons its
+/// histogram for the string infrastructure (paper §3.1).
+struct ColumnStats {
+  TypeId type = TypeId::kInt;
+  bool long_string = false;
+  std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<StringStats> strings;
+};
+
+/// Default guesses used when a column has no statistics yet; chosen to be
+/// deliberately conservative, like any commercial optimizer's magic
+/// numbers.
+struct DefaultSelectivity {
+  static constexpr double kEquals = 0.01;
+  static constexpr double kRange = 0.25;
+  static constexpr double kIsNull = 0.05;
+  static constexpr double kLike = 0.05;
+};
+
+/// Owner of all column statistics, the target of both bulk construction
+/// (LOAD TABLE / CREATE INDEX / CREATE STATISTICS, §3.2) and the
+/// execution-feedback pipeline (§3).
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+
+  /// Bulk (re)build of one column's statistics from its values. Uses the
+  /// exact builder for small columns and the Greenwald sketch path above
+  /// `sketch_threshold` rows.
+  void BuildColumn(const catalog::TableDef& table, int col,
+                   const std::vector<Value>& values,
+                   size_t sketch_threshold = 50000);
+
+  /// Drops every statistic belonging to `table_oid`.
+  void DropTable(uint32_t table_oid);
+
+  bool HasStats(uint32_t table_oid, int col) const;
+
+  /// Mutable access (feedback application, tests). Creates empty stats on
+  /// demand.
+  ColumnStats& Ensure(uint32_t table_oid, int col, TypeId type);
+  /// Read access; nullptr when absent.
+  const ColumnStats* Get(uint32_t table_oid, int col) const;
+
+  // --- Estimation over typed values (fractions of table rows) ---
+  double SelEquals(uint32_t table_oid, int col, const Value& v) const;
+  /// Open bounds passed as nullptr.
+  double SelRange(uint32_t table_oid, int col, const Value* lo,
+                  bool lo_inclusive, const Value* hi, bool hi_inclusive) const;
+  double SelIsNull(uint32_t table_oid, int col) const;
+  /// LIKE estimation: '%word%' uses word statistics, 'prefix%' uses a
+  /// histogram range over the hash domain, anything else the default.
+  double SelLike(uint32_t table_oid, int col, const std::string& pattern) const;
+
+  // --- DML maintenance (paper §3.2) ---
+  void OnInsertValue(uint32_t table_oid, int col, const Value& v);
+  void OnDeleteValue(uint32_t table_oid, int col, const Value& v);
+
+  // --- Execution feedback (paper §3) ---
+  void FeedbackEquals(uint32_t table_oid, int col, const Value& v,
+                      double observed);
+  void FeedbackRange(uint32_t table_oid, int col, const Value* lo,
+                     const Value* hi, double observed);
+  void FeedbackIsNull(uint32_t table_oid, int col, double observed);
+  void FeedbackString(uint32_t table_oid, int col, StringPredicate pred,
+                      const std::string& operand, double observed);
+
+  size_t column_count() const;
+
+ private:
+  using Key = std::pair<uint32_t, int>;
+
+  mutable std::mutex mu_;
+  std::map<Key, ColumnStats> columns_;
+};
+
+}  // namespace hdb::stats
+
+#endif  // HDB_STATS_STATS_REGISTRY_H_

@@ -1,0 +1,89 @@
+#include "stats/string_stats.h"
+
+#include <algorithm>
+
+#include "common/ophash.h"
+
+namespace hdb::stats {
+
+uint64_t StringStats::BucketKey(StringPredicate pred,
+                                std::string_view operand) {
+  return LongStringHash(operand) ^
+         (0x517cc1b727220a95ull * (static_cast<uint64_t>(pred) + 1));
+}
+
+void StringStats::Touch(uint64_t key) {
+  auto it = lru_pos_.find(key);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(key);
+  lru_pos_[key] = lru_.begin();
+}
+
+void StringStats::EvictIfNeeded() {
+  while (buckets_.size() > max_buckets_ && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lru_pos_.erase(victim);
+    buckets_.erase(victim);
+  }
+}
+
+void StringStats::RecordPredicate(StringPredicate pred,
+                                  std::string_view operand,
+                                  double observed_fraction) {
+  const uint64_t key = BucketKey(pred, operand);
+  Bucket& b = buckets_[key];
+  // Damped update so a single unusual execution does not erase history.
+  b.selectivity = b.hits == 0
+                      ? observed_fraction
+                      : 0.5 * b.selectivity + 0.5 * observed_fraction;
+  b.hits++;
+  Touch(key);
+  EvictIfNeeded();
+}
+
+void StringStats::RecordValue(std::string_view value) {
+  ++rows_seen_;
+  for (const std::string& w : ExtractWords(value)) {
+    words_[LongStringHash(w)] += 1.0;
+  }
+}
+
+void StringStats::RecordDelete(std::string_view value) {
+  if (rows_seen_ > 0) --rows_seen_;
+  for (const std::string& w : ExtractWords(value)) {
+    auto it = words_.find(LongStringHash(w));
+    if (it != words_.end()) {
+      it->second = std::max(0.0, it->second - 1.0);
+      if (it->second == 0.0) words_.erase(it);
+    }
+  }
+}
+
+double StringStats::Estimate(StringPredicate pred, std::string_view operand,
+                             bool* found) const {
+  const auto it = buckets_.find(BucketKey(pred, operand));
+  if (it == buckets_.end()) {
+    *found = false;
+    return 0.0;
+  }
+  *found = true;
+  return it->second.selectivity;
+}
+
+double StringStats::EstimateLikeWord(std::string_view word,
+                                     bool* found) const {
+  // Exact predicate bucket first.
+  double est = Estimate(StringPredicate::kLike, word, found);
+  if (*found) return est;
+  // Word document frequency.
+  const auto it = words_.find(LongStringHash(word));
+  if (it != words_.end() && rows_seen_ > 0) {
+    *found = true;
+    return std::min(1.0, it->second / static_cast<double>(rows_seen_));
+  }
+  *found = false;
+  return 0.0;
+}
+
+}  // namespace hdb::stats

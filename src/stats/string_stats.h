@@ -1,0 +1,79 @@
+#ifndef HDB_STATS_STRING_STATS_H_
+#define HDB_STATS_STRING_STATS_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace hdb::stats {
+
+/// Relational predicate kinds a long-string bucket can describe (paper
+/// §3.1: equality, non-equality, BETWEEN, IS NULL, or LIKE).
+enum class StringPredicate : uint8_t {
+  kEquals = 0,
+  kNotEquals,
+  kBetween,
+  kIsNull,
+  kLike,
+};
+
+/// Statistics for long string/binary columns (paper §3.1).
+///
+/// Instead of bucket boundaries (which would store very long values), the
+/// column keeps a bounded, LRU-evicted list of *observed predicates*: each
+/// bucket is a non-order-preserving hash of the operand, the predicate
+/// kind, and the selectivity last observed for it. In addition, when
+/// values are collected, buckets are created for each *word* of the string
+/// (any whitespace-separated run), which makes LIKE '%word%' estimable —
+/// the pattern the paper found dominant in applications.
+class StringStats {
+ public:
+  explicit StringStats(size_t max_buckets = 256) : max_buckets_(max_buckets) {}
+
+  /// Records the observed selectivity of (predicate, operand) — query
+  /// execution feedback.
+  void RecordPredicate(StringPredicate pred, std::string_view operand,
+                       double observed_fraction);
+
+  /// Collects statistics from a stored value (INSERT / LOAD): maintains
+  /// the word document frequencies.
+  void RecordValue(std::string_view value);
+  void RecordDelete(std::string_view value);
+
+  /// Estimate for (predicate, operand); `found` reports whether a bucket
+  /// existed (callers fall back to defaults otherwise).
+  double Estimate(StringPredicate pred, std::string_view operand,
+                  bool* found) const;
+
+  /// Estimate for LIKE '%word%': word document frequency when known,
+  /// otherwise falls back to any recorded LIKE bucket, else `found=false`.
+  double EstimateLikeWord(std::string_view word, bool* found) const;
+
+  uint64_t rows_seen() const { return rows_seen_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  size_t word_count() const { return words_.size(); }
+
+ private:
+  struct Bucket {
+    double selectivity = 0;
+    uint64_t hits = 0;
+  };
+  static uint64_t BucketKey(StringPredicate pred, std::string_view operand);
+  void Touch(uint64_t key);
+  void EvictIfNeeded();
+
+  size_t max_buckets_;
+  uint64_t rows_seen_ = 0;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+  // LRU order of bucket keys: front = most recent.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_pos_;
+  // Word hash -> number of rows containing the word.
+  std::unordered_map<uint64_t, double> words_;
+};
+
+}  // namespace hdb::stats
+
+#endif  // HDB_STATS_STRING_STATS_H_

@@ -1,0 +1,280 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hdb::storage {
+
+PageHandle::PageHandle(BufferPool* pool, uint32_t frame_id, char* data,
+                       SpacePageId spid)
+    : pool_(pool), frame_id_(frame_id), data_(data), spid_(spid) {}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_id_ = other.frame_id_;
+    data_ = other.data_;
+    spid_ = other.spid_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->UnpinFrame(frame_id_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
+    : disk_(disk),
+      options_(options),
+      replacer_(options.initial_frames),
+      lookaside_(options.lookaside_capacity) {
+  frames_.resize(std::max<size_t>(1, options.initial_frames));
+  replacer_.Resize(frames_.size());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    frames_[i].data = std::make_unique<char[]>(disk_->page_bytes());
+    free_frames_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void BufferPool::AdjustOwnerResidency(uint32_t owner, int delta) {
+  if (owner == 0) return;
+  size_t& count = owner_residency_[owner];
+  if (delta < 0 && count < static_cast<size_t>(-delta)) {
+    count = 0;
+  } else {
+    count += delta;
+  }
+}
+
+Status BufferPool::FlushFrameLocked(uint32_t frame_id) {
+  Frame& f = frames_[frame_id];
+  if (!f.valid || !f.dirty) return Status::OK();
+  HDB_RETURN_IF_ERROR(disk_->WritePage(f.spid.space, f.spid.page, f.data.get()));
+  f.dirty = false;
+  return Status::OK();
+}
+
+void BufferPool::EvictFrameLocked(uint32_t frame_id) {
+  Frame& f = frames_[frame_id];
+  if (!f.valid) return;
+  // Dirty pages are written back; for an unlocked connection heap this is
+  // precisely the paper's "stolen pages are swapped out to the temporary
+  // file" (heap pages live in the temp space).
+  (void)FlushFrameLocked(frame_id);
+  if (f.type == PageType::kHeap) ++heap_steals_;
+  ++evictions_;
+  page_table_.erase(f.spid);
+  AdjustOwnerResidency(f.owner, -1);
+  f.valid = false;
+  f.type = PageType::kFree;
+  f.owner = 0;
+  replacer_.Remove(frame_id);
+}
+
+Result<uint32_t> BufferPool::GetVictimFrameLocked() {
+  if (!free_frames_.empty()) {
+    const uint32_t id = free_frames_.back();
+    free_frames_.pop_back();
+    return id;
+  }
+  // Fast path: lock-free lookaside queue of dead frames. Entries may be
+  // stale (frame re-used since push); validate under the latch.
+  while (auto id = lookaside_.Pop()) {
+    if (*id >= frames_.size()) continue;  // stale entry from a shrink
+    Frame& f = frames_[*id];
+    if (!f.valid && f.pin_count == 0) {
+      ++lookaside_reuses_;
+      return *id;
+    }
+  }
+  if (auto victim = replacer_.Victim()) {
+    EvictFrameLocked(*victim);
+    return *victim;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all frames pinned");
+}
+
+Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
+                                         uint32_t owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(spid);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    f.pin_count++;
+    replacer_.RecordReference(it->second);
+    replacer_.SetEvictable(it->second, false);
+    return PageHandle(this, it->second, f.data.get(), spid);
+  }
+  ++misses_;
+  ++misses_since_poll_;
+  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrameLocked());
+  Frame& f = frames_[frame_id];
+  HDB_RETURN_IF_ERROR(disk_->ReadPage(spid.space, spid.page, f.data.get()));
+  f.spid = spid;
+  f.type = type;
+  f.owner = owner;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.valid = true;
+  page_table_[spid] = frame_id;
+  AdjustOwnerResidency(owner, +1);
+  replacer_.RecordReference(frame_id);
+  replacer_.SetEvictable(frame_id, false);
+  return PageHandle(this, frame_id, f.data.get(), spid);
+}
+
+Result<PageHandle> BufferPool::NewPage(SpaceId space, PageType type,
+                                       uint32_t owner, PageId* out_page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A fresh page is by definition not resident: it counts as a miss for
+  // the pool governor's growth-gating signal.
+  ++misses_;
+  ++misses_since_poll_;
+  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrameLocked());
+  const PageId page_id = disk_->AllocatePage(space);
+  if (out_page_id != nullptr) *out_page_id = page_id;
+  Frame& f = frames_[frame_id];
+  std::memset(f.data.get(), 0, disk_->page_bytes());
+  f.spid = SpacePageId{space, page_id};
+  f.type = type;
+  f.owner = owner;
+  f.pin_count = 1;
+  f.dirty = true;  // must reach disk at least once
+  f.valid = true;
+  page_table_[f.spid] = frame_id;
+  AdjustOwnerResidency(owner, +1);
+  replacer_.RecordReference(frame_id);
+  replacer_.SetEvictable(frame_id, false);
+  return PageHandle(this, frame_id, f.data.get(), f.spid);
+}
+
+void BufferPool::DiscardPage(SpacePageId spid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(spid);
+  if (it != page_table_.end()) {
+    const uint32_t frame_id = it->second;
+    Frame& f = frames_[frame_id];
+    if (f.pin_count > 0) return;  // caller bug; keep the page
+    page_table_.erase(it);
+    AdjustOwnerResidency(f.owner, -1);
+    f.valid = false;
+    f.dirty = false;
+    f.type = PageType::kFree;
+    f.owner = 0;
+    replacer_.Remove(frame_id);
+    // Dead content: immediately reusable without the clock (paper §2.2).
+    if (!lookaside_.Push(frame_id)) {
+      free_frames_.push_back(frame_id);
+    }
+  }
+  disk_->DeallocatePage(spid.space, spid.page);
+}
+
+Status BufferPool::FlushPage(SpacePageId spid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(spid);
+  if (it == page_table_.end()) return Status::OK();
+  return FlushFrameLocked(it->second);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    HDB_RETURN_IF_ERROR(FlushFrameLocked(static_cast<uint32_t>(i)));
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::Resize(size_t target_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  target_frames = std::max<size_t>(1, target_frames);
+  if (target_frames > frames_.size()) {
+    const size_t old = frames_.size();
+    frames_.resize(target_frames);
+    for (size_t i = old; i < target_frames; ++i) {
+      frames_[i].data = std::make_unique<char[]>(disk_->page_bytes());
+      free_frames_.push_back(static_cast<uint32_t>(i));
+    }
+    replacer_.Resize(target_frames);
+    return frames_.size();
+  }
+  // Shrink: evict from the tail so the vector can be truncated. Pinned
+  // frames block shrinking past them.
+  size_t new_size = frames_.size();
+  while (new_size > target_frames) {
+    Frame& f = frames_[new_size - 1];
+    if (f.pin_count > 0) break;
+    if (f.valid) EvictFrameLocked(static_cast<uint32_t>(new_size - 1));
+    --new_size;
+  }
+  if (new_size != frames_.size()) {
+    frames_.resize(new_size);
+    // Drop free-list / lookaside entries that point past the end.
+    std::erase_if(free_frames_,
+                  [new_size](uint32_t id) { return id >= new_size; });
+    // The lookaside queue may contain stale ids; Pop() validation plus the
+    // bounds check below handles them.
+    replacer_.Resize(new_size);
+  }
+  return frames_.size();
+}
+
+size_t BufferPool::CurrentFrames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+uint64_t BufferPool::CurrentBytes() const {
+  return static_cast<uint64_t>(CurrentFrames()) * disk_->page_bytes();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.heap_steals = heap_steals_;
+  s.lookaside_reuses = lookaside_reuses_;
+  s.current_frames = frames_.size();
+  s.free_frames = free_frames_.size();
+  for (const Frame& f : frames_) {
+    if (f.pin_count > 0) s.pinned_frames++;
+  }
+  return s;
+}
+
+uint64_t BufferPool::TakeMissesSinceLastPoll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t m = misses_since_poll_;
+  misses_since_poll_ = 0;
+  return m;
+}
+
+size_t BufferPool::ResidentPages(uint32_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = owner_residency_.find(owner);
+  return it == owner_residency_.end() ? 0 : it->second;
+}
+
+void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frame_id >= frames_.size()) return;  // frame vanished in a shrink
+  Frame& f = frames_[frame_id];
+  if (f.pin_count > 0) f.pin_count--;
+  if (dirty) f.dirty = true;
+  if (f.pin_count == 0) replacer_.SetEvictable(frame_id, true);
+}
+
+}  // namespace hdb::storage

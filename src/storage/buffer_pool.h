@@ -1,0 +1,169 @@
+#ifndef HDB_STORAGE_BUFFER_POOL_H_
+#define HDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/clock_replacer.h"
+#include "storage/disk_manager.h"
+#include "storage/lookaside_queue.h"
+#include "storage/page.h"
+
+namespace hdb::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. While a PageHandle is live the page is
+/// pinned in memory and `data()` is stable. Destroying (or Release()-ing)
+/// the handle unpins, propagating the dirty flag.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, uint32_t frame_id, char* data,
+             SpacePageId spid);
+  ~PageHandle() { Release(); }
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  SpacePageId spid() const { return spid_; }
+  uint32_t frame_id() const { return frame_id_; }
+
+  /// Marks the page modified; it will be written back before its frame is
+  /// reused.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins now (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_id_ = 0;
+  char* data_ = nullptr;
+  SpacePageId spid_;
+  bool dirty_ = false;
+};
+
+struct BufferPoolOptions {
+  size_t initial_frames = 256;
+  size_t lookaside_capacity = 1024;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t heap_steals = 0;     // evictions of kHeap pages (paper §2.1)
+  uint64_t lookaside_reuses = 0;
+  size_t current_frames = 0;
+  size_t pinned_frames = 0;
+  size_t free_frames = 0;
+};
+
+/// The single heterogeneous buffer pool (paper §2, §2.1, §2.2).
+///
+/// All page types — table, index, undo/redo log, bitmap, free and
+/// connection-heap pages — live in one pool of uniformly-sized frames. The
+/// pool can grow and shrink on demand (Resize), which is what the
+/// PoolGovernor's feedback loop drives. Replacement combines the segmented
+/// clock algorithm with a lock-free lookaside queue of immediately
+/// reusable (dead-content) frames.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, BufferPoolOptions options = {});
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  uint32_t page_bytes() const { return disk_->page_bytes(); }
+  DiskManager* disk() { return disk_; }
+
+  /// Pins the page, reading it from disk on a miss. `type` and `owner`
+  /// (a table/index oid, or 0) tag the frame for accounting.
+  Result<PageHandle> FetchPage(SpacePageId spid, PageType type,
+                               uint32_t owner = 0);
+
+  /// Allocates a fresh zeroed page in `space` and pins it.
+  Result<PageHandle> NewPage(SpaceId space, PageType type, uint32_t owner,
+                             PageId* out_page_id);
+
+  /// Declares the page's contents dead (freed heap page, dropped temp
+  /// table): the frame goes to the lookaside queue for immediate reuse and
+  /// the disk page is deallocated. The page must be unpinned.
+  void DiscardPage(SpacePageId spid);
+
+  /// Writes back one page / all dirty pages.
+  Status FlushPage(SpacePageId spid);
+  Status FlushAll();
+
+  /// Grows or shrinks the pool toward `target_frames`, evicting unpinned
+  /// pages as needed. Returns the frame count actually achieved (shrink is
+  /// limited by pinned pages).
+  size_t Resize(size_t target_frames);
+
+  size_t CurrentFrames() const;
+  uint64_t CurrentBytes() const;
+
+  BufferPoolStats stats() const;
+
+  /// Misses since the previous call — the PoolGovernor's "buffer pool miss
+  /// rate between polling times" input (paper §2).
+  uint64_t TakeMissesSinceLastPoll();
+
+  /// Number of `owner`'s pages currently resident — drives the live
+  /// "percentage of a table in the buffer pool" statistic (paper §3.2).
+  size_t ResidentPages(uint32_t owner) const;
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    SpacePageId spid;
+    PageType type = PageType::kFree;
+    uint32_t owner = 0;
+    int pin_count = 0;
+    bool dirty = false;
+    bool valid = false;  // holds a live page image
+  };
+
+  friend class PageHandle;
+
+  // All Locked methods require mu_ held.
+  Result<uint32_t> GetVictimFrameLocked();
+  void EvictFrameLocked(uint32_t frame_id);
+  Status FlushFrameLocked(uint32_t frame_id);
+  void UnpinFrame(uint32_t frame_id, bool dirty);
+  void AdjustOwnerResidency(uint32_t owner, int delta);
+
+  DiskManager* disk_;
+  BufferPoolOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<SpacePageId, uint32_t, SpacePageIdHash> page_table_;
+  ClockReplacer replacer_;
+  LookasideQueue lookaside_;
+  std::map<uint32_t, size_t> owner_residency_;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t heap_steals_ = 0;
+  uint64_t lookaside_reuses_ = 0;
+  uint64_t misses_since_poll_ = 0;
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_BUFFER_POOL_H_

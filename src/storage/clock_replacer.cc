@@ -1,0 +1,99 @@
+#include "storage/clock_replacer.h"
+
+#include <algorithm>
+
+namespace hdb::storage {
+
+ClockReplacer::ClockReplacer(size_t num_frames, uint32_t num_segments,
+                             uint32_t max_score)
+    : num_segments_(num_segments == 0 ? 8 : num_segments),
+      max_score_(max_score),
+      entries_(num_frames) {}
+
+void ClockReplacer::Resize(size_t n) {
+  entries_.resize(n);
+  if (hand_ >= entries_.size()) hand_ = 0;
+}
+
+uint64_t ClockReplacer::SegmentWidth() const {
+  // One segment spans roughly one reference per frame, so the full
+  // reference-time window (num_segments_ segments) covers several sweeps
+  // of the pool. A shorter window would let a single table scan age the
+  // whole hot set to zero — exactly what the paper's segmented design
+  // avoids.
+  return std::max<uint64_t>(num_segments_, entries_.size());
+}
+
+void ClockReplacer::RecordReference(uint32_t frame_id) {
+  if (frame_id >= entries_.size()) return;
+  ++tick_;
+  Entry& e = entries_[frame_id];
+  const uint64_t width = SegmentWidth();
+  if (!e.tracked) {
+    e.tracked = true;
+    e.score = 1;
+  } else if (tick_ / width != e.last_ref_tick / width) {
+    // Re-reference from a different segment of the reference-time series:
+    // genuine re-use, not the adjacent references of a scan.
+    e.score = std::min(DecayedScore(e) + 1, max_score_);
+  }
+  e.last_ref_tick = tick_;
+}
+
+void ClockReplacer::SetEvictable(uint32_t frame_id, bool evictable) {
+  if (frame_id >= entries_.size()) return;
+  entries_[frame_id].evictable = evictable;
+}
+
+void ClockReplacer::Remove(uint32_t frame_id) {
+  if (frame_id >= entries_.size()) return;
+  entries_[frame_id] = Entry{};
+}
+
+uint32_t ClockReplacer::DecayedScore(const Entry& e) const {
+  const uint64_t width = SegmentWidth();
+  const uint64_t age = tick_ >= e.last_ref_tick ? tick_ - e.last_ref_tick : 0;
+  // One halving per full window (num_segments_ segments) of non-reference.
+  const uint64_t halvings = age / (width * num_segments_);
+  if (halvings >= 32) return 0;
+  return e.score >> halvings;
+}
+
+std::optional<uint32_t> ClockReplacer::Victim() {
+  if (entries_.empty()) return std::nullopt;
+  const size_t n = entries_.size();
+  // "Pages with lower scores are candidates for replacement": one sweep
+  // from the hand, evicting the first zero-score frame immediately (the
+  // common case once cold pages have decayed) and otherwise the
+  // minimum-score frame. Selecting the minimum — rather than decrementing
+  // scores until something reaches zero — keeps hot pages hot through
+  // eviction bursts like table scans; decay alone ages them (paper §2.2).
+  int best = -1;
+  uint32_t best_eff = 0;
+  for (size_t step = 0; step < n; ++step) {
+    const size_t current = (hand_ + step) % n;
+    Entry& e = entries_[current];
+    if (!e.tracked || !e.evictable) continue;
+    const uint32_t eff = DecayedScore(e);
+    if (eff == 0) {
+      e = Entry{};
+      hand_ = (current + 1) % n;
+      return static_cast<uint32_t>(current);
+    }
+    if (best < 0 || eff < best_eff) {
+      best = static_cast<int>(current);
+      best_eff = eff;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  entries_[best] = Entry{};
+  hand_ = (static_cast<size_t>(best) + 1) % n;
+  return static_cast<uint32_t>(best);
+}
+
+uint32_t ClockReplacer::EffectiveScore(uint32_t frame_id) const {
+  if (frame_id >= entries_.size() || !entries_[frame_id].tracked) return 0;
+  return DecayedScore(entries_[frame_id]);
+}
+
+}  // namespace hdb::storage

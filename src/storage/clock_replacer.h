@@ -1,0 +1,75 @@
+#ifndef HDB_STORAGE_CLOCK_REPLACER_H_
+#define HDB_STORAGE_CLOCK_REPLACER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hdb::storage {
+
+/// Modified generalized CLOCK replacement (paper §2.2).
+///
+/// Conceptually the pool is ordered by time of last reference and divided
+/// into eight *segments* of that reference-time series. A page's score is
+/// incremented only when it is re-referenced from a *different* segment
+/// than its previous reference — so the burst of adjacent references a
+/// table scan makes to one page raises the score just once, while genuinely
+/// hot pages re-referenced across segments accumulate score. Scores decay
+/// exponentially with age (one halving per un-referenced window), ensuring
+/// every page eventually becomes a replacement candidate. The clock hand
+/// sweeps frames and evicts the first frame whose decayed score reaches
+/// zero, writing back the decayed score (and stepping it down) otherwise.
+///
+/// The replacer is not internally synchronized; the buffer pool calls it
+/// under its latch. (The fast path that avoids this latch entirely is the
+/// LookasideQueue.)
+class ClockReplacer {
+ public:
+  /// `num_segments` = 8 in the paper; `max_score` caps accumulation so a
+  /// formerly-hot page cannot stay irreplaceable forever.
+  explicit ClockReplacer(size_t num_frames = 0, uint32_t num_segments = 8,
+                         uint32_t max_score = 7);
+
+  /// Grows/shrinks the frame-id domain to [0, n).
+  void Resize(size_t n);
+
+  /// Notes a reference to `frame_id` (fetch hit or page load).
+  void RecordReference(uint32_t frame_id);
+
+  /// Pinned frames are never victims.
+  void SetEvictable(uint32_t frame_id, bool evictable);
+
+  /// Forgets a frame's history (frame freed or repurposed).
+  void Remove(uint32_t frame_id);
+
+  /// Chooses a victim frame, or nullopt when nothing is evictable.
+  std::optional<uint32_t> Victim();
+
+  /// Decayed score of a frame, for tests and introspection.
+  uint32_t EffectiveScore(uint32_t frame_id) const;
+
+  uint64_t ticks() const { return tick_; }
+
+ private:
+  struct Entry {
+    uint64_t last_ref_tick = 0;
+    uint32_t score = 0;
+    bool evictable = false;
+    bool tracked = false;
+  };
+
+  /// Reference-time segment width, in ticks: one eighth of a window that
+  /// spans roughly one full sweep of the pool.
+  uint64_t SegmentWidth() const;
+  uint32_t DecayedScore(const Entry& e) const;
+
+  uint32_t num_segments_;
+  uint32_t max_score_;
+  uint64_t tick_ = 0;
+  size_t hand_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_CLOCK_REPLACER_H_

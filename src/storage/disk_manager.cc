@@ -1,0 +1,112 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace hdb::storage {
+
+namespace {
+// Each space owns a fixed region of the virtual device; 2^26 pages (256 GiB
+// of 4K pages) per space is far beyond any experiment here.
+constexpr uint64_t kSpaceRegionPages = 1ull << 26;
+
+void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+DiskManager::DiskManager(uint32_t page_bytes,
+                         std::unique_ptr<os::VirtualDisk> device,
+                         os::VirtualClock* clock)
+    : page_bytes_(page_bytes), device_(std::move(device)), clock_(clock) {}
+
+uint64_t DiskManager::DevicePage(SpaceId space, PageId page) const {
+  return static_cast<uint64_t>(space) * kSpaceRegionPages + page;
+}
+
+PageId DiskManager::AllocatePage(SpaceId space) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Space& s = spaces_[static_cast<int>(space)];
+  s.live++;
+  if (!s.free_list.empty()) {
+    const PageId id = s.free_list.back();
+    s.free_list.pop_back();
+    std::memset(s.pages[id].get(), 0, page_bytes_);
+    return id;
+  }
+  const auto id = static_cast<PageId>(s.pages.size());
+  s.pages.push_back(std::make_unique<char[]>(page_bytes_));
+  std::memset(s.pages.back().get(), 0, page_bytes_);
+  return id;
+}
+
+void DiskManager::DeallocatePage(SpaceId space, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Space& s = spaces_[static_cast<int>(space)];
+  if (page < s.pages.size()) {
+    s.free_list.push_back(page);
+    if (s.live > 0) s.live--;
+  }
+}
+
+Status DiskManager::ReadPage(SpaceId space, PageId page, char* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Space& s = spaces_[static_cast<int>(space)];
+    if (page >= s.pages.size()) {
+      return Status::IOError("read of unallocated page");
+    }
+    std::memcpy(out, s.pages[page].get(), page_bytes_);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  if (device_ != nullptr) {
+    const double us = device_->ReadMicros(DevicePage(space, page));
+    AtomicAddDouble(io_micros_, us);
+    if (clock_ != nullptr) clock_->Advance(static_cast<int64_t>(us));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(SpaceId space, PageId page, const char* in) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Space& s = spaces_[static_cast<int>(space)];
+    if (page >= s.pages.size()) {
+      return Status::IOError("write of unallocated page");
+    }
+    std::memcpy(s.pages[page].get(), in, page_bytes_);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  if (device_ != nullptr) {
+    const double us = device_->WriteMicros(DevicePage(space, page));
+    AtomicAddDouble(io_micros_, us);
+    if (clock_ != nullptr) clock_->Advance(static_cast<int64_t>(us));
+  }
+  return Status::OK();
+}
+
+uint64_t DiskManager::NumPages(SpaceId space) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spaces_[static_cast<int>(space)].pages.size();
+}
+
+uint64_t DiskManager::LivePages(SpaceId space) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spaces_[static_cast<int>(space)].live;
+}
+
+uint64_t DiskManager::TotalDatabaseBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pages = 0;
+  for (const auto& s : spaces_) pages += s.pages.size();
+  return pages * page_bytes_;
+}
+
+void DiskManager::ResetIoStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  io_micros_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace hdb::storage

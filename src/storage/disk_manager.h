@@ -1,0 +1,93 @@
+#ifndef HDB_STORAGE_DISK_MANAGER_H_
+#define HDB_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "os/virtual_clock.h"
+#include "os/virtual_disk.h"
+#include "storage/page.h"
+
+namespace hdb::storage {
+
+/// Page store for the database's spaces (main / temp / log).
+///
+/// Page images live in memory (databases here are "ordinary OS files" in
+/// spirit; in-memory backing keeps experiments hermetic), while I/O *cost*
+/// is simulated through an optional os::VirtualDisk: each read/write asks
+/// the device for a service time, accumulates it, and advances the virtual
+/// clock. This gives the DTT cost model something real to predict (Eq. (3))
+/// without depending on host hardware.
+class DiskManager {
+ public:
+  /// `device` may be null, in which case I/O is free (unit tests).
+  /// `clock` may be null; otherwise simulated service time advances it.
+  DiskManager(uint32_t page_bytes, std::unique_ptr<os::VirtualDisk> device,
+              os::VirtualClock* clock);
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  uint32_t page_bytes() const { return page_bytes_; }
+
+  /// Allocates a zeroed page in `space` and returns its id (reuses
+  /// deallocated pages first).
+  PageId AllocatePage(SpaceId space);
+
+  /// Returns `page` to the space's free list.
+  void DeallocatePage(SpaceId space, PageId page);
+
+  /// Copies the page image into `out` (page_bytes() bytes).
+  Status ReadPage(SpaceId space, PageId page, char* out);
+
+  /// Copies `in` (page_bytes() bytes) into the page image.
+  Status WritePage(SpaceId space, PageId page, const char* in);
+
+  /// Number of pages ever allocated in `space` (including freed ones).
+  uint64_t NumPages(SpaceId space) const;
+
+  /// Live (allocated minus freed) pages in `space`.
+  uint64_t LivePages(SpaceId space) const;
+
+  /// Bytes across all spaces — the paper's Eq. (1) "database size includes
+  /// the size of the temporary files used for intermediate results".
+  uint64_t TotalDatabaseBytes() const;
+
+  /// Simulated I/O statistics.
+  uint64_t read_count() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
+  double io_micros() const { return io_micros_.load(std::memory_order_relaxed); }
+  void ResetIoStats();
+
+  os::VirtualDisk* device() { return device_.get(); }
+
+ private:
+  struct Space {
+    std::vector<std::unique_ptr<char[]>> pages;
+    std::vector<PageId> free_list;
+    uint64_t live = 0;
+  };
+
+  // Maps a (space, page) to a position on the single virtual device:
+  // spaces occupy disjoint fixed regions.
+  uint64_t DevicePage(SpaceId space, PageId page) const;
+
+  const uint32_t page_bytes_;
+  std::unique_ptr<os::VirtualDisk> device_;
+  os::VirtualClock* clock_;
+
+  mutable std::mutex mu_;
+  Space spaces_[kNumSpaces];
+
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<double> io_micros_{0.0};
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_DISK_MANAGER_H_

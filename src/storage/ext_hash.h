@@ -1,0 +1,71 @@
+#ifndef HDB_STORAGE_EXT_HASH_H_
+#define HDB_STORAGE_EXT_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::storage {
+
+/// Disk-based extendible hash multimap from uint64 keys to uint64 values
+/// (paper §2.1): SQL Anywhere stores long-term locks in such a table so
+/// that no lock-table size or lock-escalation threshold ever needs tuning.
+/// Bucket pages live in the buffer pool's temporary space and split by
+/// directory doubling; duplicate-heavy keys chain into overflow pages, so
+/// capacity is bounded only by disk.
+class ExtHashTable {
+ public:
+  explicit ExtHashTable(BufferPool* pool, uint32_t owner_oid = 0);
+  ~ExtHashTable();
+
+  ExtHashTable(const ExtHashTable&) = delete;
+  ExtHashTable& operator=(const ExtHashTable&) = delete;
+
+  /// Inserts (key, value); duplicates (same key, same value) are allowed.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Removes one occurrence of (key, value); returns NotFound if absent.
+  Status Remove(uint64_t key, uint64_t value);
+
+  /// Invokes `fn` for every value stored under `key`; stops early when fn
+  /// returns false.
+  Status ForEach(uint64_t key,
+                 const std::function<bool(uint64_t)>& fn) const;
+
+  /// All values under `key`.
+  Result<std::vector<uint64_t>> Lookup(uint64_t key) const;
+
+  uint64_t size() const { return size_; }
+  uint32_t global_depth() const { return global_depth_; }
+  size_t bucket_pages() const;
+
+ private:
+  struct BucketHeader {
+    uint32_t local_depth;
+    uint32_t count;
+    PageId overflow;  // kInvalidPageId if none
+  };
+  struct Entry {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  uint32_t EntriesPerPage() const;
+  size_t DirIndex(uint64_t key) const;
+  Status SplitBucket(size_t dir_index);
+  Result<PageId> NewBucketPage(uint32_t local_depth);
+
+  BufferPool* pool_;
+  uint32_t owner_oid_;
+  uint32_t global_depth_ = 0;
+  std::vector<PageId> directory_;  // 2^global_depth entries
+  uint64_t size_ = 0;
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_EXT_HASH_H_

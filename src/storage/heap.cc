@@ -1,0 +1,91 @@
+#include "storage/heap.h"
+
+namespace hdb::storage {
+
+ConnectionHeap::ConnectionHeap(BufferPool* pool, uint32_t owner_oid)
+    : pool_(pool), owner_oid_(owner_oid) {}
+
+ConnectionHeap::~ConnectionHeap() {
+  handles_.clear();  // unpin first
+  for (const PageId id : pages_) {
+    pool_->DiscardPage(SpacePageId{SpaceId::kTemp, id});
+  }
+}
+
+Status ConnectionHeap::AddPage() {
+  PageId id = kInvalidPageId;
+  HDB_ASSIGN_OR_RETURN(
+      PageHandle h,
+      pool_->NewPage(SpaceId::kTemp, PageType::kHeap, owner_oid_, &id));
+  h.MarkDirty();
+  pages_.push_back(id);
+  handles_.push_back(std::move(h));
+  bump_offset_ = 0;
+  return Status::OK();
+}
+
+Status ConnectionHeap::Lock() {
+  if (locked_) return Status::OK();
+  handles_.reserve(pages_.size());
+  for (const PageId id : pages_) {
+    HDB_ASSIGN_OR_RETURN(
+        PageHandle h, pool_->FetchPage(SpacePageId{SpaceId::kTemp, id},
+                                       PageType::kHeap, owner_oid_));
+    handles_.push_back(std::move(h));
+  }
+  locked_ = true;
+  // Frames may differ from the pre-unlock ones: cached raw pointers are
+  // invalid; bump the swizzle epoch.
+  ++epoch_;
+  return Status::OK();
+}
+
+void ConnectionHeap::Unlock() {
+  if (!locked_) return;
+  // Heap contents must survive stealing: mark dirty so eviction swaps the
+  // page to the temporary file rather than dropping it.
+  for (PageHandle& h : handles_) h.MarkDirty();
+  handles_.clear();
+  locked_ = false;
+}
+
+Result<HeapPtr> ConnectionHeap::Allocate(uint32_t n) {
+  if (!locked_) return Status::Internal("Allocate on unlocked heap");
+  if (n == 0) n = 1;
+  n = (n + 7u) & ~7u;
+  const uint32_t capacity = pool_->page_bytes();
+  if (n > capacity) {
+    return Status::InvalidArgument("heap allocation larger than a page");
+  }
+  if (handles_.empty() || bump_offset_ + n > capacity) {
+    HDB_RETURN_IF_ERROR(AddPage());
+  }
+  HeapPtr p;
+  p.page_index = static_cast<uint32_t>(pages_.size() - 1);
+  p.offset = bump_offset_;
+  bump_offset_ += n;
+  allocated_bytes_ += n;
+  handles_.back().MarkDirty();
+  return p;
+}
+
+void* ConnectionHeap::Resolve(HeapPtr p) {
+  if (!locked_ || !p.valid() || p.page_index >= handles_.size()) {
+    return nullptr;
+  }
+  return handles_[p.page_index].data() + p.offset;
+}
+
+void ConnectionHeap::Reset() {
+  handles_.clear();
+  for (const PageId id : pages_) {
+    pool_->DiscardPage(SpacePageId{SpaceId::kTemp, id});
+  }
+  pages_.clear();
+  bump_offset_ = 0;
+  allocated_bytes_ = 0;
+  locked_ = true;
+  ++epoch_;
+}
+
+}  // namespace hdb::storage

@@ -1,0 +1,126 @@
+#ifndef HDB_STORAGE_HEAP_H_
+#define HDB_STORAGE_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::storage {
+
+/// Handle to an object inside a ConnectionHeap: (page index within the
+/// heap, byte offset). Handles stay valid across unlock/re-lock cycles even
+/// though the backing frames move; raw pointers do not — that is the
+/// pointer-swizzling contract of paper §2.1.
+struct HeapPtr {
+  uint32_t page_index = 0xffffffffu;
+  uint32_t offset = 0;
+
+  bool valid() const { return page_index != 0xffffffffu; }
+  bool operator==(const HeapPtr&) const = default;
+};
+
+/// A connection-scoped, page-backed memory heap (paper §2.1).
+///
+/// Query-processing data structures (hash tables, cursors, prepared
+/// statements) are allocated in heaps whose pages are ordinary buffer-pool
+/// pages in the temporary space. While a heap is *locked*, its pages are
+/// pinned and raw pointers are stable. When the request is idle (e.g.
+/// awaiting the next FETCH) the heap is *unlocked*: its pages become
+/// evictable, and the buffer pool may steal the frames — swapping dirty
+/// pages out to the temporary file — for table or index pages. Re-locking
+/// reloads stolen pages into (possibly different) frames; Resolve()
+/// re-binds ("swizzles") handles to the new addresses and a swizzle epoch
+/// lets cached raw pointers detect staleness.
+class ConnectionHeap {
+ public:
+  ConnectionHeap(BufferPool* pool, uint32_t owner_oid = 0);
+  ~ConnectionHeap();
+
+  ConnectionHeap(const ConnectionHeap&) = delete;
+  ConnectionHeap& operator=(const ConnectionHeap&) = delete;
+
+  /// Pins all heap pages, reloading any stolen ones. Idempotent.
+  Status Lock();
+
+  /// Unpins all pages, making them stealable. Idempotent.
+  void Unlock();
+
+  bool locked() const { return locked_; }
+
+  /// Allocates `n` bytes (n <= page capacity) aligned to 8. The heap must
+  /// be locked. Allocation is arena-style: individual objects are not
+  /// freed; Reset() releases everything.
+  Result<HeapPtr> Allocate(uint32_t n);
+
+  /// Address of `p` — valid only while the heap is locked, and only until
+  /// the next unlock.
+  void* Resolve(HeapPtr p);
+
+  /// Convenience: allocate + default-construct a trivially-destructible T.
+  template <typename T>
+  Result<HeapPtr> New() {
+    HDB_ASSIGN_OR_RETURN(HeapPtr p, Allocate(sizeof(T)));
+    new (Resolve(p)) T();
+    return p;
+  }
+  template <typename T>
+  T* Get(HeapPtr p) {
+    return static_cast<T*>(Resolve(p));
+  }
+
+  /// Discards all pages (they go to the buffer pool's lookaside queue for
+  /// immediate reuse). The heap returns to the locked-empty state.
+  void Reset();
+
+  /// Incremented on every re-lock that may have moved frames; consumers
+  /// caching raw pointers compare epochs (the swizzling protocol).
+  uint64_t swizzle_epoch() const { return epoch_; }
+
+  size_t page_count() const { return pages_.size(); }
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  /// Pages currently resident because the heap is locked.
+  size_t pinned_pages() const { return locked_ ? handles_.size() : 0; }
+
+ private:
+  Status AddPage();
+
+  BufferPool* pool_;
+  uint32_t owner_oid_;
+  bool locked_ = true;
+  uint64_t epoch_ = 0;
+  std::vector<PageId> pages_;          // temp-space page ids
+  std::vector<PageHandle> handles_;    // pins, only while locked
+  uint32_t bump_offset_ = 0;           // within the last page
+  uint64_t allocated_bytes_ = 0;
+};
+
+/// A cached, swizzle-aware pointer to a T inside a heap. `get` re-resolves
+/// (re-swizzles) automatically when the heap's epoch has advanced.
+template <typename T>
+class SwizzledPtr {
+ public:
+  SwizzledPtr() = default;
+  explicit SwizzledPtr(HeapPtr target) : target_(target) {}
+
+  T* get(ConnectionHeap& heap) {
+    if (cached_ == nullptr || epoch_ != heap.swizzle_epoch()) {
+      cached_ = static_cast<T*>(heap.Resolve(target_));
+      epoch_ = heap.swizzle_epoch();
+    }
+    return cached_;
+  }
+
+  HeapPtr target() const { return target_; }
+
+ private:
+  HeapPtr target_;
+  T* cached_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_HEAP_H_

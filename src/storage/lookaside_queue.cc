@@ -1,0 +1,73 @@
+#include "storage/lookaside_queue.h"
+
+namespace hdb::storage {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+LookasideQueue::LookasideQueue(size_t capacity_pow2)
+    : capacity_(RoundUpPow2(capacity_pow2 == 0 ? 2 : capacity_pow2)),
+      mask_(capacity_ - 1),
+      cells_(new Cell[capacity_]) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool LookasideQueue::Push(uint32_t frame_id) {
+  uint64_t pos = tail_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const auto diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (diff == 0) {
+      if (tail_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        cell.value = frame_id;
+        cell.sequence.store(pos + 1, std::memory_order_release);
+        pushes_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    } else if (diff < 0) {
+      return false;  // full
+    } else {
+      pos = tail_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::optional<uint32_t> LookasideQueue::Pop() {
+  uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+    if (diff == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        const uint32_t v = cell.value;
+        cell.sequence.store(pos + capacity_, std::memory_order_release);
+        pops_.fetch_add(1, std::memory_order_relaxed);
+        return v;
+      }
+    } else if (diff < 0) {
+      return std::nullopt;  // empty
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t LookasideQueue::ApproxSize() const {
+  const uint64_t t = tail_.load(std::memory_order_relaxed);
+  const uint64_t h = head_.load(std::memory_order_relaxed);
+  return t > h ? static_cast<size_t>(t - h) : 0;
+}
+
+}  // namespace hdb::storage

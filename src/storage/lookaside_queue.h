@@ -1,0 +1,56 @@
+#ifndef HDB_STORAGE_LOOKASIDE_QUEUE_H_
+#define HDB_STORAGE_LOOKASIDE_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace hdb::storage {
+
+/// Lock-free bounded MPMC queue of frame ids (paper §2.2).
+///
+/// The buffer pool pushes frames whose contents are dead — freed connection
+/// heap pages and dropped temporary-table pages — so that a frame can be
+/// reused "immediately", without running the clock algorithm or taking the
+/// pool latch. The paper stresses the queue must be lock-free because
+/// semaphores are expensive on most hardware; this is a Vyukov-style
+/// bounded array queue using only atomics.
+class LookasideQueue {
+ public:
+  explicit LookasideQueue(size_t capacity_pow2 = 1024);
+
+  LookasideQueue(const LookasideQueue&) = delete;
+  LookasideQueue& operator=(const LookasideQueue&) = delete;
+
+  /// Attempts to enqueue; returns false when full (caller just leaves the
+  /// frame to the clock algorithm).
+  bool Push(uint32_t frame_id);
+
+  /// Attempts to dequeue; empty optional when no frame is available.
+  std::optional<uint32_t> Pop();
+
+  /// Approximate occupancy (racy, for stats only).
+  size_t ApproxSize() const;
+
+  uint64_t push_count() const { return pushes_.load(std::memory_order_relaxed); }
+  uint64_t pop_count() const { return pops_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> sequence;
+    uint32_t value;
+  };
+
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> pushes_{0};
+  std::atomic<uint64_t> pops_{0};
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_LOOKASIDE_QUEUE_H_

@@ -1,0 +1,70 @@
+#ifndef HDB_STORAGE_PAGE_H_
+#define HDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdb::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Default page/frame size. The paper stresses that *all* page frames in
+/// the pool are the same size so any frame can hold any page type.
+inline constexpr uint32_t kDefaultPageBytes = 4096;
+
+/// Database spaces (files). The paper's layout: a main database file, a
+/// separate transaction log, and temporary files for intermediate results;
+/// heap pages spill to the temporary file when stolen.
+enum class SpaceId : uint8_t {
+  kMain = 0,
+  kTemp = 1,
+  kLog = 2,
+};
+inline constexpr int kNumSpaces = 3;
+
+/// Every page type shares the single heterogeneous buffer pool (paper
+/// §2.1). The type tags frames for replacement policy decisions (heap and
+/// temp-table pages are lookaside-eligible) and for accounting.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kTable,
+  kIndex,
+  kUndoLog,
+  kRedoLog,
+  kBitmap,
+  kHeap,
+  kTempTable,
+};
+
+inline std::string_view PageTypeName(PageType t) {
+  switch (t) {
+    case PageType::kFree: return "free";
+    case PageType::kTable: return "table";
+    case PageType::kIndex: return "index";
+    case PageType::kUndoLog: return "undo";
+    case PageType::kRedoLog: return "redo";
+    case PageType::kBitmap: return "bitmap";
+    case PageType::kHeap: return "heap";
+    case PageType::kTempTable: return "temp";
+  }
+  return "?";
+}
+
+/// Fully-qualified page address.
+struct SpacePageId {
+  SpaceId space = SpaceId::kMain;
+  PageId page = kInvalidPageId;
+
+  bool operator==(const SpacePageId&) const = default;
+};
+
+struct SpacePageIdHash {
+  size_t operator()(const SpacePageId& id) const {
+    return (static_cast<size_t>(id.space) << 32) ^ id.page;
+  }
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_PAGE_H_

@@ -1,0 +1,158 @@
+#include "storage/pool_governor.h"
+
+#include <algorithm>
+
+namespace hdb::storage {
+
+PoolGovernor::PoolGovernor(BufferPool* pool, os::MemoryEnv* env,
+                           os::VirtualClock* clock,
+                           PoolGovernorOptions options)
+    : pool_(pool), env_(env), clock_(clock), options_(options) {
+  fast_polls_remaining_ = options_.startup_fast_polls;
+  next_poll_micros_ = clock_->NowMicros() + options_.fast_poll_period_micros;
+  last_db_bytes_ = pool_->disk()->TotalDatabaseBytes();
+  last_free_physical_ = env_->FreePhysical();
+  PublishAllocation();
+}
+
+uint64_t PoolGovernor::ReportedAllocation() const {
+  return pool_->CurrentBytes() + options_.fixed_overhead_bytes +
+         static_cast<uint64_t>(std::max<int64_t>(0, main_heap_bytes_));
+}
+
+void PoolGovernor::PublishAllocation() {
+  env_->SetAllocation(options_.process_name, ReportedAllocation());
+}
+
+void PoolGovernor::AddMainHeapBytes(int64_t delta) {
+  main_heap_bytes_ += delta;
+  if (main_heap_bytes_ < 0) main_heap_bytes_ = 0;
+  PublishAllocation();
+}
+
+uint64_t PoolGovernor::SoftUpperBoundLocked() const {
+  // Eq. (1): min(database size + main heap size, upper bound). Database
+  // size includes the temporary files, so large intermediate results
+  // automatically unconstrain the pool (paper §2).
+  const uint64_t db = pool_->disk()->TotalDatabaseBytes();
+  const uint64_t heap =
+      static_cast<uint64_t>(std::max<int64_t>(0, main_heap_bytes_));
+  return std::min(db + heap, options_.max_bytes);
+}
+
+bool PoolGovernor::MaybePoll() {
+  if (clock_->NowMicros() < next_poll_micros_) return false;
+  PollNow();
+  return true;
+}
+
+PoolGovernorSample PoolGovernor::PollNow() {
+  PoolGovernorSample s;
+  s.at_micros = clock_->NowMicros();
+  s.working_set = env_->WorkingSetSize(options_.process_name);
+  s.free_physical = env_->FreePhysical();
+  s.misses_since_last = pool_->TakeMissesSinceLastPoll();
+
+  const uint64_t current = pool_->CurrentBytes();
+  const uint32_t page = pool_->page_bytes();
+
+  uint64_t ideal;
+  if (!options_.ce_mode) {
+    // Target: the process's current real memory plus whatever is unused,
+    // minus the OS reserve (paper §2).
+    const uint64_t ws_plus_free = s.working_set + s.free_physical;
+    ideal = ws_plus_free > options_.os_reserve_bytes
+                ? ws_plus_free - options_.os_reserve_bytes
+                : 0;
+  } else {
+    // Windows CE: no working-set reporting; reference input is the current
+    // pool size. Grow only on an *increase* in device free memory; shrink
+    // when free memory fell (another application allocated).
+    ideal = current;
+    if (s.free_physical > last_free_physical_) {
+      const uint64_t headroom =
+          s.free_physical > options_.os_reserve_bytes
+              ? s.free_physical - options_.os_reserve_bytes
+              : 0;
+      ideal = current + headroom;
+    } else if (s.free_physical < options_.os_reserve_bytes) {
+      const uint64_t deficit = options_.os_reserve_bytes - s.free_physical;
+      ideal = current > deficit ? current - deficit : 0;
+    }
+  }
+
+  // Clamp to [lower bound, min(soft upper bound per Eq. (1), hard upper)].
+  const uint64_t upper = SoftUpperBoundLocked();
+  uint64_t target = std::clamp(ideal, options_.min_bytes,
+                               std::max(options_.min_bytes, upper));
+  s.target_bytes = target;
+
+  // No buffer misses since the last poll => the working set of database
+  // pages fits (or the server is idle): growth is pointless. Shrinking is
+  // always allowed (paper §2).
+  if (target > current && s.misses_since_last == 0) {
+    s.growth_blocked_no_misses = true;
+    target = current;
+  }
+
+  // Anti-hysteresis guard (§6 extension): right after a shrink, cap how
+  // much of it may be re-grown immediately.
+  if (options_.hysteresis_polls > 0 && target > current &&
+      polls_since_shrink_ <= options_.hysteresis_polls) {
+    const auto cap = current + static_cast<uint64_t>(
+        options_.hysteresis_growth_cap *
+        static_cast<double>(last_shrink_amount_));
+    target = std::min(target, std::max(cap, current));
+  }
+
+  uint64_t new_size = current;
+  const uint64_t diff = target > current ? target - current : current - target;
+  if (diff < options_.dead_zone_bytes) {
+    s.in_dead_zone = true;
+  } else {
+    // Eq. (2): damped resize.
+    new_size = static_cast<uint64_t>(
+        options_.damping * static_cast<double>(target) +
+        (1.0 - options_.damping) * static_cast<double>(current));
+  }
+
+  if (new_size != current) {
+    const size_t target_frames =
+        std::max<size_t>(1, new_size / page);
+    const size_t got = pool_->Resize(target_frames);
+    new_size = static_cast<uint64_t>(got) * page;
+    s.grew = new_size > current;
+    s.shrank = new_size < current;
+    if (s.shrank) {
+      polls_since_shrink_ = 0;
+      last_shrink_amount_ = current - new_size;
+    }
+    PublishAllocation();
+  }
+  if (!s.shrank) polls_since_shrink_++;
+  s.new_size_bytes = new_size;
+
+  // Sampling-period adaptation: fast at startup and after significant
+  // database growth; the period is *not* changed by memory fluctuations
+  // elsewhere in the system (paper §2).
+  const uint64_t db_bytes = pool_->disk()->TotalDatabaseBytes();
+  if (last_db_bytes_ > 0 &&
+      static_cast<double>(db_bytes) >
+          static_cast<double>(last_db_bytes_) *
+              (1.0 + options_.significant_growth_fraction)) {
+    fast_polls_remaining_ = std::max(fast_polls_remaining_, 2);
+  }
+  const bool fast = fast_polls_remaining_ > 0;
+  if (fast_polls_remaining_ > 0) fast_polls_remaining_--;
+  next_poll_micros_ =
+      clock_->NowMicros() +
+      (fast ? options_.fast_poll_period_micros : options_.poll_period_micros);
+
+  last_db_bytes_ = db_bytes;
+  last_free_physical_ = s.free_physical;
+  polls_done_++;
+  history_.push_back(s);
+  return s;
+}
+
+}  // namespace hdb::storage

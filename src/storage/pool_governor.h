@@ -1,0 +1,136 @@
+#ifndef HDB_STORAGE_POOL_GOVERNOR_H_
+#define HDB_STORAGE_POOL_GOVERNOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/memory_env.h"
+#include "os/virtual_clock.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::storage {
+
+/// Configuration of the buffer-pool feedback controller (paper §2).
+struct PoolGovernorOptions {
+  /// Hard lower / upper bounds, fixed for the server's lifetime; defaults
+  /// can be overridden at server start (paper §2).
+  uint64_t min_bytes = 2ull << 20;
+  uint64_t max_bytes = 1ull << 30;
+
+  /// Real memory kept in reserve for the OS (paper: 5 MB).
+  uint64_t os_reserve_bytes = 5ull << 20;
+
+  /// Dead zone: if |target - current| is below this, do nothing (paper:
+  /// 64 KB).
+  uint64_t dead_zone_bytes = 64ull << 10;
+
+  /// Damping factor d of Eq. (2): resize to d*ideal + (1-d)*current.
+  double damping = 0.9;
+
+  /// Nominal sampling period (paper: one minute).
+  int64_t poll_period_micros = 60ll * 1000 * 1000;
+  /// Accelerated period used at startup and after significant database
+  /// growth (paper: 20 seconds).
+  int64_t fast_poll_period_micros = 20ll * 1000 * 1000;
+  /// Number of initial polls taken at the fast period.
+  int startup_fast_polls = 5;
+  /// Database growth (relative to the size seen at the previous poll) that
+  /// re-arms fast polling.
+  double significant_growth_fraction = 0.10;
+
+  /// Windows CE mode (paper §2 final paragraph): the OS cannot report a
+  /// working-set size, so the reference input is the current pool size;
+  /// the pool grows only when device free memory has increased, but may
+  /// always shrink when other applications allocate memory.
+  bool ce_mode = false;
+
+  /// §6 future-work extension: anti-hysteresis guard. After a shrink, a
+  /// re-grow within `hysteresis_polls` polls is capped to
+  /// `hysteresis_growth_cap` of the shrink amount, damping grow/shrink
+  /// oscillation under a cyclic external load. 0 disables.
+  int hysteresis_polls = 0;
+  double hysteresis_growth_cap = 0.5;
+
+  /// Fixed server overhead (code, stacks, ...) counted as part of the
+  /// process allocation reported to the MemoryEnv.
+  uint64_t fixed_overhead_bytes = 4ull << 20;
+
+  /// Process name registered with the MemoryEnv.
+  std::string process_name = "hdb-server";
+};
+
+/// One governor decision, recorded for tests/benches (Figure 1 traces).
+struct PoolGovernorSample {
+  int64_t at_micros = 0;
+  uint64_t working_set = 0;
+  uint64_t free_physical = 0;
+  uint64_t misses_since_last = 0;
+  uint64_t target_bytes = 0;   // clamped ideal size
+  uint64_t new_size_bytes = 0; // after damping/dead-zone
+  bool grew = false;
+  bool shrank = false;
+  bool growth_blocked_no_misses = false;
+  bool in_dead_zone = false;
+};
+
+/// Feedback controller that sizes the buffer pool to fit overall system
+/// requirements (paper §2, Figure 1).
+///
+/// ideal = working_set + free_physical - os_reserve         (non-CE)
+/// soft upper bound = min(db_size + main_heap, max_bytes)    Eq. (1)
+/// new  = damping*ideal + (1-damping)*current                Eq. (2)
+/// growth requires buffer misses since the last poll; shrinking is always
+/// permitted; changes inside the 64 KB dead zone are skipped.
+///
+/// The governor is polled explicitly (`MaybePoll`) against the virtual
+/// clock; a background driver is a policy choice left to the embedding
+/// application, exactly like the paper's one-minute OS poll.
+class PoolGovernor {
+ public:
+  PoolGovernor(BufferPool* pool, os::MemoryEnv* env, os::VirtualClock* clock,
+               PoolGovernorOptions options = {});
+
+  /// Polls if the sampling period has elapsed. Returns true if a poll ran.
+  bool MaybePoll();
+
+  /// Forces a poll now (tests).
+  PoolGovernorSample PollNow();
+
+  /// Bytes of connection-heap memory currently locked; counted into the
+  /// Eq. (1) soft bound's "main heap size" term. Maintained by heaps.
+  void AddMainHeapBytes(int64_t delta);
+
+  /// Pool+overhead bytes the governor reports to the MemoryEnv as the
+  /// server's memory demand.
+  uint64_t ReportedAllocation() const;
+
+  const PoolGovernorOptions& options() const { return options_; }
+  const std::vector<PoolGovernorSample>& history() const { return history_; }
+  int64_t next_poll_micros() const { return next_poll_micros_; }
+
+ private:
+  uint64_t SoftUpperBoundLocked() const;
+  void PublishAllocation();
+
+  BufferPool* pool_;
+  os::MemoryEnv* env_;
+  os::VirtualClock* clock_;
+  PoolGovernorOptions options_;
+
+  int polls_done_ = 0;
+  int64_t next_poll_micros_ = 0;
+  uint64_t last_db_bytes_ = 0;
+  uint64_t last_free_physical_ = 0;
+  int fast_polls_remaining_ = 0;
+  int64_t main_heap_bytes_ = 0;
+  // Anti-hysteresis state.
+  int polls_since_shrink_ = 1 << 20;
+  uint64_t last_shrink_amount_ = 0;
+
+  std::vector<PoolGovernorSample> history_;
+};
+
+}  // namespace hdb::storage
+
+#endif  // HDB_STORAGE_POOL_GOVERNOR_H_

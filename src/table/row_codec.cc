@@ -1,0 +1,127 @@
+#include "table/row_codec.h"
+
+#include <cstring>
+
+namespace hdb::table {
+
+Result<std::string> EncodeRow(const catalog::TableDef& schema,
+                              const Row& row) {
+  if (row.size() != schema.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  const size_t ncols = schema.columns.size();
+  std::string out;
+  out.resize((ncols + 7) / 8, '\0');
+  for (size_t i = 0; i < ncols; ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!schema.columns[i].nullable) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           schema.columns[i].name);
+      }
+      out[i / 8] |= static_cast<char>(1 << (i % 8));
+      continue;
+    }
+    switch (schema.columns[i].type) {
+      case TypeId::kBoolean: {
+        out.push_back(v.AsBool() ? 1 : 0);
+        break;
+      }
+      case TypeId::kInt:
+      case TypeId::kBigint:
+      case TypeId::kDate:
+      case TypeId::kTimestamp: {
+        const int64_t x = v.AsInt();
+        out.append(reinterpret_cast<const char*>(&x), 8);
+        break;
+      }
+      case TypeId::kDouble: {
+        const double d = v.AsDouble();
+        out.append(reinterpret_cast<const char*>(&d), 8);
+        break;
+      }
+      case TypeId::kVarchar: {
+        const std::string& s = v.AsString();
+        if (s.size() > 0xffff) {
+          return Status::InvalidArgument("string longer than 64 KiB");
+        }
+        const auto len = static_cast<uint16_t>(s.size());
+        out.append(reinterpret_cast<const char*>(&len), 2);
+        out.append(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
+                      size_t len) {
+  const size_t ncols = schema.columns.size();
+  const size_t bitmap_bytes = (ncols + 7) / 8;
+  if (len < bitmap_bytes) return Status::Internal("row underflow");
+  Row row;
+  row.reserve(ncols);
+  size_t pos = bitmap_bytes;
+  for (size_t i = 0; i < ncols; ++i) {
+    const bool is_null = (data[i / 8] >> (i % 8)) & 1;
+    const TypeId t = schema.columns[i].type;
+    if (is_null) {
+      row.push_back(Value::Null(t));
+      continue;
+    }
+    switch (t) {
+      case TypeId::kBoolean: {
+        if (pos + 1 > len) return Status::Internal("row underflow");
+        row.push_back(Value::Boolean(data[pos] != 0));
+        pos += 1;
+        break;
+      }
+      case TypeId::kInt:
+      case TypeId::kBigint:
+      case TypeId::kDate:
+      case TypeId::kTimestamp: {
+        if (pos + 8 > len) return Status::Internal("row underflow");
+        int64_t x = 0;
+        std::memcpy(&x, data + pos, 8);
+        pos += 8;
+        switch (t) {
+          case TypeId::kInt:
+            row.push_back(Value::Int(static_cast<int32_t>(x)));
+            break;
+          case TypeId::kBigint:
+            row.push_back(Value::Bigint(x));
+            break;
+          case TypeId::kDate:
+            row.push_back(Value::Date(x));
+            break;
+          default:
+            row.push_back(Value::Timestamp(x));
+            break;
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        if (pos + 8 > len) return Status::Internal("row underflow");
+        double d = 0;
+        std::memcpy(&d, data + pos, 8);
+        pos += 8;
+        row.push_back(Value::Double(d));
+        break;
+      }
+      case TypeId::kVarchar: {
+        if (pos + 2 > len) return Status::Internal("row underflow");
+        uint16_t slen = 0;
+        std::memcpy(&slen, data + pos, 2);
+        pos += 2;
+        if (pos + slen > len) return Status::Internal("row underflow");
+        row.push_back(Value::String(std::string(data + pos, slen)));
+        pos += slen;
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace hdb::table

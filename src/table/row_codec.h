@@ -1,0 +1,28 @@
+#ifndef HDB_TABLE_ROW_CODEC_H_
+#define HDB_TABLE_ROW_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "catalog/schema.h"
+
+namespace hdb::table {
+
+/// A materialized row.
+using Row = std::vector<Value>;
+
+/// Serializes `row` (one Value per schema column) into a compact byte
+/// string: null bitmap followed by fixed-width numerics and
+/// length-prefixed strings.
+Result<std::string> EncodeRow(const catalog::TableDef& schema,
+                              const Row& row);
+
+/// Decodes bytes produced by EncodeRow back into typed Values.
+Result<Row> DecodeRow(const catalog::TableDef& schema,
+                      const char* data, size_t len);
+
+}  // namespace hdb::table
+
+#endif  // HDB_TABLE_ROW_CODEC_H_

@@ -1,0 +1,219 @@
+#include "table/table_heap.h"
+
+#include <cstring>
+
+namespace hdb::table {
+
+namespace {
+
+// Slotted page layout:
+//   [PageHeader][slot 0][slot 1]...            (grows up)
+//   ...free space...
+//   [row k bytes]...[row 1 bytes][row 0 bytes] (grows down)
+struct PageHeader {
+  storage::PageId next_page;
+  uint16_t slot_count;
+  uint16_t free_end;  // offset one past the end of free space (row data start)
+};
+
+struct Slot {
+  uint16_t offset;
+  uint16_t len;  // 0 => deleted
+};
+
+constexpr size_t kHeaderBytes = sizeof(PageHeader);
+constexpr size_t kSlotBytes = sizeof(Slot);
+
+PageHeader ReadHeader(const char* page) {
+  PageHeader h;
+  std::memcpy(&h, page, kHeaderBytes);
+  return h;
+}
+
+void WriteHeader(char* page, const PageHeader& h) {
+  std::memcpy(page, &h, kHeaderBytes);
+}
+
+Slot ReadSlot(const char* page, uint16_t i) {
+  Slot s;
+  std::memcpy(&s, page + kHeaderBytes + i * kSlotBytes, kSlotBytes);
+  return s;
+}
+
+void WriteSlot(char* page, uint16_t i, const Slot& s) {
+  std::memcpy(page + kHeaderBytes + i * kSlotBytes, &s, kSlotBytes);
+}
+
+}  // namespace
+
+TableHeap::TableHeap(storage::BufferPool* pool, catalog::TableDef* def)
+    : pool_(pool), def_(def) {}
+
+Status TableHeap::AppendPage() {
+  storage::PageId id = storage::kInvalidPageId;
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->NewPage(storage::SpaceId::kMain, storage::PageType::kTable,
+                     def_->oid, &id));
+  PageHeader header{storage::kInvalidPageId, 0,
+                    static_cast<uint16_t>(pool_->page_bytes())};
+  WriteHeader(h.data(), header);
+  h.MarkDirty();
+
+  if (def_->last_page != storage::kInvalidPageId) {
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle prev,
+        pool_->FetchPage(
+            storage::SpacePageId{storage::SpaceId::kMain, def_->last_page},
+            storage::PageType::kTable, def_->oid));
+    PageHeader ph = ReadHeader(prev.data());
+    ph.next_page = id;
+    WriteHeader(prev.data(), ph);
+    prev.MarkDirty();
+  } else {
+    def_->first_page = id;
+  }
+  def_->last_page = id;
+  def_->page_count++;
+  return Status::OK();
+}
+
+Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
+                                      std::string_view row_bytes, bool* fit) {
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->FetchPage(storage::SpacePageId{storage::SpaceId::kMain, page_id},
+                       storage::PageType::kTable, def_->oid));
+  PageHeader header = ReadHeader(h.data());
+  const size_t used_top = kHeaderBytes + header.slot_count * kSlotBytes;
+  const size_t need = row_bytes.size() + kSlotBytes;
+  if (used_top + need > header.free_end) {
+    *fit = false;
+    return Rid{};
+  }
+  *fit = true;
+  const auto new_end =
+      static_cast<uint16_t>(header.free_end - row_bytes.size());
+  std::memcpy(h.data() + new_end, row_bytes.data(), row_bytes.size());
+  const uint16_t slot_index = header.slot_count;
+  WriteSlot(h.data(), slot_index,
+            Slot{new_end, static_cast<uint16_t>(row_bytes.size())});
+  header.slot_count++;
+  header.free_end = new_end;
+  WriteHeader(h.data(), header);
+  h.MarkDirty();
+  return Rid{page_id, slot_index};
+}
+
+Result<Rid> TableHeap::Insert(std::string_view row_bytes) {
+  if (row_bytes.size() + kHeaderBytes + kSlotBytes > pool_->page_bytes()) {
+    return Status::InvalidArgument("row larger than a page");
+  }
+  if (row_bytes.empty()) return Status::InvalidArgument("empty row");
+  if (def_->last_page == storage::kInvalidPageId) {
+    HDB_RETURN_IF_ERROR(AppendPage());
+  }
+  bool fit = false;
+  HDB_ASSIGN_OR_RETURN(Rid rid,
+                       InsertIntoPage(def_->last_page, row_bytes, &fit));
+  if (!fit) {
+    HDB_RETURN_IF_ERROR(AppendPage());
+    HDB_ASSIGN_OR_RETURN(rid, InsertIntoPage(def_->last_page, row_bytes, &fit));
+    if (!fit) return Status::Internal("row does not fit in a fresh page");
+  }
+  def_->row_count++;
+  return rid;
+}
+
+Result<std::string> TableHeap::Get(Rid rid) const {
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->FetchPage(
+          storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
+          storage::PageType::kTable, def_->oid));
+  const PageHeader header = ReadHeader(h.data());
+  if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
+  const Slot s = ReadSlot(h.data(), rid.slot);
+  if (s.len == 0) return Status::NotFound("deleted row");
+  return std::string(h.data() + s.offset, s.len);
+}
+
+Status TableHeap::Delete(Rid rid) {
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->FetchPage(
+          storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
+          storage::PageType::kTable, def_->oid));
+  const PageHeader header = ReadHeader(h.data());
+  if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
+  Slot s = ReadSlot(h.data(), rid.slot);
+  if (s.len == 0) return Status::NotFound("row already deleted");
+  s.len = 0;
+  WriteSlot(h.data(), rid.slot, s);
+  h.MarkDirty();
+  if (def_->row_count > 0) def_->row_count--;
+  return Status::OK();
+}
+
+Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
+  {
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        pool_->FetchPage(
+            storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
+            storage::PageType::kTable, def_->oid));
+    const PageHeader header = ReadHeader(h.data());
+    if (rid.slot >= header.slot_count) {
+      return Status::NotFound("bad rid slot");
+    }
+    Slot s = ReadSlot(h.data(), rid.slot);
+    if (s.len == 0) return Status::NotFound("deleted row");
+    if (row_bytes.size() <= s.len) {
+      std::memcpy(h.data() + s.offset, row_bytes.data(), row_bytes.size());
+      s.len = static_cast<uint16_t>(row_bytes.size());
+      WriteSlot(h.data(), rid.slot, s);
+      h.MarkDirty();
+      return rid;
+    }
+  }
+  HDB_RETURN_IF_ERROR(Delete(rid));
+  return Insert(row_bytes);
+}
+
+TableHeap::Iterator TableHeap::Scan() const {
+  return Iterator(this, def_->first_page);
+}
+
+bool TableHeap::Iterator::Next(Rid* rid, std::string* row_bytes) {
+  while (page_ != storage::kInvalidPageId) {
+    auto h = heap_->pool_->FetchPage(
+        storage::SpacePageId{storage::SpaceId::kMain, page_},
+        storage::PageType::kTable, heap_->def_->oid);
+    if (!h.ok()) return false;
+    const PageHeader header = ReadHeader(h->data());
+    while (slot_ < header.slot_count) {
+      const Slot s = ReadSlot(h->data(), slot_);
+      const uint16_t current = slot_++;
+      if (s.len == 0) continue;
+      *rid = Rid{page_, current};
+      row_bytes->assign(h->data() + s.offset, s.len);
+      return true;
+    }
+    page_ = header.next_page;
+    slot_ = 0;
+  }
+  return false;
+}
+
+Status TableHeap::ScanAll(
+    const std::function<bool(Rid, std::string_view)>& fn) const {
+  Iterator it = Scan();
+  Rid rid;
+  std::string bytes;
+  while (it.Next(&rid, &bytes)) {
+    if (!fn(rid, bytes)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace hdb::table

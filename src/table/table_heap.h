@@ -1,0 +1,76 @@
+#ifndef HDB_TABLE_TABLE_HEAP_H_
+#define HDB_TABLE_TABLE_HEAP_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "catalog/schema.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::table {
+
+/// Heap file of slotted pages holding one table's rows. Pages are chained
+/// in allocation order (main space, PageType::kTable), so a full scan is a
+/// sequential sweep — the access pattern the DTT model prices at band
+/// size 1. Row count and page count are maintained live on the TableDef
+/// (the paper's real-time table statistics, §3.2).
+class TableHeap {
+ public:
+  TableHeap(storage::BufferPool* pool, catalog::TableDef* def);
+
+  /// Appends an encoded row; returns its Rid.
+  Result<Rid> Insert(std::string_view row_bytes);
+
+  /// Reads the row at `rid`.
+  Result<std::string> Get(Rid rid) const;
+
+  /// Marks the row deleted. Returns NotFound for dead/invalid rids.
+  Status Delete(Rid rid);
+
+  /// In-place update when the new image fits in the old slot; otherwise
+  /// delete + re-insert, returning the (possibly new) Rid.
+  Result<Rid> Update(Rid rid, std::string_view row_bytes);
+
+  /// Pull-based full scan.
+  class Iterator {
+   public:
+    /// Advances to the next live row; false at end of table.
+    bool Next(Rid* rid, std::string* row_bytes);
+
+   private:
+    friend class TableHeap;
+    Iterator(const TableHeap* heap, storage::PageId page)
+        : heap_(heap), page_(page) {}
+    const TableHeap* heap_;
+    storage::PageId page_;
+    uint16_t slot_ = 0;
+  };
+
+  Iterator Scan() const;
+
+  /// Scans calling `fn(rid, bytes)`; stops early when fn returns false.
+  Status ScanAll(
+      const std::function<bool(Rid, std::string_view)>& fn) const;
+
+  catalog::TableDef* def() { return def_; }
+  const catalog::TableDef* def() const { return def_; }
+
+ private:
+  friend class Iterator;
+
+  // Page layout constants (see table_heap.cc).
+  Result<Rid> InsertIntoPage(storage::PageId page_id,
+                             std::string_view row_bytes, bool* fit);
+  Status AppendPage();
+
+  storage::BufferPool* pool_;
+  catalog::TableDef* def_;
+};
+
+}  // namespace hdb::table
+
+#endif  // HDB_TABLE_TABLE_HEAP_H_

@@ -1,0 +1,76 @@
+#include "txn/lock_manager.h"
+
+namespace hdb::txn {
+
+namespace {
+// Lock-table values pack (txn_id << 1 | mode).
+uint64_t PackValue(uint64_t txn_id, LockMode mode) {
+  return (txn_id << 1) | static_cast<uint64_t>(mode);
+}
+uint64_t ValueTxn(uint64_t v) { return v >> 1; }
+LockMode ValueMode(uint64_t v) {
+  return static_cast<LockMode>(v & 1);
+}
+}  // namespace
+
+LockManager::LockManager(storage::BufferPool* pool)
+    : table_(pool, /*owner_oid=*/0) {}
+
+uint64_t LockManager::RowKey(uint32_t table_oid, Rid rid) {
+  return (static_cast<uint64_t>(table_oid) << 48) ^
+         (static_cast<uint64_t>(rid.page_id) << 16) ^ rid.slot;
+}
+
+uint64_t LockManager::TableKey(uint32_t table_oid) {
+  return 0x8000000000000000ull | table_oid;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, uint64_t key, LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool already_held = false;
+  bool upgradable = true;
+  bool conflict = false;
+  HDB_RETURN_IF_ERROR(table_.ForEach(key, [&](uint64_t v) {
+    const uint64_t holder = ValueTxn(v);
+    const LockMode held = ValueMode(v);
+    if (holder == txn_id) {
+      if (held == LockMode::kExclusive || held == mode) already_held = true;
+    } else {
+      upgradable = false;
+      if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+        conflict = true;
+      }
+    }
+    return true;
+  }));
+  if (already_held) return Status::OK();
+  if (conflict) {
+    return Status::Aborted("lock conflict (no-wait policy)");
+  }
+  if (mode == LockMode::kExclusive && !upgradable) {
+    return Status::Aborted("lock upgrade conflict");
+  }
+  return table_.Insert(key, PackValue(txn_id, mode));
+}
+
+Status LockManager::LockRow(uint64_t txn_id, uint32_t table_oid, Rid rid,
+                            LockMode mode) {
+  return Acquire(txn_id, RowKey(table_oid, rid), mode);
+}
+
+Status LockManager::LockTable(uint64_t txn_id, uint32_t table_oid,
+                              LockMode mode) {
+  return Acquire(txn_id, TableKey(table_oid), mode);
+}
+
+void LockManager::Unlock(uint64_t txn_id, uint64_t lock_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Remove every value this transaction holds under the key (it may hold
+  // both a shared lock and an upgraded exclusive one).
+  for (const LockMode mode : {LockMode::kShared, LockMode::kExclusive}) {
+    while (table_.Remove(lock_key, PackValue(txn_id, mode)).ok()) {
+    }
+  }
+}
+
+}  // namespace hdb::txn

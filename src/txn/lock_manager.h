@@ -1,0 +1,56 @@
+#ifndef HDB_TXN_LOCK_MANAGER_H_
+#define HDB_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/ext_hash.h"
+
+namespace hdb::txn {
+
+enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+/// Long-term (transaction-duration) row and table locks, stored in a
+/// disk-based extendible hash table (paper §2.1): there is no lock-table
+/// size to configure and no lock-escalation threshold — the table simply
+/// grows on disk through the buffer pool.
+///
+/// Conflict policy is no-wait: a conflicting request returns kAborted and
+/// the caller (TransactionManager) rolls the transaction back. This keeps
+/// the engine deadlock-free and deterministic.
+class LockManager {
+ public:
+  explicit LockManager(storage::BufferPool* pool);
+
+  /// Acquires a lock on (table, rid) for `txn_id`. Re-acquisition and
+  /// shared/shared coexistence succeed; shared→exclusive upgrade succeeds
+  /// when `txn_id` is the only holder.
+  Status LockRow(uint64_t txn_id, uint32_t table_oid, Rid rid, LockMode mode);
+
+  /// Table-level lock (used by DDL and LOAD TABLE).
+  Status LockTable(uint64_t txn_id, uint32_t table_oid, LockMode mode);
+
+  /// Releases every lock `txn_id` holds on the given key. Called by the
+  /// transaction's release loop at commit/abort.
+  void Unlock(uint64_t txn_id, uint64_t lock_key);
+
+  /// Builds the hash key for a row / table lock (exposed so transactions
+  /// can remember what to release).
+  static uint64_t RowKey(uint32_t table_oid, Rid rid);
+  static uint64_t TableKey(uint32_t table_oid);
+
+  uint64_t held_locks() const { return table_.size(); }
+  size_t lock_table_pages() const { return table_.bucket_pages(); }
+
+ private:
+  Status Acquire(uint64_t txn_id, uint64_t key, LockMode mode);
+
+  mutable std::mutex mu_;
+  storage::ExtHashTable table_;
+};
+
+}  // namespace hdb::txn
+
+#endif  // HDB_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,95 @@
+#include "txn/transaction.h"
+
+#include <cstring>
+
+namespace hdb::txn {
+
+TransactionManager::TransactionManager(storage::BufferPool* pool,
+                                       LockManager* locks)
+    : pool_(pool), locks_(locks) {}
+
+Transaction* TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_txn_id_++;
+  auto txn = std::make_unique<Transaction>(id);
+  Transaction* raw = txn.get();
+  txns_[id] = std::move(txn);
+  ++active_;
+  return raw;
+}
+
+Status TransactionManager::AppendRedo(uint64_t txn_id,
+                                      std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Record: [u64 txn][u32 len][bytes]; records never span pages (payloads
+  // are small — row images); a fresh page is started when needed.
+  const uint32_t need = 12 + static_cast<uint32_t>(payload.size());
+  const uint32_t capacity = pool_->page_bytes();
+  if (need > capacity) return Status::InvalidArgument("redo record too large");
+  if (log_page_ == storage::kInvalidPageId || log_offset_ + need > capacity) {
+    storage::PageId id = storage::kInvalidPageId;
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        pool_->NewPage(storage::SpaceId::kLog, storage::PageType::kRedoLog,
+                       /*owner=*/0, &id));
+    h.MarkDirty();
+    log_page_ = id;
+    log_offset_ = 0;
+  }
+  HDB_ASSIGN_OR_RETURN(
+      storage::PageHandle h,
+      pool_->FetchPage(
+          storage::SpacePageId{storage::SpaceId::kLog, log_page_},
+          storage::PageType::kRedoLog, /*owner=*/0));
+  char* base = h.data() + log_offset_;
+  std::memcpy(base, &txn_id, 8);
+  const auto len = static_cast<uint32_t>(payload.size());
+  std::memcpy(base + 8, &len, 4);
+  std::memcpy(base + 12, payload.data(), payload.size());
+  h.MarkDirty();
+  log_offset_ += need;
+  log_bytes_ += need;
+  return Status::OK();
+}
+
+void TransactionManager::ReleaseLocks(Transaction* txn) {
+  for (const uint64_t key : txn->lock_keys()) {
+    locks_->Unlock(txn->id(), key);
+  }
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "COMMIT"));
+  ReleaseLocks(txn);
+  txn->set_state(TxnState::kCommitted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn,
+                                 const UndoApplier& apply_undo) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  const auto& chain = txn->undo_chain();
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    HDB_RETURN_IF_ERROR(apply_undo(*it));
+  }
+  HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "ROLLBACK"));
+  ReleaseLocks(txn);
+  txn->set_state(TxnState::kAborted);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  return Status::OK();
+}
+
+uint64_t TransactionManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+}  // namespace hdb::txn

@@ -1,0 +1,99 @@
+#ifndef HDB_TXN_TRANSACTION_H_
+#define HDB_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "txn/lock_manager.h"
+
+namespace hdb::txn {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+enum class UndoOp : uint8_t { kInsert, kDelete, kUpdate };
+
+/// One rollback action. The engine interprets these (it owns the table
+/// heaps); the txn layer only records and replays them in reverse order.
+struct UndoRecord {
+  UndoOp op = UndoOp::kInsert;
+  uint32_t table_oid = 0;
+  Rid rid;
+  std::vector<char> before_image;  // row bytes for kDelete / kUpdate
+};
+
+/// A transaction: lock set + undo chain. Redo records stream to the log
+/// space through the TransactionManager so undo and redo log pages are
+/// live residents of the heterogeneous buffer pool (paper §2.1).
+class Transaction {
+ public:
+  explicit Transaction(uint64_t id) : id_(id) {}
+
+  uint64_t id() const { return id_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  void RecordLock(uint64_t lock_key) { lock_keys_.push_back(lock_key); }
+  const std::vector<uint64_t>& lock_keys() const { return lock_keys_; }
+
+  void RecordUndo(UndoRecord rec) { undo_.push_back(std::move(rec)); }
+  const std::vector<UndoRecord>& undo_chain() const { return undo_; }
+
+ private:
+  uint64_t id_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<uint64_t> lock_keys_;
+  std::vector<UndoRecord> undo_;
+};
+
+/// Creates transactions, appends their redo records to the log space, and
+/// releases locks at end of transaction. Rollback *application* is
+/// delegated to a callback because row re-insertion needs the table layer.
+class TransactionManager {
+ public:
+  TransactionManager(storage::BufferPool* pool, LockManager* locks);
+
+  Transaction* Begin();
+
+  /// Writes a commit record to the redo log and releases all locks.
+  Status Commit(Transaction* txn);
+
+  /// Calls `apply_undo` for each undo record in reverse order, then
+  /// releases all locks.
+  using UndoApplier = std::function<Status(const UndoRecord&)>;
+  Status Abort(Transaction* txn, const UndoApplier& apply_undo);
+
+  /// Appends an opaque redo payload for `txn` to the log.
+  Status AppendRedo(uint64_t txn_id, std::string_view payload);
+
+  LockManager* lock_manager() { return locks_; }
+  uint64_t active_count() const;
+  uint64_t log_bytes() const { return log_bytes_; }
+
+ private:
+  void ReleaseLocks(Transaction* txn);
+
+  storage::BufferPool* pool_;
+  LockManager* locks_;
+
+  mutable std::mutex mu_;
+  uint64_t next_txn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> txns_;
+  uint64_t active_ = 0;
+
+  // Redo log cursor.
+  storage::PageId log_page_ = storage::kInvalidPageId;
+  uint32_t log_offset_ = 0;
+  uint64_t log_bytes_ = 0;
+};
+
+}  // namespace hdb::txn
+
+#endif  // HDB_TXN_TRANSACTION_H_

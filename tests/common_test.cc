@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/arena.h"
+#include "common/ophash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chain(int x) {
+  HDB_ASSIGN_OR_RETURN(const int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  EXPECT_EQ(*Chain(4), 9);
+  EXPECT_EQ(Chain(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternal) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int(5).Compare(Value::Double(5.5)), 0);
+  EXPECT_GT(Value::Bigint(10).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Bigint(42).Hash());
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("hello").Hash(), Value::String("hello").Hash());
+  EXPECT_NE(Value::String("hello").Hash(), Value::String("world").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Boolean(true).ToString(), "TRUE");
+}
+
+// Property: the order-preserving hash preserves Value ordering for every
+// same-type pair.
+class OpHashProperty : public ::testing::TestWithParam<TypeId> {};
+
+TEST_P(OpHashProperty, PreservesOrder) {
+  const TypeId type = GetParam();
+  Rng rng(123);
+  auto make = [&](int i) -> Value {
+    switch (type) {
+      case TypeId::kInt:
+        return Value::Int(static_cast<int32_t>(rng.UniformRange(-1000, 1000)));
+      case TypeId::kBigint:
+        return Value::Bigint(rng.UniformRange(-100000, 100000));
+      case TypeId::kDouble:
+        return Value::Double(rng.NextDouble() * 2000 - 1000);
+      case TypeId::kDate:
+        return Value::Date(rng.UniformRange(0, 40000));
+      case TypeId::kVarchar: {
+        std::string s;
+        const int len = static_cast<int>(rng.Uniform(6)) + 1;
+        for (int k = 0; k < len; ++k) {
+          s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+        }
+        return Value::String(s);
+      }
+      default:
+        return Value::Int(i);
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Value a = make(i);
+    const Value b = make(i + 1);
+    const double ha = OrderPreservingHash(a);
+    const double hb = OrderPreservingHash(b);
+    if (a.Compare(b) < 0) {
+      EXPECT_LE(ha, hb) << a.ToString() << " vs " << b.ToString();
+    } else if (a.Compare(b) > 0) {
+      EXPECT_GE(ha, hb) << a.ToString() << " vs " << b.ToString();
+    } else {
+      EXPECT_EQ(ha, hb);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, OpHashProperty,
+                         ::testing::Values(TypeId::kInt, TypeId::kBigint,
+                                           TypeId::kDouble, TypeId::kDate,
+                                           TypeId::kVarchar));
+
+TEST(OpHashTest, NullIsMinusInfinity) {
+  EXPECT_EQ(OrderPreservingHash(Value::Null()),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(OpHashTest, ShortStringPrefixCollisions) {
+  // Strings identical in the first 7 bytes collide — documented behavior.
+  EXPECT_EQ(OrderPreservingHash(Value::String("abcdefgXXX")),
+            OrderPreservingHash(Value::String("abcdefgYYY")));
+}
+
+TEST(OpHashTest, WordExtraction) {
+  const auto words = ExtractWords("  Hello   World\tfoo\nBar ");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "hello");
+  EXPECT_EQ(words[3], "bar");
+}
+
+TEST(OpHashTest, LongStringHashCaseInsensitive) {
+  EXPECT_EQ(LongStringHash("Hello"), LongStringHash("hello"));
+  EXPECT_NE(LongStringHash("hello"), LongStringHash("hellp"));
+}
+
+TEST(ArenaTest, BumpAllocationAndHighWater) {
+  Arena arena(/*budget=*/0, /*block=*/1024);
+  void* a = arena.Allocate(100);
+  void* b = arena.Allocate(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.bytes_used(), 200u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.high_water_mark(), 200u);
+}
+
+TEST(ArenaTest, BudgetEnforced) {
+  Arena arena(/*budget=*/256);
+  EXPECT_NE(arena.Allocate(200), nullptr);
+  EXPECT_EQ(arena.Allocate(200), nullptr);  // over budget
+  arena.Reset();
+  EXPECT_NE(arena.Allocate(200), nullptr);  // budget is about live bytes
+}
+
+TEST(ArenaTest, TypedNew) {
+  Arena arena;
+  struct Point {
+    int x = 3, y = 4;
+  };
+  Point* p = arena.New<Point>();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->x + p->y, 7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRangeBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(ZipfTest, SkewProducesFrequentHead) {
+  ZipfGenerator zipf(1000, 1.2, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next()]++;
+  // Rank 0 must dominate: at least 10x the median draw frequency.
+  EXPECT_GT(counts[0], 1000);
+}
+
+}  // namespace
+}  // namespace hdb

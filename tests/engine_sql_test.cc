@@ -1,0 +1,555 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/database.h"
+#include "engine/parser.h"
+
+namespace hdb::engine {
+namespace {
+
+struct Db {
+  Db() {
+    auto db = Database::Open();
+    EXPECT_TRUE(db.ok());
+    database = std::move(*db);
+    auto conn = database->Connect();
+    EXPECT_TRUE(conn.ok());
+    c = std::move(*conn);
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = c->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+  Status Fail(const std::string& sql) {
+    auto r = c->Execute(sql);
+    EXPECT_FALSE(r.ok()) << sql;
+    return r.status();
+  }
+
+  std::unique_ptr<Database> database;
+  std::unique_ptr<Connection> c;
+};
+
+// --- Parser-level checks ---
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("FLY ME TO THE MOON").ok());
+  EXPECT_FALSE(Parse("SELECT FROM x").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES (1").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t; SELECT b FROM t").ok());
+}
+
+TEST(ParserTest, AcceptsCoreForms) {
+  EXPECT_TRUE(Parse("SELECT * FROM t").ok());
+  EXPECT_TRUE(Parse("SELECT a, b AS x FROM t WHERE a = 1 AND b <> 'q'").ok());
+  EXPECT_TRUE(Parse("SELECT t.a FROM t JOIN u ON t.a = u.b WHERE u.c > 3").ok());
+  EXPECT_TRUE(
+      Parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 "
+            "ORDER BY a DESC LIMIT 5").ok());
+  EXPECT_TRUE(Parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 "
+                    "AND b LIKE '%x%' AND c IN (1, 2, 3) AND d IS NOT NULL")
+                  .ok());
+  EXPECT_TRUE(Parse("UPDATE t SET a = a + 1 WHERE b = 2").ok());
+  EXPECT_TRUE(Parse("DELETE FROM t WHERE a < 0").ok());
+  EXPECT_TRUE(Parse("CREATE TABLE t (a INT NOT NULL, b VARCHAR(40))").ok());
+  EXPECT_TRUE(Parse("CREATE UNIQUE INDEX i ON t (a)").ok());
+  EXPECT_TRUE(Parse("-- comment\nSELECT 1 + 2 FROM t;").ok());
+}
+
+TEST(ParserTest, StringEscapes) {
+  auto stmt = Parse("SELECT a FROM t WHERE b = 'it''s'");
+  ASSERT_TRUE(stmt.ok());
+}
+
+// --- DDL + basic DML ---
+
+TEST(EngineTest, CreateInsertSelect) {
+  Db db;
+  db.Exec("CREATE TABLE emp (id INT NOT NULL, name VARCHAR(30), dept INT, "
+          "salary DOUBLE)");
+  db.Exec("INSERT INTO emp VALUES (1, 'ann', 10, 50.5), (2, 'bob', 20, 60.0),"
+          " (3, 'carol', 10, 70.25)");
+  auto r = db.Exec("SELECT name, salary FROM emp WHERE dept = 10 ORDER BY "
+                   "salary");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ann");
+  EXPECT_EQ(r.rows[1][0].AsString(), "carol");
+  EXPECT_EQ(r.columns[1], "salary");
+}
+
+TEST(EngineTest, InsertColumnListAndNulls) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c DOUBLE)");
+  db.Exec("INSERT INTO t (a) VALUES (1)");
+  db.Exec("INSERT INTO t (c, a) VALUES (2.5, 2)");
+  auto r = db.Exec("SELECT a, b, c FROM t WHERE b IS NULL ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 2.5);
+}
+
+TEST(EngineTest, NotNullEnforced) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL)");
+  const Status s = db.Fail("INSERT INTO t (a) VALUES (NULL)");
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+}
+
+TEST(EngineTest, UpdateAndDelete) {
+  Db db;
+  db.Exec("CREATE TABLE t (id INT NOT NULL, v INT)");
+  for (int i = 0; i < 20; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  }
+  auto r = db.Exec("UPDATE t SET v = id * 2 WHERE id >= 10");
+  EXPECT_EQ(r.rows_affected, 10u);
+  r = db.Exec("SELECT v FROM t WHERE id = 15");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 30);
+  r = db.Exec("DELETE FROM t WHERE id < 5");
+  EXPECT_EQ(r.rows_affected, 5u);
+  r = db.Exec("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 15);
+}
+
+TEST(EngineTest, DmlUsesHeuristicBypass) {
+  Db db;
+  db.Exec("CREATE TABLE t (id INT NOT NULL, v INT)");
+  db.Exec("INSERT INTO t VALUES (1, 1)");
+  auto r = db.Exec("UPDATE t SET v = 2 WHERE id = 1");
+  EXPECT_TRUE(r.diag.bypassed);  // §4.1: simple DML skips cost-based opt
+}
+
+TEST(EngineTest, DropTableAndIndex) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("CREATE INDEX ia ON t (a)");
+  db.Exec("DROP INDEX ia");
+  db.Exec("DROP TABLE t");
+  EXPECT_EQ(db.Fail("SELECT * FROM t").code(), StatusCode::kNotFound);
+}
+
+// --- Expressions, predicates, projections ---
+
+TEST(EngineTest, PredicateForms) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT, s VARCHAR(30))");
+  db.Exec("INSERT INTO t VALUES (1, 'alpha one'), (2, 'beta two'), "
+          "(3, 'gamma three'), (4, NULL), (5, 'alpha five')");
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE a BETWEEN 2 AND 4").rows.size(),
+            3u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE a IN (1, 5, 99)").rows.size(), 2u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE s LIKE '%alpha%'").rows.size(),
+            2u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE s IS NULL").rows.size(), 1u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE s IS NOT NULL").rows.size(), 4u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE NOT a = 1 AND (a = 2 OR a = 3)")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t WHERE a + 1 = 3").rows.size(), 1u);
+}
+
+TEST(EngineTest, ProjectionExpressionsAndAliases) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT, b INT)");
+  db.Exec("INSERT INTO t VALUES (3, 4)");
+  auto r = db.Exec("SELECT a * b AS product, a + b sum2 FROM t");
+  EXPECT_EQ(r.columns[0], "product");
+  EXPECT_EQ(r.columns[1], "sum2");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 12);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+}
+
+// --- Joins ---
+
+TEST(EngineTest, TwoWayJoinCorrect) {
+  Db db;
+  db.Exec("CREATE TABLE d (id INT NOT NULL, dname VARCHAR(20))");
+  db.Exec("CREATE TABLE e (eid INT NOT NULL, dept INT, sal INT)");
+  db.Exec("INSERT INTO d VALUES (10, 'eng'), (20, 'ops'), (30, 'hr')");
+  db.Exec("INSERT INTO e VALUES (1, 10, 100), (2, 10, 200), (3, 20, 300), "
+          "(4, 99, 400)");
+  auto r = db.Exec(
+      "SELECT e.eid, d.dname FROM e JOIN d ON e.dept = d.id ORDER BY e.eid");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "eng");
+  EXPECT_EQ(r.rows[2][1].AsString(), "ops");
+}
+
+TEST(EngineTest, JoinAgainstBruteForce) {
+  // Property test: random 3-table join checked against a nested-loop
+  // reference computed in the test.
+  Db db;
+  db.Exec("CREATE TABLE a (x INT, y INT)");
+  db.Exec("CREATE TABLE b (x INT, z INT)");
+  db.Exec("CREATE TABLE c (z INT, w INT)");
+  Rng rng(21);
+  std::vector<std::pair<int, int>> ta, tb, tc;
+  for (int i = 0; i < 60; ++i) {
+    ta.emplace_back(rng.Uniform(10), rng.Uniform(100));
+    tb.emplace_back(rng.Uniform(10), rng.Uniform(8));
+    tc.emplace_back(rng.Uniform(8), rng.Uniform(100));
+  }
+  for (auto& [x, y] : ta) {
+    db.Exec("INSERT INTO a VALUES (" + std::to_string(x) + ", " +
+            std::to_string(y) + ")");
+  }
+  for (auto& [x, z] : tb) {
+    db.Exec("INSERT INTO b VALUES (" + std::to_string(x) + ", " +
+            std::to_string(z) + ")");
+  }
+  for (auto& [z, w] : tc) {
+    db.Exec("INSERT INTO c VALUES (" + std::to_string(z) + ", " +
+            std::to_string(w) + ")");
+  }
+  uint64_t expected = 0;
+  for (auto& [ax, ay] : ta) {
+    for (auto& [bx, bz] : tb) {
+      if (ax != bx) continue;
+      for (auto& [cz, cw] : tc) {
+        if (bz == cz && ay > 50) ++expected;
+      }
+    }
+  }
+  auto r = db.Exec(
+      "SELECT COUNT(*) FROM a, b, c WHERE a.x = b.x AND b.z = c.z AND "
+      "a.y > 50");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(static_cast<uint64_t>(r.rows[0][0].AsInt()), expected);
+}
+
+TEST(EngineTest, IndexNLJoinChosenWithIndexAndStats) {
+  Db db;
+  db.Exec("CREATE TABLE dim (id INT NOT NULL, label VARCHAR(10))");
+  db.Exec("CREATE TABLE fact (fid INT NOT NULL, dim_id INT)");
+  for (int i = 0; i < 200; ++i) {
+    db.Exec("INSERT INTO dim VALUES (" + std::to_string(i) + ", 'd')");
+  }
+  for (int i = 0; i < 2000; ++i) {
+    db.Exec("INSERT INTO fact VALUES (" + std::to_string(i) + ", " +
+            std::to_string(i % 200) + ")");
+  }
+  db.Exec("CREATE INDEX dim_id_ix ON dim (id)");
+  db.Exec("CREATE STATISTICS fact");
+  db.Exec("CREATE STATISTICS dim");
+  auto explain = db.c->Explain(
+      "SELECT fact.fid FROM fact JOIN dim ON fact.dim_id = dim.id "
+      "WHERE dim.label = 'd'");
+  ASSERT_TRUE(explain.ok());
+  // Some join strategy was chosen and renders; correctness check below.
+  auto r = db.Exec(
+      "SELECT COUNT(*) FROM fact JOIN dim ON fact.dim_id = dim.id");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2000);
+}
+
+// --- Grouping, aggregates, having, distinct ---
+
+TEST(EngineTest, GroupByWithAggregates) {
+  Db db;
+  db.Exec("CREATE TABLE s (dept INT, sal DOUBLE)");
+  db.Exec("INSERT INTO s VALUES (1, 10), (1, 20), (2, 30), (2, 50), (3, 5)");
+  auto r = db.Exec(
+      "SELECT dept, COUNT(*), SUM(sal), AVG(sal), MIN(sal), MAX(sal) "
+      "FROM s GROUP BY dept ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 80.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][3].AsDouble(), 40.0);
+  EXPECT_DOUBLE_EQ(r.rows[2][4].AsDouble(), 5.0);
+}
+
+TEST(EngineTest, HavingFiltersGroups) {
+  Db db;
+  db.Exec("CREATE TABLE s (dept INT, sal DOUBLE)");
+  db.Exec("INSERT INTO s VALUES (1, 10), (1, 20), (2, 30), (3, 5)");
+  auto r = db.Exec(
+      "SELECT dept FROM s GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST(EngineTest, ScalarAggregateOverEmptyTable) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT)");
+  auto r = db.Exec("SELECT COUNT(*), SUM(a), MAX(a) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST(EngineTest, AggregatesIgnoreNulls) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("INSERT INTO t VALUES (1), (NULL), (3)");
+  auto r = db.Exec("SELECT COUNT(*), COUNT(a), AVG(a) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 2.0);
+}
+
+TEST(EngineTest, GroupByValidationRejectsStrayColumns) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT, b INT)");
+  EXPECT_FALSE(db.c->Execute("SELECT b FROM t GROUP BY a").ok());
+}
+
+TEST(EngineTest, DistinctAndLimit) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("INSERT INTO t VALUES (1), (2), (2), (3), (3), (3)");
+  EXPECT_EQ(db.Exec("SELECT DISTINCT a FROM t").rows.size(), 3u);
+  EXPECT_EQ(db.Exec("SELECT a FROM t LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(db.Exec("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 2")
+                .rows.size(),
+            2u);
+}
+
+TEST(EngineTest, OrderByMultipleKeysAndDirections) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT, b INT)");
+  db.Exec("INSERT INTO t VALUES (1, 9), (1, 3), (2, 5), (2, 1)");
+  auto r = db.Exec("SELECT a, b FROM t ORDER BY a ASC, b DESC");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 9);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 3);
+  EXPECT_EQ(r.rows[2][1].AsInt(), 5);
+}
+
+// --- Index scans end-to-end ---
+
+TEST(EngineTest, IndexScanMatchesSeqScanResults) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT NOT NULL, v VARCHAR(8))");
+  for (int i = 0; i < 500; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i % 50) + ", 'r')");
+  }
+  const auto before = db.Exec("SELECT COUNT(*) FROM t WHERE k = 7");
+  db.Exec("CREATE INDEX tk ON t (k)");
+  const auto after = db.Exec("SELECT COUNT(*) FROM t WHERE k = 7");
+  EXPECT_EQ(before.rows[0][0].AsInt(), after.rows[0][0].AsInt());
+  // Range predicates through the index too.
+  EXPECT_EQ(db.Exec("SELECT COUNT(*) FROM t WHERE k BETWEEN 10 AND 19")
+                .rows[0][0]
+                .AsInt(),
+            100);
+}
+
+TEST(EngineTest, IndexMaintainedAcrossDml) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT NOT NULL, v INT)");
+  db.Exec("CREATE INDEX tk ON t (k)");
+  for (int i = 0; i < 100; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  }
+  db.Exec("DELETE FROM t WHERE k < 10");
+  db.Exec("UPDATE t SET k = 5 WHERE k = 50");
+  auto r = db.Exec("SELECT COUNT(*) FROM t WHERE k = 5");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  r = db.Exec("SELECT COUNT(*) FROM t WHERE k = 50");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+// --- Transactions ---
+
+TEST(EngineTest, RollbackUndoesInsertUpdateDelete) {
+  Db db;
+  db.Exec("CREATE TABLE t (id INT NOT NULL, v INT)");
+  db.Exec("INSERT INTO t VALUES (1, 10), (2, 20)");
+  db.Exec("BEGIN");
+  db.Exec("INSERT INTO t VALUES (3, 30)");
+  db.Exec("UPDATE t SET v = 99 WHERE id = 1");
+  db.Exec("DELETE FROM t WHERE id = 2");
+  EXPECT_EQ(db.Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 2);
+  db.Exec("ROLLBACK");
+  auto r = db.Exec("SELECT id, v FROM t ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 10);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+TEST(EngineTest, CommitMakesChangesDurable) {
+  Db db;
+  db.Exec("CREATE TABLE t (id INT)");
+  db.Exec("BEGIN");
+  db.Exec("INSERT INTO t VALUES (1)");
+  db.Exec("COMMIT");
+  EXPECT_EQ(db.Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 1);
+}
+
+TEST(EngineTest, ConflictingWritersAbort) {
+  Db db;
+  db.Exec("CREATE TABLE t (id INT NOT NULL, v INT)");
+  db.Exec("INSERT INTO t VALUES (1, 0)");
+  db.Exec("BEGIN");
+  db.Exec("UPDATE t SET v = 1 WHERE id = 1");  // row locked by txn 1
+  auto conn2 = db.database->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute("UPDATE t SET v = 2 WHERE id = 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  db.Exec("COMMIT");
+}
+
+// --- Procedures and the plan cache ---
+
+TEST(EngineTest, ProcedureWithParamsAndPlanCache) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT NOT NULL, v INT)");
+  for (int i = 0; i < 100; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i % 10) + ", " +
+            std::to_string(i) + ")");
+  }
+  db.Exec("CREATE PROCEDURE get_by_k (:k) AS SELECT v FROM t WHERE k = :k");
+
+  // First calls train; later calls hit the cache.
+  for (int i = 0; i < 8; ++i) {
+    auto r = db.Exec("CALL get_by_k(" + std::to_string(i % 3) + ")");
+    EXPECT_EQ(r.rows.size(), 10u);
+  }
+  const auto& stats = db.c->plan_cache().stats();
+  EXPECT_GT(stats.trainings_completed, 0u);
+  EXPECT_GT(stats.cached_uses, 0u);
+
+  // Different parameters, same cached plan, correct (different) results.
+  auto r0 = db.Exec("CALL get_by_k(0)");
+  auto r9 = db.Exec("CALL get_by_k(9)");
+  std::set<int64_t> v0, v9;
+  for (auto& row : r0.rows) v0.insert(row[0].AsInt());
+  for (auto& row : r9.rows) v9.insert(row[0].AsInt());
+  EXPECT_NE(v0, v9);
+
+  // Procedure statistics accumulated (paper §3.2).
+  bool found = false;
+  db.database->proc_stats().Estimate("get_by_k", 0, &found);
+  EXPECT_TRUE(found);
+}
+
+TEST(EngineTest, ProcedureDmlWithParams) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT NOT NULL)");
+  db.Exec("CREATE PROCEDURE add_row (:k) AS INSERT INTO t VALUES (:k)");
+  db.Exec("CALL add_row(5)");
+  db.Exec("CALL add_row(6)");
+  EXPECT_EQ(db.Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 2);
+}
+
+TEST(EngineTest, AdHocStatementsReOptimizeEveryTime) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT)");
+  db.Exec("INSERT INTO t VALUES (1)");
+  for (int i = 0; i < 5; ++i) db.Exec("SELECT k FROM t WHERE k = 1");
+  // Plan cache only serves procedure statements (paper §4.1).
+  EXPECT_EQ(db.c->plan_cache().stats().invocations, 0u);
+}
+
+// --- Statistics integration ---
+
+TEST(EngineTest, CreateStatisticsImprovesEstimates) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT)");
+  for (int i = 0; i < 1000; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i % 4) + ")");
+  }
+  db.Exec("CREATE STATISTICS t (k)");
+  const double sel = db.database->stats().SelEquals(
+      db.database->catalog().GetTable("t").value()->oid, 0, Value::Int(1));
+  EXPECT_NEAR(sel, 0.25, 0.05);
+}
+
+TEST(EngineTest, ExecutionFeedbackRefinesStats) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT)");
+  for (int i = 0; i < 500; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i % 10) + ")");
+  }
+  db.Exec("CREATE STATISTICS t (k)");
+  const uint32_t oid = db.database->catalog().GetTable("t").value()->oid;
+  // Make the distribution drift massively without stats-aware DML paths
+  // noticing the skew change... then let query feedback catch it.
+  for (int i = 0; i < 500; ++i) db.Exec("INSERT INTO t VALUES (7)");
+  for (int i = 0; i < 5; ++i) db.Exec("SELECT COUNT(*) FROM t WHERE k = 7");
+  const double sel = db.database->stats().SelEquals(oid, 0, Value::Int(7));
+  EXPECT_GT(sel, 0.3);  // true value is 550/1000
+}
+
+TEST(EngineTest, SetOptionStored) {
+  Db db;
+  db.Exec("SET OPTION collect_statistics_on_dml = 'off'");
+  EXPECT_EQ(db.database->catalog().GetOption("collect_statistics_on_dml"),
+            "off");
+}
+
+TEST(EngineTest, ExplainRendersPlan) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("INSERT INTO t VALUES (1)");
+  auto text = db.c->Explain("SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("SeqScan"), std::string::npos);
+  EXPECT_NE(text->find("Project"), std::string::npos);
+}
+
+TEST(EngineTest, ForeignKeyInformsJoinSelectivity) {
+  Db db;
+  db.Exec("CREATE TABLE parent (id INT NOT NULL)");
+  db.Exec(
+      "CREATE TABLE child (pid INT, FOREIGN KEY (pid) REFERENCES parent "
+      "(id))");
+  EXPECT_EQ(db.database->catalog().foreign_keys().size(), 1u);
+}
+
+TEST(EngineTest, ConnectionCountTracksLifecycle) {
+  Db db;
+  EXPECT_EQ(db.database->connection_count(), 1);
+  {
+    auto c2 = db.database->Connect();
+    ASSERT_TRUE(c2.ok());
+    EXPECT_EQ(db.database->connection_count(), 2);
+  }
+  EXPECT_EQ(db.database->connection_count(), 1);
+}
+
+TEST(EngineTest, LoadTableBulkBuildsStats) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT, s VARCHAR(20))");
+  std::vector<table::Row> rows;
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({Value::Int(i % 100), Value::String("word" +
+                    std::to_string(i % 7))});
+  }
+  ASSERT_TRUE(db.database->LoadTable("t", rows).ok());
+  EXPECT_EQ(db.Exec("SELECT COUNT(*) FROM t").rows[0][0].AsInt(), 5000);
+  const uint32_t oid = db.database->catalog().GetTable("t").value()->oid;
+  EXPECT_TRUE(db.database->stats().HasStats(oid, 0));
+  EXPECT_TRUE(db.database->stats().HasStats(oid, 1));
+  EXPECT_NEAR(db.database->stats().SelEquals(oid, 0, Value::Int(5)), 0.01,
+              0.005);
+}
+
+TEST(EngineTest, CalibrateRequiresDevice) {
+  Db db;  // no device attached
+  EXPECT_EQ(db.Fail("CALIBRATE DATABASE").code(), StatusCode::kNotSupported);
+}
+
+TEST(EngineTest, CalibrateStoresModelInCatalog) {
+  DatabaseOptions opts;
+  opts.device = DeviceKind::kRotational;
+  auto db = Database::Open(opts);
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->Execute("CALIBRATE DATABASE").ok());
+  EXPECT_FALSE((*db)->catalog().dtt_model().is_default());
+  // The calibrated model round-trips through its catalog text form.
+  const std::string blob = (*db)->catalog().dtt_model().Serialize();
+  EXPECT_TRUE(os::DttModel::Parse(blob).ok());
+}
+
+}  // namespace
+}  // namespace hdb::engine

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "exec/memory_governor.h"
+#include "exec/mpl_controller.h"
+#include "exec/parallel.h"
+#include "exec/recursive_union.h"
+#include "exec/spill.h"
+#include "table/row_codec.h"
+#include "table/table_heap.h"
+
+namespace hdb::exec {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 256}) {}
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+};
+
+// --- Memory governor (Eq. 4 and Eq. 5) ---
+
+TEST(MemoryGovernorTest, SoftLimitIsPoolOverMpl) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 8;
+  MemoryGovernor gov(&f.pool, opts);
+  EXPECT_EQ(gov.SoftLimitPages(), 256u / 8);
+  gov.SetMultiprogrammingLevel(4);
+  EXPECT_EQ(gov.SoftLimitPages(), 256u / 4);
+  // Tracks the *current* pool size as the pool resizes.
+  f.pool.Resize(512);
+  EXPECT_EQ(gov.SoftLimitPages(), 512u / 4);
+}
+
+TEST(MemoryGovernorTest, HardLimitDividesByActiveRequests) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.max_pool_pages = 3000;
+  opts.hard_limit_factor = 4.0 / 3.0;
+  MemoryGovernor gov(&f.pool, opts);
+  auto t1 = gov.BeginTask();
+  EXPECT_EQ(gov.HardLimitPages(), 4000u);
+  auto t2 = gov.BeginTask();
+  EXPECT_EQ(gov.HardLimitPages(), 2000u);
+  t2.reset();
+  EXPECT_EQ(gov.HardLimitPages(), 4000u);
+}
+
+TEST(MemoryGovernorTest, HardLimitKillsStatement) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.max_pool_pages = 100;  // hard = 133 pages for one request
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  const uint64_t page = f.pool.page_bytes();
+  EXPECT_TRUE(task->ChargeBytes(100 * page).ok());
+  const Status s = task->ChargeBytes(100 * page);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+class FakeConsumer : public MemoryConsumer {
+ public:
+  FakeConsumer(int level, size_t pages) : pages_(pages) { plan_level = level; }
+  size_t ReleasePages(size_t target) override {
+    const size_t freed = std::min(target, pages_);
+    pages_ -= freed;
+    release_calls++;
+    return freed;
+  }
+  size_t PagesHeld() const override { return pages_; }
+  size_t pages_;
+  int release_calls = 0;
+};
+
+TEST(MemoryGovernorTest, ReclamationStartsAtHighestConsumer) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 16;  // soft = 16 pages
+  opts.max_pool_pages = 1 << 20;     // hard: effectively unlimited
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  FakeConsumer low(/*level=*/1, /*pages=*/100);
+  FakeConsumer high(/*level=*/5, /*pages=*/100);
+  task->RegisterConsumer(&low);
+  task->RegisterConsumer(&high);
+  const uint64_t page = f.pool.page_bytes();
+  // Charge past the soft limit: the HIGH consumer must be asked first.
+  ASSERT_TRUE(task->ChargeBytes(40 * page).ok());
+  EXPECT_GE(high.release_calls, 1);
+  EXPECT_EQ(low.release_calls, 0);
+  EXPECT_GT(task->reclamations(), 0u);
+}
+
+// --- Spill files ---
+
+TEST(SpillTest, EncodeDecodeRoundTrip) {
+  const std::vector<Value> tuple = {
+      Value::Int(5), Value::Null(), Value::String("spilled"),
+      Value::Double(2.5), Value::Boolean(true), Value::Timestamp(99)};
+  const std::string bytes = EncodeValues(tuple);
+  size_t consumed = 0;
+  auto decoded = DecodeValues(bytes.data(), bytes.size(), &consumed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(consumed, bytes.size());
+  ASSERT_EQ(decoded->size(), tuple.size());
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    EXPECT_EQ(tuple[i].Compare((*decoded)[i]), 0);
+  }
+}
+
+TEST(SpillTest, AppendReadManyTuples) {
+  Fixture f;
+  SpillFile spill(&f.pool);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(spill.Append({Value::Int(i), Value::String("x")}).ok());
+  }
+  EXPECT_GT(spill.page_count(), 5u);
+  auto reader = spill.Read();
+  std::vector<Value> tuple;
+  int i = 0;
+  for (;;) {
+    auto more = reader.Next(&tuple);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ(tuple[0].AsInt(), i++);
+  }
+  EXPECT_EQ(i, 5000);
+}
+
+TEST(SpillTest, ClearDiscardsToLookaside) {
+  Fixture f;
+  SpillFile spill(&f.pool);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(spill.Append({Value::Int(i)}).ok());
+  }
+  spill.Clear();
+  EXPECT_EQ(spill.tuple_count(), 0u);
+  EXPECT_EQ(spill.page_count(), 0u);
+}
+
+// --- Recursive union (§4.3) ---
+
+std::vector<RecursiveUnion::Row> GraphStep(
+    const std::map<int, std::vector<int>>& edges,
+    const std::vector<RecursiveUnion::Row>& delta) {
+  std::vector<RecursiveUnion::Row> next;
+  for (const auto& row : delta) {
+    const auto it = edges.find(static_cast<int>(row[0].AsInt()));
+    if (it == edges.end()) continue;
+    for (const int to : it->second) next.push_back({Value::Int(to)});
+  }
+  return next;
+}
+
+TEST(RecursiveUnionTest, TransitiveClosureOfChain) {
+  std::map<int, std::vector<int>> edges;
+  for (int i = 0; i < 50; ++i) edges[i] = {i + 1};
+  RecursiveUnion ru;
+  auto result = ru.Run({{Value::Int(0)}}, [&](const auto& delta) {
+    return GraphStep(edges, delta);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 51u);  // 0..50
+}
+
+TEST(RecursiveUnionTest, CycleTerminatesThroughDedup) {
+  std::map<int, std::vector<int>> edges = {{0, {1}}, {1, {2}}, {2, {0}}};
+  RecursiveUnion ru;
+  auto result = ru.Run({{Value::Int(0)}}, [&](const auto& delta) {
+    return GraphStep(edges, delta);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(RecursiveUnionTest, StrategiesAgree) {
+  std::map<int, std::vector<int>> edges;
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      edges[i].push_back(static_cast<int>(rng.Uniform(300)));
+    }
+  }
+  auto run = [&](std::optional<RecursiveStrategy> force) {
+    RecursiveUnionOptions opts;
+    opts.force = force;
+    RecursiveUnion ru(opts);
+    auto r = ru.Run({{Value::Int(0)}}, [&](const auto& delta) {
+      return GraphStep(edges, delta);
+    });
+    std::set<int64_t> out;
+    for (const auto& row : *r) out.insert(row[0].AsInt());
+    return out;
+  };
+  const auto hash_result = run(RecursiveStrategy::kHashProbe);
+  const auto sort_result = run(RecursiveStrategy::kSortMerge);
+  const auto adaptive = run(std::nullopt);
+  EXPECT_EQ(hash_result, sort_result);
+  EXPECT_EQ(hash_result, adaptive);
+}
+
+TEST(RecursiveUnionTest, AdaptiveSwitchesStrategiesAcrossIterations) {
+  // A fan-out graph: early iterations have huge candidate batches relative
+  // to history (sort-merge wins), later ones shrink (hash wins).
+  std::map<int, std::vector<int>> edges;
+  for (int i = 0; i < 20000; ++i) edges[0].push_back(i + 1);
+  for (int i = 1; i < 21001; ++i) edges[i] = {21001};
+  RecursiveUnion ru;
+  auto result = ru.Run({{Value::Int(0)}}, [&](const auto& delta) {
+    return GraphStep(edges, delta);
+  });
+  ASSERT_TRUE(result.ok());
+  std::set<RecursiveStrategy> used;
+  for (const auto& info : ru.iterations()) used.insert(info.used);
+  EXPECT_EQ(used.size(), 2u) << "expected both strategies across iterations";
+}
+
+// --- MPL controller (§6 extension) ---
+
+TEST(MplControllerTest, ClimbsWhileThroughputImproves) {
+  Fixture f;
+  MemoryGovernorOptions mopts;
+  mopts.multiprogramming_level = 8;
+  MemoryGovernor gov(&f.pool, mopts);
+  os::VirtualClock clock;
+  MplControllerOptions opts;
+  opts.interval_micros = 1000;
+  opts.step = 2;
+  MplController ctl(&gov, &clock, opts);
+
+  int completed = 10;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < completed; ++j) ctl.OnRequestComplete();
+    clock.Advance(1001);
+    ctl.MaybeAdapt();
+    completed += 10;  // throughput keeps improving
+  }
+  EXPECT_GT(gov.multiprogramming_level(), 8);
+}
+
+TEST(MplControllerTest, ReversesWhenThroughputDrops) {
+  Fixture f;
+  MemoryGovernor gov(&f.pool, MemoryGovernorOptions{});
+  os::VirtualClock clock;
+  MplControllerOptions opts;
+  opts.interval_micros = 1000;
+  MplController ctl(&gov, &clock, opts);
+  const int start_mpl = gov.multiprogramming_level();
+
+  // Interval 1: high throughput. Interval 2: collapse. Interval 3+: the
+  // direction must have flipped downward.
+  for (int j = 0; j < 100; ++j) ctl.OnRequestComplete();
+  clock.Advance(1001);
+  ctl.MaybeAdapt();
+  for (int j = 0; j < 10; ++j) ctl.OnRequestComplete();
+  clock.Advance(1001);
+  ctl.MaybeAdapt();
+  for (int j = 0; j < 5; ++j) ctl.OnRequestComplete();
+  clock.Advance(1001);
+  ctl.MaybeAdapt();
+  EXPECT_LE(gov.multiprogramming_level(), start_mpl + 2);
+  ASSERT_GE(ctl.history().size(), 3u);
+  // The collapse in interval 2 must have reversed the climb direction.
+  EXPECT_EQ(ctl.history()[1].direction, -1);
+}
+
+// --- Parallel pipeline (§4.4) ---
+
+struct ParallelFixture {
+  ParallelFixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 2048}) {}
+
+  catalog::TableDef* MakeTable(catalog::Catalog& cat, const std::string& name,
+                               int rows, int key_domain, uint64_t seed) {
+    auto def = cat.CreateTable(name, {{"k", TypeId::kInt, false},
+                                      {"g", TypeId::kInt, false}});
+    auto heap = std::make_unique<table::TableHeap>(&pool, *def);
+    Rng rng(seed);
+    for (int i = 0; i < rows; ++i) {
+      const table::Row row = {
+          Value::Int(static_cast<int32_t>(rng.Uniform(key_domain))),
+          Value::Int(static_cast<int32_t>(i % 5))};
+      auto bytes = table::EncodeRow(**def, row);
+      auto rid = heap->Insert(*bytes);
+      EXPECT_TRUE(rid.ok());
+    }
+    heaps[(*def)->oid] = std::move(heap);
+    return *def;
+  }
+
+  table::TableHeap* Heap(uint32_t oid) { return heaps[oid].get(); }
+
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  std::map<uint32_t, std::unique_ptr<table::TableHeap>> heaps;
+};
+
+TEST(ParallelPipelineTest, MatchesSerialSemantics) {
+  ParallelFixture f;
+  catalog::Catalog cat;
+  auto* probe = f.MakeTable(cat, "probe", 20000, 100, 1);
+  auto* build = f.MakeTable(cat, "build", 500, 200, 2);
+
+  ParallelHashPipeline::Spec spec;
+  spec.probe_table = probe;
+  spec.joins.push_back({build, 0, 0, /*bloom=*/true});
+  spec.group_by_column = 1;
+
+  auto run = [&](int workers) {
+    ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); },
+                              spec, workers);
+    auto stats = pipe.Run();
+    EXPECT_TRUE(stats.ok());
+    return *stats;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  EXPECT_EQ(serial.probe_rows, 20000u);
+  EXPECT_EQ(parallel.probe_rows, 20000u);
+  EXPECT_EQ(serial.output_rows, parallel.output_rows);
+  EXPECT_EQ(serial.groups, parallel.groups);
+  EXPECT_GT(serial.output_rows, 0u);
+}
+
+TEST(ParallelPipelineTest, BloomFilterRejectsMissingKeys) {
+  ParallelFixture f;
+  catalog::Catalog cat;
+  // Probe keys in [0,100); build keys in [1000,1100): nothing joins.
+  auto* probe = f.MakeTable(cat, "p2", 5000, 100, 3);
+  auto def = cat.CreateTable("b2", {{"k", TypeId::kInt, false},
+                                    {"g", TypeId::kInt, false}});
+  auto heap = std::make_unique<table::TableHeap>(&f.pool, *def);
+  for (int i = 0; i < 200; ++i) {
+    auto bytes =
+        table::EncodeRow(**def, {Value::Int(1000 + i), Value::Int(0)});
+    ASSERT_TRUE(heap->Insert(*bytes).ok());
+  }
+  f.heaps[(*def)->oid] = std::move(heap);
+
+  ParallelHashPipeline::Spec spec;
+  spec.probe_table = probe;
+  spec.joins.push_back({*def, 0, 0, /*bloom=*/true});
+  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
+                            2);
+  auto stats = pipe.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->output_rows, 0u);
+  EXPECT_GT(stats->bloom_rejects, 4000u);
+}
+
+TEST(ParallelPipelineTest, MultiJoinPipeline) {
+  ParallelFixture f;
+  catalog::Catalog cat;
+  auto* probe = f.MakeTable(cat, "p3", 10000, 50, 4);
+  // Sparse build sides: only a fraction of the probe key domain is
+  // covered, so the joins genuinely filter.
+  auto* b1 = f.MakeTable(cat, "b3a", 20, 50, 5);
+  auto* b2 = f.MakeTable(cat, "b3b", 3, 5, 6);
+
+  ParallelHashPipeline::Spec spec;
+  spec.probe_table = probe;
+  spec.joins.push_back({b1, 0, 0, true});
+  spec.joins.push_back({b2, 0, 1, false});
+  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
+                            4);
+  auto stats = pipe.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->output_rows, 0u);
+  EXPECT_LT(stats->output_rows, stats->probe_rows);
+}
+
+TEST(ParallelPipelineTest, DynamicWorkerReduction) {
+  ParallelFixture f;
+  catalog::Catalog cat;
+  auto* probe = f.MakeTable(cat, "p4", 50000, 100, 7);
+  auto* build = f.MakeTable(cat, "b4", 1000, 100, 8);
+
+  ParallelHashPipeline::Spec spec;
+  spec.probe_table = probe;
+  spec.joins.push_back({build, 0, 0, true});
+  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
+                            4);
+  pipe.ReduceWorkers(1);  // reduced before/while running
+  auto stats = pipe.Run();
+  ASSERT_TRUE(stats.ok());
+  // All rows still processed, exactly once.
+  EXPECT_EQ(stats->probe_rows, 50000u);
+  EXPECT_LE(stats->workers_at_finish, 2);
+}
+
+}  // namespace
+}  // namespace hdb::exec

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "storage/ext_hash.h"
+#include "storage/heap.h"
+
+namespace hdb::storage {
+namespace {
+
+struct Fixture {
+  Fixture() : disk(kDefaultPageBytes, nullptr, nullptr),
+              pool(&disk, BufferPoolOptions{.initial_frames = 64}) {}
+  DiskManager disk;
+  BufferPool pool;
+};
+
+TEST(ConnectionHeapTest, AllocateAndResolve) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  auto p = heap.Allocate(64);
+  ASSERT_TRUE(p.ok());
+  auto* data = static_cast<char*>(heap.Resolve(*p));
+  ASSERT_NE(data, nullptr);
+  std::memset(data, 0xAB, 64);
+  EXPECT_EQ(heap.allocated_bytes(), 64u);
+}
+
+TEST(ConnectionHeapTest, AllocationAligned) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  auto a = heap.Allocate(3);
+  auto b = heap.Allocate(5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->offset % 8, 0u);
+}
+
+TEST(ConnectionHeapTest, GrowsAcrossPages) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(heap.Allocate(1000).ok());
+  }
+  EXPECT_GE(heap.page_count(), 5u);
+}
+
+TEST(ConnectionHeapTest, OversizeAllocationRejected) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  EXPECT_EQ(heap.Allocate(kDefaultPageBytes + 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConnectionHeapTest, UnlockedHeapRefusesAllocation) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  heap.Unlock();
+  EXPECT_FALSE(heap.Allocate(8).ok());
+  EXPECT_EQ(heap.Resolve(HeapPtr{0, 0}), nullptr);
+}
+
+TEST(ConnectionHeapTest, ContentSurvivesStealAndRelock) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  auto p = heap.Allocate(128);
+  ASSERT_TRUE(p.ok());
+  std::memcpy(heap.Resolve(*p), "persistent!", 12);
+
+  heap.Unlock();
+  // Steal every frame: flood the pool with table pages.
+  for (int i = 0; i < 200; ++i) {
+    PageId id;
+    auto h = f.pool.NewPage(SpaceId::kMain, PageType::kTable, 9, &id);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_GT(f.pool.stats().heap_steals, 0u);
+
+  ASSERT_TRUE(heap.Lock().ok());
+  EXPECT_STREQ(static_cast<char*>(heap.Resolve(*p)), "persistent!");
+}
+
+TEST(ConnectionHeapTest, SwizzleEpochAdvancesOnRelock) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  ASSERT_TRUE(heap.Allocate(8).ok());
+  const uint64_t e0 = heap.swizzle_epoch();
+  heap.Unlock();
+  ASSERT_TRUE(heap.Lock().ok());
+  EXPECT_GT(heap.swizzle_epoch(), e0);
+}
+
+TEST(ConnectionHeapTest, SwizzledPtrReResolves) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  auto p = heap.New<int>();
+  ASSERT_TRUE(p.ok());
+  SwizzledPtr<int> sp(*p);
+  *sp.get(heap) = 77;
+  heap.Unlock();
+  for (int i = 0; i < 200; ++i) {
+    PageId id;
+    auto h = f.pool.NewPage(SpaceId::kMain, PageType::kTable, 9, &id);
+    ASSERT_TRUE(h.ok());
+  }
+  ASSERT_TRUE(heap.Lock().ok());
+  EXPECT_EQ(*sp.get(heap), 77);
+}
+
+TEST(ConnectionHeapTest, ResetDiscardsPages) {
+  Fixture f;
+  ConnectionHeap heap(&f.pool, 1);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(heap.Allocate(2000).ok());
+  const size_t pages = heap.page_count();
+  EXPECT_GT(pages, 0u);
+  heap.Reset();
+  EXPECT_EQ(heap.page_count(), 0u);
+  EXPECT_EQ(heap.allocated_bytes(), 0u);
+  // Discarded pages are immediately reusable.
+  ASSERT_TRUE(heap.Allocate(8).ok());
+}
+
+// --- Extendible hash (the no-knobs lock table substrate, §2.1) ---
+
+TEST(ExtHashTest, InsertLookupRemove) {
+  Fixture f;
+  ExtHashTable table(&f.pool);
+  ASSERT_TRUE(table.Insert(42, 100).ok());
+  ASSERT_TRUE(table.Insert(42, 200).ok());
+  auto vals = table.Lookup(42);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals->size(), 2u);
+  ASSERT_TRUE(table.Remove(42, 100).ok());
+  vals = table.Lookup(42);
+  ASSERT_EQ(vals->size(), 1u);
+  EXPECT_EQ((*vals)[0], 200u);
+  EXPECT_EQ(table.Remove(42, 999).code(), StatusCode::kNotFound);
+}
+
+TEST(ExtHashTest, GrowsByDirectoryDoubling) {
+  Fixture f;
+  ExtHashTable table(&f.pool);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(table.Insert(k, k * 2).ok());
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_GT(table.global_depth(), 2u);
+  // Every key findable.
+  for (uint64_t k = 0; k < 5000; k += 97) {
+    auto vals = table.Lookup(k);
+    ASSERT_TRUE(vals.ok());
+    ASSERT_EQ(vals->size(), 1u) << k;
+    EXPECT_EQ((*vals)[0], k * 2);
+  }
+}
+
+TEST(ExtHashTest, DuplicateKeysUseOverflowChains) {
+  Fixture f;
+  ExtHashTable table(&f.pool);
+  // One key with far more values than a bucket page holds (255 entries):
+  // overflow chains must absorb them — no lock-escalation threshold.
+  constexpr uint64_t kValues = 2000;
+  for (uint64_t v = 0; v < kValues; ++v) {
+    ASSERT_TRUE(table.Insert(7, v).ok());
+  }
+  auto vals = table.Lookup(7);
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals->size(), kValues);
+  std::set<uint64_t> seen(vals->begin(), vals->end());
+  EXPECT_EQ(seen.size(), kValues);
+}
+
+TEST(ExtHashTest, ForEachEarlyStop) {
+  Fixture f;
+  ExtHashTable table(&f.pool);
+  for (uint64_t v = 0; v < 10; ++v) ASSERT_TRUE(table.Insert(1, v).ok());
+  int count = 0;
+  ASSERT_TRUE(table.ForEach(1, [&count](uint64_t) {
+    return ++count < 3;
+  }).ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ExtHashTest, MixedWorkloadConsistency) {
+  Fixture f;
+  ExtHashTable table(&f.pool);
+  std::map<uint64_t, std::multiset<uint64_t>> model;
+  Rng rng(17);
+  for (int i = 0; i < 8000; ++i) {
+    const uint64_t key = rng.Uniform(200);
+    const uint64_t value = rng.Uniform(50);
+    if (rng.Bernoulli(0.7)) {
+      ASSERT_TRUE(table.Insert(key, value).ok());
+      model[key].insert(value);
+    } else {
+      const bool expect_found =
+          model.count(key) != 0 && model[key].count(value) != 0;
+      const Status s = table.Remove(key, value);
+      EXPECT_EQ(s.ok(), expect_found) << key << "," << value;
+      if (expect_found) model[key].erase(model[key].find(value));
+    }
+  }
+  for (const auto& [key, values] : model) {
+    auto vals = table.Lookup(key);
+    ASSERT_TRUE(vals.ok());
+    EXPECT_EQ(vals->size(), values.size()) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hdb::storage

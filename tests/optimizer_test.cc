@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/ophash.h"
+#include "optimizer/expr.h"
+#include "optimizer/governor.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_cache.h"
+#include "stats/stats_registry.h"
+#include "storage/buffer_pool.h"
+
+namespace hdb::optimizer {
+namespace {
+
+// --- Expressions ---
+
+TEST(ExprTest, ThreeValuedLogic) {
+  RowContext ctx;
+  const auto null_bool = Expr::Literal(Value::Null(TypeId::kBoolean));
+  const auto t = Expr::Literal(Value::Boolean(true));
+  const auto f = Expr::Literal(Value::Boolean(false));
+
+  // NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+  EXPECT_FALSE((*Expr::And(null_bool, f)->Evaluate(ctx)).is_null());
+  EXPECT_FALSE(*Expr::And(null_bool, f)->EvaluatesToTrue(ctx));
+  EXPECT_TRUE((*Expr::And(null_bool, t)->Evaluate(ctx)).is_null());
+  // NULL OR TRUE = TRUE.
+  EXPECT_TRUE(*Expr::Or(null_bool, t)->EvaluatesToTrue(ctx));
+  // NOT NULL = NULL.
+  EXPECT_TRUE((*Expr::Not(null_bool)->Evaluate(ctx)).is_null());
+}
+
+TEST(ExprTest, ComparisonWithNullIsNull) {
+  RowContext ctx;
+  const auto e = Expr::Compare(CompareOp::kEq, Expr::Literal(Value::Int(1)),
+                               Expr::Literal(Value::Null()));
+  EXPECT_TRUE((*e->Evaluate(ctx)).is_null());
+  EXPECT_FALSE(*e->EvaluatesToTrue(ctx));
+}
+
+TEST(ExprTest, ColumnRefAgainstContext) {
+  std::vector<Value> row = {Value::Int(10), Value::String("hi")};
+  RowContext ctx;
+  ctx.rows = {&row};
+  const auto e =
+      Expr::Compare(CompareOp::kGt, Expr::Column(0, 0, TypeId::kInt),
+                    Expr::Literal(Value::Int(5)));
+  EXPECT_TRUE(*e->EvaluatesToTrue(ctx));
+}
+
+TEST(ExprTest, BetweenAndInList) {
+  RowContext ctx;
+  const auto five = Expr::Literal(Value::Int(5));
+  EXPECT_TRUE(*Expr::Between(five, Expr::Literal(Value::Int(1)),
+                             Expr::Literal(Value::Int(9)))
+                   ->EvaluatesToTrue(ctx));
+  std::vector<ExprPtr> list = {Expr::Literal(Value::Int(3)),
+                               Expr::Literal(Value::Int(5))};
+  EXPECT_TRUE(*Expr::InList(five, list)->EvaluatesToTrue(ctx));
+  std::vector<ExprPtr> list2 = {Expr::Literal(Value::Int(3)),
+                                Expr::Literal(Value::Null())};
+  // 5 IN (3, NULL) = NULL.
+  EXPECT_TRUE((*Expr::InList(five, list2)->Evaluate(ctx)).is_null());
+}
+
+TEST(ExprTest, LikeMatcher) {
+  EXPECT_TRUE(Expr::LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(Expr::LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(Expr::LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(Expr::LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(Expr::LikeMatch("HELLO", "hello"));  // case-insensitive
+  EXPECT_FALSE(Expr::LikeMatch("hello", "h_lo"));
+  EXPECT_FALSE(Expr::LikeMatch("abc", "abcd%e"));
+  EXPECT_TRUE(Expr::LikeMatch("", "%"));
+}
+
+TEST(ExprTest, ArithmeticIntegerAndDouble) {
+  RowContext ctx;
+  const auto sum = Expr::Arith(ArithOp::kAdd, Expr::Literal(Value::Int(2)),
+                               Expr::Literal(Value::Int(3)));
+  EXPECT_EQ((*sum->Evaluate(ctx)).AsInt(), 5);
+  const auto div = Expr::Arith(ArithOp::kDiv, Expr::Literal(Value::Double(1)),
+                               Expr::Literal(Value::Double(4)));
+  EXPECT_DOUBLE_EQ((*div->Evaluate(ctx)).AsDouble(), 0.25);
+  const auto by_zero =
+      Expr::Arith(ArithOp::kDiv, Expr::Literal(Value::Int(1)),
+                  Expr::Literal(Value::Int(0)));
+  EXPECT_FALSE(by_zero->Evaluate(ctx).ok());
+}
+
+TEST(ExprTest, ParamBindingThroughContext) {
+  std::vector<std::pair<std::string, Value>> params = {{"x", Value::Int(9)}};
+  RowContext ctx;
+  ctx.params = &params;
+  const auto e = Expr::Compare(CompareOp::kEq, Expr::Param("x"),
+                               Expr::Literal(Value::Int(9)));
+  EXPECT_TRUE(*e->EvaluatesToTrue(ctx));
+  RowContext empty;
+  EXPECT_FALSE(e->EvaluatesToTrue(empty).ok());
+}
+
+TEST(ExprTest, SplitConjunctsFlattensAndTree) {
+  const auto a = Expr::Literal(Value::Boolean(true));
+  const auto b = Expr::Literal(Value::Boolean(true));
+  const auto c = Expr::Literal(Value::Boolean(false));
+  std::vector<ExprPtr> out;
+  SplitConjuncts(Expr::And(Expr::And(a, b), c), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+// --- Optimizer governor ---
+
+TEST(GovernorTest, QuotaConsumedAndExhausted) {
+  GovernorOptions opts;
+  opts.initial_quota = 4;
+  OptimizerGovernor gov(opts);
+  EXPECT_TRUE(gov.TryVisit());
+  EXPECT_TRUE(gov.TryVisit());
+  EXPECT_TRUE(gov.TryVisit());
+  EXPECT_TRUE(gov.TryVisit());
+  EXPECT_FALSE(gov.TryVisit());
+  EXPECT_TRUE(gov.Exhausted());
+  EXPECT_EQ(gov.visits_used(), 4u);
+}
+
+TEST(GovernorTest, ChildGetsHalfOfRemainder) {
+  GovernorOptions opts;
+  opts.initial_quota = 100;
+  OptimizerGovernor gov(opts);
+  gov.EnterChild();  // child gets 50
+  int child_visits = 0;
+  while (gov.TryVisit()) ++child_visits;
+  EXPECT_EQ(child_visits, 50);
+  gov.LeaveChild();  // nothing returned
+  gov.EnterChild();  // next child gets 25
+  child_visits = 0;
+  while (gov.TryVisit()) ++child_visits;
+  EXPECT_EQ(child_visits, 25);
+}
+
+TEST(GovernorTest, PrunedSubtreeReturnsQuota) {
+  GovernorOptions opts;
+  opts.initial_quota = 100;
+  OptimizerGovernor gov(opts);
+  gov.EnterChild();  // 50 granted
+  EXPECT_TRUE(gov.TryVisit());
+  gov.LeaveChild();  // 49 returned -> parent has 99
+  gov.EnterChild();
+  int visits = 0;
+  while (gov.TryVisit()) ++visits;
+  EXPECT_EQ(visits, 49);  // floor(99/2)
+}
+
+TEST(GovernorTest, RedistributionOnBigImprovement) {
+  GovernorOptions opts;
+  opts.initial_quota = 128;
+  OptimizerGovernor gov(opts);
+  gov.EnterChild();
+  gov.EnterChild();
+  for (int i = 0; i < 30; ++i) gov.TryVisit();
+  gov.OnImprovedPlan(0.5);  // >= 20%: redistribute
+  EXPECT_EQ(gov.redistributions(), 1u);
+  // Quota re-concentrated: the current subtree can keep going.
+  int more = 0;
+  while (gov.TryVisit() && more < 40) ++more;
+  EXPECT_GT(more, 30);
+}
+
+TEST(GovernorTest, SmallImprovementDoesNotRedistribute) {
+  OptimizerGovernor gov;
+  gov.OnImprovedPlan(0.1);
+  EXPECT_EQ(gov.redistributions(), 0u);
+}
+
+TEST(GovernorTest, DisabledGovernorNeverPrunes) {
+  GovernorOptions opts;
+  opts.enabled = false;
+  opts.initial_quota = 1;
+  OptimizerGovernor gov(opts);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(gov.TryVisit());
+  EXPECT_FALSE(gov.Exhausted());
+}
+
+// --- Plan cache ---
+
+std::shared_ptr<const PlanNode> MakePlan(PlanKind kind) {
+  auto p = std::make_shared<PlanNode>();
+  p->kind = kind;
+  return p;
+}
+
+TEST(PlanCacheTest, TrainingRequiresIdenticalPlans) {
+  PlanCacheOptions opts;
+  opts.training_executions = 3;
+  PlanCache cache(opts);
+  // Two different plans alternate: never cached.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(cache.OnInvocation("q").action, PlanCache::Action::kOptimize);
+    cache.OnPlanReady("q", MakePlan(i % 2 == 0 ? PlanKind::kSeqScan
+                                               : PlanKind::kIndexScan));
+  }
+  EXPECT_EQ(cache.stats().trainings_completed, 0u);
+  // Identical plans three times: cached.
+  for (int i = 0; i < 3; ++i) {
+    cache.OnInvocation("q");
+    cache.OnPlanReady("q", MakePlan(PlanKind::kSeqScan));
+  }
+  EXPECT_EQ(cache.stats().trainings_completed, 1u);
+  EXPECT_EQ(cache.OnInvocation("q").action, PlanCache::Action::kUseCached);
+}
+
+TEST(PlanCacheTest, DecayingVerificationSchedule) {
+  PlanCacheOptions opts;
+  opts.training_executions = 1;
+  opts.first_verify_interval = 4;
+  opts.verify_interval_growth = 4;
+  PlanCache cache(opts);
+  cache.OnInvocation("q");
+  cache.OnPlanReady("q", MakePlan(PlanKind::kSeqScan));
+
+  // Uses 1..3 cached; use 4 verifies.
+  std::vector<int> verify_points;
+  for (int use = 1; use <= 30; ++use) {
+    const auto d = cache.OnInvocation("q");
+    if (d.action == PlanCache::Action::kVerify) {
+      verify_points.push_back(use);
+      cache.OnPlanReady("q", MakePlan(PlanKind::kSeqScan));  // still same
+    }
+  }
+  ASSERT_GE(verify_points.size(), 2u);
+  EXPECT_EQ(verify_points[0], 4);
+  // Interval grew 4x: next verification 16 uses later.
+  EXPECT_EQ(verify_points[1], 20);
+}
+
+TEST(PlanCacheTest, VerificationMismatchInvalidatesAndRetrains) {
+  PlanCacheOptions opts;
+  opts.training_executions = 2;
+  opts.first_verify_interval = 2;
+  PlanCache cache(opts);
+  for (int i = 0; i < 2; ++i) {
+    cache.OnInvocation("q");
+    cache.OnPlanReady("q", MakePlan(PlanKind::kSeqScan));
+  }
+  // Burn uses until verification.
+  PlanCache::Decision d;
+  do {
+    d = cache.OnInvocation("q");
+  } while (d.action == PlanCache::Action::kUseCached);
+  ASSERT_EQ(d.action, PlanCache::Action::kVerify);
+  // The world changed: fresh plan differs.
+  const auto returned = cache.OnPlanReady("q", MakePlan(PlanKind::kIndexScan));
+  EXPECT_EQ(returned->kind, PlanKind::kIndexScan);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.OnInvocation("q").action, PlanCache::Action::kOptimize);
+}
+
+TEST(PlanCacheTest, LruEviction) {
+  PlanCacheOptions opts;
+  opts.max_entries = 2;
+  PlanCache cache(opts);
+  cache.OnInvocation("a");
+  cache.OnInvocation("b");
+  cache.OnInvocation("c");
+  EXPECT_LE(cache.size(), 2u);
+}
+
+// --- End-to-end optimization over a synthetic catalog ---
+
+struct OptFixture {
+  OptFixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 256}) {}
+
+  catalog::TableDef* AddTable(const std::string& name, uint64_t rows,
+                              uint64_t pages) {
+    auto t = catalog.CreateTable(
+        name, {{"id", TypeId::kInt, false}, {"fk", TypeId::kInt, true}});
+    (*t)->row_count = rows;
+    (*t)->page_count = pages;
+    // Plausible uniform stats on both columns.
+    std::vector<Value> ids, fks;
+    Rng rng(name.size());
+    for (uint64_t i = 0; i < std::min<uint64_t>(rows, 5000); ++i) {
+      ids.push_back(Value::Int(static_cast<int32_t>(i)));
+      fks.push_back(Value::Int(static_cast<int32_t>(rng.Uniform(100))));
+    }
+    stats.BuildColumn(**t, 0, ids);
+    stats.BuildColumn(**t, 1, fks);
+    return *t;
+  }
+
+  OptimizerContext Ctx() {
+    OptimizerContext ctx;
+    ctx.catalog = &catalog;
+    ctx.stats = &stats;
+    ctx.pool = &pool;
+    ctx.index_stats = [](uint32_t) -> const index::IndexStats* {
+      return nullptr;
+    };
+    return ctx;
+  }
+
+  Query MakeJoinQuery(const std::vector<catalog::TableDef*>& tables) {
+    Query q;
+    for (auto* t : tables) q.quantifiers.push_back(Quantifier{t, t->name});
+    // Chain equi-joins on fk = id.
+    for (size_t i = 0; i + 1 < tables.size(); ++i) {
+      q.conjuncts.push_back(Expr::Compare(
+          CompareOp::kEq,
+          Expr::Column(static_cast<int>(i), 1, TypeId::kInt),
+          Expr::Column(static_cast<int>(i + 1), 0, TypeId::kInt)));
+    }
+    SelectItem item;
+    item.expr = Expr::Column(0, 0, TypeId::kInt, "id");
+    item.name = "id";
+    q.select.push_back(item);
+    return q;
+  }
+
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  catalog::Catalog catalog;
+  stats::StatsRegistry stats;
+};
+
+TEST(OptimizerTest, SingleTablePlanHasScanAndProject) {
+  OptFixture f;
+  auto* t = f.AddTable("t1", 1000, 10);
+  Query q = f.MakeJoinQuery({t});
+  Optimizer opt(f.Ctx());
+  auto plan = opt.Optimize(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind, PlanKind::kProject);
+  EXPECT_EQ((*plan)->children[0]->kind, PlanKind::kSeqScan);
+}
+
+TEST(OptimizerTest, JoinOrderSmallTableFirstish) {
+  OptFixture f;
+  auto* big = f.AddTable("big", 100000, 1000);
+  auto* small = f.AddTable("small", 100, 2);
+  Query q = f.MakeJoinQuery({big, small});
+  Optimizer opt(f.Ctx());
+  OptimizeDiagnostics diag;
+  auto plan = opt.Optimize(q, false, &diag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(diag.enumeration.plans_completed, 0u);
+  EXPECT_GT(diag.enumeration.nodes_visited, 0u);
+}
+
+TEST(OptimizerTest, IndexChosenForSelectivePredicate) {
+  OptFixture f;
+  auto* t = f.AddTable("t", 100000, 2000);
+  auto idx = f.catalog.CreateIndex("t_id", "t", {0}, false);
+  ASSERT_TRUE(idx.ok());
+  Query q;
+  q.quantifiers.push_back(Quantifier{t, "t"});
+  q.conjuncts.push_back(
+      Expr::Compare(CompareOp::kEq, Expr::Column(0, 0, TypeId::kInt),
+                    Expr::Literal(Value::Int(7))));
+  SelectItem item;
+  item.expr = Expr::Column(0, 1, TypeId::kInt, "fk");
+  item.name = "fk";
+  q.select.push_back(item);
+  Optimizer opt(f.Ctx());
+  auto plan = opt.Optimize(q);
+  ASSERT_TRUE(plan.ok());
+  const PlanNode* scan = (*plan)->children[0].get();
+  EXPECT_EQ(scan->kind, PlanKind::kIndexScan);
+  ASSERT_TRUE(scan->index_lo.has_value());
+  EXPECT_DOUBLE_EQ(*scan->index_lo, 7.0);
+  // The residual still re-checks the predicate (hash-collision safety).
+  ASSERT_NE(scan->residual, nullptr);
+}
+
+TEST(OptimizerTest, BypassPlanForSimpleDml) {
+  OptFixture f;
+  auto* t = f.AddTable("t", 1000, 10);
+  Query q = f.MakeJoinQuery({t});
+  EXPECT_TRUE(Optimizer::QualifiesForBypass(q));
+  Optimizer opt(f.Ctx());
+  OptimizeDiagnostics diag;
+  auto plan = opt.Optimize(q, /*allow_bypass=*/true, &diag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(diag.bypassed);
+  EXPECT_EQ(diag.enumeration.nodes_visited, 0u);
+}
+
+TEST(OptimizerTest, ChainJoinProducesLeftDeepPlan) {
+  OptFixture f;
+  std::vector<catalog::TableDef*> tables;
+  for (int i = 0; i < 6; ++i) {
+    tables.push_back(
+        f.AddTable("t" + std::to_string(i), 1000 * (i + 1), 10 * (i + 1)));
+  }
+  Query q = f.MakeJoinQuery(tables);
+  Optimizer opt(f.Ctx());
+  OptimizeDiagnostics diag;
+  auto plan = opt.Optimize(q, false, &diag);
+  ASSERT_TRUE(plan.ok());
+  // Count join nodes: must be 5 for 6 quantifiers.
+  int joins = 0;
+  const PlanNode* node = plan->get();
+  std::function<void(const PlanNode*)> walk = [&](const PlanNode* n) {
+    if (n->kind == PlanKind::kHashJoin || n->kind == PlanKind::kNLJoin ||
+        n->kind == PlanKind::kIndexNLJoin) {
+      ++joins;
+    }
+    for (const auto& c : n->children) walk(c.get());
+  };
+  walk(node);
+  EXPECT_EQ(joins, 5);
+  EXPECT_GT(diag.enumeration.prunes, 0u);
+}
+
+TEST(OptimizerTest, GovernorQuotaBoundsSearchOnBigJoins) {
+  OptFixture f;
+  std::vector<catalog::TableDef*> tables;
+  for (int i = 0; i < 12; ++i) {
+    tables.push_back(f.AddTable("j" + std::to_string(i), 5000, 50));
+  }
+  Query q = f.MakeJoinQuery(tables);
+  auto ctx = f.Ctx();
+  ctx.governor.initial_quota = 2000;
+  Optimizer opt(ctx);
+  OptimizeDiagnostics diag;
+  auto plan = opt.Optimize(q, false, &diag);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(diag.enumeration.nodes_visited, 2000u);
+}
+
+TEST(OptimizerTest, ArenaBudgetReported) {
+  OptFixture f;
+  std::vector<catalog::TableDef*> tables;
+  for (int i = 0; i < 8; ++i) {
+    tables.push_back(f.AddTable("a" + std::to_string(i), 1000, 10));
+  }
+  Query q = f.MakeJoinQuery(tables);
+  auto ctx = f.Ctx();
+  ctx.arena_budget_bytes = 1 << 20;
+  Optimizer opt(ctx);
+  OptimizeDiagnostics diag;
+  ASSERT_TRUE(opt.Optimize(q, false, &diag).ok());
+  EXPECT_GT(diag.enumeration.arena_high_water, 0u);
+  EXPECT_LE(diag.enumeration.arena_high_water, 1u << 20);
+}
+
+TEST(OptimizerTest, PlanFingerprintStableAndDiscriminating) {
+  OptFixture f;
+  auto* t = f.AddTable("t", 1000, 10);
+  Query q = f.MakeJoinQuery({t});
+  Optimizer opt(f.Ctx());
+  auto p1 = opt.Optimize(q);
+  auto p2 = opt.Optimize(q);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ((*p1)->Fingerprint(), (*p2)->Fingerprint());
+  auto bypass = opt.BuildBypassPlan(q);
+  // Same plan shape here, but Explain must render.
+  EXPECT_FALSE((*p1)->Explain().empty());
+}
+
+TEST(OptimizerTest, VirtualIndexRequestsCollected) {
+  OptFixture f;
+  auto* t = f.AddTable("t", 50000, 500);
+  Query q;
+  q.quantifiers.push_back(Quantifier{t, "t"});
+  q.conjuncts.push_back(
+      Expr::Compare(CompareOp::kEq, Expr::Column(0, 0, TypeId::kInt),
+                    Expr::Literal(Value::Int(3))));
+  SelectItem item;
+  item.expr = Expr::Column(0, 1, TypeId::kInt, "fk");
+  item.name = "fk";
+  q.select.push_back(item);
+
+  VirtualIndexCollector collector(/*what_if=*/false);
+  auto ctx = f.Ctx();
+  ctx.virtual_indexes = &collector;
+  Optimizer opt(ctx);
+  ASSERT_TRUE(opt.Optimize(q).ok());
+  const auto specs = collector.specs();
+  ASSERT_GE(specs.size(), 1u);
+  EXPECT_EQ(specs[0].columns[0], 0);
+  EXPECT_GT(specs[0].benefit_micros, 0.0);
+}
+
+TEST(OptimizerTest, CostModelOrderingForScanSizes) {
+  // Eq. (3): bigger tables must cost more to scan.
+  OptFixture f;
+  auto* small = f.AddTable("s", 100, 2);
+  auto* large = f.AddTable("l", 100000, 2000);
+  CostModel model(&f.catalog.dtt_model(), &f.pool,
+                  [](uint32_t) -> const index::IndexStats* { return nullptr; });
+  EXPECT_LT(model.SeqScanCost(*small, 1), model.SeqScanCost(*large, 1));
+}
+
+TEST(OptimizerTest, HashJoinSpillCostKicksInAboveQuota) {
+  OptFixture f;
+  CostModel model(&f.catalog.dtt_model(), &f.pool,
+                  [](uint32_t) -> const index::IndexStats* { return nullptr; });
+  const double fits = model.HashJoinCost(1000, 1000, /*quota_pages=*/1000);
+  const double spills = model.HashJoinCost(1000000, 1000, /*quota=*/10);
+  EXPECT_GT(spills, fits);
+}
+
+}  // namespace
+}  // namespace hdb::optimizer

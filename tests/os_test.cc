@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "os/dtt_model.h"
+#include "os/memory_env.h"
+#include "os/virtual_clock.h"
+#include "os/virtual_disk.h"
+
+namespace hdb::os {
+namespace {
+
+TEST(VirtualClockTest, AdvanceAndSet) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  EXPECT_EQ(clock.Advance(50), 150);
+  clock.SetMicros(7);
+  EXPECT_EQ(clock.NowMicros(), 7);
+}
+
+TEST(MemoryEnvTest, WorkingSetEqualsAllocationWhenUncontended) {
+  MemoryEnv env(100 << 20);
+  env.SetAllocation("db", 30 << 20);
+  EXPECT_EQ(env.WorkingSetSize("db"), 30u << 20);
+  EXPECT_EQ(env.FreePhysical(), 70u << 20);
+}
+
+TEST(MemoryEnvTest, OvercommitTrimsWorkingSetsProportionally) {
+  MemoryEnv env(100 << 20);
+  env.SetAllocation("db", 80 << 20);
+  env.SetAllocation("app", 80 << 20);
+  // 160 MB demanded on a 100 MB machine: each process sees 50 MB resident.
+  EXPECT_EQ(env.WorkingSetSize("db"), 50u << 20);
+  EXPECT_EQ(env.WorkingSetSize("app"), 50u << 20);
+  EXPECT_EQ(env.FreePhysical(), 0u);
+}
+
+TEST(MemoryEnvTest, RemoveProcessFreesMemory) {
+  MemoryEnv env(64 << 20);
+  env.SetAllocation("app", 60 << 20);
+  env.RemoveProcess("app");
+  EXPECT_EQ(env.FreePhysical(), 64u << 20);
+  EXPECT_EQ(env.Allocation("app"), 0u);
+}
+
+// --- Default DTT model: the Figure 2(a) shape properties ---
+
+TEST(DttModelTest, SequentialCostIsTransferOnly) {
+  const DttModel m = DttModel::Default();
+  // Band 1 = sequential: well under a millisecond per 4K page.
+  EXPECT_LT(m.MicrosPerPage(DttOp::kRead, 4096, 1), 200.0);
+}
+
+TEST(DttModelTest, CostIncreasesWithBandSize) {
+  const DttModel m = DttModel::Default();
+  double prev = 0;
+  for (const double band : {1.0, 4.0, 64.0, 512.0, 2048.0, 100000.0}) {
+    const double cost = m.MicrosPerPage(DttOp::kRead, 4096, band);
+    EXPECT_GE(cost, prev) << "band " << band;
+    prev = cost;
+  }
+}
+
+TEST(DttModelTest, RandomCostApproachesSeekPlusRotation) {
+  const DttModel m = DttModel::Default();
+  const double big = m.MicrosPerPage(DttOp::kRead, 4096, 1e6);
+  EXPECT_GT(big, 8000.0);
+  EXPECT_LT(big, 20000.0);
+}
+
+TEST(DttModelTest, WritesCheaperThanReadsAtLargeBands) {
+  // The paper's counterintuitive observation: async writes benefit from
+  // scheduling, so the write curve lies below the read curve.
+  const DttModel m = DttModel::Default();
+  for (const double band : {64.0, 1024.0, 100000.0}) {
+    EXPECT_LT(m.MicrosPerPage(DttOp::kWrite, 4096, band),
+              m.MicrosPerPage(DttOp::kRead, 4096, band));
+  }
+}
+
+TEST(DttModelTest, LargerPagesCostMorePerPage) {
+  const DttModel m = DttModel::Default();
+  EXPECT_GT(m.MicrosPerPage(DttOp::kRead, 8192, 1000),
+            m.MicrosPerPage(DttOp::kRead, 4096, 1000));
+}
+
+TEST(DttModelTest, SerializeParseRoundTrip) {
+  DttModel m = DttModel::Calibrated("test-dev");
+  DttModel::Curve c;
+  c.bands = {1, 100, 10000};
+  c.micros = {50, 3000, 9000};
+  m.SetCurve(DttOp::kRead, 4096, c);
+  m.SetCurve(DttOp::kWrite, 4096, c);
+
+  const std::string blob = m.Serialize();
+  auto parsed = DttModel::Parse(blob);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->is_default());
+  EXPECT_EQ(parsed->device_name(), "test-dev");
+  EXPECT_DOUBLE_EQ(parsed->MicrosPerPage(DttOp::kRead, 4096, 100), 3000.0);
+}
+
+TEST(DttModelTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(DttModel::Parse("not a model").ok());
+}
+
+TEST(DttModelTest, CalibratedInterpolatesInLogSpace) {
+  DttModel m = DttModel::Calibrated("dev");
+  DttModel::Curve c;
+  c.bands = {1, 10000};
+  c.micros = {0, 8000};
+  m.SetCurve(DttOp::kRead, 4096, c);
+  // log-interpolation: band 100 is halfway between 1 and 10000 in log.
+  EXPECT_NEAR(m.MicrosPerPage(DttOp::kRead, 4096, 100), 4000.0, 100.0);
+  // Clamped at the extremes.
+  EXPECT_DOUBLE_EQ(m.MicrosPerPage(DttOp::kRead, 4096, 1e9), 8000.0);
+}
+
+// --- Virtual devices ---
+
+TEST(RotationalDiskTest, SequentialFasterThanRandom) {
+  RotationalDiskOptions opts;
+  RotationalDisk disk(opts);
+  double seq = 0;
+  for (int i = 0; i < 100; ++i) seq += disk.ReadMicros(1000 + i);
+  Rng rng(3);
+  double rnd = 0;
+  for (int i = 0; i < 100; ++i) {
+    rnd += disk.ReadMicros(rng.Uniform(opts.total_pages));
+  }
+  EXPECT_LT(seq * 5, rnd);  // at least 5x gap
+}
+
+TEST(RotationalDiskTest, WritesDiscountedWhenRandom) {
+  RotationalDiskOptions opts;
+  opts.seed = 42;
+  RotationalDisk reads(opts);
+  RotationalDisk writes(opts);
+  Rng rng_a(9), rng_b(9);
+  double r = 0, w = 0;
+  for (int i = 0; i < 300; ++i) {
+    r += reads.ReadMicros(rng_a.Uniform(opts.total_pages));
+    w += writes.WriteMicros(rng_b.Uniform(opts.total_pages));
+  }
+  EXPECT_LT(w, r);
+}
+
+TEST(FlashDiskTest, PositionIndependentReads) {
+  FlashDiskOptions opts;
+  opts.jitter = 0;
+  FlashDisk disk(opts);
+  const double near = disk.ReadMicros(1);
+  const double far = disk.ReadMicros(opts.total_pages - 1);
+  EXPECT_DOUBLE_EQ(near, far);
+}
+
+TEST(FlashDiskTest, WritesMuchSlowerThanReads) {
+  FlashDiskOptions opts;
+  opts.jitter = 0;
+  FlashDisk disk(opts);
+  EXPECT_GT(disk.WriteMicros(0), 3 * disk.ReadMicros(0));
+}
+
+// --- Calibration (the CALIBRATE DATABASE probe sequence) ---
+
+TEST(CalibrateTest, RotationalReadCurveIsMonotoneAndSpansMagnitudes) {
+  RotationalDiskOptions dopts;
+  RotationalDisk disk(dopts);
+  CalibrationOptions copts;
+  const DttModel model = CalibrateDisk(disk, copts);
+  EXPECT_FALSE(model.is_default());
+
+  const double seq = model.MicrosPerPage(DttOp::kRead, 4096, 1);
+  const double rnd = model.MicrosPerPage(DttOp::kRead, 4096, 1 << 20);
+  EXPECT_GT(rnd, seq * 10);
+  // Roughly monotone over sampled bands.
+  double prev = 0;
+  for (const double band : {1.0, 64.0, 4096.0, 262144.0}) {
+    const double cost = model.MicrosPerPage(DttOp::kRead, 4096, band);
+    EXPECT_GE(cost, prev * 0.8) << band;  // allow sampling noise
+    prev = cost;
+  }
+}
+
+TEST(CalibrateTest, WriteCurveDerivedFromReadCurve) {
+  RotationalDiskOptions dopts;
+  RotationalDisk disk(dopts);
+  const DttModel model = CalibrateDisk(disk, CalibrationOptions{});
+  // Paper §4.2: the write curve is the read curve scaled by a fitted
+  // factor, so their ratio is constant across bands.
+  const double r1 = model.MicrosPerPage(DttOp::kRead, 4096, 256);
+  const double w1 = model.MicrosPerPage(DttOp::kWrite, 4096, 256);
+  const double r2 = model.MicrosPerPage(DttOp::kRead, 4096, 65536);
+  const double w2 = model.MicrosPerPage(DttOp::kWrite, 4096, 65536);
+  EXPECT_NEAR(w1 / r1, w2 / r2, 1e-9);
+  EXPECT_LT(w1, r1);  // rotational writes are discounted
+}
+
+TEST(CalibrateTest, FlashCurveIsFlat) {
+  FlashDiskOptions dopts;
+  FlashDisk disk(dopts);
+  const DttModel model = CalibrateDisk(disk, CalibrationOptions{});
+  const double small = model.MicrosPerPage(DttOp::kRead, 4096, 4);
+  const double large = model.MicrosPerPage(DttOp::kRead, 4096, 65536);
+  // Figure 3: uniform random access times on the SD card.
+  EXPECT_NEAR(small, large, small * 0.2);
+  // And writes are far above reads.
+  EXPECT_GT(model.MicrosPerPage(DttOp::kWrite, 4096, 64), 2 * large);
+}
+
+}  // namespace
+}  // namespace hdb::os

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "os/memory_env.h"
+#include "os/virtual_clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/pool_governor.h"
+
+namespace hdb::storage {
+namespace {
+
+constexpr uint64_t kMB = 1ull << 20;
+
+struct GovFixture {
+  explicit GovFixture(PoolGovernorOptions opts = DefaultOptions(),
+                      uint64_t physical = 128 * kMB)
+      : env(physical),
+        disk(kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, BufferPoolOptions{.initial_frames = 1024}),  // 4 MB
+        governor(&pool, &env, &clock, opts) {}
+
+  static PoolGovernorOptions DefaultOptions() {
+    PoolGovernorOptions o;
+    o.min_bytes = 1 * kMB;
+    o.max_bytes = 64 * kMB;
+    o.os_reserve_bytes = 5 * kMB;
+    return o;
+  }
+
+  /// Gives the database enough on-disk pages that Eq. (1) does not
+  /// constrain the pool below `bytes`.
+  void GrowDatabase(uint64_t bytes) {
+    const uint64_t pages = bytes / kDefaultPageBytes;
+    for (uint64_t i = 0; i < pages; ++i) disk.AllocatePage(SpaceId::kMain);
+  }
+
+  /// Simulates buffer misses so growth is permitted.
+  void CauseMisses() {
+    PageId id;
+    auto h = pool.NewPage(SpaceId::kMain, PageType::kTable, 1, &id);
+    (void)h;
+  }
+
+  os::VirtualClock clock;
+  os::MemoryEnv env;
+  DiskManager disk;
+  BufferPool pool;
+  PoolGovernor governor;
+};
+
+TEST(PoolGovernorTest, GrowsIntoFreeMemoryWhenMissing) {
+  GovFixture f;
+  f.GrowDatabase(80 * kMB);
+  const uint64_t before = f.pool.CurrentBytes();
+  f.CauseMisses();
+  const auto s = f.governor.PollNow();
+  EXPECT_TRUE(s.grew);
+  EXPECT_GT(f.pool.CurrentBytes(), before);
+}
+
+TEST(PoolGovernorTest, GrowthBlockedWithoutMisses) {
+  GovFixture f;
+  f.GrowDatabase(80 * kMB);
+  f.CauseMisses();
+  f.governor.PollNow();            // first poll grows
+  (void)f.pool.TakeMissesSinceLastPoll();
+  const uint64_t size = f.pool.CurrentBytes();
+  const auto s = f.governor.PollNow();  // no misses since
+  EXPECT_TRUE(s.growth_blocked_no_misses || s.in_dead_zone);
+  EXPECT_EQ(f.pool.CurrentBytes(), size);
+}
+
+TEST(PoolGovernorTest, ShrinksUnderExternalMemoryPressure) {
+  GovFixture f;
+  f.GrowDatabase(80 * kMB);
+  for (int i = 0; i < 6; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  const uint64_t grown = f.pool.CurrentBytes();
+  ASSERT_GT(grown, 16 * kMB);
+  // A competing application takes most of the machine.
+  f.env.SetAllocation("other-app", 110 * kMB);
+  // Shrinking is always permitted, even with zero misses.
+  for (int i = 0; i < 8; ++i) f.governor.PollNow();
+  EXPECT_LT(f.pool.CurrentBytes(), grown / 2);
+}
+
+TEST(PoolGovernorTest, SoftUpperBoundTracksDatabaseSize) {
+  // Eq. (1): target <= db size + main heap. A tiny database caps the pool
+  // regardless of free memory.
+  GovFixture f;
+  f.GrowDatabase(2 * kMB);
+  for (int i = 0; i < 5; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  EXPECT_LE(f.pool.CurrentBytes(), 8 * kMB);
+  // Growing temporary results unconstrains the bound automatically.
+  const uint64_t pages = (60 * kMB) / kDefaultPageBytes;
+  for (uint64_t i = 0; i < pages; ++i) f.disk.AllocatePage(SpaceId::kTemp);
+  for (int i = 0; i < 8; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  EXPECT_GT(f.pool.CurrentBytes(), 16 * kMB);
+}
+
+TEST(PoolGovernorTest, MainHeapBytesExtendTheSoftBound) {
+  GovFixture f;
+  f.GrowDatabase(2 * kMB);
+  f.governor.AddMainHeapBytes(32 * kMB);
+  for (int i = 0; i < 6; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  EXPECT_GT(f.pool.CurrentBytes(), 8 * kMB);
+}
+
+TEST(PoolGovernorTest, DampingLimitsStepSize) {
+  // Eq. (2): one poll moves 90% of the way to the target.
+  GovFixture f;
+  f.GrowDatabase(80 * kMB);
+  const auto current = static_cast<double>(f.pool.CurrentBytes());
+  f.CauseMisses();
+  const auto s = f.governor.PollNow();
+  const auto target = static_cast<double>(s.target_bytes);
+  const auto expected = 0.9 * target + 0.1 * current;
+  EXPECT_NEAR(static_cast<double>(s.new_size_bytes), expected,
+              expected * 0.02);
+}
+
+TEST(PoolGovernorTest, DeadZoneSuppressesTinyChanges) {
+  auto opts = GovFixture::DefaultOptions();
+  GovFixture f(opts);
+  f.GrowDatabase(80 * kMB);
+  // Converge.
+  for (int i = 0; i < 30; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  f.CauseMisses();
+  const auto s = f.governor.PollNow();
+  EXPECT_TRUE(s.in_dead_zone) << s.target_bytes << " vs " << s.new_size_bytes;
+}
+
+TEST(PoolGovernorTest, HardBoundsRespected) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.max_bytes = 10 * kMB;
+  GovFixture f(opts);
+  f.GrowDatabase(80 * kMB);
+  for (int i = 0; i < 10; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  EXPECT_LE(f.pool.CurrentBytes(), 10 * kMB);
+}
+
+TEST(PoolGovernorTest, FastSamplingAtStartupThenNominal) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.startup_fast_polls = 2;
+  GovFixture f(opts);
+  // First polls scheduled at the 20s fast period.
+  const int64_t first_gap = f.governor.next_poll_micros();
+  EXPECT_EQ(first_gap, opts.fast_poll_period_micros);
+  f.governor.PollNow();
+  f.governor.PollNow();
+  f.governor.PollNow();
+  // After startup polls are exhausted: nominal one-minute period.
+  const int64_t gap = f.governor.next_poll_micros() - f.clock.NowMicros();
+  EXPECT_EQ(gap, opts.poll_period_micros);
+}
+
+TEST(PoolGovernorTest, SignificantDatabaseGrowthReArmsFastSampling) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.startup_fast_polls = 0;
+  GovFixture f(opts);
+  f.GrowDatabase(10 * kMB);
+  f.governor.PollNow();
+  // Grow the database by far more than 10%.
+  f.GrowDatabase(20 * kMB);
+  f.governor.PollNow();
+  const int64_t gap = f.governor.next_poll_micros() - f.clock.NowMicros();
+  EXPECT_EQ(gap, opts.fast_poll_period_micros);
+}
+
+TEST(PoolGovernorTest, MaybePollHonorsSchedule) {
+  GovFixture f;
+  EXPECT_FALSE(f.governor.MaybePoll());  // too early
+  f.clock.Advance(f.governor.options().fast_poll_period_micros + 1);
+  EXPECT_TRUE(f.governor.MaybePoll());
+}
+
+TEST(PoolGovernorTest, CeModeGrowsOnlyWhenFreeMemoryIncreases) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.ce_mode = true;
+  GovFixture f(opts);
+  f.GrowDatabase(80 * kMB);
+
+  // Free memory unchanged between polls: no growth even with misses.
+  f.CauseMisses();
+  f.governor.PollNow();
+  const uint64_t stable = f.pool.CurrentBytes();
+  f.CauseMisses();
+  f.governor.PollNow();
+  EXPECT_EQ(f.pool.CurrentBytes(), stable);
+
+  // Another app frees memory: free goes *up* since the last poll -> grow.
+  f.env.SetAllocation("app", 40 * kMB);
+  f.governor.PollNow();  // records lower free level
+  f.env.RemoveProcess("app");
+  f.CauseMisses();
+  const auto s = f.governor.PollNow();
+  EXPECT_TRUE(s.grew);
+}
+
+TEST(PoolGovernorTest, CeModeShrinksWhenDeviceMemoryTight) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.ce_mode = true;
+  GovFixture f(opts, /*physical=*/32 * kMB);
+  f.GrowDatabase(80 * kMB);
+  // Other applications allocate nearly everything.
+  f.env.SetAllocation("app", 26 * kMB);
+  const uint64_t before = f.pool.CurrentBytes();
+  f.governor.PollNow();
+  EXPECT_LT(f.pool.CurrentBytes(), before);
+}
+
+TEST(PoolGovernorTest, HysteresisGuardCapsRegrowthAfterShrink) {
+  auto opts = GovFixture::DefaultOptions();
+  opts.hysteresis_polls = 3;
+  opts.hysteresis_growth_cap = 0.25;
+  GovFixture f(opts);
+  f.GrowDatabase(80 * kMB);
+  for (int i = 0; i < 6; ++i) {
+    f.CauseMisses();
+    f.governor.PollNow();
+  }
+  const uint64_t grown = f.pool.CurrentBytes();
+  f.env.SetAllocation("spike", 100 * kMB);
+  f.governor.PollNow();  // shrink
+  const uint64_t shrunk = f.pool.CurrentBytes();
+  ASSERT_LT(shrunk, grown);
+  f.env.RemoveProcess("spike");
+  f.CauseMisses();
+  f.governor.PollNow();  // would normally leap back up
+  const uint64_t regrown = f.pool.CurrentBytes();
+  // Capped to a quarter of what was shrunk away.
+  EXPECT_LE(regrown, shrunk + (grown - shrunk) / 4 +
+                         f.governor.options().dead_zone_bytes);
+}
+
+TEST(PoolGovernorTest, HistoryRecordsEveryPoll) {
+  GovFixture f;
+  f.governor.PollNow();
+  f.governor.PollNow();
+  EXPECT_EQ(f.governor.history().size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdb::storage

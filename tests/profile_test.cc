@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "profile/analyzer.h"
+#include "profile/index_consultant.h"
+#include "profile/tracer.h"
+
+namespace hdb::profile {
+namespace {
+
+struct Db {
+  Db() {
+    auto db = engine::Database::Open();
+    EXPECT_TRUE(db.ok());
+    database = std::move(*db);
+    auto conn = database->Connect();
+    EXPECT_TRUE(conn.ok());
+    c = std::move(*conn);
+  }
+  void Exec(const std::string& sql) {
+    auto r = c->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  }
+  std::unique_ptr<engine::Database> database;
+  std::unique_ptr<engine::Connection> c;
+};
+
+TEST(NormalizeTest, LiteralsBecomePlaceholders) {
+  EXPECT_EQ(NormalizeStatement("SELECT a FROM t WHERE b = 42"),
+            NormalizeStatement("select A from T where B = 977"));
+  EXPECT_EQ(NormalizeStatement("SELECT a FROM t WHERE s = 'x'"),
+            "SELECT A FROM T WHERE S = ?");
+  EXPECT_NE(NormalizeStatement("SELECT a FROM t"),
+            NormalizeStatement("SELECT b FROM t"));
+}
+
+TEST(TracerTest, CapturesEvents) {
+  Db db;
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(db.database.get(), nullptr).ok());
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("INSERT INTO t VALUES (1)");
+  db.Exec("SELECT a FROM t");
+  tracer.Detach();
+  db.Exec("SELECT a FROM t");  // not captured
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[2].rows_returned, 1u);
+}
+
+TEST(TracerTest, UploadsIntoSinkDatabase) {
+  // The paper's architecture: trace rows stream into another database for
+  // analysis (substitution: in-process instead of TCP/IP).
+  Db monitored;
+  auto sink = engine::Database::Open();
+  ASSERT_TRUE(sink.ok());
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(monitored.database.get(), sink->get()).ok());
+  monitored.Exec("CREATE TABLE t (a INT)");
+  monitored.Exec("INSERT INTO t VALUES (7)");
+  monitored.Exec("SELECT a FROM t WHERE a = 7");
+  tracer.Detach();
+
+  auto conn = (*sink)->Connect();
+  ASSERT_TRUE(conn.ok());
+  auto rows = (*conn)->Execute("SELECT sql, rows_returned FROM profile_trace");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 3u);
+  EXPECT_EQ(tracer.dropped_sink_writes(), 0u);
+}
+
+TEST(TracerTest, SelfTracingDoesNotRecurse) {
+  // "Convenience" mode: the trace is stored in the same database.
+  Db db;
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(db.database.get(), db.database.get()).ok());
+  db.Exec("CREATE TABLE t (a INT)");
+  db.Exec("SELECT a FROM t");
+  tracer.Detach();
+  EXPECT_EQ(tracer.events().size(), 2u);  // not an event per insert
+}
+
+TEST(AnalyzerTest, DetectsClientSideJoin) {
+  Db db;
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(db.database.get(), nullptr).ok());
+  db.Exec("CREATE TABLE item (id INT NOT NULL, price DOUBLE)");
+  for (int i = 0; i < 50; ++i) {
+    db.Exec("INSERT INTO item VALUES (" + std::to_string(i) + ", 1.0)");
+  }
+  // The application-side loop: one probe per id (the client-side join).
+  for (int i = 0; i < 30; ++i) {
+    db.Exec("SELECT price FROM item WHERE id = " + std::to_string(i));
+  }
+  tracer.Detach();
+
+  WorkloadAnalyzer analyzer;
+  const auto findings = analyzer.Analyze(tracer.events(), db.database.get());
+  bool saw = false;
+  for (const auto& f : findings) {
+    if (f.kind == FindingKind::kClientSideJoin) {
+      saw = true;
+      EXPECT_GE(f.occurrences, 30u);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(AnalyzerTest, NoFalsePositiveOnRepeatedIdenticalStatement) {
+  Db db;
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(db.database.get(), nullptr).ok());
+  db.Exec("CREATE TABLE t (a INT)");
+  for (int i = 0; i < 30; ++i) db.Exec("SELECT a FROM t WHERE a = 5");
+  tracer.Detach();
+  WorkloadAnalyzer analyzer;
+  for (const auto& f :
+       analyzer.Analyze(tracer.events(), db.database.get())) {
+    EXPECT_NE(f.kind, FindingKind::kClientSideJoin) << f.message;
+  }
+}
+
+TEST(AnalyzerTest, FlagsSuspiciousOptions) {
+  Db db;
+  db.Exec("SET OPTION collect_statistics_on_dml = 'off'");
+  db.Exec("SET OPTION max_query_tasks = '1'");
+  WorkloadAnalyzer analyzer;
+  const auto findings = analyzer.Analyze({}, db.database.get());
+  int option_findings = 0;
+  for (const auto& f : findings) {
+    if (f.kind == FindingKind::kSuspiciousOption) ++option_findings;
+  }
+  EXPECT_EQ(option_findings, 2);
+}
+
+TEST(AnalyzerTest, FlagsExpensiveScans) {
+  Db db;
+  db.Exec("CREATE TABLE big (k INT, v INT)");
+  std::vector<table::Row> rows;
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i)});
+  }
+  ASSERT_TRUE(db.database->LoadTable("big", rows).ok());
+  RequestTracer tracer;
+  ASSERT_TRUE(tracer.Attach(db.database.get(), nullptr).ok());
+  db.Exec("SELECT v FROM big WHERE k = 17");
+  tracer.Detach();
+  WorkloadAnalyzer analyzer;
+  bool saw = false;
+  for (const auto& f :
+       analyzer.Analyze(tracer.events(), db.database.get())) {
+    if (f.kind == FindingKind::kExpensiveScan) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// --- Index consultant (§5) ---
+
+TEST(ConsultantTest, RecommendsIndexForFilteredWorkload) {
+  Db db;
+  db.Exec("CREATE TABLE orders (id INT NOT NULL, customer INT, total DOUBLE)");
+  std::vector<table::Row> rows;
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    rows.push_back({Value::Int(i),
+                    Value::Int(static_cast<int32_t>(rng.Uniform(500))),
+                    Value::Double(rng.NextDouble() * 100)});
+  }
+  ASSERT_TRUE(db.database->LoadTable("orders", rows).ok());
+
+  std::vector<std::string> workload;
+  for (int i = 0; i < 10; ++i) {
+    workload.push_back("SELECT total FROM orders WHERE customer = " +
+                       std::to_string(i * 7));
+  }
+  IndexConsultant consultant(db.database.get());
+  auto analysis = consultant.Analyze(workload);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_GE(analysis->recommendations.size(), 1u);
+  const auto& rec = analysis->recommendations[0];
+  EXPECT_EQ(rec.kind, Recommendation::Kind::kCreateIndex);
+  EXPECT_EQ(rec.table, "orders");
+  ASSERT_FALSE(rec.columns.empty());
+  EXPECT_EQ(rec.columns[0], "customer");
+  EXPECT_GT(rec.benefit_micros, 0.0);
+  // What-if costing shows the workload getting cheaper.
+  EXPECT_LT(analysis->workload_cost_after, analysis->workload_cost_before);
+
+  // The recommendation's DDL actually runs.
+  db.Exec(rec.ddl);
+}
+
+TEST(ConsultantTest, RecommendsDroppingUnusedIndex) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT, b INT)");
+  for (int i = 0; i < 100; ++i) {
+    db.Exec("INSERT INTO t VALUES (" + std::to_string(i) + ", 0)");
+  }
+  db.Exec("CREATE INDEX unused_ix ON t (b)");
+  // Workload never touches b.
+  IndexConsultant consultant(db.database.get());
+  auto analysis = consultant.Analyze({"SELECT a FROM t WHERE a = 1"});
+  ASSERT_TRUE(analysis.ok());
+  bool drop_seen = false;
+  for (const auto& rec : analysis->recommendations) {
+    if (rec.kind == Recommendation::Kind::kDropIndex &&
+        rec.index_name == "unused_ix") {
+      drop_seen = true;
+    }
+  }
+  EXPECT_TRUE(drop_seen);
+}
+
+TEST(ConsultantTest, JoinColumnsRequestedAndTightened) {
+  Db db;
+  db.Exec("CREATE TABLE f (a INT, j INT)");
+  db.Exec("CREATE TABLE d (j INT, v INT)");
+  std::vector<table::Row> fr, dr;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    fr.push_back({Value::Int(static_cast<int32_t>(rng.Uniform(100))),
+                  Value::Int(static_cast<int32_t>(rng.Uniform(200)))});
+  }
+  for (int i = 0; i < 200; ++i) {
+    dr.push_back({Value::Int(i), Value::Int(i)});
+  }
+  ASSERT_TRUE(db.database->LoadTable("f", fr).ok());
+  ASSERT_TRUE(db.database->LoadTable("d", dr).ok());
+  IndexConsultant consultant(db.database.get());
+  auto analysis = consultant.Analyze(
+      {"SELECT d.v FROM f JOIN d ON f.j = d.j WHERE f.a = 5"});
+  ASSERT_TRUE(analysis.ok());
+  // The optimizer should have wished for indexes on join/predicate columns.
+  EXPECT_GE(analysis->raw_specs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hdb::profile

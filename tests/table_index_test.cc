@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/ophash.h"
+#include "common/rng.h"
+#include "index/btree.h"
+#include "table/row_codec.h"
+#include "table/table_heap.h"
+
+namespace hdb {
+namespace {
+
+catalog::TableDef MakeSchema() {
+  catalog::TableDef def;
+  def.oid = 1;
+  def.name = "t";
+  def.columns = {{"id", TypeId::kInt, false},
+                 {"name", TypeId::kVarchar, true},
+                 {"score", TypeId::kDouble, true},
+                 {"flag", TypeId::kBoolean, true},
+                 {"when_ts", TypeId::kTimestamp, true}};
+  return def;
+}
+
+// --- Row codec ---
+
+struct CodecCase {
+  table::Row row;
+};
+
+class RowCodecRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowCodecRoundTrip, RoundTrips) {
+  const catalog::TableDef def = MakeSchema();
+  Rng rng(GetParam());
+  table::Row row = {
+      Value::Int(static_cast<int32_t>(rng.UniformRange(-10000, 10000))),
+      rng.Bernoulli(0.3) ? Value::Null(TypeId::kVarchar)
+                         : Value::String(std::string(rng.Uniform(40), 'x')),
+      rng.Bernoulli(0.3) ? Value::Null(TypeId::kDouble)
+                         : Value::Double(rng.NextDouble() * 100),
+      rng.Bernoulli(0.5) ? Value::Boolean(rng.Bernoulli(0.5))
+                         : Value::Null(TypeId::kBoolean),
+      Value::Timestamp(rng.UniformRange(0, 1e15))};
+  auto bytes = table::EncodeRow(def, row);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = table::DecodeRow(def, bytes->data(), bytes->size());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(row[i].Compare((*decoded)[i]), 0) << i;
+    EXPECT_EQ(row[i].is_null(), (*decoded)[i].is_null()) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowCodecRoundTrip, ::testing::Range(0, 20));
+
+TEST(RowCodecTest, NotNullViolationRejected) {
+  const catalog::TableDef def = MakeSchema();
+  table::Row row = {Value::Null(TypeId::kInt), Value::Null(), Value::Null(),
+                    Value::Null(), Value::Null()};
+  EXPECT_EQ(table::EncodeRow(def, row).status().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(RowCodecTest, ArityMismatchRejected) {
+  const catalog::TableDef def = MakeSchema();
+  EXPECT_FALSE(table::EncodeRow(def, {Value::Int(1)}).ok());
+}
+
+// --- Table heap ---
+
+struct HeapFixture {
+  HeapFixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 128}),
+        def(MakeSchema()),
+        heap(&pool, &def) {}
+
+  table::Row MakeRow(int id, const std::string& name = "row") {
+    return {Value::Int(id), Value::String(name), Value::Double(id * 1.5),
+            Value::Boolean(id % 2 == 0), Value::Timestamp(id)};
+  }
+  Rid Insert(int id) {
+    auto bytes = table::EncodeRow(def, MakeRow(id));
+    auto rid = heap.Insert(*bytes);
+    return *rid;
+  }
+
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  catalog::TableDef def;
+  table::TableHeap heap;
+};
+
+TEST(TableHeapTest, InsertGetDelete) {
+  HeapFixture f;
+  const Rid rid = f.Insert(42);
+  auto bytes = f.heap.Get(rid);
+  ASSERT_TRUE(bytes.ok());
+  auto row = table::DecodeRow(f.def, bytes->data(), bytes->size());
+  EXPECT_EQ((*row)[0].AsInt(), 42);
+  ASSERT_TRUE(f.heap.Delete(rid).ok());
+  EXPECT_EQ(f.heap.Get(rid).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.heap.Delete(rid).code(), StatusCode::kNotFound);
+}
+
+TEST(TableHeapTest, RowAndPageCountsMaintained) {
+  HeapFixture f;
+  for (int i = 0; i < 500; ++i) f.Insert(i);
+  EXPECT_EQ(f.def.row_count, 500u);
+  EXPECT_GT(f.def.page_count, 1u);
+  f.heap.Delete(Rid{f.def.first_page, 0});
+  EXPECT_EQ(f.def.row_count, 499u);
+}
+
+TEST(TableHeapTest, ScanVisitsAllLiveRows) {
+  HeapFixture f;
+  std::set<int> expected;
+  for (int i = 0; i < 300; ++i) {
+    const Rid rid = f.Insert(i);
+    if (i % 3 == 0) {
+      f.heap.Delete(rid);
+    } else {
+      expected.insert(i);
+    }
+  }
+  std::set<int> seen;
+  auto it = f.heap.Scan();
+  Rid rid;
+  std::string bytes;
+  while (it.Next(&rid, &bytes)) {
+    auto row = table::DecodeRow(f.def, bytes.data(), bytes.size());
+    seen.insert(static_cast<int>((*row)[0].AsInt()));
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(TableHeapTest, UpdateInPlaceKeepsRid) {
+  HeapFixture f;
+  const Rid rid = f.Insert(1);
+  auto bytes = table::EncodeRow(f.def, f.MakeRow(1, "ab"));  // shorter
+  auto new_rid = f.heap.Update(rid, *bytes);
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(*new_rid, rid);
+}
+
+TEST(TableHeapTest, UpdateGrowingRowMayMove) {
+  HeapFixture f;
+  const Rid rid = f.Insert(1);
+  auto bytes = table::EncodeRow(f.def, f.MakeRow(1, std::string(500, 'y')));
+  auto new_rid = f.heap.Update(rid, *bytes);
+  ASSERT_TRUE(new_rid.ok());
+  auto back = f.heap.Get(*new_rid);
+  ASSERT_TRUE(back.ok());
+  auto row = table::DecodeRow(f.def, back->data(), back->size());
+  EXPECT_EQ((*row)[1].AsString().size(), 500u);
+}
+
+// --- B+-tree ---
+
+struct TreeFixture {
+  TreeFixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 512}) {
+    idx.oid = 9;
+    idx.name = "ix";
+    idx.table_oid = 1;
+    idx.column_indexes = {0};
+    tree = std::make_unique<index::BTree>(&pool, &idx);
+    EXPECT_TRUE(tree->Init().ok());
+  }
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  catalog::IndexDef idx;
+  std::unique_ptr<index::BTree> tree;
+};
+
+TEST(BTreeTest, InsertAndPointLookup) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Insert(10.0, Rid{1, 1}).ok());
+  ASSERT_TRUE(f.tree->Insert(20.0, Rid{2, 2}).ok());
+  auto c = f.tree->Contains(10.0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*c);
+  EXPECT_FALSE(*f.tree->Contains(15.0));
+}
+
+TEST(BTreeTest, RangeScanInOrder) {
+  TreeFixture f;
+  Rng rng(4);
+  std::vector<double> keys;
+  for (int i = 0; i < 3000; ++i) {
+    const double k = static_cast<double>(rng.Uniform(100000));
+    keys.push_back(k);
+    ASSERT_TRUE(
+        f.tree->Insert(k, Rid{static_cast<uint32_t>(i), 0}).ok());
+  }
+  std::vector<double> scanned;
+  ASSERT_TRUE(f.tree
+                  ->ScanRange(-1e18, true, 1e18, true,
+                              [&scanned](double k, Rid) {
+                                scanned.push_back(k);
+                                return true;
+                              })
+                  .ok());
+  ASSERT_EQ(scanned.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+}
+
+TEST(BTreeTest, BoundedRangeScan) {
+  TreeFixture f;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Insert(i, Rid{static_cast<uint32_t>(i), 0}).ok());
+  }
+  auto count = f.tree->CountRange(10, 19);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);
+  // Exclusive bounds.
+  uint64_t n = 0;
+  ASSERT_TRUE(f.tree
+                  ->ScanRange(10, false, 19, false,
+                              [&n](double, Rid) {
+                                ++n;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(n, 8u);
+}
+
+TEST(BTreeTest, DuplicateKeysAllReturned) {
+  TreeFixture f;
+  for (uint32_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(f.tree->Insert(5.0, Rid{i, 0}).ok());
+  }
+  EXPECT_EQ(*f.tree->CountRange(5.0, 5.0), 600u);
+  EXPECT_EQ(*f.tree->CountRange(4.0, 4.9), 0u);
+}
+
+TEST(BTreeTest, RemoveExactEntry) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree->Insert(1.0, Rid{1, 0}).ok());
+  ASSERT_TRUE(f.tree->Insert(1.0, Rid{2, 0}).ok());
+  ASSERT_TRUE(f.tree->Remove(1.0, Rid{1, 0}).ok());
+  EXPECT_EQ(*f.tree->CountRange(1.0, 1.0), 1u);
+  EXPECT_EQ(f.tree->Remove(1.0, Rid{1, 0}).code(), StatusCode::kNotFound);
+}
+
+TEST(BTreeTest, LargeTreeConsistency) {
+  TreeFixture f;
+  std::map<int, int> model;  // key -> count
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const int k = static_cast<int>(rng.Uniform(2000));
+    ASSERT_TRUE(
+        f.tree->Insert(k, Rid{static_cast<uint32_t>(i), 0}).ok());
+    model[k]++;
+  }
+  for (int k = 0; k < 2000; k += 131) {
+    const uint64_t expected = model.count(k) ? model[k] : 0;
+    EXPECT_EQ(*f.tree->CountRange(k, k), expected) << k;
+  }
+  EXPECT_EQ(f.tree->stats().num_entries, 20000u);
+  EXPECT_GT(f.tree->stats().leaf_pages, 50u);
+}
+
+TEST(BTreeStatsTest, DistinctKeysTracked) {
+  TreeFixture f;
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.tree->Insert(i % 10, Rid{i, 0}).ok());
+  }
+  EXPECT_EQ(f.tree->stats().distinct_keys, 10u);
+  // Removing one of many duplicates keeps the key distinct...
+  ASSERT_TRUE(f.tree->Remove(0.0, Rid{0, 0}).ok());
+  EXPECT_EQ(f.tree->stats().distinct_keys, 10u);
+}
+
+TEST(BTreeStatsTest, ClusteringReflectsInsertOrder) {
+  // Sequential heap pages -> clustered; random pages -> not.
+  TreeFixture clustered;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(clustered.tree->Insert(i, Rid{i / 50, 0}).ok());
+  }
+  EXPECT_GT(clustered.tree->stats().clustering_fraction(), 0.9);
+
+  TreeFixture random;
+  Rng rng(3);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(random.tree
+                    ->Insert(i, Rid{static_cast<uint32_t>(rng.Uniform(10000)),
+                                    0})
+                    .ok());
+  }
+  EXPECT_LT(random.tree->stats().clustering_fraction(), 0.2);
+}
+
+}  // namespace
+}  // namespace hdb

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace hdb::txn {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : disk(storage::kDefaultPageBytes, nullptr, nullptr),
+        pool(&disk, storage::BufferPoolOptions{.initial_frames = 64}),
+        locks(&pool),
+        tm(&pool, &locks) {}
+  storage::DiskManager disk;
+  storage::BufferPool pool;
+  LockManager locks;
+  TransactionManager tm;
+};
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  Fixture f;
+  const Rid rid{1, 0};
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kShared).ok());
+  EXPECT_TRUE(f.locks.LockRow(2, 10, rid, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  Fixture f;
+  const Rid rid{1, 0};
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).ok());
+  EXPECT_EQ(f.locks.LockRow(2, 10, rid, LockMode::kExclusive).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(f.locks.LockRow(2, 10, rid, LockMode::kShared).code(),
+            StatusCode::kAborted);
+}
+
+TEST(LockManagerTest, ReacquisitionIsIdempotent) {
+  Fixture f;
+  const Rid rid{1, 0};
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).ok());
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).ok());
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeSucceedsForSoleHolder) {
+  Fixture f;
+  const Rid rid{1, 0};
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kShared).ok());
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  Fixture f;
+  const Rid rid{1, 0};
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kShared).ok());
+  EXPECT_TRUE(f.locks.LockRow(2, 10, rid, LockMode::kShared).ok());
+  EXPECT_EQ(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).code(),
+            StatusCode::kAborted);
+}
+
+TEST(LockManagerTest, UnlockReleasesEverything) {
+  Fixture f;
+  const Rid rid{1, 0};
+  const uint64_t key = LockManager::RowKey(10, rid);
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kShared).ok());
+  EXPECT_TRUE(f.locks.LockRow(1, 10, rid, LockMode::kExclusive).ok());
+  f.locks.Unlock(1, key);
+  EXPECT_TRUE(f.locks.LockRow(2, 10, rid, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, TableLocksIndependentOfRowLocks) {
+  Fixture f;
+  EXPECT_TRUE(f.locks.LockTable(1, 10, LockMode::kExclusive).ok());
+  EXPECT_EQ(f.locks.LockTable(2, 10, LockMode::kShared).code(),
+            StatusCode::kAborted);
+  // Row on a different table is unaffected.
+  EXPECT_TRUE(f.locks.LockRow(2, 11, Rid{0, 0}, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ManyLocksGrowOnDisk) {
+  // The disk-based lock table has no size knob: take 10k locks.
+  Fixture f;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(f.locks
+                    .LockRow(1, 10, Rid{i, static_cast<uint16_t>(i % 7)},
+                             LockMode::kExclusive)
+                    .ok());
+  }
+  EXPECT_EQ(f.locks.held_locks(), 10000u);
+  EXPECT_GT(f.locks.lock_table_pages(), 1u);
+}
+
+TEST(TransactionTest, CommitReleasesLocksAndLogs) {
+  Fixture f;
+  Transaction* txn = f.tm.Begin();
+  const Rid rid{2, 1};
+  ASSERT_TRUE(f.locks.LockRow(txn->id(), 5, rid, LockMode::kExclusive).ok());
+  txn->RecordLock(LockManager::RowKey(5, rid));
+  ASSERT_TRUE(f.tm.Commit(txn).ok());
+  EXPECT_EQ(txn->state(), TxnState::kCommitted);
+  EXPECT_GT(f.tm.log_bytes(), 0u);
+  // Lock released: another txn can take it.
+  Transaction* t2 = f.tm.Begin();
+  EXPECT_TRUE(f.locks.LockRow(t2->id(), 5, rid, LockMode::kExclusive).ok());
+}
+
+TEST(TransactionTest, AbortAppliesUndoInReverse) {
+  Fixture f;
+  Transaction* txn = f.tm.Begin();
+  for (int i = 0; i < 3; ++i) {
+    UndoRecord rec;
+    rec.op = UndoOp::kInsert;
+    rec.table_oid = 1;
+    rec.rid = Rid{static_cast<uint32_t>(i), 0};
+    txn->RecordUndo(std::move(rec));
+  }
+  std::vector<uint32_t> order;
+  ASSERT_TRUE(f.tm.Abort(txn, [&order](const UndoRecord& rec) {
+                  order.push_back(rec.rid.page_id);
+                  return Status::OK();
+                })
+                  .ok());
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+}
+
+TEST(TransactionTest, ActiveCountTracksLifecycle) {
+  Fixture f;
+  EXPECT_EQ(f.tm.active_count(), 0u);
+  Transaction* a = f.tm.Begin();
+  Transaction* b = f.tm.Begin();
+  EXPECT_EQ(f.tm.active_count(), 2u);
+  ASSERT_TRUE(f.tm.Commit(a).ok());
+  ASSERT_TRUE(
+      f.tm.Abort(b, [](const UndoRecord&) { return Status::OK(); }).ok());
+  EXPECT_EQ(f.tm.active_count(), 0u);
+}
+
+TEST(TransactionTest, DoubleCommitRejected) {
+  Fixture f;
+  Transaction* txn = f.tm.Begin();
+  ASSERT_TRUE(f.tm.Commit(txn).ok());
+  EXPECT_FALSE(f.tm.Commit(txn).ok());
+}
+
+TEST(TransactionTest, RedoLogSpansPages) {
+  Fixture f;
+  Transaction* txn = f.tm.Begin();
+  const std::string payload(1000, 'r');
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(f.tm.AppendRedo(txn->id(), payload).ok());
+  }
+  EXPECT_GT(f.disk.NumPages(storage::SpaceId::kLog), 3u);
+}
+
+}  // namespace
+}  // namespace hdb::txn
