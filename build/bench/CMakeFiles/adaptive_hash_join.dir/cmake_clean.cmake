@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_hash_join.dir/adaptive_hash_join.cc.o"
+  "CMakeFiles/adaptive_hash_join.dir/adaptive_hash_join.cc.o.d"
+  "adaptive_hash_join"
+  "adaptive_hash_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_hash_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

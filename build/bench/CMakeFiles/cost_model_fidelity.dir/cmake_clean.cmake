@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_fidelity.dir/cost_model_fidelity.cc.o"
+  "CMakeFiles/cost_model_fidelity.dir/cost_model_fidelity.cc.o.d"
+  "cost_model_fidelity"
+  "cost_model_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pool_adaptation.dir/fig1_pool_adaptation.cc.o"
+  "CMakeFiles/fig1_pool_adaptation.dir/fig1_pool_adaptation.cc.o.d"
+  "fig1_pool_adaptation"
+  "fig1_pool_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pool_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

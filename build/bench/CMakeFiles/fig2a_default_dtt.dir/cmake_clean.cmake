@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_default_dtt.dir/fig2a_default_dtt.cc.o"
+  "CMakeFiles/fig2a_default_dtt.dir/fig2a_default_dtt.cc.o.d"
+  "fig2a_default_dtt"
+  "fig2a_default_dtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_default_dtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

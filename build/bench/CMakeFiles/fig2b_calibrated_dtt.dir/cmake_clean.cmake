@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_calibrated_dtt.dir/fig2b_calibrated_dtt.cc.o"
+  "CMakeFiles/fig2b_calibrated_dtt.dir/fig2b_calibrated_dtt.cc.o.d"
+  "fig2b_calibrated_dtt"
+  "fig2b_calibrated_dtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_calibrated_dtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

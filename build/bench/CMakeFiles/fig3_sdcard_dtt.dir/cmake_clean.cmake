@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sdcard_dtt.dir/fig3_sdcard_dtt.cc.o"
+  "CMakeFiles/fig3_sdcard_dtt.dir/fig3_sdcard_dtt.cc.o.d"
+  "fig3_sdcard_dtt"
+  "fig3_sdcard_dtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sdcard_dtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhdb_benchlib.a"
+  "../lib/libhdb_benchlib.pdb"
+  "CMakeFiles/hdb_benchlib.dir/workloads.cc.o"
+  "CMakeFiles/hdb_benchlib.dir/workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

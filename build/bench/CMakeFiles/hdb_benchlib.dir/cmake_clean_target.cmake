@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhdb_benchlib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_accuracy.dir/histogram_accuracy.cc.o"
+  "CMakeFiles/histogram_accuracy.dir/histogram_accuracy.cc.o.d"
+  "histogram_accuracy"
+  "histogram_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_consultant.dir/index_consultant.cc.o"
+  "CMakeFiles/index_consultant.dir/index_consultant.cc.o.d"
+  "index_consultant"
+  "index_consultant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_consultant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_memory_fallback.dir/low_memory_fallback.cc.o"
+  "CMakeFiles/low_memory_fallback.dir/low_memory_fallback.cc.o.d"
+  "low_memory_fallback"
+  "low_memory_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_memory_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

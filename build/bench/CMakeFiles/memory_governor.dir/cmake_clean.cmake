@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_governor.dir/memory_governor.cc.o"
+  "CMakeFiles/memory_governor.dir/memory_governor.cc.o.d"
+  "memory_governor"
+  "memory_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_100way_join.dir/opt_100way_join.cc.o"
+  "CMakeFiles/opt_100way_join.dir/opt_100way_join.cc.o.d"
+  "opt_100way_join"
+  "opt_100way_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_100way_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

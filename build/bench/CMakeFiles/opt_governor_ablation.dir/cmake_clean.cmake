@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_governor_ablation.dir/opt_governor_ablation.cc.o"
+  "CMakeFiles/opt_governor_ablation.dir/opt_governor_ablation.cc.o.d"
+  "opt_governor_ablation"
+  "opt_governor_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_governor_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

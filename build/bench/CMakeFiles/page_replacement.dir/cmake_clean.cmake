@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_replacement.dir/page_replacement.cc.o"
+  "CMakeFiles/page_replacement.dir/page_replacement.cc.o.d"
+  "page_replacement"
+  "page_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

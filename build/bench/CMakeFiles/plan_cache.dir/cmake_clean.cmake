@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_cache.dir/plan_cache.cc.o"
+  "CMakeFiles/plan_cache.dir/plan_cache.cc.o.d"
+  "plan_cache"
+  "plan_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/pool_damping_ablation.cc" "bench/CMakeFiles/pool_damping_ablation.dir/pool_damping_ablation.cc.o" "gcc" "bench/CMakeFiles/pool_damping_ablation.dir/pool_damping_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hdb_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/hdb_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/hdb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/hdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/hdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_damping_ablation.dir/pool_damping_ablation.cc.o"
+  "CMakeFiles/pool_damping_ablation.dir/pool_damping_ablation.cc.o.d"
+  "pool_damping_ablation"
+  "pool_damping_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_damping_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_coexistence.dir/embedded_coexistence.cc.o"
+  "CMakeFiles/embedded_coexistence.dir/embedded_coexistence.cc.o.d"
+  "embedded_coexistence"
+  "embedded_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

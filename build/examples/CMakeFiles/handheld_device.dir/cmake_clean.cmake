@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_device.dir/handheld_device.cc.o"
+  "CMakeFiles/handheld_device.dir/handheld_device.cc.o.d"
+  "handheld_device"
+  "handheld_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

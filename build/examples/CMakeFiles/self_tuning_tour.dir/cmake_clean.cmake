@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_tuning_tour.dir/self_tuning_tour.cc.o"
+  "CMakeFiles/self_tuning_tour.dir/self_tuning_tour.cc.o.d"
+  "self_tuning_tour"
+  "self_tuning_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_tuning_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("os")
+subdirs("storage")
+subdirs("txn")
+subdirs("catalog")
+subdirs("table")
+subdirs("index")
+subdirs("stats")
+subdirs("optimizer")
+subdirs("exec")
+subdirs("engine")
+subdirs("profile")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/hdb_catalog.dir/catalog.cc.o.d"
+  "libhdb_catalog.a"
+  "libhdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_common.dir/arena.cc.o"
+  "CMakeFiles/hdb_common.dir/arena.cc.o.d"
+  "CMakeFiles/hdb_common.dir/ophash.cc.o"
+  "CMakeFiles/hdb_common.dir/ophash.cc.o.d"
+  "CMakeFiles/hdb_common.dir/status.cc.o"
+  "CMakeFiles/hdb_common.dir/status.cc.o.d"
+  "CMakeFiles/hdb_common.dir/types.cc.o"
+  "CMakeFiles/hdb_common.dir/types.cc.o.d"
+  "CMakeFiles/hdb_common.dir/value.cc.o"
+  "CMakeFiles/hdb_common.dir/value.cc.o.d"
+  "libhdb_common.a"
+  "libhdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdb_common.a"
+)

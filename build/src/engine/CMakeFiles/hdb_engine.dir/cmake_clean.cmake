@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_engine.dir/binder.cc.o"
+  "CMakeFiles/hdb_engine.dir/binder.cc.o.d"
+  "CMakeFiles/hdb_engine.dir/database.cc.o"
+  "CMakeFiles/hdb_engine.dir/database.cc.o.d"
+  "CMakeFiles/hdb_engine.dir/lexer.cc.o"
+  "CMakeFiles/hdb_engine.dir/lexer.cc.o.d"
+  "CMakeFiles/hdb_engine.dir/parser.cc.o"
+  "CMakeFiles/hdb_engine.dir/parser.cc.o.d"
+  "libhdb_engine.a"
+  "libhdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_exec.dir/executor.cc.o"
+  "CMakeFiles/hdb_exec.dir/executor.cc.o.d"
+  "CMakeFiles/hdb_exec.dir/memory_governor.cc.o"
+  "CMakeFiles/hdb_exec.dir/memory_governor.cc.o.d"
+  "CMakeFiles/hdb_exec.dir/mpl_controller.cc.o"
+  "CMakeFiles/hdb_exec.dir/mpl_controller.cc.o.d"
+  "CMakeFiles/hdb_exec.dir/parallel.cc.o"
+  "CMakeFiles/hdb_exec.dir/parallel.cc.o.d"
+  "CMakeFiles/hdb_exec.dir/recursive_union.cc.o"
+  "CMakeFiles/hdb_exec.dir/recursive_union.cc.o.d"
+  "CMakeFiles/hdb_exec.dir/spill.cc.o"
+  "CMakeFiles/hdb_exec.dir/spill.cc.o.d"
+  "libhdb_exec.a"
+  "libhdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_index.dir/btree.cc.o"
+  "CMakeFiles/hdb_index.dir/btree.cc.o.d"
+  "libhdb_index.a"
+  "libhdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

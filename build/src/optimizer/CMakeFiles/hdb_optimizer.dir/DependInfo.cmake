@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/cost_model.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/cost_model.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/enumerator.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/enumerator.cc.o.d"
+  "/root/repo/src/optimizer/expr.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/expr.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/expr.cc.o.d"
+  "/root/repo/src/optimizer/governor.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/governor.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/governor.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/plan.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/plan.cc.o.d"
+  "/root/repo/src/optimizer/plan_cache.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/plan_cache.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/plan_cache.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/selectivity.cc.o" "gcc" "src/optimizer/CMakeFiles/hdb_optimizer.dir/selectivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hdb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/hdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/hdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hdb_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

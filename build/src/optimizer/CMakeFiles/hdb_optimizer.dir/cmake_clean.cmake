@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_optimizer.dir/cost_model.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/cost_model.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/enumerator.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/enumerator.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/expr.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/expr.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/governor.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/governor.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/plan.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/plan.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/plan_cache.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/plan_cache.cc.o.d"
+  "CMakeFiles/hdb_optimizer.dir/selectivity.cc.o"
+  "CMakeFiles/hdb_optimizer.dir/selectivity.cc.o.d"
+  "libhdb_optimizer.a"
+  "libhdb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

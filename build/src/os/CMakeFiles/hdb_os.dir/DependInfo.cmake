@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/dtt_model.cc" "src/os/CMakeFiles/hdb_os.dir/dtt_model.cc.o" "gcc" "src/os/CMakeFiles/hdb_os.dir/dtt_model.cc.o.d"
+  "/root/repo/src/os/memory_env.cc" "src/os/CMakeFiles/hdb_os.dir/memory_env.cc.o" "gcc" "src/os/CMakeFiles/hdb_os.dir/memory_env.cc.o.d"
+  "/root/repo/src/os/virtual_disk.cc" "src/os/CMakeFiles/hdb_os.dir/virtual_disk.cc.o" "gcc" "src/os/CMakeFiles/hdb_os.dir/virtual_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_os.dir/dtt_model.cc.o"
+  "CMakeFiles/hdb_os.dir/dtt_model.cc.o.d"
+  "CMakeFiles/hdb_os.dir/memory_env.cc.o"
+  "CMakeFiles/hdb_os.dir/memory_env.cc.o.d"
+  "CMakeFiles/hdb_os.dir/virtual_disk.cc.o"
+  "CMakeFiles/hdb_os.dir/virtual_disk.cc.o.d"
+  "libhdb_os.a"
+  "libhdb_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_profile.dir/analyzer.cc.o"
+  "CMakeFiles/hdb_profile.dir/analyzer.cc.o.d"
+  "CMakeFiles/hdb_profile.dir/index_consultant.cc.o"
+  "CMakeFiles/hdb_profile.dir/index_consultant.cc.o.d"
+  "CMakeFiles/hdb_profile.dir/tracer.cc.o"
+  "CMakeFiles/hdb_profile.dir/tracer.cc.o.d"
+  "libhdb_profile.a"
+  "libhdb_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/feedback.cc" "src/stats/CMakeFiles/hdb_stats.dir/feedback.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/feedback.cc.o.d"
+  "/root/repo/src/stats/greenwald.cc" "src/stats/CMakeFiles/hdb_stats.dir/greenwald.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/greenwald.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/hdb_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/join_histogram.cc" "src/stats/CMakeFiles/hdb_stats.dir/join_histogram.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/join_histogram.cc.o.d"
+  "/root/repo/src/stats/proc_stats.cc" "src/stats/CMakeFiles/hdb_stats.dir/proc_stats.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/proc_stats.cc.o.d"
+  "/root/repo/src/stats/stats_registry.cc" "src/stats/CMakeFiles/hdb_stats.dir/stats_registry.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/stats_registry.cc.o.d"
+  "/root/repo/src/stats/string_stats.cc" "src/stats/CMakeFiles/hdb_stats.dir/string_stats.cc.o" "gcc" "src/stats/CMakeFiles/hdb_stats.dir/string_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/hdb_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/hdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hdb_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_stats.dir/feedback.cc.o"
+  "CMakeFiles/hdb_stats.dir/feedback.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/greenwald.cc.o"
+  "CMakeFiles/hdb_stats.dir/greenwald.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/histogram.cc.o"
+  "CMakeFiles/hdb_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/join_histogram.cc.o"
+  "CMakeFiles/hdb_stats.dir/join_histogram.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/proc_stats.cc.o"
+  "CMakeFiles/hdb_stats.dir/proc_stats.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/stats_registry.cc.o"
+  "CMakeFiles/hdb_stats.dir/stats_registry.cc.o.d"
+  "CMakeFiles/hdb_stats.dir/string_stats.cc.o"
+  "CMakeFiles/hdb_stats.dir/string_stats.cc.o.d"
+  "libhdb_stats.a"
+  "libhdb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/hdb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/clock_replacer.cc" "src/storage/CMakeFiles/hdb_storage.dir/clock_replacer.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/clock_replacer.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/hdb_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/ext_hash.cc" "src/storage/CMakeFiles/hdb_storage.dir/ext_hash.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/ext_hash.cc.o.d"
+  "/root/repo/src/storage/heap.cc" "src/storage/CMakeFiles/hdb_storage.dir/heap.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/heap.cc.o.d"
+  "/root/repo/src/storage/lookaside_queue.cc" "src/storage/CMakeFiles/hdb_storage.dir/lookaside_queue.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/lookaside_queue.cc.o.d"
+  "/root/repo/src/storage/pool_governor.cc" "src/storage/CMakeFiles/hdb_storage.dir/pool_governor.cc.o" "gcc" "src/storage/CMakeFiles/hdb_storage.dir/pool_governor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/hdb_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

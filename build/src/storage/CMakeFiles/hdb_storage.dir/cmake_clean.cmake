@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/hdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/clock_replacer.cc.o"
+  "CMakeFiles/hdb_storage.dir/clock_replacer.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/hdb_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/ext_hash.cc.o"
+  "CMakeFiles/hdb_storage.dir/ext_hash.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/heap.cc.o"
+  "CMakeFiles/hdb_storage.dir/heap.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/lookaside_queue.cc.o"
+  "CMakeFiles/hdb_storage.dir/lookaside_queue.cc.o.d"
+  "CMakeFiles/hdb_storage.dir/pool_governor.cc.o"
+  "CMakeFiles/hdb_storage.dir/pool_governor.cc.o.d"
+  "libhdb_storage.a"
+  "libhdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

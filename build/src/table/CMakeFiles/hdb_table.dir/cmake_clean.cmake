@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_table.dir/row_codec.cc.o"
+  "CMakeFiles/hdb_table.dir/row_codec.cc.o.d"
+  "CMakeFiles/hdb_table.dir/table_heap.cc.o"
+  "CMakeFiles/hdb_table.dir/table_heap.cc.o.d"
+  "libhdb_table.a"
+  "libhdb_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/hdb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/hdb_txn.dir/transaction.cc.o"
+  "CMakeFiles/hdb_txn.dir/transaction.cc.o.d"
+  "libhdb_txn.a"
+  "libhdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

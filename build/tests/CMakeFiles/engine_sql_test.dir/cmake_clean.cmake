@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sql_test.dir/engine_sql_test.cc.o"
+  "CMakeFiles/engine_sql_test.dir/engine_sql_test.cc.o.d"
+  "engine_sql_test"
+  "engine_sql_test.pdb"
+  "engine_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

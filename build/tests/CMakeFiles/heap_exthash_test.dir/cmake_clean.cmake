@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_exthash_test.dir/heap_exthash_test.cc.o"
+  "CMakeFiles/heap_exthash_test.dir/heap_exthash_test.cc.o.d"
+  "heap_exthash_test"
+  "heap_exthash_test.pdb"
+  "heap_exthash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_exthash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_governor_test.dir/pool_governor_test.cc.o"
+  "CMakeFiles/pool_governor_test.dir/pool_governor_test.cc.o.d"
+  "pool_governor_test"
+  "pool_governor_test.pdb"
+  "pool_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_differential_test.dir/sql_differential_test.cc.o"
+  "CMakeFiles/sql_differential_test.dir/sql_differential_test.cc.o.d"
+  "sql_differential_test"
+  "sql_differential_test.pdb"
+  "sql_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_index_test.dir/table_index_test.cc.o"
+  "CMakeFiles/table_index_test.dir/table_index_test.cc.o.d"
+  "table_index_test"
+  "table_index_test.pdb"
+  "table_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
