@@ -1,0 +1,228 @@
+// Concurrent sessions: N threads, each with its own Connection, execute a
+// mixed read/write SQL workload against one Database. Reports throughput
+// scaling over 1/2/4/8 threads and the MplController's adaptation trace —
+// the §6 extension driven by real parallelism instead of a simulated
+// request stream. Writes BENCH_concurrent_sessions.json.
+//
+// Clients are closed-loop with a fixed think time between statements (the
+// standard TPC-style arrangement the paper's multiprogramming discussion
+// assumes): one session is latency-bound by its own think time, so adding
+// sessions raises throughput until the server saturates — which is what
+// makes the scaling number meaningful even on a small host.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+namespace {
+
+struct RunResult {
+  int threads = 0;
+  uint64_t completed = 0;
+  uint64_t aborted = 0;
+  uint64_t timed_out = 0;
+  double wall_seconds = 0;
+  double throughput = 0;  // completed statements / second
+  int mpl_end = 0;
+  int mpl_steps = 0;  // adaptation decisions that changed the MPL
+  std::vector<exec::MplController::Sample> mpl_trace;
+};
+
+engine::DatabaseOptions MakeOptions() {
+  engine::DatabaseOptions opts;
+  // Start the MPL low so the admission gate actually constrains the
+  // 4- and 8-thread runs; the hill climber must discover the capacity.
+  opts.memory_governor.multiprogramming_level = 2;
+  opts.mpl_controller.min_mpl = 1;
+  opts.mpl_controller.max_mpl = 32;
+  opts.mpl_controller.step = 2;
+  opts.mpl_controller.interval_micros = 50'000;  // virtual time
+  return opts;
+}
+
+/// Client think time between statements (closed loop).
+constexpr int64_t kThinkMicros = 400;
+
+RunResult RunMix(int threads, int read_pct, double seconds) {
+  BenchDb db(MakeOptions());
+  db.Exec("CREATE TABLE t (k INT NOT NULL, v INT)");
+  db.Exec("CREATE INDEX t_k ON t (k)");
+  {
+    std::vector<table::Row> rows;
+    rows.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(i % 13)});
+    }
+    db.Load("t", rows);
+  }
+
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> timed_out{0};
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto conn = db.db->Connect();
+      if (!conn.ok()) std::abort();
+      engine::Connection* c = conn->get();
+      const int base = 100'000 * (t + 1);  // disjoint DML key space
+      auto last_tick = std::chrono::steady_clock::now();
+      for (int i = 0; std::chrono::steady_clock::now() < deadline; ++i) {
+        std::string sql;
+        const int roll = i % 100;
+        if (roll < read_pct) {
+          sql = "SELECT v FROM t WHERE k < " + std::to_string(50 + i % 200);
+        } else if (roll % 3 == 0) {
+          sql = "INSERT INTO t VALUES (" + std::to_string(base + i) + ", 1)";
+        } else if (roll % 3 == 1) {
+          sql = "UPDATE t SET v = v + 1 WHERE k = " +
+                std::to_string(base + i - 100);
+        } else {
+          sql = "DELETE FROM t WHERE k = " + std::to_string(base + i - 200);
+        }
+        auto r = c->Execute(sql);
+        if (r.ok()) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().code() == StatusCode::kAborted) {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().code() == StatusCode::kResourceExhausted) {
+          timed_out.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::fprintf(stderr, "hard failure: %s -> %s\n", sql.c_str(),
+                       r.status().ToString().c_str());
+          std::abort();
+        }
+        // Each session thread advances the virtual clock by its own wall
+        // elapsed time, so governor/controller intervals elapse under load.
+        const auto now = std::chrono::steady_clock::now();
+        db.db->Tick(std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - last_tick)
+                        .count());
+        last_tick = now;
+        std::this_thread::sleep_for(std::chrono::microseconds(kThinkMicros));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult res;
+  res.threads = threads;
+  res.completed = completed.load();
+  res.aborted = aborted.load();
+  res.timed_out = timed_out.load();
+  res.wall_seconds =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1e6;
+  res.throughput = res.completed / res.wall_seconds;
+  res.mpl_end = db.db->memory_governor().multiprogramming_level();
+  res.mpl_trace = db.db->mpl_controller().history();
+  int prev_mpl = 2;
+  for (const auto& s : res.mpl_trace) {
+    if (s.mpl != prev_mpl) ++res.mpl_steps;
+    prev_mpl = s.mpl;
+  }
+  return res;
+}
+
+void PrintRuns(const char* title, const std::vector<RunResult>& runs) {
+  std::printf("\n=== %s ===\n", title);
+  PrintHeader({"threads", "stmts", "aborted", "gate_timeouts", "stmt_per_s",
+               "scaling", "mpl_end", "mpl_steps"});
+  const double base = runs.front().throughput;
+  for (const auto& r : runs) {
+    PrintRow({std::to_string(r.threads), std::to_string(r.completed),
+              std::to_string(r.aborted), std::to_string(r.timed_out),
+              Fmt(r.throughput, 0), Fmt(r.throughput / base, 2),
+              std::to_string(r.mpl_end), std::to_string(r.mpl_steps)});
+  }
+}
+
+void WriteRunsJson(std::FILE* f, const char* key,
+                   const std::vector<RunResult>& runs) {
+  const double base = runs.front().throughput;
+  std::fprintf(f, "  \"%s\": [\n", key);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"completed\": %llu, \"aborted\": "
+                 "%llu, \"gate_timeouts\": %llu, \"wall_seconds\": %.3f, "
+                 "\"throughput\": %.1f, \"scaling_vs_1\": %.3f, "
+                 "\"mpl_end\": %d, \"mpl_adaptation_steps\": %d}%s\n",
+                 r.threads, static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(r.aborted),
+                 static_cast<unsigned long long>(r.timed_out), r.wall_seconds,
+                 r.throughput, r.throughput / base, r.mpl_end, r.mpl_steps,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]");
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kSeconds = 0.6;
+  std::printf("concurrent sessions: mixed SQL on one Database, "
+              "host cores: %u, client think time: %lld us\n",
+              std::thread::hardware_concurrency(),
+              static_cast<long long>(kThinkMicros));
+
+  std::vector<RunResult> read_heavy, mixed;
+  for (const int n : {1, 2, 4, 8}) {
+    read_heavy.push_back(RunMix(n, /*read_pct=*/90, kSeconds));
+  }
+  for (const int n : {1, 2, 4, 8}) {
+    mixed.push_back(RunMix(n, /*read_pct=*/50, kSeconds));
+  }
+
+  PrintRuns("read-heavy (90% SELECT)", read_heavy);
+  PrintRuns("mixed (50% SELECT, 50% DML)", mixed);
+
+  // MPL adaptation trace of the 4-thread read-heavy run (Figure-style).
+  const RunResult& traced = read_heavy[2];
+  std::printf("\nMPL adaptation trace (4 threads, read-heavy):\n");
+  PrintHeader({"t_virt_ms", "mpl", "stmt_per_s", "dir"});
+  for (const auto& s : traced.mpl_trace) {
+    PrintRow({Fmt(s.at_micros / 1000.0, 0), std::to_string(s.mpl),
+              Fmt(s.throughput, 0), std::to_string(s.direction)});
+  }
+
+  std::FILE* f = std::fopen("BENCH_concurrent_sessions.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    WriteRunsJson(f, "read_heavy", read_heavy);
+    std::fprintf(f, ",\n");
+    WriteRunsJson(f, "mixed", mixed);
+    std::fprintf(f, ",\n  \"mpl_trace_4t_read_heavy\": [\n");
+    for (size_t i = 0; i < traced.mpl_trace.size(); ++i) {
+      const auto& s = traced.mpl_trace[i];
+      std::fprintf(f,
+                   "    {\"at_micros\": %lld, \"mpl\": %d, \"throughput\": "
+                   "%.1f, \"direction\": %d}%s\n",
+                   static_cast<long long>(s.at_micros), s.mpl, s.throughput,
+                   s.direction, i + 1 < traced.mpl_trace.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_concurrent_sessions.json\n");
+  }
+
+  const double scaling4 = read_heavy[2].throughput / read_heavy[0].throughput;
+  std::printf("\nread-heavy scaling at 4 threads: %.2fx (%s), "
+              "MPL adaptation steps: %d\n",
+              scaling4, scaling4 > 1.5 ? "PASS >1.5x" : "BELOW 1.5x",
+              traced.mpl_steps);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef HDB_CATALOG_SCHEMA_H_
 #define HDB_CATALOG_SCHEMA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,6 +10,47 @@
 #include "storage/page.h"
 
 namespace hdb::catalog {
+
+/// Copyable relaxed-atomic counter. Writers are serialized by the owning
+/// object's latch (TableHeap / BTree); the atomicity is for lock-free
+/// readers — the optimizer reads row/page counts mid-flight without
+/// taking any table latch.
+template <typename T>
+class RelaxedCounter {
+ public:
+  RelaxedCounter(T v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    set(o.get());
+    return *this;
+  }
+  RelaxedCounter& operator=(T v) {
+    set(v);
+    return *this;
+  }
+
+  T get() const { return v_.load(std::memory_order_relaxed); }
+  void set(T v) { v_.store(v, std::memory_order_relaxed); }
+  operator T() const { return get(); }
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  T operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter& operator--() {
+    v_.fetch_sub(1, std::memory_order_relaxed);
+    return *this;
+  }
+  T operator--(int) { return v_.fetch_sub(1, std::memory_order_relaxed); }
+  RelaxedCounter& operator+=(T d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<T> v_;
+};
 
 struct ColumnDef {
   std::string name;
@@ -30,11 +72,13 @@ struct TableDef {
   std::string name;
   std::vector<ColumnDef> columns;
 
-  // Storage cursor, maintained by the table heap.
+  // Storage cursor, maintained by the table heap (under its latch).
   storage::PageId first_page = storage::kInvalidPageId;
   storage::PageId last_page = storage::kInvalidPageId;
-  uint64_t row_count = 0;
-  uint64_t page_count = 0;
+  // Live table statistics (paper §3.2): written under the table latch,
+  // read lock-free by the optimizer while other connections run DML.
+  RelaxedCounter<uint64_t> row_count = 0;
+  RelaxedCounter<uint64_t> page_count = 0;
 
   int ColumnIndex(const std::string& column_name) const {
     for (size_t i = 0; i < columns.size(); ++i) {

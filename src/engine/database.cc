@@ -38,6 +38,13 @@ std::string ToSqlLiteral(const Value& v) {
   return v.ToString();
 }
 
+/// RAII statement-nesting counter (see Connection::exec_depth_).
+struct DepthGuard {
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+  int* depth_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -85,6 +92,11 @@ Status Database::Init() {
   memory_governor_ = std::make_unique<exec::MemoryGovernor>(
       pool_.get(), options_.memory_governor);
 
+  mpl_controller_ = std::make_unique<exec::MplController>(
+      memory_governor_.get(), &clock_, options_.mpl_controller);
+  admission_gate_ = std::make_unique<exec::AdmissionGate>(
+      memory_governor_.get(), options_.admission_gate);
+
   catalog_ = std::make_unique<catalog::Catalog>();
   lock_manager_ = std::make_unique<txn::LockManager>(pool_.get());
   txn_manager_ = std::make_unique<txn::TransactionManager>(
@@ -93,11 +105,12 @@ Status Database::Init() {
 }
 
 Result<std::unique_ptr<Connection>> Database::Connect() {
-  ++connections_;
+  connections_.fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<Connection>(new Connection(this));
 }
 
 table::TableHeap* Database::heap(uint32_t table_oid) {
+  std::lock_guard<std::mutex> lock(objects_mu_);
   auto it = heaps_.find(table_oid);
   if (it != heaps_.end()) return it->second.get();
   auto def = catalog_->GetTableByOid(table_oid);
@@ -109,6 +122,7 @@ table::TableHeap* Database::heap(uint32_t table_oid) {
 }
 
 index::BTree* Database::btree(uint32_t index_oid) {
+  std::lock_guard<std::mutex> lock(objects_mu_);
   auto it = btrees_.find(index_oid);
   return it == btrees_.end() ? nullptr : it->second.get();
 }
@@ -139,10 +153,18 @@ optimizer::IndexProber Database::IndexProber() {
 void Database::Tick(int64_t micros) {
   clock_.Advance(micros);
   pool_governor_->MaybePoll();
+  // A raised MPL frees admission slots: wake queued requests.
+  if (mpl_controller_->MaybeAdapt()) admission_gate_->Poke();
 }
 
 Status Database::LoadTable(const std::string& table,
                            const std::vector<table::Row>& rows) {
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  return LoadTableLocked(table, rows);
+}
+
+Status Database::LoadTableLocked(const std::string& table,
+                                 const std::vector<table::Row>& rows) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(table));
   table::TableHeap* h = heap(def->oid);
   const auto indexes = catalog_->TableIndexes(def->oid);
@@ -158,12 +180,17 @@ Status Database::LoadTable(const std::string& table,
   }
   // LOAD TABLE (re)creates histograms for every column (paper §3.2).
   for (size_t c = 0; c < def->columns.size(); ++c) {
-    HDB_RETURN_IF_ERROR(BuildStatistics(table, static_cast<int>(c)));
+    HDB_RETURN_IF_ERROR(BuildStatisticsLocked(table, static_cast<int>(c)));
   }
   return Status::OK();
 }
 
 Status Database::BuildStatistics(const std::string& table, int column) {
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  return BuildStatisticsLocked(table, column);
+}
+
+Status Database::BuildStatisticsLocked(const std::string& table, int column) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(table));
   if (column < 0 || column >= static_cast<int>(def->columns.size())) {
     return Status::InvalidArgument("bad column index");
@@ -187,6 +214,11 @@ Status Database::BuildStatistics(const std::string& table, int column) {
 }
 
 Status Database::Calibrate(const os::CalibrationOptions& opts) {
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  return CalibrateLocked(opts);
+}
+
+Status Database::CalibrateLocked(const os::CalibrationOptions& opts) {
   os::VirtualDisk* device = disk_->device();
   if (device == nullptr) {
     return Status::NotSupported("no device attached to calibrate");
@@ -254,26 +286,35 @@ Status Database::CreateIndexImpl(const CreateIndexAst& ast) {
     return status.ok();
   }));
   HDB_RETURN_IF_ERROR(status);
-  btrees_[idx->oid] = std::move(tree);
+  {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    btrees_[idx->oid] = std::move(tree);
+  }
 
   // Index creation also creates the leading column's histogram (§3.2).
-  return BuildStatistics(ast.table, cols[0]);
+  return BuildStatisticsLocked(ast.table, cols[0]);
 }
 
 Status Database::DropTableImpl(const std::string& name) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(name));
   const uint32_t oid = def->oid;
-  for (catalog::IndexDef* idx : catalog_->TableIndexes(oid)) {
-    btrees_.erase(idx->oid);
+  {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    for (catalog::IndexDef* idx : catalog_->TableIndexes(oid)) {
+      btrees_.erase(idx->oid);
+    }
+    heaps_.erase(oid);
   }
-  heaps_.erase(oid);
   stats_.DropTable(oid);
   return catalog_->DropTable(name);
 }
 
 Status Database::DropIndexImpl(const std::string& name) {
   HDB_ASSIGN_OR_RETURN(catalog::IndexDef * idx, catalog_->GetIndex(name));
-  btrees_.erase(idx->oid);
+  {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    btrees_.erase(idx->oid);
+  }
   return catalog_->DropIndex(name);
 }
 
@@ -286,10 +327,13 @@ Connection::Connection(Database* db)
 
 Connection::~Connection() {
   if (txn_ != nullptr) {
+    // Rollback touches table heaps: hold the DDL latch shared like any
+    // other statement would.
+    std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
     (void)db_->txn_manager().Abort(
         txn_, [this](const txn::UndoRecord& rec) { return ApplyUndo(rec); });
   }
-  --db_->connections_;
+  db_->connections_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 optimizer::OptimizerContext Connection::MakeOptimizerContext() {
@@ -707,6 +751,67 @@ Result<QueryResult> Connection::ExecuteCall(const CallAst& ast) {
 
 Result<QueryResult> Connection::Execute(const std::string& sql) {
   HDB_ASSIGN_OR_RETURN(StatementAst stmt, Parse(sql));
+
+  // Procedure-body recursion: the top-level statement already holds the
+  // DDL latch and the admission slot; just dispatch.
+  if (exec_depth_ > 0) return ExecuteParsed(stmt, sql);
+
+  // DDL runs exclusive against every other statement; queries, DML and
+  // transaction control run shared. CALIBRATE rewrites the catalog's cost
+  // model, so it counts as DDL.
+  const bool is_ddl =
+      std::holds_alternative<CreateTableAst>(stmt) ||
+      std::holds_alternative<CreateIndexAst>(stmt) ||
+      std::holds_alternative<CreateStatisticsAst>(stmt) ||
+      std::holds_alternative<CreateProcedureAst>(stmt) ||
+      std::holds_alternative<DropAst>(stmt) ||
+      std::holds_alternative<SetOptionAst>(stmt) ||
+      (std::holds_alternative<SimpleAst>(stmt) &&
+       std::get<SimpleAst>(stmt).kind == SimpleAst::kCalibrate);
+
+  // Workload statements pass the admission gate: at most MPL of them run
+  // at once, which is what makes the memory governor's per-request soft
+  // limit (Eq. (5) = pool / MPL) a real bound.
+  const bool gated = std::holds_alternative<SelectAst>(stmt) ||
+                     std::holds_alternative<InsertAst>(stmt) ||
+                     std::holds_alternative<UpdateAst>(stmt) ||
+                     std::holds_alternative<DeleteAst>(stmt) ||
+                     std::holds_alternative<CallAst>(stmt);
+
+  exec::AdmissionGate::Ticket ticket;
+  if (gated) {
+    auto admitted = db_->admission_gate().Admit();
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(*admitted);
+  }
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    DepthGuard depth(&exec_depth_);
+    if (is_ddl) {
+      std::unique_lock<std::shared_mutex> ddl(db_->ddl_mu_);
+      return ExecuteParsed(stmt, sql);
+    }
+    std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
+    return ExecuteParsed(stmt, sql);
+  }();
+
+  if (gated) {
+    // Release the slot before reporting completion so a queued request
+    // can start inside the interval its predecessor just finished in.
+    ticket.Release();
+    db_->mpl_controller().OnRequestComplete();
+    if (db_->mpl_controller().MaybeAdapt()) db_->admission_gate().Poke();
+  }
+
+  // Emit traces only now, with latch and slot released: the hook may run
+  // SQL of its own (e.g. the profiler's same-database trace sink).
+  for (const TraceEvent& ev : pending_traces_) db_->EmitTrace(ev);
+  pending_traces_.clear();
+  return result;
+}
+
+Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
+                                              const std::string& sql) {
   const double start = WallMicros();
   QueryResult out;
   TraceEvent ev;
@@ -740,13 +845,13 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
     if (cs.columns.empty()) {
       for (size_t c = 0; c < def->columns.size(); ++c) {
         HDB_RETURN_IF_ERROR(
-            db_->BuildStatistics(cs.table, static_cast<int>(c)));
+            db_->BuildStatisticsLocked(cs.table, static_cast<int>(c)));
       }
     } else {
       for (const std::string& col : cs.columns) {
         const int c = def->ColumnIndex(col);
         if (c < 0) return Status::NotFound("column " + col);
-        HDB_RETURN_IF_ERROR(db_->BuildStatistics(cs.table, c));
+        HDB_RETURN_IF_ERROR(db_->BuildStatisticsLocked(cs.table, c));
       }
     }
   } else if (std::holds_alternative<CreateProcedureAst>(stmt)) {
@@ -792,7 +897,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
         }
         break;
       case SimpleAst::kCalibrate:
-        HDB_RETURN_IF_ERROR(db_->Calibrate());
+        HDB_RETURN_IF_ERROR(db_->CalibrateLocked({}));
         break;
     }
   }
@@ -801,7 +906,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
   ev.rows_returned = out.rows.size();
   ev.rows_scanned = out.exec_stats.rows_scanned;
   ev.bypassed_optimizer = out.diag.bypassed;
-  db_->EmitTrace(ev);
+  pending_traces_.push_back(std::move(ev));
   return out;
 }
 

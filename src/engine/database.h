@@ -1,9 +1,12 @@
 #ifndef HDB_ENGINE_DATABASE_H_
 #define HDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,8 +14,10 @@
 #include "common/result.h"
 #include "engine/binder.h"
 #include "engine/parser.h"
+#include "exec/admission_gate.h"
 #include "exec/executor.h"
 #include "exec/memory_governor.h"
+#include "exec/mpl_controller.h"
 #include "index/btree.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
@@ -44,6 +49,8 @@ struct DatabaseOptions {
 
   storage::PoolGovernorOptions pool_governor;
   exec::MemoryGovernorOptions memory_governor;
+  exec::MplControllerOptions mpl_controller;
+  exec::AdmissionGateOptions admission_gate;
   optimizer::GovernorOptions optimizer_governor;
   size_t optimizer_arena_bytes = 0;
   optimizer::PlanCacheOptions plan_cache;
@@ -82,6 +89,13 @@ class Connection;
 /// these only work *in concert*). Databases start on first Connect and can
 /// be dropped when the last connection closes — the zero-administration
 /// embedding model of §1.
+///
+/// Thread safety: a Database is shared by concurrently executing
+/// Connections (one thread per connection). Queries and DML run under a
+/// shared DDL latch; DDL (CREATE/DROP/statistics rebuilds/CALIBRATE) runs
+/// exclusive, so it never races object lookups. The heap/btree maps have
+/// their own mutex; counters are atomic. A Connection itself is NOT
+/// thread-safe — each belongs to one thread at a time.
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
@@ -91,7 +105,9 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   Result<std::unique_ptr<Connection>> Connect();
-  int connection_count() const { return connections_; }
+  int connection_count() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
 
   // --- Subsystem access (benches, tests, profiler) ---
   catalog::Catalog& catalog() { return *catalog_; }
@@ -99,6 +115,8 @@ class Database {
   storage::DiskManager& disk() { return *disk_; }
   storage::PoolGovernor& pool_governor() { return *pool_governor_; }
   exec::MemoryGovernor& memory_governor() { return *memory_governor_; }
+  exec::MplController& mpl_controller() { return *mpl_controller_; }
+  exec::AdmissionGate& admission_gate() { return *admission_gate_; }
   os::VirtualClock& clock() { return clock_; }
   os::MemoryEnv& memory_env() { return *memory_env_; }
   stats::StatsRegistry& stats() { return stats_; }
@@ -112,7 +130,8 @@ class Database {
   const index::IndexStats* index_stats(uint32_t index_oid);
 
   /// Advances virtual time and runs the periodic self-management work
-  /// (buffer-pool governor polling).
+  /// (buffer-pool governor polling, MPL adaptation). Safe to call from any
+  /// session thread while others execute SQL.
   void Tick(int64_t micros);
 
   /// Bulk load: appends rows and (re)builds statistics for every column —
@@ -126,9 +145,14 @@ class Database {
   /// catalog (paper §4.2).
   Status Calibrate(const os::CalibrationOptions& opts = {});
 
-  /// Subscribe to request traces (Application Profiling, §5).
+  /// Subscribe to request traces (Application Profiling, §5). May be
+  /// called while other threads execute; the hook itself must be
+  /// thread-safe (it runs on whichever session thread finished a request).
   using TraceHook = std::function<void(const TraceEvent&)>;
-  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+  void set_trace_hook(TraceHook hook) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_hook_ = std::move(hook);
+  }
 
   /// Index statistics provider for the optimizer.
   optimizer::IndexStatsProvider IndexStatsProvider();
@@ -142,13 +166,23 @@ class Database {
   explicit Database(DatabaseOptions options);
   Status Init();
 
+  // DDL bodies; callers hold ddl_mu_ exclusively.
   Status CreateTableImpl(const CreateTableAst& ast);
   Status CreateIndexImpl(const CreateIndexAst& ast);
   Status DropTableImpl(const std::string& name);
   Status DropIndexImpl(const std::string& name);
+  Status LoadTableLocked(const std::string& table,
+                         const std::vector<table::Row>& rows);
+  Status BuildStatisticsLocked(const std::string& table, int column);
+  Status CalibrateLocked(const os::CalibrationOptions& opts);
 
   void EmitTrace(const TraceEvent& ev) {
-    if (trace_hook_) trace_hook_(ev);
+    TraceHook hook;
+    {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      hook = trace_hook_;
+    }
+    if (hook) hook(ev);
   }
 
   DatabaseOptions options_;
@@ -158,21 +192,38 @@ class Database {
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::PoolGovernor> pool_governor_;
   std::unique_ptr<exec::MemoryGovernor> memory_governor_;
+  std::unique_ptr<exec::MplController> mpl_controller_;
+  std::unique_ptr<exec::AdmissionGate> admission_gate_;
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<txn::LockManager> lock_manager_;
   std::unique_ptr<txn::TransactionManager> txn_manager_;
   stats::StatsRegistry stats_;
   stats::ProcStatsRegistry proc_stats_;
 
+  /// Statement-level DDL latch: queries and DML hold it shared, DDL holds
+  /// it exclusive. Guarantees heap()/btree() pointers stay valid for the
+  /// duration of a statement without per-row object locking.
+  mutable std::shared_mutex ddl_mu_;
+
+  /// Guards the lazily populated object maps below (lookup + creation).
+  /// The mapped objects themselves carry their own latches.
+  mutable std::mutex objects_mu_;
   std::map<uint32_t, std::unique_ptr<table::TableHeap>> heaps_;
   std::map<uint32_t, std::unique_ptr<index::BTree>> btrees_;
 
+  mutable std::mutex trace_mu_;
   TraceHook trace_hook_;
-  int connections_ = 0;
+  std::atomic<int> connections_{0};
 };
 
 /// A client connection: SQL execution, per-connection plan cache,
 /// autocommit transactions.
+///
+/// A Connection is single-threaded (one owning thread at a time), but any
+/// number of Connections on the same Database may Execute concurrently.
+/// Each top-level statement takes the database's DDL latch (shared or
+/// exclusive) and — for queries/DML/CALL — an admission-gate slot bounded
+/// by the current multiprogramming level.
 class Connection {
  public:
   ~Connection();
@@ -180,7 +231,8 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Parses and executes one statement.
+  /// Parses and executes one statement. May block in the admission gate;
+  /// returns kResourceExhausted if the queue wait times out.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// EXPLAIN convenience: optimizes and renders without executing.
@@ -192,6 +244,12 @@ class Connection {
  private:
   friend class Database;
   explicit Connection(Database* db);
+
+  /// Dispatches a parsed statement. Assumes the caller already holds the
+  /// appropriate DDL latch and admission slot (Execute at depth 0 does;
+  /// procedure-body recursion inherits the outer statement's).
+  Result<QueryResult> ExecuteParsed(StatementAst& stmt,
+                                    const std::string& sql);
 
   Result<QueryResult> ExecuteSelect(
       const SelectAst& ast,
@@ -223,6 +281,13 @@ class Connection {
   Database* db_;
   optimizer::PlanCache plan_cache_;
   txn::Transaction* txn_ = nullptr;  // explicit transaction, if any
+  /// Statement nesting depth: >0 inside a procedure body, where locks and
+  /// the admission slot are inherited from the top-level statement.
+  int exec_depth_ = 0;
+  /// Trace events collected while the DDL latch is held; emitted by the
+  /// top-level Execute after the latch drops, so a trace hook may itself
+  /// execute SQL (the profiler's same-database sink does).
+  std::vector<TraceEvent> pending_traces_;
 };
 
 }  // namespace hdb::engine

@@ -1,0 +1,67 @@
+#include "exec/admission_gate.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hdb::exec {
+
+void AdmissionGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->ReleaseSlot();
+    gate_ = nullptr;
+  }
+}
+
+AdmissionGate::AdmissionGate(MemoryGovernor* governor,
+                             AdmissionGateOptions options)
+    : governor_(governor), options_(options) {}
+
+Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
+  if (!options_.enabled) return Ticket();
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto capacity = [this] {
+    return static_cast<uint64_t>(
+        std::max(1, governor_->multiprogramming_level()));
+  };
+  if (active_ < capacity()) {
+    ++active_;
+    ++admitted_immediately_;
+    return Ticket(this);
+  }
+  ++waiting_;
+  const bool admitted = cv_.wait_for(
+      lock, std::chrono::microseconds(options_.queue_timeout_micros),
+      [&] { return active_ < capacity(); });
+  --waiting_;
+  if (!admitted) {
+    ++timed_out_;
+    return Status::ResourceExhausted(
+        "admission queue timeout: server at multiprogramming level");
+  }
+  ++active_;
+  ++admitted_after_wait_;
+  return Ticket(this);
+}
+
+void AdmissionGate::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ > 0) --active_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionGate::Poke() { cv_.notify_all(); }
+
+AdmissionGateStats AdmissionGate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionGateStats s;
+  s.admitted_immediately = admitted_immediately_;
+  s.admitted_after_wait = admitted_after_wait_;
+  s.timed_out = timed_out_;
+  s.active = active_;
+  s.waiting = waiting_;
+  return s;
+}
+
+}  // namespace hdb::exec

@@ -1,0 +1,109 @@
+#ifndef HDB_EXEC_ADMISSION_GATE_H_
+#define HDB_EXEC_ADMISSION_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/memory_governor.h"
+
+namespace hdb::exec {
+
+struct AdmissionGateOptions {
+  /// Wall-clock bound on how long a request may sit in the admission
+  /// queue before it is rejected with kResourceExhausted. Wall time, not
+  /// virtual time: a queued thread is genuinely blocked and nothing else
+  /// advances the virtual clock on its behalf.
+  int64_t queue_timeout_micros = 5'000'000;
+  /// When false, Admit() always succeeds immediately (single-session
+  /// embedders pay nothing).
+  bool enabled = true;
+};
+
+struct AdmissionGateStats {
+  uint64_t admitted_immediately = 0;
+  uint64_t admitted_after_wait = 0;
+  uint64_t timed_out = 0;
+  uint64_t active = 0;   // requests currently admitted
+  uint64_t waiting = 0;  // requests currently queued
+};
+
+/// Concurrency throttle in front of the executor. At most
+/// `MemoryGovernor::multiprogramming_level()` requests run at once — the
+/// same MPL that is the denominator of the memory governor's soft limit,
+/// Eq. (5) = pool size / MPL. Gating admission on the MPL is what makes
+/// Eq. (5) honest: the per-request soft limit assumes at most MPL
+/// requests share the pool, so the gate enforces that assumption. Excess
+/// requests queue on a condition variable and time out after
+/// `queue_timeout_micros`.
+///
+/// The capacity is read from the governor on every admission check, so an
+/// MplController raising the MPL takes effect immediately; lowering it
+/// never cancels already-admitted requests, it only delays new ones.
+///
+/// Thread safety: fully thread-safe; this class exists to be shared.
+class AdmissionGate {
+ public:
+  /// RAII admission slot. Releasing (destruction) wakes one queued
+  /// waiter. A default-constructed ticket holds nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    ~Ticket() { Release(); }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    void Release();
+    bool holds_slot() const { return gate_ != nullptr; }
+
+   private:
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  AdmissionGate(MemoryGovernor* governor, AdmissionGateOptions options = {});
+
+  /// Blocks until a slot is free (or one frees within the timeout).
+  /// Returns kResourceExhausted when the queue wait times out.
+  Result<Ticket> Admit();
+
+  /// Wakes all waiters so they re-check capacity; call after raising the
+  /// MPL (slot releases wake waiters on their own).
+  void Poke();
+
+  /// Current capacity = the governor's multiprogramming level.
+  int capacity() const { return governor_->multiprogramming_level(); }
+
+  AdmissionGateStats stats() const;
+  const AdmissionGateOptions& options() const { return options_; }
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot();
+
+  MemoryGovernor* governor_;
+  AdmissionGateOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t active_ = 0;
+  uint64_t waiting_ = 0;
+  uint64_t admitted_immediately_ = 0;
+  uint64_t admitted_after_wait_ = 0;
+  uint64_t timed_out_ = 0;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_ADMISSION_GATE_H_

@@ -10,15 +10,32 @@ MplController::MplController(MemoryGovernor* governor,
     : governor_(governor), clock_(clock), options_(options),
       interval_start_(clock->NowMicros()) {}
 
-void MplController::OnRequestComplete() { ++completed_in_interval_; }
+void MplController::OnRequestComplete() {
+  completed_in_interval_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<MplController::Sample> MplController::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
 
 bool MplController::MaybeAdapt() {
+  // Cheap unlatched gate: every completed request may call this, and most
+  // calls land mid-interval.
+  if (clock_->NowMicros() -
+          interval_start_.load(std::memory_order_relaxed) <
+      options_.interval_micros) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   const int64_t now = clock_->NowMicros();
-  if (now - interval_start_ < options_.interval_micros) return false;
-  const double seconds =
-      static_cast<double>(now - interval_start_) / 1e6;
+  const int64_t start = interval_start_.load(std::memory_order_relaxed);
+  if (now - start < options_.interval_micros) return false;  // lost race
+  const double seconds = static_cast<double>(now - start) / 1e6;
+  const uint64_t completed =
+      completed_in_interval_.exchange(0, std::memory_order_relaxed);
   const double throughput =
-      seconds > 0 ? static_cast<double>(completed_in_interval_) / seconds : 0;
+      seconds > 0 ? static_cast<double>(completed) / seconds : 0;
 
   int mpl = governor_->multiprogramming_level();
   if (last_throughput_ >= 0) {
@@ -36,8 +53,7 @@ bool MplController::MaybeAdapt() {
   }
   history_.push_back(Sample{now, mpl, throughput, direction_});
   last_throughput_ = throughput;
-  completed_in_interval_ = 0;
-  interval_start_ = now;
+  interval_start_.store(now, std::memory_order_relaxed);
   return true;
 }
 

@@ -1,7 +1,9 @@
 #ifndef HDB_EXEC_MPL_CONTROLLER_H_
 #define HDB_EXEC_MPL_CONTROLLER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "exec/memory_governor.h"
@@ -26,6 +28,10 @@ struct MplControllerOptions {
 /// requests per second against the previous interval; if throughput
 /// improved, keep moving the MPL in the same direction, otherwise reverse.
 /// The MPL feeds straight into the memory governor's Eq. (5) denominator.
+///
+/// Thread safety: OnRequestComplete is lock-free (relaxed counter) so
+/// session threads never serialize on the controller's mutex just to
+/// report completions; MaybeAdapt and history() take the mutex.
 class MplController {
  public:
   using Options = MplControllerOptions;
@@ -40,22 +46,26 @@ class MplController {
   MplController(MemoryGovernor* governor, os::VirtualClock* clock,
                 Options options = {});
 
-  /// Report one completed request.
+  /// Report one completed request. Lock-free; callable from any thread.
   void OnRequestComplete();
 
   /// Runs one control step if the interval has elapsed. Returns true when
   /// an adaptation decision was made.
   bool MaybeAdapt();
 
-  const std::vector<Sample>& history() const { return history_; }
+  /// Snapshot of the decision trace (copied: concurrent adapts may append).
+  std::vector<Sample> history() const;
 
  private:
   MemoryGovernor* governor_;
   os::VirtualClock* clock_;
   Options options_;
 
-  int64_t interval_start_;
-  uint64_t completed_in_interval_ = 0;
+  /// Guards the control state and the history; the completion counter is
+  /// a relaxed atomic so it can be bumped outside the mutex.
+  mutable std::mutex mu_;
+  std::atomic<int64_t> interval_start_;
+  std::atomic<uint64_t> completed_in_interval_{0};
   double last_throughput_ = -1;
   int direction_ = +1;
   std::vector<Sample> history_;

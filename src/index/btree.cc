@@ -94,6 +94,11 @@ Result<PageId> BTree::NewNode(bool is_leaf) {
 }
 
 Status BTree::Init() {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  return InitLocked();
+}
+
+Status BTree::InitLocked() {
   if (def_->root_page != kInvalidPageId) return Status::OK();
   HDB_ASSIGN_OR_RETURN(def_->root_page, NewNode(/*is_leaf=*/true));
   stats_.leaf_pages = 1;
@@ -279,7 +284,8 @@ Result<std::optional<BTree::SplitResult>> BTree::InsertRec(PageId node,
 }
 
 Status BTree::Insert(double key, Rid rid) {
-  HDB_RETURN_IF_ERROR(Init());
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  HDB_RETURN_IF_ERROR(InitLocked());
   HDB_ASSIGN_OR_RETURN(auto split, InsertRec(def_->root_page, key, rid));
   if (split.has_value()) {
     // Grow a new root.
@@ -335,6 +341,13 @@ Result<PageId> BTree::FindLeaf(double key) const {
 Status BTree::ScanRange(double lo, bool lo_inclusive, double hi,
                         bool hi_inclusive,
                         const std::function<bool(double, Rid)>& fn) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  return ScanRangeLocked(lo, lo_inclusive, hi, hi_inclusive, fn);
+}
+
+Status BTree::ScanRangeLocked(
+    double lo, bool lo_inclusive, double hi, bool hi_inclusive,
+    const std::function<bool(double, Rid)>& fn) const {
   if (def_->root_page == kInvalidPageId) return Status::OK();
   HDB_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(lo));
   while (leaf != kInvalidPageId) {
@@ -354,18 +367,20 @@ Status BTree::ScanRange(double lo, bool lo_inclusive, double hi,
 }
 
 Result<bool> BTree::Contains(double key) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   bool found = false;
-  HDB_RETURN_IF_ERROR(ScanRange(key, true, key, true,
-                                [&found](double, Rid) {
-                                  found = true;
-                                  return false;
-                                }));
+  HDB_RETURN_IF_ERROR(ScanRangeLocked(key, true, key, true,
+                                      [&found](double, Rid) {
+                                        found = true;
+                                        return false;
+                                      }));
   return found;
 }
 
 Result<uint64_t> BTree::CountRange(double lo, double hi) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   uint64_t n = 0;
-  HDB_RETURN_IF_ERROR(ScanRange(lo, true, hi, true, [&n](double, Rid) {
+  HDB_RETURN_IF_ERROR(ScanRangeLocked(lo, true, hi, true, [&n](double, Rid) {
     ++n;
     return true;
   }));
@@ -373,6 +388,7 @@ Result<uint64_t> BTree::CountRange(double lo, double hi) const {
 }
 
 Status BTree::Remove(double key, Rid rid) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   if (def_->root_page == kInvalidPageId) return Status::NotFound("empty");
   HDB_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
   while (leaf != kInvalidPageId) {

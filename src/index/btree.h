@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -16,24 +17,27 @@ namespace hdb::index {
 /// operation (paper §3.2: "index statistics, such as the number of
 /// distinct values, number of leaf pages, and clustering statistics, are
 /// maintained in real time").
+/// Counters are relaxed atomics: writers hold the tree's latch, but the
+/// optimizer's cost model reads through an IndexStatsProvider pointer with
+/// no latch while other connections insert.
 struct IndexStats {
-  uint64_t num_entries = 0;
-  uint64_t leaf_pages = 0;
+  catalog::RelaxedCounter<uint64_t> num_entries = 0;
+  catalog::RelaxedCounter<uint64_t> leaf_pages = 0;
   /// Distinct key estimate maintained by neighbor comparison at
   /// insert/delete time (exact within a leaf, approximate at boundaries).
-  uint64_t distinct_keys = 0;
+  catalog::RelaxedCounter<uint64_t> distinct_keys = 0;
   /// Of all inserts, how many landed on the same or an adjacent heap page
   /// as their *key-order predecessor* in the leaf — a clustering measure
   /// in [0,1] the cost model turns into an I/O band size. (Key-order
   /// adjacency is what matters: an index range scan fetches rows in key
   /// order.)
-  uint64_t clustered_inserts = 0;
-  uint64_t total_inserts = 0;
+  catalog::RelaxedCounter<uint64_t> clustered_inserts = 0;
+  catalog::RelaxedCounter<uint64_t> total_inserts = 0;
 
   double clustering_fraction() const {
-    return total_inserts == 0
-               ? 1.0
-               : static_cast<double>(clustered_inserts) / total_inserts;
+    const uint64_t total = total_inserts;
+    return total == 0 ? 1.0
+                      : static_cast<double>(clustered_inserts.get()) / total;
   }
 };
 
@@ -80,6 +84,10 @@ class BTree {
     storage::PageId right_page;
   };
 
+  Status InitLocked();
+  Status ScanRangeLocked(double lo, bool lo_inclusive, double hi,
+                         bool hi_inclusive,
+                         const std::function<bool(double, Rid)>& fn) const;
   Result<storage::PageId> NewNode(bool is_leaf);
   Result<std::optional<SplitResult>> InsertRec(storage::PageId node,
                                                double key, Rid rid);
@@ -92,6 +100,11 @@ class BTree {
   // Heap page of the key-order predecessor of the entry just inserted
   // (set by InsertRec; kInvalidPageId when the entry became the minimum).
   storage::PageId last_pred_heap_page_ = storage::kInvalidPageId;
+  /// Tree-level reader/writer latch: page bytes are mutated through
+  /// pinned handles outside the buffer pool's latch, so structural
+  /// modifications (Insert/Remove, root growth) are exclusive while
+  /// lookups and range scans share.
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace hdb::index

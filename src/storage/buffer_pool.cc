@@ -191,6 +191,11 @@ Status BufferPool::FlushPage(SpacePageId spid) {
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < frames_.size(); ++i) {
+    // Skip pinned frames: their holder may be mutating the page bytes
+    // right now (page content is only guarded by the owner's table/index
+    // latch, not the pool latch). They reach disk on eviction or on the
+    // next FlushAll after release.
+    if (frames_[i].pin_count > 0) continue;
     HDB_RETURN_IF_ERROR(FlushFrameLocked(static_cast<uint32_t>(i)));
   }
   return Status::OK();

@@ -17,7 +17,8 @@ PoolGovernor::PoolGovernor(BufferPool* pool, os::MemoryEnv* env,
 
 uint64_t PoolGovernor::ReportedAllocation() const {
   return pool_->CurrentBytes() + options_.fixed_overhead_bytes +
-         static_cast<uint64_t>(std::max<int64_t>(0, main_heap_bytes_));
+         static_cast<uint64_t>(std::max<int64_t>(
+             0, main_heap_bytes_.load(std::memory_order_relaxed)));
 }
 
 void PoolGovernor::PublishAllocation() {
@@ -25,8 +26,9 @@ void PoolGovernor::PublishAllocation() {
 }
 
 void PoolGovernor::AddMainHeapBytes(int64_t delta) {
-  main_heap_bytes_ += delta;
-  if (main_heap_bytes_ < 0) main_heap_bytes_ = 0;
+  const int64_t now =
+      main_heap_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (now < 0) main_heap_bytes_.store(0, std::memory_order_relaxed);
   PublishAllocation();
 }
 
@@ -35,18 +37,32 @@ uint64_t PoolGovernor::SoftUpperBoundLocked() const {
   // size includes the temporary files, so large intermediate results
   // automatically unconstrain the pool (paper §2).
   const uint64_t db = pool_->disk()->TotalDatabaseBytes();
-  const uint64_t heap =
-      static_cast<uint64_t>(std::max<int64_t>(0, main_heap_bytes_));
+  const uint64_t heap = static_cast<uint64_t>(std::max<int64_t>(
+      0, main_heap_bytes_.load(std::memory_order_relaxed)));
   return std::min(db + heap, options_.max_bytes);
 }
 
+std::vector<PoolGovernorSample> PoolGovernor::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
 bool PoolGovernor::MaybePoll() {
-  if (clock_->NowMicros() < next_poll_micros_) return false;
-  PollNow();
+  // Cheap unlatched gate first: every session thread ticks the clock
+  // through here, and most ticks are nowhere near the sampling period.
+  if (clock_->NowMicros() < next_poll_micros()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_->NowMicros() < next_poll_micros()) return false;  // lost race
+  PollNowLocked();
   return true;
 }
 
 PoolGovernorSample PoolGovernor::PollNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PollNowLocked();
+}
+
+PoolGovernorSample PoolGovernor::PollNowLocked() {
   PoolGovernorSample s;
   s.at_micros = clock_->NowMicros();
   s.working_set = env_->WorkingSetSize(options_.process_name);

@@ -1,7 +1,9 @@
 #ifndef HDB_STORAGE_POOL_GOVERNOR_H_
 #define HDB_STORAGE_POOL_GOVERNOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,10 @@ struct PoolGovernorSample {
 /// The governor is polled explicitly (`MaybePoll`) against the virtual
 /// clock; a background driver is a policy choice left to the embedding
 /// application, exactly like the paper's one-minute OS poll.
+///
+/// Thread safety: any session thread may call Tick/MaybePoll while others
+/// execute SQL; all controller state is guarded by an internal mutex (the
+/// pool it resizes has its own latch, taken strictly after this one).
 class PoolGovernor {
  public:
   PoolGovernor(BufferPool* pool, os::MemoryEnv* env, os::VirtualClock* clock,
@@ -106,10 +112,14 @@ class PoolGovernor {
   uint64_t ReportedAllocation() const;
 
   const PoolGovernorOptions& options() const { return options_; }
-  const std::vector<PoolGovernorSample>& history() const { return history_; }
-  int64_t next_poll_micros() const { return next_poll_micros_; }
+  /// Snapshot of the decision trace (copied: concurrent polls may append).
+  std::vector<PoolGovernorSample> history() const;
+  int64_t next_poll_micros() const {
+    return next_poll_micros_.load(std::memory_order_relaxed);
+  }
 
  private:
+  PoolGovernorSample PollNowLocked();
   uint64_t SoftUpperBoundLocked() const;
   void PublishAllocation();
 
@@ -118,12 +128,16 @@ class PoolGovernor {
   os::VirtualClock* clock_;
   PoolGovernorOptions options_;
 
+  /// Guards the controller state below; never held while a session thread
+  /// is inside the buffer pool other than the Resize/stat calls the poll
+  /// itself makes.
+  mutable std::mutex mu_;
   int polls_done_ = 0;
-  int64_t next_poll_micros_ = 0;
+  std::atomic<int64_t> next_poll_micros_{0};
   uint64_t last_db_bytes_ = 0;
   uint64_t last_free_physical_ = 0;
   int fast_polls_remaining_ = 0;
-  int64_t main_heap_bytes_ = 0;
+  std::atomic<int64_t> main_heap_bytes_{0};
   // Anti-hysteresis state.
   int polls_since_shrink_ = 1 << 20;
   uint64_t last_shrink_amount_ = 0;

@@ -106,6 +106,11 @@ Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
 }
 
 Result<Rid> TableHeap::Insert(std::string_view row_bytes) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  return InsertLocked(row_bytes);
+}
+
+Result<Rid> TableHeap::InsertLocked(std::string_view row_bytes) {
   if (row_bytes.size() + kHeaderBytes + kSlotBytes > pool_->page_bytes()) {
     return Status::InvalidArgument("row larger than a page");
   }
@@ -126,6 +131,7 @@ Result<Rid> TableHeap::Insert(std::string_view row_bytes) {
 }
 
 Result<std::string> TableHeap::Get(Rid rid) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   HDB_ASSIGN_OR_RETURN(
       storage::PageHandle h,
       pool_->FetchPage(
@@ -139,6 +145,11 @@ Result<std::string> TableHeap::Get(Rid rid) const {
 }
 
 Status TableHeap::Delete(Rid rid) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  return DeleteLocked(rid);
+}
+
+Status TableHeap::DeleteLocked(Rid rid) {
   HDB_ASSIGN_OR_RETURN(
       storage::PageHandle h,
       pool_->FetchPage(
@@ -156,6 +167,7 @@ Status TableHeap::Delete(Rid rid) {
 }
 
 Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   {
     HDB_ASSIGN_OR_RETURN(
         storage::PageHandle h,
@@ -176,15 +188,19 @@ Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
       return rid;
     }
   }
-  HDB_RETURN_IF_ERROR(Delete(rid));
-  return Insert(row_bytes);
+  HDB_RETURN_IF_ERROR(DeleteLocked(rid));
+  return InsertLocked(row_bytes);
 }
 
 TableHeap::Iterator TableHeap::Scan() const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
   return Iterator(this, def_->first_page);
 }
 
 bool TableHeap::Iterator::Next(Rid* rid, std::string* row_bytes) {
+  // Latched per step, not per scan: a long scan must not starve writers,
+  // and the executor's pull loop may interleave DML on other tables.
+  std::shared_lock<std::shared_mutex> latch(heap_->latch_);
   while (page_ != storage::kInvalidPageId) {
     auto h = heap_->pool_->FetchPage(
         storage::SpacePageId{storage::SpaceId::kMain, page_},

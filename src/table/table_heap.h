@@ -2,6 +2,7 @@
 #define HDB_TABLE_TABLE_HEAP_H_
 
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -18,6 +19,14 @@ namespace hdb::table {
 /// sequential sweep — the access pattern the DTT model prices at band
 /// size 1. Row count and page count are maintained live on the TableDef
 /// (the paper's real-time table statistics, §3.2).
+///
+/// Thread safety: the heap carries a table-level reader/writer latch.
+/// Page *frames* are latched by the buffer pool, but page *bytes* are
+/// written through pinned handles after the pool latch is dropped, so
+/// concurrent connections mutating one table's pages must be serialized
+/// here. Readers (Get/Scan) take the latch shared, writers
+/// (Insert/Delete/Update) exclusive; the latch is held per call, not per
+/// statement — transaction-duration isolation is the LockManager's job.
 class TableHeap {
  public:
   TableHeap(storage::BufferPool* pool, catalog::TableDef* def);
@@ -62,6 +71,11 @@ class TableHeap {
  private:
   friend class Iterator;
 
+  // Unlatched bodies; public methods take latch_ and delegate here so
+  // Update can compose Delete + Insert under one exclusive acquisition.
+  Result<Rid> InsertLocked(std::string_view row_bytes);
+  Status DeleteLocked(Rid rid);
+
   // Page layout constants (see table_heap.cc).
   Result<Rid> InsertIntoPage(storage::PageId page_id,
                              std::string_view row_bytes, bool* fit);
@@ -69,6 +83,7 @@ class TableHeap {
 
   storage::BufferPool* pool_;
   catalog::TableDef* def_;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace hdb::table

@@ -41,8 +41,14 @@ class LockManager {
   static uint64_t RowKey(uint32_t table_oid, Rid rid);
   static uint64_t TableKey(uint32_t table_oid);
 
-  uint64_t held_locks() const { return table_.size(); }
-  size_t lock_table_pages() const { return table_.bucket_pages(); }
+  uint64_t held_locks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+  size_t lock_table_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.bucket_pages();
+  }
 
  private:
   Status Acquire(uint64_t txn_id, uint64_t key, LockMode mode);

@@ -1,6 +1,7 @@
 #ifndef HDB_TXN_TRANSACTION_H_
 #define HDB_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -75,7 +76,9 @@ class TransactionManager {
 
   LockManager* lock_manager() { return locks_; }
   uint64_t active_count() const;
-  uint64_t log_bytes() const { return log_bytes_; }
+  uint64_t log_bytes() const {
+    return log_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   void ReleaseLocks(Transaction* txn);
@@ -88,10 +91,11 @@ class TransactionManager {
   std::unordered_map<uint64_t, std::unique_ptr<Transaction>> txns_;
   uint64_t active_ = 0;
 
-  // Redo log cursor.
+  // Redo log cursor (under mu_; log_bytes_ is atomic for the unlatched
+  // log_bytes() statistic read).
   storage::PageId log_page_ = storage::kInvalidPageId;
   uint32_t log_offset_ = 0;
-  uint64_t log_bytes_ = 0;
+  std::atomic<uint64_t> log_bytes_{0};
 };
 
 }  // namespace hdb::txn

@@ -1,0 +1,417 @@
+// Concurrent-session tests: N threads, each with its own Connection,
+// execute SQL against one Database. The no-wait lock manager may answer
+// kAborted and the admission gate kResourceExhausted — both are legal
+// outcomes under contention; lost updates, crashes and TSan reports are
+// not. Run these under -DHDB_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "exec/admission_gate.h"
+#include "exec/memory_governor.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace hdb {
+namespace {
+
+bool TolerableFailure(const Status& s) {
+  // No-wait lock conflicts abort; admission queues time out. Anything
+  // else is a real bug.
+  return s.code() == StatusCode::kAborted ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionGate
+// ---------------------------------------------------------------------------
+
+struct GateFixture {
+  GateFixture(int mpl, int64_t timeout_micros) {
+    disk = std::make_unique<storage::DiskManager>(storage::kDefaultPageBytes,
+                                                  nullptr, nullptr);
+    pool = std::make_unique<storage::BufferPool>(disk.get());
+    exec::MemoryGovernorOptions g;
+    g.multiprogramming_level = mpl;
+    governor = std::make_unique<exec::MemoryGovernor>(pool.get(), g);
+    exec::AdmissionGateOptions a;
+    a.queue_timeout_micros = timeout_micros;
+    gate = std::make_unique<exec::AdmissionGate>(governor.get(), a);
+  }
+
+  std::unique_ptr<storage::DiskManager> disk;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<exec::MemoryGovernor> governor;
+  std::unique_ptr<exec::AdmissionGate> gate;
+};
+
+TEST(AdmissionGateTest, AdmitsUpToMplThenTimesOut) {
+  GateFixture f(/*mpl=*/2, /*timeout_micros=*/20'000);
+  auto t1 = f.gate->Admit();
+  auto t2 = f.gate->Admit();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(f.gate->stats().active, 2u);
+
+  // Third request finds the gate full and times out.
+  auto t3 = f.gate->Admit();
+  ASSERT_FALSE(t3.ok());
+  EXPECT_EQ(t3.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.gate->stats().timed_out, 1u);
+
+  // Releasing a slot makes the next request succeed immediately.
+  t1->Release();
+  auto t4 = f.gate->Admit();
+  ASSERT_TRUE(t4.ok());
+  EXPECT_EQ(f.gate->stats().active, 2u);
+}
+
+TEST(AdmissionGateTest, QueuedRequestWakesOnRelease) {
+  GateFixture f(/*mpl=*/1, /*timeout_micros=*/5'000'000);
+  auto held = f.gate->Admit();
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto t = f.gate->Admit();
+    EXPECT_TRUE(t.ok());
+    admitted.store(true);
+  });
+  // Give the waiter time to queue, then free the slot.
+  while (f.gate->stats().waiting == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  held->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(f.gate->stats().admitted_after_wait, 1u);
+}
+
+TEST(AdmissionGateTest, RaisingMplAndPokingAdmitsWaiter) {
+  GateFixture f(/*mpl=*/1, /*timeout_micros=*/5'000'000);
+  auto held = f.gate->Admit();
+  ASSERT_TRUE(held.ok());
+
+  exec::AdmissionGate::Ticket waiter_ticket;
+  std::thread waiter([&] {
+    auto t = f.gate->Admit();
+    ASSERT_TRUE(t.ok());
+    waiter_ticket = std::move(*t);
+  });
+  while (f.gate->stats().waiting == 0) std::this_thread::yield();
+  f.governor->SetMultiprogrammingLevel(2);
+  f.gate->Poke();
+  waiter.join();
+  EXPECT_EQ(f.gate->stats().active, 2u);
+  EXPECT_EQ(f.gate->stats().admitted_after_wait, 1u);
+}
+
+TEST(AdmissionGateTest, DisabledGateAlwaysAdmits) {
+  storage::DiskManager disk(storage::kDefaultPageBytes, nullptr, nullptr);
+  storage::BufferPool pool(&disk);
+  exec::MemoryGovernorOptions g;
+  g.multiprogramming_level = 1;
+  exec::MemoryGovernor governor(&pool, g);
+  exec::AdmissionGateOptions a;
+  a.enabled = false;
+  exec::AdmissionGate gate(&governor, a);
+  auto t1 = gate.Admit();
+  auto t2 = gate.Admit();
+  EXPECT_TRUE(t1.ok());
+  EXPECT_TRUE(t2.ok());
+  EXPECT_FALSE(t1->holds_slot());
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pool under concurrent pin/unpin/dirty + Resize
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolConcurrencyTest, ResizeStressLosesNoWrites) {
+  storage::DiskManager disk(storage::kDefaultPageBytes, nullptr, nullptr);
+  storage::BufferPoolOptions opts;
+  opts.initial_frames = 64;
+  storage::BufferPool pool(&disk, opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 40;
+  constexpr int kIters = 300;
+
+  // Each thread owns a disjoint set of pages (page *bytes* are only
+  // synchronized by the owner in the engine; the pool only guards frames).
+  std::vector<storage::PageId> pages(kThreads * kPagesPerThread);
+  for (auto& id : pages) {
+    auto h = pool.NewPage(storage::SpaceId::kMain, storage::PageType::kTable,
+                          /*owner=*/1, &id);
+    ASSERT_TRUE(h.ok());
+    std::memset(h->data(), 0, storage::kDefaultPageBytes);
+    std::memcpy(h->data(), &id, sizeof(id));
+    h->MarkDirty();
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    size_t target = 16;
+    while (!stop.load(std::memory_order_relaxed)) {
+      pool.Resize(target);
+      target = (target == 16) ? 256 : 16;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const storage::PageId id = pages[t * kPagesPerThread +
+                                         (i % kPagesPerThread)];
+        auto h = pool.FetchPage(
+            storage::SpacePageId{storage::SpaceId::kMain, id},
+            storage::PageType::kTable, /*owner=*/1);
+        ASSERT_TRUE(h.ok()) << h.status().ToString();
+        storage::PageId stamp;
+        std::memcpy(&stamp, h->data(), sizeof(stamp));
+        ASSERT_EQ(stamp, id);  // eviction/reload kept the page intact
+        uint32_t counter;
+        std::memcpy(&counter, h->data() + sizeof(stamp), sizeof(counter));
+        ++counter;
+        std::memcpy(h->data() + sizeof(stamp), &counter, sizeof(counter));
+        h->MarkDirty();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  resizer.join();
+
+  // Every increment must have reached the page image, through any number
+  // of evictions and reloads.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int p = 0; p < kPagesPerThread; ++p) {
+      const storage::PageId id = pages[t * kPagesPerThread + p];
+      auto h = pool.FetchPage(
+          storage::SpacePageId{storage::SpaceId::kMain, id},
+          storage::PageType::kTable, 1);
+      ASSERT_TRUE(h.ok());
+      uint32_t counter;
+      std::memcpy(&counter, h->data() + sizeof(storage::PageId),
+                  sizeof(counter));
+      const uint32_t expected = kIters / kPagesPerThread +
+                                (p < kIters % kPagesPerThread ? 1 : 0);
+      EXPECT_EQ(counter, expected) << "page " << id;
+    }
+  }
+
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.pinned_frames, 0u);
+  EXPECT_GE(stats.current_frames, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: concurrent sessions over one Database
+// ---------------------------------------------------------------------------
+
+TEST(EngineConcurrencyTest, ConnectDisconnectCountStaysExact) {
+  auto db = engine::Database::Open();
+  ASSERT_TRUE(db.ok());
+  engine::Database* database = db->get();
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto conn = database->Connect();
+        ASSERT_TRUE(conn.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(database->connection_count(), 0);
+}
+
+TEST(EngineConcurrencyTest, ParallelMixedSqlKeepsCountsConsistent) {
+  auto opened = engine::Database::Open();
+  ASSERT_TRUE(opened.ok());
+  engine::Database* db = opened->get();
+
+  {
+    auto setup = db->Connect();
+    ASSERT_TRUE(setup.ok());
+    ASSERT_TRUE(
+        (*setup)->Execute("CREATE TABLE t (k INT NOT NULL, v INT)").ok());
+    ASSERT_TRUE((*setup)->Execute("CREATE INDEX t_k ON t (k)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*setup)
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", 0)")
+                      .ok());
+    }
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 80;
+  std::atomic<int64_t> net_rows{100};
+  std::atomic<int> hard_failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto conn = db->Connect();
+      ASSERT_TRUE(conn.ok());
+      engine::Connection* c = conn->get();
+      // Disjoint key space per thread for DML; reads roam everywhere.
+      const int base = 1000 * (t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        switch (i % 4) {
+          case 0: {
+            auto r = c->Execute("INSERT INTO t VALUES (" +
+                                std::to_string(base + i) + ", 1)");
+            if (r.ok()) {
+              net_rows.fetch_add(1);
+            } else if (!TolerableFailure(r.status())) {
+              ++hard_failures;
+            }
+            break;
+          }
+          case 1: {
+            auto r = c->Execute("SELECT v FROM t WHERE k < 50");
+            if (!r.ok() && !TolerableFailure(r.status())) ++hard_failures;
+            break;
+          }
+          case 2: {
+            auto r = c->Execute("UPDATE t SET v = v + 1 WHERE k = " +
+                                std::to_string(base + i - 2));
+            if (!r.ok() && !TolerableFailure(r.status())) ++hard_failures;
+            break;
+          }
+          case 3: {
+            auto r = c->Execute("DELETE FROM t WHERE k = " +
+                                std::to_string(base + i - 3));
+            if (r.ok()) {
+              net_rows.fetch_sub(static_cast<int64_t>(r->rows_affected));
+            } else if (!TolerableFailure(r.status())) {
+              ++hard_failures;
+            }
+            break;
+          }
+        }
+        db->Tick(500);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(hard_failures.load(), 0);
+
+  auto check = db->Connect();
+  ASSERT_TRUE(check.ok());
+  auto count = (*check)->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->rows.size(), 1u);
+  EXPECT_EQ(count->rows[0][0].AsInt(), net_rows.load());
+}
+
+TEST(EngineConcurrencyTest, DdlRunsExclusiveAgainstQueries) {
+  auto opened = engine::Database::Open();
+  ASSERT_TRUE(opened.ok());
+  engine::Database* db = opened->get();
+  {
+    auto setup = db->Connect();
+    ASSERT_TRUE(setup.ok());
+    ASSERT_TRUE(
+        (*setup)->Execute("CREATE TABLE t (k INT NOT NULL, v INT)").ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*setup)
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", " + std::to_string(i % 7) + ")")
+                      .ok());
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> hard_failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      auto conn = db->Connect();
+      ASSERT_TRUE(conn.ok());
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = (*conn)->Execute("SELECT v FROM t WHERE k < 100");
+        if (!r.ok() && !TolerableFailure(r.status())) ++hard_failures;
+      }
+    });
+  }
+
+  {
+    auto ddl = db->Connect();
+    ASSERT_TRUE(ddl.ok());
+    for (int i = 0; i < 20; ++i) {
+      auto c = (*ddl)->Execute("CREATE INDEX t_k ON t (k)");
+      if (!c.ok() && !TolerableFailure(c.status())) ++hard_failures;
+      auto d = (*ddl)->Execute("DROP INDEX t_k");
+      if (!d.ok() && !TolerableFailure(d.status())) ++hard_failures;
+      auto s = (*ddl)->Execute("CREATE STATISTICS t (v)");
+      if (!s.ok() && !TolerableFailure(s.status())) ++hard_failures;
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(hard_failures.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, MplAdaptsUnderConcurrentLoad) {
+  engine::DatabaseOptions opts;
+  opts.memory_governor.multiprogramming_level = 4;
+  opts.mpl_controller.min_mpl = 2;
+  opts.mpl_controller.max_mpl = 16;
+  opts.mpl_controller.step = 2;
+  opts.mpl_controller.interval_micros = 20'000;  // virtual
+  opts.mpl_controller.dead_band = 0.0;  // adapt on any throughput change
+  auto opened = engine::Database::Open(opts);
+  ASSERT_TRUE(opened.ok());
+  engine::Database* db = opened->get();
+  {
+    auto setup = db->Connect();
+    ASSERT_TRUE(setup.ok());
+    ASSERT_TRUE(
+        (*setup)->Execute("CREATE TABLE t (k INT NOT NULL, v INT)").ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*setup)
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", 0)")
+                      .ok());
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto conn = db->Connect();
+      ASSERT_TRUE(conn.ok());
+      for (int i = 0; i < 150; ++i) {
+        auto r = (*conn)->Execute("SELECT v FROM t WHERE k < 25");
+        ASSERT_TRUE(r.ok() || TolerableFailure(r.status()));
+        db->Tick(1'000);  // advance virtual time so intervals elapse
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto history = db->mpl_controller().history();
+  ASSERT_GE(history.size(), 2u);
+  bool stepped = false;
+  for (const auto& s : history) {
+    if (s.mpl != 4) stepped = true;
+  }
+  EXPECT_TRUE(stepped);
+}
+
+}  // namespace
+}  // namespace hdb
