@@ -33,6 +33,7 @@ struct RunResult {
   int mpl_end = 0;
   int mpl_steps = 0;  // adaptation decisions that changed the MPL
   std::vector<exec::MplController::Sample> mpl_trace;
+  std::string telemetry_json;  // Database::TelemetrySnapshotJson() at end
 };
 
 engine::DatabaseOptions MakeOptions() {
@@ -134,6 +135,8 @@ RunResult RunMix(int threads, int read_pct, double seconds) {
     if (s.mpl != prev_mpl) ++res.mpl_steps;
     prev_mpl = s.mpl;
   }
+  // Snapshot before the BenchDb (and its registry) goes out of scope.
+  res.telemetry_json = db.db->TelemetrySnapshotJson();
   return res;
 }
 
@@ -214,7 +217,10 @@ int main() {
                    static_cast<long long>(s.at_micros), s.mpl, s.throughput,
                    s.direction, i + 1 < traced.mpl_trace.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"telemetry_8t_mixed\": ");
+    // TelemetrySnapshotJson() is a complete JSON object; embed verbatim.
+    std::fputs(mixed.back().telemetry_json.c_str(), f);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_concurrent_sessions.json\n");
   }

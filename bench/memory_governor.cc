@@ -7,11 +7,28 @@
 // everything in memory -> partitions evicted -> group-by fallback -> and,
 // at an absurd hard limit, statement termination with an error.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "workloads.h"
 
 using namespace hdb;
 using namespace hdb::bench;
+
+namespace {
+
+struct DegradationRun {
+  int mpl = 0;
+  uint64_t soft_pages = 0;
+  uint64_t evictions = 0;
+  uint64_t spilled = 0;
+  bool gb_fallback = false;
+  size_t result_rows = 0;
+  bool ok = false;
+  std::string telemetry_json;  // Database::TelemetrySnapshotJson()
+};
+
+}  // namespace
 
 int main() {
   std::printf("=== Eq.(4)/(5): governor limits (pages) ===\n");
@@ -38,6 +55,7 @@ int main() {
       "\n=== adaptive degradation under shrinking soft limits ===\n");
   PrintHeader({"mpl", "soft_pages", "evictions", "spilled", "gb_fallback",
                "result_rows", "status"});
+  std::vector<DegradationRun> degradation;
   for (const int mpl : {2, 16, 64, 256}) {
     engine::DatabaseOptions opts;
     opts.initial_pool_frames = 512;
@@ -59,7 +77,15 @@ int main() {
     auto res = db.conn->Execute(
         "SELECT r.g, COUNT(*) FROM r JOIN l ON r.k = l.k GROUP BY r.g");
     const auto soft = db.db->memory_governor().SoftLimitPages();
+    DegradationRun run;
+    run.mpl = mpl;
+    run.soft_pages = soft;
+    run.ok = res.ok();
     if (res.ok()) {
+      run.evictions = res->exec_stats.hash_partitions_evicted;
+      run.spilled = res->exec_stats.hash_spilled_tuples;
+      run.gb_fallback = res->exec_stats.group_by_used_fallback;
+      run.result_rows = res->rows.size();
       PrintRow({std::to_string(mpl), std::to_string(soft),
                 std::to_string(res->exec_stats.hash_partitions_evicted),
                 std::to_string(res->exec_stats.hash_spilled_tuples),
@@ -69,9 +95,13 @@ int main() {
       PrintRow({std::to_string(mpl), std::to_string(soft), "-", "-", "-",
                 "-", res.status().ToString()});
     }
+    run.telemetry_json = db.db->TelemetrySnapshotJson();
+    degradation.push_back(std::move(run));
   }
 
   std::printf("\n=== Eq.(4) hard-limit kill ===\n");
+  std::string kill_telemetry;
+  bool kill_succeeded = false;
   {
     engine::DatabaseOptions opts;
     opts.initial_pool_frames = 256;
@@ -90,6 +120,35 @@ int main() {
     std::printf("huge DISTINCT under ~10-page hard limit: %s\n",
                 res.ok() ? "unexpectedly succeeded"
                          : res.status().ToString().c_str());
+    kill_succeeded = res.ok();
+    // The snapshot carries mem.hard_limit_kills and the governor's "kill"
+    // decision-log entry — proof the termination came from Eq.(4).
+    kill_telemetry = db.db->TelemetrySnapshotJson();
+  }
+
+  std::FILE* f = std::fopen("BENCH_memory_governor.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"degradation\": [\n");
+    for (size_t i = 0; i < degradation.size(); ++i) {
+      const auto& r = degradation[i];
+      std::fprintf(
+          f,
+          "    {\"mpl\": %d, \"soft_pages\": %llu, \"ok\": %s, "
+          "\"partitions_evicted\": %llu, \"spilled_tuples\": %llu, "
+          "\"group_by_fallback\": %s, \"result_rows\": %zu,\n"
+          "     \"telemetry\": %s}%s\n",
+          r.mpl, static_cast<unsigned long long>(r.soft_pages),
+          r.ok ? "true" : "false",
+          static_cast<unsigned long long>(r.evictions),
+          static_cast<unsigned long long>(r.spilled),
+          r.gb_fallback ? "true" : "false", r.result_rows,
+          r.telemetry_json.c_str(), i + 1 < degradation.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"hard_limit_kill\": {\"killed\": %s, "
+                 "\"telemetry\": %s}\n}\n",
+                 kill_succeeded ? "false" : "true", kill_telemetry.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_memory_governor.json\n");
   }
   return 0;
 }

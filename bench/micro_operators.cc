@@ -1,12 +1,15 @@
 // Operator microbenchmarks (google-benchmark): throughput of the hot
 // primitives behind the paper's mechanisms — the lock-free lookaside
 // queue (§2.2), clock reference accounting, histogram estimation (§3),
-// order-preserving hashing, expression evaluation, and hash-join
-// build/probe.
+// order-preserving hashing, expression evaluation, and telemetry
+// primitives (counter add, histogram record) for the instrumentation
+// overhead budget. Build once with default flags and once with
+// -DHDB_TELEMETRY=OFF to compare (EXPERIMENTS.md "obs-overhead").
 #include <benchmark/benchmark.h>
 
 #include "common/ophash.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "optimizer/expr.h"
 #include "stats/histogram.h"
 #include "storage/clock_replacer.h"
@@ -137,6 +140,40 @@ void BM_ValueHashPartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ValueHashPartition);
+
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.RegisterCounter("bench.counter");
+  for (auto _ : state) {
+    c->Add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void BM_TelemetryCounterAddContended(benchmark::State& state) {
+  // Function-local static: thread-safe construction, so every worker can
+  // register (idempotently) before the state-loop barrier.
+  static obs::MetricsRegistry registry;
+  obs::Counter* c = registry.RegisterCounter("bench.contended");
+  for (auto _ : state) {
+    c->Add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TelemetryCounterAddContended)->Threads(4);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::LatencyHistogram* h = registry.RegisterHistogram("bench.latency");
+  int64_t micros = 1;
+  for (auto _ : state) {
+    h->Record(micros);
+    micros = micros < 1'000'000 ? micros * 3 : 1;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
 
 }  // namespace
 }  // namespace hdb

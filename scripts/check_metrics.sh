@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Metric hygiene checks (wired into ctest as MetricNames.check).
+#
+#   check_metrics.sh <repo-root>          name check only (fast, always on)
+#   check_metrics.sh <repo-root> --tsan   name check, then configure a
+#                                         ThreadSanitizer build and run the
+#                                         observability-path tests under it
+#
+# Name check: every string literal in src/obs/metric_names.h must be
+# dotted snake_case (`^[a-z0-9_]+(\.[a-z0-9_]+)+$`) and unique. A space,
+# hyphen, or uppercase letter in a metric name silently forks dashboards;
+# a duplicate silently merges two meanings into one series.
+set -u
+
+root="${1:?usage: check_metrics.sh <repo-root> [--tsan]}"
+mode="${2:-}"
+names_h="$root/src/obs/metric_names.h"
+
+if [[ ! -f "$names_h" ]]; then
+  echo "check_metrics: missing $names_h" >&2
+  exit 1
+fi
+
+# Pull the "..." literal off every constant definition line (comments may
+# quote arbitrary prose, so they are skipped).
+names=$(grep 'inline constexpr char' "$names_h" | grep -o '"[^"]*"' |
+        tr -d '"')
+
+if [[ -z "$names" ]]; then
+  echo "check_metrics: no metric names found in $names_h" >&2
+  exit 1
+fi
+
+fail=0
+while IFS= read -r name; do
+  if ! printf '%s\n' "$name" | grep -Eq '^[a-z0-9_]+(\.[a-z0-9_]+)+$'; then
+    echo "check_metrics: bad metric name (want dotted snake_case): '$name'" >&2
+    fail=1
+  fi
+done <<< "$names"
+
+dupes=$(printf '%s\n' "$names" | sort | uniq -d)
+if [[ -n "$dupes" ]]; then
+  echo "check_metrics: duplicate metric names:" >&2
+  printf '%s\n' "$dupes" >&2
+  fail=1
+fi
+
+count=$(printf '%s\n' "$names" | wc -l)
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_metrics: $count metric names, all unique dotted snake_case"
+
+if [[ "$mode" == "--tsan" ]]; then
+  # Race-check the observability paths: the registry hammered from many
+  # threads, sys.* scans racing live instrumentation, tracer sink writes,
+  # and the concurrent-session SQL mix.
+  build="$root/build-tsan-obs"
+  cmake -B "$build" -S "$root" -DHDB_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+  cmake --build "$build" -j "$(nproc)" \
+        --target obs_test profile_test concurrency_test || exit 1
+  (cd "$build" && ctest --output-on-failure \
+      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren') || exit 1
+  echo "check_metrics: TSan observability run clean"
+fi

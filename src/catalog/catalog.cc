@@ -2,6 +2,14 @@
 
 namespace hdb::catalog {
 
+namespace {
+
+bool HasSysPrefix(const std::string& name) {
+  return name.rfind("sys.", 0) == 0;
+}
+
+}  // namespace
+
 Catalog::Catalog() {
   // Defaults that the Application Profiling analyzer knows how to audit.
   options_["optimization_goal"] = "all-rows";
@@ -11,6 +19,10 @@ Catalog::Catalog() {
 
 Result<TableDef*> Catalog::CreateTable(const std::string& name,
                                        std::vector<ColumnDef> columns) {
+  if (HasSysPrefix(name)) {
+    return Status::InvalidArgument(
+        "the sys. schema is reserved for virtual system tables");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
@@ -22,6 +34,25 @@ Result<TableDef*> Catalog::CreateTable(const std::string& name,
   def->oid = next_oid_++;
   def->name = name;
   def->columns = std::move(columns);
+  TableDef* raw = def.get();
+  tables_[name] = std::move(def);
+  return raw;
+}
+
+Result<TableDef*> Catalog::CreateVirtualTable(const std::string& name,
+                                              std::vector<ColumnDef> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  auto def = std::make_unique<TableDef>();
+  def->oid = next_oid_++;
+  def->name = name;
+  def->columns = std::move(columns);
+  def->is_virtual = true;
   TableDef* raw = def.get();
   tables_[name] = std::move(def);
   return raw;
@@ -46,6 +77,9 @@ Status Catalog::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
+  if (it->second->is_virtual) {
+    return Status::InvalidArgument("cannot drop virtual table " + name);
+  }
   const uint32_t oid = it->second->oid;
   tables_.erase(it);
   for (auto iit = indexes_.begin(); iit != indexes_.end();) {
@@ -64,7 +98,9 @@ Status Catalog::DropTable(const std::string& name) {
 std::vector<TableDef*> Catalog::AllTables() {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TableDef*> out;
-  for (auto& [name, def] : tables_) out.push_back(def.get());
+  for (auto& [name, def] : tables_) {
+    if (!def->is_virtual) out.push_back(def.get());
+  }
   return out;
 }
 
@@ -78,6 +114,9 @@ Result<IndexDef*> Catalog::CreateIndex(const std::string& index_name,
   }
   auto tit = tables_.find(table_name);
   if (tit == tables_.end()) return Status::NotFound("table " + table_name);
+  if (tit->second->is_virtual) {
+    return Status::InvalidArgument("cannot index virtual table " + table_name);
+  }
   if (column_indexes.empty()) {
     return Status::InvalidArgument("index needs at least one column");
   }

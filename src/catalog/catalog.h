@@ -28,6 +28,10 @@ class Catalog {
   // --- Tables ---
   Result<TableDef*> CreateTable(const std::string& name,
                                 std::vector<ColumnDef> columns);
+  /// Registers a `sys.*` virtual table (engine-internal; user DDL on the
+  /// reserved `sys.` prefix is rejected by CreateTable/DropTable).
+  Result<TableDef*> CreateVirtualTable(const std::string& name,
+                                       std::vector<ColumnDef> columns);
   Result<TableDef*> GetTable(const std::string& name);
   Result<TableDef*> GetTableByOid(uint32_t oid);
   Status DropTable(const std::string& name);

@@ -72,6 +72,11 @@ struct TableDef {
   std::string name;
   std::vector<ColumnDef> columns;
 
+  /// Virtual system table (`sys.*`, DESIGN.md §6): no heap pages, no
+  /// indexes, no DML; rows are materialized from live engine state at
+  /// scan time by the owning Database.
+  bool is_virtual = false;
+
   // Storage cursor, maintained by the table heap (under its latch).
   storage::PageId first_page = storage::kInvalidPageId;
   storage::PageId last_page = storage::kInvalidPageId;

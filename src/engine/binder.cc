@@ -354,6 +354,10 @@ Result<Query> Binder::BindSelect(const SelectAst& ast) {
 Result<BoundInsert> Binder::BindInsert(const InsertAst& ast) {
   BoundInsert out;
   HDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(ast.table));
+  if (out.table->is_virtual) {
+    return Status::InvalidArgument("cannot INSERT into virtual table " +
+                                   ast.table);
+  }
   const size_t ncols = out.table->columns.size();
 
   std::vector<int> targets;
@@ -392,6 +396,9 @@ Result<BoundInsert> Binder::BindInsert(const InsertAst& ast) {
 Result<BoundUpdate> Binder::BindUpdate(const UpdateAst& ast) {
   BoundUpdate out;
   HDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(ast.table));
+  if (out.table->is_virtual) {
+    return Status::InvalidArgument("cannot UPDATE virtual table " + ast.table);
+  }
   Scope scope;
   optimizer::Quantifier quant;
   quant.table = out.table;
@@ -414,6 +421,10 @@ Result<BoundUpdate> Binder::BindUpdate(const UpdateAst& ast) {
 Result<BoundDelete> Binder::BindDelete(const DeleteAst& ast) {
   BoundDelete out;
   HDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(ast.table));
+  if (out.table->is_virtual) {
+    return Status::InvalidArgument("cannot DELETE from virtual table " +
+                                   ast.table);
+  }
   Scope scope;
   optimizer::Quantifier quant;
   quant.table = out.table;

@@ -1,13 +1,41 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/ophash.h"
+#include "obs/metric_names.h"
 #include "table/row_codec.h"
 
 namespace hdb::engine {
 
 namespace {
+
+/// Row-materializer dispatch indexes for the sys.* virtual tables.
+enum SysTable : int {
+  kSysCounters = 0,
+  kSysPool,
+  kSysGovernors,
+  kSysLocks,
+  kSysStatements,
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 double WallMicros() {
   return static_cast<double>(
@@ -101,7 +129,282 @@ Status Database::Init() {
   lock_manager_ = std::make_unique<txn::LockManager>(pool_.get());
   txn_manager_ = std::make_unique<txn::TransactionManager>(
       pool_.get(), lock_manager_.get());
+
+  // Telemetry (DESIGN.md §6): every governor writes counters into the
+  // shared registry and decisions into the shared ring, then the sys.*
+  // virtual tables make both queryable from any connection.
+  pool_governor_->AttachTelemetry(&metrics_, &decision_log_);
+  memory_governor_->AttachTelemetry(&metrics_, &decision_log_, &clock_);
+  mpl_controller_->AttachTelemetry(&metrics_, &decision_log_);
+  admission_gate_->AttachTelemetry(&metrics_);
+  lock_manager_->AttachTelemetry(&metrics_);
+  RegisterEngineTelemetry();
+  return RegisterSysTables();
+}
+
+void Database::RegisterEngineTelemetry() {
+  stmt_select_ = metrics_.RegisterCounter(obs::kStmtSelect);
+  stmt_insert_ = metrics_.RegisterCounter(obs::kStmtInsert);
+  stmt_update_ = metrics_.RegisterCounter(obs::kStmtUpdate);
+  stmt_delete_ = metrics_.RegisterCounter(obs::kStmtDelete);
+  stmt_call_ = metrics_.RegisterCounter(obs::kStmtCall);
+  stmt_ddl_ = metrics_.RegisterCounter(obs::kStmtDdl);
+  stmt_txn_ = metrics_.RegisterCounter(obs::kStmtTxn);
+  stmt_explain_ = metrics_.RegisterCounter(obs::kStmtExplain);
+  stmt_other_ = metrics_.RegisterCounter(obs::kStmtOther);
+  stmt_errors_ = metrics_.RegisterCounter(obs::kStmtErrors);
+  parse_hist_ = metrics_.RegisterHistogram(obs::kLatencyParseMicros);
+  optimize_hist_ = metrics_.RegisterHistogram(obs::kLatencyOptimizeMicros);
+  execute_hist_ = metrics_.RegisterHistogram(obs::kLatencyExecuteMicros);
+  exec_rows_scanned_ = metrics_.RegisterCounter(obs::kExecRowsScanned);
+  exec_rows_output_ = metrics_.RegisterCounter(obs::kExecRowsOutput);
+  exec_spilled_tuples_ = metrics_.RegisterCounter(obs::kExecSpilledTuples);
+  exec_partitions_evicted_ =
+      metrics_.RegisterCounter(obs::kExecPartitionsEvicted);
+  exec_sort_runs_spilled_ =
+      metrics_.RegisterCounter(obs::kExecSortRunsSpilled);
+  exec_group_by_spilled_groups_ =
+      metrics_.RegisterCounter(obs::kExecGroupBySpilledGroups);
+
+  // Pull callbacks: the pool and the gate already maintain these under
+  // their own latches, so the registry reads them at snapshot time instead
+  // of double-counting.
+  metrics_.RegisterCallback(obs::kPoolHits, [this] {
+    return static_cast<double>(pool_->stats().hits);
+  });
+  metrics_.RegisterCallback(obs::kPoolMisses, [this] {
+    return static_cast<double>(pool_->stats().misses);
+  });
+  metrics_.RegisterCallback(obs::kPoolEvictions, [this] {
+    return static_cast<double>(pool_->stats().evictions);
+  });
+  metrics_.RegisterCallback(obs::kPoolHeapSteals, [this] {
+    return static_cast<double>(pool_->stats().heap_steals);
+  });
+  metrics_.RegisterCallback(obs::kPoolLookasideReuses, [this] {
+    return static_cast<double>(pool_->stats().lookaside_reuses);
+  });
+  metrics_.RegisterCallback(obs::kPoolCurrentFrames, [this] {
+    return static_cast<double>(pool_->CurrentFrames());
+  });
+  metrics_.RegisterCallback(obs::kPoolPinnedFrames, [this] {
+    return static_cast<double>(pool_->stats().pinned_frames);
+  });
+  metrics_.RegisterCallback(obs::kPoolFreeFrames, [this] {
+    return static_cast<double>(pool_->stats().free_frames);
+  });
+  metrics_.RegisterCallback(obs::kPoolCurrentBytes, [this] {
+    return static_cast<double>(pool_->CurrentBytes());
+  });
+  metrics_.RegisterCallback(obs::kGateAdmittedImmediately, [this] {
+    return static_cast<double>(admission_gate_->stats().admitted_immediately);
+  });
+  metrics_.RegisterCallback(obs::kGateAdmittedAfterWait, [this] {
+    return static_cast<double>(admission_gate_->stats().admitted_after_wait);
+  });
+  metrics_.RegisterCallback(obs::kGateTimedOut, [this] {
+    return static_cast<double>(admission_gate_->stats().timed_out);
+  });
+  metrics_.RegisterCallback(obs::kGateActive, [this] {
+    return static_cast<double>(admission_gate_->stats().active);
+  });
+  metrics_.RegisterCallback(obs::kGateWaiting, [this] {
+    return static_cast<double>(admission_gate_->stats().waiting);
+  });
+  metrics_.RegisterCallback(obs::kGovDecisions, [this] {
+    return static_cast<double>(decision_log_.total_recorded());
+  });
+}
+
+Status Database::RegisterSysTables() {
+  using catalog::ColumnDef;
+  const auto add = [this](const std::string& name,
+                          std::vector<ColumnDef> cols, int which) -> Status {
+    HDB_ASSIGN_OR_RETURN(catalog::TableDef * def,
+                         catalog_->CreateVirtualTable(name, std::move(cols)));
+    sys_tables_[def->oid] = which;
+    return Status::OK();
+  };
+  HDB_RETURN_IF_ERROR(add("sys.counters",
+                          {{"name", TypeId::kVarchar, false},
+                           {"value", TypeId::kBigint, false}},
+                          kSysCounters));
+  HDB_RETURN_IF_ERROR(add("sys.pool",
+                          {{"metric", TypeId::kVarchar, false},
+                           {"value", TypeId::kBigint, false}},
+                          kSysPool));
+  HDB_RETURN_IF_ERROR(add("sys.governors",
+                          {{"seq", TypeId::kBigint, false},
+                           {"at_micros", TypeId::kBigint, false},
+                           {"governor", TypeId::kVarchar, false},
+                           {"action", TypeId::kVarchar, false},
+                           {"reason", TypeId::kVarchar, false},
+                           {"input", TypeId::kDouble, false},
+                           {"output", TypeId::kDouble, false}},
+                          kSysGovernors));
+  HDB_RETURN_IF_ERROR(add("sys.locks",
+                          {{"metric", TypeId::kVarchar, false},
+                           {"value", TypeId::kBigint, false}},
+                          kSysLocks));
+  HDB_RETURN_IF_ERROR(add("sys.statements",
+                          {{"shape", TypeId::kVarchar, false},
+                           {"count", TypeId::kBigint, false},
+                           {"total_micros", TypeId::kDouble, false},
+                           {"avg_micros", TypeId::kDouble, false},
+                           {"rows_returned", TypeId::kBigint, false}},
+                          kSysStatements));
   return Status::OK();
+}
+
+Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
+    uint32_t oid) {
+  const auto it = sys_tables_.find(oid);
+  if (it == sys_tables_.end()) {
+    return Status::Internal("unknown virtual table oid");
+  }
+  std::vector<std::vector<Value>> rows;
+  switch (it->second) {
+    case kSysCounters: {
+      for (const obs::MetricSample& m : metrics_.Snapshot()) {
+        if (m.kind == obs::MetricKind::kHistogram) {
+          // Flatten histogram rollups into the (name, value) shape.
+          rows.push_back({Value::String(m.name + ".count"),
+                          Value::Bigint(static_cast<int64_t>(m.count))});
+          rows.push_back({Value::String(m.name + ".mean"),
+                          Value::Bigint(static_cast<int64_t>(m.value))});
+          rows.push_back({Value::String(m.name + ".p50"),
+                          Value::Bigint(static_cast<int64_t>(m.p50_micros))});
+          rows.push_back({Value::String(m.name + ".p95"),
+                          Value::Bigint(static_cast<int64_t>(m.p95_micros))});
+        } else {
+          rows.push_back({Value::String(m.name),
+                          Value::Bigint(static_cast<int64_t>(m.value))});
+        }
+      }
+      break;
+    }
+    case kSysPool: {
+      const storage::BufferPoolStats s = pool_->stats();
+      const auto row = [&rows](const char* metric, uint64_t v) {
+        rows.push_back({Value::String(metric),
+                        Value::Bigint(static_cast<int64_t>(v))});
+      };
+      row("hits", s.hits);
+      row("misses", s.misses);
+      row("evictions", s.evictions);
+      row("heap_steals", s.heap_steals);
+      row("lookaside_reuses", s.lookaside_reuses);
+      row("current_frames", s.current_frames);
+      row("pinned_frames", s.pinned_frames);
+      row("free_frames", s.free_frames);
+      row("current_bytes", pool_->CurrentBytes());
+      break;
+    }
+    case kSysGovernors: {
+      for (const obs::Decision& d : decision_log_.Snapshot()) {
+        rows.push_back({Value::Bigint(static_cast<int64_t>(d.seq)),
+                        Value::Bigint(d.at_micros), Value::String(d.governor),
+                        Value::String(d.action), Value::String(d.reason),
+                        Value::Double(d.input), Value::Double(d.output)});
+      }
+      break;
+    }
+    case kSysLocks: {
+      rows.push_back({Value::String("held"),
+                      Value::Bigint(static_cast<int64_t>(
+                          lock_manager_->held_locks()))});
+      rows.push_back({Value::String("table_pages"),
+                      Value::Bigint(static_cast<int64_t>(
+                          lock_manager_->lock_table_pages()))});
+      rows.push_back(
+          {Value::String("conflicts"),
+           Value::Bigint(static_cast<int64_t>(
+               metrics_.RegisterCounter(obs::kLockConflicts)->value()))});
+      break;
+    }
+    case kSysStatements: {
+      std::lock_guard<std::mutex> lock(shapes_mu_);
+      for (const auto& [shape, s] : statement_shapes_) {
+        rows.push_back(
+            {Value::String(shape),
+             Value::Bigint(static_cast<int64_t>(s.count)),
+             Value::Double(s.total_micros),
+             Value::Double(s.count == 0 ? 0 : s.total_micros / s.count),
+             Value::Bigint(static_cast<int64_t>(s.rows_returned))});
+      }
+      break;
+    }
+  }
+  return rows;
+}
+
+void Database::RecordStatementShape(const std::string& shape, double micros,
+                                    uint64_t rows) {
+  std::lock_guard<std::mutex> lock(shapes_mu_);
+  // Bounded: an adversarial workload of unique shapes must not grow the
+  // map without limit.
+  if (statement_shapes_.size() >= 512 &&
+      statement_shapes_.find(shape) == statement_shapes_.end()) {
+    return;
+  }
+  ShapeStats& s = statement_shapes_[shape];
+  s.count++;
+  s.total_micros += micros;
+  s.rows_returned += rows;
+}
+
+std::string Database::TelemetrySnapshotJson() {
+  char buf[256];
+  std::string out = "{\n  \"metrics\": {";
+  bool first = true;
+  for (const obs::MetricSample& m : metrics_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    if (m.kind == obs::MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "\n    \"%s\": {\"count\": %llu, \"mean_micros\": %.3f, "
+                    "\"p50_micros\": %.1f, \"p95_micros\": %.1f}",
+                    m.name.c_str(), static_cast<unsigned long long>(m.count),
+                    m.value, m.p50_micros, m.p95_micros);
+    } else {
+      std::snprintf(buf, sizeof(buf), "\n    \"%s\": %.17g", m.name.c_str(),
+                    m.value);
+    }
+    out += buf;
+  }
+  out += "\n  },\n  \"decisions\": [";
+  first = true;
+  for (const obs::Decision& d : decision_log_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\n    {\"seq\": %llu, \"at_micros\": %lld, \"governor\": \"%s\", "
+        "\"action\": \"%s\", \"reason\": \"%s\", \"input\": %.17g, "
+        "\"output\": %.17g}",
+        static_cast<unsigned long long>(d.seq),
+        static_cast<long long>(d.at_micros), d.governor.c_str(),
+        d.action.c_str(), d.reason.c_str(), d.input, d.output);
+    out += buf;
+  }
+  out += "\n  ],\n  \"statements\": [";
+  first = true;
+  {
+    std::lock_guard<std::mutex> lock(shapes_mu_);
+    for (const auto& [shape, s] : statement_shapes_) {
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    ", \"count\": %llu, \"total_micros\": %.3f, "
+                    "\"rows_returned\": %llu}",
+                    static_cast<unsigned long long>(s.count), s.total_micros,
+                    static_cast<unsigned long long>(s.rows_returned));
+      out += "\n    {\"shape\": \"" + JsonEscape(shape) + "\"";
+      out += buf;
+    }
+  }
+  out += "\n  ]\n}";
+  return out;
 }
 
 Result<std::unique_ptr<Connection>> Database::Connect() {
@@ -114,7 +417,7 @@ table::TableHeap* Database::heap(uint32_t table_oid) {
   auto it = heaps_.find(table_oid);
   if (it != heaps_.end()) return it->second.get();
   auto def = catalog_->GetTableByOid(table_oid);
-  if (!def.ok()) return nullptr;
+  if (!def.ok() || (*def)->is_virtual) return nullptr;
   auto heap = std::make_unique<table::TableHeap>(pool_.get(), *def);
   table::TableHeap* raw = heap.get();
   heaps_[table_oid] = std::move(heap);
@@ -166,6 +469,9 @@ Status Database::LoadTable(const std::string& table,
 Status Database::LoadTableLocked(const std::string& table,
                                  const std::vector<table::Row>& rows) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(table));
+  if (def->is_virtual) {
+    return Status::InvalidArgument("cannot LOAD into virtual table " + table);
+  }
   table::TableHeap* h = heap(def->oid);
   const auto indexes = catalog_->TableIndexes(def->oid);
   for (const table::Row& row : rows) {
@@ -192,6 +498,10 @@ Status Database::BuildStatistics(const std::string& table, int column) {
 
 Status Database::BuildStatisticsLocked(const std::string& table, int column) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(table));
+  if (def->is_virtual) {
+    return Status::InvalidArgument(
+        "cannot build statistics on virtual table " + table);
+  }
   if (column < 0 || column >= static_cast<int>(def->columns.size())) {
     return Status::InvalidArgument("bad column index");
   }
@@ -517,9 +827,12 @@ Result<QueryResult> Connection::ExecuteSelect(
   std::shared_ptr<const optimizer::PlanNode> plan_to_run;
   if (cache_key.empty()) {
     // Re-optimize at every invocation (paper §4.1).
+    const double opt_start = WallMicros();
     optimizer::Optimizer opt(MakeOptimizerContext());
     HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
                          opt.Optimize(q, /*allow_bypass=*/false, &out->diag));
+    db_->optimize_hist_->Record(
+        static_cast<uint64_t>(std::max(0.0, WallMicros() - opt_start)));
     plan_to_run = std::shared_ptr<const optimizer::PlanNode>(std::move(plan));
   } else {
     const auto decision = plan_cache_.OnInvocation(cache_key);
@@ -527,14 +840,24 @@ Result<QueryResult> Connection::ExecuteSelect(
       plan_to_run = decision.plan;
       out->used_cached_plan = true;
     } else {
+      const double opt_start = WallMicros();
       optimizer::Optimizer opt(MakeOptimizerContext());
       HDB_ASSIGN_OR_RETURN(
           optimizer::PlanPtr plan,
           opt.Optimize(q, /*allow_bypass=*/false, &out->diag));
+      db_->optimize_hist_->Record(
+          static_cast<uint64_t>(std::max(0.0, WallMicros() - opt_start)));
       plan_to_run = plan_cache_.OnPlanReady(
           cache_key,
           std::shared_ptr<const optimizer::PlanNode>(std::move(plan)));
     }
+  }
+
+  // Feedback from a sys.* scan would pollute column statistics with
+  // telemetry rows that have no backing histograms.
+  bool any_virtual = false;
+  for (const optimizer::Quantifier& quant : q.quantifiers) {
+    if (quant.table != nullptr && quant.table->is_virtual) any_virtual = true;
   }
 
   stats::FeedbackCollector feedback;
@@ -542,7 +865,11 @@ Result<QueryResult> Connection::ExecuteSelect(
   ec.pool = &db_->pool();
   ec.table_heap = [this](uint32_t oid) { return db_->heap(oid); };
   ec.index = [this](uint32_t oid) { return db_->btree(oid); };
-  ec.feedback = db_->options().auto_feedback ? &feedback : nullptr;
+  ec.virtual_rows = [this](uint32_t oid) {
+    return db_->VirtualTableRows(oid);
+  };
+  ec.feedback =
+      db_->options().auto_feedback && !any_virtual ? &feedback : nullptr;
   ec.memory = task.get();
   ec.num_quantifiers = q.quantifiers.size();
   ec.params = params;
@@ -551,7 +878,54 @@ Result<QueryResult> Connection::ExecuteSelect(
                        exec::ExecuteToRows(plan_to_run.get(), &ec));
   out->exec_stats = ec.stats;
   for (const auto& item : q.select) out->columns.push_back(item.name);
-  if (db_->options().auto_feedback) feedback.Flush(&db_->stats());
+  if (ec.feedback != nullptr) feedback.Flush(&db_->stats());
+  db_->exec_rows_scanned_->Add(ec.stats.rows_scanned);
+  db_->exec_rows_output_->Add(ec.stats.rows_output);
+  db_->exec_spilled_tuples_->Add(ec.stats.hash_spilled_tuples);
+  db_->exec_partitions_evicted_->Add(ec.stats.hash_partitions_evicted);
+  db_->exec_sort_runs_spilled_->Add(ec.stats.sort_runs_spilled);
+  db_->exec_group_by_spilled_groups_->Add(ec.stats.group_by_spilled_groups);
+  return *out;
+}
+
+Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
+                                                      QueryResult* out) {
+  Binder binder(&db_->catalog());
+  HDB_ASSIGN_OR_RETURN(optimizer::Query q, binder.BindSelect(ast));
+
+  auto task = db_->memory_governor().BeginTask();
+  optimizer::Optimizer opt(MakeOptimizerContext());
+  HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
+                       opt.Optimize(q, /*allow_bypass=*/false, &out->diag));
+
+  bool any_virtual = false;
+  for (const optimizer::Quantifier& quant : q.quantifiers) {
+    if (quant.table != nullptr && quant.table->is_virtual) any_virtual = true;
+  }
+
+  stats::FeedbackCollector feedback;
+  optimizer::OpActualsMap actuals;
+  exec::ExecContext ec;
+  ec.pool = &db_->pool();
+  ec.table_heap = [this](uint32_t oid) { return db_->heap(oid); };
+  ec.index = [this](uint32_t oid) { return db_->btree(oid); };
+  ec.virtual_rows = [this](uint32_t oid) {
+    return db_->VirtualTableRows(oid);
+  };
+  ec.feedback =
+      db_->options().auto_feedback && !any_virtual ? &feedback : nullptr;
+  ec.memory = task.get();
+  ec.num_quantifiers = q.quantifiers.size();
+  ec.actuals = &actuals;
+
+  // The statement runs in full; the result set is discarded and the
+  // annotated plan is the output (estimates vs. actuals, §4's cost-model
+  // validation loop made visible).
+  HDB_ASSIGN_OR_RETURN(const auto rows, exec::ExecuteToRows(plan.get(), &ec));
+  out->rows_affected = rows.size();
+  out->exec_stats = ec.stats;
+  out->explain = plan->Explain(0, &actuals);
+  if (ec.feedback != nullptr) feedback.Flush(&db_->stats());
   return *out;
 }
 
@@ -750,7 +1124,17 @@ Result<QueryResult> Connection::ExecuteCall(const CallAst& ast) {
 }
 
 Result<QueryResult> Connection::Execute(const std::string& sql) {
-  HDB_ASSIGN_OR_RETURN(StatementAst stmt, Parse(sql));
+  const double parse_start = WallMicros();
+  Result<StatementAst> parsed = Parse(sql);
+  if (exec_depth_ == 0) {
+    db_->parse_hist_->Record(
+        static_cast<uint64_t>(std::max(0.0, WallMicros() - parse_start)));
+  }
+  if (!parsed.ok()) {
+    db_->stmt_errors_->Add();
+    return parsed.status();
+  }
+  StatementAst stmt = std::move(*parsed);
 
   // Procedure-body recursion: the top-level statement already holds the
   // DDL latch and the admission slot; just dispatch.
@@ -769,6 +1153,32 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
       (std::holds_alternative<SimpleAst>(stmt) &&
        std::get<SimpleAst>(stmt).kind == SimpleAst::kCalibrate);
 
+  // Statement-kind counters (sys.counters / TelemetrySnapshotJson).
+  if (std::holds_alternative<SelectAst>(stmt)) {
+    db_->stmt_select_->Add();
+  } else if (std::holds_alternative<InsertAst>(stmt)) {
+    db_->stmt_insert_->Add();
+  } else if (std::holds_alternative<UpdateAst>(stmt)) {
+    db_->stmt_update_->Add();
+  } else if (std::holds_alternative<DeleteAst>(stmt)) {
+    db_->stmt_delete_->Add();
+  } else if (std::holds_alternative<CallAst>(stmt)) {
+    db_->stmt_call_->Add();
+  } else if (std::holds_alternative<ExplainAst>(stmt)) {
+    db_->stmt_explain_->Add();
+  } else if (is_ddl) {
+    db_->stmt_ddl_->Add();
+  } else if (std::holds_alternative<SimpleAst>(stmt)) {
+    db_->stmt_txn_->Add();
+  } else {
+    db_->stmt_other_->Add();
+  }
+
+  // EXPLAIN ANALYZE runs the statement for real, so it is gated and
+  // counted like the SELECT it wraps.
+  const bool analyze = std::holds_alternative<ExplainAst>(stmt) &&
+                       std::get<ExplainAst>(stmt).analyze;
+
   // Workload statements pass the admission gate: at most MPL of them run
   // at once, which is what makes the memory governor's per-request soft
   // limit (Eq. (5) = pool / MPL) a real bound.
@@ -776,15 +1186,19 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
                      std::holds_alternative<InsertAst>(stmt) ||
                      std::holds_alternative<UpdateAst>(stmt) ||
                      std::holds_alternative<DeleteAst>(stmt) ||
-                     std::holds_alternative<CallAst>(stmt);
+                     std::holds_alternative<CallAst>(stmt) || analyze;
 
   exec::AdmissionGate::Ticket ticket;
   if (gated) {
     auto admitted = db_->admission_gate().Admit();
-    if (!admitted.ok()) return admitted.status();
+    if (!admitted.ok()) {
+      db_->stmt_errors_->Add();
+      return admitted.status();
+    }
     ticket = std::move(*admitted);
   }
 
+  const double exec_start = WallMicros();
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     DepthGuard depth(&exec_depth_);
     if (is_ddl) {
@@ -794,6 +1208,15 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
     std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
     return ExecuteParsed(stmt, sql);
   }();
+  const double exec_micros = WallMicros() - exec_start;
+  db_->execute_hist_->Record(
+      static_cast<uint64_t>(std::max(0.0, exec_micros)));
+  if (result.ok()) {
+    db_->RecordStatementShape(NormalizeStatement(sql), exec_micros,
+                              result->rows.size());
+  } else {
+    db_->stmt_errors_->Add();
+  }
 
   if (gated) {
     // Release the slot before reporting completion so a queued request
@@ -821,13 +1244,17 @@ Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
     HDB_ASSIGN_OR_RETURN(
         out, ExecuteSelect(std::get<SelectAst>(stmt), nullptr, "", &out));
   } else if (std::holds_alternative<ExplainAst>(stmt)) {
-    Binder binder(&db_->catalog());
-    HDB_ASSIGN_OR_RETURN(optimizer::Query q,
-                         binder.BindSelect(*std::get<ExplainAst>(stmt).select));
-    optimizer::Optimizer opt(MakeOptimizerContext());
-    HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
-                         opt.Optimize(q, false, &out.diag));
-    out.explain = plan->Explain();
+    const auto& ex = std::get<ExplainAst>(stmt);
+    if (ex.analyze) {
+      HDB_ASSIGN_OR_RETURN(out, ExecuteExplainAnalyze(*ex.select, &out));
+    } else {
+      Binder binder(&db_->catalog());
+      HDB_ASSIGN_OR_RETURN(optimizer::Query q, binder.BindSelect(*ex.select));
+      optimizer::Optimizer opt(MakeOptimizerContext());
+      HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
+                           opt.Optimize(q, false, &out.diag));
+      out.explain = plan->Explain();
+    }
   } else if (std::holds_alternative<InsertAst>(stmt)) {
     HDB_ASSIGN_OR_RETURN(out, ExecuteInsert(std::get<InsertAst>(stmt)));
   } else if (std::holds_alternative<UpdateAst>(stmt)) {

@@ -19,6 +19,8 @@
 #include "exec/memory_governor.h"
 #include "exec/mpl_controller.h"
 #include "index/btree.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
 #include "os/memory_env.h"
@@ -123,7 +125,14 @@ class Database {
   stats::ProcStatsRegistry& proc_stats() { return proc_stats_; }
   txn::TransactionManager& txn_manager() { return *txn_manager_; }
   txn::LockManager& lock_manager() { return *lock_manager_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::DecisionLog& decision_log() { return decision_log_; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Full telemetry snapshot (counters, histogram rollups, governor
+  /// decisions, top statement shapes) as a JSON object — what the benches
+  /// embed into their BENCH_*.json artifacts.
+  std::string TelemetrySnapshotJson();
 
   table::TableHeap* heap(uint32_t table_oid);
   index::BTree* btree(uint32_t index_oid);
@@ -166,6 +175,18 @@ class Database {
   explicit Database(DatabaseOptions options);
   Status Init();
 
+  /// Registers engine-level metrics (statement counters, phase latencies)
+  /// plus pull callbacks over the pool/gate/lock stats structs.
+  void RegisterEngineTelemetry();
+  /// Registers the `sys.*` virtual tables in the catalog.
+  Status RegisterSysTables();
+  /// Materializes the live rows of one `sys.*` table (executor callback).
+  Result<std::vector<std::vector<Value>>> VirtualTableRows(uint32_t oid);
+  /// Per-shape statement statistics (sys.statements, paper §5's workload
+  /// view). `shape` is engine::NormalizeStatement(sql).
+  void RecordStatementShape(const std::string& shape, double micros,
+                            uint64_t rows);
+
   // DDL bodies; callers hold ddl_mu_ exclusively.
   Status CreateTableImpl(const CreateTableAst& ast);
   Status CreateIndexImpl(const CreateIndexAst& ast);
@@ -187,6 +208,12 @@ class Database {
 
   DatabaseOptions options_;
   os::VirtualClock clock_;
+
+  /// Declared before the subsystems that hold pointers into them, so the
+  /// registry and log are destroyed last.
+  obs::MetricsRegistry metrics_;
+  obs::DecisionLog decision_log_;
+
   std::unique_ptr<os::MemoryEnv> memory_env_;
   std::unique_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -214,6 +241,40 @@ class Database {
   mutable std::mutex trace_mu_;
   TraceHook trace_hook_;
   std::atomic<int> connections_{0};
+
+  // --- Telemetry (DESIGN.md §6) ---
+  /// Virtual-table oid → sys table index (order of kSysTableNames).
+  std::map<uint32_t, int> sys_tables_;
+
+  struct ShapeStats {
+    uint64_t count = 0;
+    double total_micros = 0;
+    uint64_t rows_returned = 0;
+  };
+  mutable std::mutex shapes_mu_;
+  std::map<std::string, ShapeStats> statement_shapes_;
+
+  // Statement counters and phase-latency histograms (registered in Init;
+  // stable pointers for the Database's lifetime).
+  obs::Counter* stmt_select_ = nullptr;
+  obs::Counter* stmt_insert_ = nullptr;
+  obs::Counter* stmt_update_ = nullptr;
+  obs::Counter* stmt_delete_ = nullptr;
+  obs::Counter* stmt_call_ = nullptr;
+  obs::Counter* stmt_ddl_ = nullptr;
+  obs::Counter* stmt_txn_ = nullptr;
+  obs::Counter* stmt_explain_ = nullptr;
+  obs::Counter* stmt_other_ = nullptr;
+  obs::Counter* stmt_errors_ = nullptr;
+  obs::LatencyHistogram* parse_hist_ = nullptr;
+  obs::LatencyHistogram* optimize_hist_ = nullptr;
+  obs::LatencyHistogram* execute_hist_ = nullptr;
+  obs::Counter* exec_rows_scanned_ = nullptr;
+  obs::Counter* exec_rows_output_ = nullptr;
+  obs::Counter* exec_spilled_tuples_ = nullptr;
+  obs::Counter* exec_partitions_evicted_ = nullptr;
+  obs::Counter* exec_sort_runs_spilled_ = nullptr;
+  obs::Counter* exec_group_by_spilled_groups_ = nullptr;
 };
 
 /// A client connection: SQL execution, per-connection plan cache,
@@ -255,6 +316,10 @@ class Connection {
       const SelectAst& ast,
       const std::vector<std::pair<std::string, Value>>* params,
       const std::string& cache_key, QueryResult* out);
+  /// EXPLAIN ANALYZE: executes the plan with per-operator instrumentation
+  /// and renders actual rows/time/memory next to the estimates.
+  Result<QueryResult> ExecuteExplainAnalyze(const SelectAst& ast,
+                                            QueryResult* out);
   Result<QueryResult> ExecuteInsert(const InsertAst& ast);
   Result<QueryResult> ExecuteUpdate(const UpdateAst& ast);
   Result<QueryResult> ExecuteDelete(const DeleteAst& ast);

@@ -46,6 +46,17 @@ class Parser {
     }
     return Advance().raw;
   }
+  /// Table name, optionally schema-qualified: `ident` or `ident.ident`.
+  /// The only schema today is the reserved virtual `sys.` one.
+  Result<std::string> ExpectTableName() {
+    HDB_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    if (Is(".")) {
+      Advance();
+      HDB_ASSIGN_OR_RETURN(const std::string rest, ExpectIdent());
+      name += "." + rest;
+    }
+    return name;
+  }
 
   Result<SelectAst> ParseSelect();
   Result<InsertAst> ParseInsert();
@@ -377,7 +388,7 @@ Result<SelectAst> Parser::ParseSelect() {
   std::vector<AstExprPtr> on_conditions;
   auto parse_table_ref = [&]() -> Result<TableRef> {
     TableRef tr;
-    HDB_ASSIGN_OR_RETURN(tr.table, ExpectIdent());
+    HDB_ASSIGN_OR_RETURN(tr.table, ExpectTableName());
     if (Accept("AS")) {
       HDB_ASSIGN_OR_RETURN(tr.alias, ExpectIdent());
     } else if (Peek().kind == TokenKind::kIdent && !Is("WHERE") &&
@@ -457,7 +468,7 @@ Result<InsertAst> Parser::ParseInsert() {
   InsertAst ins;
   HDB_RETURN_IF_ERROR(Expect("INSERT"));
   HDB_RETURN_IF_ERROR(Expect("INTO"));
-  HDB_ASSIGN_OR_RETURN(ins.table, ExpectIdent());
+  HDB_ASSIGN_OR_RETURN(ins.table, ExpectTableName());
   if (Accept("(")) {
     do {
       HDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
@@ -482,7 +493,7 @@ Result<InsertAst> Parser::ParseInsert() {
 Result<UpdateAst> Parser::ParseUpdate() {
   UpdateAst up;
   HDB_RETURN_IF_ERROR(Expect("UPDATE"));
-  HDB_ASSIGN_OR_RETURN(up.table, ExpectIdent());
+  HDB_ASSIGN_OR_RETURN(up.table, ExpectTableName());
   HDB_RETURN_IF_ERROR(Expect("SET"));
   do {
     HDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
@@ -500,7 +511,7 @@ Result<DeleteAst> Parser::ParseDelete() {
   DeleteAst del;
   HDB_RETURN_IF_ERROR(Expect("DELETE"));
   HDB_RETURN_IF_ERROR(Expect("FROM"));
-  HDB_ASSIGN_OR_RETURN(del.table, ExpectIdent());
+  HDB_ASSIGN_OR_RETURN(del.table, ExpectTableName());
   if (Accept("WHERE")) {
     HDB_ASSIGN_OR_RETURN(del.where, ParseExpr());
   }
@@ -645,8 +656,9 @@ Result<StatementAst> Parser::ParseStatement() {
     out = std::move(s);
   } else if (Is("EXPLAIN")) {
     Advance();
-    HDB_ASSIGN_OR_RETURN(SelectAst s, ParseSelect());
     ExplainAst ex;
+    ex.analyze = Accept("ANALYZE");
+    HDB_ASSIGN_OR_RETURN(SelectAst s, ParseSelect());
     ex.select = std::make_shared<SelectAst>(std::move(s));
     out = std::move(ex);
   } else if (Is("INSERT")) {
@@ -672,7 +684,7 @@ Result<StatementAst> Parser::ParseStatement() {
     } else {
       return Status::SyntaxError("DROP TABLE or DROP INDEX expected");
     }
-    HDB_ASSIGN_OR_RETURN(d.name, ExpectIdent());
+    HDB_ASSIGN_OR_RETURN(d.name, ExpectTableName());
     out = std::move(d);
   } else if (Accept("SET")) {
     HDB_RETURN_IF_ERROR(Expect("OPTION"));
@@ -713,6 +725,28 @@ Result<StatementAst> Parse(const std::string& sql) {
   HDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
+}
+
+std::string NormalizeStatement(const std::string& sql) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return sql;
+  std::string out;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kEnd) break;
+    if (!out.empty()) out += " ";
+    switch (t.kind) {
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        out += "?";
+        break;
+      case TokenKind::kParam:
+        out += ":?";
+        break;
+      default:
+        out += t.text;  // uppercased idents/symbols
+    }
+  }
+  return out;
 }
 
 }  // namespace hdb::engine

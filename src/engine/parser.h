@@ -150,6 +150,9 @@ struct DropAst {
 
 struct ExplainAst {
   std::shared_ptr<SelectAst> select;
+  /// EXPLAIN ANALYZE: execute the plan and render per-operator actual
+  /// rows/invocations/time/memory next to the optimizer's estimates.
+  bool analyze = false;
 };
 
 using StatementAst =
@@ -159,6 +162,12 @@ using StatementAst =
 
 /// Parses exactly one statement (a trailing ';' is allowed).
 Result<StatementAst> Parse(const std::string& sql);
+
+/// Normalizes a SQL text to its *statement shape*: literals replaced by
+/// '?', whitespace canonicalized, keywords uppercased. Statements that
+/// differ only in constants normalize identically (paper §5; used by the
+/// request tracer and the `sys.statements` virtual table).
+std::string NormalizeStatement(const std::string& sql);
 
 }  // namespace hdb::engine
 

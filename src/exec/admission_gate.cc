@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metric_names.h"
+
 namespace hdb::exec {
 
 void AdmissionGate::Ticket::Release() {
@@ -29,10 +31,17 @@ Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
     return Ticket(this);
   }
   ++waiting_;
+  const auto wait_start = std::chrono::steady_clock::now();
   const bool admitted = cv_.wait_for(
       lock, std::chrono::microseconds(options_.queue_timeout_micros),
       [&] { return active_ < capacity(); });
   --waiting_;
+  if (wait_hist_ != nullptr) {
+    wait_hist_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
+  }
   if (!admitted) {
     ++timed_out_;
     return Status::ResourceExhausted(
@@ -52,6 +61,17 @@ void AdmissionGate::ReleaseSlot() {
 }
 
 void AdmissionGate::Poke() { cv_.notify_all(); }
+
+void AdmissionGate::AttachTelemetry(obs::MetricsRegistry* registry) {
+  // Register before taking mu_: the registry invokes this gate's stats()
+  // callbacks (which take mu_) under its own mutex, so registering under
+  // mu_ would invert that order.
+  obs::LatencyHistogram* hist =
+      registry != nullptr ? registry->RegisterHistogram(obs::kGateWaitMicros)
+                          : nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_hist_ = hist;
+}
 
 AdmissionGateStats AdmissionGate::stats() const {
   std::lock_guard<std::mutex> lock(mu_);

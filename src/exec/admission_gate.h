@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "exec/memory_governor.h"
+#include "obs/metrics.h"
 
 namespace hdb::exec {
 
@@ -88,6 +89,11 @@ class AdmissionGate {
   AdmissionGateStats stats() const;
   const AdmissionGateOptions& options() const { return options_; }
 
+  /// Wires the gate into the engine's telemetry (DESIGN.md §6): queue-wait
+  /// latency histogram into `registry`. The admitted/timed-out counts are
+  /// published by the owner as callback gauges over stats().
+  void AttachTelemetry(obs::MetricsRegistry* registry);
+
  private:
   friend class Ticket;
   void ReleaseSlot();
@@ -102,6 +108,9 @@ class AdmissionGate {
   uint64_t admitted_immediately_ = 0;
   uint64_t admitted_after_wait_ = 0;
   uint64_t timed_out_ = 0;
+
+  // Telemetry (optional; null when not attached).
+  obs::LatencyHistogram* wait_hist_ = nullptr;
 };
 
 }  // namespace hdb::exec

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -202,6 +203,16 @@ class SeqScanOp : public Operator {
         preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
 
   Status Open() override {
+    if (plan_->table->is_virtual) {
+      // sys.* scan: the engine materializes live telemetry rows here.
+      if (ec_->virtual_rows == nullptr) {
+        return Status::Internal("no virtual-table row source");
+      }
+      HDB_ASSIGN_OR_RETURN(virtual_rows_,
+                           ec_->virtual_rows(plan_->table->oid));
+      virtual_pos_ = 0;
+      return Status::OK();
+    }
     heap_ = ec_->table_heap(plan_->table->oid);
     if (heap_ == nullptr) return Status::Internal("missing table heap");
     it_ = heap_->Scan();
@@ -209,6 +220,19 @@ class SeqScanOp : public Operator {
   }
 
   Result<bool> Next(RowContext* ctx) override {
+    if (plan_->table->is_virtual) {
+      while (virtual_pos_ < virtual_rows_.size()) {
+        ec_->stats.rows_scanned++;
+        row_ = virtual_rows_[virtual_pos_++];
+        ctx->rows[plan_->quantifier] = &row_;
+        HDB_ASSIGN_OR_RETURN(
+            const bool pass,
+            EvalResidual(ec_, plan_->table->oid, preds_, *ctx));
+        if (pass) return true;
+      }
+      ctx->rows[plan_->quantifier] = nullptr;
+      return false;
+    }
     Rid rid;
     std::string bytes;
     while (it_->Next(&rid, &bytes)) {
@@ -232,6 +256,8 @@ class SeqScanOp : public Operator {
   std::vector<CheckedPred> preds_;
   table::TableHeap* heap_ = nullptr;
   std::optional<table::TableHeap::Iterator> it_;
+  std::vector<std::vector<Value>> virtual_rows_;
+  size_t virtual_pos_ = 0;
   std::vector<Value> row_;
 };
 
@@ -567,6 +593,8 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         ec_(ec) {
     CollectBoundQuantifiers(plan_->children[0].get(), &outer_quants_);
   }
+
+  uint64_t MemoryBytes() const override { return build_bytes_; }
 
   Status Open() override {
     build_quantifier_ = plan_->children[1]->quantifier;
@@ -1126,6 +1154,8 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
     return bytes_held_ / ec_->pool->page_bytes();
   }
 
+  uint64_t MemoryBytes() const override { return bytes_held_; }
+
  private:
   struct GroupEntry {
     std::vector<Value> key_values;
@@ -1307,6 +1337,8 @@ class SortOp : public Operator, public MemoryConsumer {
     return bytes_held_ / ec_->pool->page_bytes();
   }
 
+  uint64_t MemoryBytes() const override { return bytes_held_; }
+
  private:
   struct MatRow {
     std::vector<std::vector<Value>> slots;  // indexed by quantifier
@@ -1466,6 +1498,65 @@ class SortOp : public Operator, public MemoryConsumer {
   uint64_t bytes_held_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+// ---------------------------------------------------------------------------
+
+/// Decorator measuring one operator for EXPLAIN ANALYZE. Wall time is
+/// inclusive of children (which are themselves wrapped, so self time can
+/// be derived by subtraction); memory is the high-water mark of the
+/// wrapped operator's MemoryBytes(), sampled after Open and each Next.
+class InstrumentedOp : public Operator {
+ public:
+  InstrumentedOp(const PlanNode* plan, std::unique_ptr<Operator> inner,
+                 ExecContext* ec)
+      : plan_(plan), inner_(std::move(inner)), ec_(ec) {}
+
+  Status Open() override {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status s = inner_->Open();
+    optimizer::OpActuals& a = Sample(t0);
+    a.opens++;
+    return s;
+  }
+
+  Result<bool> Next(RowContext* ctx) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = inner_->Next(ctx);
+    optimizer::OpActuals& a = Sample(t0);
+    a.invocations++;
+    if (r.ok() && *r) a.rows++;
+    return r;
+  }
+
+  void Close() override {
+    optimizer::OpActuals& a = (*ec_->actuals)[plan_];
+    a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
+    inner_->Close();
+  }
+
+  bool ProducesOutput() const override { return inner_->ProducesOutput(); }
+  uint64_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+
+ private:
+  optimizer::OpActuals& Sample(
+      std::chrono::steady_clock::time_point started) {
+    optimizer::OpActuals& a = (*ec_->actuals)[plan_];
+    a.wall_micros += std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+    a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
+    return a;
+  }
+
+  const PlanNode* plan_;
+  std::unique_ptr<Operator> inner_;
+  ExecContext* ec_;
+};
+
+Result<std::unique_ptr<Operator>> BuildExecutorNode(const PlanNode* plan,
+                                                    ExecContext* ctx);
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1474,6 +1565,20 @@ class SortOp : public Operator, public MemoryConsumer {
 
 Result<std::unique_ptr<Operator>> BuildExecutor(const PlanNode* plan,
                                                 ExecContext* ctx) {
+  HDB_ASSIGN_OR_RETURN(auto op, BuildExecutorNode(plan, ctx));
+  if (ctx->actuals != nullptr) {
+    return std::unique_ptr<Operator>(
+        new InstrumentedOp(plan, std::move(op), ctx));
+  }
+  return op;
+}
+
+namespace {
+
+// Children are built through BuildExecutor so each level gets wrapped
+// when EXPLAIN ANALYZE instrumentation is on.
+Result<std::unique_ptr<Operator>> BuildExecutorNode(const PlanNode* plan,
+                                                    ExecContext* ctx) {
   switch (plan->kind) {
     case PlanKind::kSeqScan:
       return std::unique_ptr<Operator>(new SeqScanOp(plan, ctx));
@@ -1543,6 +1648,8 @@ Result<std::unique_ptr<Operator>> BuildExecutor(const PlanNode* plan,
   }
   return Status::Internal("unhandled plan kind");
 }
+
+}  // namespace
 
 Result<std::vector<std::vector<Value>>> ExecuteToRows(const PlanNode* plan,
                                                       ExecContext* ctx) {

@@ -41,6 +41,14 @@ struct ExecContext {
   size_t num_quantifiers = 0;
   /// Procedure parameter bindings, propagated into every RowContext.
   const std::vector<std::pair<std::string, Value>>* params = nullptr;
+  /// Row source for virtual `sys.*` tables (by table oid): the engine
+  /// materializes live telemetry at scan Open() time; SeqScan iterates
+  /// the materialized rows instead of heap pages.
+  std::function<Result<std::vector<std::vector<Value>>>(uint32_t)>
+      virtual_rows;
+  /// Non-null under EXPLAIN ANALYZE: BuildExecutor wraps every operator
+  /// with an instrumenting decorator that fills one entry per plan node.
+  optimizer::OpActualsMap* actuals = nullptr;
   RuntimeStats stats;
 };
 
@@ -55,6 +63,9 @@ class Operator {
   /// True when this operator (or its pass-through chain) fills
   /// ctx->output rather than just quantifier slots.
   virtual bool ProducesOutput() const { return false; }
+  /// Bytes of working memory currently held (hash build sides, group
+  /// tables, sort buffers). Sampled by EXPLAIN ANALYZE for the peak.
+  virtual uint64_t MemoryBytes() const { return 0; }
 };
 
 /// Compiles a physical plan into an operator tree.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+
 namespace hdb::exec {
 
 MemoryGovernor::MemoryGovernor(storage::BufferPool* pool,
@@ -38,6 +40,31 @@ int MemoryGovernor::multiprogramming_level() const {
   return mpl_.load(std::memory_order_relaxed);
 }
 
+void MemoryGovernor::AttachTelemetry(obs::MetricsRegistry* registry,
+                                     obs::DecisionLog* decisions,
+                                     os::VirtualClock* clock) {
+  if (registry != nullptr) {
+    reclamations_counter_ = registry->RegisterCounter(obs::kMemReclamations);
+    reclaimed_pages_counter_ =
+        registry->RegisterCounter(obs::kMemReclaimedPages);
+    kills_counter_ = registry->RegisterCounter(obs::kMemHardLimitKills);
+    registry->RegisterCallback(obs::kMemActiveTasks, [this] {
+      return static_cast<double>(active_requests());
+    });
+    registry->RegisterCallback(obs::kMemSoftLimitPages, [this] {
+      return static_cast<double>(SoftLimitPages());
+    });
+    registry->RegisterCallback(obs::kMemHardLimitPages, [this] {
+      return static_cast<double>(HardLimitPages());
+    });
+    registry->RegisterCallback(obs::kMplCurrent, [this] {
+      return static_cast<double>(multiprogramming_level());
+    });
+  }
+  decisions_ = decisions;
+  telemetry_clock_ = clock;
+}
+
 TaskMemoryContext::TaskMemoryContext(MemoryGovernor* governor)
     : governor_(governor) {
   governor_->active_.fetch_add(1, std::memory_order_relaxed);
@@ -59,6 +86,10 @@ void TaskMemoryContext::ReclaimLocked() {
   uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
   if (pages <= soft) return;
   ++reclamations_;
+  const uint64_t pages_before = pages;
+  if (governor_->reclamations_counter_ != nullptr) {
+    governor_->reclamations_counter_->Add();
+  }
   // Highest consumer first: prevents an input operator from being starved
   // by its consumer while letting each proceed with as much memory as
   // possible (paper §4.3).
@@ -67,13 +98,27 @@ void TaskMemoryContext::ReclaimLocked() {
             [](const MemoryConsumer* a, const MemoryConsumer* b) {
               return a->plan_level > b->plan_level;
             });
+  uint64_t freed_total = 0;
   for (MemoryConsumer* c : order) {
     pages = (bytes_ + page_bytes - 1) / page_bytes;
     if (pages <= soft) break;
     const size_t freed = c->ReleasePages(pages - soft);
     reclaimed_pages_ += freed;
+    freed_total += freed;
     const uint64_t freed_bytes = static_cast<uint64_t>(freed) * page_bytes;
     bytes_ = bytes_ > freed_bytes ? bytes_ - freed_bytes : 0;
+  }
+  if (governor_->reclaimed_pages_counter_ != nullptr && freed_total > 0) {
+    governor_->reclaimed_pages_counter_->Add(freed_total);
+  }
+  if (governor_->decisions_ != nullptr) {
+    const int64_t now = governor_->telemetry_clock_ != nullptr
+                            ? governor_->telemetry_clock_->NowMicros()
+                            : 0;
+    governor_->decisions_->Record(
+        now, "memory", "reclaim", "soft_limit_exceeded",
+        static_cast<double>(pages_before),
+        static_cast<double>((bytes_ + page_bytes - 1) / page_bytes));
   }
 }
 
@@ -89,6 +134,18 @@ Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
     const uint64_t after = (bytes_ + page_bytes - 1) / page_bytes;
     if (after > governor_->HardLimitPages()) {
       bytes_ -= std::min(bytes_, bytes);
+      if (governor_->kills_counter_ != nullptr) {
+        governor_->kills_counter_->Add();
+      }
+      if (governor_->decisions_ != nullptr) {
+        const int64_t now = governor_->telemetry_clock_ != nullptr
+                                ? governor_->telemetry_clock_->NowMicros()
+                                : 0;
+        governor_->decisions_->Record(
+            now, "memory", "kill", "hard_limit_exceeded",
+            static_cast<double>(after),
+            static_cast<double>(governor_->HardLimitPages()));
+      }
       return Status::ResourceExhausted(
           "statement exceeded its hard memory limit (Eq. 4)");
     }

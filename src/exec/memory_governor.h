@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "os/virtual_clock.h"
 #include "storage/buffer_pool.h"
 
 namespace hdb::exec {
@@ -79,6 +82,13 @@ class MemoryGovernor {
   storage::BufferPool* pool() { return pool_; }
   const MemoryGovernorOptions& options() const { return options_; }
 
+  /// Wires the governor into the engine's telemetry (DESIGN.md §6):
+  /// reclamation/kill counters and limit gauges into `registry`, one
+  /// Decision per reclamation or kill into `decisions`. `clock` stamps
+  /// the decisions; pass null to stamp them 0.
+  void AttachTelemetry(obs::MetricsRegistry* registry,
+                       obs::DecisionLog* decisions, os::VirtualClock* clock);
+
  private:
   friend class TaskMemoryContext;
 
@@ -86,6 +96,14 @@ class MemoryGovernor {
   MemoryGovernorOptions options_;
   std::atomic<uint64_t> active_{0};
   std::atomic<int> mpl_;
+
+  // Telemetry (optional; null when not attached). Counters are atomic, so
+  // concurrent tasks may bump them without the governor's involvement.
+  obs::Counter* reclamations_counter_ = nullptr;
+  obs::Counter* reclaimed_pages_counter_ = nullptr;
+  obs::Counter* kills_counter_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
+  os::VirtualClock* telemetry_clock_ = nullptr;
 };
 
 /// Per-request memory accounting and reclamation.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
+
 namespace hdb::exec {
 
 MplController::MplController(MemoryGovernor* governor,
@@ -17,6 +19,23 @@ void MplController::OnRequestComplete() {
 std::vector<MplController::Sample> MplController::history() const {
   std::lock_guard<std::mutex> lock(mu_);
   return history_;
+}
+
+void MplController::AttachTelemetry(obs::MetricsRegistry* registry,
+                                    obs::DecisionLog* decisions) {
+  // Register before taking mu_: snapshot callbacks run under the registry
+  // mutex and may take subsystem mutexes, so the reverse order here would
+  // be a lock-order inversion.
+  obs::Counter* adaptations = nullptr;
+  obs::Counter* changes = nullptr;
+  if (registry != nullptr) {
+    adaptations = registry->RegisterCounter(obs::kMplAdaptations);
+    changes = registry->RegisterCounter(obs::kMplChanges);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  adaptations_counter_ = adaptations;
+  changes_counter_ = changes;
+  decisions_ = decisions;
 }
 
 bool MplController::MaybeAdapt() {
@@ -37,7 +56,9 @@ bool MplController::MaybeAdapt() {
   const double throughput =
       seconds > 0 ? static_cast<double>(completed) / seconds : 0;
 
-  int mpl = governor_->multiprogramming_level();
+  const int mpl_before = governor_->multiprogramming_level();
+  int mpl = mpl_before;
+  bool in_dead_band = true;
   if (last_throughput_ >= 0) {
     const double base = std::max(last_throughput_, 1e-9);
     const double change = (throughput - last_throughput_) / base;
@@ -46,6 +67,7 @@ bool MplController::MaybeAdapt() {
     }
     // Improved or flat: keep climbing in the current direction.
     if (std::abs(change) > options_.dead_band || last_throughput_ == 0) {
+      in_dead_band = false;
       mpl = std::clamp(mpl + direction_ * options_.step, options_.min_mpl,
                        options_.max_mpl);
       governor_->SetMultiprogrammingLevel(mpl);
@@ -54,6 +76,21 @@ bool MplController::MaybeAdapt() {
   history_.push_back(Sample{now, mpl, throughput, direction_});
   last_throughput_ = throughput;
   interval_start_.store(now, std::memory_order_relaxed);
+
+  if (adaptations_counter_ != nullptr) {
+    adaptations_counter_->Add();
+    if (mpl != mpl_before) changes_counter_->Add();
+  }
+  if (decisions_ != nullptr) {
+    const char* action = mpl > mpl_before ? "raise"
+                         : mpl < mpl_before ? "lower"
+                                            : "hold";
+    const char* reason = in_dead_band ? "dead_band"
+                         : direction_ > 0 ? "climbing"
+                                          : "backing_off";
+    decisions_->Record(now, "mpl", action, reason, throughput,
+                       static_cast<double>(mpl));
+  }
   return true;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "exec/memory_governor.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
 #include "os/virtual_clock.h"
 
 namespace hdb::exec {
@@ -56,6 +58,12 @@ class MplController {
   /// Snapshot of the decision trace (copied: concurrent adapts may append).
   std::vector<Sample> history() const;
 
+  /// Wires the controller into the engine's telemetry (DESIGN.md §6):
+  /// adaptation/MPL-change counters into `registry`, one Decision per
+  /// control step into `decisions`.
+  void AttachTelemetry(obs::MetricsRegistry* registry,
+                       obs::DecisionLog* decisions);
+
  private:
   MemoryGovernor* governor_;
   os::VirtualClock* clock_;
@@ -69,6 +77,11 @@ class MplController {
   double last_throughput_ = -1;
   int direction_ = +1;
   std::vector<Sample> history_;
+
+  // Telemetry (optional; null when not attached).
+  obs::Counter* adaptations_counter_ = nullptr;
+  obs::Counter* changes_counter_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
 };
 
 }  // namespace hdb::exec

@@ -1,0 +1,44 @@
+#include "obs/decision_log.h"
+
+#include <algorithm>
+
+namespace hdb::obs {
+
+DecisionLog::DecisionLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void DecisionLog::Record(int64_t at_micros, std::string governor,
+                         std::string action, std::string reason, double input,
+                         double output) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision d;
+  d.seq = next_seq_++;
+  d.at_micros = at_micros;
+  d.governor = std::move(governor);
+  d.action = std::move(action);
+  d.reason = std::move(reason);
+  d.input = input;
+  d.output = output;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(d));
+  } else {
+    ring_[d.seq % capacity_] = std::move(d);
+  }
+}
+
+std::vector<Decision> DecisionLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Decision> out = ring_;
+  std::sort(out.begin(), out.end(),
+            [](const Decision& a, const Decision& b) { return a.seq < b.seq; });
+  return out;
+}
+
+uint64_t DecisionLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace hdb::obs

@@ -1,0 +1,49 @@
+#ifndef HDB_OBS_DECISION_LOG_H_
+#define HDB_OBS_DECISION_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hdb::obs {
+
+/// One self-management adjustment: which governor acted, what it did, why,
+/// and the primary input/output signals. Rendered by `sys.governors` and
+/// `Database::TelemetrySnapshotJson()`.
+struct Decision {
+  uint64_t seq = 0;       // monotonically increasing across the log
+  int64_t at_micros = 0;  // virtual-clock time of the decision
+  std::string governor;   // "pool" | "mpl" | "memory"
+  std::string action;     // e.g. "grow", "shrink", "hold", "raise", "reclaim"
+  std::string reason;     // reason code, e.g. "dead_zone", "no_misses"
+  double input = 0;       // governor-specific input signal
+  double output = 0;      // resulting setting
+};
+
+/// Fixed-capacity ring buffer of governor decisions. Recording is cheap
+/// (one mutex, no allocation beyond the strings); when the ring is full
+/// the oldest entry is overwritten — `total_recorded()` keeps the true
+/// count so droppage is visible.
+class DecisionLog {
+ public:
+  explicit DecisionLog(size_t capacity = 256);
+
+  void Record(int64_t at_micros, std::string governor, std::string action,
+              std::string reason, double input, double output);
+
+  /// Retained decisions, oldest first.
+  std::vector<Decision> Snapshot() const;
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;    // == total recorded
+  std::vector<Decision> ring_;  // ring_[seq % capacity_]
+};
+
+}  // namespace hdb::obs
+
+#endif  // HDB_OBS_DECISION_LOG_H_

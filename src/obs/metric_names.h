@@ -1,0 +1,83 @@
+#ifndef HDB_OBS_METRIC_NAMES_H_
+#define HDB_OBS_METRIC_NAMES_H_
+
+// Central list of every metric name registered anywhere in the tree.
+// Names are dotted snake_case: `<subsystem>.<signal>[_<unit>]`, matching
+// ^[a-z0-9_]+(\.[a-z0-9_]+)+$ — scripts/check_metrics.sh parses this file
+// and fails the build-tree tests on duplicates or malformed names, so new
+// metrics MUST be added here, never as inline string literals.
+
+namespace hdb::obs {
+
+// storage/ — buffer pool (pull callbacks over BufferPool::stats()) and
+// pool-governor resize activity.
+inline constexpr char kPoolHits[] = "pool.hits";
+inline constexpr char kPoolMisses[] = "pool.misses";
+inline constexpr char kPoolEvictions[] = "pool.evictions";
+inline constexpr char kPoolHeapSteals[] = "pool.heap_steals";
+inline constexpr char kPoolLookasideReuses[] = "pool.lookaside_reuses";
+inline constexpr char kPoolCurrentFrames[] = "pool.current_frames";
+inline constexpr char kPoolPinnedFrames[] = "pool.pinned_frames";
+inline constexpr char kPoolFreeFrames[] = "pool.free_frames";
+inline constexpr char kPoolCurrentBytes[] = "pool.current_bytes";
+inline constexpr char kPoolGovernorPolls[] = "pool.governor_polls";
+inline constexpr char kPoolResizesGrow[] = "pool.resizes_grow";
+inline constexpr char kPoolResizesShrink[] = "pool.resizes_shrink";
+
+// exec/ — admission gate, MPL controller, memory governor.
+inline constexpr char kGateAdmittedImmediately[] = "gate.admitted_immediately";
+inline constexpr char kGateAdmittedAfterWait[] = "gate.admitted_after_wait";
+inline constexpr char kGateTimedOut[] = "gate.timed_out";
+inline constexpr char kGateActive[] = "gate.active";
+inline constexpr char kGateWaiting[] = "gate.waiting";
+inline constexpr char kGateWaitMicros[] = "gate.wait_micros";
+inline constexpr char kMplCurrent[] = "mpl.current";
+inline constexpr char kMplChanges[] = "mpl.changes";
+inline constexpr char kMplAdaptations[] = "mpl.adaptations";
+inline constexpr char kMemReclamations[] = "mem.reclamations";
+inline constexpr char kMemReclaimedPages[] = "mem.reclaimed_pages";
+inline constexpr char kMemHardLimitKills[] = "mem.hard_limit_kills";
+inline constexpr char kMemActiveTasks[] = "mem.active_tasks";
+inline constexpr char kMemSoftLimitPages[] = "mem.soft_limit_pages";
+inline constexpr char kMemHardLimitPages[] = "mem.hard_limit_pages";
+
+// txn/ — the lock table is no-wait (§2.1), so a "lock wait" surfaces as a
+// conflict that aborts the statement; deadlock timeouts cannot occur.
+inline constexpr char kLockConflicts[] = "lock.conflicts";
+inline constexpr char kLockHeld[] = "lock.held";
+inline constexpr char kLockTablePages[] = "lock.table_pages";
+
+// engine/ — statements by kind, outcome, and phase latencies.
+inline constexpr char kStmtSelect[] = "stmt.select";
+inline constexpr char kStmtInsert[] = "stmt.insert";
+inline constexpr char kStmtUpdate[] = "stmt.update";
+inline constexpr char kStmtDelete[] = "stmt.delete";
+inline constexpr char kStmtCall[] = "stmt.call";
+inline constexpr char kStmtDdl[] = "stmt.ddl";
+inline constexpr char kStmtTxn[] = "stmt.txn";
+inline constexpr char kStmtExplain[] = "stmt.explain";
+inline constexpr char kStmtOther[] = "stmt.other";
+inline constexpr char kStmtErrors[] = "stmt.errors";
+inline constexpr char kLatencyParseMicros[] = "latency.parse_micros";
+inline constexpr char kLatencyOptimizeMicros[] = "latency.optimize_micros";
+inline constexpr char kLatencyExecuteMicros[] = "latency.execute_micros";
+
+// exec/ operator-level totals, accumulated per statement from RuntimeStats.
+inline constexpr char kExecRowsScanned[] = "exec.rows_scanned";
+inline constexpr char kExecRowsOutput[] = "exec.rows_output";
+inline constexpr char kExecSpilledTuples[] = "exec.spilled_tuples";
+inline constexpr char kExecPartitionsEvicted[] = "exec.partitions_evicted";
+inline constexpr char kExecSortRunsSpilled[] = "exec.sort_runs_spilled";
+inline constexpr char kExecGroupBySpilledGroups[] =
+    "exec.group_by_spilled_groups";
+
+// profile/ — request tracer sink backpressure.
+inline constexpr char kTraceEvents[] = "trace.events";
+inline constexpr char kTraceDroppedSinkWrites[] = "trace.dropped_sink_writes";
+
+// obs/ — the decision log itself.
+inline constexpr char kGovDecisions[] = "gov.decisions";
+
+}  // namespace hdb::obs
+
+#endif  // HDB_OBS_METRIC_NAMES_H_

@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace hdb::obs {
+
+int LatencyHistogram::BucketFor(uint64_t micros) {
+  if (micros == 0) return 0;
+  const int b = 64 - std::countl_zero(micros);  // position of highest bit
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+uint64_t LatencyHistogram::BucketUpperMicros(int i) {
+  if (i <= 0) return 0;
+  return 1ull << i;
+}
+
+double LatencyHistogram::QuantileMicros(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(n) + 0.5);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return static_cast<double>(BucketUpperMicros(i));
+  }
+  return static_cast<double>(BucketUpperMicros(kBuckets - 1));
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::RegisterHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(fn);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
+              callbacks_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = static_cast<double>(g->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCallback;
+    s.value = fn ? fn() : 0;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.sum_micros = h->sum_micros();
+    s.value = h->mean_micros();
+    s.p50_micros = h->QuantileMicros(0.50);
+    s.p95_micros = h->QuantileMicros(0.95);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  for (const auto& [name, f] : callbacks_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hdb::obs

@@ -1,0 +1,142 @@
+#ifndef HDB_OBS_METRICS_H_
+#define HDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hdb::obs {
+
+/// Telemetry primitives (DESIGN.md §6). Mutation paths are relaxed atomics
+/// so instrumented hot paths never serialize; registration and snapshots
+/// take a registry mutex. When the tree is configured with
+/// `-DHDB_TELEMETRY=OFF` (which defines HDB_NO_TELEMETRY), every mutation
+/// call compiles to a no-op while the call sites and the registry API stay
+/// intact — that build is the baseline for the instrumentation-overhead
+/// budget in EXPERIMENTS.md.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#ifndef HDB_NO_TELEMETRY
+    v_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written level (may go up or down).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#ifndef HDB_NO_TELEMETRY
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t delta) {
+#ifndef HDB_NO_TELEMETRY
+    v_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed log2-bucketed latency histogram over microseconds. Bucket i
+/// holds samples in [2^(i-1), 2^i) µs (bucket 0 holds 0 µs). Lock-free
+/// recording; quantiles are approximated by each bucket's upper bound.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(uint64_t micros) {
+#ifndef HDB_NO_TELEMETRY
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(micros, std::memory_order_relaxed);
+    buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)micros;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const { return sum_.load(std::memory_order_relaxed); }
+  double mean_micros() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum_micros()) / n;
+  }
+  /// Upper bound of the bucket containing quantile q (0 < q <= 1).
+  double QuantileMicros(double q) const;
+
+  static int BucketFor(uint64_t micros);
+  /// Upper bound (µs) of bucket i.
+  static uint64_t BucketUpperMicros(int i);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kCallback, kHistogram };
+
+/// One row of a registry snapshot — also the row shape of `sys.counters`
+/// (name, value) with histogram rollups flattened in.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter/gauge/callback value; histogram mean µs
+  // Histogram-only rollups.
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+};
+
+/// Thread-safe registry of named metrics, owned by `engine::Database`.
+/// Registration is idempotent: re-registering a name of the same kind
+/// returns the existing object (stable pointer for the process lifetime).
+/// Callback gauges are the pull model for values another subsystem
+/// already maintains (buffer-pool stats, admission-gate stats): the
+/// source stays authoritative and nothing is double-counted.
+class MetricsRegistry {
+ public:
+  Counter* RegisterCounter(const std::string& name);
+  Gauge* RegisterGauge(const std::string& name);
+  LatencyHistogram* RegisterHistogram(const std::string& name);
+  void RegisterCallback(const std::string& name, std::function<double()> fn);
+
+  /// All metrics, sorted by name; callbacks are invoked at snapshot time.
+  std::vector<MetricSample> Snapshot() const;
+  /// Registered names, sorted (tests: uniqueness/snake_case).
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::function<double()>> callbacks_;
+};
+
+}  // namespace hdb::obs
+
+#endif  // HDB_OBS_METRICS_H_

@@ -33,7 +33,7 @@ std::string PlanNode::Fingerprint() const {
   return fp;
 }
 
-std::string PlanNode::Explain(int indent) const {
+std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
   out += PlanKindName(kind);
   if (table != nullptr) out += " " + table->name;
@@ -51,12 +51,30 @@ std::string PlanNode::Explain(int indent) const {
     out += " mem=" + std::to_string(memory_quota_pages) + "p";
   }
   if (alt_index_nl) out += " [alt: index-NL]";
-  char buf[64];
+  char buf[128];
   std::snprintf(buf, sizeof(buf), "  (rows=%.0f cost=%.0f)", est_rows,
                 est_cost);
   out += buf;
+  if (actuals != nullptr) {
+    const auto it = actuals->find(this);
+    if (it != actuals->end()) {
+      const OpActuals& a = it->second;
+      std::snprintf(buf, sizeof(buf),
+                    "  (actual rows=%llu invocations=%llu time=%.3fms",
+                    static_cast<unsigned long long>(a.rows),
+                    static_cast<unsigned long long>(a.invocations),
+                    static_cast<double>(a.wall_micros) / 1000.0);
+      out += buf;
+      if (a.peak_memory_bytes > 0) {
+        std::snprintf(buf, sizeof(buf), " mem=%.1fKB",
+                      static_cast<double>(a.peak_memory_bytes) / 1024.0);
+        out += buf;
+      }
+      out += ")";
+    }
+  }
   out += "\n";
-  for (const auto& c : children) out += c->Explain(indent + 1);
+  for (const auto& c : children) out += c->Explain(indent + 1, actuals);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef HDB_OPTIMIZER_PLAN_H_
 #define HDB_OPTIMIZER_PLAN_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,6 +11,23 @@
 #include "optimizer/query.h"
 
 namespace hdb::optimizer {
+
+struct PlanNode;
+
+/// Measured per-operator execution facts, collected by EXPLAIN ANALYZE
+/// (the executor wraps each operator and fills one entry per plan node).
+/// Rendered by PlanNode::Explain next to the optimizer's estimates so
+/// estimate-vs-actual drift — the paper's §4 feedback signal — is
+/// directly readable.
+struct OpActuals {
+  uint64_t rows = 0;         // rows returned by this operator
+  uint64_t invocations = 0;  // Next() calls (including the final miss)
+  uint64_t opens = 0;        // Open() calls (re-opens on NL inner sides)
+  int64_t wall_micros = 0;   // wall time inside Open+Next, children included
+  uint64_t peak_memory_bytes = 0;  // high-water mark of MemoryBytes()
+};
+
+using OpActualsMap = std::map<const PlanNode*, OpActuals>;
 
 enum class PlanKind : uint8_t {
   kSeqScan,
@@ -83,8 +101,11 @@ struct PlanNode {
   /// choices) fingerprint equal. The plan cache's training test (§4.1).
   std::string Fingerprint() const;
 
-  /// Multi-line EXPLAIN rendering.
-  std::string Explain(int indent = 0) const;
+  /// Multi-line EXPLAIN rendering. When `actuals` is non-null (EXPLAIN
+  /// ANALYZE), each line appends the operator's measured rows,
+  /// invocations, wall time, and peak memory next to the estimates.
+  std::string Explain(int indent = 0, const OpActualsMap* actuals = nullptr)
+      const;
 };
 
 using PlanPtr = std::unique_ptr<PlanNode>;

@@ -1,35 +1,44 @@
 #include "profile/tracer.h"
 
-#include "engine/lexer.h"
+#include "engine/parser.h"
+#include "obs/metric_names.h"
 
 namespace hdb::profile {
 
-std::string NormalizeStatement(const std::string& sql) {
-  auto tokens = engine::Lex(sql);
-  if (!tokens.ok()) return sql;
+namespace {
+
+/// Per-thread reentrancy latch: when the sink is the monitored database
+/// itself, the flush's own INSERT fires the trace hook on the same thread;
+/// the latch makes that a no-op *before* any tracer mutex is taken, so
+/// self-tracing can neither recurse nor deadlock.
+thread_local bool tl_in_sink_write = false;
+
+std::string EscapeSqlString(const std::string& s) {
   std::string out;
-  for (const engine::Token& t : *tokens) {
-    if (t.kind == engine::TokenKind::kEnd) break;
-    if (!out.empty()) out += " ";
-    switch (t.kind) {
-      case engine::TokenKind::kNumber:
-      case engine::TokenKind::kString:
-        out += "?";
-        break;
-      case engine::TokenKind::kParam:
-        out += ":?";
-        break;
-      default:
-        out += t.text;  // uppercased idents/symbols
-    }
+  out.reserve(s.size());
+  for (const char c : s) {
+    out += c;
+    if (c == '\'') out += '\'';
   }
   return out;
 }
+
+}  // namespace
+
+std::string NormalizeStatement(const std::string& sql) {
+  return engine::NormalizeStatement(sql);
+}
+
+RequestTracer::RequestTracer(size_t batch_size)
+    : batch_size_(batch_size == 0 ? 1 : batch_size) {}
 
 Status RequestTracer::Attach(engine::Database* monitored,
                              engine::Database* sink) {
   monitored_ = monitored;
   sink_ = sink;
+  events_counter_ = monitored_->metrics().RegisterCounter(obs::kTraceEvents);
+  dropped_counter_ =
+      monitored_->metrics().RegisterCounter(obs::kTraceDroppedSinkWrites);
   if (sink_ != nullptr) {
     HDB_ASSIGN_OR_RETURN(sink_conn_, sink_->Connect());
     // Trace schema: one row per request.
@@ -49,31 +58,55 @@ Status RequestTracer::Attach(engine::Database* monitored,
 void RequestTracer::Detach() {
   if (monitored_ != nullptr) monitored_->set_trace_hook(nullptr);
   monitored_ = nullptr;
+  Flush();
+}
+
+void RequestTracer::Flush() {
+  std::vector<std::string> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(pending_tuples_);
+  }
+  if (!batch.empty()) WriteBatch(std::move(batch));
+}
+
+void RequestTracer::WriteBatch(std::vector<std::string> tuples) {
+  if (sink_conn_ == nullptr) return;
+  std::string insert = "INSERT INTO profile_trace VALUES ";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) insert += ", ";
+    insert += tuples[i];
+  }
+  tl_in_sink_write = true;
+  const auto r = sink_conn_->Execute(insert);
+  tl_in_sink_write = false;
+  if (!r.ok()) {
+    // Per-event accounting: a failed batch of N rows is N dropped writes.
+    dropped_.fetch_add(tuples.size(), std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Add(tuples.size());
+  }
 }
 
 void RequestTracer::OnEvent(const engine::TraceEvent& ev) {
-  if (in_sink_write_) return;  // ignore our own inserts when sink == source
-  events_.push_back(ev);
-  if (sink_conn_ == nullptr) return;
-  in_sink_write_ = true;
-  std::string esc;
-  for (const char c : ev.sql) {
-    esc += c;
-    if (c == '\'') esc += '\'';
+  if (tl_in_sink_write) return;  // our own insert when sink == source
+  if (events_counter_ != nullptr) events_counter_->Add();
+
+  std::vector<std::string> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(ev);
+    if (sink_conn_ != nullptr) {
+      pending_tuples_.push_back(
+          "('" + EscapeSqlString(ev.sql) + "', '" +
+          EscapeSqlString(NormalizeStatement(ev.sql)) + "', " +
+          std::to_string(ev.elapsed_micros) + ", " +
+          std::to_string(ev.rows_returned) + ", " +
+          std::to_string(ev.rows_scanned) + ", " +
+          (ev.bypassed_optimizer ? "TRUE" : "FALSE") + ")");
+      if (pending_tuples_.size() >= batch_size_) batch.swap(pending_tuples_);
+    }
   }
-  std::string shape_esc;
-  for (const char c : NormalizeStatement(ev.sql)) {
-    shape_esc += c;
-    if (c == '\'') shape_esc += '\'';
-  }
-  const std::string insert =
-      "INSERT INTO profile_trace VALUES ('" + esc + "', '" + shape_esc +
-      "', " + std::to_string(ev.elapsed_micros) + ", " +
-      std::to_string(ev.rows_returned) + ", " +
-      std::to_string(ev.rows_scanned) + ", " +
-      (ev.bypassed_optimizer ? "TRUE" : "FALSE") + ")";
-  if (!sink_conn_->Execute(insert).ok()) ++dropped_;
-  in_sink_write_ = false;
+  if (!batch.empty()) WriteBatch(std::move(batch));
 }
 
 }  // namespace hdb::profile

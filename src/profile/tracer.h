@@ -1,11 +1,14 @@
 #ifndef HDB_PROFILE_TRACER_H_
 #define HDB_PROFILE_TRACER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/database.h"
+#include "obs/metrics.h"
 
 namespace hdb::profile {
 
@@ -15,35 +18,62 @@ namespace hdb::profile {
 /// over TCP/IP; here, in process — DESIGN.md substitution #5) into any SQL
 /// Anywhere database for analysis, including the monitored database
 /// itself (convenience) or a separate one (performance).
+///
+/// Thread safety: the hook runs on whichever session thread finished a
+/// request, so any number of threads may deliver events concurrently.
+/// Sink writes are batched (one multi-row INSERT per `batch_size` events)
+/// to keep the per-request overhead down; Detach flushes the remainder.
+/// A failed batch of N rows counts N dropped writes — droppage is
+/// per-event, never per-batch.
 class RequestTracer {
  public:
-  RequestTracer() = default;
+  explicit RequestTracer(size_t batch_size = 16);
 
   /// Starts capturing `monitored`'s requests. If `sink` is non-null, each
-  /// event is also inserted into a `profile_trace` table there.
+  /// event is also inserted into a `profile_trace` table there. Registers
+  /// trace.events / trace.dropped_sink_writes in the monitored database's
+  /// metrics registry.
   Status Attach(engine::Database* monitored, engine::Database* sink);
 
-  /// Stops capturing (clears the hook).
+  /// Stops capturing (clears the hook) and flushes buffered sink rows.
   void Detach();
 
+  /// Writes any buffered sink rows now. Safe from any thread.
+  void Flush();
+
   const std::vector<engine::TraceEvent>& events() const { return events_; }
-  uint64_t dropped_sink_writes() const { return dropped_; }
+  uint64_t dropped_sink_writes() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   void OnEvent(const engine::TraceEvent& ev);
+  /// Executes one multi-row INSERT for `tuples`; on failure every tuple
+  /// counts as one dropped sink write.
+  void WriteBatch(std::vector<std::string> tuples);
 
+  const size_t batch_size_;
   engine::Database* monitored_ = nullptr;
   engine::Database* sink_ = nullptr;
   std::unique_ptr<engine::Connection> sink_conn_;
+
+  /// Guards events_ and pending_tuples_; never held across a sink write.
+  std::mutex mu_;
   std::vector<engine::TraceEvent> events_;
-  uint64_t dropped_ = 0;
-  bool in_sink_write_ = false;
+  std::vector<std::string> pending_tuples_;  // rendered "(...)" row tuples
+  std::atomic<uint64_t> dropped_{0};
+
+  // Telemetry (registered on Attach; null when the monitored database is
+  // gone or Attach was never called).
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
 };
 
 /// Normalizes a SQL text to its *statement shape*: literals replaced by
 /// '?', whitespace canonicalized, keywords uppercased. Statements that
 /// differ only in constants — the client-side join signature — normalize
-/// identically.
+/// identically. Delegates to engine::NormalizeStatement (the engine uses
+/// the same shapes for sys.statements).
 std::string NormalizeStatement(const std::string& sql);
 
 }  // namespace hdb::profile

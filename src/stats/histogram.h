@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -38,11 +39,23 @@ struct HistogramOptions {
 ///
 /// All counts are stored as doubles; estimates are fractions of the
 /// table's rows (including NULLs, which never satisfy comparisons).
+///
+/// Thread safety: the optimizer estimates against a histogram while DML
+/// maintenance mutates it concurrently, so every public entry point takes
+/// an internal lock. It is recursive because public methods call each
+/// other (e.g. FeedbackEquals -> EstimateEquals, OnInsert -> density).
 class Histogram {
  public:
   using Options = HistogramOptions;
 
   explicit Histogram(TypeId type, Options options = {});
+
+  // Movable (factories return by value); a moved-from histogram must not
+  // be used concurrently with the move itself.
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(Histogram&& other) noexcept;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   /// Builds from a full value sample (NULLs passed via `null_count`).
   /// Values are order-preserving hash codes; need not be sorted.
@@ -75,27 +88,46 @@ class Histogram {
   void FeedbackIsNull(double observed_fraction);
 
   // --- Introspection ---
-  double total_rows() const { return total_; }
-  size_t bucket_count() const { return buckets_.size(); }
-  size_t singleton_count() const { return singletons_.size(); }
+  double total_rows() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return total_;
+  }
+  size_t bucket_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return buckets_.size();
+  }
+  size_t singleton_count() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return singletons_.size();
+  }
   /// Compressed representation: only singleton buckets remain.
   bool all_singletons() const;
   /// Domain bounds, covering both equi-depth buckets and singleton
   /// buckets (a compressed all-singleton histogram has no buckets).
   double min_value() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     double lo = lo_;
     if (!singletons_.empty()) lo = std::min(lo, singletons_.begin()->first);
     return lo;
   }
   double max_value() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     double hi = buckets_.empty() ? lo_ : buckets_.back().hi;
     if (!singletons_.empty()) hi = std::max(hi, singletons_.rbegin()->first);
     return hi;
   }
   TypeId type() const { return type_; }
 
+  /// Pins the histogram across several calls (the lock is recursive, so
+  /// the individual calls still locking internally is fine). JoinHistogram
+  /// uses this to read a consistent snapshot of both input histograms.
+  std::unique_lock<std::recursive_mutex> Lock() const {
+    return std::unique_lock<std::recursive_mutex>(mu_);
+  }
+
   // --- Join-histogram support (paper §3.2) ---
   /// The frequent-value (singleton) buckets: value -> row count.
+  /// Caller must hold Lock() while iterating.
   const std::map<double, double>& singleton_buckets() const {
     return singletons_;
   }
@@ -119,6 +151,9 @@ class Histogram {
   void Restructure();
   double NonNullCount() const;
   double SingletonTotal() const;
+
+  /// Guards every field below against concurrent estimate / maintenance.
+  mutable std::recursive_mutex mu_;
 
   TypeId type_;
   Options options_;

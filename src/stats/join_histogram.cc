@@ -2,10 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 namespace hdb::stats {
 
 JoinHistogram::JoinHistogram(const Histogram& left, const Histogram& right) {
+  // Pin both inputs for the whole computation (singleton_buckets() is
+  // iterated directly). Lock in address order to avoid deadlocking against
+  // a concurrent JoinHistogram(right, left); a self-join locks only once
+  // (the recursive mutex would allow it, but there is only one mutex).
+  const Histogram* first = &left < &right ? &left : &right;
+  const Histogram* second = &left < &right ? &right : &left;
+  std::unique_lock<std::recursive_mutex> first_lock = first->Lock();
+  std::unique_lock<std::recursive_mutex> second_lock =
+      first == second ? std::unique_lock<std::recursive_mutex>()
+                      : second->Lock();
+
   const double ltotal = left.total_rows();
   const double rtotal = right.total_rows();
   if (ltotal < 1 || rtotal < 1) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+
 namespace hdb::storage {
 
 PoolGovernor::PoolGovernor(BufferPool* pool, os::MemoryEnv* env,
@@ -45,6 +47,26 @@ uint64_t PoolGovernor::SoftUpperBoundLocked() const {
 std::vector<PoolGovernorSample> PoolGovernor::history() const {
   std::lock_guard<std::mutex> lock(mu_);
   return history_;
+}
+
+void PoolGovernor::AttachTelemetry(obs::MetricsRegistry* registry,
+                                   obs::DecisionLog* decisions) {
+  // Register before taking mu_: snapshot callbacks run under the registry
+  // mutex and may take subsystem mutexes, so the reverse order here would
+  // be a lock-order inversion.
+  obs::Counter* polls = nullptr;
+  obs::Counter* grows = nullptr;
+  obs::Counter* shrinks = nullptr;
+  if (registry != nullptr) {
+    polls = registry->RegisterCounter(obs::kPoolGovernorPolls);
+    grows = registry->RegisterCounter(obs::kPoolResizesGrow);
+    shrinks = registry->RegisterCounter(obs::kPoolResizesShrink);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  polls_counter_ = polls;
+  grows_counter_ = grows;
+  shrinks_counter_ = shrinks;
+  decisions_ = decisions;
 }
 
 bool PoolGovernor::MaybePoll() {
@@ -168,6 +190,23 @@ PoolGovernorSample PoolGovernor::PollNowLocked() {
   last_free_physical_ = s.free_physical;
   polls_done_++;
   history_.push_back(s);
+
+  if (polls_counter_ != nullptr) {
+    polls_counter_->Add();
+    if (s.grew) grows_counter_->Add();
+    if (s.shrank) shrinks_counter_->Add();
+  }
+  if (decisions_ != nullptr) {
+    const char* action = s.grew ? "grow" : (s.shrank ? "shrink" : "hold");
+    const char* reason = s.grew ? "target_above_current"
+                        : s.shrank ? "target_below_current"
+                        : s.in_dead_zone ? "dead_zone"
+                        : s.growth_blocked_no_misses ? "no_misses"
+                                                     : "at_target";
+    decisions_->Record(s.at_micros, "pool", action, reason,
+                       static_cast<double>(s.target_bytes),
+                       static_cast<double>(s.new_size_bytes));
+  }
   return s;
 }
 

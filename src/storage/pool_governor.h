@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
 #include "os/memory_env.h"
 #include "os/virtual_clock.h"
 #include "storage/buffer_pool.h"
@@ -111,6 +113,12 @@ class PoolGovernor {
   /// server's memory demand.
   uint64_t ReportedAllocation() const;
 
+  /// Wires the governor into the engine's telemetry (DESIGN.md §6): poll
+  /// and resize counters into `registry`, one Decision per poll into
+  /// `decisions`. Call before concurrent polling starts.
+  void AttachTelemetry(obs::MetricsRegistry* registry,
+                       obs::DecisionLog* decisions);
+
   const PoolGovernorOptions& options() const { return options_; }
   /// Snapshot of the decision trace (copied: concurrent polls may append).
   std::vector<PoolGovernorSample> history() const;
@@ -141,6 +149,12 @@ class PoolGovernor {
   // Anti-hysteresis state.
   int polls_since_shrink_ = 1 << 20;
   uint64_t last_shrink_amount_ = 0;
+
+  // Telemetry (optional; null when not attached).
+  obs::Counter* polls_counter_ = nullptr;
+  obs::Counter* grows_counter_ = nullptr;
+  obs::Counter* shrinks_counter_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
 
   std::vector<PoolGovernorSample> history_;
 };

@@ -1,5 +1,7 @@
 #include "txn/lock_manager.h"
 
+#include "obs/metric_names.h"
+
 namespace hdb::txn {
 
 namespace {
@@ -45,9 +47,11 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t key, LockMode mode) {
   }));
   if (already_held) return Status::OK();
   if (conflict) {
+    if (conflicts_counter_ != nullptr) conflicts_counter_->Add();
     return Status::Aborted("lock conflict (no-wait policy)");
   }
   if (mode == LockMode::kExclusive && !upgradable) {
+    if (conflicts_counter_ != nullptr) conflicts_counter_->Add();
     return Status::Aborted("lock upgrade conflict");
   }
   return table_.Insert(key, PackValue(txn_id, mode));
@@ -61,6 +65,24 @@ Status LockManager::LockRow(uint64_t txn_id, uint32_t table_oid, Rid rid,
 Status LockManager::LockTable(uint64_t txn_id, uint32_t table_oid,
                               LockMode mode) {
   return Acquire(txn_id, TableKey(table_oid), mode);
+}
+
+void LockManager::AttachTelemetry(obs::MetricsRegistry* registry) {
+  // Register before taking mu_: the callbacks registered here take mu_
+  // (via held_locks()) under the registry mutex, so registering while
+  // holding mu_ would invert that order.
+  obs::Counter* conflicts = nullptr;
+  if (registry != nullptr) {
+    conflicts = registry->RegisterCounter(obs::kLockConflicts);
+    registry->RegisterCallback(obs::kLockHeld, [this] {
+      return static_cast<double>(held_locks());
+    });
+    registry->RegisterCallback(obs::kLockTablePages, [this] {
+      return static_cast<double>(lock_table_pages());
+    });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  conflicts_counter_ = conflicts;
 }
 
 void LockManager::Unlock(uint64_t txn_id, uint64_t lock_key) {

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/ext_hash.h"
 
 namespace hdb::txn {
@@ -50,11 +51,18 @@ class LockManager {
     return table_.bucket_pages();
   }
 
+  /// Wires the lock manager into the engine's telemetry (DESIGN.md §6):
+  /// conflict counter and held-lock gauges into `registry`.
+  void AttachTelemetry(obs::MetricsRegistry* registry);
+
  private:
   Status Acquire(uint64_t txn_id, uint64_t key, LockMode mode);
 
   mutable std::mutex mu_;
   storage::ExtHashTable table_;
+
+  // Telemetry (optional; null when not attached).
+  obs::Counter* conflicts_counter_ = nullptr;
 };
 
 }  // namespace hdb::txn

@@ -1,0 +1,326 @@
+// Observability layer tests: MetricsRegistry thread safety, the sys.*
+// virtual tables queried over plain SQL (from a second connection, as a
+// DBA would), EXPLAIN ANALYZE actuals next to estimates, and the governor
+// decision log after forced governor activity. Run these under
+// -DHDB_SANITIZE=thread as well — the registry and the sys.* scans are
+// read concurrently with live instrumentation writes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "obs/decision_log.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace hdb {
+namespace {
+
+// Counter/gauge/histogram mutations compile to no-ops under
+// -DHDB_TELEMETRY=OFF (the overhead-measurement baseline), so tests that
+// assert recorded *values* skip there. Structure (sys.* schemas, EXPLAIN
+// ANALYZE, the decision log) stays live in both configurations.
+#ifdef HDB_NO_TELEMETRY
+#define SKIP_WITHOUT_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (-DHDB_TELEMETRY=OFF)"
+#else
+#define SKIP_WITHOUT_TELEMETRY() \
+  do {                           \
+  } while (false)
+#endif
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry primitives
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAreExactUnderContention) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 100'000;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Every thread registers by name — registration must be idempotent
+      // and hand back the same counter — then hammers it.
+      obs::Counter* shared = registry.RegisterCounter("test.shared");
+      obs::Counter* pairs = registry.RegisterCounter("test.pairs");
+      obs::Gauge* gauge = registry.RegisterGauge("test.gauge");
+      obs::LatencyHistogram* hist = registry.RegisterHistogram("test.lat");
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        shared->Add();
+        pairs->Add(2);
+        gauge->Set(i);
+        hist->Record(i % 1000);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const uint64_t n = uint64_t{kThreads} * kAddsPerThread;
+  EXPECT_EQ(registry.RegisterCounter("test.shared")->value(), n);
+  EXPECT_EQ(registry.RegisterCounter("test.pairs")->value(), 2 * n);
+  EXPECT_EQ(registry.RegisterHistogram("test.lat")->count(), n);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::MetricsRegistry registry;
+  registry.RegisterCounter("z.last")->Add(3);
+  registry.RegisterGauge("a.first")->Set(7);
+  registry.RegisterCallback("m.middle", [] { return 42.0; });
+  registry.RegisterHistogram("h.lat")->Record(100);
+
+  const auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "a.first");
+  EXPECT_EQ(samples[0].value, 7.0);
+  EXPECT_EQ(samples[1].name, "h.lat");
+  EXPECT_EQ(samples[1].count, 1u);
+  EXPECT_EQ(samples[2].name, "m.middle");
+  EXPECT_EQ(samples[2].value, 42.0);
+  EXPECT_EQ(samples[3].name, "z.last");
+  EXPECT_EQ(samples[3].value, 3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesAreMonotone) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  const auto p50 = h.QuantileMicros(0.5);
+  const auto p95 = h.QuantileMicros(0.95);
+  EXPECT_GT(p50, 0);
+  EXPECT_GE(p95, p50);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(DecisionLogTest, RingBufferKeepsNewestEntries) {
+  obs::DecisionLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(i, "pool", "grow", "test", i, i + 1);
+  }
+  EXPECT_EQ(log.total_recorded(), 10u);
+  const auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-first, and only the newest `capacity` survive.
+  EXPECT_EQ(snap.front().seq, 6u);
+  EXPECT_EQ(snap.back().seq, 9u);
+  EXPECT_EQ(snap.back().governor, "pool");
+}
+
+// ---------------------------------------------------------------------------
+// sys.* virtual tables over SQL
+// ---------------------------------------------------------------------------
+
+struct ObsDb {
+  ObsDb() {
+    auto db = engine::Database::Open();
+    EXPECT_TRUE(db.ok());
+    database = std::move(*db);
+    auto conn = database->Connect();
+    EXPECT_TRUE(conn.ok());
+    c = std::move(*conn);
+  }
+
+  engine::QueryResult Exec(const std::string& sql) {
+    auto r = c->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : engine::QueryResult{};
+  }
+
+  std::unique_ptr<engine::Database> database;
+  std::unique_ptr<engine::Connection> c;
+};
+
+std::map<std::string, int64_t> CountersByName(
+    const engine::QueryResult& r) {
+  std::map<std::string, int64_t> out;
+  for (const auto& row : r.rows) out[row[0].AsString()] = row[1].AsInt();
+  return out;
+}
+
+TEST(SysTablesTest, CountersVisibleFromSecondConnection) {
+  SKIP_WITHOUT_TELEMETRY();
+  ObsDb db;
+  db.Exec("CREATE TABLE t (k INT, v INT)");
+  db.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  db.Exec("SELECT * FROM t WHERE k > 1");
+  db.Exec("UPDATE t SET v = v + 1 WHERE k = 2");
+
+  // A second concurrent connection — the DBA console — reads the registry
+  // through plain SQL while the first connection stays open.
+  auto conn2 = db.database->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute("SELECT name, value FROM sys.counters");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->rows.empty());
+
+  const auto counters = CountersByName(*r);
+  // Statement-kind counters reflect the workload above.
+  ASSERT_TRUE(counters.count(obs::kStmtSelect));
+  EXPECT_GE(counters.at(obs::kStmtSelect), 1);
+  EXPECT_GE(counters.at(obs::kStmtInsert), 1);
+  EXPECT_GE(counters.at(obs::kStmtUpdate), 1);
+  EXPECT_GE(counters.at(obs::kStmtDdl), 1);
+  // Live pool state and admission-gate counters come through as well.
+  ASSERT_TRUE(counters.count(obs::kPoolCurrentFrames));
+  EXPECT_GT(counters.at(obs::kPoolCurrentFrames), 0);
+  ASSERT_TRUE(counters.count(obs::kGateAdmittedImmediately));
+  EXPECT_GE(counters.at(obs::kGateAdmittedImmediately), 1);
+  // Histograms are flattened into .count/.mean/.p50/.p95 rows.
+  ASSERT_TRUE(counters.count(std::string(obs::kLatencyExecuteMicros) +
+                             ".count"));
+  EXPECT_GE(counters.at(std::string(obs::kLatencyExecuteMicros) + ".count"),
+            1);
+}
+
+TEST(SysTablesTest, PoolLocksStatementsAnswerSql) {
+  ObsDb db;
+  db.Exec("CREATE TABLE t (k INT)");
+  db.Exec("INSERT INTO t VALUES (1), (2)");
+  db.Exec("SELECT * FROM t");
+  db.Exec("SELECT * FROM t");  // same shape, second hit
+
+  auto pool = db.Exec("SELECT metric, value FROM sys.pool");
+  EXPECT_FALSE(pool.rows.empty());
+  const auto pool_metrics = CountersByName(pool);
+  EXPECT_TRUE(pool_metrics.count("current_frames"));
+
+  auto locks = db.Exec("SELECT metric, value FROM sys.locks");
+  const auto lock_metrics = CountersByName(locks);
+  EXPECT_TRUE(lock_metrics.count("held"));
+  EXPECT_TRUE(lock_metrics.count("conflicts"));
+
+  auto stmts = db.Exec(
+      "SELECT shape, count FROM sys.statements WHERE count >= 2");
+  bool found = false;
+  for (const auto& row : stmts.rows) {
+    if (row[0].AsString() == "SELECT * FROM T") {
+      found = true;
+      EXPECT_GE(row[1].AsInt(), 2);
+    }
+  }
+  EXPECT_TRUE(found) << "normalized SELECT shape missing from sys.statements";
+}
+
+TEST(SysTablesTest, VirtualTablesRejectDmlAndDdl) {
+  ObsDb db;
+  auto ins = db.c->Execute("INSERT INTO sys.counters VALUES ('x', 1)");
+  EXPECT_FALSE(ins.ok());
+  auto upd = db.c->Execute("UPDATE sys.pool SET value = 0 WHERE metric = 'x'");
+  EXPECT_FALSE(upd.ok());
+  auto del = db.c->Execute("DELETE FROM sys.governors WHERE seq = 0");
+  EXPECT_FALSE(del.ok());
+  auto drop = db.c->Execute("DROP TABLE sys.counters");
+  EXPECT_FALSE(drop.ok());
+  auto create = db.c->Execute("CREATE TABLE sys.mine (a INT)");
+  EXPECT_FALSE(create.ok());
+  auto idx = db.c->Execute("CREATE INDEX i ON sys.counters (name)");
+  EXPECT_FALSE(idx.ok());
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------------
+
+TEST(ExplainAnalyzeTest, ThreeWayJoinReportsActualsNextToEstimates) {
+  ObsDb db;
+  db.Exec("CREATE TABLE a (id INT, b_id INT)");
+  db.Exec("CREATE TABLE b (id INT, c_id INT)");
+  db.Exec("CREATE TABLE c (id INT, tag VARCHAR(10))");
+  for (int i = 0; i < 30; ++i) {
+    db.Exec("INSERT INTO a VALUES (" + std::to_string(i) + ", " +
+            std::to_string(i % 10) + ")");
+  }
+  for (int i = 0; i < 10; ++i) {
+    db.Exec("INSERT INTO b VALUES (" + std::to_string(i) + ", " +
+            std::to_string(i % 5) + ")");
+    db.Exec("INSERT INTO c VALUES (" + std::to_string(i) + ", 'tag')");
+  }
+
+  auto r = db.Exec(
+      "EXPLAIN ANALYZE SELECT a.id, c.tag FROM a "
+      "JOIN b ON a.b_id = b.id JOIN c ON b.c_id = c.id");
+  ASSERT_FALSE(r.explain.empty());
+  // Estimated cardinalities are still printed...
+  EXPECT_NE(r.explain.find("rows="), std::string::npos) << r.explain;
+  // ...and every executed operator now carries its measured actuals.
+  size_t actuals = 0;
+  for (size_t pos = r.explain.find("actual rows="); pos != std::string::npos;
+       pos = r.explain.find("actual rows=", pos + 1)) {
+    ++actuals;
+  }
+  EXPECT_GE(actuals, 3u) << r.explain;  // scans + joins, at least
+  EXPECT_NE(r.explain.find("time="), std::string::npos) << r.explain;
+  EXPECT_NE(r.explain.find("invocations="), std::string::npos) << r.explain;
+  // The statement *executed*: its row count is reported, not its rows.
+  EXPECT_EQ(r.rows_affected, 30);
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST(ExplainAnalyzeTest, PlainExplainHasNoActuals) {
+  ObsDb db;
+  db.Exec("CREATE TABLE t (k INT)");
+  auto r = db.Exec("EXPLAIN SELECT * FROM t");
+  ASSERT_FALSE(r.explain.empty());
+  EXPECT_EQ(r.explain.find("actual rows="), std::string::npos) << r.explain;
+}
+
+// ---------------------------------------------------------------------------
+// Governor decision log
+// ---------------------------------------------------------------------------
+
+TEST(GovernorLogTest, PoolResizeIsLoggedAndQueryable) {
+  engine::DatabaseOptions opts;
+  opts.initial_pool_frames = 64;
+  auto open = engine::Database::Open(opts);
+  ASSERT_TRUE(open.ok());
+  auto& db = **open;
+  auto conn = db.Connect();
+  ASSERT_TRUE(conn.ok());
+  engine::Connection* c = conn->get();
+
+  // Touch enough pages that the governor's poll has a miss-rate signal,
+  // then force polls until it acts (growing from a small pool).
+  ASSERT_TRUE(c->Execute("CREATE TABLE big (k INT, pad VARCHAR(60))").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        c->Execute("INSERT INTO big VALUES (" + std::to_string(i) +
+                   ", '" + std::string(50, 'x') + "')")
+            .ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto r = c->Execute("SELECT * FROM big WHERE k >= 0");
+    ASSERT_TRUE(r.ok());
+    db.Tick(200'000);
+    db.pool_governor().PollNow();
+  }
+
+  // Every poll is a decision; at least one should have been recorded.
+  EXPECT_GT(db.decision_log().total_recorded(), 0u);
+  const auto snap = db.decision_log().Snapshot();
+  ASSERT_FALSE(snap.empty());
+  bool pool_decision = false;
+  for (const auto& d : snap) {
+    if (d.governor == "pool") pool_decision = true;
+  }
+  EXPECT_TRUE(pool_decision);
+
+  // And the same log answers SQL through sys.governors.
+  auto rows = c->Execute(
+      "SELECT seq, governor, action, reason FROM sys.governors");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_FALSE(rows->rows.empty());
+  bool pool_row = false;
+  for (const auto& row : rows->rows) {
+    if (row[1].AsString() == "pool") pool_row = true;
+  }
+  EXPECT_TRUE(pool_row);
+}
+
+}  // namespace
+}  // namespace hdb
