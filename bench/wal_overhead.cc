@@ -1,0 +1,199 @@
+// WAL commit overhead: N session threads each run small committed INSERT
+// transactions against one durable Database, in three configurations —
+// no WAL (HDB_WAL=OFF), WAL with per-commit fsync (group_commit off), and
+// WAL with group commit. Reports commit throughput in *modeled* time
+// (wall CPU + the rotational device's accrued service time, the repo's
+// standard VirtualDisk accounting — service times are returned, not
+// slept), because the cost group commit amortizes is the device's fsync.
+// Writes BENCH_wal.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "os/stable_storage.h"
+#include "wal/wal_manager.h"
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+namespace {
+
+enum class Mode { kNoWal, kSingleFsync, kGroupCommit };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kNoWal: return "wal_off";
+    case Mode::kSingleFsync: return "single_fsync";
+    case Mode::kGroupCommit: return "group_commit";
+  }
+  return "?";
+}
+
+struct RunResult {
+  int threads = 0;
+  uint64_t commits = 0;
+  double wall_seconds = 0;
+  double device_seconds = 0;  // accrued VirtualDisk service time
+  double modeled_seconds = 0;
+  double throughput = 0;  // commits / modeled second
+  uint64_t media_syncs = 0;
+  uint64_t wal_group_batches = 0;
+  uint64_t wal_appends = 0;
+};
+
+/// Committed transactions per session thread (fixed work, not a deadline,
+/// so the modeled-time comparison across modes is apples to apples).
+constexpr int kTxnsPerThread = 64;
+
+engine::DatabaseOptions MakeOptions(std::shared_ptr<os::StableStorage> media,
+                                    Mode mode) {
+  engine::DatabaseOptions opts;
+  opts.initial_pool_frames = 128;
+  opts.media = std::move(media);
+  opts.wal.group_commit = (mode == Mode::kGroupCommit);
+  // The rotational device charges ~half a rotation per fsync — the cost
+  // under comparison. Pin the MPL so admission never throttles a mode
+  // differently from another.
+  opts.device = engine::DeviceKind::kRotational;
+  opts.memory_governor.multiprogramming_level = 16;
+  opts.mpl_controller.min_mpl = 16;
+  opts.mpl_controller.max_mpl = 16;
+  return opts;
+}
+
+RunResult RunCommits(int threads, Mode mode) {
+  auto media = std::make_shared<os::StableStorage>(
+      engine::DatabaseOptions{}.page_bytes);
+  // The no-WAL baseline goes through the documented switch so the bench
+  // exercises the same path an operator would use.
+  if (mode == Mode::kNoWal) setenv("HDB_WAL", "OFF", 1);
+  BenchDb db(MakeOptions(media, mode));
+  if (mode == Mode::kNoWal) unsetenv("HDB_WAL");
+
+  db.Exec("CREATE TABLE t (k INT NOT NULL, v INT)");
+
+  const double io_before = db.db->disk().io_micros();
+  const uint64_t syncs_before = media->sync_count();
+  const wal::WalStats wal_before = db.db->wal().stats();
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto conn = db.db->Connect();
+      if (!conn.ok()) std::abort();
+      engine::Connection* c = conn->get();
+      const int base = 100'000 * (t + 1);  // disjoint key space
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        for (const std::string& sql :
+             {std::string("BEGIN"),
+              "INSERT INTO t VALUES (" + std::to_string(base + i) + ", " +
+                  std::to_string(i) + ")",
+              std::string("COMMIT")}) {
+          auto r = c->Execute(sql);
+          if (!r.ok()) {
+            std::fprintf(stderr, "hard failure: %s -> %s\n", sql.c_str(),
+                         r.status().ToString().c_str());
+            std::abort();
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult res;
+  res.threads = threads;
+  res.commits = static_cast<uint64_t>(threads) * kTxnsPerThread;
+  res.wall_seconds =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1e6;
+  res.device_seconds = (db.db->disk().io_micros() - io_before) / 1e6;
+  res.modeled_seconds = res.wall_seconds + res.device_seconds;
+  res.throughput = res.commits / res.modeled_seconds;
+  res.media_syncs = media->sync_count() - syncs_before;
+  const wal::WalStats wal_after = db.db->wal().stats();
+  res.wal_group_batches = wal_after.group_batches - wal_before.group_batches;
+  res.wal_appends = wal_after.appends - wal_before.appends;
+  return res;
+}
+
+void PrintMode(Mode mode, const std::vector<RunResult>& runs) {
+  std::printf("\n=== %s ===\n", ModeName(mode));
+  PrintHeader({"threads", "commits", "wall_s", "dev_s", "modeled_s",
+               "commit_per_s", "fsyncs", "batches"});
+  for (const auto& r : runs) {
+    PrintRow({std::to_string(r.threads), std::to_string(r.commits),
+              Fmt(r.wall_seconds, 3), Fmt(r.device_seconds, 3),
+              Fmt(r.modeled_seconds, 3), Fmt(r.throughput, 0),
+              std::to_string(r.media_syncs),
+              std::to_string(r.wal_group_batches)});
+  }
+}
+
+void WriteModeJson(std::FILE* f, Mode mode,
+                   const std::vector<RunResult>& runs, bool last) {
+  std::fprintf(f, "  \"%s\": [\n", ModeName(mode));
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"commits\": %llu, \"wall_seconds\": %.4f, "
+        "\"device_seconds\": %.4f, \"modeled_seconds\": %.4f, "
+        "\"commits_per_second\": %.1f, \"fsyncs\": %llu, "
+        "\"group_batches\": %llu, \"wal_appends\": %llu}%s\n",
+        r.threads, static_cast<unsigned long long>(r.commits), r.wall_seconds,
+        r.device_seconds, r.modeled_seconds, r.throughput,
+        static_cast<unsigned long long>(r.media_syncs),
+        static_cast<unsigned long long>(r.wal_group_batches),
+        static_cast<unsigned long long>(r.wal_appends),
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WAL commit overhead: %d committed single-row INSERT txns per "
+              "session, rotational device fsync model\n",
+              kTxnsPerThread);
+
+  std::vector<std::vector<RunResult>> all;
+  const Mode modes[] = {Mode::kNoWal, Mode::kSingleFsync, Mode::kGroupCommit};
+  for (const Mode mode : modes) {
+    std::vector<RunResult> runs;
+    for (const int n : {1, 2, 4, 8}) runs.push_back(RunCommits(n, mode));
+    PrintMode(mode, runs);
+    all.push_back(std::move(runs));
+  }
+
+  const RunResult& single8 = all[1].back();
+  const RunResult& group8 = all[2].back();
+  const double speedup = group8.throughput / single8.throughput;
+  std::printf("\ngroup commit vs single-fsync at 8 sessions: %.2fx "
+              "(%llu fsyncs vs %llu)\n",
+              speedup, static_cast<unsigned long long>(group8.media_syncs),
+              static_cast<unsigned long long>(single8.media_syncs));
+
+  std::FILE* f = std::fopen("BENCH_wal.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"txns_per_thread\": %d,\n", kTxnsPerThread);
+    for (size_t m = 0; m < 3; ++m) {
+      WriteModeJson(f, modes[m], all[m], /*last=*/false);
+    }
+    std::fprintf(f, "  \"group_vs_single_fsync_8_sessions\": %.3f\n}\n",
+                 speedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_wal.json\n");
+  }
+  return 0;
+}

@@ -10,6 +10,13 @@
 # dotted snake_case (`^[a-z0-9_]+(\.[a-z0-9_]+)+$`) and unique. A space,
 # hyphen, or uppercase letter in a metric name silently forks dashboards;
 # a duplicate silently merges two meanings into one series.
+#
+# Sync check: the header and the code registering against it must agree —
+# every constant defined in metric_names.h is referenced (`obs::kName`)
+# somewhere in src/, and no dotted metric-name string literal appears in
+# src/ outside the header. Either drift (a constant renamed but left
+# behind, or a subsystem registering a raw "wal.foo" literal) splits the
+# metric namespace between the header and reality.
 set -u
 
 root="${1:?usage: check_metrics.sh <repo-root> [--tsan]}"
@@ -46,22 +53,49 @@ if [[ -n "$dupes" ]]; then
   fail=1
 fi
 
+# Defined => registered: a constant nothing references is drift (the
+# registering call was renamed or deleted without updating the header).
+for const in $(grep -o 'char k[A-Za-z0-9_]*' "$names_h" | awk '{print $2}'); do
+  if ! grep -rq "obs::${const}\b" "$root/src" \
+        --include='*.cc' --include='*.h' \
+        --exclude='metric_names.h'; then
+    echo "check_metrics: obs::$const is defined but never registered" >&2
+    fail=1
+  fi
+done
+
+# Registered => defined: all registrations must go through the header's
+# constants. A raw dotted literal ("wal.foo") in src/ bypasses the name
+# check above and can silently fork a series the header spells otherwise.
+stray=$(grep -rn '"[a-z0-9_]\+\(\.[a-z0-9_]\+\)\+"' "$root/src" \
+        --include='*.cc' --include='*.h' --exclude='metric_names.h' |
+        grep -E 'Register(Counter|Gauge|Callback)' || true)
+if [[ -n "$stray" ]]; then
+  echo "check_metrics: raw metric-name literals (use obs:: constants):" >&2
+  printf '%s\n' "$stray" >&2
+  fail=1
+fi
+
 count=$(printf '%s\n' "$names" | wc -l)
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
-echo "check_metrics: $count metric names, all unique dotted snake_case"
+echo "check_metrics: $count metric names, all unique dotted snake_case," \
+     "all registered via obs:: constants"
 
 if [[ "$mode" == "--tsan" ]]; then
   # Race-check the observability paths: the registry hammered from many
   # threads, sys.* scans racing live instrumentation, tracer sink writes,
-  # and the concurrent-session SQL mix.
+  # the concurrent-session SQL mix, and the WAL/recovery paths (group
+  # commit's flusher thread + concurrent committers, crash sweeps that
+  # tear the Database down while the flusher is live).
   build="$root/build-tsan-obs"
   cmake -B "$build" -S "$root" -DHDB_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "$build" -j "$(nproc)" \
-        --target obs_test profile_test concurrency_test || exit 1
+        --target obs_test profile_test concurrency_test wal_test \
+                 recovery_test || exit 1
   (cd "$build" && ctest --output-on-failure \
-      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren') || exit 1
-  echo "check_metrics: TSan observability run clean"
+      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep') || exit 1
+  echo "check_metrics: TSan observability+durability run clean"
 fi

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Crash-recovery soak: run the fault-injection recovery suite across many
+# workload seeds. Each seed drives `tests/recovery_test.cc` through every
+# crash point of its random workload under all three media-failure
+# flavors (clean drop, torn write, short write), so the matrix is
+#
+#   seeds x crash points x {clean, torn, short}
+#
+# with the committed-durable / uncommitted-rolled-back / integrity checks
+# after every simulated kill -9. Wired into the build as the
+# `crash_matrix` custom target (nightly-style; the single-seed run is
+# already in the regular ctest suite under the `crash` label:
+# `ctest -L crash`).
+#
+#   crash_matrix.sh <recovery_test-binary> [seeds]
+#
+# Default 50 seeds — the durability acceptance bar. Exit code is the
+# number of failing seeds (0 = clean sweep).
+set -u
+
+bin="${1:?usage: crash_matrix.sh <recovery_test-binary> [seeds]}"
+seeds="${2:-50}"
+
+if [[ ! -x "$bin" ]]; then
+  echo "crash_matrix: $bin is not an executable" >&2
+  exit 1
+fi
+
+failed=0
+failed_seeds=()
+for ((s = 1; s <= seeds; ++s)); do
+  if out=$(HDB_SEED="$s" "$bin" 2>&1); then
+    printf 'crash_matrix: seed %3d/%d ok\n' "$s" "$seeds"
+  else
+    printf 'crash_matrix: seed %3d/%d FAILED\n' "$s" "$seeds"
+    printf '%s\n' "$out" | tail -40
+    failed=$((failed + 1))
+    failed_seeds+=("$s")
+  fi
+done
+
+if [[ "$failed" -ne 0 ]]; then
+  echo "crash_matrix: ${failed}/${seeds} seeds failed:" \
+       "${failed_seeds[*]} (rerun one with HDB_SEED=<seed> $bin)" >&2
+else
+  echo "crash_matrix: all $seeds seeds survived every crash point"
+fi
+exit "$failed"

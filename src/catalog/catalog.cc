@@ -58,6 +58,23 @@ Result<TableDef*> Catalog::CreateVirtualTable(const std::string& name,
   return raw;
 }
 
+Result<TableDef*> Catalog::ReplayCreateTable(uint32_t oid,
+                                             const std::string& name,
+                                             std::vector<ColumnDef> columns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  auto def = std::make_unique<TableDef>();
+  def->oid = oid;
+  def->name = name;
+  def->columns = std::move(columns);
+  TableDef* raw = def.get();
+  tables_[name] = std::move(def);
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  return raw;
+}
+
 Result<TableDef*> Catalog::GetTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
@@ -133,6 +150,27 @@ Result<IndexDef*> Catalog::CreateIndex(const std::string& index_name,
   def->unique = unique;
   IndexDef* raw = def.get();
   indexes_[index_name] = std::move(def);
+  return raw;
+}
+
+Result<IndexDef*> Catalog::ReplayCreateIndex(uint32_t oid,
+                                             const std::string& index_name,
+                                             uint32_t table_oid,
+                                             std::vector<int> column_indexes,
+                                             bool unique) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.count(index_name) != 0) {
+    return Status::AlreadyExists("index " + index_name);
+  }
+  auto def = std::make_unique<IndexDef>();
+  def->oid = oid;
+  def->name = index_name;
+  def->table_oid = table_oid;
+  def->column_indexes = std::move(column_indexes);
+  def->unique = unique;
+  IndexDef* raw = def.get();
+  indexes_[index_name] = std::move(def);
+  if (oid >= next_oid_) next_oid_ = oid + 1;
   return raw;
 }
 

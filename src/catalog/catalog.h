@@ -32,6 +32,12 @@ class Catalog {
   /// reserved `sys.` prefix is rejected by CreateTable/DropTable).
   Result<TableDef*> CreateVirtualTable(const std::string& name,
                                        std::vector<ColumnDef> columns);
+  /// Crash-recovery replay (wal/recovery.cc): re-creates a table under the
+  /// oid recorded in its WAL DDL record, so heap records that reference
+  /// the oid resolve identically after replay. Bumps the oid counter past
+  /// `oid`.
+  Result<TableDef*> ReplayCreateTable(uint32_t oid, const std::string& name,
+                                      std::vector<ColumnDef> columns);
   Result<TableDef*> GetTable(const std::string& name);
   Result<TableDef*> GetTableByOid(uint32_t oid);
   Status DropTable(const std::string& name);
@@ -41,6 +47,14 @@ class Catalog {
   Result<IndexDef*> CreateIndex(const std::string& index_name,
                                 const std::string& table_name,
                                 std::vector<int> column_indexes, bool unique);
+  /// Crash-recovery replay counterpart of CreateIndex (see
+  /// ReplayCreateTable). The table is addressed by oid: replay happens
+  /// before any name lookup traffic.
+  Result<IndexDef*> ReplayCreateIndex(uint32_t oid,
+                                      const std::string& index_name,
+                                      uint32_t table_oid,
+                                      std::vector<int> column_indexes,
+                                      bool unique);
   Result<IndexDef*> GetIndex(const std::string& name);
   Result<IndexDef*> GetIndexByOid(uint32_t oid);
   Status DropIndex(const std::string& name);

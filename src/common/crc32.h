@@ -1,0 +1,43 @@
+#ifndef HDB_COMMON_CRC32_H_
+#define HDB_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hdb {
+
+namespace crc_internal {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc_internal
+
+/// CRC-32 (IEEE polynomial) over `len` bytes. Guards WAL records and
+/// stable-storage page images against torn and short writes: a record or
+/// page whose stored checksum disagrees with its bytes was interrupted
+/// mid-write and must not be trusted.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = crc_internal::kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_CRC32_H_

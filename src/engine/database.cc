@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/ophash.h"
 #include "obs/metric_names.h"
 #include "table/row_codec.h"
+#include "wal/ddl_record.h"
 
 namespace hdb::engine {
 
@@ -19,7 +22,17 @@ enum SysTable : int {
   kSysGovernors,
   kSysLocks,
   kSysStatements,
+  kSysWal,
 };
+
+/// HDB_WAL=OFF|off|0 disables the write-ahead log even on durable media —
+/// the bench's no-WAL baseline and an escape hatch, not a tuning knob.
+bool WalDisabledByEnv() {
+  const char* env = std::getenv("HDB_WAL");
+  if (env == nullptr) return false;
+  const std::string_view v(env);
+  return v == "OFF" || v == "off" || v == "0";
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -81,7 +94,18 @@ struct DepthGuard {
 
 Database::Database(DatabaseOptions options) : options_(options) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  if (wal_ != nullptr && wal_->enabled()) {
+    // Clean shutdown: checkpoint so the next open has (almost) no redo
+    // work, then stop the flusher. Skipped on crashed media — errors here
+    // would mask the fault-injection result, and recovery handles the rest.
+    if (checkpoint_governor_ != nullptr && disk_->media() != nullptr &&
+        !disk_->media()->crashed()) {
+      (void)checkpoint_governor_->ForceCheckpoint("shutdown");
+    }
+    wal_->Shutdown();
+  }
+}
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   auto db = std::unique_ptr<Database>(new Database(options));
@@ -106,8 +130,15 @@ Status Database::Init() {
     case DeviceKind::kNone:
       break;
   }
-  disk_ = std::make_unique<storage::DiskManager>(options_.page_bytes,
-                                                 std::move(device), &clock_);
+  disk_ = std::make_unique<storage::DiskManager>(
+      options_.page_bytes, std::move(device), &clock_, options_.media);
+
+  wal::WalOptions wal_opts = options_.wal;
+  if (options_.media == nullptr || WalDisabledByEnv()) {
+    wal_opts.enabled = false;
+  }
+  wal_ = std::make_unique<wal::WalManager>(disk_.get(), wal_opts);
+
   storage::BufferPoolOptions pool_opts;
   pool_opts.initial_frames = options_.initial_pool_frames;
   pool_ = std::make_unique<storage::BufferPool>(disk_.get(), pool_opts);
@@ -129,6 +160,7 @@ Status Database::Init() {
   lock_manager_ = std::make_unique<txn::LockManager>(pool_.get());
   txn_manager_ = std::make_unique<txn::TransactionManager>(
       pool_.get(), lock_manager_.get());
+  txn_manager_->SetWal(wal_.get());
 
   // Telemetry (DESIGN.md §6): every governor writes counters into the
   // shared registry and decisions into the shared ring, then the sys.*
@@ -138,8 +170,97 @@ Status Database::Init() {
   mpl_controller_->AttachTelemetry(&metrics_, &decision_log_);
   admission_gate_->AttachTelemetry(&metrics_);
   lock_manager_->AttachTelemetry(&metrics_);
+  wal_->AttachTelemetry(&metrics_);
   RegisterEngineTelemetry();
-  return RegisterSysTables();
+  // Before recovery: sys.* tables consume the first catalog oids at every
+  // open in the same order, so replayed user DDL (which carries forced
+  // oids) lands past them identically.
+  HDB_RETURN_IF_ERROR(RegisterSysTables());
+
+  if (wal_->enabled()) {
+    wal::Recovery recovery(disk_.get(), wal_.get(), catalog_.get());
+    HDB_ASSIGN_OR_RETURN(recovery_stats_, recovery.Run());
+    txn_manager_->SeedNextTxnId(recovery_stats_.max_txn_id + 1);
+    HDB_RETURN_IF_ERROR(RebuildAfterRecovery());
+    metrics_.RegisterCounter(obs::kRecoveryRuns)
+        ->Add(recovery_stats_.log_found ? 1 : 0);
+    metrics_.RegisterCounter(obs::kRecoveryRedoRecords)
+        ->Add(recovery_stats_.redo_records);
+    metrics_.RegisterCounter(obs::kRecoveryRedoSkipped)
+        ->Add(recovery_stats_.redo_skipped);
+    metrics_.RegisterCounter(obs::kRecoveryRedoBytes)
+        ->Add(recovery_stats_.redo_bytes);
+    metrics_.RegisterCounter(obs::kRecoveryUndoRecords)
+        ->Add(recovery_stats_.undo_records);
+    metrics_.RegisterCounter(obs::kRecoveryLoserTxns)
+        ->Add(recovery_stats_.loser_txns);
+    metrics_.RegisterCounter(obs::kRecoveryTornPages)
+        ->Add(recovery_stats_.torn_pages);
+  }
+
+  // WAL-before-data: the pool may not write back a logged page whose
+  // changes are not yet durable in the log. Unlogged pages (index, temp)
+  // carry no LSN and bypass the barrier.
+  pool_->SetFlushBarrier(
+      [this](storage::Lsn lsn) { return wal_->EnsureDurable(lsn); });
+  checkpoint_governor_ = std::make_unique<wal::CheckpointGovernor>(
+      wal_.get(), pool_.get(), &clock_);
+  checkpoint_governor_->AttachTelemetry(&metrics_, &decision_log_);
+  if (wal_->enabled()) {
+    if (recovery_stats_.log_found) {
+      // Bound the next open's redo work to what happens after this point.
+      HDB_RETURN_IF_ERROR(checkpoint_governor_->ForceCheckpoint("recovery"));
+    }
+    wal_->StartFlusher();
+  }
+  return Status::OK();
+}
+
+Status Database::RebuildAfterRecovery() {
+  for (catalog::TableDef* def : catalog_->AllTables()) {
+    if (def->is_virtual) continue;
+    table::TableHeap* h = heap(def->oid);
+    if (h == nullptr) continue;
+
+    // Row count is derived state (not logged); the same scan feeds the
+    // index rebuilds so each heap is read once.
+    std::vector<std::pair<Rid, table::Row>> rows;
+    Status decode_status = Status::OK();
+    HDB_RETURN_IF_ERROR(h->ScanAll([&](Rid rid, std::string_view bytes) {
+      auto row = table::DecodeRow(*def, bytes.data(), bytes.size());
+      if (!row.ok()) {
+        decode_status = row.status();
+        return false;
+      }
+      rows.emplace_back(rid, std::move(*row));
+      return true;
+    }));
+    HDB_RETURN_IF_ERROR(decode_status);
+    def->row_count = rows.size();
+
+    // Index pages are never logged: recovery leaves the replayed IndexDefs
+    // rootless and each tree is rebuilt from its heap. (The pre-crash index
+    // pages leak on the media — append-only allocation tolerates that.)
+    for (catalog::IndexDef* idx : catalog_->TableIndexes(def->oid)) {
+      auto tree = std::make_unique<index::BTree>(pool_.get(), idx);
+      HDB_RETURN_IF_ERROR(tree->Init());
+      for (const auto& [rid, row] : rows) {
+        HDB_RETURN_IF_ERROR(
+            tree->Insert(OrderPreservingHash(row[idx->column_indexes[0]]),
+                         rid));
+      }
+      std::lock_guard<std::mutex> lock(objects_mu_);
+      btrees_[idx->oid] = std::move(tree);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::LogDdl(wal::WalRecordType type, std::string payload) {
+  if (!wal_->enabled()) return Status::OK();
+  HDB_ASSIGN_OR_RETURN(const storage::Lsn lsn,
+                       wal_->Append(type, 0, std::move(payload)));
+  return wal_->EnsureDurable(lsn);
 }
 
 void Database::RegisterEngineTelemetry() {
@@ -253,6 +374,10 @@ Status Database::RegisterSysTables() {
                            {"avg_micros", TypeId::kDouble, false},
                            {"rows_returned", TypeId::kBigint, false}},
                           kSysStatements));
+  HDB_RETURN_IF_ERROR(add("sys.wal",
+                          {{"metric", TypeId::kVarchar, false},
+                           {"value", TypeId::kBigint, false}},
+                          kSysWal));
   return Status::OK();
 }
 
@@ -320,6 +445,35 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
           {Value::String("conflicts"),
            Value::Bigint(static_cast<int64_t>(
                metrics_.RegisterCounter(obs::kLockConflicts)->value()))});
+      break;
+    }
+    case kSysWal: {
+      const auto row = [&rows](const char* metric, uint64_t v) {
+        rows.push_back({Value::String(metric),
+                        Value::Bigint(static_cast<int64_t>(v))});
+      };
+      const wal::WalStats ws = wal_->stats();
+      row("enabled", wal_->enabled() ? 1 : 0);
+      row("group_commit", wal_->group_commit() ? 1 : 0);
+      row("appends", ws.appends);
+      row("bytes", ws.bytes);
+      row("fsyncs", ws.syncs);
+      row("group_commit_batches", ws.group_batches);
+      row("clr_records", ws.clr_records);
+      row("appended_lsn", ws.appended_lsn);
+      row("durable_lsn", ws.durable_lsn);
+      row("bytes_since_checkpoint", ws.bytes_since_checkpoint);
+      if (checkpoint_governor_ != nullptr) {
+        const wal::CheckpointStats cs = checkpoint_governor_->stats();
+        row("checkpoints", cs.checkpoints);
+        row("checkpoint_pages_flushed", cs.pages_flushed);
+        row("checkpoint_micros", cs.micros);
+        row("checkpoint_target_log_bytes", cs.target_log_bytes);
+      }
+      row("recovery_redo_records", recovery_stats_.redo_records);
+      row("recovery_undo_records", recovery_stats_.undo_records);
+      row("recovery_loser_txns", recovery_stats_.loser_txns);
+      row("recovery_torn_pages", recovery_stats_.torn_pages);
       break;
     }
     case kSysStatements: {
@@ -418,7 +572,7 @@ table::TableHeap* Database::heap(uint32_t table_oid) {
   if (it != heaps_.end()) return it->second.get();
   auto def = catalog_->GetTableByOid(table_oid);
   if (!def.ok() || (*def)->is_virtual) return nullptr;
-  auto heap = std::make_unique<table::TableHeap>(pool_.get(), *def);
+  auto heap = std::make_unique<table::TableHeap>(pool_.get(), *def, wal_.get());
   table::TableHeap* raw = heap.get();
   heaps_[table_oid] = std::move(heap);
   return raw;
@@ -458,6 +612,7 @@ void Database::Tick(int64_t micros) {
   pool_governor_->MaybePoll();
   // A raised MPL frees admission slots: wake queued requests.
   if (mpl_controller_->MaybeAdapt()) admission_gate_->Poke();
+  if (checkpoint_governor_ != nullptr) checkpoint_governor_->MaybeCheckpoint();
 }
 
 Status Database::LoadTable(const std::string& table,
@@ -474,16 +629,33 @@ Status Database::LoadTableLocked(const std::string& table,
   }
   table::TableHeap* h = heap(def->oid);
   const auto indexes = catalog_->TableIndexes(def->oid);
-  for (const table::Row& row : rows) {
-    HDB_ASSIGN_OR_RETURN(const std::string bytes, table::EncodeRow(*def, row));
-    HDB_ASSIGN_OR_RETURN(const Rid rid, h->Insert(bytes));
-    for (catalog::IndexDef* idx : indexes) {
-      index::BTree* tree = btree(idx->oid);
-      if (tree == nullptr) continue;
-      const Value& key = row[idx->column_indexes[0]];
-      HDB_RETURN_IF_ERROR(tree->Insert(OrderPreservingHash(key), rid));
+  // The whole load is one transaction in the WAL: its inserts log under
+  // one txn id and the closing commit makes them durable in a single
+  // barrier. (A mid-load failure returns without the commit record, so a
+  // later crash rolls the partial load back.)
+  txn::Transaction* txn = txn_manager_->Begin();
+  const Status load_status = [&]() -> Status {
+    const wal::WalManager::TxnScope scope(txn->id());
+    for (const table::Row& row : rows) {
+      HDB_ASSIGN_OR_RETURN(const std::string bytes,
+                           table::EncodeRow(*def, row));
+      HDB_ASSIGN_OR_RETURN(const Rid rid, h->Insert(bytes));
+      for (catalog::IndexDef* idx : indexes) {
+        index::BTree* tree = btree(idx->oid);
+        if (tree == nullptr) continue;
+        const Value& key = row[idx->column_indexes[0]];
+        HDB_RETURN_IF_ERROR(tree->Insert(OrderPreservingHash(key), rid));
+      }
     }
+    return Status::OK();
+  }();
+  if (!load_status.ok()) {
+    (void)txn_manager_->Abort(txn, [](const txn::UndoRecord&) {
+      return Status::OK();  // nothing recorded; rows stay until recovery
+    });
+    return load_status;
   }
+  HDB_RETURN_IF_ERROR(txn_manager_->Commit(txn));
   // LOAD TABLE (re)creates histograms for every column (paper §3.2).
   for (size_t c = 0; c < def->columns.size(); ++c) {
     HDB_RETURN_IF_ERROR(BuildStatisticsLocked(table, static_cast<int>(c)));
@@ -544,6 +716,8 @@ Status Database::CreateTableImpl(const CreateTableAst& ast) {
   }
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def,
                        catalog_->CreateTable(ast.name, std::move(cols)));
+  HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlCreateTable,
+                             wal::EncodeDdlCreateTable(*def)));
   for (const auto& fk : ast.foreign_keys) {
     HDB_ASSIGN_OR_RETURN(catalog::TableDef * ref,
                          catalog_->GetTable(fk.ref_table));
@@ -556,6 +730,8 @@ Status Database::CreateTableImpl(const CreateTableAst& ast) {
       return Status::InvalidArgument("foreign key column not found");
     }
     HDB_RETURN_IF_ERROR(catalog_->AddForeignKey(cfk));
+    HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlForeignKey,
+                               wal::EncodeDdlForeignKey(cfk)));
   }
   return Status::OK();
 }
@@ -571,6 +747,8 @@ Status Database::CreateIndexImpl(const CreateIndexAst& ast) {
   HDB_ASSIGN_OR_RETURN(
       catalog::IndexDef * idx,
       catalog_->CreateIndex(ast.name, ast.table, cols, ast.unique));
+  HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlCreateIndex,
+                             wal::EncodeDdlCreateIndex(*idx)));
   auto tree = std::make_unique<index::BTree>(pool_.get(), idx);
   HDB_RETURN_IF_ERROR(tree->Init());
 
@@ -616,7 +794,9 @@ Status Database::DropTableImpl(const std::string& name) {
     heaps_.erase(oid);
   }
   stats_.DropTable(oid);
-  return catalog_->DropTable(name);
+  HDB_RETURN_IF_ERROR(catalog_->DropTable(name));
+  return LogDdl(wal::WalRecordType::kDdlDropTable,
+                wal::EncodeDdlDropName(name));
 }
 
 Status Database::DropIndexImpl(const std::string& name) {
@@ -625,7 +805,9 @@ Status Database::DropIndexImpl(const std::string& name) {
     std::lock_guard<std::mutex> lock(objects_mu_);
     btrees_.erase(idx->oid);
   }
-  return catalog_->DropIndex(name);
+  HDB_RETURN_IF_ERROR(catalog_->DropIndex(name));
+  return LogDdl(wal::WalRecordType::kDdlDropIndex,
+                wal::EncodeDdlDropName(name));
 }
 
 // ---------------------------------------------------------------------------
@@ -640,10 +822,17 @@ Connection::~Connection() {
     // Rollback touches table heaps: hold the DDL latch shared like any
     // other statement would.
     std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
-    (void)db_->txn_manager().Abort(
-        txn_, [this](const txn::UndoRecord& rec) { return ApplyUndo(rec); });
+    (void)db_->txn_manager().Abort(txn_, MakeUndoApplier(txn_));
   }
   db_->connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+txn::TransactionManager::UndoApplier Connection::MakeUndoApplier(
+    txn::Transaction* txn) {
+  return [this, id = txn->id()](const txn::UndoRecord& rec) {
+    const wal::WalManager::TxnScope scope(id, /*clr=*/true);
+    return ApplyUndo(rec);
+  };
 }
 
 optimizer::OptimizerContext Connection::MakeOptimizerContext() {
@@ -673,8 +862,7 @@ Status Connection::FinishAuto(txn::Transaction* txn, bool auto_started,
                               bool ok) {
   if (!auto_started) return Status::OK();
   if (ok) return db_->txn_manager().Commit(txn);
-  return db_->txn_manager().Abort(
-      txn, [this](const txn::UndoRecord& rec) { return ApplyUndo(rec); });
+  return db_->txn_manager().Abort(txn, MakeUndoApplier(txn));
 }
 
 Status Connection::MaintainOnInsert(catalog::TableDef* table, Rid rid,
@@ -936,6 +1124,8 @@ Result<QueryResult> Connection::ExecuteInsert(const InsertAst& ast) {
 
   bool auto_started = false;
   txn::Transaction* txn = CurrentTxn(&auto_started);
+  // Heap mutations below log WAL records under this statement's txn id.
+  const wal::WalManager::TxnScope wal_scope(txn->id());
   QueryResult out;
   for (const table::Row& row : bound.rows) {
     auto status = [&]() -> Status {
@@ -976,6 +1166,7 @@ Result<QueryResult> Connection::ExecuteUpdate(const UpdateAst& ast) {
 
   bool auto_started = false;
   txn::Transaction* txn = CurrentTxn(&auto_started);
+  const wal::WalManager::TxnScope wal_scope(txn->id());
   for (const auto& [rid, old_row] : victims) {
     auto status = [&, rid = rid, &old_row = old_row]() -> Status {
       HDB_RETURN_IF_ERROR(db_->lock_manager().LockRow(
@@ -1051,6 +1242,7 @@ Result<QueryResult> Connection::ExecuteDelete(const DeleteAst& ast) {
 
   bool auto_started = false;
   txn::Transaction* txn = CurrentTxn(&auto_started);
+  const wal::WalManager::TxnScope wal_scope(txn->id());
   for (const auto& [rid, row] : victims) {
     auto status = [&, rid = rid, &row = row]() -> Status {
       HDB_RETURN_IF_ERROR(db_->lock_manager().LockRow(
@@ -1287,6 +1479,8 @@ Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
     def.name = cp.name;
     def.param_names = cp.params;
     def.statements = cp.body_statements;
+    HDB_RETURN_IF_ERROR(db_->LogDdl(wal::WalRecordType::kDdlCreateProcedure,
+                                    wal::EncodeDdlCreateProcedure(def)));
     HDB_RETURN_IF_ERROR(db_->catalog().CreateProcedure(std::move(def)));
   } else if (std::holds_alternative<CallAst>(stmt)) {
     HDB_ASSIGN_OR_RETURN(out, ExecuteCall(std::get<CallAst>(stmt)));
@@ -1301,6 +1495,8 @@ Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
   } else if (std::holds_alternative<SetOptionAst>(stmt)) {
     const auto& so = std::get<SetOptionAst>(stmt);
     db_->catalog().SetOption(so.name, so.value);
+    HDB_RETURN_IF_ERROR(db_->LogDdl(wal::WalRecordType::kDdlSetOption,
+                                    wal::EncodeDdlSetOption(so.name, so.value)));
   } else if (std::holds_alternative<SimpleAst>(stmt)) {
     switch (std::get<SimpleAst>(stmt).kind) {
       case SimpleAst::kBegin:
@@ -1317,9 +1513,8 @@ Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
         break;
       case SimpleAst::kRollback:
         if (txn_ != nullptr) {
-          HDB_RETURN_IF_ERROR(db_->txn_manager().Abort(
-              txn_,
-              [this](const txn::UndoRecord& rec) { return ApplyUndo(rec); }));
+          HDB_RETURN_IF_ERROR(
+              db_->txn_manager().Abort(txn_, MakeUndoApplier(txn_)));
           txn_ = nullptr;
         }
         break;

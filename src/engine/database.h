@@ -24,6 +24,7 @@
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
 #include "os/memory_env.h"
+#include "os/stable_storage.h"
 #include "os/virtual_clock.h"
 #include "os/virtual_disk.h"
 #include "stats/feedback.h"
@@ -33,6 +34,9 @@
 #include "storage/pool_governor.h"
 #include "table/table_heap.h"
 #include "txn/transaction.h"
+#include "wal/checkpoint_governor.h"
+#include "wal/recovery.h"
+#include "wal/wal_manager.h"
 
 namespace hdb::engine {
 
@@ -59,6 +63,18 @@ struct DatabaseOptions {
 
   /// Collect statistics from query execution feedback (paper §3).
   bool auto_feedback = true;
+
+  /// Durable medium (DESIGN.md §7). Null = volatile database (all pre-WAL
+  /// behavior: nothing survives the Database object). Non-null = the
+  /// database's pages live in this StableStorage, which outlives the
+  /// Database — reopening over the same media runs crash recovery, so
+  /// destroy-without-checkpoint + reopen is exactly kill -9 + restart.
+  std::shared_ptr<os::StableStorage> media;
+
+  /// Write-ahead log switches. Forced off when `media` is null (a log
+  /// without a durable medium has nothing to recover); additionally forced
+  /// off by HDB_WAL=OFF in the environment (the bench's no-WAL baseline).
+  wal::WalOptions wal;
 };
 
 struct QueryResult {
@@ -125,6 +141,13 @@ class Database {
   stats::ProcStatsRegistry& proc_stats() { return proc_stats_; }
   txn::TransactionManager& txn_manager() { return *txn_manager_; }
   txn::LockManager& lock_manager() { return *lock_manager_; }
+  wal::WalManager& wal() { return *wal_; }
+  wal::CheckpointGovernor& checkpoint_governor() {
+    return *checkpoint_governor_;
+  }
+  /// What restart recovery found and did at Open (zeroes for a volatile
+  /// database or a fresh media).
+  const wal::RecoveryStats& recovery_stats() const { return recovery_stats_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::DecisionLog& decision_log() { return decision_log_; }
   const DatabaseOptions& options() const { return options_; }
@@ -197,6 +220,13 @@ class Database {
   Status BuildStatisticsLocked(const std::string& table, int column);
   Status CalibrateLocked(const os::CalibrationOptions& opts);
 
+  /// Appends one DDL record and forces it durable — DDL is a barrier, not
+  /// part of group commit. No-op when the WAL is off.
+  Status LogDdl(wal::WalRecordType type, std::string payload);
+  /// Post-recovery derived state: indexes are rebuilt from the heaps (index
+  /// pages are not logged) and row counts re-derived by scanning.
+  Status RebuildAfterRecovery();
+
   void EmitTrace(const TraceEvent& ev) {
     TraceHook hook;
     {
@@ -216,6 +246,9 @@ class Database {
 
   std::unique_ptr<os::MemoryEnv> memory_env_;
   std::unique_ptr<storage::DiskManager> disk_;
+  /// Declared before the pool: the pool's flush barrier calls into the WAL,
+  /// so the WAL must outlive any pool flush (including destruction).
+  std::unique_ptr<wal::WalManager> wal_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<storage::PoolGovernor> pool_governor_;
   std::unique_ptr<exec::MemoryGovernor> memory_governor_;
@@ -224,6 +257,8 @@ class Database {
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<txn::LockManager> lock_manager_;
   std::unique_ptr<txn::TransactionManager> txn_manager_;
+  std::unique_ptr<wal::CheckpointGovernor> checkpoint_governor_;
+  wal::RecoveryStats recovery_stats_;
   stats::StatsRegistry stats_;
   stats::ProcStatsRegistry proc_stats_;
 
@@ -334,6 +369,9 @@ class Connection {
   txn::Transaction* CurrentTxn(bool* auto_started);
   Status FinishAuto(txn::Transaction* txn, bool auto_started, bool ok);
   Status ApplyUndo(const txn::UndoRecord& rec);
+  /// Undo applier for Abort: runs ApplyUndo under a CLR TxnScope so the
+  /// heap ops it performs log as compensation records of `txn`.
+  txn::TransactionManager::UndoApplier MakeUndoApplier(txn::Transaction* txn);
 
   /// Index + statistics maintenance on DML.
   Status MaintainOnInsert(catalog::TableDef* table, Rid rid,

@@ -78,6 +78,32 @@ inline constexpr char kTraceDroppedSinkWrites[] = "trace.dropped_sink_writes";
 // obs/ — the decision log itself.
 inline constexpr char kGovDecisions[] = "gov.decisions";
 
+// wal/ — write-ahead log activity and durability horizon.
+inline constexpr char kWalAppends[] = "wal.appends";
+inline constexpr char kWalBytes[] = "wal.bytes";
+inline constexpr char kWalFsyncs[] = "wal.fsyncs";
+inline constexpr char kWalGroupCommitBatches[] = "wal.group_commit_batches";
+inline constexpr char kWalAppendedLsn[] = "wal.appended_lsn";
+inline constexpr char kWalDurableLsn[] = "wal.durable_lsn";
+inline constexpr char kWalBytesSinceCheckpoint[] =
+    "wal.bytes_since_checkpoint";
+
+// wal/ — checkpoint governor activity and its self-derived target.
+inline constexpr char kCheckpointCount[] = "checkpoint.count";
+inline constexpr char kCheckpointPagesFlushed[] = "checkpoint.pages_flushed";
+inline constexpr char kCheckpointMicros[] = "checkpoint.micros";
+inline constexpr char kCheckpointTargetLogBytes[] =
+    "checkpoint.target_log_bytes";
+
+// wal/ — last crash recovery (set once at open).
+inline constexpr char kRecoveryRuns[] = "recovery.runs";
+inline constexpr char kRecoveryRedoRecords[] = "recovery.redo_records";
+inline constexpr char kRecoveryRedoSkipped[] = "recovery.redo_skipped";
+inline constexpr char kRecoveryRedoBytes[] = "recovery.redo_bytes";
+inline constexpr char kRecoveryUndoRecords[] = "recovery.undo_records";
+inline constexpr char kRecoveryLoserTxns[] = "recovery.loser_txns";
+inline constexpr char kRecoveryTornPages[] = "recovery.torn_pages";
+
 }  // namespace hdb::obs
 
 #endif  // HDB_OBS_METRIC_NAMES_H_

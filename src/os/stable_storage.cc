@@ -1,0 +1,179 @@
+#include "os/stable_storage.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace hdb::os {
+
+namespace {
+constexpr size_t kSectorBytes = 512;
+}  // namespace
+
+StableStorage::StableStorage(uint32_t page_bytes, FaultOptions faults)
+    : page_bytes_(page_bytes),
+      faults_(faults),
+      rng_(faults.seed),
+      ops_until_crash_(faults.crash_after_ops) {}
+
+bool StableStorage::ConsumeOpLocked() {
+  if (crashed_.load(std::memory_order_relaxed)) return false;
+  if (ops_until_crash_ < 0) return true;
+  if (ops_until_crash_ == 0) {
+    crashed_.store(true, std::memory_order_release);
+    return false;
+  }
+  --ops_until_crash_;
+  return true;
+}
+
+Status StableStorage::Write(uint64_t device_page, const char* in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  if (!ConsumeOpLocked()) {
+    return Status::IOError("injected crash: write dropped");
+  }
+  Image& img = pending_[device_page];
+  img.bytes.assign(in, in + page_bytes_);
+  img.crc = Crc32(in, page_bytes_);
+  img.order = next_order_++;
+  return Status::OK();
+}
+
+Status StableStorage::Read(uint64_t device_page, char* out, bool* torn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("injected crash: device offline");
+  }
+  ++reads_;
+  if (faults_.read_error_every != 0 && reads_ % faults_.read_error_every == 0) {
+    return Status::IOError("injected transient read error");
+  }
+  const Image* img = nullptr;
+  if (auto it = pending_.find(device_page); it != pending_.end()) {
+    img = &it->second;
+  } else if (auto dit = durable_.find(device_page); dit != durable_.end()) {
+    img = &dit->second;
+  }
+  if (img == nullptr) return Status::NotFound("page never written");
+  std::memcpy(out, img->bytes.data(), page_bytes_);
+  const bool bad = Crc32(img->bytes.data(), page_bytes_) != img->crc;
+  if (torn != nullptr) {
+    *torn = bad;
+    return Status::OK();
+  }
+  if (bad) return Status::IOError("torn page");
+  return Status::OK();
+}
+
+bool StableStorage::Contains(uint64_t device_page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.count(device_page) > 0 || durable_.count(device_page) > 0;
+}
+
+void StableStorage::ApplyPendingLocked(bool partial) {
+  for (auto& [page, img] : pending_) {
+    if (partial && !rng_.Bernoulli(0.5)) continue;
+    durable_[page] = std::move(img);
+  }
+  pending_.clear();
+}
+
+Status StableStorage::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  if (!ConsumeOpLocked()) {
+    // Power failed while the batch was in flight: a random subset of the
+    // pending pages reached the platter before the light went out.
+    ApplyPendingLocked(/*partial=*/true);
+    pending_.clear();
+    return Status::IOError("injected crash: sync interrupted");
+  }
+  ApplyPendingLocked(/*partial=*/false);
+  return Status::OK();
+}
+
+void StableStorage::TearFreshestPendingLocked() {
+  if (pending_.empty()) return;
+  auto victim = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second.order > victim->second.order) victim = it;
+  }
+  // Mix old and new content at sector granularity. The stored CRC stays
+  // the CRC of the *intended* image, so any sector of stale data makes the
+  // page read back as torn — unless old and new agree byte-for-byte (the
+  // appended-log-tail case, where the mix is still a valid image).
+  Image torn = std::move(victim->second);
+  const auto old_it = durable_.find(victim->first);
+  for (size_t off = 0; off < page_bytes_; off += kSectorBytes) {
+    const size_t n = std::min(kSectorBytes, static_cast<size_t>(page_bytes_) - off);
+    if (rng_.Bernoulli(0.5)) continue;  // keep the new sector
+    if (old_it != durable_.end()) {
+      std::memcpy(torn.bytes.data() + off, old_it->second.bytes.data() + off, n);
+    } else {
+      std::memset(torn.bytes.data() + off, 0, n);
+    }
+  }
+  durable_[victim->first] = std::move(torn);
+  pending_.erase(victim);
+}
+
+void StableStorage::PowerCycle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (faults_.torn_write) TearFreshestPendingLocked();
+  if (faults_.short_write) {
+    ApplyPendingLocked(/*partial=*/true);
+  }
+  pending_.clear();
+  crashed_.store(false, std::memory_order_release);
+  ops_until_crash_ = -1;  // disarmed until re-scheduled
+}
+
+void StableStorage::ScheduleCrash(int64_t after_ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_until_crash_ = after_ops;
+  if (after_ops >= 0) crashed_.store(false, std::memory_order_release);
+}
+
+int64_t StableStorage::MaxDurablePage(uint64_t begin, uint64_t end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t best = -1;
+  for (const auto& [page, img] : durable_) {
+    if (page >= begin && page < end) {
+      best = std::max(best, static_cast<int64_t>(page));
+    }
+  }
+  return best;
+}
+
+void StableStorage::DropRange(uint64_t begin, uint64_t end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(durable_, [begin, end](const auto& kv) {
+    return kv.first >= begin && kv.first < end;
+  });
+  std::erase_if(pending_, [begin, end](const auto& kv) {
+    return kv.first >= begin && kv.first < end;
+  });
+}
+
+uint64_t StableStorage::torn_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [page, img] : durable_) {
+    if (Crc32(img.bytes.data(), page_bytes_) != img.crc) ++n;
+  }
+  return n;
+}
+
+uint64_t StableStorage::durable_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_.size();
+}
+
+uint64_t StableStorage::pending_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace hdb::os

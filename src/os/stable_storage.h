@@ -1,0 +1,127 @@
+#ifndef HDB_OS_STABLE_STORAGE_H_
+#define HDB_OS_STABLE_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hdb::os {
+
+/// Fault-injection plan for a StableStorage. Everything is deterministic
+/// given `seed`, so any failing crash schedule reproduces from the seed
+/// alone (scripts/crash_matrix.sh sweeps seeds).
+struct FaultOptions {
+  uint64_t seed = 1;
+
+  /// After this many mutating media calls (Write/Sync), the device loses
+  /// power: the triggering op and every later one fail with kIOError until
+  /// PowerCycle(). -1 = never.
+  int64_t crash_after_ops = -1;
+
+  /// On power loss, corrupt the freshest un-synced page with a mix of old
+  /// and new 512-byte sectors (a torn write) instead of dropping it clean.
+  bool torn_write = false;
+
+  /// On power loss, persist a random subset of the un-synced writes (the
+  /// OS cache flushed some pages out of order) instead of dropping all.
+  bool short_write = false;
+
+  /// Every nth Read fails with kIOError (0 = never) — transient media
+  /// errors, independent of crashes.
+  uint32_t read_error_every = 0;
+};
+
+/// The durable medium under DiskManager: page images keyed by device page,
+/// with power-failure semantics.
+///
+/// Writes land in a volatile `pending` set; only Sync() moves them to the
+/// `durable` set (the caller pays the device's fsync cost separately, via
+/// VirtualDisk::SyncMicros). A StableStorage outlives the Database that
+/// uses it — destroying the Database and reopening against the same
+/// StableStorage after PowerCycle() is exactly a kill -9 + restart.
+///
+/// Each durable image carries a CRC taken at sync time, stored beside (not
+/// inside) the image; a torn write leaves bytes that disagree with the CRC,
+/// which Read reports. Log pages are read with `torn` tolerance so the WAL
+/// scan can still salvage the valid record prefix of a torn tail page.
+class StableStorage {
+ public:
+  explicit StableStorage(uint32_t page_bytes, FaultOptions faults = {});
+
+  uint32_t page_bytes() const { return page_bytes_; }
+
+  /// Buffers the page image; durable only after the next successful Sync.
+  Status Write(uint64_t device_page, const char* in);
+
+  /// Reads the freshest visible image (pending over durable — the device
+  /// cache gives read-your-writes before any sync). kNotFound if the page
+  /// was never written. If `torn` is null, a CRC mismatch is an IOError;
+  /// otherwise the corrupt bytes are returned with *torn = true.
+  Status Read(uint64_t device_page, char* out, bool* torn = nullptr);
+
+  bool Contains(uint64_t device_page) const;
+
+  /// Makes all pending writes durable. A crash scheduled to strike during
+  /// the sync persists only a random subset of them.
+  Status Sync();
+
+  /// Simulated power-off + power-on: un-synced writes are dropped (or
+  /// partially/torn-persisted per FaultOptions), and the crashed flag is
+  /// cleared so the device accepts I/O again.
+  void PowerCycle();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// (Re-)arms the crash countdown; -1 disarms.
+  void ScheduleCrash(int64_t after_ops);
+
+  /// Highest durable device page in [begin, end), or -1 if none.
+  int64_t MaxDurablePage(uint64_t begin, uint64_t end) const;
+
+  /// Forgets all pages in [begin, end) — used to reset the temp space on
+  /// reopen; temp contents have no meaning across a restart.
+  void DropRange(uint64_t begin, uint64_t end);
+
+  uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t sync_count() const { return syncs_.load(std::memory_order_relaxed); }
+  uint64_t torn_page_count() const;
+  uint64_t durable_page_count() const;
+  uint64_t pending_page_count() const;
+
+ private:
+  struct Image {
+    std::vector<char> bytes;
+    uint32_t crc = 0;
+    uint64_t order = 0;  // insertion order among pending writes
+  };
+
+  // All Locked methods require mu_ held.
+  bool ConsumeOpLocked();    // false => this op crashed the device
+  void ApplyPendingLocked(bool partial);
+  void TearFreshestPendingLocked();
+
+  const uint32_t page_bytes_;
+  FaultOptions faults_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::unordered_map<uint64_t, Image> durable_;
+  std::unordered_map<uint64_t, Image> pending_;
+  uint64_t next_order_ = 0;
+  int64_t ops_until_crash_ = -1;
+  std::atomic<bool> crashed_{false};
+
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  uint64_t reads_ = 0;  // under mu_ (drives read_error_every)
+};
+
+}  // namespace hdb::os
+
+#endif  // HDB_OS_STABLE_STORAGE_H_

@@ -39,6 +39,15 @@ double RotationalDisk::WriteMicros(uint64_t page_id) {
   return AccessMicros(page_id, /*is_write=*/true);
 }
 
+double RotationalDisk::SyncMicros(uint64_t pending_pages) {
+  // Draining the write-back cache pays the positioning costs the async
+  // writes were discounted: roughly half a rotation to settle, plus the
+  // elevator pass over the pending pages.
+  const double settle = 0.5 * (60.0e6 / opts_.rpm);
+  const double per_page = (1.0 - opts_.write_discount) * opts_.min_seek_us;
+  return settle + per_page * static_cast<double>(pending_pages);
+}
+
 double FlashDisk::Jitter(double us) {
   const double j = 1.0 + (rng_.NextDouble() * 2.0 - 1.0) * opts_.jitter;
   return us * j;
@@ -54,6 +63,13 @@ double FlashDisk::WriteMicros(uint64_t page_id) {
   (void)page_id;
   const double kb = static_cast<double>(opts_.page_bytes) / 1024.0;
   return Jitter(opts_.write_base_us + opts_.write_per_kb_us * kb);
+}
+
+double FlashDisk::SyncMicros(uint64_t pending_pages) {
+  // Flash flush: fixed controller barrier plus program cost for whatever
+  // is still buffered.
+  return Jitter(opts_.write_base_us +
+                0.25 * opts_.write_base_us * static_cast<double>(pending_pages));
 }
 
 DttModel CalibrateDisk(VirtualDisk& disk, const CalibrationOptions& opts) {

@@ -32,6 +32,14 @@ class VirtualDisk {
   /// Service time in microseconds for writing the page at `page_id`.
   virtual double WriteMicros(uint64_t page_id) = 0;
 
+  /// Service time in microseconds for a cache flush (fsync) covering
+  /// `pending_pages` buffered writes. This is the cost group commit
+  /// amortizes: one flush per *batch* of commits instead of one per commit.
+  virtual double SyncMicros(uint64_t pending_pages) {
+    (void)pending_pages;
+    return 0.0;
+  }
+
   virtual uint64_t total_pages() const = 0;
   virtual uint32_t page_bytes() const = 0;
   virtual const char* name() const = 0;
@@ -58,6 +66,7 @@ class RotationalDisk : public VirtualDisk {
 
   double ReadMicros(uint64_t page_id) override;
   double WriteMicros(uint64_t page_id) override;
+  double SyncMicros(uint64_t pending_pages) override;
   uint64_t total_pages() const override { return opts_.total_pages; }
   uint32_t page_bytes() const override { return opts_.page_bytes; }
   const char* name() const override { return "rotational-7200"; }
@@ -91,6 +100,7 @@ class FlashDisk : public VirtualDisk {
 
   double ReadMicros(uint64_t page_id) override;
   double WriteMicros(uint64_t page_id) override;
+  double SyncMicros(uint64_t pending_pages) override;
   uint64_t total_pages() const override { return opts_.total_pages; }
   uint32_t page_bytes() const override { return opts_.page_bytes; }
   const char* name() const override { return "sd-card-512mb"; }

@@ -17,6 +17,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
     data_ = other.data_;
     spid_ = other.spid_;
     dirty_ = other.dirty_;
+    lsn_ = other.lsn_;
     other.pool_ = nullptr;
     other.data_ = nullptr;
   }
@@ -25,10 +26,11 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->UnpinFrame(frame_id_, dirty_);
+    pool_->UnpinFrame(frame_id_, dirty_, lsn_);
     pool_ = nullptr;
     data_ = nullptr;
     dirty_ = false;
+    lsn_ = kNullLsn;
   }
 }
 
@@ -58,8 +60,16 @@ void BufferPool::AdjustOwnerResidency(uint32_t owner, int delta) {
 Status BufferPool::FlushFrameLocked(uint32_t frame_id) {
   Frame& f = frames_[frame_id];
   if (!f.valid || !f.dirty) return Status::OK();
+  // WAL-before-data: a logged page may not reach the media before its log
+  // records do. The barrier both flushes and fsyncs the WAL, so the rule
+  // holds even when the media later syncs an arbitrary subset of pending
+  // writes (crash-during-sync).
+  if (f.lsn != kNullLsn && flush_barrier_) {
+    HDB_RETURN_IF_ERROR(flush_barrier_(f.lsn));
+  }
   HDB_RETURN_IF_ERROR(disk_->WritePage(f.spid.space, f.spid.page, f.data.get()));
   f.dirty = false;
+  f.lsn = kNullLsn;
   return Status::OK();
 }
 
@@ -68,7 +78,10 @@ void BufferPool::EvictFrameLocked(uint32_t frame_id) {
   if (!f.valid) return;
   // Dirty pages are written back; for an unlocked connection heap this is
   // precisely the paper's "stolen pages are swapped out to the temporary
-  // file" (heap pages live in the temp space).
+  // file" (heap pages live in the temp space). A flush failure (crashed
+  // fault-injection media) drops the page without writing it — the
+  // WAL-before-data invariant is preserved precisely because the write was
+  // NOT issued.
   (void)FlushFrameLocked(frame_id);
   if (f.type == PageType::kHeap) ++heap_steals_;
   ++evictions_;
@@ -127,6 +140,7 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
   f.pin_count = 1;
   f.dirty = false;
   f.valid = true;
+  f.lsn = kNullLsn;
   page_table_[spid] = frame_id;
   AdjustOwnerResidency(owner, +1);
   replacer_.RecordReference(frame_id);
@@ -152,6 +166,7 @@ Result<PageHandle> BufferPool::NewPage(SpaceId space, PageType type,
   f.pin_count = 1;
   f.dirty = true;  // must reach disk at least once
   f.valid = true;
+  f.lsn = kNullLsn;
   page_table_[f.spid] = frame_id;
   AdjustOwnerResidency(owner, +1);
   replacer_.RecordReference(frame_id);
@@ -170,6 +185,7 @@ void BufferPool::DiscardPage(SpacePageId spid) {
     AdjustOwnerResidency(f.owner, -1);
     f.valid = false;
     f.dirty = false;
+    f.lsn = kNullLsn;
     f.type = PageType::kFree;
     f.owner = 0;
     replacer_.Remove(frame_id);
@@ -256,6 +272,7 @@ BufferPoolStats BufferPool::stats() const {
   s.free_frames = free_frames_.size();
   for (const Frame& f : frames_) {
     if (f.pin_count > 0) s.pinned_frames++;
+    if (f.valid && f.dirty) s.dirty_frames++;
   }
   return s;
 }
@@ -273,13 +290,29 @@ size_t BufferPool::ResidentPages(uint32_t owner) const {
   return it == owner_residency_.end() ? 0 : it->second;
 }
 
-void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty) {
+void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (frame_id >= frames_.size()) return;  // frame vanished in a shrink
   Frame& f = frames_[frame_id];
   if (f.pin_count > 0) f.pin_count--;
   if (dirty) f.dirty = true;
+  if (lsn > f.lsn) f.lsn = lsn;
   if (f.pin_count == 0) replacer_.SetEvictable(frame_id, true);
+}
+
+void BufferPool::SetFlushBarrier(std::function<Status(Lsn)> barrier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_barrier_ = std::move(barrier);
+}
+
+Lsn BufferPool::MinDirtyLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn min_lsn = kNullLsn;
+  for (const Frame& f : frames_) {
+    if (!f.valid || !f.dirty || f.lsn == kNullLsn) continue;
+    if (min_lsn == kNullLsn || f.lsn < min_lsn) min_lsn = f.lsn;
+  }
+  return min_lsn;
 }
 
 }  // namespace hdb::storage

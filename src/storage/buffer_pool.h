@@ -2,6 +2,7 @@
 #define HDB_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,14 @@ class PageHandle {
   /// reused.
   void MarkDirty() { dirty_ = true; }
 
+  /// Marks the page modified by a WAL-logged operation whose record got
+  /// `lsn`. The pool will not write the page back until the WAL is durable
+  /// up to the frame's highest such LSN (the WAL-before-data rule).
+  void MarkDirty(Lsn lsn) {
+    dirty_ = true;
+    if (lsn > lsn_) lsn_ = lsn;
+  }
+
   /// Unpins now (idempotent).
   void Release();
 
@@ -53,6 +62,7 @@ class PageHandle {
   char* data_ = nullptr;
   SpacePageId spid_;
   bool dirty_ = false;
+  Lsn lsn_ = kNullLsn;
 };
 
 struct BufferPoolOptions {
@@ -69,6 +79,7 @@ struct BufferPoolStats {
   size_t current_frames = 0;
   size_t pinned_frames = 0;
   size_t free_frames = 0;
+  size_t dirty_frames = 0;  // checkpoint-governor input (DESIGN.md §7)
 };
 
 /// The single heterogeneous buffer pool (paper §2, §2.1, §2.2).
@@ -107,6 +118,21 @@ class BufferPool {
   Status FlushPage(SpacePageId spid);
   Status FlushAll();
 
+  /// Installs the WAL-before-data barrier: called with a frame's highest
+  /// logged LSN before that frame's page image is written back, and must
+  /// not return until the log is durable up to it (WalManager::
+  /// EnsureDurable). Frames dirtied only through the plain MarkDirty()
+  /// (index, temp, log-less runs) bypass the barrier. Set once at open,
+  /// before concurrent traffic.
+  void SetFlushBarrier(std::function<Status(Lsn)> barrier);
+
+  /// Smallest LSN among frames still dirty from logged operations —
+  /// typically pages FlushAll had to skip because they were pinned. The
+  /// checkpoint records it so redo starts early enough to cover them
+  /// (ARIES would call this the dirty-page table's min recLSN). kNullLsn
+  /// when no such frame exists.
+  Lsn MinDirtyLsn() const;
+
   /// Grows or shrinks the pool toward `target_frames`, evicting unpinned
   /// pages as needed. Returns the frame count actually achieved (shrink is
   /// limited by pinned pages).
@@ -134,6 +160,7 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     bool valid = false;  // holds a live page image
+    Lsn lsn = kNullLsn;  // highest WAL LSN among unflushed changes
   };
 
   friend class PageHandle;
@@ -142,11 +169,12 @@ class BufferPool {
   Result<uint32_t> GetVictimFrameLocked();
   void EvictFrameLocked(uint32_t frame_id);
   Status FlushFrameLocked(uint32_t frame_id);
-  void UnpinFrame(uint32_t frame_id, bool dirty);
+  void UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn);
   void AdjustOwnerResidency(uint32_t owner, int delta);
 
   DiskManager* disk_;
   BufferPoolOptions options_;
+  std::function<Status(Lsn)> flush_barrier_;
 
   mutable std::mutex mu_;
   std::vector<Frame> frames_;

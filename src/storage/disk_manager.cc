@@ -1,5 +1,6 @@
 #include "storage/disk_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hdb::storage {
@@ -18,52 +19,115 @@ void AtomicAddDouble(std::atomic<double>& a, double v) {
 
 DiskManager::DiskManager(uint32_t page_bytes,
                          std::unique_ptr<os::VirtualDisk> device,
-                         os::VirtualClock* clock)
-    : page_bytes_(page_bytes), device_(std::move(device)), clock_(clock) {}
+                         os::VirtualClock* clock,
+                         std::shared_ptr<os::StableStorage> media)
+    : page_bytes_(page_bytes),
+      device_(std::move(device)),
+      clock_(clock),
+      media_(std::move(media)) {
+  if (media_ == nullptr) return;
+  // Reopen over durable media: page counts resume past the highest page
+  // that ever reached the platter. Free lists are not persisted — pages
+  // freed before a crash leak, which recovery tolerates (and a checkpoint
+  // rewrite would reclaim in a real system).
+  for (int i = 0; i < kNumSpaces; ++i) {
+    const auto space = static_cast<SpaceId>(i);
+    const uint64_t begin = DevicePage(space, 0);
+    if (space == SpaceId::kTemp) {
+      // Temp contents have no meaning across a restart.
+      media_->DropRange(begin, begin + kSpaceRegionPages);
+      continue;
+    }
+    const int64_t max_page =
+        media_->MaxDurablePage(begin, begin + kSpaceRegionPages);
+    if (max_page >= 0) {
+      Space& s = spaces_[i];
+      s.count = static_cast<uint64_t>(max_page) - begin + 1;
+      s.live = s.count;
+    }
+  }
+}
 
 uint64_t DiskManager::DevicePage(SpaceId space, PageId page) const {
   return static_cast<uint64_t>(space) * kSpaceRegionPages + page;
+}
+
+void DiskManager::AccrueDevice(double us) {
+  AtomicAddDouble(io_micros_, us);
+  if (clock_ != nullptr) clock_->Advance(static_cast<int64_t>(us));
 }
 
 PageId DiskManager::AllocatePage(SpaceId space) {
   std::lock_guard<std::mutex> lock(mu_);
   Space& s = spaces_[static_cast<int>(space)];
   s.live++;
-  if (!s.free_list.empty()) {
+  if (media_ == nullptr && !s.free_list.empty()) {
     const PageId id = s.free_list.back();
     s.free_list.pop_back();
     std::memset(s.pages[id].get(), 0, page_bytes_);
     return id;
   }
-  const auto id = static_cast<PageId>(s.pages.size());
-  s.pages.push_back(std::make_unique<char[]>(page_bytes_));
-  std::memset(s.pages.back().get(), 0, page_bytes_);
+  const auto id = static_cast<PageId>(s.count);
+  s.count++;
+  if (media_ == nullptr) {
+    s.pages.push_back(std::make_unique<char[]>(page_bytes_));
+    std::memset(s.pages.back().get(), 0, page_bytes_);
+  }
   return id;
 }
 
 void DiskManager::DeallocatePage(SpaceId space, PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   Space& s = spaces_[static_cast<int>(space)];
-  if (page < s.pages.size()) {
-    s.free_list.push_back(page);
+  if (page < s.count) {
+    if (media_ == nullptr) s.free_list.push_back(page);
     if (s.live > 0) s.live--;
   }
 }
 
+void DiskManager::EnsureAllocated(SpaceId space, PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Space& s = spaces_[static_cast<int>(space)];
+  while (s.count <= page) {
+    s.count++;
+    s.live++;
+    if (media_ == nullptr) {
+      s.pages.push_back(std::make_unique<char[]>(page_bytes_));
+      std::memset(s.pages.back().get(), 0, page_bytes_);
+    }
+  }
+}
+
 Status DiskManager::ReadPage(SpaceId space, PageId page, char* out) {
+  return ReadPageAllowTorn(space, page, out, nullptr);
+}
+
+Status DiskManager::ReadPageAllowTorn(SpaceId space, PageId page, char* out,
+                                      bool* torn) {
+  if (torn != nullptr) *torn = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Space& s = spaces_[static_cast<int>(space)];
-    if (page >= s.pages.size()) {
+    if (page >= s.count) {
       return Status::IOError("read of unallocated page");
     }
-    std::memcpy(out, s.pages[page].get(), page_bytes_);
+    if (media_ == nullptr) {
+      std::memcpy(out, s.pages[page].get(), page_bytes_);
+    }
+  }
+  if (media_ != nullptr) {
+    const Status st = media_->Read(DevicePage(space, page), out, torn);
+    if (st.code() == StatusCode::kNotFound) {
+      // Allocated but never written back before the last crash: logically
+      // all zeros (recovery redo rebuilds any contents from the log).
+      std::memset(out, 0, page_bytes_);
+    } else if (!st.ok()) {
+      return st;
+    }
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
   if (device_ != nullptr) {
-    const double us = device_->ReadMicros(DevicePage(space, page));
-    AtomicAddDouble(io_micros_, us);
-    if (clock_ != nullptr) clock_->Advance(static_cast<int64_t>(us));
+    AccrueDevice(device_->ReadMicros(DevicePage(space, page)));
   }
   return Status::OK();
 }
@@ -72,23 +136,37 @@ Status DiskManager::WritePage(SpaceId space, PageId page, const char* in) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     Space& s = spaces_[static_cast<int>(space)];
-    if (page >= s.pages.size()) {
+    if (page >= s.count) {
       return Status::IOError("write of unallocated page");
     }
-    std::memcpy(s.pages[page].get(), in, page_bytes_);
+    if (media_ == nullptr) {
+      std::memcpy(s.pages[page].get(), in, page_bytes_);
+    }
+  }
+  if (media_ != nullptr) {
+    HDB_RETURN_IF_ERROR(media_->Write(DevicePage(space, page), in));
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
   if (device_ != nullptr) {
-    const double us = device_->WriteMicros(DevicePage(space, page));
-    AtomicAddDouble(io_micros_, us);
-    if (clock_ != nullptr) clock_->Advance(static_cast<int64_t>(us));
+    AccrueDevice(device_->WriteMicros(DevicePage(space, page)));
   }
   return Status::OK();
 }
 
+Status DiskManager::Sync() {
+  if (media_ == nullptr) return Status::OK();
+  const uint64_t pending = media_->pending_page_count();
+  const Status st = media_->Sync();
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  if (device_ != nullptr) {
+    AccrueDevice(device_->SyncMicros(pending));
+  }
+  return st;
+}
+
 uint64_t DiskManager::NumPages(SpaceId space) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return spaces_[static_cast<int>(space)].pages.size();
+  return spaces_[static_cast<int>(space)].count;
 }
 
 uint64_t DiskManager::LivePages(SpaceId space) const {
@@ -99,13 +177,14 @@ uint64_t DiskManager::LivePages(SpaceId space) const {
 uint64_t DiskManager::TotalDatabaseBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t pages = 0;
-  for (const auto& s : spaces_) pages += s.pages.size();
+  for (const auto& s : spaces_) pages += s.count;
   return pages * page_bytes_;
 }
 
 void DiskManager::ResetIoStats() {
   reads_.store(0, std::memory_order_relaxed);
   writes_.store(0, std::memory_order_relaxed);
+  syncs_.store(0, std::memory_order_relaxed);
   io_micros_.store(0.0, std::memory_order_relaxed);
 }
 

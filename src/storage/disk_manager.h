@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "os/stable_storage.h"
 #include "os/virtual_clock.h"
 #include "os/virtual_disk.h"
 #include "storage/page.h"
@@ -16,36 +17,68 @@ namespace hdb::storage {
 
 /// Page store for the database's spaces (main / temp / log).
 ///
-/// Page images live in memory (databases here are "ordinary OS files" in
-/// spirit; in-memory backing keeps experiments hermetic), while I/O *cost*
-/// is simulated through an optional os::VirtualDisk: each read/write asks
-/// the device for a service time, accumulates it, and advances the virtual
-/// clock. This gives the DTT cost model something real to predict (Eq. (3))
-/// without depending on host hardware.
+/// Two backing modes:
+///  - Volatile (default, `media == nullptr`): page images live in memory;
+///    databases are hermetic and vanish with the process. All pre-WAL
+///    behavior.
+///  - Durable (`media != nullptr`): images live in an os::StableStorage
+///    that outlives the DiskManager. Writes are buffered by the media and
+///    become durable only at Sync() — the WAL layer builds its
+///    flush-ordering rules on exactly this boundary. Reopening a
+///    DiskManager over the same media resumes from whatever survived the
+///    last sync (plus injected faults).
+///
+/// In both modes I/O *cost* is simulated through an optional
+/// os::VirtualDisk: each read/write/sync asks the device for a service
+/// time, accumulates it, and advances the virtual clock. This gives the
+/// DTT cost model something real to predict (Eq. (3)) without depending on
+/// host hardware.
 class DiskManager {
  public:
   /// `device` may be null, in which case I/O is free (unit tests).
   /// `clock` may be null; otherwise simulated service time advances it.
+  /// `media` may be null (volatile mode, see above).
   DiskManager(uint32_t page_bytes, std::unique_ptr<os::VirtualDisk> device,
-              os::VirtualClock* clock);
+              os::VirtualClock* clock,
+              std::shared_ptr<os::StableStorage> media = nullptr);
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
   uint32_t page_bytes() const { return page_bytes_; }
 
-  /// Allocates a zeroed page in `space` and returns its id (reuses
-  /// deallocated pages first).
+  /// Allocates a zeroed page in `space` and returns its id. Volatile mode
+  /// reuses deallocated pages; durable mode is append-only (a freed page's
+  /// media image may still hold pre-crash bytes, so ids are never recycled
+  /// into fresh content without a rewrite).
   PageId AllocatePage(SpaceId space);
 
-  /// Returns `page` to the space's free list.
+  /// Returns `page` to the space's free list (volatile mode only; durable
+  /// mode just drops the live count — leaked page images are reclaimed by
+  /// no one, which recovery tolerates).
   void DeallocatePage(SpaceId space, PageId page);
 
-  /// Copies the page image into `out` (page_bytes() bytes).
+  /// Extends `space` so that `page` is a valid id — recovery replaying a
+  /// page-allocation record against media that never saw the page flushed.
+  void EnsureAllocated(SpaceId space, PageId page);
+
+  /// Copies the page image into `out` (page_bytes() bytes). A page that
+  /// was allocated but never written back reads as zeros in durable mode.
   Status ReadPage(SpaceId space, PageId page, char* out);
 
-  /// Copies `in` (page_bytes() bytes) into the page image.
+  /// Like ReadPage but tolerates a torn image: bytes are returned with
+  /// *torn = true instead of an error. The WAL scan uses this to salvage
+  /// the valid prefix of a torn log tail; recovery uses it to detect torn
+  /// data pages and fall back to full-log replay.
+  Status ReadPageAllowTorn(SpaceId space, PageId page, char* out, bool* torn);
+
+  /// Copies `in` (page_bytes() bytes) into the page image. In durable mode
+  /// the write is buffered by the media until the next Sync().
   Status WritePage(SpaceId space, PageId page, const char* in);
+
+  /// Makes all buffered media writes durable (no-op in volatile mode),
+  /// accruing the device's fsync service time.
+  Status Sync();
 
   /// Number of pages ever allocated in `space` (including freed ones).
   uint64_t NumPages(SpaceId space) const;
@@ -60,15 +93,18 @@ class DiskManager {
   /// Simulated I/O statistics.
   uint64_t read_count() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t sync_count() const { return syncs_.load(std::memory_order_relaxed); }
   double io_micros() const { return io_micros_.load(std::memory_order_relaxed); }
   void ResetIoStats();
 
   os::VirtualDisk* device() { return device_.get(); }
+  os::StableStorage* media() { return media_.get(); }
 
  private:
   struct Space {
-    std::vector<std::unique_ptr<char[]>> pages;
-    std::vector<PageId> free_list;
+    std::vector<std::unique_ptr<char[]>> pages;  // volatile mode images
+    std::vector<PageId> free_list;               // volatile mode only
+    uint64_t count = 0;                          // pages ever allocated
     uint64_t live = 0;
   };
 
@@ -76,15 +112,19 @@ class DiskManager {
   // spaces occupy disjoint fixed regions.
   uint64_t DevicePage(SpaceId space, PageId page) const;
 
+  void AccrueDevice(double us);
+
   const uint32_t page_bytes_;
   std::unique_ptr<os::VirtualDisk> device_;
   os::VirtualClock* clock_;
+  std::shared_ptr<os::StableStorage> media_;
 
   mutable std::mutex mu_;
   Space spaces_[kNumSpaces];
 
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
   std::atomic<double> io_micros_{0.0};
 };
 

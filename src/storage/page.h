@@ -2,6 +2,7 @@
 #define HDB_STORAGE_PAGE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace hdb::storage {
@@ -64,6 +65,25 @@ struct SpacePageIdHash {
     return (static_cast<size_t>(id.space) << 32) ^ id.page;
   }
 };
+
+/// Log sequence number. 0 means "no logged change touched this page yet"
+/// (freshly allocated, or a page type that is not WAL-logged at all).
+using Lsn = uint64_t;
+inline constexpr Lsn kNullLsn = 0;
+
+/// WAL-logged page types place their page LSN in the first 8 bytes of the
+/// image by convention (table_heap's slotted-page header starts with it).
+/// Recovery's redo pass is made idempotent by this stamp: a record is
+/// re-applied only when the page's LSN is older than the record's.
+inline Lsn PageLsn(const char* page) {
+  Lsn lsn;
+  std::memcpy(&lsn, page, sizeof(lsn));
+  return lsn;
+}
+
+inline void SetPageLsn(char* page, Lsn lsn) {
+  std::memcpy(page, &lsn, sizeof(lsn));
+}
 
 }  // namespace hdb::storage
 

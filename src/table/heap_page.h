@@ -1,0 +1,67 @@
+#ifndef HDB_TABLE_HEAP_PAGE_H_
+#define HDB_TABLE_HEAP_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace hdb::table {
+
+// Slotted page layout, shared by TableHeap (the runtime mutator) and
+// wal/recovery (which replays and inverts heap operations at exact
+// page/slot positions, without going through TableHeap's append-anywhere
+// API):
+//   [HeapPageHeader][slot 0][slot 1]...        (grows up)
+//   ...free space...
+//   [row k bytes]...[row 1 bytes][row 0 bytes] (grows down)
+//
+// The LSN is the first field so the generic storage::PageLsn() stamp
+// convention (storage/page.h) applies to heap pages.
+struct HeapPageHeader {
+  storage::Lsn lsn;
+  storage::PageId next_page;
+  uint16_t slot_count;
+  uint16_t free_end;  // offset one past the end of free space (row data start)
+};
+
+struct HeapSlot {
+  uint16_t offset;
+  uint16_t len;  // 0 => deleted
+};
+
+inline constexpr size_t kHeapHeaderBytes = sizeof(HeapPageHeader);
+inline constexpr size_t kHeapSlotBytes = sizeof(HeapSlot);
+
+inline HeapPageHeader ReadHeapHeader(const char* page) {
+  HeapPageHeader h;
+  std::memcpy(&h, page, kHeapHeaderBytes);
+  return h;
+}
+
+inline void WriteHeapHeader(char* page, const HeapPageHeader& h) {
+  std::memcpy(page, &h, kHeapHeaderBytes);
+}
+
+inline HeapSlot ReadHeapSlot(const char* page, uint16_t i) {
+  HeapSlot s;
+  std::memcpy(&s, page + kHeapHeaderBytes + i * kHeapSlotBytes,
+              kHeapSlotBytes);
+  return s;
+}
+
+inline void WriteHeapSlot(char* page, uint16_t i, const HeapSlot& s) {
+  std::memcpy(page + kHeapHeaderBytes + i * kHeapSlotBytes, &s,
+              kHeapSlotBytes);
+}
+
+/// Initializes an empty heap page image of `page_bytes` capacity.
+inline void InitHeapPage(char* page, uint32_t page_bytes) {
+  HeapPageHeader h{storage::kNullLsn, storage::kInvalidPageId, 0,
+                   static_cast<uint16_t>(page_bytes)};
+  WriteHeapHeader(page, h);
+}
+
+}  // namespace hdb::table
+
+#endif  // HDB_TABLE_HEAP_PAGE_H_

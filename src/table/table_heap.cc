@@ -1,53 +1,33 @@
 #include "table/table_heap.h"
 
 #include <cstring>
+#include <utility>
+
+#include "table/heap_page.h"
+#include "wal/wal_record.h"
 
 namespace hdb::table {
 
-namespace {
+// Slotted page layout: see table/heap_page.h (shared with wal/recovery).
+//
+// WAL protocol for every mutator below: encode the physiological record,
+// append it to the log *before* touching the page bytes, then apply the
+// change, stamp the page LSN, and MarkDirty(lsn) so the buffer pool's
+// flush barrier orders the page write behind the log. All of this happens
+// under the heap's exclusive latch, so record order in the log matches
+// byte order on the page.
 
-// Slotted page layout:
-//   [PageHeader][slot 0][slot 1]...            (grows up)
-//   ...free space...
-//   [row k bytes]...[row 1 bytes][row 0 bytes] (grows down)
-struct PageHeader {
-  storage::PageId next_page;
-  uint16_t slot_count;
-  uint16_t free_end;  // offset one past the end of free space (row data start)
-};
+TableHeap::TableHeap(storage::BufferPool* pool, catalog::TableDef* def,
+                     wal::WalManager* wal)
+    : pool_(pool), def_(def), wal_(wal) {}
 
-struct Slot {
-  uint16_t offset;
-  uint16_t len;  // 0 => deleted
-};
-
-constexpr size_t kHeaderBytes = sizeof(PageHeader);
-constexpr size_t kSlotBytes = sizeof(Slot);
-
-PageHeader ReadHeader(const char* page) {
-  PageHeader h;
-  std::memcpy(&h, page, kHeaderBytes);
-  return h;
+Result<storage::Lsn> TableHeap::LogOp(wal::WalRecordType type,
+                                      std::string payload) {
+  if (wal_ == nullptr || !wal_->enabled()) return storage::kNullLsn;
+  const wal::WalManager::TxnContext ctx = wal::WalManager::CurrentTxn();
+  return wal_->Append(type, ctx.txn_id, std::move(payload),
+                      ctx.clr ? wal::kWalFlagClr : uint8_t{0});
 }
-
-void WriteHeader(char* page, const PageHeader& h) {
-  std::memcpy(page, &h, kHeaderBytes);
-}
-
-Slot ReadSlot(const char* page, uint16_t i) {
-  Slot s;
-  std::memcpy(&s, page + kHeaderBytes + i * kSlotBytes, kSlotBytes);
-  return s;
-}
-
-void WriteSlot(char* page, uint16_t i, const Slot& s) {
-  std::memcpy(page + kHeaderBytes + i * kSlotBytes, &s, kSlotBytes);
-}
-
-}  // namespace
-
-TableHeap::TableHeap(storage::BufferPool* pool, catalog::TableDef* def)
-    : pool_(pool), def_(def) {}
 
 Status TableHeap::AppendPage() {
   storage::PageId id = storage::kInvalidPageId;
@@ -55,10 +35,13 @@ Status TableHeap::AppendPage() {
       storage::PageHandle h,
       pool_->NewPage(storage::SpaceId::kMain, storage::PageType::kTable,
                      def_->oid, &id));
-  PageHeader header{storage::kInvalidPageId, 0,
-                    static_cast<uint16_t>(pool_->page_bytes())};
-  WriteHeader(h.data(), header);
-  h.MarkDirty();
+  HDB_ASSIGN_OR_RETURN(
+      const storage::Lsn lsn,
+      LogOp(wal::WalRecordType::kHeapAppendPage,
+            wal::EncodeHeapAppendPage(def_->oid, id, def_->last_page)));
+  InitHeapPage(h.data(), pool_->page_bytes());
+  storage::SetPageLsn(h.data(), lsn);
+  h.MarkDirty(lsn);
 
   if (def_->last_page != storage::kInvalidPageId) {
     HDB_ASSIGN_OR_RETURN(
@@ -66,10 +49,12 @@ Status TableHeap::AppendPage() {
         pool_->FetchPage(
             storage::SpacePageId{storage::SpaceId::kMain, def_->last_page},
             storage::PageType::kTable, def_->oid));
-    PageHeader ph = ReadHeader(prev.data());
+    HeapPageHeader ph = ReadHeapHeader(prev.data());
     ph.next_page = id;
-    WriteHeader(prev.data(), ph);
-    prev.MarkDirty();
+    // One record covers both pages: replay re-links prev the same way.
+    if (lsn > ph.lsn) ph.lsn = lsn;
+    WriteHeapHeader(prev.data(), ph);
+    prev.MarkDirty(lsn);
   } else {
     def_->first_page = id;
   }
@@ -84,9 +69,9 @@ Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
       storage::PageHandle h,
       pool_->FetchPage(storage::SpacePageId{storage::SpaceId::kMain, page_id},
                        storage::PageType::kTable, def_->oid));
-  PageHeader header = ReadHeader(h.data());
-  const size_t used_top = kHeaderBytes + header.slot_count * kSlotBytes;
-  const size_t need = row_bytes.size() + kSlotBytes;
+  HeapPageHeader header = ReadHeapHeader(h.data());
+  const size_t used_top = kHeapHeaderBytes + header.slot_count * kHeapSlotBytes;
+  const size_t need = row_bytes.size() + kHeapSlotBytes;
   if (used_top + need > header.free_end) {
     *fit = false;
     return Rid{};
@@ -94,14 +79,20 @@ Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
   *fit = true;
   const auto new_end =
       static_cast<uint16_t>(header.free_end - row_bytes.size());
-  std::memcpy(h.data() + new_end, row_bytes.data(), row_bytes.size());
   const uint16_t slot_index = header.slot_count;
-  WriteSlot(h.data(), slot_index,
-            Slot{new_end, static_cast<uint16_t>(row_bytes.size())});
+  HDB_ASSIGN_OR_RETURN(
+      const storage::Lsn lsn,
+      LogOp(wal::WalRecordType::kHeapInsert,
+            wal::EncodeHeapInsert(def_->oid, page_id, slot_index, new_end,
+                                  row_bytes)));
+  std::memcpy(h.data() + new_end, row_bytes.data(), row_bytes.size());
+  WriteHeapSlot(h.data(), slot_index,
+                HeapSlot{new_end, static_cast<uint16_t>(row_bytes.size())});
   header.slot_count++;
   header.free_end = new_end;
-  WriteHeader(h.data(), header);
-  h.MarkDirty();
+  if (lsn > header.lsn) header.lsn = lsn;
+  WriteHeapHeader(h.data(), header);
+  h.MarkDirty(lsn);
   return Rid{page_id, slot_index};
 }
 
@@ -111,7 +102,8 @@ Result<Rid> TableHeap::Insert(std::string_view row_bytes) {
 }
 
 Result<Rid> TableHeap::InsertLocked(std::string_view row_bytes) {
-  if (row_bytes.size() + kHeaderBytes + kSlotBytes > pool_->page_bytes()) {
+  if (row_bytes.size() + kHeapHeaderBytes + kHeapSlotBytes >
+      pool_->page_bytes()) {
     return Status::InvalidArgument("row larger than a page");
   }
   if (row_bytes.empty()) return Status::InvalidArgument("empty row");
@@ -137,9 +129,9 @@ Result<std::string> TableHeap::Get(Rid rid) const {
       pool_->FetchPage(
           storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
           storage::PageType::kTable, def_->oid));
-  const PageHeader header = ReadHeader(h.data());
+  const HeapPageHeader header = ReadHeapHeader(h.data());
   if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
-  const Slot s = ReadSlot(h.data(), rid.slot);
+  const HeapSlot s = ReadHeapSlot(h.data(), rid.slot);
   if (s.len == 0) return Status::NotFound("deleted row");
   return std::string(h.data() + s.offset, s.len);
 }
@@ -155,13 +147,23 @@ Status TableHeap::DeleteLocked(Rid rid) {
       pool_->FetchPage(
           storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
           storage::PageType::kTable, def_->oid));
-  const PageHeader header = ReadHeader(h.data());
+  HeapPageHeader header = ReadHeapHeader(h.data());
   if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
-  Slot s = ReadSlot(h.data(), rid.slot);
+  HeapSlot s = ReadHeapSlot(h.data(), rid.slot);
   if (s.len == 0) return Status::NotFound("row already deleted");
+  HDB_ASSIGN_OR_RETURN(
+      const storage::Lsn lsn,
+      LogOp(wal::WalRecordType::kHeapDelete,
+            wal::EncodeHeapDelete(
+                def_->oid, rid.page_id, rid.slot, s.offset,
+                std::string_view(h.data() + s.offset, s.len))));
   s.len = 0;
-  WriteSlot(h.data(), rid.slot, s);
-  h.MarkDirty();
+  WriteHeapSlot(h.data(), rid.slot, s);
+  if (lsn > header.lsn) {
+    header.lsn = lsn;
+    WriteHeapHeader(h.data(), header);
+  }
+  h.MarkDirty(lsn);
   if (def_->row_count > 0) def_->row_count--;
   return Status::OK();
 }
@@ -174,20 +176,31 @@ Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
         pool_->FetchPage(
             storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
             storage::PageType::kTable, def_->oid));
-    const PageHeader header = ReadHeader(h.data());
+    HeapPageHeader header = ReadHeapHeader(h.data());
     if (rid.slot >= header.slot_count) {
       return Status::NotFound("bad rid slot");
     }
-    Slot s = ReadSlot(h.data(), rid.slot);
+    HeapSlot s = ReadHeapSlot(h.data(), rid.slot);
     if (s.len == 0) return Status::NotFound("deleted row");
     if (row_bytes.size() <= s.len) {
+      HDB_ASSIGN_OR_RETURN(
+          const storage::Lsn lsn,
+          LogOp(wal::WalRecordType::kHeapUpdate,
+                wal::EncodeHeapUpdate(
+                    def_->oid, rid.page_id, rid.slot, s.offset,
+                    std::string_view(h.data() + s.offset, s.len), row_bytes)));
       std::memcpy(h.data() + s.offset, row_bytes.data(), row_bytes.size());
       s.len = static_cast<uint16_t>(row_bytes.size());
-      WriteSlot(h.data(), rid.slot, s);
-      h.MarkDirty();
+      WriteHeapSlot(h.data(), rid.slot, s);
+      if (lsn > header.lsn) {
+        header.lsn = lsn;
+        WriteHeapHeader(h.data(), header);
+      }
+      h.MarkDirty(lsn);
       return rid;
     }
   }
+  // Grown row: delete + re-insert, two records, both inverted on undo.
   HDB_RETURN_IF_ERROR(DeleteLocked(rid));
   return InsertLocked(row_bytes);
 }
@@ -206,9 +219,9 @@ bool TableHeap::Iterator::Next(Rid* rid, std::string* row_bytes) {
         storage::SpacePageId{storage::SpaceId::kMain, page_},
         storage::PageType::kTable, heap_->def_->oid);
     if (!h.ok()) return false;
-    const PageHeader header = ReadHeader(h->data());
+    const HeapPageHeader header = ReadHeapHeader(h->data());
     while (slot_ < header.slot_count) {
-      const Slot s = ReadSlot(h->data(), slot_);
+      const HeapSlot s = ReadHeapSlot(h->data(), slot_);
       const uint16_t current = slot_++;
       if (s.len == 0) continue;
       *rid = Rid{page_, current};

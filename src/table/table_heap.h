@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "catalog/schema.h"
 #include "storage/buffer_pool.h"
+#include "wal/wal_manager.h"
 
 namespace hdb::table {
 
@@ -29,7 +30,15 @@ namespace hdb::table {
 /// statement — transaction-duration isolation is the LockManager's job.
 class TableHeap {
  public:
-  TableHeap(storage::BufferPool* pool, catalog::TableDef* def);
+  /// `wal` is nullable: without it (or with logging disabled) the heap
+  /// mutates pages silently, which is the pre-WAL behavior and the
+  /// HDB_WAL=OFF path. With it, every mutation appends a physiological
+  /// record — page/slot position plus row payload — *before* the page
+  /// bytes change, stamps the page LSN, and tags the frame so the buffer
+  /// pool holds it behind the WAL flush barrier. Transaction attribution
+  /// comes from the thread's wal::WalManager::TxnScope.
+  TableHeap(storage::BufferPool* pool, catalog::TableDef* def,
+            wal::WalManager* wal = nullptr);
 
   /// Appends an encoded row; returns its Rid.
   Result<Rid> Insert(std::string_view row_bytes);
@@ -76,13 +85,19 @@ class TableHeap {
   Result<Rid> InsertLocked(std::string_view row_bytes);
   Status DeleteLocked(Rid rid);
 
-  // Page layout constants (see table_heap.cc).
+  // Page layout lives in table/heap_page.h, shared with wal/recovery.
   Result<Rid> InsertIntoPage(storage::PageId page_id,
                              std::string_view row_bytes, bool* fit);
   Status AppendPage();
 
+  /// Appends a WAL record for a mutation about to be applied, attributed
+  /// to the calling thread's transaction. Returns kNullLsn when logging is
+  /// off.
+  Result<storage::Lsn> LogOp(wal::WalRecordType type, std::string payload);
+
   storage::BufferPool* pool_;
   catalog::TableDef* def_;
+  wal::WalManager* wal_;
   mutable std::shared_mutex latch_;
 };
 

@@ -8,6 +8,11 @@ TransactionManager::TransactionManager(storage::BufferPool* pool,
                                        LockManager* locks)
     : pool_(pool), locks_(locks) {}
 
+void TransactionManager::SeedNextTxnId(uint64_t next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next > next_txn_id_) next_txn_id_ = next;
+}
+
 Transaction* TransactionManager::Begin() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t id = next_txn_id_++;
@@ -20,6 +25,10 @@ Transaction* TransactionManager::Begin() {
 
 Status TransactionManager::AppendRedo(uint64_t txn_id,
                                       std::string_view payload) {
+  // With the WAL attached, heap-level records already carry the redo
+  // content; this legacy stream would interleave foreign pages into the
+  // WAL's strictly sequential kLog space, so it must stay off.
+  if (wal_ != nullptr && wal_->enabled()) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   // Record: [u64 txn][u32 len][bytes]; records never span pages (payloads
   // are small — row images); a fresh page is started when needed.
@@ -62,7 +71,18 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
-  HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "COMMIT"));
+  if (wal_ != nullptr && wal_->enabled()) {
+    // WAL commit protocol: the commit record must be durable before any
+    // lock is released (once another transaction can read our writes, a
+    // crash must not un-commit us). WaitDurable parks on the group-commit
+    // flusher, batching fsyncs across concurrently committing sessions.
+    HDB_ASSIGN_OR_RETURN(
+        const storage::Lsn lsn,
+        wal_->Append(wal::WalRecordType::kCommit, txn->id(), std::string()));
+    HDB_RETURN_IF_ERROR(wal_->WaitDurable(lsn));
+  } else {
+    HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "COMMIT"));
+  }
   ReleaseLocks(txn);
   txn->set_state(TxnState::kCommitted);
   std::lock_guard<std::mutex> lock(mu_);
@@ -79,7 +99,17 @@ Status TransactionManager::Abort(Transaction* txn,
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     HDB_RETURN_IF_ERROR(apply_undo(*it));
   }
-  HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "ROLLBACK"));
+  if (wal_ != nullptr && wal_->enabled()) {
+    // The undo applier ran under a CLR TxnScope, so the compensation
+    // records are already in the log; kAbort just closes the transaction.
+    // No durability wait: if the abort record is lost, recovery re-undoes
+    // from the CLRs, which is idempotent.
+    HDB_RETURN_IF_ERROR(
+        wal_->Append(wal::WalRecordType::kAbort, txn->id(), std::string())
+            .status());
+  } else {
+    HDB_RETURN_IF_ERROR(AppendRedo(txn->id(), "ROLLBACK"));
+  }
   ReleaseLocks(txn);
   txn->set_state(TxnState::kAborted);
   std::lock_guard<std::mutex> lock(mu_);

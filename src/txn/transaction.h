@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "storage/buffer_pool.h"
 #include "txn/lock_manager.h"
+#include "wal/wal_manager.h"
 
 namespace hdb::txn {
 
@@ -57,13 +58,27 @@ class Transaction {
 /// Creates transactions, appends their redo records to the log space, and
 /// releases locks at end of transaction. Rollback *application* is
 /// delegated to a callback because row re-insertion needs the table layer.
+///
+/// With a WalManager attached (SetWal), end-of-transaction records go to
+/// the write-ahead log instead: Commit appends a kCommit record and blocks
+/// on group commit until it is durable *before* releasing any lock, and
+/// the legacy pool-resident redo stream (AppendRedo) becomes a no-op —
+/// heap-level WAL records carry the redo content.
 class TransactionManager {
  public:
   TransactionManager(storage::BufferPool* pool, LockManager* locks);
 
+  /// Attaches the write-ahead log (engine wiring; before any Begin).
+  void SetWal(wal::WalManager* wal) { wal_ = wal; }
+
+  /// Seeds the transaction-id counter past recovery's watermark so new
+  /// transactions never reuse an id that appears in the durable log.
+  void SeedNextTxnId(uint64_t next);
+
   Transaction* Begin();
 
-  /// Writes a commit record to the redo log and releases all locks.
+  /// Writes a commit record to the redo log and releases all locks. With a
+  /// WAL attached the commit record must be durable before this returns.
   Status Commit(Transaction* txn);
 
   /// Calls `apply_undo` for each undo record in reverse order, then
@@ -85,6 +100,7 @@ class TransactionManager {
 
   storage::BufferPool* pool_;
   LockManager* locks_;
+  wal::WalManager* wal_ = nullptr;
 
   mutable std::mutex mu_;
   uint64_t next_txn_id_ = 1;

@@ -1,0 +1,174 @@
+#include "wal/checkpoint_governor.h"
+
+#include <algorithm>
+
+#include "obs/metric_names.h"
+#include "wal/wal_record.h"
+
+namespace hdb::wal {
+
+namespace {
+
+// EMA weight for the measured-cost estimates. A structural constant (like
+// the pool governor's damping factor), not a tuning knob: it only controls
+// how fast the estimates forget old media behavior.
+constexpr double kEmaAlpha = 0.5;
+
+// Eviction-latency guard: checkpoint when more than this fraction of the
+// pool is dirty, independent of the cost balance.
+constexpr double kDirtyRatioGuard = 0.5;
+
+}  // namespace
+
+CheckpointGovernor::CheckpointGovernor(WalManager* wal,
+                                       storage::BufferPool* pool,
+                                       os::VirtualClock* clock)
+    : wal_(wal), pool_(pool), clock_(clock) {}
+
+uint64_t CheckpointGovernor::EstimatedCheckpointMicrosLocked() const {
+  const storage::BufferPoolStats ps = pool_->stats();
+  return static_cast<uint64_t>(ps.dirty_frames * flush_micros_per_page_ +
+                               sync_micros_);
+}
+
+bool CheckpointGovernor::MaybeCheckpoint() {
+  if (!wal_->enabled()) return false;
+  const uint64_t log_bytes = wal_->bytes_since_checkpoint();
+  if (log_bytes == 0) return false;
+
+  // Fast pre-check without the mutex: the target is maintained as the
+  // break-even log size of the *last* decision, so most calls return here.
+  if (log_bytes < target_log_bytes_.load(std::memory_order_relaxed)) {
+    const storage::BufferPoolStats ps = pool_->stats();
+    const double dirty_ratio =
+        ps.current_frames == 0
+            ? 0.0
+            : static_cast<double>(ps.dirty_frames) / ps.current_frames;
+    if (dirty_ratio <= kDirtyRatioGuard) return false;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;  // a checkpoint is already running
+
+  // Re-derive the balance with the measured estimates under the lock.
+  const uint64_t est_ckpt = EstimatedCheckpointMicrosLocked();
+  const double est_redo = log_bytes * redo_micros_per_byte_;
+  const storage::BufferPoolStats ps = pool_->stats();
+  const double dirty_ratio =
+      ps.current_frames == 0
+          ? 0.0
+          : static_cast<double>(ps.dirty_frames) / ps.current_frames;
+  const bool cost_fires = est_redo >= static_cast<double>(est_ckpt);
+  const bool dirty_fires = dirty_ratio > kDirtyRatioGuard;
+  if (!cost_fires && !dirty_fires) {
+    // Remember the break-even point so the lock-free pre-check stays
+    // accurate as the estimates move.
+    target_log_bytes_.store(
+        static_cast<uint64_t>(est_ckpt / std::max(1e-9, redo_micros_per_byte_)),
+        std::memory_order_relaxed);
+    return false;
+  }
+  const Status st =
+      RunCheckpointLocked(dirty_fires && !cost_fires ? "dirty_ratio"
+                                                     : "redo_bound");
+  return st.ok();
+}
+
+Status CheckpointGovernor::ForceCheckpoint(const char* reason) {
+  if (!wal_->enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return RunCheckpointLocked(reason);
+}
+
+Status CheckpointGovernor::RunCheckpointLocked(const char* reason) {
+  const uint64_t log_bytes_before = wal_->bytes_since_checkpoint();
+  const storage::BufferPoolStats before = pool_->stats();
+  const int64_t t0 = clock_ != nullptr ? clock_->NowMicros() : 0;
+
+  // Fuzzy checkpoint protocol: begin record durable first, then flush
+  // whatever is flushable (pinned frames are skipped — their min recLSN
+  // goes into the end record), make the data pages themselves durable, and
+  // only then declare the checkpoint complete. A crash anywhere in between
+  // leaves the previous completed checkpoint governing redo.
+  HDB_ASSIGN_OR_RETURN(
+      const storage::Lsn begin_lsn,
+      wal_->Append(WalRecordType::kCheckpointBegin, 0, std::string()));
+  HDB_RETURN_IF_ERROR(wal_->EnsureDurable(begin_lsn));
+  HDB_RETURN_IF_ERROR(pool_->FlushAll());
+  HDB_RETURN_IF_ERROR(pool_->disk()->Sync());
+  const storage::Lsn min_rec_lsn = pool_->MinDirtyLsn();
+  HDB_ASSIGN_OR_RETURN(
+      const storage::Lsn end_lsn,
+      wal_->Append(WalRecordType::kCheckpointEnd, 0,
+                   EncodeCheckpointEnd(begin_lsn, min_rec_lsn)));
+  HDB_RETURN_IF_ERROR(wal_->EnsureDurable(end_lsn));
+  wal_->NoteCheckpointBegin(begin_lsn);
+
+  const int64_t t1 = clock_ != nullptr ? clock_->NowMicros() : 0;
+  const uint64_t micros = static_cast<uint64_t>(std::max<int64_t>(0, t1 - t0));
+  const storage::BufferPoolStats after = pool_->stats();
+  const uint64_t flushed =
+      before.dirty_frames > after.dirty_frames
+          ? before.dirty_frames - after.dirty_frames
+          : 0;
+
+  // Feed the measurements back into the cost model.
+  if (flushed > 0) {
+    flush_micros_per_page_ =
+        (1 - kEmaAlpha) * flush_micros_per_page_ +
+        kEmaAlpha * (static_cast<double>(micros) / flushed);
+  }
+  if (log_bytes_before > 0) {
+    // Replaying a byte of log costs roughly what flushing the page work it
+    // generated cost: the redo pass re-reads the log and re-issues the
+    // same page writes the checkpoint just performed.
+    redo_micros_per_byte_ =
+        (1 - kEmaAlpha) * redo_micros_per_byte_ +
+        kEmaAlpha * (static_cast<double>(micros) / log_bytes_before);
+  }
+  const uint64_t target = static_cast<uint64_t>(
+      EstimatedCheckpointMicrosLocked() /
+      std::max(1e-9, redo_micros_per_byte_));
+  target_log_bytes_.store(std::max<uint64_t>(1, target),
+                          std::memory_order_relaxed);
+
+  stats_.checkpoints++;
+  stats_.pages_flushed += flushed;
+  stats_.micros += micros;
+  stats_.target_log_bytes = target_log_bytes_.load(std::memory_order_relaxed);
+  stats_.last_begin_lsn = begin_lsn;
+  stats_.last_end_lsn = end_lsn;
+
+  if (m_count_ != nullptr) m_count_->Add(1);
+  if (m_pages_ != nullptr) m_pages_->Add(flushed);
+  if (m_micros_ != nullptr) m_micros_->Add(micros);
+  if (decisions_ != nullptr) {
+    decisions_->Record(t1, "checkpoint", "checkpoint", reason,
+                       static_cast<double>(log_bytes_before),
+                       static_cast<double>(stats_.target_log_bytes));
+  }
+  return Status::OK();
+}
+
+CheckpointStats CheckpointGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckpointStats s = stats_;
+  s.target_log_bytes = target_log_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CheckpointGovernor::AttachTelemetry(obs::MetricsRegistry* registry,
+                                         obs::DecisionLog* decisions) {
+  if (registry != nullptr) {
+    m_count_ = registry->RegisterCounter(obs::kCheckpointCount);
+    m_pages_ = registry->RegisterCounter(obs::kCheckpointPagesFlushed);
+    m_micros_ = registry->RegisterCounter(obs::kCheckpointMicros);
+    registry->RegisterCallback(obs::kCheckpointTargetLogBytes, [this] {
+      return static_cast<double>(
+          target_log_bytes_.load(std::memory_order_relaxed));
+    });
+  }
+  decisions_ = decisions;
+}
+
+}  // namespace hdb::wal

@@ -1,0 +1,90 @@
+#ifndef HDB_WAL_CHECKPOINT_GOVERNOR_H_
+#define HDB_WAL_CHECKPOINT_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "os/virtual_clock.h"
+#include "storage/buffer_pool.h"
+#include "wal/wal_manager.h"
+
+namespace hdb::wal {
+
+struct CheckpointStats {
+  uint64_t checkpoints = 0;
+  uint64_t pages_flushed = 0;
+  uint64_t micros = 0;               // cumulative measured checkpoint time
+  uint64_t target_log_bytes = 0;     // current self-derived trigger
+  storage::Lsn last_begin_lsn = storage::kNullLsn;
+  storage::Lsn last_end_lsn = storage::kNullLsn;
+};
+
+/// Self-tuning fuzzy-checkpoint governor (DESIGN.md §7).
+///
+/// There is no checkpoint-interval knob, matching the paper's design
+/// philosophy: the trigger is derived from two measured quantities.
+///
+///  - cost balance: a checkpoint is taken when the redo work a crash would
+///    incur (bytes_since_checkpoint × measured redo micros/byte) exceeds
+///    the cost of checkpointing now (estimated from the pool's dirty-frame
+///    count × the measured per-page flush cost + the measured sync cost).
+///    Both estimates are EMAs over the governor's own checkpoints, so fast
+///    media and light write loads both push checkpoints further apart on
+///    their own.
+///  - eviction-latency guard: when more than half the pool is dirty, a
+///    checkpoint runs regardless, keeping page-replacement latency (and
+///    the flush barrier's fsync burst) bounded.
+///
+/// Every decision — taken or skipped — can be traced through the
+/// obs::DecisionLog; sys.governors surfaces the same records.
+///
+/// Thread safety: MaybeCheckpoint/ForceCheckpoint may be called from any
+/// session thread; one checkpoint runs at a time (internal mutex), and
+/// concurrent callers skip rather than queue.
+class CheckpointGovernor {
+ public:
+  CheckpointGovernor(WalManager* wal, storage::BufferPool* pool,
+                     os::VirtualClock* clock);
+
+  /// Evaluates the trigger and checkpoints if it fires. Returns true when
+  /// a checkpoint ran. Cheap when it does not fire (a few atomic loads).
+  bool MaybeCheckpoint();
+
+  /// Unconditional checkpoint (recovery end, clean shutdown, tests).
+  Status ForceCheckpoint(const char* reason);
+
+  CheckpointStats stats() const;
+  void AttachTelemetry(obs::MetricsRegistry* registry,
+                       obs::DecisionLog* decisions);
+
+ private:
+  Status RunCheckpointLocked(const char* reason);
+  uint64_t EstimatedCheckpointMicrosLocked() const;
+
+  WalManager* wal_;
+  storage::BufferPool* pool_;
+  os::VirtualClock* clock_;
+
+  mutable std::mutex mu_;
+  // Measured-cost EMAs (micros). Seeds only matter for the first trigger;
+  // the first real checkpoint replaces them with measurements.
+  double flush_micros_per_page_ = 100.0;
+  double sync_micros_ = 500.0;
+  double redo_micros_per_byte_ = 0.05;
+  std::atomic<uint64_t> target_log_bytes_{64 * 1024};
+
+  CheckpointStats stats_;
+
+  obs::Counter* m_count_ = nullptr;
+  obs::Counter* m_pages_ = nullptr;
+  obs::Counter* m_micros_ = nullptr;
+  obs::DecisionLog* decisions_ = nullptr;
+};
+
+}  // namespace hdb::wal
+
+#endif  // HDB_WAL_CHECKPOINT_GOVERNOR_H_

@@ -1,0 +1,77 @@
+#ifndef HDB_WAL_DDL_RECORD_H_
+#define HDB_WAL_DDL_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "wal/wal_record.h"
+
+namespace hdb::wal {
+
+// DDL barrier payloads (DESIGN.md §7). Each record carries the full
+// definition *including the oid the catalog assigned*, because heap
+// records address tables by oid: replay must reproduce the same oids even
+// though the in-memory catalog is rebuilt from scratch on every open.
+// Decoding lives in recovery.cc; the engine only encodes.
+
+inline std::string EncodeDdlCreateTable(const catalog::TableDef& def) {
+  ByteWriter w;
+  w.U32(def.oid);
+  w.Str(def.name);
+  w.U32(static_cast<uint32_t>(def.columns.size()));
+  for (const catalog::ColumnDef& c : def.columns) {
+    w.Str(c.name);
+    w.U8(static_cast<uint8_t>(c.type));
+    w.U8(c.nullable ? 1 : 0);
+  }
+  return w.Take();
+}
+
+inline std::string EncodeDdlCreateIndex(const catalog::IndexDef& def) {
+  ByteWriter w;
+  w.U32(def.oid);
+  w.Str(def.name);
+  w.U32(def.table_oid);
+  w.U8(def.unique ? 1 : 0);
+  w.U32(static_cast<uint32_t>(def.column_indexes.size()));
+  for (const int c : def.column_indexes) w.U32(static_cast<uint32_t>(c));
+  return w.Take();
+}
+
+inline std::string EncodeDdlDropName(const std::string& name) {
+  ByteWriter w;
+  w.Str(name);
+  return w.Take();
+}
+
+inline std::string EncodeDdlCreateProcedure(const catalog::ProcedureDef& def) {
+  ByteWriter w;
+  w.Str(def.name);
+  w.U32(static_cast<uint32_t>(def.param_names.size()));
+  for (const std::string& p : def.param_names) w.Str(p);
+  w.U32(static_cast<uint32_t>(def.statements.size()));
+  for (const std::string& s : def.statements) w.Str(s);
+  return w.Take();
+}
+
+inline std::string EncodeDdlSetOption(const std::string& name,
+                                      const std::string& value) {
+  ByteWriter w;
+  w.Str(name);
+  w.Str(value);
+  return w.Take();
+}
+
+inline std::string EncodeDdlForeignKey(const catalog::ForeignKey& fk) {
+  ByteWriter w;
+  w.U32(fk.table_oid);
+  w.U32(static_cast<uint32_t>(fk.column_index));
+  w.U32(fk.ref_table_oid);
+  w.U32(static_cast<uint32_t>(fk.ref_column_index));
+  return w.Take();
+}
+
+}  // namespace hdb::wal
+
+#endif  // HDB_WAL_DDL_RECORD_H_

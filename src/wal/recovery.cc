@@ -1,0 +1,371 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "table/heap_page.h"
+#include "wal/ddl_record.h"
+
+namespace hdb::wal {
+
+namespace {
+
+bool IsHeapOpType(WalRecordType t) {
+  return t == WalRecordType::kHeapInsert || t == WalRecordType::kHeapDelete ||
+         t == WalRecordType::kHeapUpdate ||
+         t == WalRecordType::kHeapAppendPage;
+}
+
+// Applies a slot-level heap record to a raw page image. The caller has
+// already checked the page-LSN gate. Defensive about slots beyond
+// slot_count (possible on a zeroed torn page mid-rebuild): the directory
+// is extended rather than trusted.
+void ApplySlotOp(const WalRecord& rec, const HeapOp& op, char* page) {
+  table::HeapPageHeader header = table::ReadHeapHeader(page);
+  switch (rec.type) {
+    case WalRecordType::kHeapInsert: {
+      std::memcpy(page + op.offset, op.after.data(), op.after.size());
+      table::WriteHeapSlot(
+          page, op.slot,
+          table::HeapSlot{op.offset, static_cast<uint16_t>(op.after.size())});
+      if (op.slot >= header.slot_count) {
+        header.slot_count = static_cast<uint16_t>(op.slot + 1);
+      }
+      if (op.offset < header.free_end) header.free_end = op.offset;
+      break;
+    }
+    case WalRecordType::kHeapDelete: {
+      table::WriteHeapSlot(page, op.slot, table::HeapSlot{op.offset, 0});
+      if (op.slot >= header.slot_count) {
+        header.slot_count = static_cast<uint16_t>(op.slot + 1);
+      }
+      if (op.offset < header.free_end) header.free_end = op.offset;
+      break;
+    }
+    case WalRecordType::kHeapUpdate: {
+      std::memcpy(page + op.offset, op.after.data(), op.after.size());
+      table::WriteHeapSlot(
+          page, op.slot,
+          table::HeapSlot{op.offset, static_cast<uint16_t>(op.after.size())});
+      if (op.slot >= header.slot_count) {
+        header.slot_count = static_cast<uint16_t>(op.slot + 1);
+      }
+      break;
+    }
+    default:
+      return;
+  }
+  header.lsn = rec.lsn;
+  table::WriteHeapHeader(page, header);
+}
+
+// The exact page-level inverse of a loser's record, to be appended as a
+// CLR and applied through the same redo machinery.
+bool InvertHeapOp(const WalRecord& rec, const HeapOp& op,
+                  WalRecordType* inv_type, std::string* inv_payload) {
+  switch (rec.type) {
+    case WalRecordType::kHeapInsert:
+      *inv_type = WalRecordType::kHeapDelete;
+      *inv_payload =
+          EncodeHeapDelete(op.table_oid, op.page, op.slot, op.offset, op.after);
+      return true;
+    case WalRecordType::kHeapDelete:
+      *inv_type = WalRecordType::kHeapInsert;
+      *inv_payload =
+          EncodeHeapInsert(op.table_oid, op.page, op.slot, op.offset,
+                           op.before);
+      return true;
+    case WalRecordType::kHeapUpdate:
+      *inv_type = WalRecordType::kHeapUpdate;
+      *inv_payload = EncodeHeapUpdate(op.table_oid, op.page, op.slot,
+                                      op.offset, op.after, op.before);
+      return true;
+    default:
+      // kHeapAppendPage has no inverse: the empty page stays linked, which
+      // scans tolerate and later inserts reuse.
+      return false;
+  }
+}
+
+}  // namespace
+
+Recovery::Recovery(storage::DiskManager* disk, WalManager* wal,
+                   catalog::Catalog* catalog)
+    : disk_(disk), wal_(wal), catalog_(catalog) {}
+
+Result<char*> Recovery::PageFor(storage::PageId page) {
+  auto it = pages_.find(page);
+  if (it != pages_.end()) return it->second.data();
+  disk_->EnsureAllocated(storage::SpaceId::kMain, page);
+  std::vector<char> buf(disk_->page_bytes());
+  bool torn = false;
+  HDB_RETURN_IF_ERROR(disk_->ReadPageAllowTorn(storage::SpaceId::kMain, page,
+                                               buf.data(), &torn));
+  if (torn) {
+    // The in-flight write shredded the old image too; rebuild the page
+    // entirely from the log (its zeroed LSN makes every record re-apply).
+    std::memset(buf.data(), 0, buf.size());
+    stats_.torn_pages++;
+    stats_.full_replay = true;
+  }
+  return pages_.emplace(page, std::move(buf)).first->second.data();
+}
+
+Status Recovery::ReplayCatalog(const std::vector<WalRecord>& records) {
+  for (const WalRecord& rec : records) {
+    ByteReader r(rec.payload);
+    switch (rec.type) {
+      case WalRecordType::kDdlCreateTable: {
+        const uint32_t oid = r.U32();
+        const std::string name(r.Str());
+        const uint32_t ncols = r.U32();
+        std::vector<catalog::ColumnDef> cols;
+        for (uint32_t i = 0; r.ok() && i < ncols; ++i) {
+          catalog::ColumnDef c;
+          c.name = std::string(r.Str());
+          c.type = static_cast<TypeId>(r.U8());
+          c.nullable = r.U8() != 0;
+          cols.push_back(std::move(c));
+        }
+        if (!r.ok()) return Status::Internal("bad DDL create-table record");
+        HDB_RETURN_IF_ERROR(
+            catalog_->ReplayCreateTable(oid, name, std::move(cols)).status());
+        break;
+      }
+      case WalRecordType::kDdlCreateIndex: {
+        const uint32_t oid = r.U32();
+        const std::string name(r.Str());
+        const uint32_t table_oid = r.U32();
+        const bool unique = r.U8() != 0;
+        const uint32_t ncols = r.U32();
+        std::vector<int> cols;
+        for (uint32_t i = 0; r.ok() && i < ncols; ++i) {
+          cols.push_back(static_cast<int>(r.U32()));
+        }
+        if (!r.ok()) return Status::Internal("bad DDL create-index record");
+        HDB_RETURN_IF_ERROR(catalog_
+                                ->ReplayCreateIndex(oid, name, table_oid,
+                                                    std::move(cols), unique)
+                                .status());
+        break;
+      }
+      case WalRecordType::kDdlDropTable: {
+        const std::string name(r.Str());
+        if (!r.ok()) return Status::Internal("bad DDL drop-table record");
+        (void)catalog_->DropTable(name);
+        break;
+      }
+      case WalRecordType::kDdlDropIndex: {
+        const std::string name(r.Str());
+        if (!r.ok()) return Status::Internal("bad DDL drop-index record");
+        (void)catalog_->DropIndex(name);
+        break;
+      }
+      case WalRecordType::kDdlCreateProcedure: {
+        catalog::ProcedureDef def;
+        def.name = std::string(r.Str());
+        const uint32_t nparams = r.U32();
+        for (uint32_t i = 0; r.ok() && i < nparams; ++i) {
+          def.param_names.emplace_back(r.Str());
+        }
+        const uint32_t nstmts = r.U32();
+        for (uint32_t i = 0; r.ok() && i < nstmts; ++i) {
+          def.statements.emplace_back(r.Str());
+        }
+        if (!r.ok()) return Status::Internal("bad DDL create-procedure record");
+        (void)catalog_->CreateProcedure(std::move(def));
+        break;
+      }
+      case WalRecordType::kDdlSetOption: {
+        const std::string name(r.Str());
+        const std::string value(r.Str());
+        if (!r.ok()) return Status::Internal("bad DDL set-option record");
+        catalog_->SetOption(name, value);
+        break;
+      }
+      case WalRecordType::kDdlForeignKey: {
+        catalog::ForeignKey fk;
+        fk.table_oid = r.U32();
+        fk.column_index = static_cast<int>(r.U32());
+        fk.ref_table_oid = r.U32();
+        fk.ref_column_index = static_cast<int>(r.U32());
+        if (!r.ok()) return Status::Internal("bad DDL foreign-key record");
+        (void)catalog_->AddForeignKey(fk);
+        break;
+      }
+      case WalRecordType::kHeapAppendPage: {
+        // Heap-chain bookkeeping is catalog-level (the TableDef is rebuilt
+        // from scratch too) and applies to winners and losers alike: undo
+        // leaves appended pages linked.
+        HeapOp op;
+        if (!DecodeHeapOp(rec, &op)) {
+          return Status::Internal("bad heap append-page record");
+        }
+        auto def = catalog_->GetTableByOid(op.table_oid);
+        if (!def.ok()) break;  // table dropped later in the log
+        if (op.prev_page == storage::kInvalidPageId) {
+          (*def)->first_page = op.page;
+        }
+        (*def)->last_page = op.page;
+        (*def)->page_count++;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Recovery::RedoPass(const std::vector<WalRecord>& records,
+                          size_t from_index) {
+  for (size_t i = from_index; i < records.size(); ++i) {
+    const WalRecord& rec = records[i];
+    if (!IsHeapOpType(rec.type)) continue;
+    stats_.redo_bytes += kWalHeaderBytes + rec.payload.size();
+    HeapOp op;
+    if (!DecodeHeapOp(rec, &op)) {
+      return Status::Internal("bad heap record in redo");
+    }
+    if (rec.type == WalRecordType::kHeapAppendPage) {
+      HDB_ASSIGN_OR_RETURN(char* fresh, PageFor(op.page));
+      if (storage::PageLsn(fresh) < rec.lsn) {
+        table::InitHeapPage(fresh, disk_->page_bytes());
+        storage::SetPageLsn(fresh, rec.lsn);
+        stats_.redo_records++;
+      } else {
+        stats_.redo_skipped++;
+      }
+      if (op.prev_page != storage::kInvalidPageId) {
+        HDB_ASSIGN_OR_RETURN(char* prev, PageFor(op.prev_page));
+        if (storage::PageLsn(prev) < rec.lsn) {
+          table::HeapPageHeader ph = table::ReadHeapHeader(prev);
+          ph.next_page = op.page;
+          ph.lsn = rec.lsn;
+          table::WriteHeapHeader(prev, ph);
+        }
+      }
+      continue;
+    }
+    HDB_ASSIGN_OR_RETURN(char* page, PageFor(op.page));
+    if (storage::PageLsn(page) >= rec.lsn) {
+      stats_.redo_skipped++;
+      continue;
+    }
+    ApplySlotOp(rec, op, page);
+    stats_.redo_records++;
+  }
+  return Status::OK();
+}
+
+Status Recovery::UndoPass(const std::vector<WalRecord>& records) {
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const WalRecord& rec = *it;
+    if (rec.txn_id == 0 || losers_.count(rec.txn_id) == 0) continue;
+    if (!IsHeapOpType(rec.type)) continue;
+    HeapOp op;
+    if (!DecodeHeapOp(rec, &op)) {
+      return Status::Internal("bad heap record in undo");
+    }
+    WalRecordType inv_type;
+    std::string inv_payload;
+    if (!InvertHeapOp(rec, op, &inv_type, &inv_payload)) continue;
+    HDB_ASSIGN_OR_RETURN(
+        const storage::Lsn clr_lsn,
+        wal_->Append(inv_type, rec.txn_id, inv_payload, kWalFlagClr));
+    WalRecord clr;
+    clr.lsn = clr_lsn;
+    clr.txn_id = rec.txn_id;
+    clr.type = inv_type;
+    clr.flags = kWalFlagClr;
+    clr.payload = std::move(inv_payload);
+    HeapOp clr_op;
+    if (!DecodeHeapOp(clr, &clr_op)) {
+      return Status::Internal("bad CLR payload");
+    }
+    HDB_ASSIGN_OR_RETURN(char* page, PageFor(clr_op.page));
+    ApplySlotOp(clr, clr_op, page);  // CLR LSN > every page LSN: applies
+    stats_.undo_records++;
+  }
+  // Close every loser so a later analysis pass sees a terminated txn.
+  for (const uint64_t txn : losers_) {
+    HDB_RETURN_IF_ERROR(
+        wal_->Append(WalRecordType::kAbort, txn, std::string()).status());
+  }
+  return Status::OK();
+}
+
+Result<RecoveryStats> Recovery::Run() {
+  HDB_ASSIGN_OR_RETURN(WalManager::ScanResult scan, wal_->ScanLog());
+  stats_.scanned_records = scan.records.size();
+  stats_.log_found = !scan.records.empty();
+  stats_.max_lsn = scan.max_lsn;
+  stats_.max_txn_id = scan.max_txn_id;
+  HDB_RETURN_IF_ERROR(
+      wal_->ResumeAt(scan.tail_page, scan.tail_offset, scan.max_lsn + 1));
+  if (scan.records.empty()) return stats_;
+
+  // --- analysis ----------------------------------------------------------
+  std::unordered_set<uint64_t> committed;
+  storage::Lsn redo_start = 1;
+  for (const WalRecord& rec : scan.records) {
+    if (rec.txn_id != 0) {
+      if (rec.type == WalRecordType::kCommit) {
+        committed.insert(rec.txn_id);
+        losers_.erase(rec.txn_id);
+      } else if (rec.type == WalRecordType::kAbort) {
+        losers_.erase(rec.txn_id);
+      } else if (committed.count(rec.txn_id) == 0) {
+        losers_.insert(rec.txn_id);
+      }
+    }
+    if (rec.type == WalRecordType::kCheckpointEnd) {
+      storage::Lsn begin_lsn = storage::kNullLsn;
+      storage::Lsn min_rec_lsn = storage::kNullLsn;
+      if (DecodeCheckpointEnd(rec, &begin_lsn, &min_rec_lsn) &&
+          begin_lsn != storage::kNullLsn) {
+        redo_start = min_rec_lsn != storage::kNullLsn
+                         ? std::min(begin_lsn, min_rec_lsn)
+                         : begin_lsn;
+      }
+    }
+  }
+  stats_.committed_txns = committed.size();
+  stats_.loser_txns = losers_.size();
+  stats_.redo_start_lsn = redo_start;
+
+  // --- catalog / heap-chain replay (whole log) ---------------------------
+  HDB_RETURN_IF_ERROR(ReplayCatalog(scan.records));
+
+  // --- redo --------------------------------------------------------------
+  // LSNs are strictly sequential from 1, so the record with lsn L sits at
+  // index L - first_lsn. ScanLog always starts at the log's first page, so
+  // first_lsn is records[0].lsn (== 1 unless the log head predates the
+  // scan, which never happens here).
+  const storage::Lsn first_lsn = scan.records.front().lsn;
+  const size_t redo_index =
+      redo_start > first_lsn ? static_cast<size_t>(redo_start - first_lsn) : 0;
+  HDB_RETURN_IF_ERROR(RedoPass(scan.records, redo_index));
+  if (stats_.full_replay && redo_index > 0) {
+    // A torn page was zeroed: rebuild it from the full history. Untorn
+    // pages are LSN-gated, so the second pass only re-applies what the
+    // zeroing erased.
+    HDB_RETURN_IF_ERROR(RedoPass(scan.records, 0));
+  }
+
+  // --- undo --------------------------------------------------------------
+  HDB_RETURN_IF_ERROR(UndoPass(scan.records));
+
+  // WAL-before-data, by hand: CLRs and abort markers become durable before
+  // any repaired page image is written back.
+  HDB_RETURN_IF_ERROR(wal_->EnsureDurable(wal_->appended_lsn()));
+  for (auto& [page_id, buf] : pages_) {
+    HDB_RETURN_IF_ERROR(
+        disk_->WritePage(storage::SpaceId::kMain, page_id, buf.data()));
+  }
+  HDB_RETURN_IF_ERROR(disk_->Sync());
+  return stats_;
+}
+
+}  // namespace hdb::wal

@@ -1,0 +1,90 @@
+#ifndef HDB_WAL_RECOVERY_H_
+#define HDB_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "wal/wal_manager.h"
+#include "wal/wal_record.h"
+
+namespace hdb::wal {
+
+struct RecoveryStats {
+  bool log_found = false;          // any durable record existed
+  uint64_t scanned_records = 0;
+  uint64_t committed_txns = 0;
+  uint64_t loser_txns = 0;
+  uint64_t redo_records = 0;       // re-applied
+  uint64_t redo_skipped = 0;       // page LSN already covered the record
+  uint64_t redo_bytes = 0;         // log bytes walked by the redo pass
+  uint64_t undo_records = 0;       // CLRs appended
+  uint64_t torn_pages = 0;         // data pages zeroed and rebuilt
+  bool full_replay = false;        // torn data page forced redo from LSN 1
+  uint64_t max_txn_id = 0;         // watermark for TransactionManager
+  storage::Lsn max_lsn = storage::kNullLsn;
+  storage::Lsn redo_start_lsn = storage::kNullLsn;
+};
+
+/// ARIES-lite restart recovery (DESIGN.md §7).
+///
+/// One pass of ScanLog yields the durable-consistent record prefix; from
+/// it:
+///  - analysis: committed vs loser transactions, and the redo start point
+///    — min(begin, min recLSN) of the last *completed* checkpoint pair;
+///  - catalog replay: DDL records (and heap-chain records, which wire
+///    first/last page into the replayed TableDefs) are applied over the
+///    whole log, since the catalog is in-memory and rebuilt from scratch;
+///  - redo: heap records from the redo point are re-applied directly to
+///    page images read through the DiskManager (the buffer pool is not
+///    involved), gated by each page's LSN stamp so the pass is idempotent.
+///    A torn data page (in-flight write at crash) is zeroed and the pass
+///    restarts from LSN 1 — the log is never truncated, so full history
+///    is always available;
+///  - undo: losers' records (originals and prior CLRs alike) are inverted
+///    in reverse LSN order, each appending a CLR, then closed with a
+///    kAbort record. Repeated crashes during recovery converge because
+///    the inverses are exact at page level and undo always replays
+///    everything of a still-open transaction.
+///
+/// On return the WAL writer is positioned at the recovered tail with all
+/// CLRs durable, and the repaired data pages are synced. The caller (the
+/// engine) rebuilds indexes from the heaps, re-derives row counts, seeds
+/// the transaction-id watermark from `max_txn_id`, and forces a
+/// checkpoint.
+///
+/// Thread safety: none — recovery runs single-threaded before the
+/// database accepts connections.
+class Recovery {
+ public:
+  Recovery(storage::DiskManager* disk, WalManager* wal,
+           catalog::Catalog* catalog);
+
+  Result<RecoveryStats> Run();
+
+ private:
+  // Page image cache for the redo/undo passes; flushed to the media once
+  // at the end, after the CLRs are durable.
+  Result<char*> PageFor(storage::PageId page);
+
+  Status ReplayCatalog(const std::vector<WalRecord>& records);
+  Status RedoPass(const std::vector<WalRecord>& records, size_t from_index);
+  Status UndoPass(const std::vector<WalRecord>& records);
+
+  storage::DiskManager* disk_;
+  WalManager* wal_;
+  catalog::Catalog* catalog_;
+
+  std::unordered_map<storage::PageId, std::vector<char>> pages_;
+  std::unordered_set<uint64_t> losers_;
+  RecoveryStats stats_;
+};
+
+}  // namespace hdb::wal
+
+#endif  // HDB_WAL_RECOVERY_H_

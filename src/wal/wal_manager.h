@@ -1,0 +1,213 @@
+#ifndef HDB_WAL_WAL_MANAGER_H_
+#define HDB_WAL_WAL_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/disk_manager.h"
+#include "wal/wal_record.h"
+
+namespace hdb::wal {
+
+struct WalOptions {
+  /// Master switch (HDB_WAL=OFF / DatabaseOptions). Off = pre-WAL
+  /// behavior: no logging, no recovery, no durability.
+  bool enabled = true;
+  /// Batch commit fsyncs across sessions through the flusher thread. Off =
+  /// every commit pays its own fsync (the bench's single-fsync baseline).
+  bool group_commit = true;
+};
+
+struct WalStats {
+  uint64_t appends = 0;
+  uint64_t bytes = 0;
+  uint64_t flushes = 0;
+  uint64_t syncs = 0;
+  uint64_t group_batches = 0;
+  uint64_t clr_records = 0;
+  storage::Lsn appended_lsn = storage::kNullLsn;
+  storage::Lsn durable_lsn = storage::kNullLsn;
+  uint64_t bytes_since_checkpoint = 0;
+  storage::Lsn last_checkpoint_begin = storage::kNullLsn;
+};
+
+/// The write-ahead log (DESIGN.md §7).
+///
+/// Records are packed into kLog-space pages written *directly* through the
+/// DiskManager, bypassing the buffer pool. (Deviation from the paper's
+/// pool-resident log pages: the pool's flush barrier calls back into the
+/// WAL, so the log living outside the pool breaks the cycle by
+/// construction.) Log pages are strictly sequential — page ids 0,1,2,…
+/// with no gaps — so a scan from page 0 plus per-record CRCs and an
+/// LSN-monotonicity guard recovers exactly the durable prefix.
+///
+/// Durability contract:
+///  - Append() only buffers (and eagerly writes filled pages to the
+///    media's cache).
+///  - EnsureDurable(lsn) writes the tail page and fsyncs: the
+///    WAL-before-data barrier (BufferPool calls it before any data-page
+///    write-back) and the checkpoint use this.
+///  - WaitDurable(lsn) is the commit path: with group commit on, waiters
+///    park on the flusher thread, which fsyncs once per batch.
+class WalManager {
+ public:
+  WalManager(storage::DiskManager* disk, WalOptions options);
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  bool group_commit() const { return options_.group_commit; }
+
+  /// Appends a record, returning its LSN. Thread-safe.
+  Result<storage::Lsn> Append(WalRecordType type, uint64_t txn_id,
+                              std::string payload, uint8_t flags = 0);
+
+  /// Makes everything up to `lsn` durable: writes the tail page and fsyncs
+  /// the media. No-op when disabled or when there is no durable media.
+  Status EnsureDurable(storage::Lsn lsn);
+
+  /// Commit-path durability. With group commit on, blocks on the flusher
+  /// thread's next batched fsync; otherwise EnsureDurable directly.
+  Status WaitDurable(storage::Lsn lsn);
+
+  /// Starts the group-commit flusher thread (idempotent; engine calls it
+  /// once the database is open).
+  void StartFlusher();
+
+  /// Stops the flusher and best-effort flushes the tail (clean shutdown;
+  /// errors from a crashed media are swallowed).
+  void Shutdown();
+
+  storage::Lsn appended_lsn() const {
+    return appended_lsn_.load(std::memory_order_acquire);
+  }
+  storage::Lsn durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t log_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  // --- recovery-side interface ------------------------------------------
+
+  struct ScanResult {
+    std::vector<WalRecord> records;  // the durable-consistent prefix
+    storage::PageId tail_page = storage::kInvalidPageId;
+    uint32_t tail_offset = 0;
+    storage::Lsn max_lsn = storage::kNullLsn;
+    uint64_t max_txn_id = 0;
+  };
+
+  /// Scans the log from page 0, torn-tolerant: stops at the first zero
+  /// terminator, CRC mismatch, or LSN regression, and reports that point
+  /// as the tail to resume writing at.
+  Result<ScanResult> ScanLog();
+
+  /// Positions the writer at the recovered tail (before recovery's undo
+  /// phase appends CLRs). `next_lsn` must exceed every recovered LSN.
+  Status ResumeAt(storage::PageId tail_page, uint32_t tail_offset,
+                  storage::Lsn next_lsn);
+
+  // --- checkpoint bookkeeping -------------------------------------------
+
+  uint64_t bytes_since_checkpoint() const {
+    return bytes_since_checkpoint_.load(std::memory_order_relaxed);
+  }
+  storage::Lsn last_checkpoint_begin() const {
+    return last_checkpoint_begin_.load(std::memory_order_relaxed);
+  }
+  /// Called by the checkpoint governor after logging a kCheckpointBegin.
+  void NoteCheckpointBegin(storage::Lsn begin_lsn);
+
+  WalStats stats() const;
+  void AttachTelemetry(obs::MetricsRegistry* registry);
+
+  // --- per-thread transaction attribution -------------------------------
+  // TableHeap runs below the txn layer; the engine brackets DML (and undo
+  // application) in a TxnScope so heap ops log under the right txn id.
+
+  struct TxnContext {
+    uint64_t txn_id = 0;
+    bool clr = false;
+  };
+
+  class TxnScope {
+   public:
+    TxnScope(uint64_t txn_id, bool clr = false);
+    ~TxnScope();
+    TxnScope(const TxnScope&) = delete;
+    TxnScope& operator=(const TxnScope&) = delete;
+
+   private:
+    TxnContext prev_;
+  };
+
+  static TxnContext CurrentTxn();
+
+ private:
+  Status WriteTailPageLocked();   // requires mu_
+  Status AdvancePageLocked();     // requires mu_
+  void FlusherLoop();
+
+  storage::DiskManager* disk_;
+  const WalOptions options_;
+
+  // Writer state.
+  mutable std::mutex mu_;
+  std::vector<char> page_buf_;
+  storage::PageId cur_page_ = storage::kInvalidPageId;
+  uint32_t cur_offset_ = 0;
+  bool tail_dirty_ = false;  // bytes appended since last WritePage
+  storage::Lsn next_lsn_ = 1;
+  uint32_t epoch_ = 1;           // see wal_record.h: bumped per recovery
+  uint32_t max_epoch_seen_ = 0;  // set by ScanLog, consumed by ResumeAt
+
+  std::atomic<storage::Lsn> appended_lsn_{storage::kNullLsn};
+  std::atomic<storage::Lsn> durable_lsn_{storage::kNullLsn};
+
+  // Flush serialization (never held while holding mu_ is fine; the flush
+  // path takes flush_mu_ then mu_).
+  std::mutex flush_mu_;
+
+  // Group commit.
+  std::mutex gc_mu_;
+  std::condition_variable gc_work_cv_;   // wakes the flusher
+  std::condition_variable gc_done_cv_;   // wakes committers
+  storage::Lsn gc_target_ = storage::kNullLsn;
+  Status gc_error_;  // sticky media failure, delivered to all waiters
+  bool stop_flusher_ = false;
+  bool flusher_running_ = false;
+  std::thread flusher_;
+
+  // Checkpoint bookkeeping.
+  std::atomic<uint64_t> bytes_since_checkpoint_{0};
+  std::atomic<storage::Lsn> last_checkpoint_begin_{storage::kNullLsn};
+
+  // Stats.
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> group_batches_{0};
+  std::atomic<uint64_t> clr_records_{0};
+
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_syncs_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+};
+
+}  // namespace hdb::wal
+
+#endif  // HDB_WAL_WAL_MANAGER_H_

@@ -1,0 +1,253 @@
+#ifndef HDB_WAL_WAL_RECORD_H_
+#define HDB_WAL_WAL_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "storage/page.h"
+
+namespace hdb::wal {
+
+/// Record types in the write-ahead log. kEnd (0) doubles as the page
+/// terminator: the scan of a log page stops at the first zero type byte.
+enum class WalRecordType : uint8_t {
+  kEnd = 0,
+  // Physiological heap ops: page-level position, logical row payload.
+  kHeapInsert,      // {table_oid, page, slot, offset, row bytes}
+  kHeapDelete,      // {table_oid, page, slot, offset, before image}
+  kHeapUpdate,      // {table_oid, page, slot, offset, before, after}
+  kHeapAppendPage,  // {table_oid, new_page, prev_page}
+  // Transaction outcome.
+  kCommit,
+  kAbort,
+  // Fuzzy checkpoint brackets (redo starts at the begin of the last
+  // completed pair).
+  kCheckpointBegin,
+  kCheckpointEnd,  // {begin_lsn}
+  // DDL barriers: the full definition, with assigned oids, so replay
+  // reconstructs an identical catalog.
+  kDdlCreateTable,
+  kDdlCreateIndex,
+  kDdlDropTable,
+  kDdlDropIndex,
+  kDdlCreateProcedure,
+  kDdlSetOption,
+  kDdlForeignKey,
+};
+
+/// Compensation log record: written while undoing (at runtime abort or in
+/// recovery's undo phase). Informational — undo inverts CLRs like any
+/// other record, which makes repeated crash-during-recovery converge.
+inline constexpr uint8_t kWalFlagClr = 0x1;
+
+/// On-page record framing:
+///   [u32 crc][u16 len][u8 type][u8 flags][u32 epoch][u64 lsn][u64 txn]
+///   [payload...]
+/// crc covers everything after itself (len..payload). Records never span
+/// pages; the tail of a page is zero-filled, terminating the scan.
+///
+/// `epoch` counts recoveries: the writer bumps it past the largest epoch
+/// seen in the log each time it resumes. Epochs must be non-decreasing
+/// along the log, which rejects a stale orphan page (valid records from a
+/// previous run that survived beyond a truncation point) even when its
+/// LSNs would happen to continue the new sequence.
+inline constexpr uint32_t kWalHeaderBytes = 28;
+
+struct WalRecord {
+  storage::Lsn lsn = storage::kNullLsn;
+  uint64_t txn_id = 0;
+  uint32_t epoch = 0;
+  WalRecordType type = WalRecordType::kEnd;
+  uint8_t flags = 0;
+  std::string payload;
+
+  bool is_clr() const { return (flags & kWalFlagClr) != 0; }
+};
+
+// --- byte-buffer helpers -------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view s) : p_(s.data()), n_(s.size()) {}
+
+  uint8_t U8() { return Fixed<uint8_t>(); }
+  uint16_t U16() { return Fixed<uint16_t>(); }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  std::string_view Str() {
+    const uint32_t len = U32();
+    if (!ok_ || len > n_) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view s(p_, len);
+    p_ += len;
+    n_ -= len;
+    return s;
+  }
+  std::string_view Rest() {
+    std::string_view s(p_, n_);
+    p_ += n_;
+    n_ = 0;
+    return s;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (sizeof(T) > n_) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    n_ -= sizeof(T);
+    return v;
+  }
+
+  const char* p_;
+  size_t n_;
+  bool ok_ = true;
+};
+
+// --- heap op payloads ----------------------------------------------------
+
+/// Decoded view of a kHeapInsert/kHeapDelete/kHeapUpdate/kHeapAppendPage
+/// payload. `before`/`after` alias the record's payload string.
+struct HeapOp {
+  uint32_t table_oid = 0;
+  storage::PageId page = storage::kInvalidPageId;
+  uint16_t slot = 0;
+  uint16_t offset = 0;
+  std::string_view before;
+  std::string_view after;
+  storage::PageId prev_page = storage::kInvalidPageId;  // kHeapAppendPage
+};
+
+inline std::string EncodeHeapInsert(uint32_t table_oid, storage::PageId page,
+                                    uint16_t slot, uint16_t offset,
+                                    std::string_view row) {
+  ByteWriter w;
+  w.U32(table_oid);
+  w.U32(page);
+  w.U16(slot);
+  w.U16(offset);
+  w.Raw(row.data(), row.size());
+  return w.Take();
+}
+
+inline std::string EncodeHeapDelete(uint32_t table_oid, storage::PageId page,
+                                    uint16_t slot, uint16_t offset,
+                                    std::string_view before) {
+  return EncodeHeapInsert(table_oid, page, slot, offset, before);
+}
+
+inline std::string EncodeHeapUpdate(uint32_t table_oid, storage::PageId page,
+                                    uint16_t slot, uint16_t offset,
+                                    std::string_view before,
+                                    std::string_view after) {
+  ByteWriter w;
+  w.U32(table_oid);
+  w.U32(page);
+  w.U16(slot);
+  w.U16(offset);
+  w.Str(before);
+  w.Raw(after.data(), after.size());
+  return w.Take();
+}
+
+inline std::string EncodeHeapAppendPage(uint32_t table_oid,
+                                        storage::PageId new_page,
+                                        storage::PageId prev_page) {
+  ByteWriter w;
+  w.U32(table_oid);
+  w.U32(new_page);
+  w.U32(prev_page);
+  return w.Take();
+}
+
+// --- checkpoint payloads -------------------------------------------------
+
+/// kCheckpointEnd payload: the matching begin LSN, plus the smallest
+/// "first unflushed change" LSN among frames the fuzzy flush had to skip
+/// (pinned) — redo starts at min(begin, min_rec_lsn) of the last complete
+/// pair. min_rec_lsn == kNullLsn means every logged page reached the
+/// media.
+inline std::string EncodeCheckpointEnd(storage::Lsn begin_lsn,
+                                       storage::Lsn min_rec_lsn) {
+  ByteWriter w;
+  w.U64(begin_lsn);
+  w.U64(min_rec_lsn);
+  return w.Take();
+}
+
+inline bool DecodeCheckpointEnd(const WalRecord& rec, storage::Lsn* begin_lsn,
+                                storage::Lsn* min_rec_lsn) {
+  if (rec.type != WalRecordType::kCheckpointEnd) return false;
+  ByteReader r(rec.payload);
+  *begin_lsn = r.U64();
+  *min_rec_lsn = r.U64();
+  return r.ok();
+}
+
+/// Decodes the heap-op payload of `rec` into `op`. False if `rec` is not a
+/// heap op or the payload is malformed.
+inline bool DecodeHeapOp(const WalRecord& rec, HeapOp* op) {
+  ByteReader r(rec.payload);
+  switch (rec.type) {
+    case WalRecordType::kHeapInsert:
+    case WalRecordType::kHeapDelete: {
+      op->table_oid = r.U32();
+      op->page = r.U32();
+      op->slot = r.U16();
+      op->offset = r.U16();
+      op->before = r.Rest();  // row image (the inserted row / the deleted row)
+      op->after = op->before;
+      return r.ok();
+    }
+    case WalRecordType::kHeapUpdate: {
+      op->table_oid = r.U32();
+      op->page = r.U32();
+      op->slot = r.U16();
+      op->offset = r.U16();
+      op->before = r.Str();
+      op->after = r.Rest();
+      return r.ok();
+    }
+    case WalRecordType::kHeapAppendPage: {
+      op->table_oid = r.U32();
+      op->page = r.U32();
+      op->prev_page = r.U32();
+      return r.ok();
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace hdb::wal
+
+#endif  // HDB_WAL_WAL_RECORD_H_

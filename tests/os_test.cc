@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "os/dtt_model.h"
 #include "os/memory_env.h"
+#include "os/stable_storage.h"
 #include "os/virtual_clock.h"
 #include "os/virtual_disk.h"
 
@@ -204,6 +208,143 @@ TEST(CalibrateTest, FlashCurveIsFlat) {
   EXPECT_NEAR(small, large, small * 0.2);
   // And writes are far above reads.
   EXPECT_GT(model.MicrosPerPage(DttOp::kWrite, 4096, 64), 2 * large);
+}
+
+// ---------------------------------------------------------------------------
+// StableStorage: power-failure semantics and injected faults, independent
+// of the WAL built on top of it.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kPage = 512;
+
+std::vector<char> Fill(char byte) { return std::vector<char>(kPage, byte); }
+
+TEST(StableStorageTest, UnsyncedWritesDieAtPowerCycle) {
+  StableStorage media(kPage);
+  const auto img = Fill('a');
+  ASSERT_TRUE(media.Write(7, img.data()).ok());
+
+  // Read-your-writes before any sync: the device cache is visible.
+  std::vector<char> out(kPage);
+  ASSERT_TRUE(media.Read(7, out.data()).ok());
+  EXPECT_EQ(out, img);
+
+  media.PowerCycle();
+  EXPECT_EQ(media.Read(7, out.data()).code(), StatusCode::kNotFound);
+}
+
+TEST(StableStorageTest, SyncedWritesSurvivePowerCycle) {
+  StableStorage media(kPage);
+  const auto img = Fill('b');
+  ASSERT_TRUE(media.Write(3, img.data()).ok());
+  ASSERT_TRUE(media.Sync().ok());
+  media.PowerCycle();
+  std::vector<char> out(kPage);
+  ASSERT_TRUE(media.Read(3, out.data()).ok());
+  EXPECT_EQ(out, img);
+}
+
+TEST(StableStorageTest, ScheduledCrashFailsTheTriggeringOpAndAllLaterIo) {
+  StableStorage media(kPage);
+  const auto img = Fill('c');
+  media.ScheduleCrash(/*after_ops=*/1);
+  ASSERT_TRUE(media.Write(0, img.data()).ok());
+  EXPECT_EQ(media.Write(1, img.data()).code(), StatusCode::kIOError);
+  EXPECT_TRUE(media.crashed());
+  EXPECT_EQ(media.Sync().code(), StatusCode::kIOError);
+
+  media.PowerCycle();
+  EXPECT_FALSE(media.crashed());
+  ASSERT_TRUE(media.Write(1, img.data()).ok());
+}
+
+TEST(StableStorageTest, ShortWritePersistsARandomSubsetOutOfOrder) {
+  // The OS cache flushed *some* of the un-synced pages before power died —
+  // in arbitrary order, so later writes may survive while earlier ones are
+  // lost. Every page must read as exactly the old or the new image, and
+  // (for this seed) the subset must be proper: a mix of both.
+  FaultOptions faults;
+  faults.seed = 42;
+  faults.short_write = true;
+  StableStorage media(kPage, faults);
+
+  const auto old_img = Fill('o');
+  const auto new_img = Fill('n');
+  constexpr uint64_t kPages = 32;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_TRUE(media.Write(p, old_img.data()).ok());
+  }
+  ASSERT_TRUE(media.Sync().ok());
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_TRUE(media.Write(p, new_img.data()).ok());
+  }
+  media.PowerCycle();
+
+  uint64_t survived = 0;
+  std::vector<char> out(kPage);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_TRUE(media.Read(p, out.data()).ok()) << p;
+    ASSERT_TRUE(out == old_img || out == new_img) << p;
+    if (out == new_img) ++survived;
+  }
+  EXPECT_GT(survived, 0u);
+  EXPECT_LT(survived, kPages);
+}
+
+TEST(StableStorageTest, TornWriteReportsCrcMismatch) {
+  FaultOptions faults;
+  faults.seed = 7;
+  faults.torn_write = true;
+  StableStorage media(kPage * 4, faults);  // multi-sector page can tear
+
+  const std::vector<char> old_img(kPage * 4, 'o');
+  const std::vector<char> new_img(kPage * 4, 'n');
+  ASSERT_TRUE(media.Write(0, old_img.data()).ok());
+  ASSERT_TRUE(media.Sync().ok());
+  ASSERT_TRUE(media.Write(0, new_img.data()).ok());
+  media.PowerCycle();
+
+  // Without torn tolerance the mismatch is an I/O error; with it, the
+  // corrupt bytes come back flagged, containing sectors from both images.
+  std::vector<char> out(kPage * 4);
+  EXPECT_EQ(media.Read(0, out.data()).code(), StatusCode::kIOError);
+  bool torn = false;
+  ASSERT_TRUE(media.Read(0, out.data(), &torn).ok());
+  EXPECT_TRUE(torn);
+  EXPECT_NE(out, old_img);
+  EXPECT_NE(out, new_img);
+}
+
+TEST(StableStorageTest, TransientReadErrorsEveryNth) {
+  FaultOptions faults;
+  faults.read_error_every = 3;
+  StableStorage media(kPage, faults);
+  const auto img = Fill('r');
+  ASSERT_TRUE(media.Write(0, img.data()).ok());
+  ASSERT_TRUE(media.Sync().ok());
+
+  std::vector<char> out(kPage);
+  int errors = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (media.Read(0, out.data()).code() == StatusCode::kIOError) ++errors;
+  }
+  EXPECT_EQ(errors, 3);
+}
+
+TEST(StableStorageTest, DropRangeAndMaxDurablePage) {
+  StableStorage media(kPage);
+  const auto img = Fill('d');
+  for (const uint64_t p : {10u, 11u, 20u}) {
+    ASSERT_TRUE(media.Write(p, img.data()).ok());
+  }
+  ASSERT_TRUE(media.Sync().ok());
+  EXPECT_EQ(media.MaxDurablePage(0, 100), 20);
+  EXPECT_EQ(media.MaxDurablePage(0, 15), 11);
+  media.DropRange(10, 12);
+  EXPECT_FALSE(media.Contains(10));
+  EXPECT_FALSE(media.Contains(11));
+  EXPECT_TRUE(media.Contains(20));
+  EXPECT_EQ(media.MaxDurablePage(0, 15), -1);
 }
 
 }  // namespace

@@ -1,0 +1,431 @@
+// Crash-recovery harness (ISSUE: durability subsystem).
+//
+// The central test sweeps the crash point: a seeded workload runs against
+// a fault-injecting StableStorage that loses power after exactly N media
+// operations, for every N up to the fault-free run's operation count. After
+// each crash the database is reopened over the surviving bytes and checked
+// against a shadow map that tracked only *successfully committed*
+// transactions — committed data must be durable, uncommitted data must be
+// gone, and the heap/index must agree. The sweep repeats with torn-write
+// and short-write (out-of-order partial persistence) media.
+//
+// Seed selection: HDB_SEED overrides the default, which is how
+// scripts/crash_matrix.sh turns this file into a many-seed soak.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "os/stable_storage.h"
+
+namespace hdb::engine {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("HDB_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+DatabaseOptions DurableOptions(std::shared_ptr<os::StableStorage> media) {
+  DatabaseOptions opts;
+  opts.initial_pool_frames = 64;
+  opts.media = std::move(media);
+  return opts;
+}
+
+std::shared_ptr<os::StableStorage> MakeMedia(os::FaultOptions faults = {}) {
+  return std::make_shared<os::StableStorage>(DatabaseOptions{}.page_bytes,
+                                             faults);
+}
+
+/// kill -9: every media op from here on fails, the process state vanishes
+/// with the Database object, and the media keeps only what was synced
+/// (plus whatever the injected torn/short-write behavior leaves behind).
+void Kill(std::unique_ptr<Connection>* conn, std::unique_ptr<Database>* db,
+          os::StableStorage* media) {
+  media->ScheduleCrash(0);
+  conn->reset();
+  db->reset();
+  media->PowerCycle();
+}
+
+bool Ok(Connection* c, const std::string& sql) {
+  return c->Execute(sql).ok();
+}
+
+// --- the seeded workload --------------------------------------------------
+
+constexpr int kWorkloadTxns = 8;
+constexpr int kKeySpace = 40;
+
+struct WorkloadOutcome {
+  /// State as of the last COMMIT that returned OK — guaranteed durable.
+  std::map<int, int> shadow;
+  /// True when a COMMIT statement itself failed: the commit record may or
+  /// may not have reached the platter (an interrupted sync persists a
+  /// random subset of the pending batch), so recovery may legitimately
+  /// land on either side. The log's prefix-consistency makes the outcome
+  /// binary: all of the transaction or none of it.
+  bool commit_uncertain = false;
+  std::map<int, int> uncertain;  // shadow + the uncertain transaction
+};
+
+/// Runs BEGIN/COMMIT transactions of random inserts/updates/deletes until
+/// the workload finishes or a statement fails (injected crash). `shadow`
+/// is updated only when COMMIT returns OK — a successful COMMIT is
+/// durable; any transaction whose COMMIT never ran must be rolled back.
+void RunWorkload(Connection* c, uint64_t seed, WorkloadOutcome* out) {
+  std::map<int, int>* shadow = &out->shadow;
+  Rng rng(seed);
+  if (!Ok(c, "CREATE TABLE kv (k INT NOT NULL, v INT)")) return;
+  (void)c->Execute("CREATE INDEX kv_k ON kv (k)");  // optional under faults
+
+  for (int t = 0; t < kWorkloadTxns; ++t) {
+    if (!Ok(c, "BEGIN")) return;
+    std::map<int, int> pending = *shadow;
+    const int ops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < ops; ++i) {
+      const uint64_t kind = rng.Uniform(4);
+      if (kind <= 1 || pending.empty()) {  // insert (biased: grows state)
+        int k = 1 + static_cast<int>(rng.Uniform(kKeySpace));
+        while (pending.count(k) != 0) k = 1 + (k % kKeySpace);
+        const int v = static_cast<int>(rng.Uniform(1000));
+        if (!Ok(c, "INSERT INTO kv VALUES (" + std::to_string(k) + ", " +
+                       std::to_string(v) + ")")) {
+          return;
+        }
+        pending[k] = v;
+      } else {
+        auto it = pending.begin();
+        std::advance(it, static_cast<int>(rng.Uniform(pending.size())));
+        const int k = it->first;
+        if (kind == 2) {
+          const int v = static_cast<int>(rng.Uniform(1000));
+          if (!Ok(c, "UPDATE kv SET v = " + std::to_string(v) +
+                         " WHERE k = " + std::to_string(k))) {
+            return;
+          }
+          it->second = v;
+        } else {
+          if (!Ok(c, "DELETE FROM kv WHERE k = " + std::to_string(k))) {
+            return;
+          }
+          pending.erase(it);
+        }
+      }
+    }
+    if (!Ok(c, "COMMIT")) {
+      out->commit_uncertain = true;
+      out->uncertain = pending;
+      return;
+    }
+    *shadow = pending;
+  }
+}
+
+/// Reopens over the surviving media and checks the table equals the
+/// shadow, through both the rebuilt heap and (spot checks) the rebuilt
+/// index.
+void VerifyAgainstShadow(std::shared_ptr<os::StableStorage> media,
+                         const WorkloadOutcome& expected,
+                         const std::string& context) {
+  auto db = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db.ok()) << context << ": reopen failed: "
+                       << db.status().ToString();
+  auto conn = (*db)->Connect();
+  ASSERT_TRUE(conn.ok()) << context;
+
+  auto r = (*conn)->Execute("SELECT k, v FROM kv ORDER BY k");
+  if (!r.ok()) {
+    // Only legitimate if the crash beat CREATE TABLE's durability barrier —
+    // in which case nothing was ever committed.
+    EXPECT_TRUE(expected.shadow.empty())
+        << context << ": table lost but " << expected.shadow.size()
+        << " committed rows expected";
+    return;
+  }
+  std::map<int, int> actual;
+  for (const auto& row : r->rows) {
+    ASSERT_EQ(row.size(), 2u) << context;
+    actual[static_cast<int>(row[0].AsInt())] =
+        static_cast<int>(row[1].AsInt());
+  }
+  const bool matches =
+      actual == expected.shadow ||
+      (expected.commit_uncertain && actual == expected.uncertain);
+  EXPECT_TRUE(matches) << context << ": committed state diverged ("
+                       << actual.size() << " rows, " << expected.shadow.size()
+                       << " committed"
+                       << (expected.commit_uncertain ? ", commit uncertain"
+                                                     : "")
+                       << ")";
+
+  // Index integrity: point probes must agree with the heap scan.
+  int probes = 0;
+  for (const auto& [k, v] : actual) {
+    if (++probes > 3) break;
+    auto p = (*conn)->Execute("SELECT v FROM kv WHERE k = " +
+                              std::to_string(k));
+    ASSERT_TRUE(p.ok()) << context;
+    ASSERT_EQ(p->rows.size(), 1u) << context << ": k=" << k;
+    EXPECT_EQ(p->rows[0][0].AsInt(), v) << context << ": k=" << k;
+  }
+}
+
+/// One crash-point run: fresh media that dies after `crash_after_ops`
+/// media operations (plus the given torn/short-write flavor), workload,
+/// kill, reopen, verify.
+void RunCrashPoint(uint64_t seed, int64_t crash_after_ops,
+                   os::FaultOptions flavor, const std::string& context) {
+  os::FaultOptions faults = flavor;
+  faults.seed = seed ^ static_cast<uint64_t>(crash_after_ops);
+  faults.crash_after_ops = crash_after_ops;
+  auto media = MakeMedia(faults);
+
+  WorkloadOutcome outcome;
+  {
+    auto db = Database::Open(DurableOptions(media));
+    if (!db.ok()) {
+      // Crash landed inside Open itself; nothing committed.
+      media->PowerCycle();
+      VerifyAgainstShadow(media, outcome, context + " (died in open)");
+      return;
+    }
+    auto conn = (*db)->Connect();
+    ASSERT_TRUE(conn.ok()) << context;
+    RunWorkload(conn->get(), seed, &outcome);
+    Kill(&*conn, &*db, media.get());
+  }
+  VerifyAgainstShadow(media, outcome, context);
+}
+
+/// Measures how many media ops the fault-free workload performs, bounding
+/// the sweep range.
+int64_t FaultFreeOpCount(uint64_t seed) {
+  auto media = MakeMedia();
+  WorkloadOutcome outcome;
+  {
+    auto db = Database::Open(DurableOptions(media));
+    EXPECT_TRUE(db.ok());
+    auto conn = (*db)->Connect();
+    EXPECT_TRUE(conn.ok());
+    RunWorkload(conn->get(), seed, &outcome);
+  }
+  return static_cast<int64_t>(media->write_count() + media->sync_count());
+}
+
+// --- the sweep ------------------------------------------------------------
+
+TEST(CrashSweepTest, EveryCrashPointCleanDrop) {
+  const uint64_t seed = TestSeed();
+  const int64_t total = FaultFreeOpCount(seed);
+  ASSERT_GT(total, 10);  // the workload must actually hit the media
+  for (int64_t n = 1; n <= total; ++n) {
+    RunCrashPoint(seed, n, {},
+                  "seed=" + std::to_string(seed) + " clean n=" +
+                      std::to_string(n));
+  }
+}
+
+TEST(CrashSweepTest, EveryCrashPointTornWrite) {
+  const uint64_t seed = TestSeed();
+  const int64_t total = FaultFreeOpCount(seed);
+  os::FaultOptions flavor;
+  flavor.torn_write = true;
+  for (int64_t n = 1; n <= total; ++n) {
+    RunCrashPoint(seed, n, flavor,
+                  "seed=" + std::to_string(seed) + " torn n=" +
+                      std::to_string(n));
+  }
+}
+
+TEST(CrashSweepTest, EveryCrashPointShortWrite) {
+  const uint64_t seed = TestSeed();
+  const int64_t total = FaultFreeOpCount(seed);
+  os::FaultOptions flavor;
+  flavor.short_write = true;
+  for (int64_t n = 1; n <= total; ++n) {
+    RunCrashPoint(seed, n, flavor,
+                  "seed=" + std::to_string(seed) + " short n=" +
+                      std::to_string(n));
+  }
+}
+
+// --- targeted recovery behaviors ------------------------------------------
+
+TEST(RecoveryTest, CommittedSurviveUncommittedRollBack) {
+  auto media = MakeMedia();
+  auto db = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  ASSERT_TRUE(conn.ok());
+  Connection* c = conn->get();
+  ASSERT_TRUE(Ok(c, "CREATE TABLE kv (k INT NOT NULL, v INT)"));
+  ASSERT_TRUE(Ok(c, "CREATE INDEX kv_k ON kv (k)"));
+  ASSERT_TRUE(Ok(c, "INSERT INTO kv VALUES (1, 10), (2, 20)"));  // durable
+
+  // Leave a transaction open and force its changes onto the media: the
+  // checkpoint makes the dirty pages (and the log behind them) durable, so
+  // recovery must *undo* the loser, not merely never see it.
+  ASSERT_TRUE(Ok(c, "BEGIN"));
+  ASSERT_TRUE(Ok(c, "INSERT INTO kv VALUES (3, 30)"));
+  ASSERT_TRUE(Ok(c, "UPDATE kv SET v = 99 WHERE k = 1"));
+  ASSERT_TRUE((*db)->checkpoint_governor().ForceCheckpoint("test").ok());
+  Kill(&*conn, &*db, media.get());
+
+  auto db2 = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db2.ok());
+  const wal::RecoveryStats& rs = (*db2)->recovery_stats();
+  EXPECT_TRUE(rs.log_found);
+  EXPECT_GE(rs.loser_txns, 1u);
+  EXPECT_GE(rs.undo_records, 1u);
+
+  auto conn2 = (*db2)->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute("SELECT k, v FROM kv ORDER BY k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r->rows[0][1].AsInt(), 10);  // the loser's update was undone
+  EXPECT_EQ(r->rows[1][0].AsInt(), 2);
+  EXPECT_EQ(r->rows[1][1].AsInt(), 20);
+}
+
+TEST(RecoveryTest, DdlSurvivesKill) {
+  auto media = MakeMedia();
+  auto db = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  ASSERT_TRUE(conn.ok());
+  Connection* c = conn->get();
+  ASSERT_TRUE(Ok(c, "CREATE TABLE parent (id INT NOT NULL)"));
+  ASSERT_TRUE(Ok(c,
+                 "CREATE TABLE child (pid INT, FOREIGN KEY (pid) REFERENCES "
+                 "parent (id))"));
+  ASSERT_TRUE(Ok(c, "CREATE UNIQUE INDEX parent_id ON parent (id)"));
+  ASSERT_TRUE(
+      Ok(c, "CREATE PROCEDURE add_parent (:k) AS INSERT INTO parent VALUES "
+            "(:k)"));
+  ASSERT_TRUE(Ok(c, "SET OPTION collect_statistics_on_dml = 'off'"));
+  ASSERT_TRUE(Ok(c, "CALL add_parent(7)"));
+  Kill(&*conn, &*db, media.get());
+
+  auto db2 = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ((*db2)->catalog().foreign_keys().size(), 1u);
+  auto conn2 = (*db2)->Connect();
+  ASSERT_TRUE(conn2.ok());
+  ASSERT_TRUE(Ok(conn2->get(), "CALL add_parent(8)"));  // procedure replayed
+  auto r = (*conn2)->Execute("SELECT id FROM parent ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r->rows[1][0].AsInt(), 8);
+  // The index definition replayed with its uniqueness flag intact and is
+  // usable for point lookups over the rebuilt tree.
+  auto idx = (*db2)->catalog().GetIndex("parent_id");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE((*idx)->unique);
+  auto probe = (*conn2)->Execute("SELECT id FROM parent WHERE id = 8");
+  ASSERT_TRUE(probe.ok());
+  ASSERT_EQ(probe->rows.size(), 1u);
+}
+
+TEST(RecoveryTest, CheckpointBoundsRedo) {
+  auto media = MakeMedia();
+  auto db = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  ASSERT_TRUE(conn.ok());
+  Connection* c = conn->get();
+  ASSERT_TRUE(Ok(c, "CREATE TABLE t (a INT NOT NULL)"));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(Ok(c, "INSERT INTO t VALUES (" + std::to_string(i) + ")"));
+  }
+  ASSERT_TRUE((*db)->checkpoint_governor().ForceCheckpoint("test").ok());
+  for (int i = 30; i < 40; ++i) {
+    ASSERT_TRUE(Ok(c, "INSERT INTO t VALUES (" + std::to_string(i) + ")"));
+  }
+  Kill(&*conn, &*db, media.get());
+
+  auto db2 = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db2.ok());
+  const wal::RecoveryStats& rs = (*db2)->recovery_stats();
+  EXPECT_TRUE(rs.log_found);
+  // Redo started at the checkpoint, not at the log's origin: the bulk of
+  // the scanned history was skipped without page writes.
+  EXPECT_GT(rs.redo_start_lsn, 1u);
+  EXPECT_LT(rs.redo_records, rs.scanned_records);
+  auto conn2 = (*db2)->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 40);
+}
+
+TEST(RecoveryTest, CleanShutdownLeavesNoRedoWork) {
+  auto media = MakeMedia();
+  {
+    auto db = Database::Open(DurableOptions(media));
+    ASSERT_TRUE(db.ok());
+    auto conn = (*db)->Connect();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(Ok(conn->get(), "CREATE TABLE t (a INT NOT NULL)"));
+    ASSERT_TRUE(Ok(conn->get(), "INSERT INTO t VALUES (1), (2), (3)"));
+    // Destructors run in order (connection, then database): a clean
+    // shutdown, which checkpoints.
+  }
+  auto db2 = Database::Open(DurableOptions(media));
+  ASSERT_TRUE(db2.ok());
+  const wal::RecoveryStats& rs = (*db2)->recovery_stats();
+  EXPECT_TRUE(rs.log_found);
+  EXPECT_EQ(rs.redo_records, 0u);
+  EXPECT_EQ(rs.loser_txns, 0u);
+  auto conn2 = (*db2)->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 3);
+}
+
+TEST(RecoveryTest, CrashDuringRecoveryConverges) {
+  const uint64_t seed = TestSeed() + 1000;
+  auto media = MakeMedia();
+  WorkloadOutcome outcome;
+  {
+    auto db = Database::Open(DurableOptions(media));
+    ASSERT_TRUE(db.ok());
+    auto conn = (*db)->Connect();
+    ASSERT_TRUE(conn.ok());
+    RunWorkload(conn->get(), seed, &outcome);
+    ASSERT_FALSE(outcome.shadow.empty());
+    Kill(&*conn, &*db, media.get());
+  }
+  // Crash the *recovery* itself at escalating points; each attempt must
+  // leave the media in a state the next attempt (or the final clean one)
+  // still recovers from.
+  for (int64_t n = 1; n <= 10; ++n) {
+    media->ScheduleCrash(n);
+    {
+      auto db = Database::Open(DurableOptions(media));
+      // Open may fail (crash hit recovery) or succeed (crash pending for
+      // the shutdown path); both must be survivable.
+    }
+    media->PowerCycle();
+  }
+  VerifyAgainstShadow(media, outcome,
+                      "seed=" + std::to_string(seed) + " crash-in-recovery");
+}
+
+}  // namespace
+}  // namespace hdb::engine
