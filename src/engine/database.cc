@@ -631,8 +631,10 @@ Status Database::LoadTableLocked(const std::string& table,
   const auto indexes = catalog_->TableIndexes(def->oid);
   // The whole load is one transaction in the WAL: its inserts log under
   // one txn id and the closing commit makes them durable in a single
-  // barrier. (A mid-load failure returns without the commit record, so a
-  // later crash rolls the partial load back.)
+  // barrier. Each insert also records an undo entry so a mid-load failure
+  // rolls the partial load back for real — the deletes run under a CLR
+  // scope, so the live database and a post-crash recovery agree the load
+  // never happened.
   txn::Transaction* txn = txn_manager_->Begin();
   const Status load_status = [&]() -> Status {
     const wal::WalManager::TxnScope scope(txn->id());
@@ -640,6 +642,12 @@ Status Database::LoadTableLocked(const std::string& table,
       HDB_ASSIGN_OR_RETURN(const std::string bytes,
                            table::EncodeRow(*def, row));
       HDB_ASSIGN_OR_RETURN(const Rid rid, h->Insert(bytes));
+      txn::UndoRecord undo;
+      undo.op = txn::UndoOp::kInsert;
+      undo.table_oid = def->oid;
+      undo.rid = rid;
+      undo.before_image.assign(bytes.begin(), bytes.end());
+      txn->RecordUndo(std::move(undo));
       for (catalog::IndexDef* idx : indexes) {
         index::BTree* tree = btree(idx->oid);
         if (tree == nullptr) continue;
@@ -650,8 +658,22 @@ Status Database::LoadTableLocked(const std::string& table,
     return Status::OK();
   }();
   if (!load_status.ok()) {
-    (void)txn_manager_->Abort(txn, [](const txn::UndoRecord&) {
-      return Status::OK();  // nothing recorded; rows stay until recovery
+    // If an undo step itself fails, Abort returns without the kAbort
+    // record and recovery classifies the transaction as a loser, undoing
+    // the remainder from the log — both exits are consistent.
+    (void)txn_manager_->Abort(txn, [&](const txn::UndoRecord& rec) -> Status {
+      const wal::WalManager::TxnScope clr_scope(txn->id(), /*clr=*/true);
+      const auto row = table::DecodeRow(*def, rec.before_image.data(),
+                                        rec.before_image.size());
+      if (row.ok()) {
+        for (catalog::IndexDef* idx : indexes) {
+          index::BTree* tree = btree(idx->oid);
+          if (tree == nullptr) continue;
+          (void)tree->Remove(
+              OrderPreservingHash((*row)[idx->column_indexes[0]]), rec.rid);
+        }
+      }
+      return h->Delete(rec.rid);
     });
     return load_status;
   }
@@ -786,6 +808,13 @@ Status Database::CreateIndexImpl(const CreateIndexAst& ast) {
 Status Database::DropTableImpl(const std::string& name) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * def, catalog_->GetTable(name));
   const uint32_t oid = def->oid;
+  // Log-before-apply, like every other DDL path: the drop record is made
+  // durable before any in-memory state changes, so a crash can only lose
+  // the whole drop — it can never resurrect a table the live catalog
+  // already forgot, nor leave the catalog diverged from the log after a
+  // failed append.
+  HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlDropTable,
+                             wal::EncodeDdlDropName(name)));
   {
     std::lock_guard<std::mutex> lock(objects_mu_);
     for (catalog::IndexDef* idx : catalog_->TableIndexes(oid)) {
@@ -794,20 +823,20 @@ Status Database::DropTableImpl(const std::string& name) {
     heaps_.erase(oid);
   }
   stats_.DropTable(oid);
-  HDB_RETURN_IF_ERROR(catalog_->DropTable(name));
-  return LogDdl(wal::WalRecordType::kDdlDropTable,
-                wal::EncodeDdlDropName(name));
+  return catalog_->DropTable(name);
 }
 
 Status Database::DropIndexImpl(const std::string& name) {
   HDB_ASSIGN_OR_RETURN(catalog::IndexDef * idx, catalog_->GetIndex(name));
+  const uint32_t oid = idx->oid;
+  // Log-before-apply; see DropTableImpl.
+  HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlDropIndex,
+                             wal::EncodeDdlDropName(name)));
   {
     std::lock_guard<std::mutex> lock(objects_mu_);
-    btrees_.erase(idx->oid);
+    btrees_.erase(oid);
   }
-  HDB_RETURN_IF_ERROR(catalog_->DropIndex(name));
-  return LogDdl(wal::WalRecordType::kDdlDropIndex,
-                wal::EncodeDdlDropName(name));
+  return catalog_->DropIndex(name);
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,18 @@ void PageHandle::Release() {
   }
 }
 
+void PageHandle::MarkDirty(Lsn lsn) {
+  dirty_ = true;
+  if (lsn > lsn_) lsn_ = lsn;
+  // Publish now, not at unpin: a fuzzy checkpoint between the WAL append
+  // and the handle's release must see this frame's recLSN, or its end
+  // record could place the redo start past a change that never reached the
+  // media. (The unpin re-publish is then a no-op.)
+  if (pool_ != nullptr && lsn != kNullLsn) {
+    pool_->PublishFrameLsn(frame_id_, lsn);
+  }
+}
+
 BufferPool::BufferPool(DiskManager* disk, BufferPoolOptions options)
     : disk_(disk),
       options_(options),
@@ -93,33 +105,62 @@ void BufferPool::EvictFrameLocked(uint32_t frame_id) {
   replacer_.Remove(frame_id);
 }
 
-Result<uint32_t> BufferPool::GetVictimFrameLocked() {
-  if (!free_frames_.empty()) {
-    const uint32_t id = free_frames_.back();
-    free_frames_.pop_back();
-    return id;
-  }
-  // Fast path: lock-free lookaside queue of dead frames. Entries may be
-  // stale (frame re-used since push); validate under the latch.
-  while (auto id = lookaside_.Pop()) {
-    if (*id >= frames_.size()) continue;  // stale entry from a shrink
-    Frame& f = frames_[*id];
-    if (!f.valid && f.pin_count == 0) {
-      ++lookaside_reuses_;
-      return *id;
+Result<uint32_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>& lock) {
+  while (true) {
+    if (!free_frames_.empty()) {
+      const uint32_t id = free_frames_.back();
+      free_frames_.pop_back();
+      return id;
     }
-  }
-  if (auto victim = replacer_.Victim()) {
+    // Fast path: lock-free lookaside queue of dead frames. Entries may be
+    // stale (frame re-used since push); validate under the latch.
+    while (auto id = lookaside_.Pop()) {
+      if (*id >= frames_.size()) continue;  // stale entry from a shrink
+      Frame& f = frames_[*id];
+      if (!f.valid && f.pin_count == 0) {
+        ++lookaside_reuses_;
+        return *id;
+      }
+    }
+    auto victim = replacer_.Victim();
+    if (!victim) {
+      return Status::ResourceExhausted(
+          "buffer pool exhausted: all frames pinned");
+    }
+    Frame& f = frames_[*victim];
+    if (f.valid && f.dirty && f.lsn != kNullLsn && flush_barrier_) {
+      // The victim needs the WAL flush barrier (tail write + fsync) before
+      // its image may be written back. Run it without mu_ so concurrent
+      // pool traffic is not stalled behind the fsync; the pin keeps the
+      // frame (and its index) from being evicted, discarded, or truncated
+      // away meanwhile. Barrier failure is handled by FlushFrameLocked
+      // inside EvictFrameLocked (the page is dropped unwritten, which
+      // preserves WAL-before-data).
+      const Lsn barrier_lsn = f.lsn;
+      f.pin_count++;
+      replacer_.SetEvictable(*victim, false);
+      lock.unlock();
+      (void)flush_barrier_(barrier_lsn);
+      lock.lock();
+      Frame& g = frames_[*victim];  // frames_ may have been reallocated
+      g.pin_count--;
+      if (g.pin_count > 0) {
+        // Re-pinned while the log flushed: the page is hot again. Leave it
+        // (its holder restores evictability at unpin) and pick another.
+        continue;
+      }
+      replacer_.SetEvictable(*victim, true);
+      // The frame's LSN may have advanced past barrier_lsn while unlocked;
+      // FlushFrameLocked's own (now usually no-op) barrier covers that.
+    }
     EvictFrameLocked(*victim);
     return *victim;
   }
-  return Status::ResourceExhausted(
-      "buffer pool exhausted: all frames pinned");
 }
 
 Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
                                          uint32_t owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = page_table_.find(spid);
   if (it != page_table_.end()) {
     ++hits_;
@@ -131,7 +172,19 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
   }
   ++misses_;
   ++misses_since_poll_;
-  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrameLocked());
+  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrame(lock));
+  // GetVictimFrame may have dropped the latch: the page could have been
+  // loaded by a racing fetch in that window. Re-check before reading it in
+  // twice (two frames for one page would let their images diverge).
+  it = page_table_.find(spid);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pin_count++;
+    replacer_.RecordReference(it->second);
+    replacer_.SetEvictable(it->second, false);
+    free_frames_.push_back(frame_id);  // return the victim unused
+    return PageHandle(this, it->second, f.data.get(), spid);
+  }
   Frame& f = frames_[frame_id];
   HDB_RETURN_IF_ERROR(disk_->ReadPage(spid.space, spid.page, f.data.get()));
   f.spid = spid;
@@ -150,12 +203,12 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
 
 Result<PageHandle> BufferPool::NewPage(SpaceId space, PageType type,
                                        uint32_t owner, PageId* out_page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   // A fresh page is by definition not resident: it counts as a miss for
   // the pool governor's growth-gating signal.
   ++misses_;
   ++misses_since_poll_;
-  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrameLocked());
+  HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrame(lock));
   const PageId page_id = disk_->AllocatePage(space);
   if (out_page_id != nullptr) *out_page_id = page_id;
   Frame& f = frames_[frame_id];
@@ -205,12 +258,33 @@ Status BufferPool::FlushPage(SpacePageId spid) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Hoist the WAL barrier out of the pool latch: one EnsureDurable for the
+  // highest logged LSN among flushable frames, instead of a potential
+  // fsync per frame while every concurrent FetchPage waits on mu_. The
+  // per-frame barrier inside FlushFrameLocked stays — it is the
+  // correctness point — but after this it only pays an fsync for a frame
+  // whose LSN advanced in the window.
+  if (flush_barrier_) {
+    Lsn max_lsn = kNullLsn;
+    for (const Frame& f : frames_) {
+      if (f.valid && f.dirty && f.pin_count == 0 && f.lsn != kNullLsn &&
+          (max_lsn == kNullLsn || f.lsn > max_lsn)) {
+        max_lsn = f.lsn;
+      }
+    }
+    if (max_lsn != kNullLsn) {
+      lock.unlock();
+      HDB_RETURN_IF_ERROR(flush_barrier_(max_lsn));
+      lock.lock();
+    }
+  }
   for (size_t i = 0; i < frames_.size(); ++i) {
     // Skip pinned frames: their holder may be mutating the page bytes
     // right now (page content is only guarded by the owner's table/index
     // latch, not the pool latch). They reach disk on eviction or on the
-    // next FlushAll after release.
+    // next FlushAll after release; the checkpoint covers them through
+    // MinDirtyLsn and the WAL's in-flight LSN registry.
     if (frames_[i].pin_count > 0) continue;
     HDB_RETURN_IF_ERROR(FlushFrameLocked(static_cast<uint32_t>(i)));
   }
@@ -288,6 +362,14 @@ size_t BufferPool::ResidentPages(uint32_t owner) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = owner_residency_.find(owner);
   return it == owner_residency_.end() ? 0 : it->second;
+}
+
+void BufferPool::PublishFrameLsn(uint32_t frame_id, Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frame_id >= frames_.size()) return;
+  Frame& f = frames_[frame_id];
+  f.dirty = true;
+  if (lsn > f.lsn) f.lsn = lsn;
 }
 
 void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn) {

@@ -47,11 +47,11 @@ class PageHandle {
 
   /// Marks the page modified by a WAL-logged operation whose record got
   /// `lsn`. The pool will not write the page back until the WAL is durable
-  /// up to the frame's highest such LSN (the WAL-before-data rule).
-  void MarkDirty(Lsn lsn) {
-    dirty_ = true;
-    if (lsn > lsn_) lsn_ = lsn;
-  }
+  /// up to the frame's highest such LSN (the WAL-before-data rule). The
+  /// dirty flag and recLSN are published to the frame immediately (under
+  /// the pool latch), not deferred to unpin, so a concurrent fuzzy
+  /// checkpoint's MinDirtyLsn() sees the change as soon as it is applied.
+  void MarkDirty(Lsn lsn);
 
   /// Unpins now (idempotent).
   void Release();
@@ -165,11 +165,15 @@ class BufferPool {
 
   friend class PageHandle;
 
-  // All Locked methods require mu_ held.
-  Result<uint32_t> GetVictimFrameLocked();
+  // All Locked methods require mu_ held. GetVictimFrame requires `lock`
+  // held on entry and holds it again on return, but may drop it to run the
+  // WAL flush barrier for a dirty victim (an fsync under mu_ would stall
+  // every concurrent FetchPage).
+  Result<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lock);
   void EvictFrameLocked(uint32_t frame_id);
   Status FlushFrameLocked(uint32_t frame_id);
   void UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn);
+  void PublishFrameLsn(uint32_t frame_id, Lsn lsn);
   void AdjustOwnerResidency(uint32_t owner, int delta);
 
   DiskManager* disk_;

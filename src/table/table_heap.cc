@@ -15,18 +15,23 @@ namespace hdb::table {
 // change, stamp the page LSN, and MarkDirty(lsn) so the buffer pool's
 // flush barrier orders the page write behind the log. All of this happens
 // under the heap's exclusive latch, so record order in the log matches
-// byte order on the page.
+// byte order on the page. The append-to-MarkDirty window is bracketed by
+// a wal::WalManager::InflightLsn guard: a fuzzy checkpoint firing from
+// another connection inside that window would otherwise see the pinned
+// frame as clean, record a redo start past our LSN, and lose the change
+// if the process crashed before the frame was flushed.
 
 TableHeap::TableHeap(storage::BufferPool* pool, catalog::TableDef* def,
                      wal::WalManager* wal)
     : pool_(pool), def_(def), wal_(wal) {}
 
 Result<storage::Lsn> TableHeap::LogOp(wal::WalRecordType type,
-                                      std::string payload) {
+                                      std::string payload,
+                                      wal::WalManager::InflightLsn* inflight) {
   if (wal_ == nullptr || !wal_->enabled()) return storage::kNullLsn;
   const wal::WalManager::TxnContext ctx = wal::WalManager::CurrentTxn();
   return wal_->Append(type, ctx.txn_id, std::move(payload),
-                      ctx.clr ? wal::kWalFlagClr : uint8_t{0});
+                      ctx.clr ? wal::kWalFlagClr : uint8_t{0}, inflight);
 }
 
 Status TableHeap::AppendPage() {
@@ -35,10 +40,12 @@ Status TableHeap::AppendPage() {
       storage::PageHandle h,
       pool_->NewPage(storage::SpaceId::kMain, storage::PageType::kTable,
                      def_->oid, &id));
+  wal::WalManager::InflightLsn inflight;
   HDB_ASSIGN_OR_RETURN(
       const storage::Lsn lsn,
       LogOp(wal::WalRecordType::kHeapAppendPage,
-            wal::EncodeHeapAppendPage(def_->oid, id, def_->last_page)));
+            wal::EncodeHeapAppendPage(def_->oid, id, def_->last_page),
+            &inflight));
   InitHeapPage(h.data(), pool_->page_bytes());
   storage::SetPageLsn(h.data(), lsn);
   h.MarkDirty(lsn);
@@ -80,11 +87,13 @@ Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
   const auto new_end =
       static_cast<uint16_t>(header.free_end - row_bytes.size());
   const uint16_t slot_index = header.slot_count;
+  wal::WalManager::InflightLsn inflight;
   HDB_ASSIGN_OR_RETURN(
       const storage::Lsn lsn,
       LogOp(wal::WalRecordType::kHeapInsert,
             wal::EncodeHeapInsert(def_->oid, page_id, slot_index, new_end,
-                                  row_bytes)));
+                                  row_bytes),
+            &inflight));
   std::memcpy(h.data() + new_end, row_bytes.data(), row_bytes.size());
   WriteHeapSlot(h.data(), slot_index,
                 HeapSlot{new_end, static_cast<uint16_t>(row_bytes.size())});
@@ -151,12 +160,14 @@ Status TableHeap::DeleteLocked(Rid rid) {
   if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
   HeapSlot s = ReadHeapSlot(h.data(), rid.slot);
   if (s.len == 0) return Status::NotFound("row already deleted");
+  wal::WalManager::InflightLsn inflight;
   HDB_ASSIGN_OR_RETURN(
       const storage::Lsn lsn,
       LogOp(wal::WalRecordType::kHeapDelete,
             wal::EncodeHeapDelete(
                 def_->oid, rid.page_id, rid.slot, s.offset,
-                std::string_view(h.data() + s.offset, s.len))));
+                std::string_view(h.data() + s.offset, s.len)),
+            &inflight));
   s.len = 0;
   WriteHeapSlot(h.data(), rid.slot, s);
   if (lsn > header.lsn) {
@@ -183,12 +194,14 @@ Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
     HeapSlot s = ReadHeapSlot(h.data(), rid.slot);
     if (s.len == 0) return Status::NotFound("deleted row");
     if (row_bytes.size() <= s.len) {
+      wal::WalManager::InflightLsn inflight;
       HDB_ASSIGN_OR_RETURN(
           const storage::Lsn lsn,
           LogOp(wal::WalRecordType::kHeapUpdate,
                 wal::EncodeHeapUpdate(
                     def_->oid, rid.page_id, rid.slot, s.offset,
-                    std::string_view(h.data() + s.offset, s.len), row_bytes)));
+                    std::string_view(h.data() + s.offset, s.len), row_bytes),
+                &inflight));
       std::memcpy(h.data() + s.offset, row_bytes.data(), row_bytes.size());
       s.len = static_cast<uint16_t>(row_bytes.size());
       WriteHeapSlot(h.data(), rid.slot, s);

@@ -91,9 +91,12 @@ class TableHeap {
   Status AppendPage();
 
   /// Appends a WAL record for a mutation about to be applied, attributed
-  /// to the calling thread's transaction. Returns kNullLsn when logging is
-  /// off.
-  Result<storage::Lsn> LogOp(wal::WalRecordType type, std::string payload);
+  /// to the calling thread's transaction, registering the LSN as in-flight
+  /// in `inflight` until the caller has published it to the touched
+  /// frame(s) via MarkDirty(lsn) (checkpoint race, see
+  /// wal::WalManager::InflightLsn). Returns kNullLsn when logging is off.
+  Result<storage::Lsn> LogOp(wal::WalRecordType type, std::string payload,
+                             wal::WalManager::InflightLsn* inflight);
 
   storage::BufferPool* pool_;
   catalog::TableDef* def_;

@@ -96,7 +96,20 @@ Status CheckpointGovernor::RunCheckpointLocked(const char* reason) {
   HDB_RETURN_IF_ERROR(wal_->EnsureDurable(begin_lsn));
   HDB_RETURN_IF_ERROR(pool_->FlushAll());
   HDB_RETURN_IF_ERROR(pool_->disk()->Sync());
-  const storage::Lsn min_rec_lsn = pool_->MinDirtyLsn();
+  // Min recLSN = min over (a) dirty frames and (b) in-flight mutations
+  // that appended their record but have not yet published it to a frame.
+  // Read (b) first: a mutator publishes before it unregisters, so this
+  // order can only over-cover. Any mutation logged before our begin record
+  // was registered before it too (both happen under the WAL append mutex),
+  // so it is visible through one of the two reads — without (b), a
+  // checkpoint racing that window would set redo_start past a committed
+  // update whose page never reached the media.
+  const storage::Lsn inflight_lsn = wal_->MinInflightLsn();
+  storage::Lsn min_rec_lsn = pool_->MinDirtyLsn();
+  if (inflight_lsn != storage::kNullLsn &&
+      (min_rec_lsn == storage::kNullLsn || inflight_lsn < min_rec_lsn)) {
+    min_rec_lsn = inflight_lsn;
+  }
   HDB_ASSIGN_OR_RETURN(
       const storage::Lsn end_lsn,
       wal_->Append(WalRecordType::kCheckpointEnd, 0,

@@ -61,8 +61,25 @@ Status WalManager::WriteTailPageLocked() {
   return Status::OK();
 }
 
+void WalManager::InflightLsn::Release() {
+  if (wal_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(wal_->mu_);
+    const auto it = wal_->inflight_lsns_.find(lsn_);
+    if (it != wal_->inflight_lsns_.end()) wal_->inflight_lsns_.erase(it);
+  }
+  wal_ = nullptr;
+  lsn_ = storage::kNullLsn;
+}
+
+storage::Lsn WalManager::MinInflightLsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_lsns_.empty() ? storage::kNullLsn : *inflight_lsns_.begin();
+}
+
 Result<storage::Lsn> WalManager::Append(WalRecordType type, uint64_t txn_id,
-                                        std::string payload, uint8_t flags) {
+                                        std::string payload, uint8_t flags,
+                                        InflightLsn* inflight) {
   if (!options_.enabled) return storage::kNullLsn;
   const uint32_t need = kWalHeaderBytes + static_cast<uint32_t>(payload.size());
   if (need > disk_->page_bytes() || payload.size() > 0xffff) {
@@ -93,6 +110,13 @@ Result<storage::Lsn> WalManager::Append(WalRecordType type, uint64_t txn_id,
   cur_offset_ += need;
   tail_dirty_ = true;
   appended_lsn_.store(lsn, std::memory_order_release);
+  if (inflight != nullptr && inflight->wal_ == nullptr) {
+    // Registered under mu_, i.e. strictly before any later-LSN append —
+    // including a checkpoint's kCheckpointBegin. See InflightLsn.
+    inflight->wal_ = this;
+    inflight->lsn_ = lsn;
+    inflight_lsns_.insert(lsn);
+  }
 
   appends_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(need, std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,9 +70,46 @@ class WalManager {
   bool enabled() const { return options_.enabled; }
   bool group_commit() const { return options_.group_commit; }
 
-  /// Appends a record, returning its LSN. Thread-safe.
+  /// RAII registration of a logged page mutation whose frame has not yet
+  /// been published dirty (PageHandle::MarkDirty(lsn)). While one is held,
+  /// MinInflightLsn() reports its LSN, so a concurrent fuzzy checkpoint
+  /// cannot record a redo start past a change that is in the log but not
+  /// yet visible in the pool's dirty-frame table — the window in which a
+  /// committed update would otherwise be silently lost after a crash.
+  /// Registered by Append (under the same mutex that orders LSNs, which is
+  /// what makes the coverage argument airtight) and released by the caller
+  /// after the frame publish.
+  class InflightLsn {
+   public:
+    InflightLsn() = default;
+    ~InflightLsn() { Release(); }
+    InflightLsn(const InflightLsn&) = delete;
+    InflightLsn& operator=(const InflightLsn&) = delete;
+
+    /// Unregisters now (idempotent). Call only after the mutation's frame
+    /// has been published via MarkDirty(lsn), or when the mutation was
+    /// abandoned before touching any page.
+    void Release();
+
+   private:
+    friend class WalManager;
+    WalManager* wal_ = nullptr;
+    storage::Lsn lsn_ = storage::kNullLsn;
+  };
+
+  /// Appends a record, returning its LSN. Thread-safe. When `inflight` is
+  /// non-null the LSN is registered as an in-flight page mutation (see
+  /// InflightLsn); `inflight` must be empty.
   Result<storage::Lsn> Append(WalRecordType type, uint64_t txn_id,
-                              std::string payload, uint8_t flags = 0);
+                              std::string payload, uint8_t flags = 0,
+                              InflightLsn* inflight = nullptr);
+
+  /// Smallest LSN appended with an InflightLsn still unreleased; kNullLsn
+  /// when none. The checkpoint governor folds this into the end record's
+  /// min recLSN (read it *before* BufferPool::MinDirtyLsn(): a mutator
+  /// publishes its frame before releasing, so that order can only
+  /// over-cover, never miss).
+  storage::Lsn MinInflightLsn() const;
 
   /// Makes everything up to `lsn` durable: writes the tail page and fsyncs
   /// the media. No-op when disabled or when there is no durable media.
@@ -172,6 +210,7 @@ class WalManager {
   storage::Lsn next_lsn_ = 1;
   uint32_t epoch_ = 1;           // see wal_record.h: bumped per recovery
   uint32_t max_epoch_seen_ = 0;  // set by ScanLog, consumed by ResumeAt
+  std::multiset<storage::Lsn> inflight_lsns_;  // see InflightLsn (under mu_)
 
   std::atomic<storage::Lsn> appended_lsn_{storage::kNullLsn};
   std::atomic<storage::Lsn> durable_lsn_{storage::kNullLsn};

@@ -238,6 +238,32 @@ TEST(IntegrationTest, ZeroAdministrationLifecycle) {
   EXPECT_EQ(r->rows[0][0].AsString(), "two");
 }
 
+TEST(IntegrationTest, FailedLoadTableRollsBackPartialRows) {
+  Db db;
+  db.Exec("CREATE TABLE t (k INT, v VARCHAR(10))");
+  db.Exec("CREATE INDEX t_k ON t (k)");
+  // Third row has the wrong arity, so the bulk load fails after two rows
+  // have already landed in the heap and the index.
+  std::vector<table::Row> rows;
+  rows.push_back({Value::Int(1), Value::String("a")});
+  rows.push_back({Value::Int(2), Value::String("b")});
+  rows.push_back({Value::Int(3)});
+  const Status st = db.database->LoadTable("t", rows);
+  ASSERT_FALSE(st.ok());
+  // The partial rows must be rolled back, both in the heap scan and
+  // through the index.
+  auto r = db.Exec("SELECT COUNT(*) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  r = db.Exec("SELECT COUNT(*) FROM t WHERE k = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  // The table stays usable afterwards.
+  db.Exec("INSERT INTO t VALUES (7, 'x')");
+  r = db.Exec("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
 TEST(IntegrationTest, FlashDeviceChangesCostModelAfterCalibration) {
   engine::DatabaseOptions opts;
   opts.device = engine::DeviceKind::kFlash;

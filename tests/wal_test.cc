@@ -275,6 +275,71 @@ TEST(WalBarrierTest, MinDirtyLsnTracksPinnedUnflushedFrames) {
   EXPECT_EQ(pool.MinDirtyLsn(), lsn);
 }
 
+TEST(WalBarrierTest, MarkDirtyPublishesRecLsnWhileStillPinned) {
+  Rig rig;
+  storage::BufferPoolOptions popts;
+  popts.initial_frames = 16;
+  storage::BufferPool pool(rig.disk.get(), popts);
+  pool.SetFlushBarrier(
+      [&](storage::Lsn lsn) { return rig.wal->EnsureDurable(lsn); });
+
+  const storage::Lsn lsn = Append(*rig.wal, 1, "mutation");
+  storage::PageId id = storage::kInvalidPageId;
+  auto h = pool.NewPage(storage::SpaceId::kMain, storage::PageType::kHeap,
+                        /*owner=*/0, &id);
+  ASSERT_TRUE(h.ok());
+  h->data()[0] = 'm';
+  h->MarkDirty(lsn);
+  // The frame's dirty flag and recLSN must be visible *before* the handle
+  // is released: a fuzzy checkpoint running concurrently with a pinned
+  // mutator must not see the frame as clean and skip it in min recLSN.
+  EXPECT_EQ(pool.MinDirtyLsn(), lsn);
+}
+
+TEST(WalBarrierTest, InflightLsnRegistersAndReleases) {
+  Rig rig;
+  EXPECT_EQ(rig.wal->MinInflightLsn(), storage::kNullLsn);
+  WalManager::InflightLsn inflight;
+  auto lsn = rig.wal->Append(WalRecordType::kHeapInsert, 1, "in flight",
+                             /*flags=*/0, &inflight);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(rig.wal->MinInflightLsn(), *lsn);
+  inflight.Release();
+  EXPECT_EQ(rig.wal->MinInflightLsn(), storage::kNullLsn);
+}
+
+TEST(CheckpointGovernorTest, CheckpointCoversInflightMutation) {
+  Rig rig;
+  storage::BufferPoolOptions popts;
+  popts.initial_frames = 16;
+  storage::BufferPool pool(rig.disk.get(), popts);
+  pool.SetFlushBarrier(
+      [&](storage::Lsn lsn) { return rig.wal->EnsureDurable(lsn); });
+  os::VirtualClock clock(0);
+  CheckpointGovernor gov(rig.wal.get(), &pool, &clock);
+
+  // A mutator has appended its record but not yet published the change to
+  // a frame (the append-to-MarkDirty window). A checkpoint firing inside
+  // that window must pull its redo start back to the in-flight LSN even
+  // though every frame looks clean.
+  WalManager::InflightLsn inflight;
+  auto lsn = rig.wal->Append(WalRecordType::kHeapInsert, 1, "unpublished",
+                             /*flags=*/0, &inflight);
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(gov.ForceCheckpoint("test").ok());
+  inflight.Release();
+
+  auto scan = rig.wal->ScanLog();
+  ASSERT_TRUE(scan.ok());
+  ASSERT_GE(scan->records.size(), 3u);
+  const WalRecord& end = scan->records.back();
+  ASSERT_EQ(end.type, WalRecordType::kCheckpointEnd);
+  storage::Lsn begin = storage::kNullLsn, min_rec = storage::kNullLsn;
+  ASSERT_TRUE(DecodeCheckpointEnd(end, &begin, &min_rec));
+  EXPECT_NE(min_rec, storage::kNullLsn);
+  EXPECT_LE(min_rec, *lsn);  // redo restarts at or before the mutation
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint governor: trigger derives from measurements, no interval knob.
 // ---------------------------------------------------------------------------
