@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Latch-discipline lint (wired into ctest as LockDiscipline.check).
+#
+#   check_locks.sh <repo-root>
+#
+# Every latch in src/ must be declared through the ranked wrappers in
+# src/common/lock_rank.h so it carries an explicit LockRank and the
+# runtime hierarchy check sees it. This lint fails on:
+#
+#   * naked std::mutex / std::shared_mutex / std::recursive_mutex
+#     declarations (a rank-less latch is invisible to the checker), and
+#   * std:: guard types (std::lock_guard / std::unique_lock /
+#     std::shared_lock / std::scoped_lock) — they would capture the
+#     acquisition site inside the STL header instead of the caller, so
+#     the engine uses LockGuard / UniqueLock / SharedLock et al., and
+#   * plain std::condition_variable — it only accepts std::mutex, so its
+#     presence means a naked mutex is nearby; waits over ranked mutexes
+#     use std::condition_variable_any.
+#
+# Only src/common/lock_rank.* (the wrappers' own implementation) may name
+# the raw primitives. Comments and string literals are stripped before
+# matching so prose about std::mutex stays legal.
+set -u
+
+root="${1:?usage: check_locks.sh <repo-root>}"
+src="$root/src"
+
+if [[ ! -d "$src" ]]; then
+  echo "check_locks: missing $src" >&2
+  exit 1
+fi
+
+pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b'
+
+fail=0
+checked=0
+while IFS= read -r -d '' file; do
+  case "$file" in
+    "$src"/common/lock_rank.h | "$src"/common/lock_rank.cc) continue ;;
+  esac
+  checked=$((checked + 1))
+  # Strip // and /* */ comments and string literals, then grep. The sed is
+  # line-local, which is enough: the forbidden tokens never span lines.
+  hits=$(sed -e 's://.*$::' -e 's:/\*.*\*/::g' -e 's:"[^"]*"::g' "$file" |
+         grep -nE "$pattern" |
+         sed "s|^|$file:|" || true)
+  if [[ -n "$hits" ]]; then
+    echo "check_locks: naked std synchronization primitive (declare it" \
+         "through common/lock_rank.h so it carries a LockRank):" >&2
+    printf '%s\n' "$hits" >&2
+    fail=1
+  fi
+done < <(find "$src" \( -name '*.h' -o -name '*.cc' \) -print0 | sort -z)
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_locks: $checked files, every latch goes through the ranked" \
+     "wrappers (std::condition_variable_any excepted by design)"

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# One-stop correctness matrix (ISSUE 4): static lints, clang-tidy, and the
+# full ctest suite under each sanitizer, with a per-stage summary.
+#
+#   sanitize_matrix.sh [repo-root] [--fast]   (root defaults to the repo
+#                                              containing this script)
+#
+# Stages:
+#   lint:locks      scripts/check_locks.sh (no naked std::mutex in src/)
+#   lint:metrics    scripts/check_metrics.sh (metric-name hygiene)
+#   build:werror    RelWithDebInfo, HDB_WERROR=ON, HDB_LOCK_RANK=ON,
+#                   full ctest (this is also the tidy compile database)
+#   tidy            clang-tidy with the repo .clang-tidy over src/**/*.cc
+#                   (skipped, not failed, when clang-tidy is absent)
+#   tsan            full ctest under ThreadSanitizer (a superset of
+#                   check_metrics.sh --tsan, which builds only the
+#                   observability/durability test subset)
+#   asan            full ctest under AddressSanitizer
+#   ubsan           full ctest under UndefinedBehaviorSanitizer
+#
+# --fast keeps only lint + build:werror + tidy (the cheap static stages).
+# Build trees live in <root>/build-matrix-*; they are reused across runs.
+set -u
+
+default_root="$(cd "$(dirname "$0")/.." && pwd)"
+if [[ "${1:-}" == "--fast" ]]; then
+  root="$default_root"
+  mode="--fast"
+else
+  root="${1:-$default_root}"
+  mode="${2:-}"
+fi
+jobs="$(nproc)"
+
+declare -a stage_names=()
+declare -a stage_results=()
+
+note_stage() {
+  stage_names+=("$1")
+  stage_results+=("$2")
+}
+
+run_ctest_build() {
+  # run_ctest_build <build-dir> <extra cmake args...>
+  local build="$1"
+  shift
+  cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DHDB_LOCK_RANK=ON "$@" &&
+    cmake --build "$build" -j "$jobs" &&
+    (cd "$build" && ctest --output-on-failure -j "$jobs")
+}
+
+# ---- lint stages ----------------------------------------------------------
+if "$root/scripts/check_locks.sh" "$root"; then
+  note_stage "lint:locks" "PASS"
+else
+  note_stage "lint:locks" "FAIL"
+fi
+
+if "$root/scripts/check_metrics.sh" "$root"; then
+  note_stage "lint:metrics" "PASS"
+else
+  note_stage "lint:metrics" "FAIL"
+fi
+
+# ---- warning-clean build + full suite (also the tidy compile DB) ----------
+werror_build="$root/build-matrix-werror"
+if run_ctest_build "$werror_build" -DHDB_WERROR=ON; then
+  note_stage "build:werror" "PASS"
+else
+  note_stage "build:werror" "FAIL"
+fi
+
+# ---- clang-tidy -----------------------------------------------------------
+if command -v clang-tidy > /dev/null 2>&1; then
+  if [[ -f "$werror_build/compile_commands.json" ]] &&
+      find "$root/src" -name '*.cc' -print0 |
+        xargs -0 -n 8 -P "$jobs" clang-tidy -p "$werror_build" --quiet; then
+    note_stage "tidy" "PASS"
+  else
+    note_stage "tidy" "FAIL"
+  fi
+else
+  echo "sanitize_matrix: clang-tidy not installed, skipping tidy stage"
+  note_stage "tidy" "SKIP"
+fi
+
+# ---- sanitizer matrix -----------------------------------------------------
+if [[ "$mode" != "--fast" ]]; then
+  for san in thread address undefined; do
+    if run_ctest_build "$root/build-matrix-$san" -DHDB_SANITIZE="$san"; then
+      note_stage "$san" "PASS"
+    else
+      note_stage "$san" "FAIL"
+    fi
+  done
+fi
+
+# ---- summary --------------------------------------------------------------
+echo
+echo "sanitize_matrix summary:"
+fail=0
+for i in "${!stage_names[@]}"; do
+  printf '  %-14s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  if [[ "${stage_results[$i]}" == "FAIL" ]]; then
+    fail=1
+  fi
+done
+exit "$fail"

@@ -23,7 +23,7 @@ Result<TableDef*> Catalog::CreateTable(const std::string& name,
     return Status::InvalidArgument(
         "the sys. schema is reserved for virtual system tables");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -41,7 +41,7 @@ Result<TableDef*> Catalog::CreateTable(const std::string& name,
 
 Result<TableDef*> Catalog::CreateVirtualTable(const std::string& name,
                                               std::vector<ColumnDef> columns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -61,7 +61,7 @@ Result<TableDef*> Catalog::CreateVirtualTable(const std::string& name,
 Result<TableDef*> Catalog::ReplayCreateTable(uint32_t oid,
                                              const std::string& name,
                                              std::vector<ColumnDef> columns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -76,14 +76,14 @@ Result<TableDef*> Catalog::ReplayCreateTable(uint32_t oid,
 }
 
 Result<TableDef*> Catalog::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   return it->second.get();
 }
 
 Result<TableDef*> Catalog::GetTableByOid(uint32_t oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto& [name, def] : tables_) {
     if (def->oid == oid) return def.get();
   }
@@ -91,7 +91,7 @@ Result<TableDef*> Catalog::GetTableByOid(uint32_t oid) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table " + name);
   if (it->second->is_virtual) {
@@ -113,7 +113,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 std::vector<TableDef*> Catalog::AllTables() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<TableDef*> out;
   for (auto& [name, def] : tables_) {
     if (!def->is_virtual) out.push_back(def.get());
@@ -125,7 +125,7 @@ Result<IndexDef*> Catalog::CreateIndex(const std::string& index_name,
                                        const std::string& table_name,
                                        std::vector<int> column_indexes,
                                        bool unique) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (indexes_.count(index_name) != 0) {
     return Status::AlreadyExists("index " + index_name);
   }
@@ -158,7 +158,7 @@ Result<IndexDef*> Catalog::ReplayCreateIndex(uint32_t oid,
                                              uint32_t table_oid,
                                              std::vector<int> column_indexes,
                                              bool unique) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (indexes_.count(index_name) != 0) {
     return Status::AlreadyExists("index " + index_name);
   }
@@ -175,14 +175,14 @@ Result<IndexDef*> Catalog::ReplayCreateIndex(uint32_t oid,
 }
 
 Result<IndexDef*> Catalog::GetIndex(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = indexes_.find(name);
   if (it == indexes_.end()) return Status::NotFound("index " + name);
   return it->second.get();
 }
 
 Result<IndexDef*> Catalog::GetIndexByOid(uint32_t oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto& [name, def] : indexes_) {
     if (def->oid == oid) return def.get();
   }
@@ -190,13 +190,13 @@ Result<IndexDef*> Catalog::GetIndexByOid(uint32_t oid) {
 }
 
 Status Catalog::DropIndex(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (indexes_.erase(name) == 0) return Status::NotFound("index " + name);
   return Status::OK();
 }
 
 std::vector<IndexDef*> Catalog::TableIndexes(uint32_t table_oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<IndexDef*> out;
   for (auto& [name, def] : indexes_) {
     if (def->table_oid == table_oid) out.push_back(def.get());
@@ -205,14 +205,14 @@ std::vector<IndexDef*> Catalog::TableIndexes(uint32_t table_oid) {
 }
 
 Status Catalog::AddForeignKey(ForeignKey fk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   fks_.push_back(fk);
   return Status::OK();
 }
 
 bool Catalog::HasForeignKey(uint32_t table_oid, int col,
                             uint32_t ref_table_oid, int ref_col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (const ForeignKey& fk : fks_) {
     if (fk.table_oid == table_oid && fk.column_index == col &&
         fk.ref_table_oid == ref_table_oid && fk.ref_column_index == ref_col) {
@@ -223,7 +223,7 @@ bool Catalog::HasForeignKey(uint32_t table_oid, int col,
 }
 
 Status Catalog::CreateProcedure(ProcedureDef def) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const std::string name = def.name;
   if (procedures_.count(name) != 0) {
     return Status::AlreadyExists("procedure " + name);
@@ -234,26 +234,26 @@ Status Catalog::CreateProcedure(ProcedureDef def) {
 
 Result<const ProcedureDef*> Catalog::GetProcedure(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = procedures_.find(name);
   if (it == procedures_.end()) return Status::NotFound("procedure " + name);
   return &it->second;
 }
 
 void Catalog::SetOption(const std::string& name, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   options_[name] = value;
 }
 
 std::string Catalog::GetOption(const std::string& name,
                                const std::string& default_value) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = options_.find(name);
   return it == options_.end() ? default_value : it->second;
 }
 
 void Catalog::SetDttModel(const os::DttModel& model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   dtt_model_ = model;
 }
 

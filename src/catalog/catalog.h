@@ -12,6 +12,8 @@
 #include "catalog/schema.h"
 #include "os/dtt_model.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::catalog {
 
 /// System catalog: tables, indexes, referential-integrity constraints,
@@ -85,7 +87,7 @@ class Catalog {
   const os::DttModel& dtt_model() const { return dtt_model_; }
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kCatalog> mu_;
   uint32_t next_oid_ = 1;
   std::map<std::string, std::unique_ptr<TableDef>> tables_;
   std::map<std::string, std::unique_ptr<IndexDef>> indexes_;

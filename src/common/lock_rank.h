@@ -1,0 +1,340 @@
+#ifndef HDB_COMMON_LOCK_RANK_H_
+#define HDB_COMMON_LOCK_RANK_H_
+
+// Ranked-mutex layer: every latch in the engine is declared with an explicit
+// LockRank, and (in HDB_LOCK_RANK_ENABLED builds) a per-thread held-rank
+// stack aborts the process the moment any thread acquires locks out of
+// hierarchy order — naming both the held site and the offending site. With
+// the check disabled the wrappers compile down to bare std::mutex /
+// std::shared_mutex / std::recursive_mutex with zero overhead.
+//
+// The rank values encode the engine's global acquisition order (outermost =
+// lowest). The full table, with what each latch protects and why it sits
+// where it does, lives in DESIGN.md §8; keep the two in sync.
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(HDB_LOCK_RANK_ENABLED)
+#include <source_location>
+#endif
+
+namespace hdb {
+
+// Lower rank = acquired earlier (outermost). A thread may only acquire a
+// lock whose rank is strictly greater than every rank it already holds,
+// with two documented exceptions (see OnAcquire): shared locks may stack at
+// the same rank (two table scans in one query), and recursive-mutex ranks
+// may re-enter their own rank (histogram self/dual locking).
+enum class LockRank : uint16_t {
+  kCatalogDdl = 10,         // engine/database.h ddl_mu_ (DDL vs statements)
+  kMetricsRegistry = 15,    // obs/metrics.h (Snapshot calls subsystem stats())
+  kAdmissionGate = 20,      // exec/admission_gate.h (MPL queue + cv)
+  kEngineObjects = 25,      // engine/database.h objects_mu_ (heap/index maps)
+  kCatalog = 30,            // catalog/catalog.h (schema maps)
+  kCheckpointGovernor = 40, // wal/checkpoint_governor.h (fuzzy ckpt runner)
+  kPoolGovernor = 45,       // storage/pool_governor.h (resize decisions)
+  kTaskMemory = 50,         // exec/memory_governor.h (per-task consumers)
+  kMplController = 55,      // exec/mpl_controller.h (MPL poll state)
+  kLockManager = 60,        // txn/lock_manager.h (row-lock ext. hash table)
+  kTxnManager = 65,         // txn/transaction.h (txn table + redo append)
+  kParallelDispenser = 68,  // exec/parallel.h (scan row dispenser; advances
+                            // the heap iterator — which latches the heap per
+                            // step — inside its critical section)
+  kTableHeap = 70,          // table/table_heap.h latch_ (heap pages/chain)
+  kIndex = 75,              // index/btree.h latch_ (tree structure)
+  kStatsRegistry = 80,      // stats/stats_registry.h (column stats map)
+  kHistogram = 85,          // stats/histogram.h (recursive; dual-lock joins)
+  kProcStats = 88,          // stats/proc_stats.h (procedure cost EMAs)
+  kParallelMerge = 95,      // exec/parallel.cc (worker merge)
+  kBufferPool = 100,        // storage/buffer_pool.h (frames + page table)
+  kWalGroupCommit = 110,    // wal/wal_manager.h gc_mu_ (commit batching)
+  kWalFlush = 115,          // wal/wal_manager.h flush_mu_ (flush sections)
+  kWalBuffer = 120,         // wal/wal_manager.h mu_ (log tail + append)
+  kDiskManager = 130,       // storage/disk_manager.h (page I/O + bitmap)
+  kStableStorage = 140,     // os/stable_storage.h (fault-injecting medium)
+  kMemoryEnv = 145,         // os/memory_env.h (working-set accounting)
+  kDecisionLog = 150,       // obs/decision_log.h (governor decision ring)
+  kTracer = 155,            // profile/tracer.h (trace event buffer)
+  kTraceHook = 160,         // engine/database.h trace_mu_ (hook pointer)
+  kStatementShapes = 165,   // engine/database.h shapes_mu_ (statement stats)
+};
+
+// Human-readable name for abort reports and DESIGN.md cross-reference.
+const char* LockRankName(LockRank rank);
+
+#if defined(HDB_LOCK_RANK_ENABLED)
+using LockSite = std::source_location;
+#define HDB_LOCK_SITE ::std::source_location::current()
+#else
+// Zero-size stand-in so lock()/guard signatures are identical in both
+// builds; the compiler erases it entirely.
+struct LockSite {};
+#define HDB_LOCK_SITE ::hdb::LockSite {}
+#endif
+
+namespace lock_rank_internal {
+
+// How an acquisition participates in the rank check.
+enum class LockMode : uint8_t {
+  kExclusive,  // rank must be strictly greater than every held rank
+  kShared,     // same-rank stacking allowed iff all holders at it are shared
+  kRecursive,  // same-rank re-entry allowed (even on the same mutex)
+};
+
+#if defined(HDB_LOCK_RANK_ENABLED)
+// Validates the acquisition against this thread's held stack and pushes it;
+// on violation prints both sites and aborts. `mutex` is identity only.
+void OnAcquire(const void* mutex, LockRank rank, LockMode mode,
+               const LockSite& site);
+// Pops the topmost held entry for `mutex`; aborts if this thread does not
+// hold it (release on the wrong thread, double unlock).
+void OnRelease(const void* mutex);
+#else
+inline void OnAcquire(const void*, LockRank, LockMode, const LockSite&) {}
+inline void OnRelease(const void*) {}
+#endif
+
+}  // namespace lock_rank_internal
+
+// --- Mutex wrappers -------------------------------------------------------
+//
+// The lock()/try_lock()/unlock() methods take a defaulted LockSite so the
+// *caller's* file:line is what a violation report names. Always acquire
+// through the guard types below (or a defaulted call site); never pass an
+// explicit site except when forwarding one (UniqueLock re-lock).
+
+template <LockRank R>
+class RankedMutex {
+ public:
+  RankedMutex() = default;
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock(LockSite site = HDB_LOCK_SITE) {
+    lock_rank_internal::OnAcquire(this, R,
+                                  lock_rank_internal::LockMode::kExclusive,
+                                  site);
+    mu_.lock();
+  }
+  bool try_lock(LockSite site = HDB_LOCK_SITE) {
+    // Check first: a try_lock that *would* deadlock if it ever contended is
+    // still a hierarchy bug, and checking unconditionally keeps detection
+    // deterministic rather than interleaving-dependent.
+    lock_rank_internal::OnAcquire(this, R,
+                                  lock_rank_internal::LockMode::kExclusive,
+                                  site);
+    if (mu_.try_lock()) return true;
+    lock_rank_internal::OnRelease(this);
+    return false;
+  }
+  void unlock() {
+    lock_rank_internal::OnRelease(this);
+    mu_.unlock();
+  }
+
+  static constexpr LockRank rank() { return R; }
+
+ private:
+  std::mutex mu_;
+};
+
+template <LockRank R>
+class RankedSharedMutex {
+ public:
+  RankedSharedMutex() = default;
+  RankedSharedMutex(const RankedSharedMutex&) = delete;
+  RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
+
+  void lock(LockSite site = HDB_LOCK_SITE) {
+    lock_rank_internal::OnAcquire(this, R,
+                                  lock_rank_internal::LockMode::kExclusive,
+                                  site);
+    mu_.lock();
+  }
+  void unlock() {
+    lock_rank_internal::OnRelease(this);
+    mu_.unlock();
+  }
+  void lock_shared(LockSite site = HDB_LOCK_SITE) {
+    lock_rank_internal::OnAcquire(
+        this, R, lock_rank_internal::LockMode::kShared, site);
+    mu_.lock_shared();
+  }
+  void unlock_shared() {
+    lock_rank_internal::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+  static constexpr LockRank rank() { return R; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+template <LockRank R>
+class RankedRecursiveMutex {
+ public:
+  RankedRecursiveMutex() = default;
+  RankedRecursiveMutex(const RankedRecursiveMutex&) = delete;
+  RankedRecursiveMutex& operator=(const RankedRecursiveMutex&) = delete;
+
+  void lock(LockSite site = HDB_LOCK_SITE) {
+    lock_rank_internal::OnAcquire(this, R,
+                                  lock_rank_internal::LockMode::kRecursive,
+                                  site);
+    mu_.lock();
+  }
+  void unlock() {
+    lock_rank_internal::OnRelease(this);
+    mu_.unlock();
+  }
+
+  static constexpr LockRank rank() { return R; }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+// --- Guard types ----------------------------------------------------------
+//
+// std::lock_guard-family over a ranked mutex would capture the defaulted
+// source_location inside the STL header, so the engine uses these instead.
+// They are deliberately minimal: exactly the operations the engine needs.
+
+// Scoped exclusive lock (std::lock_guard equivalent).
+template <typename MutexT>
+class LockGuard {
+ public:
+  explicit LockGuard(MutexT& mu, LockSite site = HDB_LOCK_SITE) : mu_(mu) {
+    mu_.lock(site);
+  }
+  ~LockGuard() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  MutexT& mu_;
+};
+
+// Scoped shared lock (std::shared_lock-as-guard equivalent).
+template <typename MutexT>
+class SharedLockGuard {
+ public:
+  explicit SharedLockGuard(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+      : mu_(mu) {
+    mu_.lock_shared(site);
+  }
+  ~SharedLockGuard() { mu_.unlock_shared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  MutexT& mu_;
+};
+
+// Movable exclusive lock (std::unique_lock equivalent): supports defer/try
+// construction, manual unlock()/lock() (condition-variable waits, the buffer
+// pool's drop-the-latch-around-the-fsync-barrier dance), and move. Re-locks
+// report the guard's original construction site.
+template <typename MutexT>
+class UniqueLock {
+ public:
+  UniqueLock() = default;
+  explicit UniqueLock(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+      : mu_(&mu), site_(site) {
+    mu_->lock(site_);
+    owns_ = true;
+  }
+  UniqueLock(MutexT& mu, std::defer_lock_t, LockSite site = HDB_LOCK_SITE)
+      : mu_(&mu), site_(site) {}
+  UniqueLock(MutexT& mu, std::try_to_lock_t, LockSite site = HDB_LOCK_SITE)
+      : mu_(&mu), site_(site) {
+    owns_ = mu_->try_lock(site_);
+  }
+  ~UniqueLock() {
+    if (owns_) mu_->unlock();
+  }
+  UniqueLock(UniqueLock&& other) noexcept
+      : mu_(other.mu_), site_(other.site_), owns_(other.owns_) {
+    other.mu_ = nullptr;
+    other.owns_ = false;
+  }
+  UniqueLock& operator=(UniqueLock&& other) noexcept {
+    if (this != &other) {
+      if (owns_) mu_->unlock();
+      mu_ = other.mu_;
+      site_ = other.site_;
+      owns_ = other.owns_;
+      other.mu_ = nullptr;
+      other.owns_ = false;
+    }
+    return *this;
+  }
+
+  void lock() {
+    mu_->lock(site_);
+    owns_ = true;
+  }
+  void unlock() {
+    mu_->unlock();
+    owns_ = false;
+  }
+  bool owns_lock() const { return owns_; }
+
+ private:
+  MutexT* mu_ = nullptr;
+  LockSite site_{};
+  bool owns_ = false;
+};
+
+// Movable shared lock (std::shared_lock equivalent).
+template <typename MutexT>
+class SharedLock {
+ public:
+  SharedLock() = default;
+  explicit SharedLock(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+      : mu_(&mu), site_(site) {
+    mu_->lock_shared(site_);
+    owns_ = true;
+  }
+  ~SharedLock() {
+    if (owns_) mu_->unlock_shared();
+  }
+  SharedLock(SharedLock&& other) noexcept
+      : mu_(other.mu_), site_(other.site_), owns_(other.owns_) {
+    other.mu_ = nullptr;
+    other.owns_ = false;
+  }
+  SharedLock& operator=(SharedLock&& other) noexcept {
+    if (this != &other) {
+      if (owns_) mu_->unlock_shared();
+      mu_ = other.mu_;
+      site_ = other.site_;
+      owns_ = other.owns_;
+      other.mu_ = nullptr;
+      other.owns_ = false;
+    }
+    return *this;
+  }
+
+  void lock() {
+    mu_->lock_shared(site_);
+    owns_ = true;
+  }
+  void unlock() {
+    mu_->unlock_shared();
+    owns_ = false;
+  }
+  bool owns_lock() const { return owns_; }
+
+ private:
+  MutexT* mu_ = nullptr;
+  LockSite site_{};
+  bool owns_ = false;
+};
+
+}  // namespace hdb
+
+#endif  // HDB_COMMON_LOCK_RANK_H_

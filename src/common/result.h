@@ -11,8 +11,11 @@ namespace hdb {
 
 /// A value-or-error holder, the Result/StatusOr idiom. A Result is either an
 /// OK status together with a T, or a non-OK Status and no value.
+///
+/// [[nodiscard]] like Status: intentional drops go through IgnoreError()
+/// with a justification comment.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return 42;` inside a Result<int> function.
   Result(T value) : repr_(std::move(value)) {}
@@ -56,6 +59,10 @@ class Result {
  private:
   std::variant<Status, T> repr_;
 };
+
+/// Explicitly discards a Result (see the Status overload in status.h).
+template <typename T>
+void IgnoreError(const Result<T>&) {}
 
 /// Evaluates a Result-returning expression; on error returns the error to
 /// the caller, otherwise assigns the value into `lhs` (a declaration).

@@ -33,7 +33,11 @@ std::string_view StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case (no
 /// allocation); error messages are heap-allocated strings.
-class Status {
+///
+/// [[nodiscard]]: dropping a Status on the floor is a bug unless stated
+/// otherwise — intentional drops must go through IgnoreError() with a
+/// justification comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,6 +99,11 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Explicitly discards a Status. The only sanctioned way to ignore an
+/// error: the call site must carry a one-line comment saying why dropping
+/// it is correct (best-effort cleanup, error already folded elsewhere, ...).
+inline void IgnoreError(const Status&) {}
 
 /// Propagates a non-OK Status to the caller.
 #define HDB_RETURN_IF_ERROR(expr)                  \

@@ -101,7 +101,7 @@ Database::~Database() {
     // would mask the fault-injection result, and recovery handles the rest.
     if (checkpoint_governor_ != nullptr && disk_->media() != nullptr &&
         !disk_->media()->crashed()) {
-      (void)checkpoint_governor_->ForceCheckpoint("shutdown");
+      IgnoreError(checkpoint_governor_->ForceCheckpoint("shutdown"));
     }
     wal_->Shutdown();
   }
@@ -249,7 +249,7 @@ Status Database::RebuildAfterRecovery() {
             tree->Insert(OrderPreservingHash(row[idx->column_indexes[0]]),
                          rid));
       }
-      std::lock_guard<std::mutex> lock(objects_mu_);
+      LockGuard lock(objects_mu_);
       btrees_[idx->oid] = std::move(tree);
     }
   }
@@ -477,7 +477,7 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
       break;
     }
     case kSysStatements: {
-      std::lock_guard<std::mutex> lock(shapes_mu_);
+      LockGuard lock(shapes_mu_);
       for (const auto& [shape, s] : statement_shapes_) {
         rows.push_back(
             {Value::String(shape),
@@ -494,7 +494,7 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
 
 void Database::RecordStatementShape(const std::string& shape, double micros,
                                     uint64_t rows) {
-  std::lock_guard<std::mutex> lock(shapes_mu_);
+  LockGuard lock(shapes_mu_);
   // Bounded: an adversarial workload of unique shapes must not grow the
   // map without limit.
   if (statement_shapes_.size() >= 512 &&
@@ -544,7 +544,7 @@ std::string Database::TelemetrySnapshotJson() {
   out += "\n  ],\n  \"statements\": [";
   first = true;
   {
-    std::lock_guard<std::mutex> lock(shapes_mu_);
+    LockGuard lock(shapes_mu_);
     for (const auto& [shape, s] : statement_shapes_) {
       if (!first) out += ",";
       first = false;
@@ -567,7 +567,7 @@ Result<std::unique_ptr<Connection>> Database::Connect() {
 }
 
 table::TableHeap* Database::heap(uint32_t table_oid) {
-  std::lock_guard<std::mutex> lock(objects_mu_);
+  LockGuard lock(objects_mu_);
   auto it = heaps_.find(table_oid);
   if (it != heaps_.end()) return it->second.get();
   auto def = catalog_->GetTableByOid(table_oid);
@@ -579,7 +579,7 @@ table::TableHeap* Database::heap(uint32_t table_oid) {
 }
 
 index::BTree* Database::btree(uint32_t index_oid) {
-  std::lock_guard<std::mutex> lock(objects_mu_);
+  LockGuard lock(objects_mu_);
   auto it = btrees_.find(index_oid);
   return it == btrees_.end() ? nullptr : it->second.get();
 }
@@ -617,7 +617,7 @@ void Database::Tick(int64_t micros) {
 
 Status Database::LoadTable(const std::string& table,
                            const std::vector<table::Row>& rows) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  UniqueLock ddl(ddl_mu_);
   return LoadTableLocked(table, rows);
 }
 
@@ -661,7 +661,7 @@ Status Database::LoadTableLocked(const std::string& table,
     // If an undo step itself fails, Abort returns without the kAbort
     // record and recovery classifies the transaction as a loser, undoing
     // the remainder from the log — both exits are consistent.
-    (void)txn_manager_->Abort(txn, [&](const txn::UndoRecord& rec) -> Status {
+    IgnoreError(txn_manager_->Abort(txn, [&](const txn::UndoRecord& rec) -> Status {
       const wal::WalManager::TxnScope clr_scope(txn->id(), /*clr=*/true);
       const auto row = table::DecodeRow(*def, rec.before_image.data(),
                                         rec.before_image.size());
@@ -669,12 +669,13 @@ Status Database::LoadTableLocked(const std::string& table,
         for (catalog::IndexDef* idx : indexes) {
           index::BTree* tree = btree(idx->oid);
           if (tree == nullptr) continue;
-          (void)tree->Remove(
-              OrderPreservingHash((*row)[idx->column_indexes[0]]), rec.rid);
+          // Best-effort unhook: the row may never have been indexed.
+          IgnoreError(tree->Remove(
+              OrderPreservingHash((*row)[idx->column_indexes[0]]), rec.rid));
         }
       }
       return h->Delete(rec.rid);
-    });
+    }));
     return load_status;
   }
   HDB_RETURN_IF_ERROR(txn_manager_->Commit(txn));
@@ -686,7 +687,7 @@ Status Database::LoadTableLocked(const std::string& table,
 }
 
 Status Database::BuildStatistics(const std::string& table, int column) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  UniqueLock ddl(ddl_mu_);
   return BuildStatisticsLocked(table, column);
 }
 
@@ -718,7 +719,7 @@ Status Database::BuildStatisticsLocked(const std::string& table, int column) {
 }
 
 Status Database::Calibrate(const os::CalibrationOptions& opts) {
-  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
+  UniqueLock ddl(ddl_mu_);
   return CalibrateLocked(opts);
 }
 
@@ -797,7 +798,7 @@ Status Database::CreateIndexImpl(const CreateIndexAst& ast) {
   }));
   HDB_RETURN_IF_ERROR(status);
   {
-    std::lock_guard<std::mutex> lock(objects_mu_);
+    LockGuard lock(objects_mu_);
     btrees_[idx->oid] = std::move(tree);
   }
 
@@ -816,7 +817,7 @@ Status Database::DropTableImpl(const std::string& name) {
   HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlDropTable,
                              wal::EncodeDdlDropName(name)));
   {
-    std::lock_guard<std::mutex> lock(objects_mu_);
+    LockGuard lock(objects_mu_);
     for (catalog::IndexDef* idx : catalog_->TableIndexes(oid)) {
       btrees_.erase(idx->oid);
     }
@@ -833,7 +834,7 @@ Status Database::DropIndexImpl(const std::string& name) {
   HDB_RETURN_IF_ERROR(LogDdl(wal::WalRecordType::kDdlDropIndex,
                              wal::EncodeDdlDropName(name)));
   {
-    std::lock_guard<std::mutex> lock(objects_mu_);
+    LockGuard lock(objects_mu_);
     btrees_.erase(oid);
   }
   return catalog_->DropIndex(name);
@@ -850,8 +851,10 @@ Connection::~Connection() {
   if (txn_ != nullptr) {
     // Rollback touches table heaps: hold the DDL latch shared like any
     // other statement would.
-    std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
-    (void)db_->txn_manager().Abort(txn_, MakeUndoApplier(txn_));
+    SharedLock ddl(db_->ddl_mu_);
+    // Destructor rollback is best-effort (no error channel); if an undo
+    // step fails, recovery finishes the job from the log.
+    IgnoreError(db_->txn_manager().Abort(txn_, MakeUndoApplier(txn_)));
   }
   db_->connections_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -913,7 +916,9 @@ Status Connection::MaintainOnDelete(catalog::TableDef* table, Rid rid,
   for (catalog::IndexDef* idx : db_->catalog().TableIndexes(table->oid)) {
     index::BTree* tree = db_->btree(idx->oid);
     if (tree == nullptr) continue;
-    (void)tree->Remove(OrderPreservingHash(row[idx->column_indexes[0]]), rid);
+    // Index unhook is best-effort: a missing entry means nothing to remove.
+    IgnoreError(
+        tree->Remove(OrderPreservingHash(row[idx->column_indexes[0]]), rid));
   }
   for (size_t c = 0; c < row.size(); ++c) {
     db_->stats().OnDeleteValue(table->oid, static_cast<int>(c), row[c]);
@@ -1177,7 +1182,9 @@ Result<QueryResult> Connection::ExecuteInsert(const InsertAst& ast) {
       return Status::OK();
     }();
     if (!status.ok()) {
-      (void)FinishAuto(txn, auto_started, /*ok=*/false);
+      // The statement's own error wins; an abort-side failure is
+      // finished by recovery from the log.
+      IgnoreError(FinishAuto(txn, auto_started, /*ok=*/false));
       return status;
     }
     out.rows_affected++;
@@ -1236,7 +1243,8 @@ Result<QueryResult> Connection::ExecuteUpdate(const UpdateAst& ast) {
         const double new_key =
             OrderPreservingHash(new_row[idx->column_indexes[0]]);
         if (old_key != new_key || !(rid == new_rid)) {
-          (void)tree->Remove(old_key, rid);
+          // Best-effort unhook, as in MaintainOnDelete.
+          IgnoreError(tree->Remove(old_key, rid));
           HDB_RETURN_IF_ERROR(tree->Insert(new_key, new_rid));
         }
       }
@@ -1253,7 +1261,9 @@ Result<QueryResult> Connection::ExecuteUpdate(const UpdateAst& ast) {
       return db_->txn_manager().AppendRedo(txn->id(), "U " + new_bytes);
     }();
     if (!status.ok()) {
-      (void)FinishAuto(txn, auto_started, /*ok=*/false);
+      // The statement's own error wins; an abort-side failure is
+      // finished by recovery from the log.
+      IgnoreError(FinishAuto(txn, auto_started, /*ok=*/false));
       return status;
     }
     out.rows_affected++;
@@ -1290,7 +1300,9 @@ Result<QueryResult> Connection::ExecuteDelete(const DeleteAst& ast) {
       return db_->txn_manager().AppendRedo(txn->id(), "D " + bytes);
     }();
     if (!status.ok()) {
-      (void)FinishAuto(txn, auto_started, /*ok=*/false);
+      // The statement's own error wins; an abort-side failure is
+      // finished by recovery from the log.
+      IgnoreError(FinishAuto(txn, auto_started, /*ok=*/false));
       return status;
     }
     out.rows_affected++;
@@ -1423,10 +1435,10 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     DepthGuard depth(&exec_depth_);
     if (is_ddl) {
-      std::unique_lock<std::shared_mutex> ddl(db_->ddl_mu_);
+      UniqueLock ddl(db_->ddl_mu_);
       return ExecuteParsed(stmt, sql);
     }
-    std::shared_lock<std::shared_mutex> ddl(db_->ddl_mu_);
+    SharedLock ddl(db_->ddl_mu_);
     return ExecuteParsed(stmt, sql);
   }();
   const double exec_micros = WallMicros() - exec_start;

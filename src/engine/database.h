@@ -38,6 +38,8 @@
 #include "wal/recovery.h"
 #include "wal/wal_manager.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::engine {
 
 /// Simulated device backing the database's I/O cost (DESIGN.md
@@ -182,7 +184,7 @@ class Database {
   /// thread-safe (it runs on whichever session thread finished a request).
   using TraceHook = std::function<void(const TraceEvent&)>;
   void set_trace_hook(TraceHook hook) {
-    std::lock_guard<std::mutex> lock(trace_mu_);
+    LockGuard lock(trace_mu_);
     trace_hook_ = std::move(hook);
   }
 
@@ -230,7 +232,7 @@ class Database {
   void EmitTrace(const TraceEvent& ev) {
     TraceHook hook;
     {
-      std::lock_guard<std::mutex> lock(trace_mu_);
+      LockGuard lock(trace_mu_);
       hook = trace_hook_;
     }
     if (hook) hook(ev);
@@ -265,15 +267,15 @@ class Database {
   /// Statement-level DDL latch: queries and DML hold it shared, DDL holds
   /// it exclusive. Guarantees heap()/btree() pointers stay valid for the
   /// duration of a statement without per-row object locking.
-  mutable std::shared_mutex ddl_mu_;
+  mutable RankedSharedMutex<LockRank::kCatalogDdl> ddl_mu_;
 
   /// Guards the lazily populated object maps below (lookup + creation).
   /// The mapped objects themselves carry their own latches.
-  mutable std::mutex objects_mu_;
+  mutable RankedMutex<LockRank::kEngineObjects> objects_mu_;
   std::map<uint32_t, std::unique_ptr<table::TableHeap>> heaps_;
   std::map<uint32_t, std::unique_ptr<index::BTree>> btrees_;
 
-  mutable std::mutex trace_mu_;
+  mutable RankedMutex<LockRank::kTraceHook> trace_mu_;
   TraceHook trace_hook_;
   std::atomic<int> connections_{0};
 
@@ -286,7 +288,7 @@ class Database {
     double total_micros = 0;
     uint64_t rows_returned = 0;
   };
-  mutable std::mutex shapes_mu_;
+  mutable RankedMutex<LockRank::kStatementShapes> shapes_mu_;
   std::map<std::string, ShapeStats> statement_shapes_;
 
   // Statement counters and phase-latency histograms (registered in Init;

@@ -20,7 +20,7 @@ AdmissionGate::AdmissionGate(MemoryGovernor* governor,
 
 Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
   if (!options_.enabled) return Ticket();
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   const auto capacity = [this] {
     return static_cast<uint64_t>(
         std::max(1, governor_->multiprogramming_level()));
@@ -54,7 +54,7 @@ Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
 
 void AdmissionGate::ReleaseSlot() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     if (active_ > 0) --active_;
   }
   cv_.notify_one();
@@ -69,12 +69,12 @@ void AdmissionGate::AttachTelemetry(obs::MetricsRegistry* registry) {
   obs::LatencyHistogram* hist =
       registry != nullptr ? registry->RegisterHistogram(obs::kGateWaitMicros)
                           : nullptr;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   wait_hist_ = hist;
 }
 
 AdmissionGateStats AdmissionGate::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   AdmissionGateStats s;
   s.admitted_immediately = admitted_immediately_;
   s.admitted_after_wait = admitted_after_wait_;

@@ -9,6 +9,8 @@
 #include "exec/memory_governor.h"
 #include "obs/metrics.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::exec {
 
 struct AdmissionGateOptions {
@@ -101,8 +103,8 @@ class AdmissionGate {
   MemoryGovernor* governor_;
   AdmissionGateOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable RankedMutex<LockRank::kAdmissionGate> mu_;
+  std::condition_variable_any cv_;
   uint64_t active_ = 0;
   uint64_t waiting_ = 0;
   uint64_t admitted_immediately_ = 0;

@@ -782,7 +782,9 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     size_t freed = 0;
     for (size_t i = 0; i < build_rows_.size(); ++i) {
       if (build_partition_[i] != p || build_rows_[i].empty()) continue;
-      (void)build_spill_[p]->Append(build_rows_[i]);
+      // Release callbacks have no error channel; a failed spill write
+      // surfaces when the partition is read back.
+      IgnoreError(build_spill_[p]->Append(build_rows_[i]));
       freed += 48 * build_rows_[i].size() + 64;
       build_rows_[i].clear();
       build_keys_[i] = Value::Null();
@@ -1140,7 +1142,8 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
         const auto enc = EncodeAggState(s);
         tuple.insert(tuple.end(), enc.begin(), enc.end());
       }
-      (void)spill_->Append(tuple);
+      // Release callbacks have no error channel (see hash-join spill).
+      IgnoreError(spill_->Append(tuple));
     }
     ec_->stats.group_by_used_fallback = true;
     ec_->stats.group_by_spilled_groups += groups_.size();
@@ -1323,7 +1326,8 @@ class SortOp : public Operator, public MemoryConsumer {
     SortPending();
     auto run = std::make_unique<SpillFile>(ec_->pool);
     for (const auto& r : pending_) {
-      (void)run->Append(Flatten(r));
+      // Release callbacks have no error channel (see hash-join spill).
+      IgnoreError(run->Append(Flatten(r)));
     }
     runs_.push_back(std::move(run));
     ec_->stats.sort_runs_spilled++;

@@ -75,7 +75,7 @@ TaskMemoryContext::~TaskMemoryContext() {
 }
 
 uint64_t TaskMemoryContext::pages_charged() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return (bytes_ + governor_->pool()->page_bytes() - 1) /
          governor_->pool()->page_bytes();
 }
@@ -123,7 +123,7 @@ void TaskMemoryContext::ReclaimLocked() {
 }
 
 Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const uint64_t page_bytes = governor_->pool()->page_bytes();
   bytes_ += bytes;
   const uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
@@ -156,17 +156,17 @@ Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
 }
 
 void TaskMemoryContext::ReleaseBytes(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   bytes_ = bytes_ > bytes ? bytes_ - bytes : 0;
 }
 
 void TaskMemoryContext::RegisterConsumer(MemoryConsumer* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   consumers_.push_back(c);
 }
 
 void TaskMemoryContext::UnregisterConsumer(MemoryConsumer* c) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::erase(consumers_, c);
 }
 

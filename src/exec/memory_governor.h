@@ -13,6 +13,8 @@
 #include "os/virtual_clock.h"
 #include "storage/buffer_pool.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::exec {
 
 struct MemoryGovernorOptions {
@@ -138,7 +140,7 @@ class TaskMemoryContext {
   void ReclaimLocked();
 
   MemoryGovernor* governor_;
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kTaskMemory> mu_;
   uint64_t bytes_ = 0;
   std::vector<MemoryConsumer*> consumers_;
   uint64_t reclamations_ = 0;

@@ -17,7 +17,7 @@ void MplController::OnRequestComplete() {
 }
 
 std::vector<MplController::Sample> MplController::history() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return history_;
 }
 
@@ -32,7 +32,7 @@ void MplController::AttachTelemetry(obs::MetricsRegistry* registry,
     adaptations = registry->RegisterCounter(obs::kMplAdaptations);
     changes = registry->RegisterCounter(obs::kMplChanges);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   adaptations_counter_ = adaptations;
   changes_counter_ = changes;
   decisions_ = decisions;
@@ -46,7 +46,7 @@ bool MplController::MaybeAdapt() {
       options_.interval_micros) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const int64_t now = clock_->NowMicros();
   const int64_t start = interval_start_.load(std::memory_order_relaxed);
   if (now - start < options_.interval_micros) return false;  // lost race

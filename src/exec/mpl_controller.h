@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "os/virtual_clock.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::exec {
 
 struct MplControllerOptions {
@@ -71,7 +73,7 @@ class MplController {
 
   /// Guards the control state and the history; the completion counter is
   /// a relaxed atomic so it can be bumped outside the mutex.
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kMplController> mu_;
   std::atomic<int64_t> interval_start_;
   std::atomic<uint64_t> completed_in_interval_{0};
   double last_throughput_ = -1;

@@ -68,7 +68,7 @@ ParallelHashPipeline::RowDispenser::RowDispenser(table::TableHeap* heap,
 
 bool ParallelHashPipeline::RowDispenser::NextBatch(
     std::vector<std::string>* batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (done_) return false;
   batch->clear();
   Rid rid;
@@ -154,7 +154,7 @@ Result<ParallelHashPipeline::Stats> ParallelHashPipeline::Run() {
   table::TableHeap* probe_heap = heaps_(spec_.probe_table->oid);
   if (probe_heap == nullptr) return Status::Internal("missing probe heap");
   RowDispenser dispenser(probe_heap, 64);
-  std::mutex merge_mu;
+  RankedMutex<LockRank::kParallelMerge> merge_mu;
   std::vector<std::thread> threads;
   std::atomic<uint64_t> probe_rows{0}, output_rows{0}, bloom_rejects{0};
   std::atomic<bool> failed{false};
@@ -210,7 +210,7 @@ Result<ParallelHashPipeline::Stats> ParallelHashPipeline::Run() {
       bloom_rejects.fetch_add(local_bloom, std::memory_order_relaxed);
       if (!reduced_out) active_at_end.fetch_add(1, std::memory_order_relaxed);
       if (!local_groups.empty()) {
-        std::lock_guard<std::mutex> lock(merge_mu);
+        LockGuard lock(merge_mu);
         for (const auto& [k, v] : local_groups) stats_.groups[k] += v;
       }
     });

@@ -13,6 +13,8 @@
 #include "catalog/schema.h"
 #include "table/table_heap.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::exec {
 
 /// Adaptive intra-query parallelism (paper §4.4, after Manegold et al.):
@@ -92,7 +94,7 @@ class ParallelHashPipeline {
     bool NextBatch(std::vector<std::string>* batch);
 
    private:
-    std::mutex mu_;
+    RankedMutex<LockRank::kParallelDispenser> mu_;
     table::TableHeap::Iterator it_;
     size_t batch_rows_;
     bool done_ = false;

@@ -94,7 +94,7 @@ Result<PageId> BTree::NewNode(bool is_leaf) {
 }
 
 Status BTree::Init() {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   return InitLocked();
 }
 
@@ -284,7 +284,7 @@ Result<std::optional<BTree::SplitResult>> BTree::InsertRec(PageId node,
 }
 
 Status BTree::Insert(double key, Rid rid) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   HDB_RETURN_IF_ERROR(InitLocked());
   HDB_ASSIGN_OR_RETURN(auto split, InsertRec(def_->root_page, key, rid));
   if (split.has_value()) {
@@ -341,7 +341,7 @@ Result<PageId> BTree::FindLeaf(double key) const {
 Status BTree::ScanRange(double lo, bool lo_inclusive, double hi,
                         bool hi_inclusive,
                         const std::function<bool(double, Rid)>& fn) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  SharedLock latch(latch_);
   return ScanRangeLocked(lo, lo_inclusive, hi, hi_inclusive, fn);
 }
 
@@ -367,7 +367,7 @@ Status BTree::ScanRangeLocked(
 }
 
 Result<bool> BTree::Contains(double key) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  SharedLock latch(latch_);
   bool found = false;
   HDB_RETURN_IF_ERROR(ScanRangeLocked(key, true, key, true,
                                       [&found](double, Rid) {
@@ -378,7 +378,7 @@ Result<bool> BTree::Contains(double key) const {
 }
 
 Result<uint64_t> BTree::CountRange(double lo, double hi) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  SharedLock latch(latch_);
   uint64_t n = 0;
   HDB_RETURN_IF_ERROR(ScanRangeLocked(lo, true, hi, true, [&n](double, Rid) {
     ++n;
@@ -388,7 +388,7 @@ Result<uint64_t> BTree::CountRange(double lo, double hi) const {
 }
 
 Status BTree::Remove(double key, Rid rid) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   if (def_->root_page == kInvalidPageId) return Status::NotFound("empty");
   HDB_ASSIGN_OR_RETURN(PageId leaf, FindLeaf(key));
   while (leaf != kInvalidPageId) {

@@ -11,6 +11,8 @@
 #include "catalog/schema.h"
 #include "storage/buffer_pool.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::index {
 
 /// Live per-index statistics, maintained in real time during server
@@ -104,7 +106,7 @@ class BTree {
   /// pinned handles outside the buffer pool's latch, so structural
   /// modifications (Insert/Remove, root growth) are exclusive while
   /// lookups and range scans share.
-  mutable std::shared_mutex latch_;
+  mutable RankedSharedMutex<LockRank::kIndex> latch_;
 };
 
 }  // namespace hdb::index

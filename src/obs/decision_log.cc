@@ -12,7 +12,7 @@ DecisionLog::DecisionLog(size_t capacity)
 void DecisionLog::Record(int64_t at_micros, std::string governor,
                          std::string action, std::string reason, double input,
                          double output) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Decision d;
   d.seq = next_seq_++;
   d.at_micros = at_micros;
@@ -29,7 +29,7 @@ void DecisionLog::Record(int64_t at_micros, std::string governor,
 }
 
 std::vector<Decision> DecisionLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<Decision> out = ring_;
   std::sort(out.begin(), out.end(),
             [](const Decision& a, const Decision& b) { return a.seq < b.seq; });
@@ -37,7 +37,7 @@ std::vector<Decision> DecisionLog::Snapshot() const {
 }
 
 uint64_t DecisionLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return next_seq_;
 }
 

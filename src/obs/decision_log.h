@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+
 namespace hdb::obs {
 
 /// One self-management adjustment: which governor acted, what it did, why,
@@ -39,7 +41,7 @@ class DecisionLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kDecisionLog> mu_;
   uint64_t next_seq_ = 0;    // == total recorded
   std::vector<Decision> ring_;  // ring_[seq % capacity_]
 };

@@ -30,21 +30,21 @@ double LatencyHistogram::QuantileMicros(double q) const {
 }
 
 Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::RegisterGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::RegisterHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
@@ -52,12 +52,12 @@ LatencyHistogram* MetricsRegistry::RegisterHistogram(const std::string& name) {
 
 void MetricsRegistry::RegisterCallback(const std::string& name,
                                        std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   callbacks_[name] = std::move(fn);
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size() +
               callbacks_.size());
@@ -101,7 +101,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, c] : counters_) out.push_back(name);
   for (const auto& [name, g] : gauges_) out.push_back(name);

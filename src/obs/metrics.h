@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+
 namespace hdb::obs {
 
 /// Telemetry primitives (DESIGN.md §6). Mutation paths are relaxed atomics
@@ -130,7 +132,7 @@ class MetricsRegistry {
   std::vector<std::string> Names() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kMetricsRegistry> mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;

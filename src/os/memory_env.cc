@@ -5,17 +5,17 @@
 namespace hdb::os {
 
 void MemoryEnv::SetAllocation(const std::string& name, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   allocations_[name] = bytes;
 }
 
 void MemoryEnv::RemoveProcess(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   allocations_.erase(name);
 }
 
 uint64_t MemoryEnv::Allocation(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = allocations_.find(name);
   return it == allocations_.end() ? 0 : it->second;
 }
@@ -27,7 +27,7 @@ uint64_t MemoryEnv::TotalDemandLocked() const {
 }
 
 uint64_t MemoryEnv::WorkingSetSize(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = allocations_.find(name);
   if (it == allocations_.end()) return 0;
   const uint64_t demand = TotalDemandLocked();
@@ -38,7 +38,7 @@ uint64_t MemoryEnv::WorkingSetSize(const std::string& name) const {
 }
 
 uint64_t MemoryEnv::FreePhysical() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const uint64_t demand = TotalDemandLocked();
   return demand >= physical_ ? 0 : physical_ - demand;
 }

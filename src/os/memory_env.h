@@ -8,6 +8,8 @@
 
 #include "common/status.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::os {
 
 /// Simulated machine memory, the sensor for the buffer-pool feedback
@@ -55,7 +57,7 @@ class MemoryEnv {
   uint64_t TotalDemandLocked() const;
 
   const uint64_t physical_;
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kMemoryEnv> mu_;
   std::map<std::string, uint64_t> allocations_;
 };
 

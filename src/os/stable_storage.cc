@@ -29,7 +29,7 @@ bool StableStorage::ConsumeOpLocked() {
 }
 
 Status StableStorage::Write(uint64_t device_page, const char* in) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   writes_.fetch_add(1, std::memory_order_relaxed);
   if (!ConsumeOpLocked()) {
     return Status::IOError("injected crash: write dropped");
@@ -42,7 +42,7 @@ Status StableStorage::Write(uint64_t device_page, const char* in) {
 }
 
 Status StableStorage::Read(uint64_t device_page, char* out, bool* torn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (crashed_.load(std::memory_order_relaxed)) {
     return Status::IOError("injected crash: device offline");
   }
@@ -68,7 +68,7 @@ Status StableStorage::Read(uint64_t device_page, char* out, bool* torn) {
 }
 
 bool StableStorage::Contains(uint64_t device_page) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return pending_.count(device_page) > 0 || durable_.count(device_page) > 0;
 }
 
@@ -81,7 +81,7 @@ void StableStorage::ApplyPendingLocked(bool partial) {
 }
 
 Status StableStorage::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   syncs_.fetch_add(1, std::memory_order_relaxed);
   if (!ConsumeOpLocked()) {
     // Power failed while the batch was in flight: a random subset of the
@@ -120,7 +120,7 @@ void StableStorage::TearFreshestPendingLocked() {
 }
 
 void StableStorage::PowerCycle() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (faults_.torn_write) TearFreshestPendingLocked();
   if (faults_.short_write) {
     ApplyPendingLocked(/*partial=*/true);
@@ -131,13 +131,13 @@ void StableStorage::PowerCycle() {
 }
 
 void StableStorage::ScheduleCrash(int64_t after_ops) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   ops_until_crash_ = after_ops;
   if (after_ops >= 0) crashed_.store(false, std::memory_order_release);
 }
 
 int64_t StableStorage::MaxDurablePage(uint64_t begin, uint64_t end) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   int64_t best = -1;
   for (const auto& [page, img] : durable_) {
     if (page >= begin && page < end) {
@@ -148,7 +148,7 @@ int64_t StableStorage::MaxDurablePage(uint64_t begin, uint64_t end) const {
 }
 
 void StableStorage::DropRange(uint64_t begin, uint64_t end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::erase_if(durable_, [begin, end](const auto& kv) {
     return kv.first >= begin && kv.first < end;
   });
@@ -158,7 +158,7 @@ void StableStorage::DropRange(uint64_t begin, uint64_t end) {
 }
 
 uint64_t StableStorage::torn_page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t n = 0;
   for (const auto& [page, img] : durable_) {
     if (Crc32(img.bytes.data(), page_bytes_) != img.crc) ++n;
@@ -167,12 +167,12 @@ uint64_t StableStorage::torn_page_count() const {
 }
 
 uint64_t StableStorage::durable_page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return durable_.size();
 }
 
 uint64_t StableStorage::pending_page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return pending_.size();
 }
 

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::os {
 
 /// Fault-injection plan for a StableStorage. Everything is deterministic
@@ -109,7 +111,7 @@ class StableStorage {
   const uint32_t page_bytes_;
   FaultOptions faults_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kStableStorage> mu_;
   Rng rng_;
   std::unordered_map<uint64_t, Image> durable_;
   std::unordered_map<uint64_t, Image> pending_;

@@ -64,7 +64,7 @@ void RequestTracer::Detach() {
 void RequestTracer::Flush() {
   std::vector<std::string> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     batch.swap(pending_tuples_);
   }
   if (!batch.empty()) WriteBatch(std::move(batch));
@@ -93,7 +93,7 @@ void RequestTracer::OnEvent(const engine::TraceEvent& ev) {
 
   std::vector<std::string> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     events_.push_back(ev);
     if (sink_conn_ != nullptr) {
       pending_tuples_.push_back(

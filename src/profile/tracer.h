@@ -10,6 +10,8 @@
 #include "engine/database.h"
 #include "obs/metrics.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::profile {
 
 /// Captures a detailed trace of all server activity (paper §5). The trace
@@ -58,7 +60,7 @@ class RequestTracer {
   std::unique_ptr<engine::Connection> sink_conn_;
 
   /// Guards events_ and pending_tuples_; never held across a sink write.
-  std::mutex mu_;
+  RankedMutex<LockRank::kTracer> mu_;
   std::vector<engine::TraceEvent> events_;
   std::vector<std::string> pending_tuples_;  // rendered "(...)" row tuples
   std::atomic<uint64_t> dropped_{0};

@@ -19,7 +19,7 @@ Histogram::Histogram(TypeId type, Options options)
 
 Histogram::Histogram(Histogram&& other) noexcept
     : type_(other.type_), options_(other.options_) {
-  std::lock_guard<std::recursive_mutex> lock(other.mu_);
+  LockGuard lock(other.mu_);
   value_width_ = other.value_width_;
   lo_ = other.lo_;
   buckets_ = std::move(other.buckets_);
@@ -32,7 +32,14 @@ Histogram::Histogram(Histogram&& other) noexcept
 
 Histogram& Histogram::operator=(Histogram&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
+  // Address-ordered like JoinHistogram: the recursive rank permits the
+  // same-rank pair, ordering prevents an A=B / B=A deadlock.
+  RankedRecursiveMutex<LockRank::kHistogram>* lo =
+      this < &other ? &mu_ : &other.mu_;
+  RankedRecursiveMutex<LockRank::kHistogram>* hi =
+      this < &other ? &other.mu_ : &mu_;
+  LockGuard lock_lo(*lo);
+  LockGuard lock_hi(*hi);
   type_ = other.type_;
   options_ = other.options_;
   value_width_ = other.value_width_;
@@ -156,7 +163,7 @@ double Histogram::SingletonTotal() const {
 }
 
 bool Histogram::all_singletons() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (singletons_.empty()) return false;
   double b = 0;
   for (const Bucket& bk : buckets_) b += bk.count;
@@ -179,7 +186,7 @@ int Histogram::FindBucket(double v) const {
 }
 
 double Histogram::density() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   // Average selectivity of one non-singleton value.
   const double nonsingleton_rows = std::max(0.0, NonNullCount() - SingletonTotal());
   const double nonsingleton_distinct =
@@ -189,17 +196,17 @@ double Histogram::density() const {
 }
 
 double Histogram::EstimateDistinct() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   return std::max(distinct_estimate_, static_cast<double>(singletons_.size()));
 }
 
 double Histogram::EstimateIsNull() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   return total_ < kEps ? 0.0 : null_count_ / total_;
 }
 
 double Histogram::EstimateEquals(double v) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (total_ < kEps) return 0.0;
   const auto it = singletons_.find(v);
   if (it != singletons_.end()) return it->second / total_;
@@ -212,7 +219,7 @@ double Histogram::EstimateEquals(double v) const {
 
 double Histogram::EstimateRange(double lo, bool lo_inclusive, double hi,
                                 bool hi_inclusive) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (total_ < kEps || hi < lo) return 0.0;
   double rows = 0;
 
@@ -241,7 +248,7 @@ double Histogram::EstimateRange(double lo, bool lo_inclusive, double hi,
 }
 
 double Histogram::NonSingletonRangeRows(double lo, double hi) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   double rows = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     const double blo = BucketLo(i);
@@ -258,7 +265,7 @@ double Histogram::NonSingletonRangeRows(double lo, double hi) const {
 }
 
 double Histogram::NonSingletonDistinct() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   return std::max(
       1.0, distinct_estimate_ - static_cast<double>(singletons_.size()));
 }
@@ -280,7 +287,7 @@ void Histogram::AddToBuckets(double v, double count) {
 }
 
 void Histogram::OnInsert(double v, bool is_null) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   total_ += 1;
   if (is_null) {
     null_count_ += 1;
@@ -300,7 +307,7 @@ void Histogram::OnInsert(double v, bool is_null) {
 }
 
 void Histogram::OnDelete(double v, bool is_null) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (total_ >= 1) total_ -= 1;
   if (is_null) {
     if (null_count_ >= 1) null_count_ -= 1;
@@ -318,7 +325,7 @@ void Histogram::OnDelete(double v, bool is_null) {
 }
 
 void Histogram::FeedbackEquals(double v, double observed_fraction) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (total_ < kEps) return;
   const double observed_rows = observed_fraction * total_;
   auto it = singletons_.find(v);
@@ -361,7 +368,7 @@ void Histogram::FeedbackEquals(double v, double observed_fraction) {
 
 void Histogram::FeedbackRange(double lo, double hi,
                               double observed_fraction) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (total_ < kEps || buckets_.empty()) return;
   const double est = EstimateRange(lo, true, hi, true);
   if (est < kEps && observed_fraction < kEps) return;
@@ -390,7 +397,7 @@ void Histogram::FeedbackRange(double lo, double hi,
 }
 
 void Histogram::FeedbackIsNull(double observed_fraction) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  LockGuard lock(mu_);
   const double gain = options_.feedback_gain;
   null_count_ =
       (1 - gain) * null_count_ + gain * observed_fraction * total_;

@@ -9,6 +9,8 @@
 
 #include "common/types.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::stats {
 
 struct HistogramOptions {
@@ -89,15 +91,15 @@ class Histogram {
 
   // --- Introspection ---
   double total_rows() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    LockGuard lock(mu_);
     return total_;
   }
   size_t bucket_count() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    LockGuard lock(mu_);
     return buckets_.size();
   }
   size_t singleton_count() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    LockGuard lock(mu_);
     return singletons_.size();
   }
   /// Compressed representation: only singleton buckets remain.
@@ -105,13 +107,13 @@ class Histogram {
   /// Domain bounds, covering both equi-depth buckets and singleton
   /// buckets (a compressed all-singleton histogram has no buckets).
   double min_value() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    LockGuard lock(mu_);
     double lo = lo_;
     if (!singletons_.empty()) lo = std::min(lo, singletons_.begin()->first);
     return lo;
   }
   double max_value() const {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    LockGuard lock(mu_);
     double hi = buckets_.empty() ? lo_ : buckets_.back().hi;
     if (!singletons_.empty()) hi = std::max(hi, singletons_.rbegin()->first);
     return hi;
@@ -121,8 +123,9 @@ class Histogram {
   /// Pins the histogram across several calls (the lock is recursive, so
   /// the individual calls still locking internally is fine). JoinHistogram
   /// uses this to read a consistent snapshot of both input histograms.
-  std::unique_lock<std::recursive_mutex> Lock() const {
-    return std::unique_lock<std::recursive_mutex>(mu_);
+  UniqueLock<RankedRecursiveMutex<LockRank::kHistogram>> Lock(
+      LockSite site = HDB_LOCK_SITE) const {
+    return UniqueLock<RankedRecursiveMutex<LockRank::kHistogram>>(mu_, site);
   }
 
   // --- Join-histogram support (paper §3.2) ---
@@ -153,7 +156,7 @@ class Histogram {
   double SingletonTotal() const;
 
   /// Guards every field below against concurrent estimate / maintenance.
-  mutable std::recursive_mutex mu_;
+  mutable RankedRecursiveMutex<LockRank::kHistogram> mu_;
 
   TypeId type_;
   Options options_;

@@ -13,10 +13,9 @@ JoinHistogram::JoinHistogram(const Histogram& left, const Histogram& right) {
   // (the recursive mutex would allow it, but there is only one mutex).
   const Histogram* first = &left < &right ? &left : &right;
   const Histogram* second = &left < &right ? &right : &left;
-  std::unique_lock<std::recursive_mutex> first_lock = first->Lock();
-  std::unique_lock<std::recursive_mutex> second_lock =
-      first == second ? std::unique_lock<std::recursive_mutex>()
-                      : second->Lock();
+  auto first_lock = first->Lock();
+  auto second_lock = first == second ? decltype(second->Lock())()
+                                     : second->Lock();
 
   const double ltotal = left.total_rows();
   const double rtotal = right.total_rows();

@@ -28,7 +28,7 @@ bool DiffersSufficiently(const ProcInvocationStats& avg, double cpu,
 
 void ProcStatsRegistry::Record(const std::string& proc, uint64_t param_hash,
                                double cpu_micros, double cardinality) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Entry& e = procs_[proc];
   // A parameter signature with its own entry is "managed separately"
   // (paper §3.2): its invocations update the variant, not the average.
@@ -53,7 +53,7 @@ void ProcStatsRegistry::Record(const std::string& proc, uint64_t param_hash,
 ProcInvocationStats ProcStatsRegistry::Estimate(const std::string& proc,
                                                 uint64_t param_hash,
                                                 bool* found) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = procs_.find(proc);
   if (it == procs_.end() || it->second.average.invocations == 0) {
     *found = false;
@@ -66,7 +66,7 @@ ProcInvocationStats ProcStatsRegistry::Estimate(const std::string& proc,
 }
 
 size_t ProcStatsRegistry::variant_count(const std::string& proc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = procs_.find(proc);
   return it == procs_.end() ? 0 : it->second.variants.size();
 }

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string>
 
+#include "common/lock_rank.h"
+
 namespace hdb::stats {
 
 /// Summary of prior invocations: exponentially-weighted moving averages of
@@ -54,7 +56,7 @@ class ProcStatsRegistry {
   };
 
   Options options_;
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kProcStats> mu_;
   std::map<std::string, Entry> procs_;
 };
 

@@ -70,12 +70,12 @@ void StatsRegistry::BuildColumn(const catalog::TableDef& table, int col,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   columns_[{table.oid, col}] = std::move(stats);
 }
 
 void StatsRegistry::DropTable(uint32_t table_oid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto it = columns_.begin(); it != columns_.end();) {
     if (it->first.first == table_oid) {
       it = columns_.erase(it);
@@ -86,14 +86,14 @@ void StatsRegistry::DropTable(uint32_t table_oid) {
 }
 
 bool StatsRegistry::HasStats(uint32_t table_oid, int col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   return it != columns_.end() &&
          (it->second.histogram != nullptr || it->second.strings != nullptr);
 }
 
 ColumnStats& StatsRegistry::Ensure(uint32_t table_oid, int col, TypeId type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   ColumnStats& s = columns_[{table_oid, col}];
   if (s.histogram == nullptr && s.strings == nullptr) {
     s.type = type;
@@ -106,14 +106,14 @@ ColumnStats& StatsRegistry::Ensure(uint32_t table_oid, int col, TypeId type) {
 }
 
 const ColumnStats* StatsRegistry::Get(uint32_t table_oid, int col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   return it == columns_.end() ? nullptr : &it->second;
 }
 
 double StatsRegistry::SelEquals(uint32_t table_oid, int col,
                                 const Value& v) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end()) return DefaultSelectivity::kEquals;
   const ColumnStats& s = it->second;
@@ -130,7 +130,7 @@ double StatsRegistry::SelEquals(uint32_t table_oid, int col,
 double StatsRegistry::SelRange(uint32_t table_oid, int col, const Value* lo,
                                bool lo_inclusive, const Value* hi,
                                bool hi_inclusive) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end() || it->second.histogram == nullptr) {
     return DefaultSelectivity::kRange;
@@ -143,7 +143,7 @@ double StatsRegistry::SelRange(uint32_t table_oid, int col, const Value* lo,
 }
 
 double StatsRegistry::SelIsNull(uint32_t table_oid, int col) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end() || it->second.histogram == nullptr) {
     return DefaultSelectivity::kIsNull;
@@ -153,7 +153,7 @@ double StatsRegistry::SelIsNull(uint32_t table_oid, int col) const {
 
 double StatsRegistry::SelLike(uint32_t table_oid, int col,
                               const std::string& pattern) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end()) return DefaultSelectivity::kLike;
   const ColumnStats& s = it->second;
@@ -192,7 +192,7 @@ double StatsRegistry::SelLike(uint32_t table_oid, int col,
 
 void StatsRegistry::OnInsertValue(uint32_t table_oid, int col,
                                   const Value& v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end()) return;  // no stats yet: nothing to maintain
   ColumnStats& s = it->second;
@@ -209,7 +209,7 @@ void StatsRegistry::OnInsertValue(uint32_t table_oid, int col,
 
 void StatsRegistry::OnDeleteValue(uint32_t table_oid, int col,
                                   const Value& v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end()) return;
   ColumnStats& s = it->second;
@@ -225,7 +225,7 @@ void StatsRegistry::OnDeleteValue(uint32_t table_oid, int col,
 
 void StatsRegistry::FeedbackEquals(uint32_t table_oid, int col,
                                    const Value& v, double observed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end()) return;
   ColumnStats& s = it->second;
@@ -243,7 +243,7 @@ void StatsRegistry::FeedbackEquals(uint32_t table_oid, int col,
 void StatsRegistry::FeedbackRange(uint32_t table_oid, int col,
                                   const Value* lo, const Value* hi,
                                   double observed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end() || it->second.histogram == nullptr) return;
   Histogram& h = *it->second.histogram;
@@ -254,7 +254,7 @@ void StatsRegistry::FeedbackRange(uint32_t table_oid, int col,
 
 void StatsRegistry::FeedbackIsNull(uint32_t table_oid, int col,
                                    double observed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end() || it->second.histogram == nullptr) return;
   it->second.histogram->FeedbackIsNull(observed);
@@ -264,14 +264,14 @@ void StatsRegistry::FeedbackString(uint32_t table_oid, int col,
                                    StringPredicate pred,
                                    const std::string& operand,
                                    double observed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = columns_.find({table_oid, col});
   if (it == columns_.end() || it->second.strings == nullptr) return;
   it->second.strings->RecordPredicate(pred, operand, observed);
 }
 
 size_t StatsRegistry::column_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return columns_.size();
 }
 

@@ -12,6 +12,8 @@
 #include "stats/histogram.h"
 #include "stats/string_stats.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::stats {
 
 /// Statistics kept for one column: a histogram over the order-preserving
@@ -88,7 +90,7 @@ class StatsRegistry {
  private:
   using Key = std::pair<uint32_t, int>;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kStatsRegistry> mu_;
   std::map<Key, ColumnStats> columns_;
 };
 

@@ -94,7 +94,7 @@ void BufferPool::EvictFrameLocked(uint32_t frame_id) {
   // fault-injection media) drops the page without writing it — the
   // WAL-before-data invariant is preserved precisely because the write was
   // NOT issued.
-  (void)FlushFrameLocked(frame_id);
+  IgnoreError(FlushFrameLocked(frame_id));
   if (f.type == PageType::kHeap) ++heap_steals_;
   ++evictions_;
   page_table_.erase(f.spid);
@@ -105,7 +105,8 @@ void BufferPool::EvictFrameLocked(uint32_t frame_id) {
   replacer_.Remove(frame_id);
 }
 
-Result<uint32_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>& lock) {
+Result<uint32_t> BufferPool::GetVictimFrame(
+    UniqueLock<RankedMutex<LockRank::kBufferPool>>& lock) {
   while (true) {
     if (!free_frames_.empty()) {
       const uint32_t id = free_frames_.back();
@@ -140,7 +141,7 @@ Result<uint32_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>& lock) 
       f.pin_count++;
       replacer_.SetEvictable(*victim, false);
       lock.unlock();
-      (void)flush_barrier_(barrier_lsn);
+      IgnoreError(flush_barrier_(barrier_lsn));
       lock.lock();
       Frame& g = frames_[*victim];  // frames_ may have been reallocated
       g.pin_count--;
@@ -160,7 +161,7 @@ Result<uint32_t> BufferPool::GetVictimFrame(std::unique_lock<std::mutex>& lock) 
 
 Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
                                          uint32_t owner) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   auto it = page_table_.find(spid);
   if (it != page_table_.end()) {
     ++hits_;
@@ -203,7 +204,7 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
 
 Result<PageHandle> BufferPool::NewPage(SpaceId space, PageType type,
                                        uint32_t owner, PageId* out_page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   // A fresh page is by definition not resident: it counts as a miss for
   // the pool governor's growth-gating signal.
   ++misses_;
@@ -228,7 +229,7 @@ Result<PageHandle> BufferPool::NewPage(SpaceId space, PageType type,
 }
 
 void BufferPool::DiscardPage(SpacePageId spid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = page_table_.find(spid);
   if (it != page_table_.end()) {
     const uint32_t frame_id = it->second;
@@ -251,14 +252,14 @@ void BufferPool::DiscardPage(SpacePageId spid) {
 }
 
 Status BufferPool::FlushPage(SpacePageId spid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = page_table_.find(spid);
   if (it == page_table_.end()) return Status::OK();
   return FlushFrameLocked(it->second);
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   // Hoist the WAL barrier out of the pool latch: one EnsureDurable for the
   // highest logged LSN among flushable frames, instead of a potential
   // fsync per frame while every concurrent FetchPage waits on mu_. The
@@ -292,7 +293,7 @@ Status BufferPool::FlushAll() {
 }
 
 size_t BufferPool::Resize(size_t target_frames) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   target_frames = std::max<size_t>(1, target_frames);
   if (target_frames > frames_.size()) {
     const size_t old = frames_.size();
@@ -326,7 +327,7 @@ size_t BufferPool::Resize(size_t target_frames) {
 }
 
 size_t BufferPool::CurrentFrames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return frames_.size();
 }
 
@@ -335,7 +336,7 @@ uint64_t BufferPool::CurrentBytes() const {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   BufferPoolStats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -352,20 +353,20 @@ BufferPoolStats BufferPool::stats() const {
 }
 
 uint64_t BufferPool::TakeMissesSinceLastPoll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const uint64_t m = misses_since_poll_;
   misses_since_poll_ = 0;
   return m;
 }
 
 size_t BufferPool::ResidentPages(uint32_t owner) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const auto it = owner_residency_.find(owner);
   return it == owner_residency_.end() ? 0 : it->second;
 }
 
 void BufferPool::PublishFrameLsn(uint32_t frame_id, Lsn lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (frame_id >= frames_.size()) return;
   Frame& f = frames_[frame_id];
   f.dirty = true;
@@ -373,7 +374,7 @@ void BufferPool::PublishFrameLsn(uint32_t frame_id, Lsn lsn) {
 }
 
 void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (frame_id >= frames_.size()) return;  // frame vanished in a shrink
   Frame& f = frames_[frame_id];
   if (f.pin_count > 0) f.pin_count--;
@@ -383,12 +384,12 @@ void BufferPool::UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn) {
 }
 
 void BufferPool::SetFlushBarrier(std::function<Status(Lsn)> barrier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   flush_barrier_ = std::move(barrier);
 }
 
 Lsn BufferPool::MinDirtyLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Lsn min_lsn = kNullLsn;
   for (const Frame& f : frames_) {
     if (!f.valid || !f.dirty || f.lsn == kNullLsn) continue;

@@ -16,6 +16,8 @@
 #include "storage/lookaside_queue.h"
 #include "storage/page.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::storage {
 
 class BufferPool;
@@ -169,7 +171,8 @@ class BufferPool {
   // held on entry and holds it again on return, but may drop it to run the
   // WAL flush barrier for a dirty victim (an fsync under mu_ would stall
   // every concurrent FetchPage).
-  Result<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lock);
+  Result<uint32_t> GetVictimFrame(
+      UniqueLock<RankedMutex<LockRank::kBufferPool>>& lock);
   void EvictFrameLocked(uint32_t frame_id);
   Status FlushFrameLocked(uint32_t frame_id);
   void UnpinFrame(uint32_t frame_id, bool dirty, Lsn lsn);
@@ -180,7 +183,7 @@ class BufferPool {
   BufferPoolOptions options_;
   std::function<Status(Lsn)> flush_barrier_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kBufferPool> mu_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
   std::unordered_map<SpacePageId, uint32_t, SpacePageIdHash> page_table_;

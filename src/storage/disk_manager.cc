@@ -58,7 +58,7 @@ void DiskManager::AccrueDevice(double us) {
 }
 
 PageId DiskManager::AllocatePage(SpaceId space) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Space& s = spaces_[static_cast<int>(space)];
   s.live++;
   if (media_ == nullptr && !s.free_list.empty()) {
@@ -77,7 +77,7 @@ PageId DiskManager::AllocatePage(SpaceId space) {
 }
 
 void DiskManager::DeallocatePage(SpaceId space, PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Space& s = spaces_[static_cast<int>(space)];
   if (page < s.count) {
     if (media_ == nullptr) s.free_list.push_back(page);
@@ -86,7 +86,7 @@ void DiskManager::DeallocatePage(SpaceId space, PageId page) {
 }
 
 void DiskManager::EnsureAllocated(SpaceId space, PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Space& s = spaces_[static_cast<int>(space)];
   while (s.count <= page) {
     s.count++;
@@ -106,7 +106,7 @@ Status DiskManager::ReadPageAllowTorn(SpaceId space, PageId page, char* out,
                                       bool* torn) {
   if (torn != nullptr) *torn = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     Space& s = spaces_[static_cast<int>(space)];
     if (page >= s.count) {
       return Status::IOError("read of unallocated page");
@@ -134,7 +134,7 @@ Status DiskManager::ReadPageAllowTorn(SpaceId space, PageId page, char* out,
 
 Status DiskManager::WritePage(SpaceId space, PageId page, const char* in) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     Space& s = spaces_[static_cast<int>(space)];
     if (page >= s.count) {
       return Status::IOError("write of unallocated page");
@@ -165,17 +165,17 @@ Status DiskManager::Sync() {
 }
 
 uint64_t DiskManager::NumPages(SpaceId space) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return spaces_[static_cast<int>(space)].count;
 }
 
 uint64_t DiskManager::LivePages(SpaceId space) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return spaces_[static_cast<int>(space)].live;
 }
 
 uint64_t DiskManager::TotalDatabaseBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   uint64_t pages = 0;
   for (const auto& s : spaces_) pages += s.count;
   return pages * page_bytes_;

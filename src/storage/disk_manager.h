@@ -13,6 +13,8 @@
 #include "os/virtual_disk.h"
 #include "storage/page.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::storage {
 
 /// Page store for the database's spaces (main / temp / log).
@@ -119,7 +121,7 @@ class DiskManager {
   os::VirtualClock* clock_;
   std::shared_ptr<os::StableStorage> media_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kDiskManager> mu_;
   Space spaces_[kNumSpaces];
 
   std::atomic<uint64_t> reads_{0};

@@ -45,7 +45,7 @@ uint64_t PoolGovernor::SoftUpperBoundLocked() const {
 }
 
 std::vector<PoolGovernorSample> PoolGovernor::history() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return history_;
 }
 
@@ -62,7 +62,7 @@ void PoolGovernor::AttachTelemetry(obs::MetricsRegistry* registry,
     grows = registry->RegisterCounter(obs::kPoolResizesGrow);
     shrinks = registry->RegisterCounter(obs::kPoolResizesShrink);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   polls_counter_ = polls;
   grows_counter_ = grows;
   shrinks_counter_ = shrinks;
@@ -73,14 +73,14 @@ bool PoolGovernor::MaybePoll() {
   // Cheap unlatched gate first: every session thread ticks the clock
   // through here, and most ticks are nowhere near the sampling period.
   if (clock_->NowMicros() < next_poll_micros()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (clock_->NowMicros() < next_poll_micros()) return false;  // lost race
   PollNowLocked();
   return true;
 }
 
 PoolGovernorSample PoolGovernor::PollNow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return PollNowLocked();
 }
 

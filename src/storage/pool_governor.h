@@ -13,6 +13,8 @@
 #include "os/virtual_clock.h"
 #include "storage/buffer_pool.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::storage {
 
 /// Configuration of the buffer-pool feedback controller (paper §2).
@@ -139,7 +141,7 @@ class PoolGovernor {
   /// Guards the controller state below; never held while a session thread
   /// is inside the buffer pool other than the Resize/stat calls the poll
   /// itself makes.
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kPoolGovernor> mu_;
   int polls_done_ = 0;
   std::atomic<int64_t> next_poll_micros_{0};
   uint64_t last_db_bytes_ = 0;

@@ -106,7 +106,7 @@ Result<Rid> TableHeap::InsertIntoPage(storage::PageId page_id,
 }
 
 Result<Rid> TableHeap::Insert(std::string_view row_bytes) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   return InsertLocked(row_bytes);
 }
 
@@ -132,7 +132,7 @@ Result<Rid> TableHeap::InsertLocked(std::string_view row_bytes) {
 }
 
 Result<std::string> TableHeap::Get(Rid rid) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  SharedLock latch(latch_);
   HDB_ASSIGN_OR_RETURN(
       storage::PageHandle h,
       pool_->FetchPage(
@@ -146,7 +146,7 @@ Result<std::string> TableHeap::Get(Rid rid) const {
 }
 
 Status TableHeap::Delete(Rid rid) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   return DeleteLocked(rid);
 }
 
@@ -180,7 +180,7 @@ Status TableHeap::DeleteLocked(Rid rid) {
 }
 
 Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  UniqueLock latch(latch_);
   {
     HDB_ASSIGN_OR_RETURN(
         storage::PageHandle h,
@@ -219,14 +219,14 @@ Result<Rid> TableHeap::Update(Rid rid, std::string_view row_bytes) {
 }
 
 TableHeap::Iterator TableHeap::Scan() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  SharedLock latch(latch_);
   return Iterator(this, def_->first_page);
 }
 
 bool TableHeap::Iterator::Next(Rid* rid, std::string* row_bytes) {
   // Latched per step, not per scan: a long scan must not starve writers,
   // and the executor's pull loop may interleave DML on other tables.
-  std::shared_lock<std::shared_mutex> latch(heap_->latch_);
+  SharedLock latch(heap_->latch_);
   while (page_ != storage::kInvalidPageId) {
     auto h = heap_->pool_->FetchPage(
         storage::SpacePageId{storage::SpaceId::kMain, page_},

@@ -13,6 +13,8 @@
 #include "storage/buffer_pool.h"
 #include "wal/wal_manager.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::table {
 
 /// Heap file of slotted pages holding one table's rows. Pages are chained
@@ -101,7 +103,7 @@ class TableHeap {
   storage::BufferPool* pool_;
   catalog::TableDef* def_;
   wal::WalManager* wal_;
-  mutable std::shared_mutex latch_;
+  mutable RankedSharedMutex<LockRank::kTableHeap> latch_;
 };
 
 }  // namespace hdb::table

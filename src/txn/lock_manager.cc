@@ -28,7 +28,7 @@ uint64_t LockManager::TableKey(uint32_t table_oid) {
 }
 
 Status LockManager::Acquire(uint64_t txn_id, uint64_t key, LockMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   bool already_held = false;
   bool upgradable = true;
   bool conflict = false;
@@ -81,12 +81,12 @@ void LockManager::AttachTelemetry(obs::MetricsRegistry* registry) {
       return static_cast<double>(lock_table_pages());
     });
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   conflicts_counter_ = conflicts;
 }
 
 void LockManager::Unlock(uint64_t txn_id, uint64_t lock_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   // Remove every value this transaction holds under the key (it may hold
   // both a shared lock and an upgraded exclusive one).
   for (const LockMode mode : {LockMode::kShared, LockMode::kExclusive}) {

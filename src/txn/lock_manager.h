@@ -9,6 +9,8 @@
 #include "obs/metrics.h"
 #include "storage/ext_hash.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::txn {
 
 enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
@@ -43,11 +45,11 @@ class LockManager {
   static uint64_t TableKey(uint32_t table_oid);
 
   uint64_t held_locks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return table_.size();
   }
   size_t lock_table_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     return table_.bucket_pages();
   }
 
@@ -58,7 +60,7 @@ class LockManager {
  private:
   Status Acquire(uint64_t txn_id, uint64_t key, LockMode mode);
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kLockManager> mu_;
   storage::ExtHashTable table_;
 
   // Telemetry (optional; null when not attached).

@@ -9,12 +9,12 @@ TransactionManager::TransactionManager(storage::BufferPool* pool,
     : pool_(pool), locks_(locks) {}
 
 void TransactionManager::SeedNextTxnId(uint64_t next) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (next > next_txn_id_) next_txn_id_ = next;
 }
 
 Transaction* TransactionManager::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   const uint64_t id = next_txn_id_++;
   auto txn = std::make_unique<Transaction>(id);
   Transaction* raw = txn.get();
@@ -29,7 +29,7 @@ Status TransactionManager::AppendRedo(uint64_t txn_id,
   // content; this legacy stream would interleave foreign pages into the
   // WAL's strictly sequential kLog space, so it must stay off.
   if (wal_ != nullptr && wal_->enabled()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   // Record: [u64 txn][u32 len][bytes]; records never span pages (payloads
   // are small — row images); a fresh page is started when needed.
   const uint32_t need = 12 + static_cast<uint32_t>(payload.size());
@@ -85,7 +85,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   ReleaseLocks(txn);
   txn->set_state(TxnState::kCommitted);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (active_ > 0) --active_;
   return Status::OK();
 }
@@ -112,13 +112,13 @@ Status TransactionManager::Abort(Transaction* txn,
   }
   ReleaseLocks(txn);
   txn->set_state(TxnState::kAborted);
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (active_ > 0) --active_;
   return Status::OK();
 }
 
 uint64_t TransactionManager::active_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return active_;
 }
 

@@ -16,6 +16,8 @@
 #include "txn/lock_manager.h"
 #include "wal/wal_manager.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::txn {
 
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
@@ -102,7 +104,7 @@ class TransactionManager {
   LockManager* locks_;
   wal::WalManager* wal_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kTxnManager> mu_;
   uint64_t next_txn_id_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<Transaction>> txns_;
   uint64_t active_ = 0;

@@ -47,7 +47,7 @@ bool CheckpointGovernor::MaybeCheckpoint() {
     if (dirty_ratio <= kDirtyRatioGuard) return false;
   }
 
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  UniqueLock lock(mu_, std::try_to_lock);
   if (!lock.owns_lock()) return false;  // a checkpoint is already running
 
   // Re-derive the balance with the measured estimates under the lock.
@@ -76,7 +76,7 @@ bool CheckpointGovernor::MaybeCheckpoint() {
 
 Status CheckpointGovernor::ForceCheckpoint(const char* reason) {
   if (!wal_->enabled()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return RunCheckpointLocked(reason);
 }
 
@@ -164,7 +164,7 @@ Status CheckpointGovernor::RunCheckpointLocked(const char* reason) {
 }
 
 CheckpointStats CheckpointGovernor::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   CheckpointStats s = stats_;
   s.target_log_bytes = target_log_bytes_.load(std::memory_order_relaxed);
   return s;

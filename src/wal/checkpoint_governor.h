@@ -12,6 +12,8 @@
 #include "storage/buffer_pool.h"
 #include "wal/wal_manager.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::wal {
 
 struct CheckpointStats {
@@ -69,7 +71,7 @@ class CheckpointGovernor {
   storage::BufferPool* pool_;
   os::VirtualClock* clock_;
 
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kCheckpointGovernor> mu_;
   // Measured-cost EMAs (micros). Seeds only matter for the first trigger;
   // the first real checkpoint replaces them with measurements.
   double flush_micros_per_page_ = 100.0;

@@ -153,13 +153,15 @@ Status Recovery::ReplayCatalog(const std::vector<WalRecord>& records) {
       case WalRecordType::kDdlDropTable: {
         const std::string name(r.Str());
         if (!r.ok()) return Status::Internal("bad DDL drop-table record");
-        (void)catalog_->DropTable(name);
+        // Replay is idempotent: the table may already be gone.
+        IgnoreError(catalog_->DropTable(name));
         break;
       }
       case WalRecordType::kDdlDropIndex: {
         const std::string name(r.Str());
         if (!r.ok()) return Status::Internal("bad DDL drop-index record");
-        (void)catalog_->DropIndex(name);
+        // Replay is idempotent: the index may already be gone.
+        IgnoreError(catalog_->DropIndex(name));
         break;
       }
       case WalRecordType::kDdlCreateProcedure: {
@@ -174,7 +176,8 @@ Status Recovery::ReplayCatalog(const std::vector<WalRecord>& records) {
           def.statements.emplace_back(r.Str());
         }
         if (!r.ok()) return Status::Internal("bad DDL create-procedure record");
-        (void)catalog_->CreateProcedure(std::move(def));
+        // Replay is idempotent: the procedure may already exist.
+        IgnoreError(catalog_->CreateProcedure(std::move(def)));
         break;
       }
       case WalRecordType::kDdlSetOption: {
@@ -191,7 +194,8 @@ Status Recovery::ReplayCatalog(const std::vector<WalRecord>& records) {
         fk.ref_table_oid = r.U32();
         fk.ref_column_index = static_cast<int>(r.U32());
         if (!r.ok()) return Status::Internal("bad DDL foreign-key record");
-        (void)catalog_->AddForeignKey(fk);
+        // Replay is idempotent: the constraint may already exist.
+        IgnoreError(catalog_->AddForeignKey(fk));
         break;
       }
       case WalRecordType::kHeapAppendPage: {

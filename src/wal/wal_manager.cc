@@ -64,7 +64,7 @@ Status WalManager::WriteTailPageLocked() {
 void WalManager::InflightLsn::Release() {
   if (wal_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(wal_->mu_);
+    LockGuard lock(wal_->mu_);
     const auto it = wal_->inflight_lsns_.find(lsn_);
     if (it != wal_->inflight_lsns_.end()) wal_->inflight_lsns_.erase(it);
   }
@@ -73,7 +73,7 @@ void WalManager::InflightLsn::Release() {
 }
 
 storage::Lsn WalManager::MinInflightLsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return inflight_lsns_.empty() ? storage::kNullLsn : *inflight_lsns_.begin();
 }
 
@@ -86,7 +86,7 @@ Result<storage::Lsn> WalManager::Append(WalRecordType type, uint64_t txn_id,
     return Status::InvalidArgument("wal record larger than a log page");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   if (cur_page_ == storage::kInvalidPageId ||
       cur_offset_ + need > disk_->page_bytes()) {
     HDB_RETURN_IF_ERROR(WriteTailPageLocked());
@@ -134,11 +134,11 @@ Status WalManager::EnsureDurable(storage::Lsn lsn) {
   if (disk_->media() == nullptr) return Status::OK();
   if (durable_lsn() >= lsn) return Status::OK();
 
-  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  LockGuard flush_lock(flush_mu_);
   if (durable_lsn() >= lsn) return Status::OK();
   storage::Lsn target;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     target = appended_lsn_.load(std::memory_order_relaxed);
     HDB_RETURN_IF_ERROR(WriteTailPageLocked());
   }
@@ -162,7 +162,7 @@ Status WalManager::WaitDurable(storage::Lsn lsn) {
   if (disk_->media() == nullptr) return Status::OK();
   if (!options_.group_commit) return EnsureDurable(lsn);
 
-  std::unique_lock<std::mutex> gl(gc_mu_);
+  UniqueLock gl(gc_mu_);
   if (!flusher_running_) {
     gl.unlock();
     return EnsureDurable(lsn);
@@ -181,7 +181,7 @@ Status WalManager::WaitDurable(storage::Lsn lsn) {
 
 void WalManager::StartFlusher() {
   if (!options_.enabled || !options_.group_commit) return;
-  std::lock_guard<std::mutex> gl(gc_mu_);
+  LockGuard gl(gc_mu_);
   if (flusher_running_) return;
   stop_flusher_ = false;
   flusher_running_ = true;
@@ -189,7 +189,7 @@ void WalManager::StartFlusher() {
 }
 
 void WalManager::FlusherLoop() {
-  std::unique_lock<std::mutex> gl(gc_mu_);
+  UniqueLock gl(gc_mu_);
   while (true) {
     gc_work_cv_.wait(gl, [&] {
       return stop_flusher_ || gc_target_ > durable_lsn();
@@ -215,19 +215,19 @@ void WalManager::FlusherLoop() {
 
 void WalManager::Shutdown() {
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    LockGuard gl(gc_mu_);
     stop_flusher_ = true;
     gc_work_cv_.notify_all();
     gc_done_cv_.notify_all();
   }
   if (flusher_.joinable()) flusher_.join();
   {
-    std::lock_guard<std::mutex> gl(gc_mu_);
+    LockGuard gl(gc_mu_);
     flusher_running_ = false;
   }
   // Best-effort tail flush on clean shutdown; a crashed media just fails.
   if (options_.enabled && disk_->media() != nullptr) {
-    (void)EnsureDurable(appended_lsn());
+    IgnoreError(EnsureDurable(appended_lsn()));
   }
 }
 
@@ -312,7 +312,7 @@ Result<WalManager::ScanResult> WalManager::ScanLog() {
 
 Status WalManager::ResumeAt(storage::PageId tail_page, uint32_t tail_offset,
                             storage::Lsn next_lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   next_lsn_ = next_lsn;
   appended_lsn_.store(next_lsn - 1, std::memory_order_release);
   durable_lsn_.store(storage::kNullLsn, std::memory_order_release);

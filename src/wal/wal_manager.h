@@ -17,6 +17,8 @@
 #include "storage/disk_manager.h"
 #include "wal/wal_record.h"
 
+#include "common/lock_rank.h"
+
 namespace hdb::wal {
 
 struct WalOptions {
@@ -202,7 +204,7 @@ class WalManager {
   const WalOptions options_;
 
   // Writer state.
-  mutable std::mutex mu_;
+  mutable RankedMutex<LockRank::kWalBuffer> mu_;
   std::vector<char> page_buf_;
   storage::PageId cur_page_ = storage::kInvalidPageId;
   uint32_t cur_offset_ = 0;
@@ -217,12 +219,12 @@ class WalManager {
 
   // Flush serialization (never held while holding mu_ is fine; the flush
   // path takes flush_mu_ then mu_).
-  std::mutex flush_mu_;
+  RankedMutex<LockRank::kWalFlush> flush_mu_;
 
   // Group commit.
-  std::mutex gc_mu_;
-  std::condition_variable gc_work_cv_;   // wakes the flusher
-  std::condition_variable gc_done_cv_;   // wakes committers
+  RankedMutex<LockRank::kWalGroupCommit> gc_mu_;
+  std::condition_variable_any gc_work_cv_;   // wakes the flusher
+  std::condition_variable_any gc_done_cv_;   // wakes committers
   storage::Lsn gc_target_ = storage::kNullLsn;
   Status gc_error_;  // sticky media failure, delivered to all waiters
   bool stop_flusher_ = false;

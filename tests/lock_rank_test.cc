@@ -1,0 +1,199 @@
+// Lock-rank enforcement (common/lock_rank.h): death tests proving that
+// hierarchy violations abort deterministically with both sites named, the
+// documented same-rank exceptions stay legal, and an engine-level
+// regression re-running the PR-3 eviction-vs-fsync-barrier ordering with
+// the checker live.
+//
+// Everything here requires HDB_LOCK_RANK_ENABLED (the default outside
+// Release builds); without it the wrappers are bare mutexes and the suite
+// skips.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "engine/database.h"
+#include "os/stable_storage.h"
+
+namespace hdb {
+namespace {
+
+#if defined(HDB_LOCK_RANK_ENABLED)
+
+// Fixture-free globals: each death test's child process re-acquires from a
+// clean thread, so no state leaks between tests.
+RankedMutex<LockRank::kBufferPool> g_pool_mu;
+RankedMutex<LockRank::kBufferPool> g_pool_mu2;
+RankedMutex<LockRank::kWalBuffer> g_wal_mu;
+RankedSharedMutex<LockRank::kTableHeap> g_heap_a;
+RankedSharedMutex<LockRank::kTableHeap> g_heap_b;
+RankedRecursiveMutex<LockRank::kHistogram> g_hist_a;
+RankedRecursiveMutex<LockRank::kHistogram> g_hist_b;
+
+void AcquireOutOfOrder() {
+  LockGuard wal(g_wal_mu);
+  LockGuard pool(g_pool_mu);  // kBufferPool < kWalBuffer: must abort
+}
+
+void AcquireSameRankExclusive() {
+  LockGuard a(g_pool_mu);
+  LockGuard b(g_pool_mu2);  // same rank, both exclusive: must abort
+}
+
+void AcquireSameMutexTwice() {
+  LockGuard a(g_pool_mu);
+  LockGuard b(g_pool_mu);  // self-deadlock on a non-recursive mutex
+}
+
+void AcquireSharedUnderExclusive() {
+  UniqueLock a(g_heap_a);  // exclusive hold at kTableHeap
+  SharedLock b(g_heap_b);  // shared at the same rank: deadlock recipe
+}
+
+TEST(LockRankDeathTest, OutOfOrderAbortsNamingBothSites) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The report must name the offending acquisition (this file) with its
+  // rank...
+  EXPECT_DEATH(AcquireOutOfOrder(),
+               "attempted: rank 100 \\(BufferPool\\) at [^ ]*lock_rank_test");
+  // ...and the conflicting lock already held, also with its site.
+  EXPECT_DEATH(
+      AcquireOutOfOrder(),
+      "while holding: rank 120 \\(WalBuffer\\) acquired at [^ ]*lock_rank_test");
+}
+
+TEST(LockRankDeathTest, SameRankExclusiveAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AcquireSameRankExclusive(),
+               "same-rank acquisition in exclusive mode");
+}
+
+TEST(LockRankDeathTest, RecursiveAcquisitionOfNonRecursiveAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AcquireSameMutexTwice(),
+               "recursive acquisition of a non-recursive lock");
+}
+
+TEST(LockRankDeathTest, SharedAcquireAtExclusivelyHeldRankAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AcquireSharedUnderExclusive(),
+               "shared acquisition at a rank held exclusively");
+}
+
+TEST(LockRankTest, InOrderChainIsLegal) {
+  SharedLock heap(g_heap_a);  // 70
+  LockGuard pool(g_pool_mu);  // 100
+  LockGuard wal(g_wal_mu);    // 120
+}
+
+TEST(LockRankTest, SameRankSharedStackingIsLegal) {
+  // Two table scans in one statement: both heap latches shared.
+  SharedLock a(g_heap_a);
+  SharedLock b(g_heap_b);
+}
+
+TEST(LockRankTest, RecursiveRankReentryIsLegal) {
+  // Histogram self-lock plus the JoinHistogram address-ordered pair.
+  LockGuard a(g_hist_a);
+  LockGuard b(g_hist_b);
+  LockGuard again(g_hist_a);
+}
+
+TEST(LockRankTest, UniqueLockDropAndRelockIsLegal) {
+  // The buffer pool's GetVictimFrame dance: drop the pool latch around the
+  // WAL barrier, take the barrier-side lock, re-acquire.
+  UniqueLock pool(g_pool_mu);
+  pool.unlock();
+  {
+    LockGuard wal(g_wal_mu);
+  }
+  pool.lock();  // re-acquire reports the original construction site
+}
+
+TEST(LockRankTest, ReleaseOnDifferentThreadThanLowerRankHolderIsLegal) {
+  // Rank stacks are per-thread: another thread holding a high rank must
+  // not constrain this thread.
+  LockGuard wal(g_wal_mu);
+  std::thread t([] { LockGuard pool(g_pool_mu); });
+  t.join();
+}
+
+// --- PR-3 regression: eviction vs fsync barrier under the checker ---------
+//
+// A tiny pool forces dirty-page eviction on every insert batch while
+// concurrent committers drive EnsureDurable: the eviction path must drop
+// the pool latch (rank 100) before entering the WAL flush path (ranks
+// 115/120) via the flush barrier — holding it across the barrier is
+// exactly the inversion PR 3 fixed (pinned-victim protocol). With
+// HDB_LOCK_RANK=ON this test aborts, not deadlocks, if that protocol ever
+// regresses.
+TEST(LockRankTest, EvictionVsFsyncBarrierOrderingHoldsUnderChecker) {
+  auto media =
+      std::make_shared<os::StableStorage>(engine::DatabaseOptions{}.page_bytes);
+  engine::DatabaseOptions opts;
+  opts.initial_pool_frames = 16;  // evict constantly
+  opts.media = media;
+  auto db = engine::Database::Open(opts);
+  ASSERT_TRUE(db.ok()) << db.status().message();
+
+  auto setup = (*db)->Connect();
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(
+      (*setup)
+          ->Execute("CREATE TABLE evict (k INT NOT NULL, v VARCHAR(64))")
+          .ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto conn = (*db)->Connect();
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string pad(48, 'a' + static_cast<char>(t));
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        const std::string base =
+            std::to_string(t * 1000 + i * 10);
+        bool ok = (*conn)->Execute("BEGIN").ok();
+        for (int r = 0; ok && r < 8; ++r) {
+          ok = (*conn)
+                   ->Execute("INSERT INTO evict VALUES (" + base + ", '" +
+                             pad + "')")
+                   .ok();
+        }
+        // COMMIT drives group commit + EnsureDurable while siblings evict.
+        ok = ok && (*conn)->Execute("COMMIT").ok();
+        if (!ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto count = (*setup)->Execute("SELECT COUNT(*) FROM evict");
+  ASSERT_TRUE(count.ok()) << count.status().message();
+  ASSERT_EQ(count->rows.size(), 1u);
+  EXPECT_EQ(count->rows[0][0].AsInt(), kThreads * kTxnsPerThread * 8);
+}
+
+#else  // !HDB_LOCK_RANK_ENABLED
+
+TEST(LockRankTest, CheckerDisabledInThisBuild) {
+  GTEST_SKIP() << "HDB_LOCK_RANK is OFF (Release default); the ranked "
+                  "wrappers are bare mutexes here.";
+}
+
+#endif  // HDB_LOCK_RANK_ENABLED
+
+}  // namespace
+}  // namespace hdb

@@ -112,7 +112,7 @@ TEST(TableHeapTest, RowAndPageCountsMaintained) {
   for (int i = 0; i < 500; ++i) f.Insert(i);
   EXPECT_EQ(f.def.row_count, 500u);
   EXPECT_GT(f.def.page_count, 1u);
-  f.heap.Delete(Rid{f.def.first_page, 0});
+  ASSERT_TRUE(f.heap.Delete(Rid{f.def.first_page, 0}).ok());
   EXPECT_EQ(f.def.row_count, 499u);
 }
 
@@ -122,7 +122,7 @@ TEST(TableHeapTest, ScanVisitsAllLiveRows) {
   for (int i = 0; i < 300; ++i) {
     const Rid rid = f.Insert(i);
     if (i % 3 == 0) {
-      f.heap.Delete(rid);
+      ASSERT_TRUE(f.heap.Delete(rid).ok());
     } else {
       expected.insert(i);
     }
