@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare two bench_smoke JSON files and fail on regressions.
+
+    bench_compare.py <old.json> <new.json> [--tolerance 0.15]
+
+Both files map bench name -> rows_per_sec (see scripts/bench_smoke.sh).
+A bench regresses when new < old * (1 - tolerance); improvements and
+benches present only in <new> are reported but never fail. A bench present
+in <old> but missing from <new> fails — a silently dropped benchmark must
+not read as a pass.
+
+Exit status: 0 = no regression, 1 = at least one regression or a missing
+bench, 2 = bad usage/unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="baseline JSON (bench -> rows_per_sec)")
+    parser.add_argument("new", help="candidate JSON (bench -> rows_per_sec)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop before a bench counts "
+                             "as regressed (default 0.15)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        print(f"bench_compare: tolerance {args.tolerance} outside [0, 1)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.old) as f:
+            old = json.load(f)
+        with open(args.new) as f:
+            new = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'bench':32s} {'old':>14s} {'new':>14s} {'ratio':>8s}")
+    for name in sorted(old):
+        if name not in new:
+            failures.append(f"{name}: missing from {args.new}")
+            print(f"{name:32s} {old[name]:>14.1f} {'MISSING':>14s}")
+            continue
+        ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append(
+                f"{name}: {old[name]:.1f} -> {new[name]:.1f} /s "
+                f"({(1.0 - ratio) * 100:.1f}% drop, tolerance "
+                f"{args.tolerance * 100:.0f}%)")
+            flag = "  REGRESSED"
+        print(f"{name:32s} {old[name]:>14.1f} {new[name]:>14.1f} "
+              f"{ratio:>8.3f}{flag}")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:32s} {'(new)':>14s} {new[name]:>14.1f}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Perf-regression smoke (DESIGN.md §9): runs the executor microbenchmarks
+# (micro_operators BM_Exec*) plus the single-thread rows of the
+# concurrent_sessions bench and emits a flat JSON mapping
+# bench -> rows_per_sec. Both workloads use fixed in-code seeds, so a
+# shifted number means a perf change, not a data change.
+#
+#   bench_smoke.sh <build-dir> <out.json>
+#   bench_smoke.sh --compare <baseline.json> --build-type <type> \
+#                  --sanitize <sanitize> <build-dir> <out.json>
+#
+# The --compare form is the ctest entry point (BenchSmoke.compare): it
+# regenerates <out.json> and diffs it against the committed baseline with
+# scripts/bench_compare.py. Wall-clock numbers are only comparable from an
+# optimized, unsanitized build, so the test SKIPS (exit 77) under
+# -DHDB_SANITIZE=* or a non-Release/RelWithDebInfo build type.
+set -eu
+
+baseline=""
+build_type="RelWithDebInfo"
+sanitize=""
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --compare)       baseline="$2"; shift 2 ;;
+    --compare=*)     baseline="${1#*=}"; shift ;;
+    --build-type)    build_type="$2"; shift 2 ;;
+    --build-type=*)  build_type="${1#*=}"; shift ;;
+    --sanitize)      sanitize="$2"; shift 2 ;;
+    --sanitize=*)    sanitize="${1#*=}"; shift ;;
+    *) echo "bench_smoke: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+build="${1:?usage: bench_smoke.sh [--compare baseline.json] <build-dir> <out.json>}"
+out="${2:?usage: bench_smoke.sh [--compare baseline.json] <build-dir> <out.json>}"
+here="$(cd "$(dirname "$0")" && pwd)"
+
+if [[ -n "$baseline" ]]; then
+  if [[ -n "$sanitize" ]]; then
+    echo "bench_smoke: sanitizer build ($sanitize), skipping perf compare"
+    exit 77
+  fi
+  case "$build_type" in
+    Release | RelWithDebInfo) ;;
+    *)
+      echo "bench_smoke: build type '$build_type' is not optimized," \
+           "skipping perf compare"
+      exit 77
+      ;;
+  esac
+fi
+
+micro="$build/bench/micro_operators"
+sessions="$build/bench/concurrent_sessions"
+for bin in "$micro" "$sessions"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_smoke: missing benchmark binary $bin" >&2
+    exit 1
+  fi
+done
+
+micro_json="$(mktemp)"
+sessions_txt="$(mktemp)"
+trap 'rm -f "$micro_json" "$sessions_txt"' EXIT
+
+# BM_Exec* report items_per_second = base-table rows per wall second.
+"$micro" --benchmark_filter='BM_Exec' --benchmark_min_time=0.5 \
+         --benchmark_format=json > "$micro_json"
+
+# The 1-thread rows are the stable ones (no scheduler/core-count noise);
+# stmt_per_s there is 1 / (think time + statement latency).
+"$sessions" > "$sessions_txt"
+
+python3 - "$micro_json" "$sessions_txt" "$out" <<'EOF'
+import json
+import re
+import sys
+
+micro_json, sessions_txt, out_path = sys.argv[1:4]
+
+result = {}
+with open(micro_json) as f:
+    for b in json.load(f)["benchmarks"]:
+        name = b["name"]
+        key = "exec_" + re.sub(r"^BM_Exec", "", name).lower()
+        result[key] = round(b["items_per_second"], 1)
+
+# concurrent_sessions prints one table per workload; take the threads=1
+# row of each (columns: threads stmts aborted gate_timeouts stmt_per_s ...).
+section = None
+with open(sessions_txt) as f:
+    for line in f:
+        m = re.match(r"=== (\S+)", line.strip())
+        if m:
+            section = m.group(1).replace("-", "_")
+            continue
+        cols = line.split()
+        if section and len(cols) >= 5 and cols[0] == "1" and cols[0].isdigit():
+            result[f"sessions_{section}_1t"] = float(cols[4])
+            section = None
+
+expected = {"exec_seqscan", "exec_filter", "exec_aggregate", "exec_hashjoin"}
+missing = expected - result.keys()
+if missing:
+    sys.exit(f"bench_smoke: missing benchmarks: {sorted(missing)}")
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"bench_smoke: wrote {out_path}")
+for k in sorted(result):
+    print(f"  {k:32s} {result[k]:>14.1f} /s")
+EOF
+
+if [[ -n "$baseline" ]]; then
+  python3 "$here/bench_compare.py" "$baseline" "$out" --tolerance 0.15
+fi

@@ -9,12 +9,19 @@
 #   lint:locks      scripts/check_locks.sh (no naked std::mutex in src/)
 #   lint:metrics    scripts/check_metrics.sh (metric-name hygiene)
 #   build:werror    RelWithDebInfo, HDB_WERROR=ON, HDB_LOCK_RANK=ON,
-#                   full ctest (this is also the tidy compile database)
+#                   full ctest (this is also the tidy compile database).
+#                   This is the one stage where BenchSmoke.compare runs
+#                   for real (optimized, unsanitized): the BM_Exec*
+#                   numbers are diffed against the committed
+#                   BENCH_exec.json baseline (DESIGN.md §9).
 #   tidy            clang-tidy with the repo .clang-tidy over src/**/*.cc
 #                   (skipped, not failed, when clang-tidy is absent)
 #   tsan            full ctest under ThreadSanitizer (a superset of
 #                   check_metrics.sh --tsan, which builds only the
-#                   observability/durability test subset)
+#                   observability/durability test subset). The batch
+#                   executor's shared scan path is covered here by
+#                   BatchParity.ConcurrentScansAgree; BenchSmoke.compare
+#                   self-skips under every sanitizer (exit 77).
 #   asan            full ctest under AddressSanitizer
 #   ubsan           full ctest under UndefinedBehaviorSanitizer
 #

@@ -61,6 +61,34 @@ class Value {
   bool operator==(const Value& other) const { return Compare(other) == 0; }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
 
+  /// Mutating setters for decode-into-buffer reuse (row_codec
+  /// DecodeRowInto): overwrite this Value in place, keeping any
+  /// heap-allocated string capacity when the value was already a string.
+  void SetNull(TypeId type) {
+    type_ = type;
+    repr_.emplace<std::monostate>();
+  }
+  void SetBoolean(bool b) {
+    type_ = TypeId::kBoolean;
+    repr_ = b;
+  }
+  void SetInt64(TypeId type, int64_t i) {
+    type_ = type;
+    repr_ = i;
+  }
+  void SetDouble(double d) {
+    type_ = TypeId::kDouble;
+    repr_ = d;
+  }
+  void SetString(std::string_view s) {
+    type_ = TypeId::kVarchar;
+    if (auto* cur = std::get_if<std::string>(&repr_)) {
+      cur->assign(s.data(), s.size());
+    } else {
+      repr_.emplace<std::string>(s);
+    }
+  }
+
   /// SQL-literal-ish rendering for diagnostics and result printing.
   std::string ToString() const;
 

@@ -286,6 +286,10 @@ void Database::RegisterEngineTelemetry() {
       metrics_.RegisterCounter(obs::kExecSortRunsSpilled);
   exec_group_by_spilled_groups_ =
       metrics_.RegisterCounter(obs::kExecGroupBySpilledGroups);
+  exec_batches_ = metrics_.RegisterCounter(obs::kExecBatches);
+  exec_batch_rows_ = metrics_.RegisterCounter(obs::kExecBatchRows);
+  exec_batch_arena_bytes_ = metrics_.RegisterCounter(obs::kExecBatchArenaBytes);
+  exec_batch_cap_shrinks_ = metrics_.RegisterCounter(obs::kExecBatchCapShrinks);
 
   // Pull callbacks: the pool and the gate already maintain these under
   // their own latches, so the registry reads them at snapshot time instead
@@ -661,17 +665,18 @@ Status Database::LoadTableLocked(const std::string& table,
     // If an undo step itself fails, Abort returns without the kAbort
     // record and recovery classifies the transaction as a loser, undoing
     // the remainder from the log — both exits are consistent.
+    table::Row undo_row;  // reused across undo records: decode-into, no churn
     IgnoreError(txn_manager_->Abort(txn, [&](const txn::UndoRecord& rec) -> Status {
       const wal::WalManager::TxnScope clr_scope(txn->id(), /*clr=*/true);
-      const auto row = table::DecodeRow(*def, rec.before_image.data(),
-                                        rec.before_image.size());
-      if (row.ok()) {
+      const Status st = table::DecodeRowInto(*def, rec.before_image.data(),
+                                             rec.before_image.size(), &undo_row);
+      if (st.ok()) {
         for (catalog::IndexDef* idx : indexes) {
           index::BTree* tree = btree(idx->oid);
           if (tree == nullptr) continue;
           // Best-effort unhook: the row may never have been indexed.
           IgnoreError(tree->Remove(
-              OrderPreservingHash((*row)[idx->column_indexes[0]]), rec.rid));
+              OrderPreservingHash(undo_row[idx->column_indexes[0]]), rec.rid));
         }
       }
       return h->Delete(rec.rid);
@@ -704,13 +709,15 @@ Status Database::BuildStatisticsLocked(const std::string& table, int column) {
   std::vector<Value> values;
   values.reserve(def->row_count);
   Status scan_status = Status::OK();
+  table::Row row;  // reused across rows: decode-into, no churn
   HDB_RETURN_IF_ERROR(h->ScanAll([&](Rid, std::string_view bytes) {
-    auto row = table::DecodeRow(*def, bytes.data(), bytes.size());
-    if (!row.ok()) {
-      scan_status = row.status();
+    const Status st =
+        table::DecodeRowInto(*def, bytes.data(), bytes.size(), &row);
+    if (!st.ok()) {
+      scan_status = st;
       return false;
     }
-    values.push_back((*row)[column]);
+    values.push_back(row[column]);
     return true;
   }));
   HDB_RETURN_IF_ERROR(scan_status);
@@ -778,13 +785,15 @@ Status Database::CreateIndexImpl(const CreateIndexAst& ast) {
   // Populate from existing rows.
   table::TableHeap* h = heap(def->oid);
   Status status = Status::OK();
+  table::Row row;  // reused across rows: decode-into, no churn
   HDB_RETURN_IF_ERROR(h->ScanAll([&](Rid rid, std::string_view bytes) {
-    auto row = table::DecodeRow(*def, bytes.data(), bytes.size());
-    if (!row.ok()) {
-      status = row.status();
+    const Status st =
+        table::DecodeRowInto(*def, bytes.data(), bytes.size(), &row);
+    if (!st.ok()) {
+      status = st;
       return false;
     }
-    const Value& key = (*row)[cols[0]];
+    const Value& key = row[cols[0]];
     if (idx->unique) {
       auto exists = tree->Contains(OrderPreservingHash(key));
       if (exists.ok() && *exists) {
@@ -930,12 +939,13 @@ Status Connection::ApplyUndo(const txn::UndoRecord& rec) {
   HDB_ASSIGN_OR_RETURN(catalog::TableDef * table,
                        db_->catalog().GetTableByOid(rec.table_oid));
   table::TableHeap* h = db_->heap(rec.table_oid);
+  // One scratch row serves every decode in this record: each image is
+  // consumed (index maintenance) before the next decode overwrites it.
+  table::Row& row = undo_scratch_row_;
   switch (rec.op) {
     case txn::UndoOp::kInsert: {
-      HDB_ASSIGN_OR_RETURN(
-          const table::Row row,
-          table::DecodeRow(*table, rec.before_image.data(),
-                           rec.before_image.size()));
+      HDB_RETURN_IF_ERROR(table::DecodeRowInto(
+          *table, rec.before_image.data(), rec.before_image.size(), &row));
       HDB_RETURN_IF_ERROR(MaintainOnDelete(table, rec.rid, row));
       return h->Delete(rec.rid);
     }
@@ -944,27 +954,22 @@ Status Connection::ApplyUndo(const txn::UndoRecord& rec) {
           const Rid rid,
           h->Insert(std::string_view(rec.before_image.data(),
                                      rec.before_image.size())));
-      HDB_ASSIGN_OR_RETURN(
-          const table::Row row,
-          table::DecodeRow(*table, rec.before_image.data(),
-                           rec.before_image.size()));
+      HDB_RETURN_IF_ERROR(table::DecodeRowInto(
+          *table, rec.before_image.data(), rec.before_image.size(), &row));
       return MaintainOnInsert(table, rid, row);
     }
     case txn::UndoOp::kUpdate: {
       HDB_ASSIGN_OR_RETURN(const std::string cur_bytes, h->Get(rec.rid));
-      HDB_ASSIGN_OR_RETURN(
-          const table::Row cur,
-          table::DecodeRow(*table, cur_bytes.data(), cur_bytes.size()));
-      HDB_RETURN_IF_ERROR(MaintainOnDelete(table, rec.rid, cur));
+      HDB_RETURN_IF_ERROR(table::DecodeRowInto(*table, cur_bytes.data(),
+                                               cur_bytes.size(), &row));
+      HDB_RETURN_IF_ERROR(MaintainOnDelete(table, rec.rid, row));
       HDB_ASSIGN_OR_RETURN(
           const Rid new_rid,
           h->Update(rec.rid, std::string_view(rec.before_image.data(),
                                               rec.before_image.size())));
-      HDB_ASSIGN_OR_RETURN(
-          const table::Row before,
-          table::DecodeRow(*table, rec.before_image.data(),
-                           rec.before_image.size()));
-      return MaintainOnInsert(table, new_rid, before);
+      HDB_RETURN_IF_ERROR(table::DecodeRowInto(
+          *table, rec.before_image.data(), rec.before_image.size(), &row));
+      return MaintainOnInsert(table, new_rid, row);
     }
   }
   return Status::Internal("unknown undo op");
@@ -991,9 +996,12 @@ Result<std::vector<std::pair<Rid, table::Row>>> Connection::CollectDmlVictims(
   optimizer::RowContext ctx;
   ctx.rows.assign(1, nullptr);
 
+  // Decode into one scratch row; only rows surviving the residual are
+  // copied into `victims`, so filtered-out rows allocate nothing.
+  table::Row row;
   auto consider = [&](Rid rid, std::string_view bytes) -> Result<bool> {
-    HDB_ASSIGN_OR_RETURN(const table::Row row,
-                         table::DecodeRow(*table, bytes.data(), bytes.size()));
+    HDB_RETURN_IF_ERROR(
+        table::DecodeRowInto(*table, bytes.data(), bytes.size(), &row));
     ctx.rows[0] = &row;
     if (node->residual != nullptr) {
       HDB_ASSIGN_OR_RETURN(const bool ok,
@@ -1095,6 +1103,7 @@ Result<QueryResult> Connection::ExecuteSelect(
   ec.memory = task.get();
   ec.num_quantifiers = q.quantifiers.size();
   ec.params = params;
+  ec.batch_cap = db_->options().exec_batch_cap;
 
   HDB_ASSIGN_OR_RETURN(out->rows,
                        exec::ExecuteToRows(plan_to_run.get(), &ec));
@@ -1107,7 +1116,14 @@ Result<QueryResult> Connection::ExecuteSelect(
   db_->exec_partitions_evicted_->Add(ec.stats.hash_partitions_evicted);
   db_->exec_sort_runs_spilled_->Add(ec.stats.sort_runs_spilled);
   db_->exec_group_by_spilled_groups_->Add(ec.stats.group_by_spilled_groups);
-  return *out;
+  db_->exec_batches_->Add(ec.stats.batches);
+  db_->exec_batch_rows_->Add(ec.stats.batch_rows);
+  db_->exec_batch_arena_bytes_->Add(ec.stats.batch_arena_peak_bytes);
+  db_->exec_batch_cap_shrinks_->Add(ec.stats.batch_cap_shrinks);
+  // Move, don't copy: the caller re-assigns the returned value into *out,
+  // so the result set (possibly large) takes two moves instead of a deep
+  // copy per row.
+  return std::move(*out);
 }
 
 Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
@@ -1139,6 +1155,7 @@ Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
   ec.memory = task.get();
   ec.num_quantifiers = q.quantifiers.size();
   ec.actuals = &actuals;
+  ec.batch_cap = db_->options().exec_batch_cap;
 
   // The statement runs in full; the result set is discarded and the
   // annotated plan is the output (estimates vs. actuals, §4's cost-model
@@ -1148,7 +1165,7 @@ Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
   out->exec_stats = ec.stats;
   out->explain = plan->Explain(0, &actuals);
   if (ec.feedback != nullptr) feedback.Flush(&db_->stats());
-  return *out;
+  return std::move(*out);
 }
 
 Result<QueryResult> Connection::ExecuteInsert(const InsertAst& ast) {

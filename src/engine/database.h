@@ -66,6 +66,11 @@ struct DatabaseOptions {
   /// Collect statistics from query execution feedback (paper §3).
   bool auto_feedback = true;
 
+  /// Rows per execution batch for the vectorized executor (DESIGN.md §9);
+  /// 0 = the executor default (exec::kDefaultBatchCap). 1 degenerates to
+  /// row-at-a-time — the batch-parity tests sweep this.
+  size_t exec_batch_cap = 0;
+
   /// Durable medium (DESIGN.md §7). Null = volatile database (all pre-WAL
   /// behavior: nothing survives the Database object). Non-null = the
   /// database's pages live in this StableStorage, which outlives the
@@ -312,6 +317,10 @@ class Database {
   obs::Counter* exec_partitions_evicted_ = nullptr;
   obs::Counter* exec_sort_runs_spilled_ = nullptr;
   obs::Counter* exec_group_by_spilled_groups_ = nullptr;
+  obs::Counter* exec_batches_ = nullptr;
+  obs::Counter* exec_batch_rows_ = nullptr;
+  obs::Counter* exec_batch_arena_bytes_ = nullptr;
+  obs::Counter* exec_batch_cap_shrinks_ = nullptr;
 };
 
 /// A client connection: SQL execution, per-connection plan cache,
@@ -386,6 +395,9 @@ class Connection {
   Database* db_;
   optimizer::PlanCache plan_cache_;
   txn::Transaction* txn_ = nullptr;  // explicit transaction, if any
+  /// Scratch row reused by ApplyUndo across undo records (decode-into,
+  /// no per-record allocation churn). Connections are single-threaded.
+  table::Row undo_scratch_row_;
   /// Statement nesting depth: >0 inside a procedure body, where locks and
   /// the admission slot are inherited from the top-level statement.
   int exec_depth_ = 0;

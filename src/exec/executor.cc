@@ -10,11 +10,36 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <string_view>
+
 #include "common/ophash.h"
 #include "exec/spill.h"
 #include "table/row_codec.h"
 
 namespace hdb::exec {
+
+// Default row→batch adapter: any operator that only speaks the row
+// protocol (nested-loop join, sort) still participates in batch flow by
+// pulling itself row-at-a-time into the caller's batch. CaptureRow copies
+// the bound slots into batch-owned storage, so the batch's pointer
+// lifetime contract holds even though the source pointers rotate per row.
+Result<bool> Operator::NextBatch(RowBatch* batch) {
+  batch->Reset();
+  if (adapter_ctx_.rows.size() != batch->num_slots()) {
+    adapter_ctx_.rows.assign(batch->num_slots(), nullptr);
+    adapter_ctx_.params = batch->params();
+  }
+  const bool with_output = ProducesOutput();
+  size_t n = 0;
+  while (n < batch->capacity()) {
+    HDB_ASSIGN_OR_RETURN(const bool more, Next(&adapter_ctx_));
+    if (!more) break;
+    batch->CaptureRow(n, adapter_ctx_, with_output);
+    ++n;
+  }
+  batch->SetSize(n);
+  return n > 0;
+}
 
 namespace {
 
@@ -142,10 +167,93 @@ void Observe(ExecContext* ec, uint32_t table_oid, const ObservablePred& p,
   }
 }
 
-/// A conjunct plus its (optional) observable classification.
+/// A conjunct compiled down to "column <op> literal" (or BETWEEN two
+/// literals), evaluable against a batch column without walking the
+/// expression tree or constructing a Result<Value> per row. The literals
+/// are non-null, so matching `v.is_null() -> false; else Value::Compare`
+/// is exactly the three-valued-logic outcome of Expr::Evaluate.
+struct FastPred {
+  bool is_between = false;
+  int slot = 0;    // quantifier slot whose batch column holds the row
+  int column = 0;  // column within that row
+  optimizer::CompareOp op = optimizer::CompareOp::kEq;
+  Value lo, hi;  // compare: lo only; between: [lo, hi]
+};
+
+std::optional<FastPred> ClassifyFast(const ExprPtr& e) {
+  using optimizer::CompareOp;
+  if (e->kind() == ExprKind::kCompare) {
+    const Expr* l = e->children()[0].get();
+    const Expr* r = e->children()[1].get();
+    FastPred f;
+    f.op = e->compare_op();
+    if (l->kind() == ExprKind::kColumnRef &&
+        r->kind() == ExprKind::kLiteral) {
+      f.slot = l->quantifier();
+      f.column = l->column();
+      f.lo = r->literal();
+    } else if (r->kind() == ExprKind::kColumnRef &&
+               l->kind() == ExprKind::kLiteral) {
+      f.slot = r->quantifier();
+      f.column = r->column();
+      f.lo = l->literal();
+      switch (f.op) {  // literal <op> column: mirror the operator
+        case CompareOp::kLt: f.op = CompareOp::kGt; break;
+        case CompareOp::kLe: f.op = CompareOp::kGe; break;
+        case CompareOp::kGt: f.op = CompareOp::kLt; break;
+        case CompareOp::kGe: f.op = CompareOp::kLe; break;
+        default: break;  // = and <> are symmetric
+      }
+    } else {
+      return std::nullopt;
+    }
+    if (f.lo.is_null()) return std::nullopt;
+    return f;
+  }
+  if (e->kind() == ExprKind::kBetween) {
+    const Expr* v = e->children()[0].get();
+    const Expr* lo = e->children()[1].get();
+    const Expr* hi = e->children()[2].get();
+    if (v->kind() != ExprKind::kColumnRef ||
+        lo->kind() != ExprKind::kLiteral ||
+        hi->kind() != ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    FastPred f;
+    f.is_between = true;
+    f.slot = v->quantifier();
+    f.column = v->column();
+    f.lo = lo->literal();
+    f.hi = hi->literal();
+    if (f.lo.is_null() || f.hi.is_null()) return std::nullopt;
+    return f;
+  }
+  return std::nullopt;
+}
+
+bool FastMatch(const FastPred& f, const table::Row& row) {
+  using optimizer::CompareOp;
+  const Value& v = row[f.column];
+  if (v.is_null()) return false;  // NULL comparison fails a filter
+  if (f.is_between) return v.Compare(f.lo) >= 0 && v.Compare(f.hi) <= 0;
+  const int c = v.Compare(f.lo);
+  switch (f.op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+/// A conjunct plus its (optional) observable classification and compiled
+/// fast form.
 struct CheckedPred {
   ExprPtr expr;
   std::optional<ObservablePred> observable;
+  std::optional<FastPred> fast;
 };
 
 std::vector<CheckedPred> PrepareResidual(const ExprPtr& residual,
@@ -154,7 +262,8 @@ std::vector<CheckedPred> PrepareResidual(const ExprPtr& residual,
   std::vector<ExprPtr> conjuncts;
   optimizer::SplitConjuncts(residual, &conjuncts);
   for (const ExprPtr& c : conjuncts) {
-    out.push_back(CheckedPred{c, ClassifyObservable(c, quantifier)});
+    out.push_back(
+        CheckedPred{c, ClassifyObservable(c, quantifier), ClassifyFast(c)});
   }
   return out;
 }
@@ -173,6 +282,214 @@ Result<bool> EvalResidual(ExecContext* ec, uint32_t table_oid,
     if (!ok) return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized-execution helpers (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void BumpBatchStats(ExecContext* ec, size_t rows) {
+  ec->stats.batches++;
+  ec->stats.batch_rows += rows;
+}
+
+/// Heterogeneous hash so encoded group/distinct keys can be probed as
+/// string_view without materializing a std::string per row (C++20
+/// transparent unordered lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Rough decoded-row footprint for a table: Value header plus small-string
+/// storage per column, vector header per row. Used only to size batch row
+/// pools against the memory governor's quota, not for exact accounting.
+size_t ApproxRowBytes(const catalog::TableDef& table) {
+  return 48 * table.columns.size() + 64;
+}
+
+/// Effective rows-per-batch for one operator: the configured cap, shrunk
+/// so that a batch row pool of `row_bytes_hint`-sized rows never claims
+/// more than 1/8 of the statement's soft memory quota. Under low-memory
+/// strategies (paper §4.3) the cap degrades toward 1 — back to
+/// row-at-a-time — before the blocking operators above start spilling.
+size_t EffectiveBatchCap(ExecContext* ec, size_t row_bytes_hint) {
+  size_t cap = ec->batch_cap != 0 ? ec->batch_cap : kDefaultBatchCap;
+  cap = std::min(cap, kMaxBatchCap);
+  if (ec->memory != nullptr && ec->pool != nullptr && row_bytes_hint > 0) {
+    const uint64_t soft_bytes =
+        static_cast<uint64_t>(ec->memory->soft_limit_pages()) *
+        ec->pool->page_bytes();
+    const uint64_t max_rows =
+        std::max<uint64_t>(1, (soft_bytes / 8) / row_bytes_hint);
+    if (max_rows < cap) {
+      cap = static_cast<size_t>(max_rows);
+      ec->stats.batch_cap_shrinks++;
+    }
+  }
+  return cap;
+}
+
+/// Charges a batch row pool ("arena") against the statement quota and
+/// tracks the live/peak arena bytes. `*charged` accumulates what must be
+/// released.
+Status ChargeArena(ExecContext* ec, uint64_t bytes, uint64_t* charged) {
+  if (bytes == 0) return Status::OK();
+  if (ec->memory != nullptr) {
+    HDB_RETURN_IF_ERROR(ec->memory->ChargeBytes(bytes));
+  }
+  *charged += bytes;
+  ec->batch_arena_live += bytes;
+  ec->stats.batch_arena_peak_bytes =
+      std::max(ec->stats.batch_arena_peak_bytes, ec->batch_arena_live);
+  return Status::OK();
+}
+
+void ReleaseArena(ExecContext* ec, uint64_t* charged) {
+  if (*charged == 0) return;
+  if (ec->memory != nullptr) ec->memory->ReleaseBytes(*charged);
+  ec->batch_arena_live -= std::min(ec->batch_arena_live, *charged);
+  *charged = 0;
+}
+
+void InitScratchCtx(ExecContext* ec, RowContext* ctx) {
+  ctx->rows.assign(ec->num_quantifiers + 1, nullptr);
+  ctx->params = ec->params;
+}
+
+/// Applies residual conjuncts to a batch by compacting its selection
+/// vector, conjunct-major: conjunct j is only evaluated on the survivors
+/// of conjuncts 1..j-1, so per-row short-circuiting — and therefore the
+/// set of feedback observations (paper §3.2) — is identical to the
+/// row-at-a-time path. In-place compaction is safe because the write
+/// index never passes the read index.
+Status ApplyPredsToBatch(ExecContext* ec, uint32_t table_oid,
+                         const std::vector<CheckedPred>& preds, RowBatch* b,
+                         RowContext* ctx) {
+  for (const CheckedPred& p : preds) {
+    const size_t n = b->ActiveCount();
+    if (n == 0) break;
+    uint16_t* sel = b->MutableSel();
+    size_t k = 0;
+    const table::Row* const* fast_col =
+        p.fast.has_value() ? b->Column(p.fast->slot) : nullptr;
+    if (fast_col != nullptr) {
+      // Compiled simple conjunct: tight loop over the batch column, no
+      // RowContext binding and no expression-tree walk per row.
+      const FastPred& f = *p.fast;
+      const bool observe = p.observable.has_value() && ec != nullptr;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pos = b->Active(i);
+        const bool ok = FastMatch(f, *fast_col[pos]);
+        if (observe) Observe(ec, table_oid, *p.observable, ok);
+        if (ok) sel[k++] = static_cast<uint16_t>(pos);
+      }
+      b->SetSelection(k);
+      continue;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pos = b->Active(i);
+      b->BindRow(pos, ctx);
+      HDB_ASSIGN_OR_RETURN(const bool ok, p.expr->EvaluatesToTrue(*ctx));
+      if (p.observable.has_value() && ec != nullptr) {
+        Observe(ec, table_oid, *p.observable, ok);
+      }
+      if (ok) sel[k++] = static_cast<uint16_t>(pos);
+    }
+    b->SetSelection(k);
+  }
+  return Status::OK();
+}
+
+/// Splits an expression into unobserved CheckedPreds (plain conjuncts, no
+/// feedback classification) for batch evaluation of join extra conditions
+/// and standalone filters.
+std::vector<CheckedPred> PrepareUnobserved(const ExprPtr& e) {
+  std::vector<CheckedPred> out;
+  if (e == nullptr) return out;
+  std::vector<ExprPtr> conjuncts;
+  optimizer::SplitConjuncts(e, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    out.push_back(CheckedPred{c, std::nullopt, ClassifyFast(c)});
+  }
+  return out;
+}
+
+/// Evaluates `e` for the row bound in `ctx`, fast-pathing the ubiquitous
+/// plain-column case: a single copy-assign (which keeps `out`'s string
+/// capacity) instead of an Evaluate tree walk returning a fresh
+/// Result<Value> per row.
+Status EvalExprInto(const Expr* e, const RowContext& ctx, Value* out) {
+  if (e->kind() == ExprKind::kColumnRef) {
+    const table::Row* r = ctx.rows[e->quantifier()];
+    if (r != nullptr) {
+      *out = (*r)[e->column()];
+      return Status::OK();
+    }
+  }
+  HDB_ASSIGN_OR_RETURN(Value v, e->Evaluate(ctx));
+  *out = std::move(v);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Column pruning (DESIGN.md §9): which columns of each quantifier's base
+// table does the plan actually reference? A scan hands the mask to
+// DecodeRowInto so unreferenced columns are skipped in the byte stream
+// rather than copied into the row pool.
+// ---------------------------------------------------------------------------
+
+void CollectExprColumns(const Expr* e,
+                        std::vector<std::vector<uint8_t>>* masks) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kColumnRef) {
+    const int q = e->quantifier();
+    const int c = e->column();
+    if (q >= 0 && c >= 0) {
+      if (masks->size() <= static_cast<size_t>(q)) masks->resize(q + 1);
+      auto& m = (*masks)[q];
+      if (m.size() <= static_cast<size_t>(c)) m.resize(c + 1, 0);
+      m[c] = 1;
+    }
+  }
+  for (const ExprPtr& ch : e->children()) CollectExprColumns(ch.get(), masks);
+}
+
+void CollectPlanColumnMasks(const PlanNode* n,
+                            std::vector<std::vector<uint8_t>>* masks) {
+  CollectExprColumns(n->residual.get(), masks);
+  CollectExprColumns(n->outer_key.get(), masks);
+  CollectExprColumns(n->inner_key.get(), masks);
+  CollectExprColumns(n->extra_condition.get(), masks);
+  CollectExprColumns(n->index_lo_expr.get(), masks);
+  CollectExprColumns(n->index_hi_expr.get(), masks);
+  CollectExprColumns(n->having.get(), masks);
+  for (const ExprPtr& k : n->group_keys) CollectExprColumns(k.get(), masks);
+  for (const auto& a : n->aggregates) CollectExprColumns(a.arg.get(), masks);
+  for (const auto& o : n->order) CollectExprColumns(o.expr.get(), masks);
+  for (const auto& p : n->projections) CollectExprColumns(p.expr.get(), masks);
+  for (const auto& c : n->children) CollectPlanColumnMasks(c.get(), masks);
+}
+
+/// Plan-level mirror of Operator::ProducesOutput: true when the root
+/// chain delivers projected output rows, so result fetch never flattens
+/// raw quantifier slots — the precondition for column pruning.
+bool PlanProducesOutput(const PlanNode* n) {
+  switch (n->kind) {
+    case PlanKind::kProject:
+    case PlanKind::kHashDistinct:
+      return true;
+    case PlanKind::kFilter:
+    case PlanKind::kLimit:
+      return !n->children.empty() && PlanProducesOutput(n->children[0].get());
+    default:
+      // Sort and the joins/scans mirror Operator::ProducesOutput and
+      // report false; result fetch flattens raw slots for them, so every
+      // column must be materialized.
+      return false;
+  }
 }
 
 void CollectBoundQuantifiers(const PlanNode* n, std::vector<int>* out) {
@@ -203,6 +520,7 @@ class SeqScanOp : public Operator {
         preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
 
   Status Open() override {
+    InitScratchCtx(ec_, &scratch_);
     if (plan_->table->is_virtual) {
       // sys.* scan: the engine materializes live telemetry rows here.
       if (ec_->virtual_rows == nullptr) {
@@ -211,12 +529,65 @@ class SeqScanOp : public Operator {
       HDB_ASSIGN_OR_RETURN(virtual_rows_,
                            ec_->virtual_rows(plan_->table->oid));
       virtual_pos_ = 0;
+      cap_ = EffectiveBatchCap(ec_, 0);
       return Status::OK();
     }
     heap_ = ec_->table_heap(plan_->table->oid);
     if (heap_ == nullptr) return Status::Internal("missing table heap");
     it_ = heap_->Scan();
+    const size_t hint = ApproxRowBytes(*plan_->table);
+    cap_ = EffectiveBatchCap(ec_, hint);
+    HDB_RETURN_IF_ERROR(ChargeArena(ec_, cap_ * hint, &arena_charged_));
+    // Column pruning: when ExecuteToRows computed reference masks (root
+    // projects output), decode only the columns this plan touches. The
+    // decoder is prepared either way — fixed-offset decode pays off even
+    // without a mask.
+    const uint8_t* needed = nullptr;
+    if (!ec_->scan_masks.empty()) {
+      const auto q = static_cast<size_t>(plan_->quantifier);
+      mask_storage_.assign(plan_->table->columns.size(), 0);
+      if (q < ec_->scan_masks.size()) {
+        const auto& m = ec_->scan_masks[q];
+        std::copy(m.begin(),
+                  m.begin() + std::min(m.size(), mask_storage_.size()),
+                  mask_storage_.begin());
+      }
+      needed = mask_storage_.data();
+    }
+    decoder_.Prepare(*plan_->table, needed);
     return Status::OK();
+  }
+
+  Result<bool> NextBatch(RowBatch* b) override {
+    b->Reset();
+    const size_t cap = std::min(cap_, b->capacity());
+    if (plan_->table->is_virtual) {
+      if (virtual_pos_ >= virtual_rows_.size()) return false;
+      const size_t n = std::min(cap, virtual_rows_.size() - virtual_pos_);
+      const table::Row** col = b->BindSlot(plan_->quantifier);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = &virtual_rows_[virtual_pos_ + i];
+      }
+      virtual_pos_ += n;
+      ec_->stats.rows_scanned += n;
+      BumpBatchStats(ec_, n);
+      b->SetSize(n);
+      HDB_RETURN_IF_ERROR(
+          ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
+      return true;
+    }
+    HDB_ASSIGN_OR_RETURN(
+        const size_t n, it_->NextRows(cap, &rows_pool_, &rids_pool_,
+                                      &decoder_));
+    if (n == 0) return false;
+    ec_->stats.rows_scanned += n;
+    BumpBatchStats(ec_, n);
+    const table::Row** col = b->BindSlot(plan_->quantifier);
+    for (size_t i = 0; i < n; ++i) col[i] = &rows_pool_[i];
+    b->SetSize(n);
+    HDB_RETURN_IF_ERROR(
+        ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
+    return true;
   }
 
   Result<bool> Next(RowContext* ctx) override {
@@ -248,7 +619,10 @@ class SeqScanOp : public Operator {
     return false;
   }
 
-  void Close() override { it_.reset(); }
+  void Close() override {
+    it_.reset();
+    ReleaseArena(ec_, &arena_charged_);
+  }
 
  private:
   const PlanNode* plan_;
@@ -259,6 +633,15 @@ class SeqScanOp : public Operator {
   std::vector<std::vector<Value>> virtual_rows_;
   size_t virtual_pos_ = 0;
   std::vector<Value> row_;
+  // Batch path: reusable decoded-row pool (the "arena") + scratch context
+  // for residual evaluation.
+  size_t cap_ = kDefaultBatchCap;
+  uint64_t arena_charged_ = 0;
+  std::vector<table::Row> rows_pool_;
+  std::vector<Rid> rids_pool_;
+  std::vector<uint8_t> mask_storage_;  // padded to the table's arity
+  table::RowDecoder decoder_;          // compiled (schema, mask) decode
+  RowContext scratch_;
 };
 
 class IndexScanOp : public Operator {
@@ -293,12 +676,34 @@ class IndexScanOp : public Operator {
                            plan_->index_hi_expr->Evaluate(param_ctx));
       hi = OrderPreservingHash(v);
     }
-    return tree->ScanRange(lo, plan_->index_lo_inclusive, hi,
-                           plan_->index_hi_inclusive,
-                           [this](double, Rid rid) {
-                             rids_.push_back(rid);
-                             return true;
-                           });
+    HDB_RETURN_IF_ERROR(tree->ScanRange(lo, plan_->index_lo_inclusive, hi,
+                                        plan_->index_hi_inclusive,
+                                        [this](double, Rid rid) {
+                                          rids_.push_back(rid);
+                                          return true;
+                                        }));
+    InitScratchCtx(ec_, &scratch_);
+    const size_t hint = ApproxRowBytes(*plan_->table);
+    cap_ = EffectiveBatchCap(ec_, hint);
+    HDB_RETURN_IF_ERROR(ChargeArena(ec_, cap_ * hint, &arena_charged_));
+    return Status::OK();
+  }
+
+  Result<bool> NextBatch(RowBatch* b) override {
+    b->Reset();
+    if (pos_ >= rids_.size()) return false;
+    const size_t n = std::min(std::min(cap_, b->capacity()),
+                              rids_.size() - pos_);
+    HDB_RETURN_IF_ERROR(heap_->GetMany(&rids_[pos_], n, &rows_pool_));
+    pos_ += n;
+    ec_->stats.rows_scanned += n;
+    BumpBatchStats(ec_, n);
+    const table::Row** col = b->BindSlot(plan_->quantifier);
+    for (size_t i = 0; i < n; ++i) col[i] = &rows_pool_[i];
+    b->SetSize(n);
+    HDB_RETURN_IF_ERROR(
+        ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
+    return true;
   }
 
   Result<bool> Next(RowContext* ctx) override {
@@ -317,7 +722,7 @@ class IndexScanOp : public Operator {
     return false;
   }
 
-  void Close() override {}
+  void Close() override { ReleaseArena(ec_, &arena_charged_); }
 
  private:
   const PlanNode* plan_;
@@ -327,6 +732,10 @@ class IndexScanOp : public Operator {
   std::vector<Rid> rids_;
   size_t pos_ = 0;
   std::vector<Value> row_;
+  size_t cap_ = kDefaultBatchCap;
+  uint64_t arena_charged_ = 0;
+  std::vector<table::Row> rows_pool_;
+  RowContext scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -336,7 +745,8 @@ class IndexScanOp : public Operator {
 class FilterOp : public Operator {
  public:
   FilterOp(const PlanNode* plan, std::unique_ptr<Operator> child)
-      : plan_(plan), child_(std::move(child)) {}
+      : plan_(plan), child_(std::move(child)),
+        conjuncts_(PrepareUnobserved(plan->residual)) {}
 
   Status Open() override { return child_->Open(); }
 
@@ -351,18 +761,45 @@ class FilterOp : public Operator {
     }
   }
 
+  Result<bool> NextBatch(RowBatch* b) override {
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(b));
+    if (!more) return false;
+    if (scratch_.rows.size() != b->num_slots()) {
+      scratch_.rows.assign(b->num_slots(), nullptr);
+      scratch_.params = b->params();
+    }
+    HDB_RETURN_IF_ERROR(ApplyPredsToBatch(/*ec=*/nullptr, /*table_oid=*/0,
+                                          conjuncts_, b, &scratch_));
+    return true;
+  }
+
   void Close() override { child_->Close(); }
   bool ProducesOutput() const override { return child_->ProducesOutput(); }
 
  private:
   const PlanNode* plan_;
   std::unique_ptr<Operator> child_;
+  std::vector<CheckedPred> conjuncts_;
+  RowContext scratch_;
 };
 
 class ProjectOp : public Operator {
  public:
   ProjectOp(const PlanNode* plan, std::unique_ptr<Operator> child)
-      : plan_(plan), child_(std::move(child)) {}
+      : plan_(plan), child_(std::move(child)) {
+    // Plain pass-through projection (every item a column reference) gets a
+    // dedicated loop reading child batch columns directly — no RowContext
+    // binding and no expression dispatch per row.
+    all_simple_ = !plan_->projections.empty();
+    for (const auto& item : plan_->projections) {
+      if (item.expr == nullptr || item.expr->kind() != ExprKind::kColumnRef ||
+          item.expr->quantifier() < 0) {
+        all_simple_ = false;
+        break;
+      }
+      simple_.emplace_back(item.expr->quantifier(), item.expr->column());
+    }
+  }
 
   Status Open() override { return child_->Open(); }
 
@@ -378,12 +815,59 @@ class ProjectOp : public Operator {
     return true;
   }
 
+  Result<bool> NextBatch(RowBatch* b) override {
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(b));
+    if (!more) return false;
+    if (scratch_.rows.size() != b->num_slots()) {
+      scratch_.rows.assign(b->num_slots(), nullptr);
+      scratch_.params = b->params();
+    }
+    const size_t n = b->ActiveCount();
+    const size_t nproj = plan_->projections.size();
+    if (all_simple_) {
+      bool cols_ok = true;
+      src_cols_.resize(nproj);
+      for (size_t j = 0; j < nproj; ++j) {
+        src_cols_[j] = b->Column(simple_[j].first);
+        cols_ok &= src_cols_[j] != nullptr;
+      }
+      if (cols_ok) {
+        table::Row* outcol = b->OutputColumn();
+        for (size_t i = 0; i < n; ++i) {
+          const size_t pos = b->Active(i);
+          table::Row& out = outcol[pos];
+          out.resize(nproj);
+          for (size_t j = 0; j < nproj; ++j) {
+            out[j] = (*src_cols_[j][pos])[simple_[j].second];
+          }
+        }
+        return true;
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pos = b->Active(i);
+      b->BindRow(pos, &scratch_);
+      table::Row* out = b->OutputRow(pos);
+      out->resize(nproj);
+      for (size_t j = 0; j < nproj; ++j) {
+        // Copy-assign into the reused output slot keeps string capacity.
+        HDB_RETURN_IF_ERROR(EvalExprInto(plan_->projections[j].expr.get(),
+                                         scratch_, &(*out)[j]));
+      }
+    }
+    return true;
+  }
+
   void Close() override { child_->Close(); }
   bool ProducesOutput() const override { return true; }
 
  private:
   const PlanNode* plan_;
   std::unique_ptr<Operator> child_;
+  bool all_simple_ = false;
+  std::vector<std::pair<int, int>> simple_;  // (quantifier, column)
+  std::vector<const table::Row* const*> src_cols_;
+  RowContext scratch_;
 };
 
 class LimitOp : public Operator {
@@ -401,6 +885,18 @@ class LimitOp : public Operator {
     HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
     if (!more) return false;
     ++emitted_;
+    return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* b) override {
+    if (plan_->limit >= 0 && emitted_ >= plan_->limit) return false;
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(b));
+    if (!more) return false;
+    if (plan_->limit >= 0) {
+      const auto remaining = static_cast<size_t>(plan_->limit - emitted_);
+      if (b->ActiveCount() > remaining) b->TruncateActive(remaining);
+    }
+    emitted_ += static_cast<int64_t>(b->ActiveCount());
     return true;
   }
 
@@ -438,6 +934,28 @@ class HashDistinctOp : public Operator {
     }
   }
 
+  Result<bool> NextBatch(RowBatch* b) override {
+    HDB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(b));
+    if (!more) return false;
+    const size_t n = b->ActiveCount();
+    uint16_t* sel = b->MutableSel();
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pos = b->Active(i);
+      EncodeValuesTo(b->output(pos), &key_buf_);
+      // Transparent find: duplicates (the common case) never allocate.
+      if (seen_.find(std::string_view(key_buf_)) == seen_.end()) {
+        seen_.insert(key_buf_);
+        if (ec_->memory != nullptr) {
+          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(key_buf_.size() + 32));
+        }
+        sel[k++] = static_cast<uint16_t>(pos);
+      }
+    }
+    b->SetSelection(k);
+    return true;
+  }
+
   void Close() override {
     child_->Close();
     if (ec_->memory != nullptr) {
@@ -453,7 +971,9 @@ class HashDistinctOp : public Operator {
   const PlanNode* plan_;
   std::unique_ptr<Operator> child_;
   ExecContext* ec_;
-  std::unordered_set<std::string> seen_;
+  std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+      seen_;
+  std::string key_buf_;
 };
 
 // ---------------------------------------------------------------------------
@@ -512,7 +1032,8 @@ class IndexNLJoinOp : public Operator {
   IndexNLJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
                 ExecContext* ec)
       : plan_(plan), outer_(std::move(outer)), ec_(ec),
-        preds_(PrepareResidual(plan->residual, plan->quantifier)) {}
+        preds_(PrepareResidual(plan->residual, plan->quantifier)),
+        extra_preds_(PrepareUnobserved(plan->extra_condition)) {}
 
   Status Open() override {
     heap_ = ec_->table_heap(plan_->table->oid);
@@ -522,6 +1043,13 @@ class IndexNLJoinOp : public Operator {
     }
     matches_.clear();
     pos_ = 0;
+    InitScratchCtx(ec_, &scratch_);
+    pending_.clear();
+    pending_pos_ = 0;
+    outer_done_ = false;
+    const size_t hint = ApproxRowBytes(*plan_->table);
+    cap_ = EffectiveBatchCap(ec_, hint);
+    HDB_RETURN_IF_ERROR(ChargeArena(ec_, cap_ * hint, &arena_charged_));
     return outer_->Open();
   }
 
@@ -564,18 +1092,103 @@ class IndexNLJoinOp : public Operator {
     }
   }
 
-  void Close() override { outer_->Close(); }
+  Result<bool> NextBatch(RowBatch* b) override {
+    b->Reset();
+    for (;;) {
+      if (pending_pos_ < pending_.size()) {
+        // Fetch up to one batch of matched inner rows (one heap latch for
+        // the whole chunk) and pair them with their outer rows.
+        const size_t n = std::min(std::min(cap_, b->capacity()),
+                                  pending_.size() - pending_pos_);
+        fetch_rids_.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          fetch_rids_[i] = pending_[pending_pos_ + i].second;
+        }
+        HDB_RETURN_IF_ERROR(heap_->GetMany(fetch_rids_.data(), n,
+                                           &fetch_pool_));
+        const table::Row** col = b->BindSlot(plan_->quantifier);
+        for (size_t i = 0; i < n; ++i) {
+          outer_batch_->CopySlots(pending_[pending_pos_ + i].first, b, i);
+          col[i] = &fetch_pool_[i];
+        }
+        pending_pos_ += n;
+        b->SetSize(n);
+        BumpBatchStats(ec_, n);
+        HDB_RETURN_IF_ERROR(
+            ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
+        HDB_RETURN_IF_ERROR(ApplyPredsToBatch(/*ec=*/nullptr, /*table_oid=*/0,
+                                              extra_preds_, b, &scratch_));
+        return true;
+      }
+      if (outer_done_) return false;
+      if (outer_batch_ == nullptr) {
+        outer_batch_ = std::make_unique<RowBatch>(
+            ec_->num_quantifiers + 1, cap_, ec_->params);
+      }
+      HDB_ASSIGN_OR_RETURN(const bool more,
+                           outer_->NextBatch(outer_batch_.get()));
+      if (!more) {
+        outer_done_ = true;
+        continue;
+      }
+      // Evaluate the outer keys for the whole batch, then probe the B-tree
+      // under a single index latch.
+      pending_.clear();
+      pending_pos_ = 0;
+      probe_keys_.clear();
+      probe_pos_.clear();
+      const size_t on = outer_batch_->ActiveCount();
+      for (size_t i = 0; i < on; ++i) {
+        const size_t opos = outer_batch_->Active(i);
+        outer_batch_->BindRow(opos, &scratch_);
+        HDB_RETURN_IF_ERROR(
+            EvalExprInto(plan_->outer_key.get(), scratch_, &key_scratch_));
+        const Value& key = key_scratch_;
+        if (key.is_null()) continue;  // NULL never equi-joins
+        probe_keys_.push_back(OrderPreservingHash(key));
+        probe_pos_.push_back(static_cast<uint16_t>(opos));
+      }
+      if (!probe_keys_.empty()) {
+        HDB_RETURN_IF_ERROR(tree_->ScanEqualBatch(
+            probe_keys_.data(), probe_keys_.size(),
+            [this](size_t i, Rid rid) {
+              pending_.emplace_back(probe_pos_[i], rid);
+              return true;
+            }));
+      }
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    ReleaseArena(ec_, &arena_charged_);
+  }
 
  private:
   const PlanNode* plan_;
   std::unique_ptr<Operator> outer_;
   ExecContext* ec_;
   std::vector<CheckedPred> preds_;
+  std::vector<CheckedPred> extra_preds_;
   table::TableHeap* heap_ = nullptr;
   index::BTree* tree_ = nullptr;
   std::vector<Rid> matches_;
   size_t pos_ = 0;
   std::vector<Value> row_;
+  // Batch path: outer batch, (outer pos, inner rid) match list, and the
+  // reusable inner-row pool.
+  std::unique_ptr<RowBatch> outer_batch_;
+  bool outer_done_ = false;
+  std::vector<std::pair<uint16_t, Rid>> pending_;
+  size_t pending_pos_ = 0;
+  std::vector<double> probe_keys_;
+  std::vector<uint16_t> probe_pos_;
+  std::vector<Rid> fetch_rids_;
+  std::vector<table::Row> fetch_pool_;
+  size_t cap_ = kDefaultBatchCap;
+  uint64_t arena_charged_ = 0;
+  Value key_scratch_;  // reused join-key value (keeps string capacity)
+  RowContext scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -590,7 +1203,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
   HashJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
              std::unique_ptr<Operator> inner, ExecContext* ec)
       : plan_(plan), outer_(std::move(outer)), inner_(std::move(inner)),
-        ec_(ec) {
+        ec_(ec), extra_preds_(PrepareUnobserved(plan->extra_condition)) {
     CollectBoundQuantifiers(plan_->children[0].get(), &outer_quants_);
   }
 
@@ -598,6 +1211,11 @@ class HashJoinOp : public Operator, public MemoryConsumer {
 
   Status Open() override {
     build_quantifier_ = plan_->children[1]->quantifier;
+    InitScratchCtx(ec_, &probe_ctx_);
+    InitScratchCtx(ec_, &row_ctx_);
+    cap_ = EffectiveBatchCap(ec_, 0);
+    emit_.clear();
+    emit_pos_ = 0;
     if (ec_->memory != nullptr) {
       plan_level = 1;
       ec_->memory->RegisterConsumer(this);
@@ -670,6 +1288,81 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     }
   }
 
+  Result<bool> NextBatch(RowBatch* b) override {
+    b->Reset();
+    if (alternate_) {
+      // The alternate strategy and spilled-partition replays stay
+      // row-oriented (they are the degraded low-memory paths); capture
+      // their rows into the batch.
+      return FillFromRowFn(b, [this](RowContext* c) {
+        return NextAlternate(c);
+      });
+    }
+    for (;;) {
+      if (emit_pos_ < emit_.size()) {
+        const size_t n = std::min(std::min(cap_, b->capacity()),
+                                  emit_.size() - emit_pos_);
+        const table::Row** col = b->BindSlot(build_quantifier_);
+        for (size_t i = 0; i < n; ++i) {
+          const auto& [opos, idx] = emit_[emit_pos_ + i];
+          outer_batch_->CopySlots(opos, b, i);
+          col[i] = &build_rows_[idx];
+        }
+        emit_pos_ += n;
+        b->SetSize(n);
+        HDB_RETURN_IF_ERROR(ApplyPredsToBatch(/*ec=*/nullptr, /*table_oid=*/0,
+                                              extra_preds_, b, &probe_ctx_));
+        return true;
+      }
+      if (outer_done_) {
+        return FillFromRowFn(b, [this](RowContext* c) {
+          return NextSpilled(c);
+        });
+      }
+      if (outer_batch_ == nullptr) {
+        outer_batch_ = std::make_unique<RowBatch>(
+            ec_->num_quantifiers + 1, cap_, ec_->params);
+      }
+      HDB_ASSIGN_OR_RETURN(const bool more,
+                           outer_->NextBatch(outer_batch_.get()));
+      if (!more) {
+        outer_done_ = true;
+        HDB_RETURN_IF_ERROR(PrepareSpilledProcessing());
+        continue;
+      }
+      // Probe the whole outer batch, collecting (outer pos, build row)
+      // match pairs for chunked emission.
+      emit_.clear();
+      emit_pos_ = 0;
+      const size_t on = outer_batch_->ActiveCount();
+      for (size_t i = 0; i < on; ++i) {
+        const size_t opos = outer_batch_->Active(i);
+        outer_batch_->BindRow(opos, &probe_ctx_);
+        HDB_RETURN_IF_ERROR(
+            EvalExprInto(plan_->outer_key.get(), probe_ctx_, &key_scratch_));
+        const Value& key = key_scratch_;
+        if (key.is_null()) continue;
+        const uint64_t h = key.Hash();
+        const int p = static_cast<int>(h % kPartitions);
+        if (partition_spilled_[p]) {
+          flat_scratch_.clear();
+          FlattenOuter(probe_ctx_, &flat_scratch_);
+          HDB_RETURN_IF_ERROR(probe_spill_[p]->Append(flat_scratch_));
+          ec_->stats.hash_spilled_tuples++;
+          continue;
+        }
+        auto it = table_.find(h);
+        if (it == table_.end()) continue;
+        for (const size_t idx : it->second) {
+          if (build_partition_[idx] == p &&
+              build_keys_[idx].Compare(key) == 0) {
+            emit_.emplace_back(static_cast<uint16_t>(opos), idx);
+          }
+        }
+      }
+    }
+  }
+
   void Close() override {
     outer_->Close();
     inner_->Close();
@@ -733,38 +1426,49 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     RowContext build_ctx;
     build_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
     build_ctx.params = ec_->params;
+    if (build_batch_ == nullptr) {
+      build_batch_ = std::make_unique<RowBatch>(ec_->num_quantifiers + 1,
+                                                cap_, ec_->params);
+    }
     for (;;) {
-      HDB_ASSIGN_OR_RETURN(const bool more, inner_->Next(&build_ctx));
+      HDB_ASSIGN_OR_RETURN(const bool more,
+                           inner_->NextBatch(build_batch_.get()));
       if (!more) break;
-      HDB_ASSIGN_OR_RETURN(const Value key,
-                           plan_->inner_key->Evaluate(build_ctx));
-      if (key.is_null()) continue;
-      const uint64_t h = key.Hash();
-      const int p = static_cast<int>(h % kPartitions);
-      const std::vector<Value>& row = *build_ctx.rows[build_quantifier_];
-      if (partition_spilled_[p]) {
-        HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
-        ec_->stats.hash_spilled_tuples++;
-        continue;
+      const size_t bn = build_batch_->ActiveCount();
+      for (size_t r = 0; r < bn; ++r) {
+        build_ctx.rows[build_quantifier_] = nullptr;
+        build_batch_->BindRow(build_batch_->Active(r), &build_ctx);
+        HDB_RETURN_IF_ERROR(
+            EvalExprInto(plan_->inner_key.get(), build_ctx, &key_scratch_));
+        const Value& key = key_scratch_;
+        if (key.is_null()) continue;
+        const uint64_t h = key.Hash();
+        const int p = static_cast<int>(h % kPartitions);
+        const std::vector<Value>& row = *build_ctx.rows[build_quantifier_];
+        if (partition_spilled_[p]) {
+          HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
+          ec_->stats.hash_spilled_tuples++;
+          continue;
+        }
+        const uint64_t row_bytes = 48 * row.size() + 64;
+        if (ec_->memory != nullptr) {
+          // Charging may trigger reclamation, which may evict partitions —
+          // including p — via ReleasePages re-entering this operator.
+          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(row_bytes));
+        }
+        build_bytes_ += row_bytes;
+        if (partition_spilled_[p]) {
+          HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
+          ec_->stats.hash_spilled_tuples++;
+          continue;
+        }
+        const size_t idx = build_rows_.size();
+        build_rows_.push_back(row);
+        build_keys_.push_back(key);
+        build_partition_.push_back(p);
+        partition_rows_[p]++;
+        table_[h].push_back(idx);
       }
-      const uint64_t row_bytes = 48 * row.size() + 64;
-      if (ec_->memory != nullptr) {
-        // Charging may trigger reclamation, which may evict partitions —
-        // including p — via ReleasePages re-entering this operator.
-        HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(row_bytes));
-      }
-      build_bytes_ += row_bytes;
-      if (partition_spilled_[p]) {
-        HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
-        ec_->stats.hash_spilled_tuples++;
-        continue;
-      }
-      const size_t idx = build_rows_.size();
-      build_rows_.push_back(row);
-      build_keys_.push_back(key);
-      build_partition_.push_back(p);
-      partition_rows_[p]++;
-      table_[h].push_back(idx);
     }
     inner_->Close();
     return Status::OK();
@@ -827,6 +1531,22 @@ class HashJoinOp : public Operator, public MemoryConsumer {
       outer_arity_[n->quantifier] = n->table->columns.size();
     }
     for (const auto& c : n->children) RecordArities(c.get());
+  }
+
+  /// Fills a batch by capturing rows from a row-producing member function
+  /// (spilled-partition replay, alternate strategy). The sources rebind
+  /// per-row storage, so CaptureRow's copy is required.
+  template <typename Fn>
+  Result<bool> FillFromRowFn(RowBatch* b, Fn&& fn) {
+    size_t n = 0;
+    while (n < std::min(cap_, b->capacity())) {
+      HDB_ASSIGN_OR_RETURN(const bool more, fn(&row_ctx_));
+      if (!more) break;
+      b->CaptureRow(n, row_ctx_, /*with_output=*/false);
+      ++n;
+    }
+    b->SetSize(n);
+    return n > 0;
   }
 
   Result<bool> NextSpilled(RowContext* ctx) {
@@ -989,6 +1709,20 @@ class HashJoinOp : public Operator, public MemoryConsumer {
   size_t match_pos_ = 0;
   bool outer_done_ = false;
 
+  // Batch path: outer/build batches, (outer pos, build idx) match list
+  // for chunked emission, and scratch contexts. row_ctx_ is dedicated to
+  // the row-oriented capture paths (spill replay, alternate strategy).
+  std::unique_ptr<RowBatch> outer_batch_;
+  std::unique_ptr<RowBatch> build_batch_;
+  std::vector<std::pair<uint16_t, size_t>> emit_;
+  size_t emit_pos_ = 0;
+  std::vector<CheckedPred> extra_preds_;
+  std::vector<Value> flat_scratch_;
+  size_t cap_ = kDefaultBatchCap;
+  Value key_scratch_;  // reused join-key value (keeps string capacity)
+  RowContext probe_ctx_;
+  RowContext row_ctx_;
+
   // Spilled-partition processing state.
   int spill_partition_ = 0;
   bool spill_loaded_ = false;
@@ -1122,6 +1856,38 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
     return false;
   }
 
+  Result<bool> NextBatch(RowBatch* b) override {
+    b->Reset();
+    const size_t group_slot = ec_->num_quantifiers;
+    // Bind result rows directly: the results_ map is stable for the whole
+    // emission phase, so no copy per group is needed.
+    const table::Row** col = b->BindSlot(group_slot);
+    size_t n = 0;
+    while (n < b->capacity() && pos_ != results_.end()) {
+      col[n++] = &pos_->second;
+      ++pos_;
+    }
+    if (n == 0) return false;
+    b->SetSize(n);
+    if (plan_->having != nullptr) {
+      if (emit_ctx_.rows.size() != b->num_slots()) {
+        emit_ctx_.rows.assign(b->num_slots(), nullptr);
+        emit_ctx_.params = b->params();
+      }
+      uint16_t* sel = b->MutableSel();
+      size_t k = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pos = b->Active(i);
+        b->BindRow(pos, &emit_ctx_);
+        HDB_ASSIGN_OR_RETURN(const bool ok,
+                             plan_->having->EvaluatesToTrue(emit_ctx_));
+        if (ok) sel[k++] = static_cast<uint16_t>(pos);
+      }
+      b->SetSelection(k);
+    }
+    return true;
+  }
+
   void Close() override {
     child_->Close();
     if (ec_->memory != nullptr) {
@@ -1170,40 +1936,61 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
     RowContext ctx;
     ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
     ctx.params = ec_->params;
+    if (child_batch_ == nullptr) {
+      child_batch_ = std::make_unique<RowBatch>(
+          ec_->num_quantifiers + 1, EffectiveBatchCap(ec_, 0), ec_->params);
+    }
+    const size_t nkeys = plan_->group_keys.size();
+    const size_t naggs = plan_->aggregates.size();
+    scratch_keys_.resize(nkeys);
+    scratch_args_.resize(naggs);
     for (;;) {
-      HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(&ctx));
+      HDB_ASSIGN_OR_RETURN(const bool more,
+                           child_->NextBatch(child_batch_.get()));
       if (!more) break;
-      std::vector<Value> keys;
-      keys.reserve(plan_->group_keys.size());
-      for (const ExprPtr& k : plan_->group_keys) {
-        HDB_ASSIGN_OR_RETURN(Value v, k->Evaluate(ctx));
-        keys.push_back(std::move(v));
-      }
-      const std::string key = EncodeValues(keys);
-      auto [it, inserted] = groups_.try_emplace(key);
-      if (inserted) {
-        it->second.key_values = keys;
-        it->second.states.resize(plan_->aggregates.size());
-        const uint64_t bytes = key.size() + 64 * plan_->aggregates.size() + 64;
-        bytes_held_ += bytes;
-        if (ec_->memory != nullptr) {
-          // May trigger ReleasePages -> fallback spill, clearing groups_.
-          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
-          if (groups_.empty()) {
-            auto [it2, ins2] = groups_.try_emplace(key);
-            it2->second.key_values = keys;
-            it2->second.states.resize(plan_->aggregates.size());
-            it = it2;
+      const size_t bn = child_batch_->ActiveCount();
+      for (size_t r = 0; r < bn; ++r) {
+        child_batch_->BindRow(child_batch_->Active(r), &ctx);
+        for (size_t ki = 0; ki < nkeys; ++ki) {
+          HDB_RETURN_IF_ERROR(EvalExprInto(plan_->group_keys[ki].get(), ctx,
+                                           &scratch_keys_[ki]));
+        }
+        // Aggregate arguments are evaluated *before* any quota charge:
+        // charging may reclaim memory by evicting a hash-join partition
+        // below us, invalidating the rows the ctx slots point into.
+        for (size_t a = 0; a < naggs; ++a) {
+          const auto& spec = plan_->aggregates[a];
+          if (spec.arg != nullptr) {
+            HDB_RETURN_IF_ERROR(
+                EvalExprInto(spec.arg.get(), ctx, &scratch_args_[a]));
+          } else {
+            scratch_args_[a] = Value();
           }
         }
-      }
-      for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
-        const auto& spec = plan_->aggregates[a];
-        Value v;
-        if (spec.arg != nullptr) {
-          HDB_ASSIGN_OR_RETURN(v, spec.arg->Evaluate(ctx));
+        EncodeValuesTo(scratch_keys_, &key_buf_);
+        auto it = groups_.find(std::string_view(key_buf_));
+        if (it == groups_.end()) {
+          auto [it2, inserted] = groups_.try_emplace(key_buf_);
+          it = it2;
+          it->second.key_values = scratch_keys_;
+          it->second.states.resize(naggs);
+          const uint64_t bytes = key_buf_.size() + 64 * naggs + 64;
+          bytes_held_ += bytes;
+          if (ec_->memory != nullptr) {
+            // May trigger ReleasePages -> fallback spill, clearing groups_.
+            HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
+            if (groups_.empty()) {
+              auto [it3, ins3] = groups_.try_emplace(key_buf_);
+              it3->second.key_values = scratch_keys_;
+              it3->second.states.resize(naggs);
+              it = it3;
+            }
+          }
         }
-        AggUpdate(it->second.states[a], spec.kind, v);
+        for (size_t a = 0; a < naggs; ++a) {
+          AggUpdate(it->second.states[a], plan_->aggregates[a].kind,
+                    scratch_args_[a]);
+        }
       }
     }
 
@@ -1225,7 +2012,6 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
       std::map<std::string, GroupEntry> merged;
       auto reader = spill_->Read();
       std::vector<Value> tuple;
-      const size_t nkeys = plan_->group_keys.size();
       for (;;) {
         HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&tuple));
         if (!more) break;
@@ -1274,13 +2060,23 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
   std::unique_ptr<Operator> child_;
   ExecContext* ec_;
 
-  std::unordered_map<std::string, GroupEntry> groups_;
+  std::unordered_map<std::string, GroupEntry, TransparentStringHash,
+                     std::equal_to<>>
+      groups_;
   std::unique_ptr<SpillFile> spill_;
   uint64_t bytes_held_ = 0;
 
   std::map<std::string, std::vector<Value>> results_;
   std::map<std::string, std::vector<Value>>::iterator pos_;
   std::vector<Value> current_;
+
+  // Batch path: child batch plus per-row scratch buffers (reused across
+  // the whole aggregation, so the hot loop does not allocate).
+  std::unique_ptr<RowBatch> child_batch_;
+  std::vector<Value> scratch_keys_;
+  std::vector<Value> scratch_args_;
+  std::string key_buf_;
+  RowContext emit_ctx_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1533,6 +2329,18 @@ class InstrumentedOp : public Operator {
     return r;
   }
 
+  Result<bool> NextBatch(RowBatch* batch) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<bool> r = inner_->NextBatch(batch);
+    optimizer::OpActuals& a = Sample(t0);
+    a.invocations++;
+    a.batches++;
+    // Under batching, actual rows are the *selected* rows the operator
+    // produced — not the number of NextBatch pulls (DESIGN.md §6).
+    if (r.ok() && *r) a.rows += batch->ActiveCount();
+    return r;
+  }
+
   void Close() override {
     optimizer::OpActuals& a = (*ec_->actuals)[plan_];
     a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
@@ -1657,27 +2465,44 @@ Result<std::unique_ptr<Operator>> BuildExecutorNode(const PlanNode* plan,
 
 Result<std::vector<std::vector<Value>>> ExecuteToRows(const PlanNode* plan,
                                                       ExecContext* ctx) {
+  // Column pruning: when the root chain projects output (so result fetch
+  // never flattens raw slots), collect which columns of each quantifier
+  // the plan references; scans skip decoding the rest.
+  ctx->scan_masks.clear();
+  if (PlanProducesOutput(plan)) {
+    ctx->scan_masks.resize(ctx->num_quantifiers + 1);
+    CollectPlanColumnMasks(plan, &ctx->scan_masks);
+  }
   HDB_ASSIGN_OR_RETURN(auto op, BuildExecutor(plan, ctx));
   RowContext rc;
   rc.rows.assign(ctx->num_quantifiers + 1, nullptr);
   rc.params = ctx->params;
+  RowBatch batch(ctx->num_quantifiers + 1,
+                 ctx->batch_cap != 0 ? ctx->batch_cap : kDefaultBatchCap,
+                 ctx->params);
   HDB_RETURN_IF_ERROR(op->Open());
   std::vector<std::vector<Value>> out;
   const bool projected = op->ProducesOutput();
   for (;;) {
-    HDB_ASSIGN_OR_RETURN(const bool more, op->Next(&rc));
+    HDB_ASSIGN_OR_RETURN(const bool more, op->NextBatch(&batch));
     if (!more) break;
-    ctx->stats.rows_output++;
-    if (projected) {
-      out.push_back(rc.output);
-    } else {
-      std::vector<Value> flat;
-      for (const auto* slot : rc.rows) {
-        if (slot != nullptr) {
-          flat.insert(flat.end(), slot->begin(), slot->end());
+    const size_t n = batch.ActiveCount();
+    ctx->stats.rows_output += n;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pos = batch.Active(i);
+      if (projected) {
+        // Steal the output row's buffer; the slot refills next batch.
+        out.push_back(std::move(*batch.MutableOutput(pos)));
+      } else {
+        batch.BindRow(pos, &rc);
+        std::vector<Value> flat;
+        for (const auto* slot : rc.rows) {
+          if (slot != nullptr) {
+            flat.insert(flat.end(), slot->begin(), slot->end());
+          }
         }
+        out.push_back(std::move(flat));
       }
-      out.push_back(std::move(flat));
     }
   }
   op->Close();

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "exec/memory_governor.h"
+#include "exec/row_batch.h"
 #include "index/btree.h"
 #include "optimizer/expr.h"
 #include "optimizer/plan.h"
@@ -25,6 +26,14 @@ struct RuntimeStats {
   bool group_by_used_fallback = false;
   uint64_t group_by_spilled_groups = 0;
   uint64_t sort_runs_spilled = 0;
+  /// Vectorized-execution counters (exec.batch.* metrics): batches and
+  /// rows produced by leaf scans, the peak bytes charged for batch row
+  /// pools ("arena"), and how often the memory governor shrank an
+  /// operator's batch cap below the configured one.
+  uint64_t batches = 0;
+  uint64_t batch_rows = 0;
+  uint64_t batch_arena_peak_bytes = 0;
+  uint64_t batch_cap_shrinks = 0;
 };
 
 /// Everything an executor needs from the engine.
@@ -49,16 +58,41 @@ struct ExecContext {
   /// Non-null under EXPLAIN ANALYZE: BuildExecutor wraps every operator
   /// with an instrumenting decorator that fills one entry per plan node.
   optimizer::OpActualsMap* actuals = nullptr;
+  /// Rows per execution batch; 0 = kDefaultBatchCap. The memory governor
+  /// can shrink the effective cap per operator (DESIGN.md §9).
+  size_t batch_cap = 0;
+  /// Live bytes currently charged for batch row pools (arena accounting);
+  /// the peak lands in stats.batch_arena_peak_bytes.
+  uint64_t batch_arena_live = 0;
+  /// Per-quantifier column-materialization masks (column pruning), filled
+  /// by ExecuteToRows from every expression in the plan when the root
+  /// projects output. Empty = decode everything. A scan passes
+  /// scan_masks[quantifier] (when present and sized to its table) down to
+  /// DecodeRowInto so unreferenced columns are skipped, not copied.
+  std::vector<std::vector<uint8_t>> scan_masks;
   RuntimeStats stats;
 };
 
-/// Pull-based physical operator. Next() binds quantifier slots in the
-/// shared RowContext (and, for Project and above, fills ctx->output).
+/// Physical operator with two pull interfaces. The native one is
+/// NextBatch(): fill a RowBatch with up to capacity() rows. Next() is the
+/// legacy row-at-a-time protocol, kept for operators that are inherently
+/// row-oriented (nested-loop join, sort) and for incremental migration;
+/// the base class bridges the two directions:
+///   * a row-native operator inherits the default NextBatch(), which
+///     pulls Next() into the batch via RowBatch::CaptureRow;
+///   * a batch-native operator keeps its row-at-a-time Next() as well, so
+///     row-driven parents (nested-loop join, sort) still compose with it.
+/// Either way, Next() binds quantifier slots in the shared RowContext
+/// (and, for Project and above, fills ctx->output), and NextBatch()
+/// returns false only at end of stream — a true return with
+/// ActiveCount()==0 just means every row of the batch was filtered.
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual Status Open() = 0;
   virtual Result<bool> Next(optimizer::RowContext* ctx) = 0;
+  /// Resets and fills `batch`. Default: row→batch adapter over Next().
+  virtual Result<bool> NextBatch(RowBatch* batch);
   virtual void Close() = 0;
   /// True when this operator (or its pass-through chain) fills
   /// ctx->output rather than just quantifier slots.
@@ -66,6 +100,10 @@ class Operator {
   /// Bytes of working memory currently held (hash build sides, group
   /// tables, sort buffers). Sampled by EXPLAIN ANALYZE for the peak.
   virtual uint64_t MemoryBytes() const { return 0; }
+
+ private:
+  // Scratch state of the default row→batch adapter.
+  optimizer::RowContext adapter_ctx_;
 };
 
 /// Compiles a physical plan into an operator tree.

@@ -97,6 +97,7 @@ class ParallelHashPipeline {
     RankedMutex<LockRank::kParallelDispenser> mu_;
     table::TableHeap::Iterator it_;
     size_t batch_rows_;
+    std::vector<Rid> rids_;  // scratch for the batched copy
     bool done_ = false;
   };
 

@@ -20,6 +20,13 @@ enum Tag : uint8_t {
 
 std::string EncodeValues(const std::vector<Value>& values) {
   std::string out;
+  EncodeValuesTo(values, &out);
+  return out;
+}
+
+void EncodeValuesTo(const std::vector<Value>& values, std::string* out_ptr) {
+  std::string& out = *out_ptr;
+  out.clear();
   const auto n = static_cast<uint16_t>(values.size());
   out.append(reinterpret_cast<const char*>(&n), 2);
   for (const Value& v : values) {
@@ -60,7 +67,6 @@ std::string EncodeValues(const std::vector<Value>& values) {
       }
     }
   }
-  return out;
 }
 
 Result<std::vector<Value>> DecodeValues(const char* data, size_t len,

@@ -12,6 +12,9 @@ namespace hdb::exec {
 
 /// Schema-free value-tuple codec for spilled intermediate results.
 std::string EncodeValues(const std::vector<Value>& values);
+/// Encodes into `out` (cleared first, capacity reused) — the per-row hot
+/// path for hash group by / distinct key lookups.
+void EncodeValuesTo(const std::vector<Value>& values, std::string* out);
 Result<std::vector<Value>> DecodeValues(const char* data, size_t len,
                                         size_t* consumed);
 

@@ -366,6 +366,17 @@ Status BTree::ScanRangeLocked(
   return Status::OK();
 }
 
+Status BTree::ScanEqualBatch(const double* keys, size_t n,
+                             const std::function<bool(size_t, Rid)>& fn) const {
+  SharedLock latch(latch_);
+  for (size_t i = 0; i < n; ++i) {
+    HDB_RETURN_IF_ERROR(
+        ScanRangeLocked(keys[i], true, keys[i], true,
+                        [&fn, i](double, Rid rid) { return fn(i, rid); }));
+  }
+  return Status::OK();
+}
+
 Result<bool> BTree::Contains(double key) const {
   SharedLock latch(latch_);
   bool found = false;

@@ -76,6 +76,12 @@ class BTree {
   /// Number of entries in [lo, hi], by leaf walk (used by index probing).
   Result<uint64_t> CountRange(double lo, double hi) const;
 
+  /// Batched equality probe (index-nested-loop joins): for each `keys[i]`
+  /// calls `fn(i, rid)` for every entry equal to it, under ONE
+  /// shared-latch acquisition instead of one per key.
+  Status ScanEqualBatch(const double* keys, size_t n,
+                        const std::function<bool(size_t, Rid)>& fn) const;
+
   const IndexStats& stats() const { return stats_; }
   catalog::IndexDef* def() { return def_; }
 

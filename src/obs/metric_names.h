@@ -71,6 +71,12 @@ inline constexpr char kExecSortRunsSpilled[] = "exec.sort_runs_spilled";
 inline constexpr char kExecGroupBySpilledGroups[] =
     "exec.group_by_spilled_groups";
 
+// exec/ — vectorized batch execution (DESIGN.md §9).
+inline constexpr char kExecBatches[] = "exec.batch.batches";
+inline constexpr char kExecBatchRows[] = "exec.batch.rows";
+inline constexpr char kExecBatchArenaBytes[] = "exec.batch.arena_bytes";
+inline constexpr char kExecBatchCapShrinks[] = "exec.batch.cap_shrinks";
+
 // profile/ — request tracer sink backpressure.
 inline constexpr char kTraceEvents[] = "trace.events";
 inline constexpr char kTraceDroppedSinkWrites[] = "trace.dropped_sink_writes";

@@ -65,6 +65,11 @@ std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
                     static_cast<unsigned long long>(a.invocations),
                     static_cast<double>(a.wall_micros) / 1000.0);
       out += buf;
+      if (a.batches > 0) {
+        std::snprintf(buf, sizeof(buf), " batches=%llu",
+                      static_cast<unsigned long long>(a.batches));
+        out += buf;
+      }
       if (a.peak_memory_bytes > 0) {
         std::snprintf(buf, sizeof(buf), " mem=%.1fKB",
                       static_cast<double>(a.peak_memory_bytes) / 1024.0);

@@ -20,8 +20,9 @@ struct PlanNode;
 /// estimate-vs-actual drift — the paper's §4 feedback signal — is
 /// directly readable.
 struct OpActuals {
-  uint64_t rows = 0;         // rows returned by this operator
-  uint64_t invocations = 0;  // Next() calls (including the final miss)
+  uint64_t rows = 0;         // rows returned (selected), never batch pulls
+  uint64_t invocations = 0;  // Next()/NextBatch() calls (incl. final miss)
+  uint64_t batches = 0;      // NextBatch() calls when batch-driven
   uint64_t opens = 0;        // Open() calls (re-opens on NL inner sides)
   int64_t wall_micros = 0;   // wall time inside Open+Next, children included
   uint64_t peak_memory_bytes = 0;  // high-water mark of MemoryBytes()

@@ -1,5 +1,6 @@
 #include "table/row_codec.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hdb::table {
@@ -55,25 +56,52 @@ Result<std::string> EncodeRow(const catalog::TableDef& schema,
   return out;
 }
 
-Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
-                      size_t len) {
+Status DecodeRowInto(const catalog::TableDef& schema, const char* data,
+                     size_t len, Row* row, const uint8_t* needed) {
   const size_t ncols = schema.columns.size();
   const size_t bitmap_bytes = (ncols + 7) / 8;
   if (len < bitmap_bytes) return Status::Internal("row underflow");
-  Row row;
-  row.reserve(ncols);
+  row->resize(ncols);
   size_t pos = bitmap_bytes;
   for (size_t i = 0; i < ncols; ++i) {
     const bool is_null = (data[i / 8] >> (i % 8)) & 1;
     const TypeId t = schema.columns[i].type;
+    Value& v = (*row)[i];
     if (is_null) {
-      row.push_back(Value::Null(t));
+      v.SetNull(t);
+      continue;
+    }
+    if (needed != nullptr && needed[i] == 0) {
+      // Unreferenced column: skip its bytes without materializing. NULLing
+      // the slot makes a bad mask fail deterministically, not read stale
+      // data from the previous row in the pool.
+      v.SetNull(t);
+      switch (t) {
+        case TypeId::kBoolean:
+          pos += 1;
+          break;
+        case TypeId::kInt:
+        case TypeId::kBigint:
+        case TypeId::kDate:
+        case TypeId::kTimestamp:
+        case TypeId::kDouble:
+          pos += 8;
+          break;
+        case TypeId::kVarchar: {
+          if (pos + 2 > len) return Status::Internal("row underflow");
+          uint16_t slen = 0;
+          std::memcpy(&slen, data + pos, 2);
+          pos += 2 + slen;
+          break;
+        }
+      }
+      if (pos > len) return Status::Internal("row underflow");
       continue;
     }
     switch (t) {
       case TypeId::kBoolean: {
         if (pos + 1 > len) return Status::Internal("row underflow");
-        row.push_back(Value::Boolean(data[pos] != 0));
+        v.SetBoolean(data[pos] != 0);
         pos += 1;
         break;
       }
@@ -85,20 +113,7 @@ Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
         int64_t x = 0;
         std::memcpy(&x, data + pos, 8);
         pos += 8;
-        switch (t) {
-          case TypeId::kInt:
-            row.push_back(Value::Int(static_cast<int32_t>(x)));
-            break;
-          case TypeId::kBigint:
-            row.push_back(Value::Bigint(x));
-            break;
-          case TypeId::kDate:
-            row.push_back(Value::Date(x));
-            break;
-          default:
-            row.push_back(Value::Timestamp(x));
-            break;
-        }
+        v.SetInt64(t, t == TypeId::kInt ? static_cast<int32_t>(x) : x);
         break;
       }
       case TypeId::kDouble: {
@@ -106,7 +121,7 @@ Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
         double d = 0;
         std::memcpy(&d, data + pos, 8);
         pos += 8;
-        row.push_back(Value::Double(d));
+        v.SetDouble(d);
         break;
       }
       case TypeId::kVarchar: {
@@ -115,13 +130,118 @@ Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
         std::memcpy(&slen, data + pos, 2);
         pos += 2;
         if (pos + slen > len) return Status::Internal("row underflow");
-        row.push_back(Value::String(std::string(data + pos, slen)));
+        v.SetString(std::string_view(data + pos, slen));
         pos += slen;
         break;
       }
     }
   }
+  return Status::OK();
+}
+
+Result<Row> DecodeRow(const catalog::TableDef& schema, const char* data,
+                      size_t len) {
+  Row row;
+  Status s = DecodeRowInto(schema, data, len, &row);
+  if (!s.ok()) return s;
   return row;
+}
+
+void RowDecoder::Prepare(const catalog::TableDef& schema,
+                         const uint8_t* needed) {
+  schema_ = &schema;
+  const size_t ncols = schema.columns.size();
+  if (needed != nullptr) {
+    needed_.assign(needed, needed + ncols);
+  } else {
+    needed_.clear();
+  }
+  fixed_.clear();
+  nulled_.clear();
+  bitmap_bytes_ = (ncols + 7) / 8;
+  min_len_ = bitmap_bytes_;
+  fast_ok_ = true;
+  uint32_t off = static_cast<uint32_t>(bitmap_bytes_);
+  bool fixed_prefix = true;  // no VARCHAR seen yet: offsets are static
+  for (size_t i = 0; i < ncols; ++i) {
+    const TypeId t = schema.columns[i].type;
+    const bool want = needed == nullptr || needed[i] != 0;
+    if (!want) {
+      nulled_.push_back(static_cast<uint32_t>(i));
+    } else if (!fixed_prefix) {
+      fast_ok_ = false;  // needed column behind a VARCHAR: generic walk
+    } else {
+      fixed_.push_back(FixedCol{static_cast<uint32_t>(i), off, t});
+      const size_t width = t == TypeId::kBoolean ? 1
+                           : t == TypeId::kVarchar ? 2  // length prefix
+                                                   : 8;
+      min_len_ = std::max(min_len_, static_cast<size_t>(off) + width);
+    }
+    switch (t) {
+      case TypeId::kBoolean:
+        off += 1;
+        break;
+      case TypeId::kInt:
+      case TypeId::kBigint:
+      case TypeId::kDate:
+      case TypeId::kTimestamp:
+      case TypeId::kDouble:
+        off += 8;
+        break;
+      case TypeId::kVarchar:
+        fixed_prefix = false;  // row-dependent length from here on
+        break;
+    }
+  }
+}
+
+Status RowDecoder::DecodeInto(const char* data, size_t len, Row* row) const {
+  if (fast_ok_ && len >= min_len_) {
+    bool no_nulls = true;
+    for (size_t b = 0; b < bitmap_bytes_; ++b) no_nulls &= data[b] == 0;
+    if (no_nulls) {
+      row->resize(schema_->columns.size());
+      for (const FixedCol& f : fixed_) {
+        Value& v = (*row)[f.column];
+        switch (f.type) {
+          case TypeId::kBoolean:
+            v.SetBoolean(data[f.offset] != 0);
+            break;
+          case TypeId::kInt:
+          case TypeId::kBigint:
+          case TypeId::kDate:
+          case TypeId::kTimestamp: {
+            int64_t x = 0;
+            std::memcpy(&x, data + f.offset, 8);
+            v.SetInt64(f.type,
+                       f.type == TypeId::kInt ? static_cast<int32_t>(x) : x);
+            break;
+          }
+          case TypeId::kDouble: {
+            double d = 0;
+            std::memcpy(&d, data + f.offset, 8);
+            v.SetDouble(d);
+            break;
+          }
+          case TypeId::kVarchar: {
+            uint16_t slen = 0;
+            std::memcpy(&slen, data + f.offset, 2);
+            if (f.offset + 2 + slen > len) {
+              return Status::Internal("row underflow");
+            }
+            v.SetString(std::string_view(data + f.offset + 2, slen));
+            break;
+          }
+        }
+      }
+      for (const uint32_t c : nulled_) {
+        (*row)[c].SetNull(schema_->columns[c].type);
+      }
+      return Status::OK();
+    }
+  }
+  return DecodeRowInto(*schema_, data, len, row,
+                       needed_.empty() ? nullptr : needed_.data());
 }
 
 }  // namespace hdb::table

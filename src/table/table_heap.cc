@@ -1,6 +1,7 @@
 #include "table/table_heap.h"
 
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "table/heap_page.h"
@@ -245,6 +246,100 @@ bool TableHeap::Iterator::Next(Rid* rid, std::string* row_bytes) {
     slot_ = 0;
   }
   return false;
+}
+
+Result<size_t> TableHeap::Iterator::NextRows(size_t max_rows,
+                                             std::vector<Row>* rows,
+                                             std::vector<Rid>* rids,
+                                             const RowDecoder* decoder) {
+  if (rows->size() < max_rows) rows->resize(max_rows);
+  if (rids->size() < max_rows) rids->resize(max_rows);
+  SharedLock latch(heap_->latch_);
+  size_t n = 0;
+  while (n < max_rows && page_ != storage::kInvalidPageId) {
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        heap_->pool_->FetchPage(
+            storage::SpacePageId{storage::SpaceId::kMain, page_},
+            storage::PageType::kTable, heap_->def_->oid));
+    const HeapPageHeader header = ReadHeapHeader(h.data());
+    while (n < max_rows && slot_ < header.slot_count) {
+      const HeapSlot s = ReadHeapSlot(h.data(), slot_);
+      const uint16_t current = slot_++;
+      if (s.len == 0) continue;
+      if (decoder != nullptr) {
+        HDB_RETURN_IF_ERROR(
+            decoder->DecodeInto(h.data() + s.offset, s.len, &(*rows)[n]));
+      } else {
+        HDB_RETURN_IF_ERROR(DecodeRowInto(*heap_->def_, h.data() + s.offset,
+                                          s.len, &(*rows)[n]));
+      }
+      (*rids)[n] = Rid{page_, current};
+      ++n;
+    }
+    if (slot_ >= header.slot_count) {
+      page_ = header.next_page;
+      slot_ = 0;
+    }
+  }
+  return n;
+}
+
+Result<size_t> TableHeap::Iterator::NextBytes(size_t max_rows,
+                                              std::vector<std::string>* bytes,
+                                              std::vector<Rid>* rids) {
+  if (bytes->size() < max_rows) bytes->resize(max_rows);
+  if (rids->size() < max_rows) rids->resize(max_rows);
+  SharedLock latch(heap_->latch_);
+  size_t n = 0;
+  while (n < max_rows && page_ != storage::kInvalidPageId) {
+    HDB_ASSIGN_OR_RETURN(
+        storage::PageHandle h,
+        heap_->pool_->FetchPage(
+            storage::SpacePageId{storage::SpaceId::kMain, page_},
+            storage::PageType::kTable, heap_->def_->oid));
+    const HeapPageHeader header = ReadHeapHeader(h.data());
+    while (n < max_rows && slot_ < header.slot_count) {
+      const HeapSlot s = ReadHeapSlot(h.data(), slot_);
+      const uint16_t current = slot_++;
+      if (s.len == 0) continue;
+      (*bytes)[n].assign(h.data() + s.offset, s.len);
+      (*rids)[n] = Rid{page_, current};
+      ++n;
+    }
+    if (slot_ >= header.slot_count) {
+      page_ = header.next_page;
+      slot_ = 0;
+    }
+  }
+  return n;
+}
+
+Status TableHeap::GetMany(const Rid* rids, size_t n,
+                          std::vector<Row>* rows) const {
+  if (rows->size() < n) rows->resize(n);
+  SharedLock latch(latch_);
+  storage::PageId cur = storage::kInvalidPageId;
+  std::optional<storage::PageHandle> h;
+  for (size_t i = 0; i < n; ++i) {
+    const Rid rid = rids[i];
+    if (rid.page_id != cur || !h.has_value()) {
+      HDB_ASSIGN_OR_RETURN(
+          storage::PageHandle fetched,
+          pool_->FetchPage(
+              storage::SpacePageId{storage::SpaceId::kMain, rid.page_id},
+              storage::PageType::kTable, def_->oid));
+      h.emplace(std::move(fetched));
+      cur = rid.page_id;
+    }
+    const HeapPageHeader header = ReadHeapHeader(h->data());
+    if (rid.slot >= header.slot_count) return Status::NotFound("bad rid slot");
+    const HeapSlot s = ReadHeapSlot(h->data(), rid.slot);
+    if (s.len == 0) return Status::NotFound("deleted row");
+    HDB_RETURN_IF_ERROR(
+        DecodeRowInto(*def_, h->data() + s.offset, s.len, &(*rows)[i]));
+  }
+  return Status::OK();
 }
 
 Status TableHeap::ScanAll(

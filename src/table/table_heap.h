@@ -6,11 +6,14 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "catalog/schema.h"
 #include "storage/buffer_pool.h"
+#include "table/row_codec.h"
 #include "wal/wal_manager.h"
 
 #include "common/lock_rank.h"
@@ -61,6 +64,26 @@ class TableHeap {
     /// Advances to the next live row; false at end of table.
     bool Next(Rid* rid, std::string* row_bytes);
 
+    /// Batched step: decodes up to `max_rows` live rows into
+    /// `rows`/`rids`, reusing their Value buffers. One shared-latch
+    /// acquisition and one page pin per *page* visited instead of one per
+    /// row, and one codec call per row straight off the pinned page —
+    /// this is the scan fast path. Returns the number of rows produced
+    /// (0 at end of table); `rows`/`rids` are grown to `max_rows` but
+    /// only the first n entries are meaningful. `decoder` (optional) is a
+    /// prepared RowDecoder — column pruning plus fixed-offset decode for
+    /// scans that reference a subset of the row.
+    Result<size_t> NextRows(size_t max_rows, std::vector<Row>* rows,
+                            std::vector<Rid>* rids,
+                            const RowDecoder* decoder = nullptr);
+
+    /// Same batched step, but hands out the raw encoded bytes (string
+    /// capacity reused) for consumers that decode elsewhere — the
+    /// parallel-scan RowDispenser.
+    Result<size_t> NextBytes(size_t max_rows,
+                             std::vector<std::string>* bytes,
+                             std::vector<Rid>* rids);
+
    private:
     friend class TableHeap;
     Iterator(const TableHeap* heap, storage::PageId page)
@@ -75,6 +98,12 @@ class TableHeap {
   /// Scans calling `fn(rid, bytes)`; stops early when fn returns false.
   Status ScanAll(
       const std::function<bool(Rid, std::string_view)>& fn) const;
+
+  /// Batched point reads: decodes the rows at `rids[0..n)` into
+  /// `(*rows)[0..n)` (buffers reused) under a single shared-latch
+  /// acquisition, keeping the current page pinned across consecutive
+  /// rids that hit it. NotFound if any rid is dead/invalid.
+  Status GetMany(const Rid* rids, size_t n, std::vector<Row>* rows) const;
 
   catalog::TableDef* def() { return def_; }
   const catalog::TableDef* def() const { return def_; }
