@@ -86,16 +86,18 @@ echo "check_metrics: $count metric names, all unique dotted snake_case," \
 if [[ "$mode" == "--tsan" ]]; then
   # Race-check the observability paths: the registry hammered from many
   # threads, sys.* scans racing live instrumentation, tracer sink writes,
-  # the concurrent-session SQL mix, and the WAL/recovery paths (group
+  # the concurrent-session SQL mix, the WAL/recovery paths (group
   # commit's flusher thread + concurrent committers, crash sweeps that
-  # tear the Database down while the flusher is live).
+  # tear the Database down while the flusher is live), and the spill
+  # scheduler (concurrent starved statements sharing the DecisionLog and
+  # temp-page path).
   build="$root/build-tsan-obs"
   cmake -B "$build" -S "$root" -DHDB_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "$build" -j "$(nproc)" \
         --target obs_test profile_test concurrency_test wal_test \
-                 recovery_test || exit 1
+                 recovery_test spill_parity_test || exit 1
   (cd "$build" && ctest --output-on-failure \
-      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep') || exit 1
+      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep|SpillParity') || exit 1
   echo "check_metrics: TSan observability+durability run clean"
 fi

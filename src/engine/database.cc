@@ -286,6 +286,12 @@ void Database::RegisterEngineTelemetry() {
       metrics_.RegisterCounter(obs::kExecSortRunsSpilled);
   exec_group_by_spilled_groups_ =
       metrics_.RegisterCounter(obs::kExecGroupBySpilledGroups);
+  exec_spill_bytes_written_ =
+      metrics_.RegisterCounter(obs::kExecSpillBytesWritten);
+  exec_spill_bytes_read_ = metrics_.RegisterCounter(obs::kExecSpillBytesRead);
+  exec_spill_repartitions_ =
+      metrics_.RegisterCounter(obs::kExecSpillRepartitions);
+  exec_spill_decisions_ = metrics_.RegisterCounter(obs::kExecSpillDecisions);
   exec_batches_ = metrics_.RegisterCounter(obs::kExecBatches);
   exec_batch_rows_ = metrics_.RegisterCounter(obs::kExecBatchRows);
   exec_batch_arena_bytes_ = metrics_.RegisterCounter(obs::kExecBatchArenaBytes);
@@ -1107,6 +1113,11 @@ Result<QueryResult> Connection::ExecuteSelect(
 
   HDB_ASSIGN_OR_RETURN(out->rows,
                        exec::ExecuteToRows(plan_to_run.get(), &ec));
+  // Victim picks live in the task context (the scheduler made them, not
+  // an operator); fold them into the statement's stats before copying.
+  if (ec.memory != nullptr) {
+    ec.stats.spill_decisions = ec.memory->spill_decisions();
+  }
   out->exec_stats = ec.stats;
   for (const auto& item : q.select) out->columns.push_back(item.name);
   if (ec.feedback != nullptr) feedback.Flush(&db_->stats());
@@ -1116,6 +1127,10 @@ Result<QueryResult> Connection::ExecuteSelect(
   db_->exec_partitions_evicted_->Add(ec.stats.hash_partitions_evicted);
   db_->exec_sort_runs_spilled_->Add(ec.stats.sort_runs_spilled);
   db_->exec_group_by_spilled_groups_->Add(ec.stats.group_by_spilled_groups);
+  db_->exec_spill_bytes_written_->Add(ec.stats.spill_bytes_written);
+  db_->exec_spill_bytes_read_->Add(ec.stats.spill_bytes_read);
+  db_->exec_spill_repartitions_->Add(ec.stats.spill_repartitions);
+  db_->exec_spill_decisions_->Add(ec.stats.spill_decisions);
   db_->exec_batches_->Add(ec.stats.batches);
   db_->exec_batch_rows_->Add(ec.stats.batch_rows);
   db_->exec_batch_arena_bytes_->Add(ec.stats.batch_arena_peak_bytes);
@@ -1162,6 +1177,9 @@ Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
   // validation loop made visible).
   HDB_ASSIGN_OR_RETURN(const auto rows, exec::ExecuteToRows(plan.get(), &ec));
   out->rows_affected = rows.size();
+  if (ec.memory != nullptr) {
+    ec.stats.spill_decisions = ec.memory->spill_decisions();
+  }
   out->exec_stats = ec.stats;
   out->explain = plan->Explain(0, &actuals);
   if (ec.feedback != nullptr) feedback.Flush(&db_->stats());

@@ -317,6 +317,10 @@ class Database {
   obs::Counter* exec_partitions_evicted_ = nullptr;
   obs::Counter* exec_sort_runs_spilled_ = nullptr;
   obs::Counter* exec_group_by_spilled_groups_ = nullptr;
+  obs::Counter* exec_spill_bytes_written_ = nullptr;
+  obs::Counter* exec_spill_bytes_read_ = nullptr;
+  obs::Counter* exec_spill_repartitions_ = nullptr;
+  obs::Counter* exec_spill_decisions_ = nullptr;
   obs::Counter* exec_batches_ = nullptr;
   obs::Counter* exec_batch_rows_ = nullptr;
   obs::Counter* exec_batch_arena_bytes_ = nullptr;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <limits>
 #include <map>
 #include <optional>
@@ -909,32 +910,67 @@ class LimitOp : public Operator {
   int64_t emitted_ = 0;
 };
 
-class HashDistinctOp : public Operator {
+/// Hash distinct with a deferred-dedup spill path (DESIGN.md §10). While
+/// in memory it streams: unseen keys pass through immediately. Once the
+/// spill scheduler picks it as a victim, the already-emitted keys are
+/// dumped to an "emitted" spill file and the operator switches to
+/// deferred mode: further rows are appended to a candidate file (deduped
+/// against a best-effort in-memory cache that the scheduler may drop at
+/// any time), then replayed in arrival order at end of input against the
+/// emitted-key set — so ORDER BY below DISTINCT stays ordered.
+class HashDistinctOp : public Operator, public MemoryConsumer {
  public:
   HashDistinctOp(const PlanNode* plan, std::unique_ptr<Operator> child,
                  ExecContext* ec)
-      : plan_(plan), child_(std::move(child)), ec_(ec) {}
+      : plan_(plan), child_(std::move(child)), ec_(ec) {
+    name = "hash_distinct";
+  }
 
   Status Open() override {
     seen_.clear();
+    bytes_held_ = 0;
+    spilled_ = false;
+    draining_ = false;
+    emitted_spill_.reset();
+    candidate_spill_.reset();
+    drain_reader_.reset();
+    if (ec_->memory != nullptr) {
+      plan_level = 4;
+      predicted_pages = plan_->memory_quota_pages;
+      ec_->memory->RegisterConsumer(this);
+    }
     return child_->Open();
   }
 
   Result<bool> Next(RowContext* ctx) override {
     for (;;) {
+      if (draining_) return NextDrain(ctx);
       HDB_ASSIGN_OR_RETURN(const bool more, child_->Next(ctx));
-      if (!more) return false;
-      std::string key = EncodeValues(ctx->output);
-      if (seen_.insert(key).second) {
-        if (ec_->memory != nullptr) {
-          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(key.size() + 32));
-        }
+      if (!more) {
+        if (!spilled_) return false;
+        HDB_RETURN_IF_ERROR(PrepareDrain());
+        continue;
+      }
+      EncodeValuesTo(ctx->output, &key_buf_);
+      if (!spilled_) {
+        if (seen_.find(std::string_view(key_buf_)) != seen_.end()) continue;
+        HDB_RETURN_IF_ERROR(AdmitKey());
+        if (!spilled_) return true;
+        // The charge for this very key tipped us into spilling: the key
+        // went out with the emitted dump, so emitting the row now is
+        // still exactly-once.
         return true;
       }
+      HDB_RETURN_IF_ERROR(DeferRow(ctx->output));
     }
   }
 
   Result<bool> NextBatch(RowBatch* b) override {
+    if (spilled_ || draining_) {
+      // Deferred mode is row-oriented; the default adapter captures
+      // drained rows (with output) into the caller's batch.
+      return Operator::NextBatch(b);
+    }
     HDB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(b));
     if (!more) return false;
     const size_t n = b->ActiveCount();
@@ -943,12 +979,15 @@ class HashDistinctOp : public Operator {
     for (size_t i = 0; i < n; ++i) {
       const size_t pos = b->Active(i);
       EncodeValuesTo(b->output(pos), &key_buf_);
+      if (spilled_) {
+        // A charge earlier in this batch spilled us; the rest of the
+        // batch joins the deferred stream.
+        HDB_RETURN_IF_ERROR(DeferRow(b->output(pos)));
+        continue;
+      }
       // Transparent find: duplicates (the common case) never allocate.
       if (seen_.find(std::string_view(key_buf_)) == seen_.end()) {
-        seen_.insert(key_buf_);
-        if (ec_->memory != nullptr) {
-          HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(key_buf_.size() + 32));
-        }
+        HDB_RETURN_IF_ERROR(AdmitKey());
         sel[k++] = static_cast<uint16_t>(pos);
       }
     }
@@ -959,21 +998,144 @@ class HashDistinctOp : public Operator {
   void Close() override {
     child_->Close();
     if (ec_->memory != nullptr) {
-      uint64_t bytes = 0;
-      for (const auto& k : seen_) bytes += k.size() + 32;
-      ec_->memory->ReleaseBytes(bytes);
+      ec_->memory->UnregisterConsumer(this);
+      ec_->memory->ReleaseBytes(bytes_held_);
     }
+    bytes_held_ = 0;
     seen_.clear();
+    emitted_spill_.reset();
+    candidate_spill_.reset();
+    drain_reader_.reset();
   }
   bool ProducesOutput() const override { return true; }
+  uint64_t MemoryBytes() const override { return bytes_held_; }
+  uint64_t SpilledBytes() const override { return op_spilled_bytes_; }
+  uint64_t SpilledTuples() const override { return op_spilled_tuples_; }
+
+  // MemoryConsumer. During the drain the key set is load-bearing (it is
+  // the dedup state being replayed) — reserve it, offer nothing.
+  SpillableStats SpillStats() const override {
+    SpillableStats s;
+    s.spillable_bytes = draining_ ? 0 : bytes_held_;
+    s.must_reserve_bytes = draining_ ? bytes_held_ : 0;
+    s.respill_cost = 2.5;
+    return s;
+  }
+
+  Result<uint64_t> SpillSome(uint64_t /*target_bytes*/) override {
+    if (draining_ || seen_.empty()) return static_cast<uint64_t>(0);
+    if (!spilled_) {
+      // First spill: the in-memory keys have all been emitted to the
+      // parent; persist them so the drain can still dedup against them.
+      if (emitted_spill_ == nullptr) {
+        emitted_spill_ = std::make_unique<SpillFile>(ec_->pool);
+        candidate_spill_ = std::make_unique<SpillFile>(ec_->pool);
+      }
+      const uint64_t before = emitted_spill_->byte_count();
+      for (const auto& key : seen_) {
+        HDB_RETURN_IF_ERROR(emitted_spill_->Append({Value::String(key)}));
+      }
+      const uint64_t delta = emitted_spill_->byte_count() - before;
+      ec_->stats.spill_bytes_written += delta;
+      op_spilled_bytes_ += delta;
+      op_spilled_tuples_ += seen_.size();
+      spilled_ = true;
+    }
+    // Later spills just drop the candidate dedup cache: duplicates in
+    // the candidate file are legal (the drain dedups), so the cache is
+    // pure memory.
+    const uint64_t freed = bytes_held_;
+    seen_.clear();
+    bytes_held_ = 0;
+    return freed;
+  }
 
  private:
+  /// Inserts key_buf_ into seen_ and charges it. The charge may run the
+  /// spill scheduler against *this* operator (dump + clear); the caller
+  /// handles the spilled_ transition.
+  Status AdmitKey() {
+    seen_.insert(key_buf_);
+    const uint64_t bytes = key_buf_.size() + 32;
+    bytes_held_ += bytes;
+    if (ec_->memory != nullptr) {
+      HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
+    }
+    return Status::OK();
+  }
+
+  /// Deferred mode: dedup against the (droppable) cache, then append the
+  /// row to the candidate stream instead of emitting.
+  Status DeferRow(const std::vector<Value>& tuple) {
+    if (seen_.find(std::string_view(key_buf_)) != seen_.end()) {
+      return Status::OK();
+    }
+    HDB_RETURN_IF_ERROR(AdmitKey());
+    if (seen_.find(std::string_view(key_buf_)) == seen_.end()) {
+      // The charge spilled us again and dropped the cache; re-seed it
+      // (uncharged — the scheduler already took the account to zero).
+      seen_.insert(key_buf_);
+    }
+    const uint64_t before = candidate_spill_->byte_count();
+    HDB_RETURN_IF_ERROR(candidate_spill_->Append(tuple));
+    const uint64_t delta = candidate_spill_->byte_count() - before;
+    ec_->stats.spill_bytes_written += delta;
+    op_spilled_bytes_ += delta;
+    op_spilled_tuples_++;
+    return Status::OK();
+  }
+
+  /// End of input in deferred mode: reload the emitted-key set (charged
+  /// — it fit in memory once) and replay candidates in arrival order.
+  Status PrepareDrain() {
+    draining_ = true;  // before any charge: we are no longer a victim
+    seen_.clear();
+    const uint64_t stale = bytes_held_;
+    bytes_held_ = 0;
+    if (ec_->memory != nullptr) ec_->memory->ReleaseBytes(stale);
+    auto reader = emitted_spill_->Read();
+    std::vector<Value> tuple;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&tuple));
+      if (!more) break;
+      key_buf_ = tuple[0].AsString();
+      HDB_RETURN_IF_ERROR(AdmitKey());
+    }
+    ec_->stats.spill_bytes_read += emitted_spill_->byte_count();
+    drain_reader_.emplace(candidate_spill_->Read());
+    return Status::OK();
+  }
+
+  Result<bool> NextDrain(RowContext* ctx) {
+    std::vector<Value> tuple;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, drain_reader_->Next(&tuple));
+      if (!more) {
+        ec_->stats.spill_bytes_read += candidate_spill_->byte_count();
+        return false;
+      }
+      EncodeValuesTo(tuple, &key_buf_);
+      if (seen_.find(std::string_view(key_buf_)) != seen_.end()) continue;
+      HDB_RETURN_IF_ERROR(AdmitKey());
+      ctx->output = std::move(tuple);
+      return true;
+    }
+  }
+
   const PlanNode* plan_;
   std::unique_ptr<Operator> child_;
   ExecContext* ec_;
   std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
       seen_;
   std::string key_buf_;
+  uint64_t bytes_held_ = 0;
+  bool spilled_ = false;
+  bool draining_ = false;
+  std::unique_ptr<SpillFile> emitted_spill_;    // keys emitted pre-spill
+  std::unique_ptr<SpillFile> candidate_spill_;  // deferred output rows
+  std::optional<SpillFile::Reader> drain_reader_;
+  uint64_t op_spilled_bytes_ = 0;
+  uint64_t op_spilled_tuples_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1200,14 +1362,24 @@ class HashJoinOp : public Operator, public MemoryConsumer {
  public:
   static constexpr int kPartitions = 8;
 
+  /// Levels of recursive re-partitioning for spilled partitions whose
+  /// build side exceeds the budget. Level 0 is the initial h % 8 split;
+  /// each further level consumes the next 3 hash bits.
+  static constexpr int kMaxSpillLevels = 5;
+
   HashJoinOp(const PlanNode* plan, std::unique_ptr<Operator> outer,
              std::unique_ptr<Operator> inner, ExecContext* ec)
       : plan_(plan), outer_(std::move(outer)), inner_(std::move(inner)),
         ec_(ec), extra_preds_(PrepareUnobserved(plan->extra_condition)) {
     CollectBoundQuantifiers(plan_->children[0].get(), &outer_quants_);
+    name = "hash_join";
   }
 
-  uint64_t MemoryBytes() const override { return build_bytes_; }
+  uint64_t MemoryBytes() const override {
+    return build_bytes_ + spill_loaded_bytes_;
+  }
+  uint64_t SpilledBytes() const override { return op_spilled_bytes_; }
+  uint64_t SpilledTuples() const override { return op_spilled_tuples_; }
 
   Status Open() override {
     build_quantifier_ = plan_->children[1]->quantifier;
@@ -1218,6 +1390,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     emit_pos_ = 0;
     if (ec_->memory != nullptr) {
       plan_level = 1;
+      predicted_pages = plan_->memory_quota_pages;
       ec_->memory->RegisterConsumer(this);
     }
     HDB_RETURN_IF_ERROR(BuildPhase());
@@ -1273,8 +1446,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         // Probe rows destined for an evicted partition are spilled too.
         std::vector<Value> flat;
         FlattenOuter(*ctx, &flat);
-        HDB_RETURN_IF_ERROR(probe_spill_[p]->Append(flat));
-        ec_->stats.hash_spilled_tuples++;
+        HDB_RETURN_IF_ERROR(AppendSpill(probe_spill_[p].get(), flat));
         continue;
       }
       auto it = table_.find(h);
@@ -1347,8 +1519,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         if (partition_spilled_[p]) {
           flat_scratch_.clear();
           FlattenOuter(probe_ctx_, &flat_scratch_);
-          HDB_RETURN_IF_ERROR(probe_spill_[p]->Append(flat_scratch_));
-          ec_->stats.hash_spilled_tuples++;
+          HDB_RETURN_IF_ERROR(AppendSpill(probe_spill_[p].get(), flat_scratch_));
           continue;
         }
         auto it = table_.find(h);
@@ -1368,40 +1539,55 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     inner_->Close();
     if (ec_->memory != nullptr) {
       ec_->memory->UnregisterConsumer(this);
-      ec_->memory->ReleaseBytes(build_bytes_);
+      ec_->memory->ReleaseBytes(build_bytes_ + spill_loaded_bytes_);
     }
     build_bytes_ = 0;
+    spill_loaded_bytes_ = 0;
+    spill_queue_.clear();
+    current_pair_.build.reset();
+    current_pair_.probe.reset();
+    probe_reader_.reset();
   }
 
-  // MemoryConsumer: evict the partition holding the most rows (paper §4.3:
-  // "by selecting the partition with the most rows, the governor frees up
-  // the most memory for future processing").
-  size_t ReleasePages(size_t target_pages) override {
-    size_t freed_bytes = 0;
-    const size_t target_bytes =
-        target_pages * ec_->pool->page_bytes();
-    while (freed_bytes < target_bytes) {
+  // MemoryConsumer. The build side is the expensive thing to restart
+  // (write + read back + rehash), so the join reports the highest respill
+  // cost of the four blocking operators. Once the alternate index-NL
+  // strategy scans build_rows_ by position, or spilled-partition replay
+  // holds a loaded partition, nothing here is safely evictable — that
+  // state is the reserve floor.
+  SpillableStats SpillStats() const override {
+    SpillableStats s;
+    s.respill_cost = 3.0;
+    if (alternate_ || outer_done_) {
+      s.must_reserve_bytes = build_bytes_ + spill_loaded_bytes_;
+      return s;
+    }
+    s.spillable_bytes = build_bytes_;
+    return s;
+  }
+
+  Result<uint64_t> SpillSome(uint64_t target_bytes) override {
+    if (alternate_ || outer_done_) return uint64_t{0};
+    uint64_t freed = 0;
+    // Evict whole partitions, largest first (paper §4.3: "selecting the
+    // partition with the most rows frees up the most memory").
+    while (freed < target_bytes) {
       int victim = -1;
-      size_t victim_rows = 0;
+      uint64_t victim_bytes = 0;
       for (int p = 0; p < kPartitions; ++p) {
         if (partition_spilled_[p]) continue;
-        if (partition_rows_[p] > victim_rows) {
-          victim_rows = partition_rows_[p];
+        if (partition_bytes_[p] > victim_bytes) {
+          victim_bytes = partition_bytes_[p];
           victim = p;
         }
       }
-      if (victim < 0 || victim_rows == 0) break;
-      const size_t bytes = EvictPartition(victim);
+      if (victim < 0 || victim_bytes == 0) break;
+      HDB_ASSIGN_OR_RETURN(const uint64_t bytes, EvictPartition(victim));
       if (bytes == 0) break;
-      freed_bytes += bytes;
+      freed += bytes;
     }
-    const size_t freed_pages = freed_bytes / ec_->pool->page_bytes();
-    build_bytes_ -= std::min<uint64_t>(build_bytes_, freed_bytes);
-    return freed_pages;
-  }
-
-  size_t PagesHeld() const override {
-    return build_bytes_ / ec_->pool->page_bytes();
+    build_bytes_ -= std::min<uint64_t>(build_bytes_, freed);
+    return freed;
   }
 
  private:
@@ -1446,20 +1632,21 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         const int p = static_cast<int>(h % kPartitions);
         const std::vector<Value>& row = *build_ctx.rows[build_quantifier_];
         if (partition_spilled_[p]) {
-          HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
-          ec_->stats.hash_spilled_tuples++;
+          HDB_RETURN_IF_ERROR(AppendSpill(build_spill_[p].get(), row));
           continue;
         }
         const uint64_t row_bytes = 48 * row.size() + 64;
         if (ec_->memory != nullptr) {
-          // Charging may trigger reclamation, which may evict partitions —
-          // including p — via ReleasePages re-entering this operator.
+          // Charging may run the spill scheduler, which may evict
+          // partitions — including p — via SpillSome re-entering this
+          // operator.
           HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(row_bytes));
         }
         build_bytes_ += row_bytes;
         if (partition_spilled_[p]) {
-          HDB_RETURN_IF_ERROR(build_spill_[p]->Append(row));
-          ec_->stats.hash_spilled_tuples++;
+          HDB_RETURN_IF_ERROR(AppendSpill(build_spill_[p].get(), row));
+          build_bytes_ -= std::min(build_bytes_, row_bytes);
+          if (ec_->memory != nullptr) ec_->memory->ReleaseBytes(row_bytes);
           continue;
         }
         const size_t idx = build_rows_.size();
@@ -1467,6 +1654,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         build_keys_.push_back(key);
         build_partition_.push_back(p);
         partition_rows_[p]++;
+        partition_bytes_[p] += row_bytes;
         table_[h].push_back(idx);
       }
     }
@@ -1474,21 +1662,33 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     return Status::OK();
   }
 
+  /// Appends one tuple to a spill file, propagating the write status and
+  /// keeping the spill-volume counters honest.
+  Status AppendSpill(SpillFile* f, const std::vector<Value>& row) {
+    const uint64_t before = f->byte_count();
+    HDB_RETURN_IF_ERROR(f->Append(row));
+    const uint64_t delta = f->byte_count() - before;
+    op_spilled_bytes_ += delta;
+    ec_->stats.spill_bytes_written += delta;
+    ++op_spilled_tuples_;
+    ec_->stats.hash_spilled_tuples++;
+    return Status::OK();
+  }
+
   /// Moves every in-memory row of partition `p` to its spill file.
-  /// Returns bytes freed.
-  size_t EvictPartition(int p) {
-    if (partition_spilled_[p]) return 0;
+  /// Returns bytes freed; a failed spill write propagates to the
+  /// scheduler and aborts the charging statement.
+  Result<uint64_t> EvictPartition(int p) {
+    if (partition_spilled_[p]) return uint64_t{0};
     partition_spilled_[p] = true;
     if (build_spill_[p] == nullptr) {
       build_spill_[p] = std::make_unique<SpillFile>(ec_->pool);
       probe_spill_[p] = std::make_unique<SpillFile>(ec_->pool);
     }
-    size_t freed = 0;
+    uint64_t freed = 0;
     for (size_t i = 0; i < build_rows_.size(); ++i) {
       if (build_partition_[i] != p || build_rows_[i].empty()) continue;
-      // Release callbacks have no error channel; a failed spill write
-      // surfaces when the partition is read back.
-      IgnoreError(build_spill_[p]->Append(build_rows_[i]));
+      HDB_RETURN_IF_ERROR(AppendSpill(build_spill_[p].get(), build_rows_[i]));
       freed += 48 * build_rows_[i].size() + 64;
       build_rows_[i].clear();
       build_keys_[i] = Value::Null();
@@ -1496,6 +1696,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     }
     ec_->stats.hash_partitions_evicted++;
     partition_rows_[p] = 0;
+    partition_bytes_[p] = 0;
     return freed;
   }
 
@@ -1517,13 +1718,164 @@ class HashJoinOp : public Operator, public MemoryConsumer {
     }
   }
 
+  /// One unit of grace-hash work: a spilled (build, probe) pair at some
+  /// re-partitioning depth. Level 0 pairs are the original h % 8
+  /// partitions; a level-L child was split on bits (h >> 3(L)) % 8.
+  struct SpillPair {
+    std::unique_ptr<SpillFile> build;
+    std::unique_ptr<SpillFile> probe;
+    int level = 0;
+  };
+
   Status PrepareSpilledProcessing() {
     // Record outer arities for reload (from the plan's table defs).
     outer_arity_.clear();
     RecordArities(plan_->children[0].get());
-    spill_partition_ = 0;
+    // The in-memory probe phase is over: drop the memory-resident build
+    // side and its charge so spilled-partition replay starts from a clean
+    // account, then queue every spilled pair as grace-hash work.
+    table_.clear();
+    build_rows_.clear();
+    build_keys_.clear();
+    build_partition_.clear();
+    if (ec_->memory != nullptr && build_bytes_ > 0) {
+      ec_->memory->ReleaseBytes(build_bytes_);
+    }
+    build_bytes_ = 0;
+    for (int p = 0; p < kPartitions; ++p) {
+      partition_rows_[p] = 0;
+      partition_bytes_[p] = 0;
+      if (!partition_spilled_[p] || build_spill_[p] == nullptr) continue;
+      // An inner join needs both sides; a pair missing either is dead.
+      if (build_spill_[p]->tuple_count() == 0 ||
+          probe_spill_[p]->tuple_count() == 0) {
+        build_spill_[p].reset();
+        probe_spill_[p].reset();
+        continue;
+      }
+      spill_queue_.push_back(SpillPair{std::move(build_spill_[p]),
+                                       std::move(probe_spill_[p]),
+                                       /*level=*/0});
+    }
     spill_loaded_ = false;
     return Status::OK();
+  }
+
+  /// Bytes of loaded build side the replay phase allows itself before
+  /// re-partitioning instead: half the statement's soft limit, but at
+  /// least one page (so tiny limits still terminate the recursion).
+  uint64_t SpillLoadBudgetBytes() const {
+    const uint64_t page_bytes = ec_->pool->page_bytes();
+    if (ec_->memory == nullptr) return std::numeric_limits<uint64_t>::max();
+    return std::max<uint64_t>(page_bytes,
+                              ec_->memory->soft_limit_pages() * page_bytes / 2);
+  }
+
+  /// Splits an oversized spilled pair into up to kPartitions children on
+  /// the next 3 hash bits and queues the live ones (grace hash join
+  /// recursion). Skew-proof enough for the corpus: a pair whose build
+  /// side is a single tuple, or that is already at the deepest level, is
+  /// loaded as-is instead.
+  Status Repartition(SpillPair pair) {
+    const int level = pair.level + 1;
+    const int shift = 3 * level;
+    std::vector<SpillPair> kids(kPartitions);
+    for (auto& k : kids) {
+      k.build = std::make_unique<SpillFile>(ec_->pool);
+      k.probe = std::make_unique<SpillFile>(ec_->pool);
+      k.level = level;
+    }
+    RowContext key_ctx;
+    key_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    key_ctx.params = ec_->params;
+    std::vector<Value> row;
+    auto breader = pair.build->Read();
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, breader.Next(&row));
+      if (!more) break;
+      key_ctx.rows[build_quantifier_] = &row;
+      HDB_ASSIGN_OR_RETURN(const Value key, plan_->inner_key->Evaluate(key_ctx));
+      const int c = static_cast<int>((key.Hash() >> shift) % kPartitions);
+      HDB_RETURN_IF_ERROR(kids[c].build->Append(row));
+    }
+    ec_->stats.spill_bytes_read += pair.build->byte_count();
+    std::vector<Value> flat;
+    auto preader = pair.probe->Read();
+    RowContext probe_ctx;
+    probe_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    probe_ctx.params = ec_->params;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, preader.Next(&flat));
+      if (!more) break;
+      RestoreOuter(flat, &probe_ctx);
+      HDB_ASSIGN_OR_RETURN(const Value key,
+                           plan_->outer_key->Evaluate(probe_ctx));
+      if (key.is_null()) continue;
+      const int c = static_cast<int>((key.Hash() >> shift) % kPartitions);
+      HDB_RETURN_IF_ERROR(kids[c].probe->Append(flat));
+    }
+    ec_->stats.spill_bytes_read += pair.probe->byte_count();
+    ec_->stats.spill_repartitions++;
+    for (auto& k : kids) {
+      if (k.build->tuple_count() == 0 || k.probe->tuple_count() == 0) continue;
+      // Re-partition passes move bytes, not new tuples: count the write
+      // volume but leave the tuple counters to the original eviction.
+      ec_->stats.spill_bytes_written +=
+          k.build->byte_count() + k.probe->byte_count();
+      spill_queue_.push_back(std::move(k));
+    }
+    return Status::OK();
+  }
+
+  /// Loads a pair's build side into the hash table, charging every row to
+  /// the task quota (the old path loaded unconditionally — a spilled
+  /// partition could silently blow the limit it was evicted to respect).
+  Status LoadPair(SpillPair pair) {
+    spill_build_rows_.clear();
+    spill_build_keys_.clear();
+    spill_table_.clear();
+    RowContext key_ctx;
+    key_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
+    key_ctx.params = ec_->params;
+    auto reader = pair.build->Read();
+    std::vector<Value> row;
+    for (;;) {
+      HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&row));
+      if (!more) break;
+      const uint64_t row_bytes = 48 * row.size() + 64;
+      if (ec_->memory != nullptr) {
+        HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(row_bytes));
+      }
+      spill_loaded_bytes_ += row_bytes;
+      spill_build_rows_.push_back(row);
+      key_ctx.rows[build_quantifier_] = &spill_build_rows_.back();
+      HDB_ASSIGN_OR_RETURN(const Value key,
+                           plan_->inner_key->Evaluate(key_ctx));
+      spill_build_keys_.push_back(key);
+      spill_table_[key.Hash()].push_back(spill_build_rows_.size() - 1);
+    }
+    ec_->stats.spill_bytes_read += pair.build->byte_count();
+    current_pair_ = std::move(pair);
+    probe_reader_.emplace(current_pair_.probe->Read());
+    spill_loaded_ = true;
+    current_matches_.clear();
+    match_pos_ = 0;
+    return Status::OK();
+  }
+
+  void FinishCurrentPair() {
+    ec_->stats.spill_bytes_read += current_pair_.probe->byte_count();
+    if (ec_->memory != nullptr && spill_loaded_bytes_ > 0) {
+      ec_->memory->ReleaseBytes(spill_loaded_bytes_);
+    }
+    spill_loaded_bytes_ = 0;
+    spill_build_rows_.clear();
+    spill_build_keys_.clear();
+    spill_table_.clear();
+    probe_reader_.reset();
+    current_pair_.build.reset();
+    current_pair_.probe.reset();
+    spill_loaded_ = false;
   }
 
   void RecordArities(const PlanNode* n) {
@@ -1561,7 +1913,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
         }
         return true;
       }
-      // Advance within the current spilled partition's probe stream.
+      // Advance within the current spilled pair's probe stream.
       if (spill_loaded_) {
         std::vector<Value> flat;
         HDB_ASSIGN_OR_RETURN(const bool more, probe_reader_->Next(&flat));
@@ -1581,38 +1933,21 @@ class HashJoinOp : public Operator, public MemoryConsumer {
           }
           continue;
         }
-        spill_loaded_ = false;
-        ++spill_partition_;
+        FinishCurrentPair();
       }
-      // Load the next spilled partition's build side into memory.
-      while (spill_partition_ < kPartitions &&
-             (build_spill_[spill_partition_] == nullptr ||
-              !partition_spilled_[spill_partition_])) {
-        ++spill_partition_;
+      // Pop the next pair of grace-hash work. A build side too big for
+      // the load budget is split on the next 3 hash bits instead of being
+      // loaded whole — the recursion that makes ≥10x-over-limit inputs
+      // finish inside the limit.
+      if (spill_queue_.empty()) return false;
+      SpillPair pair = std::move(spill_queue_.front());
+      spill_queue_.pop_front();
+      if (pair.build->byte_count() > SpillLoadBudgetBytes() &&
+          pair.level + 1 < kMaxSpillLevels && pair.build->tuple_count() > 1) {
+        HDB_RETURN_IF_ERROR(Repartition(std::move(pair)));
+        continue;
       }
-      if (spill_partition_ >= kPartitions) return false;
-      spill_build_rows_.clear();
-      spill_build_keys_.clear();
-      spill_table_.clear();
-      RowContext key_ctx;
-      key_ctx.rows.assign(ec_->num_quantifiers + 1, nullptr);
-      key_ctx.params = ec_->params;
-      auto reader = build_spill_[spill_partition_]->Read();
-      std::vector<Value> row;
-      for (;;) {
-        HDB_ASSIGN_OR_RETURN(const bool more, reader.Next(&row));
-        if (!more) break;
-        spill_build_rows_.push_back(row);
-        key_ctx.rows[build_quantifier_] = &spill_build_rows_.back();
-        HDB_ASSIGN_OR_RETURN(const Value key,
-                             plan_->inner_key->Evaluate(key_ctx));
-        spill_build_keys_.push_back(key);
-        spill_table_[key.Hash()].push_back(spill_build_rows_.size() - 1);
-      }
-      probe_reader_.emplace(probe_spill_[spill_partition_]->Read());
-      spill_loaded_ = true;
-      current_matches_.clear();
-      match_pos_ = 0;
+      HDB_RETURN_IF_ERROR(LoadPair(std::move(pair)));
     }
   }
 
@@ -1699,6 +2034,7 @@ class HashJoinOp : public Operator, public MemoryConsumer {
   std::vector<Value> build_keys_;
   std::vector<int> build_partition_;
   size_t partition_rows_[kPartitions] = {};
+  uint64_t partition_bytes_[kPartitions] = {};
   bool partition_spilled_[kPartitions] = {};
   std::unique_ptr<SpillFile> build_spill_[kPartitions];
   std::unique_ptr<SpillFile> probe_spill_[kPartitions];
@@ -1723,8 +2059,12 @@ class HashJoinOp : public Operator, public MemoryConsumer {
   RowContext probe_ctx_;
   RowContext row_ctx_;
 
-  // Spilled-partition processing state.
-  int spill_partition_ = 0;
+  // Spilled-partition (grace hash) replay state: the work queue of
+  // spilled pairs, the pair currently loaded, and the quota charged for
+  // its build side (released when the pair is drained).
+  std::deque<SpillPair> spill_queue_;
+  SpillPair current_pair_;
+  uint64_t spill_loaded_bytes_ = 0;
   bool spill_loaded_ = false;
   std::map<int, size_t> outer_arity_;
   std::vector<std::vector<Value>> reload_rows_;
@@ -1732,6 +2072,9 @@ class HashJoinOp : public Operator, public MemoryConsumer {
   std::vector<Value> spill_build_keys_;
   std::unordered_map<uint64_t, std::vector<size_t>> spill_table_;
   std::optional<SpillFile::Reader> probe_reader_;
+  // Cumulative spill output for EXPLAIN ANALYZE's `spilled=` actuals.
+  uint64_t op_spilled_bytes_ = 0;
+  uint64_t op_spilled_tuples_ = 0;
 
   // Alternate-strategy state.
   bool alternate_ = false;
@@ -1827,14 +2170,19 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
  public:
   HashGroupByOp(const PlanNode* plan, std::unique_ptr<Operator> child,
                 ExecContext* ec)
-      : plan_(plan), child_(std::move(child)), ec_(ec) {}
+      : plan_(plan), child_(std::move(child)), ec_(ec) {
+    name = "hash_group_by";
+  }
 
   Status Open() override {
     if (ec_->memory != nullptr) {
       plan_level = 2;
+      predicted_pages = plan_->memory_quota_pages;
       ec_->memory->RegisterConsumer(this);
     }
+    emitting_ = false;
     HDB_RETURN_IF_ERROR(Aggregate());
+    emitting_ = true;
     pos_ = results_.begin();
     return Status::OK();
   }
@@ -1898,32 +2246,47 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
   }
 
   // MemoryConsumer: the low-memory fallback — flush partially computed
-  // groups to an indexed temporary stream and start over (paper §4.3).
-  size_t ReleasePages(size_t target_pages) override {
-    if (groups_.empty()) return 0;
+  // groups (keys + encoded AggStates) to a temporary stream and keep
+  // aggregating; the finalize phase merges partials back (paper §4.3).
+  // Once emission starts, results_ is not spillable — it is the reserve.
+  SpillableStats SpillStats() const override {
+    SpillableStats s;
+    s.respill_cost = 2.0;
+    if (emitting_) {
+      s.must_reserve_bytes = bytes_held_;
+      return s;
+    }
+    s.spillable_bytes = bytes_held_;
+    return s;
+  }
+
+  Result<uint64_t> SpillSome(uint64_t /*target_bytes*/) override {
+    if (emitting_ || groups_.empty()) return uint64_t{0};
     if (spill_ == nullptr) spill_ = std::make_unique<SpillFile>(ec_->pool);
+    const uint64_t before = spill_->byte_count();
     for (auto& [key, entry] : groups_) {
       std::vector<Value> tuple = entry.key_values;
       for (const AggState& s : entry.states) {
         const auto enc = EncodeAggState(s);
         tuple.insert(tuple.end(), enc.begin(), enc.end());
       }
-      // Release callbacks have no error channel (see hash-join spill).
-      IgnoreError(spill_->Append(tuple));
+      HDB_RETURN_IF_ERROR(spill_->Append(tuple));
+      ++op_spilled_tuples_;
     }
+    const uint64_t written = spill_->byte_count() - before;
+    op_spilled_bytes_ += written;
+    ec_->stats.spill_bytes_written += written;
     ec_->stats.group_by_used_fallback = true;
     ec_->stats.group_by_spilled_groups += groups_.size();
-    const size_t freed = bytes_held_ / ec_->pool->page_bytes();
+    const uint64_t freed = bytes_held_;
     groups_.clear();
     bytes_held_ = 0;
     return freed;
   }
 
-  size_t PagesHeld() const override {
-    return bytes_held_ / ec_->pool->page_bytes();
-  }
-
   uint64_t MemoryBytes() const override { return bytes_held_; }
+  uint64_t SpilledBytes() const override { return op_spilled_bytes_; }
+  uint64_t SpilledTuples() const override { return op_spilled_tuples_; }
 
  private:
   struct GroupEntry {
@@ -1977,7 +2340,7 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
           const uint64_t bytes = key_buf_.size() + 64 * naggs + 64;
           bytes_held_ += bytes;
           if (ec_->memory != nullptr) {
-            // May trigger ReleasePages -> fallback spill, clearing groups_.
+            // May pick this operator as spill victim, clearing groups_.
             HDB_RETURN_IF_ERROR(ec_->memory->ChargeBytes(bytes));
             if (groups_.empty()) {
               auto [it3, ins3] = groups_.try_emplace(key_buf_);
@@ -2038,6 +2401,7 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
         }
       }
       for (const auto& [key, entry] : merged) emit(key, entry);
+      ec_->stats.spill_bytes_read += spill_->byte_count();
       spill_.reset();
     } else {
       for (const auto& [key, entry] : groups_) emit(key, entry);
@@ -2065,6 +2429,9 @@ class HashGroupByOp : public Operator, public MemoryConsumer {
       groups_;
   std::unique_ptr<SpillFile> spill_;
   uint64_t bytes_held_ = 0;
+  bool emitting_ = false;
+  uint64_t op_spilled_bytes_ = 0;
+  uint64_t op_spilled_tuples_ = 0;
 
   std::map<std::string, std::vector<Value>> results_;
   std::map<std::string, std::vector<Value>>::iterator pos_;
@@ -2089,19 +2456,42 @@ class SortOp : public Operator, public MemoryConsumer {
          ExecContext* ec)
       : plan_(plan), child_(std::move(child)), ec_(ec) {
     for (const auto& c : plan_->children) CollectBoundQuantifiers(c.get(), &quants_);
+    name = "sort";
   }
 
   Status Open() override {
+    pending_.clear();
+    runs_.clear();
+    rows_.clear();
+    merge_.reset();
+    merging_ = false;
+    merge_read_counted_ = false;
+    pos_ = 0;
     if (ec_->memory != nullptr) {
       plan_level = 3;
+      predicted_pages = plan_->memory_quota_pages;
       ec_->memory->RegisterConsumer(this);
     }
     HDB_RETURN_IF_ERROR(Materialize());
-    pos_ = 0;
     return Status::OK();
   }
 
   Result<bool> Next(RowContext* ctx) override {
+    if (merging_) {
+      std::vector<Value> flat;
+      HDB_ASSIGN_OR_RETURN(const bool more, merge_->Next(&flat));
+      if (!more) {
+        if (!merge_read_counted_) {
+          for (const auto& run : runs_) {
+            ec_->stats.spill_bytes_read += run->byte_count();
+          }
+          merge_read_counted_ = true;
+        }
+        return false;
+      }
+      Bind(Unflatten(flat), ctx);
+      return true;
+    }
     if (pos_ >= rows_.size()) return false;
     Bind(rows_[pos_++], ctx);
     return true;
@@ -2114,30 +2504,33 @@ class SortOp : public Operator, public MemoryConsumer {
       ec_->memory->ReleaseBytes(bytes_held_);
     }
     bytes_held_ = 0;
+    merge_.reset();
+    runs_.clear();
   }
 
-  size_t ReleasePages(size_t target_pages) override {
-    // Spill the current run (sorted) to a run file.
-    if (pending_.empty()) return 0;
-    SortPending();
-    auto run = std::make_unique<SpillFile>(ec_->pool);
-    for (const auto& r : pending_) {
-      // Release callbacks have no error channel (see hash-join spill).
-      IgnoreError(run->Append(Flatten(r)));
-    }
-    runs_.push_back(std::move(run));
-    ec_->stats.sort_runs_spilled++;
-    const size_t freed = bytes_held_ / ec_->pool->page_bytes();
-    pending_.clear();
+  // MemoryConsumer: a sort run is cheap to respill (sequential write, one
+  // sequential read back through the merge, no rebuild), so the sort is
+  // the scheduler's preferred victim. During the merge phase the buffer
+  // is already on disk — nothing left to give.
+  SpillableStats SpillStats() const override {
+    SpillableStats s;
+    s.respill_cost = 1.5;
+    if (merging_) return s;
+    s.spillable_bytes = bytes_held_;
+    return s;
+  }
+
+  Result<uint64_t> SpillSome(uint64_t /*target_bytes*/) override {
+    if (merging_ || pending_.empty()) return uint64_t{0};
+    HDB_RETURN_IF_ERROR(WriteRun());
+    const uint64_t freed = bytes_held_;
     bytes_held_ = 0;
     return freed;
   }
 
-  size_t PagesHeld() const override {
-    return bytes_held_ / ec_->pool->page_bytes();
-  }
-
   uint64_t MemoryBytes() const override { return bytes_held_; }
+  uint64_t SpilledBytes() const override { return op_spilled_bytes_; }
+  uint64_t SpilledTuples() const override { return op_spilled_tuples_; }
 
  private:
   struct MatRow {
@@ -2160,6 +2553,23 @@ class SortOp : public Operator, public MemoryConsumer {
                      [this](const MatRow& a, const MatRow& b) {
                        return Compare(a, b) < 0;
                      });
+  }
+
+  /// Sorts the pending buffer and writes it out as one run, propagating
+  /// any spill-write failure.
+  Status WriteRun() {
+    SortPending();
+    auto run = std::make_unique<SpillFile>(ec_->pool);
+    for (const auto& r : pending_) {
+      HDB_RETURN_IF_ERROR(run->Append(Flatten(r)));
+    }
+    op_spilled_bytes_ += run->byte_count();
+    op_spilled_tuples_ += run->tuple_count();
+    ec_->stats.spill_bytes_written += run->byte_count();
+    ec_->stats.sort_runs_spilled++;
+    runs_.push_back(std::move(run));
+    pending_.clear();
+    return Status::OK();
   }
 
   std::vector<Value> Flatten(const MatRow& r) const {
@@ -2240,48 +2650,32 @@ class SortOp : public Operator, public MemoryConsumer {
       pending_.clear();
       return Status::OK();
     }
-    // External merge: the in-memory remainder becomes a final run, then
-    // all runs (each sorted) merge.
+    // External merge: the in-memory remainder becomes a final run (and
+    // its charge is genuinely released — the old path cleared the buffer
+    // without crediting the account), then all runs merge *streamingly*:
+    // one decoded tuple per run, never the whole result (the old path
+    // re-materialized everything it had just spilled).
     if (!pending_.empty()) {
-      ReleasePages(SIZE_MAX / 2);  // spill the remainder as a run
+      HDB_RETURN_IF_ERROR(WriteRun());
+      if (ec_->memory != nullptr) ec_->memory->ReleaseBytes(bytes_held_);
+      bytes_held_ = 0;
     }
-    struct Cursor {
-      SpillFile::Reader reader;
-      MatRow row;
-      bool done = false;
-    };
-    std::vector<Cursor> cursors;
-    for (const auto& run : runs_) {
-      Cursor c{run->Read(), {}, false};
-      std::vector<Value> flat;
-      HDB_ASSIGN_OR_RETURN(const bool more, c.reader.Next(&flat));
-      if (!more) {
-        c.done = true;
-      } else {
-        c.row = Unflatten(flat);
-      }
-      cursors.push_back(std::move(c));
-    }
-    rows_.clear();
-    for (;;) {
-      int best = -1;
-      for (size_t i = 0; i < cursors.size(); ++i) {
-        if (cursors[i].done) continue;
-        if (best < 0 || Compare(cursors[i].row, cursors[best].row) < 0) {
-          best = static_cast<int>(i);
-        }
-      }
-      if (best < 0) break;
-      rows_.push_back(cursors[best].row);
-      std::vector<Value> flat;
-      HDB_ASSIGN_OR_RETURN(const bool more, cursors[best].reader.Next(&flat));
-      if (!more) {
-        cursors[best].done = true;
-      } else {
-        cursors[best].row = Unflatten(flat);
-      }
-    }
-    runs_.clear();
+    std::vector<const SpillFile*> run_ptrs;
+    run_ptrs.reserve(runs_.size());
+    for (const auto& run : runs_) run_ptrs.push_back(run.get());
+    merge_ = std::make_unique<SpillMergeReader>(
+        std::move(run_ptrs),
+        [this](const std::vector<Value>& a,
+               const std::vector<Value>& b) -> int {
+          // Flat run tuples lead with the precomputed sort keys.
+          for (size_t i = 0; i < plan_->order.size(); ++i) {
+            const int c = a[i].Compare(b[i]);
+            if (c != 0) return plan_->order[i].ascending ? c : -c;
+          }
+          return 0;
+        });
+    HDB_RETURN_IF_ERROR(merge_->Init());
+    merging_ = true;
     return Status::OK();
   }
 
@@ -2296,6 +2690,13 @@ class SortOp : public Operator, public MemoryConsumer {
   size_t pos_ = 0;
   MatRow current_;
   uint64_t bytes_held_ = 0;
+
+  // Streaming-merge emission state (spilled executions only).
+  std::unique_ptr<SpillMergeReader> merge_;
+  bool merging_ = false;
+  bool merge_read_counted_ = false;
+  uint64_t op_spilled_bytes_ = 0;
+  uint64_t op_spilled_tuples_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -2344,11 +2745,15 @@ class InstrumentedOp : public Operator {
   void Close() override {
     optimizer::OpActuals& a = (*ec_->actuals)[plan_];
     a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
+    a.spilled_bytes = inner_->SpilledBytes();
+    a.spilled_tuples = inner_->SpilledTuples();
     inner_->Close();
   }
 
   bool ProducesOutput() const override { return inner_->ProducesOutput(); }
   uint64_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+  uint64_t SpilledBytes() const override { return inner_->SpilledBytes(); }
+  uint64_t SpilledTuples() const override { return inner_->SpilledTuples(); }
 
  private:
   optimizer::OpActuals& Sample(
@@ -2358,6 +2763,8 @@ class InstrumentedOp : public Operator {
                          std::chrono::steady_clock::now() - started)
                          .count();
     a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
+    a.spilled_bytes = inner_->SpilledBytes();
+    a.spilled_tuples = inner_->SpilledTuples();
     return a;
   }
 

@@ -34,6 +34,14 @@ struct RuntimeStats {
   uint64_t batch_rows = 0;
   uint64_t batch_arena_peak_bytes = 0;
   uint64_t batch_cap_shrinks = 0;
+  /// Spill-scheduler counters (exec.spill.* metrics, DESIGN.md §10):
+  /// bytes moved through SpillFiles in each direction, grace-hash
+  /// re-partition passes over oversized spilled partitions, and victim
+  /// choices made by the statement's spill scheduler.
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  uint64_t spill_repartitions = 0;
+  uint64_t spill_decisions = 0;
 };
 
 /// Everything an executor needs from the engine.
@@ -100,6 +108,10 @@ class Operator {
   /// Bytes of working memory currently held (hash build sides, group
   /// tables, sort buffers). Sampled by EXPLAIN ANALYZE for the peak.
   virtual uint64_t MemoryBytes() const { return 0; }
+  /// Cumulative spill output of this operator (bytes / tuples written to
+  /// SpillFiles). Sampled by EXPLAIN ANALYZE for the `spilled=` actuals.
+  virtual uint64_t SpilledBytes() const { return 0; }
+  virtual uint64_t SpilledTuples() const { return 0; }
 
  private:
   // Scratch state of the default row→batch adapter.

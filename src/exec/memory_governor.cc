@@ -1,6 +1,7 @@
 #include "exec/memory_governor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metric_names.h"
 
@@ -80,46 +81,83 @@ uint64_t TaskMemoryContext::pages_charged() const {
          governor_->pool()->page_bytes();
 }
 
-void TaskMemoryContext::ReclaimLocked() {
+Status TaskMemoryContext::RunSpillSchedulerLocked() {
   const uint64_t page_bytes = governor_->pool()->page_bytes();
   const uint64_t soft = governor_->SoftLimitPages();
   uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
-  if (pages <= soft) return;
+  if (pages <= soft) return Status::OK();
   ++reclamations_;
-  const uint64_t pages_before = pages;
   if (governor_->reclamations_counter_ != nullptr) {
     governor_->reclamations_counter_->Add();
   }
-  // Highest consumer first: prevents an input operator from being starved
-  // by its consumer while letting each proceed with as much memory as
-  // possible (paper §4.3).
-  std::vector<MemoryConsumer*> order = consumers_;
-  std::sort(order.begin(), order.end(),
-            [](const MemoryConsumer* a, const MemoryConsumer* b) {
-              return a->plan_level > b->plan_level;
-            });
-  uint64_t freed_total = 0;
-  for (MemoryConsumer* c : order) {
+  uint64_t freed_total_pages = 0;
+  // Victims that answered 0 this pass: not asked again until the next
+  // soft-limit crossing (their state may have changed by then).
+  std::vector<const MemoryConsumer*> exhausted;
+  for (;;) {
     pages = (bytes_ + page_bytes - 1) / page_bytes;
     if (pages <= soft) break;
-    const size_t freed = c->ReleasePages(pages - soft);
-    reclaimed_pages_ += freed;
-    freed_total += freed;
-    const uint64_t freed_bytes = static_cast<uint64_t>(freed) * page_bytes;
-    bytes_ = bytes_ > freed_bytes ? bytes_ - freed_bytes : 0;
+    const uint64_t deficit_bytes = (pages - soft) * page_bytes;
+    // Cheapest victim across the whole plan: min respill cost, ties to
+    // the higher (consumer-side) operator, then to the larger holding —
+    // producers below keep their memory unless they are genuinely the
+    // cheapest to restart (paper §4.3's starvation rule, generalized).
+    MemoryConsumer* victim = nullptr;
+    SpillableStats victim_stats;
+    for (MemoryConsumer* c : consumers_) {
+      if (std::find(exhausted.begin(), exhausted.end(), c) !=
+          exhausted.end()) {
+        continue;
+      }
+      const SpillableStats s = c->SpillStats();
+      if (s.spillable_bytes == 0) continue;
+      const bool better =
+          victim == nullptr || s.respill_cost < victim_stats.respill_cost ||
+          (s.respill_cost == victim_stats.respill_cost &&
+           (c->plan_level > victim->plan_level ||
+            (c->plan_level == victim->plan_level &&
+             s.spillable_bytes > victim_stats.spillable_bytes)));
+      if (better) {
+        victim = c;
+        victim_stats = s;
+      }
+    }
+    if (victim == nullptr) break;  // nothing left to spill
+    const uint64_t ask =
+        std::min<uint64_t>(deficit_bytes, victim_stats.spillable_bytes);
+    const Result<uint64_t> released = victim->SpillSome(ask);
+    if (!released.ok()) {
+      // The error channel: a failed spill write aborts the charging
+      // statement instead of being dropped inside a callback.
+      return released.status();
+    }
+    if (*released == 0) {
+      exhausted.push_back(victim);
+      continue;
+    }
+    ++spill_decisions_;
+    bytes_ -= std::min(bytes_, *released);
+    const uint64_t freed_pages = (*released + page_bytes - 1) / page_bytes;
+    reclaimed_pages_ += freed_pages;
+    freed_total_pages += freed_pages;
+    if (governor_->decisions_ != nullptr) {
+      const int64_t now = governor_->telemetry_clock_ != nullptr
+                              ? governor_->telemetry_clock_->NowMicros()
+                              : 0;
+      governor_->decisions_->Record(
+          now, "memory", "spill",
+          std::string("soft_limit_exceeded victim=") + victim->name +
+              " level=" + std::to_string(victim->plan_level) + " cost=" +
+              std::to_string(victim_stats.respill_cost),
+          static_cast<double>(deficit_bytes),
+          static_cast<double>(*released));
+    }
   }
-  if (governor_->reclaimed_pages_counter_ != nullptr && freed_total > 0) {
-    governor_->reclaimed_pages_counter_->Add(freed_total);
+  if (governor_->reclaimed_pages_counter_ != nullptr &&
+      freed_total_pages > 0) {
+    governor_->reclaimed_pages_counter_->Add(freed_total_pages);
   }
-  if (governor_->decisions_ != nullptr) {
-    const int64_t now = governor_->telemetry_clock_ != nullptr
-                            ? governor_->telemetry_clock_->NowMicros()
-                            : 0;
-    governor_->decisions_->Record(
-        now, "memory", "reclaim", "soft_limit_exceeded",
-        static_cast<double>(pages_before),
-        static_cast<double>((bytes_ + page_bytes - 1) / page_bytes));
-  }
+  return Status::OK();
 }
 
 Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
@@ -128,9 +166,13 @@ Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
   bytes_ += bytes;
   const uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
   if (pages > governor_->HardLimitPages()) {
-    // Attempt reclamation first; the hard limit only kills when the task
+    // Attempt spilling first; the hard limit only kills when the task
     // genuinely cannot fit.
-    ReclaimLocked();
+    const Status spilled = RunSpillSchedulerLocked();
+    if (!spilled.ok()) {
+      bytes_ -= std::min(bytes_, bytes);
+      return spilled;
+    }
     const uint64_t after = (bytes_ + page_bytes - 1) / page_bytes;
     if (after > governor_->HardLimitPages()) {
       bytes_ -= std::min(bytes_, bytes);
@@ -151,7 +193,13 @@ Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
     }
     return Status::OK();
   }
-  if (pages > governor_->SoftLimitPages()) ReclaimLocked();
+  if (pages > governor_->SoftLimitPages()) {
+    const Status spilled = RunSpillSchedulerLocked();
+    if (!spilled.ok()) {
+      bytes_ -= std::min(bytes_, bytes);
+      return spilled;
+    }
+  }
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
@@ -33,22 +34,48 @@ struct MemoryGovernorOptions {
 
 class TaskMemoryContext;
 
+/// What a memory-intensive operator reports to the statement's spill
+/// scheduler each time the soft limit is crossed (DESIGN.md §10).
+struct SpillableStats {
+  /// Bytes the consumer could free right now by spilling, net of its own
+  /// reserve. Zero means the consumer is not currently a viable victim
+  /// (nothing buffered, or it is replaying already-spilled data).
+  uint64_t spillable_bytes = 0;
+  /// Floor the consumer must keep to make forward progress (e.g. the one
+  /// spilled partition a hash join is currently re-reading). The
+  /// scheduler never asks a victim to go below this.
+  uint64_t must_reserve_bytes = 0;
+  /// Estimated relative cost of spilling here and re-reading later,
+  /// per byte (write + read + rebuild work). The scheduler picks the
+  /// cheapest victim across the whole plan.
+  double respill_cost = 1.0;
+};
+
 /// A memory-intensive operator (hash join, hash group by, hash distinct,
-/// sort) registers one of these with its task so the governor can demand
-/// memory back, starting at the *highest* consumer in the plan and moving
-/// down — producers must not be starved by consumers (paper §4.3).
+/// sort) registers one of these with its task. The statement-scoped spill
+/// scheduler inside TaskMemoryContext queries SpillStats() and demands
+/// memory back via SpillSome() — which has a real error channel: a failed
+/// spill write aborts the charging statement instead of being dropped.
 class MemoryConsumer {
  public:
   virtual ~MemoryConsumer() = default;
 
-  /// Frees up to `target_pages`, e.g. by evicting the largest hash-join
-  /// partition; returns pages actually released.
-  virtual size_t ReleasePages(size_t target_pages) = 0;
+  virtual SpillableStats SpillStats() const = 0;
 
-  virtual size_t PagesHeld() const = 0;
+  /// Spills roughly `target_bytes` (e.g. by evicting hash-join
+  /// partitions or writing a sort run); returns bytes actually released.
+  /// Returning 0 marks the consumer exhausted for this scheduling pass.
+  /// MUST NOT call ChargeBytes/ReleaseBytes on the task (the scheduler
+  /// holds the task latch and adjusts the account itself).
+  virtual Result<uint64_t> SpillSome(uint64_t target_bytes) = 0;
 
-  /// Height in the execution tree (root = large). Reclamation order.
+  /// Short stable operator name for DecisionLog rows.
+  const char* name = "consumer";
+  /// Height in the execution tree (root = large). Victim tie-break.
   int plan_level = 0;
+  /// The optimizer's plan-time prediction of this operator's memory need
+  /// (PlanNode::memory_quota_pages); observability only.
+  uint32_t predicted_pages = 0;
 };
 
 /// Server-wide memory governor (paper §4.3). Tracks active requests and
@@ -56,7 +83,8 @@ class MemoryConsumer {
 ///  * hard limit, Eq. (4): exceeding it terminates the statement with an
 ///    error (Status::ResourceExhausted);
 ///  * soft limit, Eq. (5) = current pool size / multiprogramming level:
-///    crossing it triggers top-down reclamation from registered consumers.
+///    crossing it triggers the statement's spill scheduler, which picks
+///    the cheapest victim across all registered consumers.
 class MemoryGovernor {
  public:
   MemoryGovernor(storage::BufferPool* pool,
@@ -86,7 +114,7 @@ class MemoryGovernor {
 
   /// Wires the governor into the engine's telemetry (DESIGN.md §6):
   /// reclamation/kill counters and limit gauges into `registry`, one
-  /// Decision per reclamation or kill into `decisions`. `clock` stamps
+  /// Decision per spill choice or kill into `decisions`. `clock` stamps
   /// the decisions; pass null to stamp them 0.
   void AttachTelemetry(obs::MetricsRegistry* registry,
                        obs::DecisionLog* decisions, os::VirtualClock* clock);
@@ -108,7 +136,10 @@ class MemoryGovernor {
   os::VirtualClock* telemetry_clock_ = nullptr;
 };
 
-/// Per-request memory accounting and reclamation.
+/// Per-request memory accounting plus the statement-scoped spill
+/// scheduler: one broker owning every spill decision for the query
+/// (DESIGN.md §10). Operators never spill on their own initiative; they
+/// charge bytes here and the scheduler picks victims plan-wide.
 class TaskMemoryContext {
  public:
   explicit TaskMemoryContext(MemoryGovernor* governor);
@@ -117,10 +148,13 @@ class TaskMemoryContext {
   TaskMemoryContext(const TaskMemoryContext&) = delete;
   TaskMemoryContext& operator=(const TaskMemoryContext&) = delete;
 
-  /// Accounts `bytes` of operator memory. Returns kResourceExhausted when
-  /// the hard limit would be exceeded even after reclaiming everything
-  /// reclaimable (the statement must terminate, Eq. (4)).
-  Status ChargeBytes(uint64_t bytes);
+  /// Accounts `bytes` of operator memory. Crossing the soft limit runs
+  /// the spill scheduler; a failed spill write surfaces here (the error
+  /// channel the old release-callback protocol lacked). Returns
+  /// kResourceExhausted when the hard limit would be exceeded even after
+  /// spilling everything spillable (the statement must terminate,
+  /// Eq. (4)).
+  [[nodiscard]] Status ChargeBytes(uint64_t bytes);
   void ReleaseBytes(uint64_t bytes);
 
   void RegisterConsumer(MemoryConsumer* c);
@@ -131,13 +165,20 @@ class TaskMemoryContext {
   uint64_t soft_limit_pages() const { return governor_->SoftLimitPages(); }
   uint64_t hard_limit_pages() const { return governor_->HardLimitPages(); }
 
+  /// Scheduler passes (soft-limit crossings that found work to do).
   uint64_t reclamations() const { return reclamations_; }
   uint64_t reclaimed_pages() const { return reclaimed_pages_; }
+  /// Individual victim choices across all passes (one DecisionLog row
+  /// each when telemetry is attached).
+  uint64_t spill_decisions() const { return spill_decisions_; }
 
  private:
-  /// Asks consumers, highest plan level first, to release until the task
-  /// is back under the soft limit.
-  void ReclaimLocked();
+  /// The spill scheduler: while over the soft limit, pick the cheapest
+  /// victim (min respill_cost, tie-break higher plan level then larger
+  /// spillable) among consumers with spillable bytes, honoring each
+  /// consumer's reserve floor, and ask it to spill the deficit. Errors
+  /// from a victim's spill write propagate to the caller.
+  [[nodiscard]] Status RunSpillSchedulerLocked();
 
   MemoryGovernor* governor_;
   mutable RankedMutex<LockRank::kTaskMemory> mu_;
@@ -145,6 +186,7 @@ class TaskMemoryContext {
   std::vector<MemoryConsumer*> consumers_;
   uint64_t reclamations_ = 0;
   uint64_t reclaimed_pages_ = 0;
+  uint64_t spill_decisions_ = 0;
 };
 
 }  // namespace hdb::exec

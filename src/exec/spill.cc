@@ -143,6 +143,7 @@ void SpillFile::Clear() {
   pages_.clear();
   used_.clear();
   tuples_ = 0;
+  bytes_ = 0;
 }
 
 Status SpillFile::Append(const std::vector<Value>& tuple) {
@@ -174,6 +175,7 @@ Status SpillFile::Append(const std::vector<Value>& tuple) {
   h.MarkDirty();
   used_.back() += need;
   ++tuples_;
+  bytes_ += need;
   return Status::OK();
 }
 
@@ -199,6 +201,41 @@ Result<bool> SpillFile::Reader::Next(std::vector<Value>* tuple) {
     return true;
   }
   return false;
+}
+
+SpillMergeReader::SpillMergeReader(std::vector<const SpillFile*> runs,
+                                   Comparator cmp)
+    : runs_(std::move(runs)), cmp_(std::move(cmp)) {}
+
+Status SpillMergeReader::Init() {
+  cursors_.clear();
+  cursors_.reserve(runs_.size());
+  for (const SpillFile* run : runs_) {
+    Cursor c{run->Read(), {}, false};
+    HDB_ASSIGN_OR_RETURN(const bool more, c.reader.Next(&c.row));
+    c.done = !more;
+    cursors_.push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillMergeReader::Next(std::vector<Value>* tuple) {
+  // Linear scan beats a heap here: run counts are small (one per spill
+  // pass) and the comparator dominates either way. Strict `<` keeps the
+  // earliest run first on ties.
+  int best = -1;
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    if (cursors_[i].done) continue;
+    if (best < 0 || cmp_(cursors_[i].row, cursors_[best].row) < 0) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+  *tuple = std::move(cursors_[best].row);
+  HDB_ASSIGN_OR_RETURN(const bool more,
+                       cursors_[best].reader.Next(&cursors_[best].row));
+  cursors_[best].done = !more;
+  return true;
 }
 
 }  // namespace hdb::exec

@@ -1,6 +1,7 @@
 #ifndef HDB_EXEC_SPILL_H_
 #define HDB_EXEC_SPILL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,9 @@ class SpillFile {
 
   uint64_t tuple_count() const { return tuples_; }
   size_t page_count() const { return pages_.size(); }
+  /// Payload bytes written (records + length prefixes). The spill
+  /// scheduler's unit of account for spill I/O and re-partition budgets.
+  uint64_t byte_count() const { return bytes_; }
 
   /// Releases all pages now (lookaside reuse) and resets to empty.
   void Clear();
@@ -64,6 +68,37 @@ class SpillFile {
   // Per-page used byte count (records never span pages).
   std::vector<uint32_t> used_;
   uint64_t tuples_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Streaming k-way merge over sorted SpillFile runs. Each run must be
+/// internally sorted under `cmp` (strict weak ordering over flat tuples);
+/// ties are broken by run index, so earlier runs win and a stable
+/// producer (external merge sort over stable_sort'ed runs) stays stable.
+/// Holds one decoded tuple per run — the whole point: the merged output
+/// is never materialized.
+class SpillMergeReader {
+ public:
+  using Comparator =
+      std::function<int(const std::vector<Value>&, const std::vector<Value>&)>;
+
+  SpillMergeReader(std::vector<const SpillFile*> runs, Comparator cmp);
+
+  /// Primes one cursor per run. Call once before Next().
+  [[nodiscard]] Status Init();
+
+  /// Returns false at end of all runs.
+  Result<bool> Next(std::vector<Value>* tuple);
+
+ private:
+  struct Cursor {
+    SpillFile::Reader reader;
+    std::vector<Value> row;
+    bool done = false;
+  };
+  std::vector<const SpillFile*> runs_;
+  Comparator cmp_;
+  std::vector<Cursor> cursors_;
 };
 
 }  // namespace hdb::exec

@@ -71,6 +71,12 @@ inline constexpr char kExecSortRunsSpilled[] = "exec.sort_runs_spilled";
 inline constexpr char kExecGroupBySpilledGroups[] =
     "exec.group_by_spilled_groups";
 
+// exec/ — statement-scoped spill scheduler (DESIGN.md §10).
+inline constexpr char kExecSpillBytesWritten[] = "exec.spill.bytes_written";
+inline constexpr char kExecSpillBytesRead[] = "exec.spill.bytes_read";
+inline constexpr char kExecSpillRepartitions[] = "exec.spill.repartitions";
+inline constexpr char kExecSpillDecisions[] = "exec.spill.decisions";
+
 // exec/ — vectorized batch execution (DESIGN.md §9).
 inline constexpr char kExecBatches[] = "exec.batch.batches";
 inline constexpr char kExecBatchRows[] = "exec.batch.rows";

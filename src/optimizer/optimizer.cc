@@ -23,6 +23,26 @@ bool AllBound(const ClassifiedConjunct& c, const std::vector<char>& bound) {
   return !c.quantifiers.empty();
 }
 
+/// Plan-time memory estimate for a blocking operator (DESIGN.md §10):
+/// estimated buffered rows × the executor's per-row charge (48 bytes per
+/// value + overhead), capped by the predicted soft limit. Feeds
+/// MemoryConsumer::predicted_pages (the sys.governors predicted column)
+/// and EXPLAIN's mem=Np annotation — no longer the bare soft limit, so
+/// the annotation distinguishes a 1-page aggregate from a spill-bound
+/// join under the same governor.
+uint32_t EstimateQuotaPages(const OptimizerContext& ctx, double est_rows,
+                            size_t row_arity) {
+  const double page_bytes =
+      ctx.pool != nullptr ? static_cast<double>(ctx.pool->page_bytes())
+                          : 4096.0;
+  const double bytes =
+      std::max(1.0, est_rows) *
+      (48.0 * static_cast<double>(row_arity) + 64.0);
+  const double pages = std::max(1.0, bytes / page_bytes);
+  return static_cast<uint32_t>(
+      std::max(1.0, std::min(ctx.predicted_soft_limit_pages, pages)));
+}
+
 }  // namespace
 
 Optimizer::Optimizer(OptimizerContext ctx)
@@ -163,8 +183,9 @@ Result<PlanPtr> Optimizer::BuildPlanFromSteps(
         join->inner_key =
             Expr::Column(quant, inner_c, t.columns[inner_c].type,
                          t.columns[inner_c].name);
+        // The join buffers its build side: the inner scan's output.
         join->memory_quota_pages =
-            static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+            EstimateQuotaPages(ctx_, scan->est_rows, t.columns.size());
         // The alternate index-NL strategy applies when the probe side is a
         // single base table with an index on the join column (paper §4.3).
         if (si == 1) {
@@ -253,9 +274,10 @@ void Optimizer::AddPostJoinNodes(const Query& q, PlanPtr* root) {
     gb->group_keys = q.group_by;
     gb->aggregates = q.aggregates;
     gb->having = q.having;
-    gb->memory_quota_pages =
-        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
     gb->est_rows = std::max(1.0, (*root)->est_rows / 10.0);
+    // One group entry per output row: keys plus one agg state each.
+    gb->memory_quota_pages = EstimateQuotaPages(
+        ctx_, gb->est_rows, q.group_by.size() + q.aggregates.size());
     gb->est_cost = (*root)->est_cost;
     gb->children.push_back(std::move(*root));
     *root = std::move(gb);
@@ -264,8 +286,13 @@ void Optimizer::AddPostJoinNodes(const Query& q, PlanPtr* root) {
     auto sort = std::make_unique<PlanNode>();
     sort->kind = PlanKind::kSort;
     sort->order = q.order_by;
+    // The sort buffers whole flattened rows: every bound table's width.
+    size_t sort_arity = q.order_by.size();
+    for (const auto& quant : q.quantifiers) {
+      if (quant.table != nullptr) sort_arity += quant.table->columns.size();
+    }
     sort->memory_quota_pages =
-        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+        EstimateQuotaPages(ctx_, (*root)->est_rows, sort_arity);
     sort->est_rows = (*root)->est_rows;
     sort->est_cost = (*root)->est_cost;
     sort->children.push_back(std::move(*root));
@@ -283,8 +310,9 @@ void Optimizer::AddPostJoinNodes(const Query& q, PlanPtr* root) {
   if (q.distinct) {
     auto d = std::make_unique<PlanNode>();
     d->kind = PlanKind::kHashDistinct;
+    // Distinct runs above the projection: it keys on the select list.
     d->memory_quota_pages =
-        static_cast<uint32_t>(ctx_.predicted_soft_limit_pages);
+        EstimateQuotaPages(ctx_, (*root)->est_rows, q.select.size());
     d->est_rows = (*root)->est_rows;
     d->est_cost = (*root)->est_cost;
     d->children.push_back(std::move(*root));

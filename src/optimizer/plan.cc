@@ -75,6 +75,12 @@ std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
                       static_cast<double>(a.peak_memory_bytes) / 1024.0);
         out += buf;
       }
+      if (a.spilled_bytes > 0 || a.spilled_tuples > 0) {
+        std::snprintf(buf, sizeof(buf), " spilled=%lluB/%llut",
+                      static_cast<unsigned long long>(a.spilled_bytes),
+                      static_cast<unsigned long long>(a.spilled_tuples));
+        out += buf;
+      }
       out += ")";
     }
   }

@@ -26,6 +26,8 @@ struct OpActuals {
   uint64_t opens = 0;        // Open() calls (re-opens on NL inner sides)
   int64_t wall_micros = 0;   // wall time inside Open+Next, children included
   uint64_t peak_memory_bytes = 0;  // high-water mark of MemoryBytes()
+  uint64_t spilled_bytes = 0;      // cumulative bytes written to SpillFiles
+  uint64_t spilled_tuples = 0;     // cumulative tuples written to SpillFiles
 };
 
 using OpActualsMap = std::map<const PlanNode*, OpActuals>;

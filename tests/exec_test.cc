@@ -65,35 +65,137 @@ TEST(MemoryGovernorTest, HardLimitKillsStatement) {
 
 class FakeConsumer : public MemoryConsumer {
  public:
-  FakeConsumer(int level, size_t pages) : pages_(pages) { plan_level = level; }
-  size_t ReleasePages(size_t target) override {
-    const size_t freed = std::min(target, pages_);
-    pages_ -= freed;
-    release_calls++;
+  FakeConsumer(const char* n, int level, double cost, uint64_t bytes)
+      : bytes_(bytes), cost_(cost) {
+    name = n;
+    plan_level = level;
+  }
+  SpillableStats SpillStats() const override {
+    SpillableStats s;
+    s.spillable_bytes = bytes_ > reserve_ ? bytes_ - reserve_ : 0;
+    s.must_reserve_bytes = reserve_;
+    s.respill_cost = cost_;
+    return s;
+  }
+  Result<uint64_t> SpillSome(uint64_t target) override {
+    spill_calls++;
+    if (fail_) return Status::Internal("injected spill-write failure");
+    const uint64_t avail = bytes_ > reserve_ ? bytes_ - reserve_ : 0;
+    const uint64_t freed = std::min(target, avail);
+    bytes_ -= freed;
     return freed;
   }
-  size_t PagesHeld() const override { return pages_; }
-  size_t pages_;
-  int release_calls = 0;
+  uint64_t bytes_;
+  uint64_t reserve_ = 0;
+  double cost_;
+  bool fail_ = false;
+  int spill_calls = 0;
 };
 
-TEST(MemoryGovernorTest, ReclamationStartsAtHighestConsumer) {
+TEST(MemoryGovernorTest, SchedulerPicksCheapestVictim) {
   Fixture f;
   MemoryGovernorOptions opts;
   opts.multiprogramming_level = 16;  // soft = 16 pages
   opts.max_pool_pages = 1 << 20;     // hard: effectively unlimited
   MemoryGovernor gov(&f.pool, opts);
   auto task = gov.BeginTask();
-  FakeConsumer low(/*level=*/1, /*pages=*/100);
-  FakeConsumer high(/*level=*/5, /*pages=*/100);
+  const uint64_t page = f.pool.page_bytes();
+  FakeConsumer dear("hash_join", /*level=*/1, /*cost=*/3.0, 100 * page);
+  FakeConsumer cheap("sort", /*level=*/3, /*cost=*/1.5, 100 * page);
+  task->RegisterConsumer(&dear);
+  task->RegisterConsumer(&cheap);
+  // Charge past the soft limit: the CHEAP consumer spills, the dear one
+  // is never touched — the broker owns the choice, not stack order.
+  ASSERT_TRUE(task->ChargeBytes(40 * page).ok());
+  EXPECT_GE(cheap.spill_calls, 1);
+  EXPECT_EQ(dear.spill_calls, 0);
+  EXPECT_LT(cheap.bytes_, 100 * page);
+  EXPECT_GT(task->reclamations(), 0u);
+  EXPECT_GT(task->spill_decisions(), 0u);
+}
+
+TEST(MemoryGovernorTest, SchedulerTieBreaksToHigherPlanLevel) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 16;
+  opts.max_pool_pages = 1 << 20;
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  const uint64_t page = f.pool.page_bytes();
+  FakeConsumer low("low", /*level=*/1, /*cost=*/2.0, 100 * page);
+  FakeConsumer high("high", /*level=*/5, /*cost=*/2.0, 100 * page);
   task->RegisterConsumer(&low);
   task->RegisterConsumer(&high);
-  const uint64_t page = f.pool.page_bytes();
-  // Charge past the soft limit: the HIGH consumer must be asked first.
   ASSERT_TRUE(task->ChargeBytes(40 * page).ok());
-  EXPECT_GE(high.release_calls, 1);
-  EXPECT_EQ(low.release_calls, 0);
-  EXPECT_GT(task->reclamations(), 0u);
+  EXPECT_GE(high.spill_calls, 1);
+  EXPECT_EQ(low.spill_calls, 0);
+}
+
+TEST(MemoryGovernorTest, SchedulerHonorsReserveFloor) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 16;
+  opts.max_pool_pages = 1 << 20;
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  const uint64_t page = f.pool.page_bytes();
+  FakeConsumer c("group_by", /*level=*/2, /*cost=*/2.0, 100 * page);
+  c.reserve_ = 90 * page;  // only 10 pages are actually offered
+  task->RegisterConsumer(&c);
+  // Deficit (24 pages) exceeds what the consumer offers; the scheduler
+  // must stop at the reserve floor instead of draining it.
+  ASSERT_TRUE(task->ChargeBytes(40 * page).ok());
+  EXPECT_GE(c.bytes_, c.reserve_);
+  EXPECT_EQ(c.bytes_, 90 * page);
+}
+
+TEST(MemoryGovernorTest, SpillErrorPropagatesToChargingStatement) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 16;
+  opts.max_pool_pages = 1 << 20;
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  const uint64_t page = f.pool.page_bytes();
+  FakeConsumer broken("sort", /*level=*/3, /*cost=*/1.5, 100 * page);
+  broken.fail_ = true;
+  task->RegisterConsumer(&broken);
+  ASSERT_TRUE(task->ChargeBytes(10 * page).ok());
+  const uint64_t before = task->bytes_charged();
+  // The old release-callback protocol swallowed this; the scheduler's
+  // error channel aborts the charge and rolls the account back.
+  const Status s = task->ChargeBytes(30 * page);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(task->bytes_charged(), before);
+}
+
+TEST(MemoryGovernorTest, ExhaustedConsumersAreSkippedNotRelooped) {
+  Fixture f;
+  MemoryGovernorOptions opts;
+  opts.multiprogramming_level = 16;
+  opts.max_pool_pages = 1 << 20;
+  MemoryGovernor gov(&f.pool, opts);
+  auto task = gov.BeginTask();
+  const uint64_t page = f.pool.page_bytes();
+  // Claims spillable bytes but never actually frees any: the scheduler
+  // must mark it exhausted after one ask instead of spinning.
+  class Stuck : public MemoryConsumer {
+   public:
+    SpillableStats SpillStats() const override {
+      SpillableStats s;
+      s.spillable_bytes = 1 << 20;
+      return s;
+    }
+    Result<uint64_t> SpillSome(uint64_t) override {
+      calls++;
+      return uint64_t{0};
+    }
+    int calls = 0;
+  };
+  Stuck stuck;
+  task->RegisterConsumer(&stuck);
+  ASSERT_TRUE(task->ChargeBytes(40 * page).ok());
+  EXPECT_EQ(stuck.calls, 1);
 }
 
 // --- Spill files ---
@@ -141,6 +243,62 @@ TEST(SpillTest, ClearDiscardsToLookaside) {
   spill.Clear();
   EXPECT_EQ(spill.tuple_count(), 0u);
   EXPECT_EQ(spill.page_count(), 0u);
+}
+
+TEST(SpillTest, ByteCountTracksAppendsAndClear) {
+  Fixture f;
+  SpillFile spill(&f.pool);
+  EXPECT_EQ(spill.byte_count(), 0u);
+  ASSERT_TRUE(spill.Append({Value::Int(1), Value::String("abc")}).ok());
+  const uint64_t one = spill.byte_count();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(spill.Append({Value::Int(2), Value::String("abc")}).ok());
+  EXPECT_EQ(spill.byte_count(), 2 * one);
+  spill.Clear();
+  EXPECT_EQ(spill.byte_count(), 0u);
+}
+
+TEST(SpillTest, MergeReaderInterleavesSortedRuns) {
+  Fixture f;
+  SpillFile a(&f.pool), b(&f.pool), c(&f.pool);
+  for (const int v : {1, 4, 7, 10}) ASSERT_TRUE(a.Append({Value::Int(v)}).ok());
+  for (const int v : {2, 5, 8}) ASSERT_TRUE(b.Append({Value::Int(v)}).ok());
+  for (const int v : {3, 6, 9}) ASSERT_TRUE(c.Append({Value::Int(v)}).ok());
+  SpillMergeReader merge(
+      {&a, &b, &c},
+      [](const std::vector<Value>& x, const std::vector<Value>& y) {
+        return x[0].Compare(y[0]);
+      });
+  ASSERT_TRUE(merge.Init().ok());
+  std::vector<Value> tuple;
+  int expect = 1;
+  for (;;) {
+    auto more = merge.Next(&tuple);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_EQ(tuple[0].AsInt(), expect++);
+  }
+  EXPECT_EQ(expect, 11);
+}
+
+TEST(SpillTest, MergeReaderTiesKeepEarliestRun) {
+  Fixture f;
+  SpillFile a(&f.pool), b(&f.pool);
+  ASSERT_TRUE(a.Append({Value::Int(1), Value::String("first")}).ok());
+  ASSERT_TRUE(b.Append({Value::Int(1), Value::String("second")}).ok());
+  SpillMergeReader merge(
+      {&a, &b},
+      [](const std::vector<Value>& x, const std::vector<Value>& y) {
+        return x[0].Compare(y[0]);
+      });
+  ASSERT_TRUE(merge.Init().ok());
+  std::vector<Value> tuple;
+  auto more = merge.Next(&tuple);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(tuple[1].AsString(), "first");  // stability on equal keys
+  more = merge.Next(&tuple);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(tuple[1].AsString(), "second");
 }
 
 // --- Recursive union (§4.3) ---
