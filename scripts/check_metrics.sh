@@ -6,35 +6,41 @@
 #                                         ThreadSanitizer build and run the
 #                                         observability-path tests under it
 #
-# Name check: every string literal in src/obs/metric_names.h must be
-# dotted snake_case (`^[a-z0-9_]+(\.[a-z0-9_]+)+$`) and unique. A space,
-# hyphen, or uppercase letter in a metric name silently forks dashboards;
-# a duplicate silently merges two meanings into one series.
+# Name check: every string literal in src/obs/metric_names.h and
+# src/obs/span_names.h must be dotted snake_case
+# (`^[a-z0-9_]+(\.[a-z0-9_]+)+$`) and unique across both headers. A
+# space, hyphen, or uppercase letter in a metric or span name silently
+# forks dashboards; a duplicate silently merges two meanings into one
+# series (or one Perfetto track).
 #
-# Sync check: the header and the code registering against it must agree —
-# every constant defined in metric_names.h is referenced (`obs::kName`)
-# somewhere in src/, and no dotted metric-name string literal appears in
-# src/ outside the header. Either drift (a constant renamed but left
-# behind, or a subsystem registering a raw "wal.foo" literal) splits the
-# metric namespace between the header and reality.
+# Sync check: the headers and the code registering against them must
+# agree — every constant is referenced (`obs::kName`) somewhere in src/,
+# and no dotted metric-name string literal appears in src/ outside the
+# headers. Additionally the wait.* span-name count must equal
+# kWaitCauseCount in obs/trace.h — WaitCauseName() is a bijection, and a
+# cause added without its name (or vice versa) breaks it.
 set -u
 
 root="${1:?usage: check_metrics.sh <repo-root> [--tsan]}"
 mode="${2:-}"
 names_h="$root/src/obs/metric_names.h"
+spans_h="$root/src/obs/span_names.h"
+trace_h="$root/src/obs/trace.h"
 
-if [[ ! -f "$names_h" ]]; then
-  echo "check_metrics: missing $names_h" >&2
-  exit 1
-fi
+for h in "$names_h" "$spans_h" "$trace_h"; do
+  if [[ ! -f "$h" ]]; then
+    echo "check_metrics: missing $h" >&2
+    exit 1
+  fi
+done
 
 # Pull the "..." literal off every constant definition line (comments may
 # quote arbitrary prose, so they are skipped).
-names=$(grep 'inline constexpr char' "$names_h" | grep -o '"[^"]*"' |
-        tr -d '"')
+names=$(grep -h 'inline constexpr char' "$names_h" "$spans_h" |
+        grep -o '"[^"]*"' | tr -d '"')
 
 if [[ -z "$names" ]]; then
-  echo "check_metrics: no metric names found in $names_h" >&2
+  echo "check_metrics: no metric names found in $names_h / $spans_h" >&2
   exit 1
 fi
 
@@ -55,20 +61,35 @@ fi
 
 # Defined => registered: a constant nothing references is drift (the
 # registering call was renamed or deleted without updating the header).
-for const in $(grep -o 'char k[A-Za-z0-9_]*' "$names_h" | awk '{print $2}'); do
+for const in $(grep -ho 'char k[A-Za-z0-9_]*' "$names_h" "$spans_h" |
+               awk '{print $2}'); do
   if ! grep -rq "obs::${const}\b" "$root/src" \
         --include='*.cc' --include='*.h' \
-        --exclude='metric_names.h'; then
+        --exclude='metric_names.h' --exclude='span_names.h'; then
     echo "check_metrics: obs::$const is defined but never registered" >&2
     fail=1
   fi
 done
 
+# WaitCauseName bijection: one wait.* span name per WaitCause enumerator.
+wait_names=$(printf '%s\n' "$names" | grep -c '^wait\.')
+wait_causes=$(grep -o 'kWaitCauseCount = [0-9]*' "$trace_h" |
+              awk '{print $3}')
+if [[ -z "$wait_causes" ]]; then
+  echo "check_metrics: kWaitCauseCount not found in $trace_h" >&2
+  fail=1
+elif [[ "$wait_names" -ne "$wait_causes" ]]; then
+  echo "check_metrics: $wait_names wait.* span names but" \
+       "kWaitCauseCount = $wait_causes (WaitCauseName bijection broken)" >&2
+  fail=1
+fi
+
 # Registered => defined: all registrations must go through the header's
 # constants. A raw dotted literal ("wal.foo") in src/ bypasses the name
 # check above and can silently fork a series the header spells otherwise.
 stray=$(grep -rn '"[a-z0-9_]\+\(\.[a-z0-9_]\+\)\+"' "$root/src" \
-        --include='*.cc' --include='*.h' --exclude='metric_names.h' |
+        --include='*.cc' --include='*.h' \
+        --exclude='metric_names.h' --exclude='span_names.h' |
         grep -E 'Register(Counter|Gauge|Callback)' || true)
 if [[ -n "$stray" ]]; then
   echo "check_metrics: raw metric-name literals (use obs:: constants):" >&2
@@ -80,8 +101,9 @@ count=$(printf '%s\n' "$names" | wc -l)
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
-echo "check_metrics: $count metric names, all unique dotted snake_case," \
-     "all registered via obs:: constants"
+echo "check_metrics: $count metric/span names, all unique dotted" \
+     "snake_case, all registered via obs:: constants," \
+     "$wait_names wait causes in sync"
 
 if [[ "$mode" == "--tsan" ]]; then
   # Race-check the observability paths: the registry hammered from many
@@ -96,8 +118,8 @@ if [[ "$mode" == "--tsan" ]]; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "$build" -j "$(nproc)" \
         --target obs_test profile_test concurrency_test wal_test \
-                 recovery_test spill_parity_test || exit 1
+                 recovery_test spill_parity_test trace_test || exit 1
   (cd "$build" && ctest --output-on-failure \
-      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep|SpillParity') || exit 1
+      -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep|SpillParity|StatementTrace|StatementRegistry|ActiveStatements|SlowStatements|TraceExport') || exit 1
   echo "check_metrics: TSan observability+durability run clean"
 fi

@@ -65,6 +65,10 @@ const char* LockRankName(LockRank rank) {
       return "TraceHook";
     case LockRank::kStatementShapes:
       return "StatementShapes";
+    case LockRank::kStatementRegistry:
+      return "StatementRegistry";
+    case LockRank::kStatementTrace:
+      return "StatementTrace";
   }
   return "Unknown";
 }

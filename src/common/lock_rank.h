@@ -59,6 +59,10 @@ enum class LockRank : uint16_t {
   kTracer = 155,            // profile/tracer.h (trace event buffer)
   kTraceHook = 160,         // engine/database.h trace_mu_ (hook pointer)
   kStatementShapes = 165,   // engine/database.h shapes_mu_ (statement stats)
+  kStatementRegistry = 168, // obs/trace.h (active/slow statement maps)
+  kStatementTrace = 170,    // obs/trace.h per-statement span tree; highest
+                            // rank so any subsystem can record a wait while
+                            // holding its own latch
 };
 
 // Human-readable name for abort reports and DESIGN.md cross-reference.

@@ -23,6 +23,8 @@ enum SysTable : int {
   kSysLocks,
   kSysStatements,
   kSysWal,
+  kSysActiveStatements,
+  kSysSlowStatements,
 };
 
 /// HDB_WAL=OFF|off|0 disables the write-ahead log even on durable media —
@@ -92,7 +94,8 @@ struct DepthGuard {
 // Database
 // ---------------------------------------------------------------------------
 
-Database::Database(DatabaseOptions options) : options_(options) {}
+Database::Database(DatabaseOptions options)
+    : options_(options), statement_registry_(options_.statement_registry) {}
 
 Database::~Database() {
   if (wal_ != nullptr && wal_->enabled()) {
@@ -345,6 +348,10 @@ void Database::RegisterEngineTelemetry() {
   metrics_.RegisterCallback(obs::kGovDecisions, [this] {
     return static_cast<double>(decision_log_.total_recorded());
   });
+
+  // Statement lifecycle tracing (DESIGN.md §11): the registry reads the
+  // execute-latency histogram to auto-tune its slow-statement threshold.
+  statement_registry_.AttachTelemetry(&metrics_, execute_hist_);
 }
 
 Status Database::RegisterSysTables() {
@@ -388,6 +395,41 @@ Status Database::RegisterSysTables() {
                           {{"metric", TypeId::kVarchar, false},
                            {"value", TypeId::kBigint, false}},
                           kSysWal));
+  // New sys tables go at the END: the oid-order comment in Init() — sys
+  // tables consume the first catalog oids at every open in this exact
+  // order, so appending keeps replayed user DDL landing past them.
+  HDB_RETURN_IF_ERROR(add("sys.active_statements",
+                          {{"stmt_id", TypeId::kBigint, false},
+                           {"conn_id", TypeId::kBigint, false},
+                           {"sql", TypeId::kVarchar, false},
+                           {"current_span", TypeId::kVarchar, false},
+                           {"elapsed_micros", TypeId::kBigint, false},
+                           {"wait_admission_micros", TypeId::kBigint, false},
+                           {"wait_lock_micros", TypeId::kBigint, false},
+                           {"wait_wal_micros", TypeId::kBigint, false},
+                           {"wait_spill_micros", TypeId::kBigint, false},
+                           {"wait_pool_micros", TypeId::kBigint, false},
+                           {"spilled_bytes", TypeId::kBigint, false},
+                           {"quota_pages", TypeId::kBigint, false}},
+                          kSysActiveStatements));
+  HDB_RETURN_IF_ERROR(add("sys.slow_statements",
+                          {{"stmt_id", TypeId::kBigint, false},
+                           {"conn_id", TypeId::kBigint, false},
+                           {"sql", TypeId::kVarchar, false},
+                           {"ok", TypeId::kBoolean, false},
+                           {"total_micros", TypeId::kBigint, false},
+                           {"threshold_micros", TypeId::kBigint, false},
+                           {"wait_admission_micros", TypeId::kBigint, false},
+                           {"wait_lock_micros", TypeId::kBigint, false},
+                           {"wait_wal_micros", TypeId::kBigint, false},
+                           {"wait_spill_micros", TypeId::kBigint, false},
+                           {"wait_pool_micros", TypeId::kBigint, false},
+                           {"spilled_bytes", TypeId::kBigint, false},
+                           {"rows_scanned", TypeId::kBigint, false},
+                           {"rows_output", TypeId::kBigint, false},
+                           {"spans", TypeId::kVarchar, false},
+                           {"plan", TypeId::kVarchar, false}},
+                          kSysSlowStatements));
   return Status::OK();
 }
 
@@ -411,6 +453,8 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
                           Value::Bigint(static_cast<int64_t>(m.p50_micros))});
           rows.push_back({Value::String(m.name + ".p95"),
                           Value::Bigint(static_cast<int64_t>(m.p95_micros))});
+          rows.push_back({Value::String(m.name + ".p99"),
+                          Value::Bigint(static_cast<int64_t>(m.p99_micros))});
         } else {
           rows.push_back({Value::String(m.name),
                           Value::Bigint(static_cast<int64_t>(m.value))});
@@ -498,6 +542,49 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
       }
       break;
     }
+    case kSysActiveStatements: {
+      const uint64_t now = obs::TraceNowMicros();
+      const auto big = [](uint64_t v) {
+        return Value::Bigint(static_cast<int64_t>(v));
+      };
+      for (const auto& t : statement_registry_.ActiveSnapshot()) {
+        rows.push_back(
+            {big(t->stmt_id()), big(t->conn_id()), Value::String(t->shape()),
+             Value::String(t->current_span()),
+             big(now > t->start_micros() ? now - t->start_micros() : 0),
+             big(t->wait_micros(obs::WaitCause::kAdmission)),
+             big(t->wait_micros(obs::WaitCause::kLock)),
+             big(t->wait_micros(obs::WaitCause::kWalDurable)),
+             big(t->wait_micros(obs::WaitCause::kSpillWrite) +
+                 t->wait_micros(obs::WaitCause::kSpillRead)),
+             big(t->wait_micros(obs::WaitCause::kPoolMiss)),
+             big(t->spilled_bytes()), big(t->quota_pages())});
+      }
+      break;
+    }
+    case kSysSlowStatements: {
+      const auto big = [](uint64_t v) {
+        return Value::Bigint(static_cast<int64_t>(v));
+      };
+      const auto wait = [&](const obs::SlowStatement& s, obs::WaitCause c) {
+        return s.wait_micros[static_cast<size_t>(c)];
+      };
+      for (const obs::SlowStatement& s : statement_registry_.SlowSnapshot()) {
+        rows.push_back(
+            {big(s.stmt_id), big(s.conn_id), Value::String(s.shape),
+             Value::Boolean(s.ok), big(s.total_micros),
+             big(s.threshold_micros),
+             big(wait(s, obs::WaitCause::kAdmission)),
+             big(wait(s, obs::WaitCause::kLock)),
+             big(wait(s, obs::WaitCause::kWalDurable)),
+             big(wait(s, obs::WaitCause::kSpillWrite) +
+                 wait(s, obs::WaitCause::kSpillRead)),
+             big(wait(s, obs::WaitCause::kPoolMiss)), big(s.spilled_bytes),
+             big(s.rows_scanned), big(s.rows_output),
+             Value::String(s.span_tree), Value::String(s.plan)});
+      }
+      break;
+    }
   }
   return rows;
 }
@@ -527,9 +614,10 @@ std::string Database::TelemetrySnapshotJson() {
     if (m.kind == obs::MetricKind::kHistogram) {
       std::snprintf(buf, sizeof(buf),
                     "\n    \"%s\": {\"count\": %llu, \"mean_micros\": %.3f, "
-                    "\"p50_micros\": %.1f, \"p95_micros\": %.1f}",
+                    "\"p50_micros\": %.1f, \"p95_micros\": %.1f, "
+                    "\"p99_micros\": %.1f}",
                     m.name.c_str(), static_cast<unsigned long long>(m.count),
-                    m.value, m.p50_micros, m.p95_micros);
+                    m.value, m.p50_micros, m.p95_micros, m.p99_micros);
     } else {
       std::snprintf(buf, sizeof(buf), "\n    \"%s\": %.17g", m.name.c_str(),
                     m.value);
@@ -860,7 +948,9 @@ Status Database::DropIndexImpl(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 Connection::Connection(Database* db)
-    : db_(db), plan_cache_(db->options().plan_cache) {}
+    : db_(db),
+      conn_id_(db->next_conn_id_.fetch_add(1, std::memory_order_relaxed)),
+      plan_cache_(db->options().plan_cache) {}
 
 Connection::~Connection() {
   if (txn_ != nullptr) {
@@ -908,7 +998,11 @@ txn::Transaction* Connection::CurrentTxn(bool* auto_started) {
 Status Connection::FinishAuto(txn::Transaction* txn, bool auto_started,
                               bool ok) {
   if (!auto_started) return Status::OK();
-  if (ok) return db_->txn_manager().Commit(txn);
+  if (ok) {
+    // Covers commit bookkeeping + the WAL WaitDurable underneath.
+    obs::ScopedSpan commit_span(obs::kSpanCommit);
+    return db_->txn_manager().Commit(txn);
+  }
   return db_->txn_manager().Abort(txn, MakeUndoApplier(txn));
 }
 
@@ -1064,6 +1158,7 @@ Result<QueryResult> Connection::ExecuteSelect(
   if (cache_key.empty()) {
     // Re-optimize at every invocation (paper §4.1).
     const double opt_start = WallMicros();
+    obs::ScopedSpan optimize_span(obs::kSpanOptimize);
     optimizer::Optimizer opt(MakeOptimizerContext());
     HDB_ASSIGN_OR_RETURN(optimizer::PlanPtr plan,
                          opt.Optimize(q, /*allow_bypass=*/false, &out->diag));
@@ -1077,6 +1172,7 @@ Result<QueryResult> Connection::ExecuteSelect(
       out->used_cached_plan = true;
     } else {
       const double opt_start = WallMicros();
+      obs::ScopedSpan optimize_span(obs::kSpanOptimize);
       optimizer::Optimizer opt(MakeOptimizerContext());
       HDB_ASSIGN_OR_RETURN(
           optimizer::PlanPtr plan,
@@ -1119,6 +1215,17 @@ Result<QueryResult> Connection::ExecuteSelect(
     ec.stats.spill_decisions = ec.memory->spill_decisions();
   }
   out->exec_stats = ec.stats;
+  if (obs::StatementTrace* trace = obs::CurrentStatementTrace();
+      trace != nullptr) {
+    trace->SetQuotaPages(db_->memory_governor().SoftLimitPages());
+    trace->SetRows(ec.stats.rows_scanned, ec.stats.rows_output);
+    // Materializing the plan text costs an allocation per statement, so
+    // only statements already past the slow threshold pay for it.
+    const uint64_t elapsed = obs::TraceNowMicros() - trace->start_micros();
+    if (db_->statement_registry().LikelySlow(elapsed)) {
+      trace->SetPlan(plan_to_run->Explain(0, nullptr));
+    }
+  }
   for (const auto& item : q.select) out->columns.push_back(item.name);
   if (ec.feedback != nullptr) feedback.Flush(&db_->stats());
   db_->exec_rows_scanned_->Add(ec.stats.rows_scanned);
@@ -1392,14 +1499,29 @@ Result<QueryResult> Connection::ExecuteCall(const CallAst& ast) {
 }
 
 Result<QueryResult> Connection::Execute(const std::string& sql) {
+  // Statement lifecycle trace (DESIGN.md §11): one per top-level
+  // statement. Procedure-body recursion (exec_depth_ > 0) gets an empty
+  // handle, and the null-aware ScopedCurrentTrace leaves the outer
+  // statement's trace installed, so nested spans land in the outer tree.
+  obs::StatementRegistry::Handle stmt_trace;
+  if (exec_depth_ == 0) {
+    stmt_trace =
+        db_->statement_registry().Begin(conn_id_, NormalizeStatement(sql));
+  }
+  obs::ScopedCurrentTrace trace_scope(stmt_trace.trace());
+
   const double parse_start = WallMicros();
-  Result<StatementAst> parsed = Parse(sql);
+  Result<StatementAst> parsed = [&] {
+    obs::ScopedSpan parse_span(obs::kSpanParse);
+    return Parse(sql);
+  }();
   if (exec_depth_ == 0) {
     db_->parse_hist_->Record(
         static_cast<uint64_t>(std::max(0.0, WallMicros() - parse_start)));
   }
   if (!parsed.ok()) {
     db_->stmt_errors_->Add();
+    stmt_trace.set_ok(false);
     return parsed.status();
   }
   StatementAst stmt = std::move(*parsed);
@@ -1458,9 +1580,13 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
 
   exec::AdmissionGate::Ticket ticket;
   if (gated) {
-    auto admitted = db_->admission_gate().Admit();
+    auto admitted = [&] {
+      obs::ScopedSpan admission_span(obs::kSpanAdmission);
+      return db_->admission_gate().Admit();
+    }();
     if (!admitted.ok()) {
       db_->stmt_errors_->Add();
+      stmt_trace.set_ok(false);
       return admitted.status();
     }
     ticket = std::move(*admitted);
@@ -1468,6 +1594,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
 
   const double exec_start = WallMicros();
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    obs::ScopedSpan execute_span(obs::kSpanExecute);
     DepthGuard depth(&exec_depth_);
     if (is_ddl) {
       UniqueLock ddl(db_->ddl_mu_);
@@ -1485,6 +1612,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
   } else {
     db_->stmt_errors_->Add();
   }
+  stmt_trace.set_ok(result.ok());
 
   if (gated) {
     // Release the slot before reporting completion so a queued request
@@ -1583,6 +1711,7 @@ Result<QueryResult> Connection::ExecuteParsed(StatementAst& stmt,
         break;
       case SimpleAst::kCommit:
         if (txn_ != nullptr) {
+          obs::ScopedSpan commit_span(obs::kSpanCommit);
           HDB_RETURN_IF_ERROR(db_->txn_manager().Commit(txn_));
           txn_ = nullptr;
         }

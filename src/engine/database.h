@@ -21,6 +21,7 @@
 #include "index/btree.h"
 #include "obs/decision_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/plan_cache.h"
 #include "os/memory_env.h"
@@ -65,6 +66,11 @@ struct DatabaseOptions {
 
   /// Collect statistics from query execution feedback (paper §3).
   bool auto_feedback = true;
+
+  /// Statement lifecycle tracing (DESIGN.md §11): slow-statement ring size
+  /// and threshold floor. Tests set slow_floor_micros = 0 to capture every
+  /// statement deterministically.
+  obs::StatementRegistryOptions statement_registry;
 
   /// Rows per execution batch for the vectorized executor (DESIGN.md §9);
   /// 0 = the executor default (exec::kDefaultBatchCap). 1 degenerates to
@@ -157,12 +163,20 @@ class Database {
   const wal::RecoveryStats& recovery_stats() const { return recovery_stats_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::DecisionLog& decision_log() { return decision_log_; }
+  obs::StatementRegistry& statement_registry() { return statement_registry_; }
   const DatabaseOptions& options() const { return options_; }
 
   /// Full telemetry snapshot (counters, histogram rollups, governor
   /// decisions, top statement shapes) as a JSON object — what the benches
   /// embed into their BENCH_*.json artifacts.
   std::string TelemetrySnapshotJson();
+
+  /// Chrome/Perfetto trace-event JSON of the captured slow statements and
+  /// the spans of everything currently running — open the output in
+  /// ui.perfetto.dev (DESIGN.md §11).
+  std::string TraceExportJson() {
+    return statement_registry_.ExportChromeTraceJson();
+  }
 
   table::TableHeap* heap(uint32_t table_oid);
   index::BTree* btree(uint32_t index_oid);
@@ -250,6 +264,7 @@ class Database {
   /// registry and log are destroyed last.
   obs::MetricsRegistry metrics_;
   obs::DecisionLog decision_log_;
+  obs::StatementRegistry statement_registry_;
 
   std::unique_ptr<os::MemoryEnv> memory_env_;
   std::unique_ptr<storage::DiskManager> disk_;
@@ -283,6 +298,7 @@ class Database {
   mutable RankedMutex<LockRank::kTraceHook> trace_mu_;
   TraceHook trace_hook_;
   std::atomic<int> connections_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
 
   // --- Telemetry (DESIGN.md §6) ---
   /// Virtual-table oid → sys table index (order of kSysTableNames).
@@ -397,6 +413,8 @@ class Connection {
   optimizer::OptimizerContext MakeOptimizerContext();
 
   Database* db_;
+  /// Stable id surfaced in sys.active_statements (not the live count).
+  uint64_t conn_id_ = 0;
   optimizer::PlanCache plan_cache_;
   txn::Transaction* txn_ = nullptr;  // explicit transaction, if any
   /// Scratch row reused by ApplyUndo across undo records (decode-into,

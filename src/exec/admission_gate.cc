@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace hdb::exec {
 
@@ -36,11 +37,13 @@ Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
       lock, std::chrono::microseconds(options_.queue_timeout_micros),
       [&] { return active_ < capacity(); });
   --waiting_;
-  if (wait_hist_ != nullptr) {
-    wait_hist_->Record(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - wait_start)
-            .count()));
+  const auto waited_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
+  if (wait_hist_ != nullptr) wait_hist_->Record(waited_micros);
+  if (obs::StatementTrace* trace = obs::CurrentStatementTrace()) {
+    trace->RecordWait(obs::WaitCause::kAdmission, capacity(), waited_micros);
   }
   if (!admitted) {
     ++timed_out_;

@@ -15,6 +15,7 @@
 
 #include "common/ophash.h"
 #include "exec/spill.h"
+#include "obs/trace.h"
 #include "table/row_codec.h"
 
 namespace hdb::exec {
@@ -2715,16 +2716,18 @@ class InstrumentedOp : public Operator {
 
   Status Open() override {
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::WaitBreakdown w0 = obs::CurrentWaitBreakdown();
     const Status s = inner_->Open();
-    optimizer::OpActuals& a = Sample(t0);
+    optimizer::OpActuals& a = Sample(t0, w0);
     a.opens++;
     return s;
   }
 
   Result<bool> Next(RowContext* ctx) override {
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::WaitBreakdown w0 = obs::CurrentWaitBreakdown();
     Result<bool> r = inner_->Next(ctx);
-    optimizer::OpActuals& a = Sample(t0);
+    optimizer::OpActuals& a = Sample(t0, w0);
     a.invocations++;
     if (r.ok() && *r) a.rows++;
     return r;
@@ -2732,8 +2735,9 @@ class InstrumentedOp : public Operator {
 
   Result<bool> NextBatch(RowBatch* batch) override {
     const auto t0 = std::chrono::steady_clock::now();
+    const obs::WaitBreakdown w0 = obs::CurrentWaitBreakdown();
     Result<bool> r = inner_->NextBatch(batch);
-    optimizer::OpActuals& a = Sample(t0);
+    optimizer::OpActuals& a = Sample(t0, w0);
     a.invocations++;
     a.batches++;
     // Under batching, actual rows are the *selected* rows the operator
@@ -2756,8 +2760,8 @@ class InstrumentedOp : public Operator {
   uint64_t SpilledTuples() const override { return inner_->SpilledTuples(); }
 
  private:
-  optimizer::OpActuals& Sample(
-      std::chrono::steady_clock::time_point started) {
+  optimizer::OpActuals& Sample(std::chrono::steady_clock::time_point started,
+                               const obs::WaitBreakdown& before) {
     optimizer::OpActuals& a = (*ec_->actuals)[plan_];
     a.wall_micros += std::chrono::duration_cast<std::chrono::microseconds>(
                          std::chrono::steady_clock::now() - started)
@@ -2765,12 +2769,69 @@ class InstrumentedOp : public Operator {
     a.peak_memory_bytes = std::max(a.peak_memory_bytes, inner_->MemoryBytes());
     a.spilled_bytes = inner_->SpilledBytes();
     a.spilled_tuples = inner_->SpilledTuples();
+    // Statement-trace wait deltas across the wrapped call (children
+    // included, same nesting rule as wall_micros). Tallies only grow, so
+    // the subtraction is safe; all-zero when no trace is installed.
+    const obs::WaitBreakdown after = obs::CurrentWaitBreakdown();
+    a.wait_lock_micros += after.lock_micros - before.lock_micros;
+    a.wait_wal_micros += after.wal_micros - before.wal_micros;
+    a.wait_spill_micros += after.spill_micros - before.spill_micros;
+    a.wait_pool_micros += after.pool_micros - before.pool_micros;
     return a;
   }
 
   const PlanNode* plan_;
   std::unique_ptr<Operator> inner_;
   ExecContext* ec_;
+};
+
+/// Decorator bracketing a blocking (materializing) operator with a span on
+/// the statement's trace: opened at Open(), closed after Close() so child
+/// operator spans nest inside. Installed only when the building thread
+/// carries a statement trace.
+class SpanOp : public Operator {
+ public:
+  SpanOp(const char* span_name, std::unique_ptr<Operator> inner,
+         obs::StatementTrace* trace)
+      : span_name_(span_name), inner_(std::move(inner)), trace_(trace) {}
+
+  ~SpanOp() override {
+    // Error paths can skip Close(); the span must not dangle past the
+    // operator tree.
+    if (span_id_ != 0) trace_->CloseSpan(span_id_);
+  }
+
+  Status Open() override {
+    // NL-join inner sides re-open per outer row: each rebuild gets its
+    // own span (capped by the trace's span budget).
+    if (span_id_ != 0) trace_->CloseSpan(span_id_);
+    span_id_ = trace_->OpenSpan(span_name_);
+    return inner_->Open();
+  }
+
+  Result<bool> Next(RowContext* ctx) override { return inner_->Next(ctx); }
+  Result<bool> NextBatch(RowBatch* batch) override {
+    return inner_->NextBatch(batch);
+  }
+
+  void Close() override {
+    inner_->Close();
+    if (span_id_ != 0) {
+      trace_->CloseSpan(span_id_);
+      span_id_ = 0;
+    }
+  }
+
+  bool ProducesOutput() const override { return inner_->ProducesOutput(); }
+  uint64_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+  uint64_t SpilledBytes() const override { return inner_->SpilledBytes(); }
+  uint64_t SpilledTuples() const override { return inner_->SpilledTuples(); }
+
+ private:
+  const char* span_name_;
+  std::unique_ptr<Operator> inner_;
+  obs::StatementTrace* trace_;
+  uint32_t span_id_ = 0;
 };
 
 Result<std::unique_ptr<Operator>> BuildExecutorNode(const PlanNode* plan,
@@ -2786,8 +2847,34 @@ Result<std::unique_ptr<Operator>> BuildExecutor(const PlanNode* plan,
                                                 ExecContext* ctx) {
   HDB_ASSIGN_OR_RETURN(auto op, BuildExecutorNode(plan, ctx));
   if (ctx->actuals != nullptr) {
-    return std::unique_ptr<Operator>(
-        new InstrumentedOp(plan, std::move(op), ctx));
+    op = std::unique_ptr<Operator>(new InstrumentedOp(plan, std::move(op), ctx));
+  }
+  if (obs::StatementTrace* trace = obs::CurrentStatementTrace();
+      trace != nullptr) {
+    // Blocking operators get lifetime spans on the statement trace; SpanOp
+    // wraps outermost so its bookkeeping stays out of the EXPLAIN ANALYZE
+    // wall time.
+    const char* span_name = nullptr;
+    switch (plan->kind) {
+      case PlanKind::kHashJoin:
+        span_name = obs::kSpanOpHashJoin;
+        break;
+      case PlanKind::kSort:
+        span_name = obs::kSpanOpSort;
+        break;
+      case PlanKind::kHashGroupBy:
+        span_name = obs::kSpanOpHashGroupBy;
+        break;
+      case PlanKind::kHashDistinct:
+        span_name = obs::kSpanOpHashDistinct;
+        break;
+      default:
+        break;
+    }
+    if (span_name != nullptr) {
+      op = std::unique_ptr<Operator>(
+          new SpanOp(span_name, std::move(op), trace));
+    }
   }
   return op;
 }

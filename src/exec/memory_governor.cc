@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace hdb::exec {
 
@@ -125,7 +126,12 @@ Status TaskMemoryContext::RunSpillSchedulerLocked() {
     if (victim == nullptr) break;  // nothing left to spill
     const uint64_t ask =
         std::min<uint64_t>(deficit_bytes, victim_stats.spillable_bytes);
-    const Result<uint64_t> released = victim->SpillSome(ask);
+    const Result<uint64_t> released = [&] {
+      // The forced-spill decision is a span on the statement's trace; the
+      // per-tuple write time underneath accumulates as wait.spill_write.
+      obs::ScopedSpan spill_span(obs::kSpanSpill, victim->name);
+      return victim->SpillSome(ask);
+    }();
     if (!released.ok()) {
       // The error channel: a failed spill write aborts the charging
       // statement instead of being dropped inside a callback.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace hdb::exec {
 
 namespace {
@@ -147,6 +149,11 @@ void SpillFile::Clear() {
 }
 
 Status SpillFile::Append(const std::vector<Value>& tuple) {
+  // Accumulate-only wait attribution: per-tuple, so a ring event each
+  // would be noise — the forced-spill *decision* gets its span in the
+  // memory governor; here we charge the I/O time and bytes.
+  obs::StatementTrace* trace = obs::CurrentStatementTrace();
+  const uint64_t t0 = trace != nullptr ? obs::TraceNowMicros() : 0;
   const std::string bytes = EncodeValues(tuple);
   // Record: [u32 len][payload], never spanning pages.
   const uint32_t need = 4 + static_cast<uint32_t>(bytes.size());
@@ -176,10 +183,17 @@ Status SpillFile::Append(const std::vector<Value>& tuple) {
   used_.back() += need;
   ++tuples_;
   bytes_ += need;
+  if (trace != nullptr) {
+    trace->AccumulateWait(obs::WaitCause::kSpillWrite,
+                          obs::TraceNowMicros() - t0);
+    trace->AddSpilledBytes(need);
+  }
   return Status::OK();
 }
 
 Result<bool> SpillFile::Reader::Next(std::vector<Value>* tuple) {
+  obs::StatementTrace* trace = obs::CurrentStatementTrace();
+  const uint64_t t0 = trace != nullptr ? obs::TraceNowMicros() : 0;
   while (page_index_ < file_->pages_.size()) {
     if (offset_ + 4 > file_->used_[page_index_]) {
       ++page_index_;
@@ -198,6 +212,10 @@ Result<bool> SpillFile::Reader::Next(std::vector<Value>* tuple) {
     HDB_ASSIGN_OR_RETURN(*tuple,
                          DecodeValues(h.data() + offset_ + 4, len, &consumed));
     offset_ += 4 + len;
+    if (trace != nullptr) {
+      trace->AccumulateWait(obs::WaitCause::kSpillRead,
+                            obs::TraceNowMicros() - t0);
+    }
     return true;
   }
   return false;

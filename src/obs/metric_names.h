@@ -86,6 +86,16 @@ inline constexpr char kExecBatchCapShrinks[] = "exec.batch.cap_shrinks";
 // profile/ — request tracer sink backpressure.
 inline constexpr char kTraceEvents[] = "trace.events";
 inline constexpr char kTraceDroppedSinkWrites[] = "trace.dropped_sink_writes";
+inline constexpr char kTraceDroppedRing[] = "trace.dropped_ring";
+
+// obs/ — statement lifecycle tracing (DESIGN.md §11).
+inline constexpr char kTraceSpans[] = "trace.spans";
+inline constexpr char kTraceWaitEvents[] = "trace.wait_events";
+inline constexpr char kTraceDroppedSpans[] = "trace.dropped_spans";
+inline constexpr char kStmtActive[] = "stmt.active";
+inline constexpr char kStmtSlowCaptured[] = "stmt.slow_captured";
+inline constexpr char kStmtSlowThresholdMicros[] =
+    "stmt.slow_threshold_micros";
 
 // obs/ — the decision log itself.
 inline constexpr char kGovDecisions[] = "gov.decisions";

@@ -91,6 +91,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     s.value = h->mean_micros();
     s.p50_micros = h->QuantileMicros(0.50);
     s.p95_micros = h->QuantileMicros(0.95);
+    s.p99_micros = h->QuantileMicros(0.99);
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),

@@ -111,6 +111,7 @@ struct MetricSample {
   uint64_t sum_micros = 0;
   double p50_micros = 0;
   double p95_micros = 0;
+  double p99_micros = 0;
 };
 
 /// Thread-safe registry of named metrics, owned by `engine::Database`.

@@ -1,0 +1,44 @@
+#ifndef HDB_OBS_SPAN_NAMES_H_
+#define HDB_OBS_SPAN_NAMES_H_
+
+// Central list of every span name and wait-cause name the statement
+// tracer emits (DESIGN.md §11). Same contract as metric_names.h: names
+// are dotted snake_case matching ^[a-z0-9_]+(\.[a-z0-9_]+)+$, unique, and
+// every constant defined here must be referenced from src/ —
+// scripts/check_metrics.sh parses this file too and fails on drift, so
+// new spans MUST be added here, never as inline string literals.
+//
+// Span names label nodes of a statement's span tree; wait-cause names
+// label the WaitCause enum in obs/trace.h (WaitCauseName must stay a
+// bijection onto the wait.* constants below).
+
+namespace hdb::obs {
+
+// Statement lifecycle phases (children of the statement root).
+inline constexpr char kSpanParse[] = "stmt.phase.parse";
+inline constexpr char kSpanAdmission[] = "stmt.phase.admission";
+inline constexpr char kSpanOptimize[] = "stmt.phase.optimize";
+inline constexpr char kSpanExecute[] = "stmt.phase.execute";
+inline constexpr char kSpanCommit[] = "stmt.phase.commit";
+
+// Blocking-operator spans (children of stmt.phase.execute).
+inline constexpr char kSpanOpHashJoin[] = "op.hash_join";
+inline constexpr char kSpanOpSort[] = "op.sort";
+inline constexpr char kSpanOpHashGroupBy[] = "op.hash_group_by";
+inline constexpr char kSpanOpHashDistinct[] = "op.hash_distinct";
+
+// Spill-scheduler victim eviction (child of whatever span was open when
+// the memory governor forced a spill).
+inline constexpr char kSpanSpill[] = "op.spill";
+
+// Wait causes (obs::WaitCause), in enum order.
+inline constexpr char kWaitAdmission[] = "wait.admission";
+inline constexpr char kWaitLock[] = "wait.lock";
+inline constexpr char kWaitWalDurable[] = "wait.wal_durable";
+inline constexpr char kWaitSpillWrite[] = "wait.spill_write";
+inline constexpr char kWaitSpillRead[] = "wait.spill_read";
+inline constexpr char kWaitPoolMiss[] = "wait.pool_miss";
+
+}  // namespace hdb::obs
+
+#endif  // HDB_OBS_SPAN_NAMES_H_

@@ -81,6 +81,23 @@ std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
                       static_cast<unsigned long long>(a.spilled_tuples));
         out += buf;
       }
+      if (a.wait_lock_micros > 0 || a.wait_wal_micros > 0 ||
+          a.wait_spill_micros > 0 || a.wait_pool_micros > 0) {
+        out += " wait=";
+        bool first = true;
+        const auto append_wait = [&](const char* label, uint64_t micros) {
+          if (micros == 0) return;
+          if (!first) out += ",";
+          first = false;
+          std::snprintf(buf, sizeof(buf), "%s:%lluus", label,
+                        static_cast<unsigned long long>(micros));
+          out += buf;
+        };
+        append_wait("lock", a.wait_lock_micros);
+        append_wait("wal", a.wait_wal_micros);
+        append_wait("spill", a.wait_spill_micros);
+        append_wait("pool", a.wait_pool_micros);
+      }
       out += ")";
     }
   }

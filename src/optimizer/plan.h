@@ -28,6 +28,13 @@ struct OpActuals {
   uint64_t peak_memory_bytes = 0;  // high-water mark of MemoryBytes()
   uint64_t spilled_bytes = 0;      // cumulative bytes written to SpillFiles
   uint64_t spilled_tuples = 0;     // cumulative tuples written to SpillFiles
+  // Wait-cause deltas (statement-trace tallies attributed to this
+  // operator's Open/Next scope, children included — same nesting rule as
+  // wall_micros). Zero unless a statement trace was installed.
+  uint64_t wait_lock_micros = 0;
+  uint64_t wait_wal_micros = 0;
+  uint64_t wait_spill_micros = 0;  // spill write + read
+  uint64_t wait_pool_micros = 0;
 };
 
 using OpActualsMap = std::map<const PlanNode*, OpActuals>;

@@ -29,8 +29,9 @@ std::string NormalizeStatement(const std::string& sql) {
   return engine::NormalizeStatement(sql);
 }
 
-RequestTracer::RequestTracer(size_t batch_size)
-    : batch_size_(batch_size == 0 ? 1 : batch_size) {}
+RequestTracer::RequestTracer(size_t batch_size, size_t ring_capacity)
+    : batch_size_(batch_size == 0 ? 1 : batch_size),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
 
 Status RequestTracer::Attach(engine::Database* monitored,
                              engine::Database* sink) {
@@ -39,6 +40,8 @@ Status RequestTracer::Attach(engine::Database* monitored,
   events_counter_ = monitored_->metrics().RegisterCounter(obs::kTraceEvents);
   dropped_counter_ =
       monitored_->metrics().RegisterCounter(obs::kTraceDroppedSinkWrites);
+  dropped_ring_counter_ =
+      monitored_->metrics().RegisterCounter(obs::kTraceDroppedRing);
   if (sink_ != nullptr) {
     HDB_ASSIGN_OR_RETURN(sink_conn_, sink_->Connect());
     // Trace schema: one row per request.
@@ -59,6 +62,18 @@ void RequestTracer::Detach() {
   if (monitored_ != nullptr) monitored_->set_trace_hook(nullptr);
   monitored_ = nullptr;
   Flush();
+}
+
+std::vector<engine::TraceEvent> RequestTracer::events() const {
+  LockGuard lock(mu_);
+  if (event_seq_ <= ring_capacity_) return events_;
+  // Wrapped: rebuild recording order, oldest surviving event first.
+  std::vector<engine::TraceEvent> out;
+  out.reserve(events_.size());
+  for (uint64_t seq = event_seq_ - ring_capacity_; seq < event_seq_; ++seq) {
+    out.push_back(events_[seq % ring_capacity_]);
+  }
+  return out;
 }
 
 void RequestTracer::Flush() {
@@ -94,7 +109,17 @@ void RequestTracer::OnEvent(const engine::TraceEvent& ev) {
   std::vector<std::string> batch;
   {
     LockGuard lock(mu_);
-    events_.push_back(ev);
+    if (events_.size() < ring_capacity_) {
+      events_.push_back(ev);
+    } else {
+      // Ring full: overwrite the oldest event. The sink database (when
+      // configured) is the unbounded record; in memory the trace stays
+      // O(ring_capacity_) forever.
+      events_[event_seq_ % ring_capacity_] = ev;
+      dropped_ring_.fetch_add(1, std::memory_order_relaxed);
+      if (dropped_ring_counter_ != nullptr) dropped_ring_counter_->Add();
+    }
+    ++event_seq_;
     if (sink_conn_ != nullptr) {
       pending_tuples_.push_back(
           "('" + EscapeSqlString(ev.sql) + "', '" +

@@ -27,9 +27,15 @@ namespace hdb::profile {
 /// to keep the per-request overhead down; Detach flushes the remainder.
 /// A failed batch of N rows counts N dropped writes — droppage is
 /// per-event, never per-batch.
+///
+/// The in-memory event buffer is a bounded ring (`ring_capacity` events):
+/// a tracer left attached for days stays O(1) in memory. Overwritten
+/// events count into trace.dropped_ring — the sink database, when
+/// configured, remains the unbounded record.
 class RequestTracer {
  public:
-  explicit RequestTracer(size_t batch_size = 16);
+  explicit RequestTracer(size_t batch_size = 16,
+                         size_t ring_capacity = 4096);
 
   /// Starts capturing `monitored`'s requests. If `sink` is non-null, each
   /// event is also inserted into a `profile_trace` table there. Registers
@@ -43,9 +49,16 @@ class RequestTracer {
   /// Writes any buffered sink rows now. Safe from any thread.
   void Flush();
 
-  const std::vector<engine::TraceEvent>& events() const { return events_; }
+  /// Snapshot of the buffered events in recording order (oldest surviving
+  /// first once the ring has wrapped). By value: the ring keeps moving
+  /// while callers iterate.
+  std::vector<engine::TraceEvent> events() const;
   uint64_t dropped_sink_writes() const {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wrap-around (never includes sink drops).
+  uint64_t dropped_ring_events() const {
+    return dropped_ring_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -55,20 +68,25 @@ class RequestTracer {
   void WriteBatch(std::vector<std::string> tuples);
 
   const size_t batch_size_;
+  const size_t ring_capacity_;
   engine::Database* monitored_ = nullptr;
   engine::Database* sink_ = nullptr;
   std::unique_ptr<engine::Connection> sink_conn_;
 
-  /// Guards events_ and pending_tuples_; never held across a sink write.
-  RankedMutex<LockRank::kTracer> mu_;
-  std::vector<engine::TraceEvent> events_;
+  /// Guards events_/event_seq_ and pending_tuples_; never held across a
+  /// sink write.
+  mutable RankedMutex<LockRank::kTracer> mu_;
+  std::vector<engine::TraceEvent> events_;  // ring, ring_capacity_ cap
+  uint64_t event_seq_ = 0;                  // events ever delivered
   std::vector<std::string> pending_tuples_;  // rendered "(...)" row tuples
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> dropped_ring_{0};
 
   // Telemetry (registered on Attach; null when the monitored database is
   // gone or Attach was never called).
   obs::Counter* events_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* dropped_ring_counter_ = nullptr;
 };
 
 /// Normalizes a SQL text to its *statement shape*: literals replaced by

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace hdb::storage {
 
 PageHandle::PageHandle(BufferPool* pool, uint32_t frame_id, char* data,
@@ -173,6 +175,10 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
   }
   ++misses_;
   ++misses_since_poll_;
+  // Miss attribution is accumulate-only (per-miss ring events would drown
+  // the discrete waits); the tally covers eviction + the disk read.
+  obs::StatementTrace* trace = obs::CurrentStatementTrace();
+  const uint64_t miss_start = trace != nullptr ? obs::TraceNowMicros() : 0;
   HDB_ASSIGN_OR_RETURN(const uint32_t frame_id, GetVictimFrame(lock));
   // GetVictimFrame may have dropped the latch: the page could have been
   // loaded by a racing fetch in that window. Re-check before reading it in
@@ -184,6 +190,10 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
     replacer_.RecordReference(it->second);
     replacer_.SetEvictable(it->second, false);
     free_frames_.push_back(frame_id);  // return the victim unused
+    if (trace != nullptr) {
+      trace->AccumulateWait(obs::WaitCause::kPoolMiss,
+                            obs::TraceNowMicros() - miss_start);
+    }
     return PageHandle(this, it->second, f.data.get(), spid);
   }
   Frame& f = frames_[frame_id];
@@ -199,6 +209,10 @@ Result<PageHandle> BufferPool::FetchPage(SpacePageId spid, PageType type,
   AdjustOwnerResidency(owner, +1);
   replacer_.RecordReference(frame_id);
   replacer_.SetEvictable(frame_id, false);
+  if (trace != nullptr) {
+    trace->AccumulateWait(obs::WaitCause::kPoolMiss,
+                          obs::TraceNowMicros() - miss_start);
+  }
   return PageHandle(this, frame_id, f.data.get(), spid);
 }
 

@@ -1,6 +1,7 @@
 #include "txn/lock_manager.h"
 
 #include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace hdb::txn {
 
@@ -28,6 +29,11 @@ uint64_t LockManager::TableKey(uint32_t table_oid) {
 }
 
 Status LockManager::Acquire(uint64_t txn_id, uint64_t key, LockMode mode) {
+  // No-wait policy: a conflict aborts instead of blocking, so the "lock
+  // wait" a tracing statement sees is the failed acquire itself — record
+  // its duration and the contended key as the wait resource.
+  obs::StatementTrace* trace = obs::CurrentStatementTrace();
+  const uint64_t acquire_start = trace != nullptr ? obs::TraceNowMicros() : 0;
   LockGuard lock(mu_);
   bool already_held = false;
   bool upgradable = true;
@@ -46,13 +52,14 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t key, LockMode mode) {
     return true;
   }));
   if (already_held) return Status::OK();
-  if (conflict) {
+  if (conflict || (mode == LockMode::kExclusive && !upgradable)) {
     if (conflicts_counter_ != nullptr) conflicts_counter_->Add();
-    return Status::Aborted("lock conflict (no-wait policy)");
-  }
-  if (mode == LockMode::kExclusive && !upgradable) {
-    if (conflicts_counter_ != nullptr) conflicts_counter_->Add();
-    return Status::Aborted("lock upgrade conflict");
+    if (trace != nullptr) {
+      trace->RecordWait(obs::WaitCause::kLock, key,
+                        obs::TraceNowMicros() - acquire_start);
+    }
+    return conflict ? Status::Aborted("lock conflict (no-wait policy)")
+                    : Status::Aborted("lock upgrade conflict");
   }
   return table_.Insert(key, PackValue(txn_id, mode));
 }

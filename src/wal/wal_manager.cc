@@ -6,6 +6,7 @@
 
 #include "common/crc32.h"
 #include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace hdb::wal {
 
@@ -134,6 +135,11 @@ Status WalManager::EnsureDurable(storage::Lsn lsn) {
   if (disk_->media() == nullptr) return Status::OK();
   if (durable_lsn() >= lsn) return Status::OK();
 
+  // Fast paths are done: this thread is about to pay a real flush (or wait
+  // for one in flight). The flusher thread has no statement trace; a
+  // statement thread arriving here (direct commit, or the buffer pool's
+  // WAL-before-data barrier) records the wait against itself.
+  obs::ScopedWait durable_wait(obs::WaitCause::kWalDurable, lsn);
   LockGuard flush_lock(flush_mu_);
   if (durable_lsn() >= lsn) return Status::OK();
   storage::Lsn target;
@@ -169,6 +175,7 @@ Status WalManager::WaitDurable(storage::Lsn lsn) {
   }
   if (durable_lsn() >= lsn) return Status::OK();
   if (!gc_error_.ok()) return gc_error_;
+  obs::ScopedWait durable_wait(obs::WaitCause::kWalDurable, lsn);
   gc_target_ = std::max(gc_target_, lsn);
   gc_work_cv_.notify_one();
   gc_done_cv_.wait(gl, [&] {

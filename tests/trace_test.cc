@@ -1,0 +1,510 @@
+// Statement lifecycle tracing tests (DESIGN.md §11): StatementTrace span
+// trees and wait attribution at the unit level, the StatementRegistry's
+// active/slow machinery, the sys.active_statements / sys.slow_statements
+// virtual tables over plain SQL, wait-cause correctness for real lock /
+// WAL / spill blocking, Chrome-trace JSON export, and a many-session
+// concurrency hammer (run under -DHDB_SANITIZE=thread via
+// check_metrics.sh --tsan).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
+#include "optimizer/plan.h"
+#include "os/stable_storage.h"
+
+namespace hdb {
+namespace {
+
+// Span/wait recording compiles to no-ops under -DHDB_TELEMETRY=OFF (the
+// overhead baseline), so tests asserting recorded traces skip there. The
+// sys.* schemas and the export scaffolding stay live in both builds.
+#ifdef HDB_NO_TELEMETRY
+#define SKIP_WITHOUT_TELEMETRY() \
+  GTEST_SKIP() << "telemetry compiled out (-DHDB_TELEMETRY=OFF)"
+#else
+#define SKIP_WITHOUT_TELEMETRY() \
+  do {                           \
+  } while (false)
+#endif
+
+// ---------------------------------------------------------------------------
+// StatementTrace units
+// ---------------------------------------------------------------------------
+
+TEST(StatementTraceTest, SpanTreeNestsAndRenders) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementTrace trace(7, 1, "SELECT ?");
+  const uint32_t root = trace.OpenSpan(obs::kSpanExecute);
+  const uint32_t child = trace.OpenSpan(obs::kSpanOpSort, "big1");
+  EXPECT_EQ(trace.current_span(), obs::kSpanOpSort);
+  trace.CloseSpan(child);
+  EXPECT_EQ(trace.current_span(), obs::kSpanExecute);
+  trace.CloseSpan(root);
+  EXPECT_EQ(trace.current_span(), "");
+
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_NE(spans[0].end_micros, 0u);
+  EXPECT_NE(spans[1].end_micros, 0u);
+
+  const std::string tree = trace.RenderSpanTree();
+  EXPECT_NE(tree.find("stmt.phase.execute"), std::string::npos);
+  EXPECT_NE(tree.find("\n  op.sort(big1)"), std::string::npos);
+}
+
+TEST(StatementTraceTest, OrphanCloseIsContainedAndIdempotent) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementTrace trace(1, 1, "x");
+  const uint32_t outer = trace.OpenSpan(obs::kSpanExecute);
+  const uint32_t parent = trace.OpenSpan(obs::kSpanOpHashJoin);
+  const uint32_t child = trace.OpenSpan(obs::kSpanOpSort);
+  // Parent closes first (error-path unwind): the child closes with it.
+  trace.CloseSpan(parent);
+  EXPECT_EQ(trace.current_span(), obs::kSpanExecute);
+  // A late close of the already-closed child must not unwind the still
+  // open outer span below it.
+  trace.CloseSpan(child);
+  EXPECT_EQ(trace.current_span(), obs::kSpanExecute);
+  trace.CloseSpan(outer);
+  EXPECT_EQ(trace.current_span(), "");
+}
+
+TEST(StatementTraceTest, SpanCapCountsDrops) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementTrace trace(1, 1, "x");
+  for (size_t i = 0; i < obs::StatementTrace::kMaxSpans + 10; ++i) {
+    const uint32_t id = trace.OpenSpan(obs::kSpanOpSort);
+    if (i < obs::StatementTrace::kMaxSpans) {
+      EXPECT_NE(id, 0u);
+    } else {
+      EXPECT_EQ(id, 0u);  // dropped; CloseSpan(0) stays a no-op
+    }
+    trace.CloseSpan(id);
+  }
+  EXPECT_EQ(trace.Spans().size(), obs::StatementTrace::kMaxSpans);
+  EXPECT_EQ(trace.dropped_spans(), 10u);
+}
+
+TEST(StatementTraceTest, WaitRingWrapsButTalliesAreExact) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementTrace trace(1, 1, "x");
+  const size_t total = obs::StatementTrace::kMaxWaitEvents + 5;
+  for (size_t i = 0; i < total; ++i) {
+    trace.RecordWait(obs::WaitCause::kLock, /*resource=*/i,
+                     /*duration_micros=*/10);
+  }
+  EXPECT_EQ(trace.wait_count(obs::WaitCause::kLock), total);
+  EXPECT_EQ(trace.wait_micros(obs::WaitCause::kLock), total * 10);
+  EXPECT_EQ(trace.dropped_wait_events(), 5u);
+
+  const auto events = trace.WaitEvents();
+  ASSERT_EQ(events.size(), obs::StatementTrace::kMaxWaitEvents);
+  // Oldest surviving first: resources 5, 6, ... in recording order.
+  EXPECT_EQ(events.front().resource, 5u);
+  EXPECT_EQ(events.back().resource, total - 1);
+}
+
+TEST(StatementTraceTest, ScopedHelpersFollowThreadLocalInstall) {
+  SKIP_WITHOUT_TELEMETRY();
+  EXPECT_EQ(obs::CurrentStatementTrace(), nullptr);
+  { obs::ScopedSpan noop(obs::kSpanParse); }  // no trace installed: no-op
+  { obs::ScopedWait noop(obs::WaitCause::kLock, 1); }
+
+  obs::StatementTrace trace(1, 1, "x");
+  {
+    obs::ScopedCurrentTrace install(&trace);
+    EXPECT_EQ(obs::CurrentStatementTrace(), &trace);
+    {
+      // Null install (procedure-body recursion) inherits the outer trace.
+      obs::ScopedCurrentTrace nested(nullptr);
+      EXPECT_EQ(obs::CurrentStatementTrace(), &trace);
+    }
+    { obs::ScopedSpan span(obs::kSpanParse); }
+    { obs::ScopedWait wait(obs::WaitCause::kWalDurable, 42); }
+  }
+  EXPECT_EQ(obs::CurrentStatementTrace(), nullptr);
+  EXPECT_EQ(trace.Spans().size(), 1u);
+  EXPECT_EQ(trace.wait_count(obs::WaitCause::kWalDurable), 1u);
+
+  const auto breakdown = [&] {
+    obs::ScopedCurrentTrace install(&trace);
+    return obs::CurrentWaitBreakdown();
+  }();
+  EXPECT_EQ(breakdown.wal_micros,
+            trace.wait_micros(obs::WaitCause::kWalDurable));
+}
+
+TEST(StatementTraceTest, WaitCauseNamesAreADistinctBijection) {
+  std::set<std::string> names;
+  for (int i = 0; i < obs::kWaitCauseCount; ++i) {
+    const std::string name =
+        obs::WaitCauseName(static_cast<obs::WaitCause>(i));
+    EXPECT_EQ(name.rfind("wait.", 0), 0u) << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(obs::kWaitCauseCount));
+}
+
+// ---------------------------------------------------------------------------
+// StatementRegistry units
+// ---------------------------------------------------------------------------
+
+TEST(StatementRegistryTest, CapturesSlowStatementsAndClearsActive) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementRegistryOptions opts;
+  opts.slow_floor_micros = 0;  // capture-all test mode
+  obs::StatementRegistry registry(opts);
+
+  {
+    auto handle = registry.Begin(3, "SELECT ?");
+    EXPECT_EQ(registry.active_count(), 1u);
+    obs::ScopedCurrentTrace install(handle.trace());
+    { obs::ScopedSpan exec(obs::kSpanExecute); }
+    handle.trace()->RecordWait(obs::WaitCause::kAdmission, 8, 17);
+    handle.set_ok(false);
+  }
+  EXPECT_EQ(registry.active_count(), 0u);
+
+  const auto slow = registry.SlowSnapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].conn_id, 3u);
+  EXPECT_EQ(slow[0].shape, "SELECT ?");
+  EXPECT_FALSE(slow[0].ok);
+  EXPECT_EQ(
+      slow[0].wait_micros[static_cast<size_t>(obs::WaitCause::kAdmission)],
+      17u);
+  EXPECT_NE(slow[0].span_tree.find("stmt.phase.execute"), std::string::npos);
+}
+
+TEST(StatementRegistryTest, SlowRingKeepsNewestOldestFirst) {
+  SKIP_WITHOUT_TELEMETRY();
+  obs::StatementRegistryOptions opts;
+  opts.slow_floor_micros = 0;
+  opts.slow_ring_capacity = 2;
+  obs::StatementRegistry registry(opts);
+  for (int i = 0; i < 3; ++i) {
+    auto handle = registry.Begin(1, "stmt " + std::to_string(i));
+  }
+  const auto slow = registry.SlowSnapshot();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].shape, "stmt 1");
+  EXPECT_EQ(slow[1].shape, "stmt 2");
+}
+
+TEST(StatementRegistryTest, ThresholdIsFloorWithoutEnoughSamples) {
+  obs::StatementRegistryOptions opts;
+  opts.slow_floor_micros = 12'345;
+  obs::StatementRegistry registry(opts);
+  EXPECT_EQ(registry.SlowThresholdMicros(), 12'345u);
+  EXPECT_TRUE(registry.LikelySlow(12'345));
+  EXPECT_FALSE(registry.LikelySlow(12'344));
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering of per-operator waits
+// ---------------------------------------------------------------------------
+
+TEST(ExplainWaitsTest, RendersOnlyNonZeroCauses) {
+  optimizer::PlanNode node;
+  node.kind = optimizer::PlanKind::kSeqScan;
+  optimizer::OpActualsMap actuals;
+  optimizer::OpActuals& a = actuals[&node];
+  a.rows = 3;
+  a.invocations = 4;
+
+  // All-zero waits: no wait= clause at all.
+  EXPECT_EQ(node.Explain(0, &actuals).find("wait="), std::string::npos);
+
+  a.wait_lock_micros = 5;
+  a.wait_spill_micros = 7;
+  const std::string text = node.Explain(0, &actuals);
+  EXPECT_NE(text.find("wait=lock:5us,spill:7us"), std::string::npos);
+  EXPECT_EQ(text.find("wal:"), std::string::npos);
+  EXPECT_EQ(text.find("pool:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level SQL visibility
+// ---------------------------------------------------------------------------
+
+engine::DatabaseOptions CaptureAllOptions() {
+  engine::DatabaseOptions opts;
+  opts.statement_registry.slow_floor_micros = 0;
+  return opts;
+}
+
+struct Db {
+  explicit Db(engine::DatabaseOptions opts = CaptureAllOptions()) {
+    auto db = engine::Database::Open(opts);
+    EXPECT_TRUE(db.ok());
+    database = std::move(*db);
+    auto conn = database->Connect();
+    EXPECT_TRUE(conn.ok());
+    c = std::move(*conn);
+  }
+
+  engine::QueryResult Exec(const std::string& sql) {
+    auto r = c->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : engine::QueryResult{};
+  }
+
+  std::unique_ptr<engine::Database> database;
+  std::unique_ptr<engine::Connection> c;
+};
+
+TEST(ActiveStatementsTest, ScanSeesItselfExecuting) {
+  SKIP_WITHOUT_TELEMETRY();
+  Db db;
+  const auto r = db.Exec(
+      "SELECT stmt_id, sql, current_span FROM sys.active_statements");
+  // The scanning statement is live while sys.active_statements
+  // materializes, so it observes at least itself — inside its own
+  // execute-phase span.
+  ASSERT_GE(r.rows.size(), 1u);
+  bool found_self = false;
+  for (const auto& row : r.rows) {
+    if (row[1].AsString().find("ACTIVE_STATEMENTS") != std::string::npos) {
+      found_self = true;
+      EXPECT_EQ(row[2].AsString(), obs::kSpanExecute);
+    }
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(SlowStatementsTest, CapturesPhasesWaitsAndPlanOverSql) {
+  SKIP_WITHOUT_TELEMETRY();
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL, b INT)");
+  db.Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  db.Exec("SELECT a FROM t ORDER BY b");
+
+  auto conn2 = db.database->Connect();
+  ASSERT_TRUE(conn2.ok());
+  auto r = (*conn2)->Execute(
+      "SELECT sql, ok, total_micros, spans, plan FROM sys.slow_statements");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GE(r->rows.size(), 3u);
+
+  bool saw_select = false;
+  for (const auto& row : r->rows) {
+    EXPECT_TRUE(row[1].AsBool());  // every statement above succeeded
+    if (row[0].AsString().find("ORDER BY") != std::string::npos) {
+      saw_select = true;
+      const std::string spans = row[3].AsString();
+      EXPECT_NE(spans.find("stmt.phase.parse"), std::string::npos);
+      EXPECT_NE(spans.find("stmt.phase.admission"), std::string::npos);
+      EXPECT_NE(spans.find("stmt.phase.optimize"), std::string::npos);
+      EXPECT_NE(spans.find("stmt.phase.execute"), std::string::npos);
+      EXPECT_NE(spans.find("op.sort"), std::string::npos);
+      // threshold 0 => every statement is "slow" => plan captured
+      EXPECT_NE(row[4].AsString().find("Sort"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_select);
+}
+
+TEST(SlowStatementsTest, LockConflictRecordsLockWaitCause) {
+  SKIP_WITHOUT_TELEMETRY();
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL, b INT)");
+  db.Exec("INSERT INTO t VALUES (1, 10), (2, 20)");
+  db.Exec("BEGIN");
+  db.Exec("UPDATE t SET b = 11 WHERE a = 1");  // holds X locks
+
+  auto conn2 = db.database->Connect();
+  ASSERT_TRUE(conn2.ok());
+  const auto blocked = (*conn2)->Execute("UPDATE t SET b = 12 WHERE a = 1");
+  EXPECT_FALSE(blocked.ok());  // no-wait lock policy aborts the loser
+  db.Exec("COMMIT");
+
+  bool saw_lock_wait = false;
+  for (const auto& s : db.database->statement_registry().SlowSnapshot()) {
+    const size_t lock = static_cast<size_t>(obs::WaitCause::kLock);
+    if (!s.ok && s.wait_counts[lock] >= 1) {
+      saw_lock_wait = true;
+      // The discrete event carries the contended key as its resource.
+      bool event_found = false;
+      for (const auto& w : s.waits) {
+        if (w.cause == obs::WaitCause::kLock) event_found = true;
+      }
+      EXPECT_TRUE(event_found);
+    }
+  }
+  EXPECT_TRUE(saw_lock_wait);
+
+  // And the cause is SQL-visible as a dedicated column.
+  const auto r = db.Exec(
+      "SELECT wait_lock_micros FROM sys.slow_statements WHERE ok = FALSE");
+  ASSERT_GE(r.rows.size(), 1u);
+}
+
+TEST(SlowStatementsTest, CommitRecordsWalDurableWait) {
+  SKIP_WITHOUT_TELEMETRY();
+  engine::DatabaseOptions opts = CaptureAllOptions();
+  opts.media = std::make_shared<os::StableStorage>(opts.page_bytes);
+  Db db(opts);
+  db.Exec("CREATE TABLE t (a INT NOT NULL)");
+  db.Exec("INSERT INTO t VALUES (1), (2), (3)");
+
+  bool saw_commit_span = false;
+  bool saw_wal_wait = false;
+  for (const auto& s : db.database->statement_registry().SlowSnapshot()) {
+    if (s.shape.find("INSERT") == std::string::npos) continue;
+    if (s.span_tree.find("stmt.phase.commit") != std::string::npos) {
+      saw_commit_span = true;
+    }
+    const size_t wal = static_cast<size_t>(obs::WaitCause::kWalDurable);
+    if (s.wait_counts[wal] >= 1) saw_wal_wait = true;
+  }
+  EXPECT_TRUE(saw_commit_span);
+  EXPECT_TRUE(saw_wal_wait);
+}
+
+TEST(SlowStatementsTest, ForcedSpillAttributesSpillWaits) {
+  SKIP_WITHOUT_TELEMETRY();
+  engine::DatabaseOptions opts = CaptureAllOptions();
+  opts.initial_pool_frames = 64;
+  opts.memory_governor.multiprogramming_level = 64;  // soft limit ~1 page
+  Db db(opts);
+  db.Exec("CREATE TABLE big (a INT NOT NULL, v DOUBLE)");
+  std::string insert = "INSERT INTO big VALUES ";
+  for (int i = 0; i < 2000; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i % 512) + ", " +
+              std::to_string(i) + ".5)";
+  }
+  db.Exec(insert);
+  const auto r = db.Exec("SELECT a, v FROM big ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 2000u);
+  ASSERT_GT(r.exec_stats.spill_bytes_written, 0u) << "spill not forced";
+
+  bool saw_spill = false;
+  for (const auto& s : db.database->statement_registry().SlowSnapshot()) {
+    if (s.shape.find("ORDER BY") == std::string::npos) continue;
+    const size_t w = static_cast<size_t>(obs::WaitCause::kSpillWrite);
+    const size_t rd = static_cast<size_t>(obs::WaitCause::kSpillRead);
+    if (s.wait_counts[w] >= 1 && s.wait_counts[rd] >= 1 &&
+        s.spilled_bytes > 0) {
+      saw_spill = true;
+      // The forced-spill decision appears as a span under the sort.
+      EXPECT_NE(s.span_tree.find("op.spill"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_spill);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome/Perfetto trace export
+// ---------------------------------------------------------------------------
+
+// Minimal structural JSON scan: balanced {}/[] outside strings, no raw
+// control characters inside strings. Catches broken escaping without a
+// JSON library dependency.
+bool JsonIsBalanced(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (static_cast<unsigned char>(ch) < 0x20) return false;
+      if (ch == '\\') {
+        ++i;  // skip the escaped character
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(TraceExportTest, EmitsWellFormedChromeTraceJson) {
+  SKIP_WITHOUT_TELEMETRY();
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL)");
+  db.Exec("INSERT INTO t VALUES (1), (2)");
+  db.Exec("SELECT a FROM t WHERE a > 0 ORDER BY a");
+
+  const std::string json = db.database->TraceExportJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stmt\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"span\""), std::string::npos);
+  EXPECT_NE(json.find("stmt.phase.execute"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the --tsan target)
+// ---------------------------------------------------------------------------
+
+TEST(TraceConcurrencyTest, ParallelSessionsAndReadersStayConsistent) {
+  Db db;
+  db.Exec("CREATE TABLE t (a INT NOT NULL, b INT)");
+  db.Exec("INSERT INTO t VALUES (1, 1), (2, 2), (3, 3), (4, 4)");
+
+  constexpr int kWriters = 4;
+  constexpr int kStatementsPerWriter = 40;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, w] {
+      auto conn = db.database->Connect();
+      EXPECT_TRUE(conn.ok());
+      if (!conn.ok()) return;
+      for (int i = 0; i < kStatementsPerWriter; ++i) {
+        switch ((w + i) % 3) {
+          case 0:
+            (void)(*conn)->Execute("SELECT a, b FROM t ORDER BY b");
+            break;
+          case 1:
+            (void)(*conn)->Execute("INSERT INTO t VALUES (" +
+                                   std::to_string(100 + w * 1000 + i) +
+                                   ", 5)");
+            break;
+          default:
+            (void)(*conn)->Execute(
+                "SELECT stmt_id, current_span, wait_lock_micros FROM "
+                "sys.active_statements");
+            break;
+        }
+      }
+    });
+  }
+  // A reader hammering every observation surface while statements run.
+  std::thread reader([&db] {
+    for (int i = 0; i < 60; ++i) {
+      (void)db.database->TraceExportJson();
+      (void)db.database->statement_registry().ActiveSnapshot();
+      (void)db.database->statement_registry().SlowSnapshot();
+      (void)db.database->TelemetrySnapshotJson();
+    }
+  });
+  for (auto& t : threads) t.join();
+  reader.join();
+
+  EXPECT_EQ(db.database->statement_registry().active_count(), 0u);
+  EXPECT_TRUE(JsonIsBalanced(db.database->TraceExportJson()));
+}
+
+}  // namespace
+}  // namespace hdb
