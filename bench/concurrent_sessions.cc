@@ -97,7 +97,8 @@ RunResult RunMix(int threads, int read_pct, double seconds) {
           completed.fetch_add(1, std::memory_order_relaxed);
         } else if (r.status().code() == StatusCode::kAborted) {
           aborted.fetch_add(1, std::memory_order_relaxed);
-        } else if (r.status().code() == StatusCode::kResourceExhausted) {
+        } else if (r.status().code() == StatusCode::kOverloaded ||
+                   r.status().code() == StatusCode::kResourceExhausted) {
           timed_out.fetch_add(1, std::memory_order_relaxed);
         } else {
           std::fprintf(stderr, "hard failure: %s -> %s\n", sql.c_str(),

@@ -1,0 +1,529 @@
+// Network sessions bench (DESIGN.md §12): one server process multiplexes
+// 1k+ concurrent TCP connections — spread over forked client processes,
+// each running a closed-loop poll() state machine — onto a small worker
+// pool gated by the multiprogramming level. Demonstrates the paper's
+// §2.1 claim at the socket layer: connection count and execution
+// concurrency are decoupled, and the MPL controller adapts the gate
+// under the resulting load. Writes BENCH_net.json.
+//
+// Children fork *before* the parent starts any thread (fork + threads
+// don't mix); they block on a pipe until the parent sends the port.
+//
+//   net_sessions [--connections=1024] [--children=8] [--seconds=2]
+//                [--workers=4]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "workloads.h"
+
+using namespace hdb;
+using namespace hdb::bench;
+
+namespace {
+
+constexpr int kRows = 100;  // bench table: k in [0,100), v = 2k
+
+struct Config {
+  uint16_t port = 0;
+  uint32_t connections = 0;  // this child's share
+  double seconds = 2.0;
+};
+
+struct ChildResult {
+  uint64_t connected = 0;
+  uint64_t completed = 0;
+  uint64_t overloads = 0;
+  uint64_t errors = 0;
+  uint64_t row_check_failures = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Child: closed-loop client over nonblocking sockets + poll()
+// ---------------------------------------------------------------------------
+
+enum class ConnState { kConnecting, kHelloSent, kAwaitingResult, kDead };
+
+struct ClientConn {
+  int fd = -1;
+  ConnState state = ConnState::kConnecting;
+  net::FrameAssembler assembler;
+  std::string out;       // unsent bytes
+  int next_k = 0;        // key of the in-flight / next query
+  uint64_t rows_seen = 0;
+};
+
+void AppendHello(std::string* out) {
+  std::string payload;
+  net::PutU32(&payload, net::kProtocolVersion);
+  net::PutString(&payload, "net_sessions");
+  net::AppendFrame(out, net::Opcode::kHello, payload);
+}
+
+void AppendQuery(ClientConn* c) {
+  std::string payload;
+  net::PutString(&payload, "SELECT v FROM bench WHERE k = " +
+                               std::to_string(c->next_k));
+  net::AppendFrame(&c->out, net::Opcode::kQuery, payload);
+  c->rows_seen = 0;
+}
+
+/// Flushes c->out; returns false when the connection died.
+bool TrySend(ClientConn* c) {
+  while (!c->out.empty()) {
+    ssize_t n = send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+int RunChild(int cfg_rd, int res_wr) {
+  Config cfg;
+  if (read(cfg_rd, &cfg, sizeof(cfg)) != sizeof(cfg)) return 10;
+  close(cfg_rd);
+
+  ChildResult res;
+  std::vector<ClientConn> conns(cfg.connections);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  for (auto& c : conns) {
+    c.fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (c.fd < 0) {
+      c.state = ConnState::kDead;
+      continue;
+    }
+    int r = connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (r == 0) {
+      AppendHello(&c.out);
+      c.state = ConnState::kHelloSent;
+      if (!TrySend(&c)) c.state = ConnState::kDead;
+    } else if (errno == EINPROGRESS) {
+      c.state = ConnState::kConnecting;
+    } else {
+      close(c.fd);
+      c.fd = -1;
+      c.state = ConnState::kDead;
+    }
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(cfg.seconds * 1e6));
+  std::vector<pollfd> pfds;
+  std::vector<size_t> idx;
+  char buf[16 * 1024];
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    pfds.clear();
+    idx.clear();
+    for (size_t i = 0; i < conns.size(); ++i) {
+      ClientConn& c = conns[i];
+      if (c.state == ConnState::kDead) continue;
+      short events = POLLIN;
+      if (c.state == ConnState::kConnecting || !c.out.empty()) {
+        events |= POLLOUT;
+      }
+      pfds.push_back({c.fd, events, 0});
+      idx.push_back(i);
+    }
+    if (pfds.empty()) break;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (poll(pfds.data(), pfds.size(),
+             std::max(1, static_cast<int>(left.count()))) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      ClientConn& c = conns[idx[p]];
+      const short got = pfds[p].revents;
+      if (got == 0) continue;
+      if (got & (POLLERR | POLLHUP | POLLNVAL)) {
+        close(c.fd);
+        c.state = ConnState::kDead;
+        continue;
+      }
+      if (c.state == ConnState::kConnecting && (got & POLLOUT)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          close(c.fd);
+          c.state = ConnState::kDead;
+          continue;
+        }
+        AppendHello(&c.out);
+        c.state = ConnState::kHelloSent;
+      }
+      if ((got & POLLOUT) && !TrySend(&c)) {
+        close(c.fd);
+        c.state = ConnState::kDead;
+        continue;
+      }
+      if (!(got & POLLIN)) continue;
+
+      bool dead = false;
+      for (;;) {
+        ssize_t n = recv(c.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          c.assembler.Feed(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        dead = true;
+        break;
+      }
+      for (;;) {
+        auto next = c.assembler.Next();
+        if (!next.ok()) {
+          dead = true;
+          break;
+        }
+        if (!next->has_value()) break;
+        const net::Frame f = **next;
+        switch (static_cast<net::Opcode>(f.opcode)) {
+          case net::Opcode::kHelloOk:
+            ++res.connected;
+            c.next_k = static_cast<int>(idx[p]) % kRows;
+            AppendQuery(&c);
+            c.state = ConnState::kAwaitingResult;
+            break;
+          case net::Opcode::kRowHeader:
+            break;
+          case net::Opcode::kRow: {
+            ++c.rows_seen;
+            // One row, one column: v must equal 2k.
+            net::PayloadReader in(f.payload);
+            auto ncols = in.U16();
+            auto v = in.GetValue();
+            if (!ncols.ok() || *ncols != 1 || !v.ok() ||
+                v->AsInt() != 2 * c.next_k) {
+              ++res.row_check_failures;
+            }
+            break;
+          }
+          case net::Opcode::kDone: {
+            ++res.completed;
+            if (c.rows_seen != 1) ++res.row_check_failures;
+            // Closed loop: next statement immediately.
+            c.next_k = (c.next_k + 7) % kRows;
+            AppendQuery(&c);
+            break;
+          }
+          case net::Opcode::kOverloaded:
+            ++res.overloads;
+            c.next_k = (c.next_k + 7) % kRows;
+            AppendQuery(&c);
+            break;
+          case net::Opcode::kError:
+            ++res.errors;
+            c.next_k = (c.next_k + 7) % kRows;
+            AppendQuery(&c);
+            break;
+          case net::Opcode::kGoodbye:
+            dead = true;
+            break;
+          default:
+            break;
+        }
+        if (dead) break;
+      }
+      if (!dead && !c.out.empty()) dead = !TrySend(&c);
+      if (dead) {
+        close(c.fd);
+        c.state = ConnState::kDead;
+      }
+    }
+  }
+
+  for (auto& c : conns) {
+    if (c.state != ConnState::kDead && c.fd >= 0) close(c.fd);
+  }
+  if (write(res_wr, &res, sizeof(res)) != sizeof(res)) return 11;
+  close(res_wr);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parent: database + server + virtual-clock ticker
+// ---------------------------------------------------------------------------
+
+struct Flags {
+  int connections = 1024;
+  int children = 8;
+  double seconds = 2.0;
+  int workers = 4;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = arg.substr(0, eq);
+    const std::string val = arg.substr(eq + 1);
+    if (key == "--connections") f.connections = std::stoi(val);
+    if (key == "--children") f.children = std::stoi(val);
+    if (key == "--seconds") f.seconds = std::stod(val);
+    if (key == "--workers") f.workers = std::stoi(val);
+  }
+  return f;
+}
+
+void RaiseFdLimit(rlim_t want) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur >= want) return;
+  rl.rlim_cur = std::min(want, rl.rlim_max);
+  setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  RaiseFdLimit(static_cast<rlim_t>(flags.connections) + 512);
+
+  // Fork the client fleet before any thread exists in this process.
+  struct Child {
+    pid_t pid = -1;
+    int cfg_wr = -1;
+    int res_rd = -1;
+    uint32_t share = 0;
+  };
+  std::vector<Child> children(flags.children);
+  const int per_child = flags.connections / flags.children;
+  for (int i = 0; i < flags.children; ++i) {
+    int cfg[2], res[2];
+    if (pipe(cfg) != 0 || pipe(res) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    children[i].share = static_cast<uint32_t>(
+        i + 1 == flags.children ? flags.connections - per_child * i
+                                : per_child);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      close(cfg[1]);
+      close(res[0]);
+      _exit(RunChild(cfg[0], res[1]));
+    }
+    children[i].pid = pid;
+    children[i].cfg_wr = cfg[1];
+    children[i].res_rd = res[0];
+    close(cfg[0]);
+    close(res[1]);
+  }
+
+  // Server side: MPL starts low so the controller has something to
+  // discover; the gate — not the 1k connections — bounds execution.
+  engine::DatabaseOptions dbo;
+  dbo.memory_governor.multiprogramming_level = 2;
+  dbo.mpl_controller.min_mpl = 1;
+  dbo.mpl_controller.max_mpl = 64;
+  dbo.mpl_controller.step = 2;
+  dbo.mpl_controller.interval_micros = 50'000;  // virtual time
+  BenchDb db(dbo);
+  db.Exec("CREATE TABLE bench (k INT NOT NULL, v INT)");
+  db.Exec("CREATE INDEX bench_k ON bench (k)");
+  {
+    std::vector<table::Row> rows;
+    rows.reserve(kRows);
+    for (int i = 0; i < kRows; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(2 * i)});
+    }
+    db.Load("bench", rows);
+  }
+
+  net::ServerOptions so;
+  so.workers = flags.workers;
+  so.max_connections = static_cast<size_t>(flags.connections) + 64;
+  auto server_or = net::Server::Start(db.db.get(), so);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server start: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(*server_or);
+
+  // Virtual-clock ticker: governor/controller intervals elapse with wall
+  // time while the net workers execute statements.
+  std::atomic<bool> tick_stop{false};
+  std::thread ticker([&] {
+    auto last = std::chrono::steady_clock::now();
+    while (!tick_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      const auto now = std::chrono::steady_clock::now();
+      db.db->Tick(std::chrono::duration_cast<std::chrono::microseconds>(
+                      now - last)
+                      .count());
+      last = now;
+    }
+  });
+
+  std::printf("net_sessions: %d connections over %d child processes, "
+              "%d server workers, %.1fs, port %u\n",
+              flags.connections, flags.children, flags.workers, flags.seconds,
+              server->port());
+
+  Config cfg;
+  cfg.port = server->port();
+  cfg.seconds = flags.seconds;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& c : children) {
+    cfg.connections = c.share;
+    if (write(c.cfg_wr, &cfg, sizeof(cfg)) != sizeof(cfg)) {
+      std::perror("write config");
+      return 1;
+    }
+    close(c.cfg_wr);
+  }
+
+  ChildResult total;
+  uint64_t child_failures = 0;
+  for (auto& c : children) {
+    ChildResult r{};
+    if (read(c.res_rd, &r, sizeof(r)) != sizeof(r)) ++child_failures;
+    close(c.res_rd);
+    int status = 0;
+    waitpid(c.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++child_failures;
+    total.connected += r.connected;
+    total.completed += r.completed;
+    total.overloads += r.overloads;
+    total.errors += r.errors;
+    total.row_check_failures += r.row_check_failures;
+  }
+  const double wall =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      1e6;
+
+  // Every socket the children closed must drain server-side: zero hung
+  // connections is part of the bench's contract.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->stats().active > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  tick_stop.store(true);
+  ticker.join();
+
+  const net::ServerStats stats = server->stats();
+  const auto mpl_trace = db.db->mpl_controller().history();
+  const int mpl_end = db.db->memory_governor().multiprogramming_level();
+  int mpl_steps = 0;
+  int prev_mpl = 2;
+  for (const auto& s : mpl_trace) {
+    if (s.mpl != prev_mpl) ++mpl_steps;
+    prev_mpl = s.mpl;
+  }
+  auto governor_rows = db.db->Connect();
+  uint64_t mpl_decisions = 0;
+  if (governor_rows.ok()) {
+    auto r = (*governor_rows)
+                 ->Execute("SELECT COUNT(*) FROM sys.governors "
+                           "WHERE governor = 'mpl'");
+    if (r.ok() && !r->rows.empty()) {
+      mpl_decisions = static_cast<uint64_t>(r->rows[0][0].AsInt());
+    }
+  }
+  const std::string telemetry = db.db->TelemetrySnapshotJson();
+  server->Stop();
+
+  PrintHeader({"conns", "connected", "stmts", "stmt_per_s", "overloads",
+               "errors", "row_fail", "hung", "mpl_end", "mpl_steps"});
+  PrintRow({std::to_string(flags.connections),
+            std::to_string(total.connected), std::to_string(total.completed),
+            Fmt(total.completed / wall, 0), std::to_string(total.overloads),
+            std::to_string(total.errors),
+            std::to_string(total.row_check_failures),
+            std::to_string(stats.active), std::to_string(mpl_end),
+            std::to_string(mpl_steps)});
+
+  std::FILE* f = std::fopen("BENCH_net.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n  \"connections\": %d,\n  \"children\": %d,\n"
+        "  \"server_workers\": %d,\n  \"seconds\": %.2f,\n"
+        "  \"connected\": %llu,\n  \"completed\": %llu,\n"
+        "  \"throughput_stmt_per_s\": %.1f,\n  \"overloads\": %llu,\n"
+        "  \"errors\": %llu,\n  \"row_check_failures\": %llu,\n"
+        "  \"child_failures\": %llu,\n  \"hung_connections\": %zu,\n"
+        "  \"server\": {\"accepted\": %llu, \"closed\": %llu, "
+        "\"shed\": %llu, \"rejected\": %llu},\n"
+        "  \"mpl\": {\"start\": 2, \"end\": %d, \"adaptation_steps\": %d, "
+        "\"decision_log_rows\": %llu},\n",
+        flags.connections, flags.children, flags.workers, wall,
+        static_cast<unsigned long long>(total.connected),
+        static_cast<unsigned long long>(total.completed),
+        total.completed / wall,
+        static_cast<unsigned long long>(total.overloads),
+        static_cast<unsigned long long>(total.errors),
+        static_cast<unsigned long long>(total.row_check_failures),
+        static_cast<unsigned long long>(child_failures), stats.active,
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.closed),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.rejected), mpl_end, mpl_steps,
+        static_cast<unsigned long long>(mpl_decisions));
+    std::fprintf(f, "  \"mpl_trace\": [\n");
+    for (size_t i = 0; i < mpl_trace.size(); ++i) {
+      const auto& s = mpl_trace[i];
+      std::fprintf(f,
+                   "    {\"at_micros\": %lld, \"mpl\": %d, "
+                   "\"throughput\": %.1f, \"direction\": %d}%s\n",
+                   static_cast<long long>(s.at_micros), s.mpl, s.throughput,
+                   s.direction, i + 1 < mpl_trace.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"telemetry\": ");
+    std::fputs(telemetry.c_str(), f);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_net.json\n");
+  }
+
+  const bool ok = child_failures == 0 && total.row_check_failures == 0 &&
+                  stats.active == 0 && total.completed > 0;
+  std::printf("%s: %llu statements over %llu connections, %llu overload "
+              "answers, %d->%d MPL\n",
+              ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(total.completed),
+              static_cast<unsigned long long>(total.connected),
+              static_cast<unsigned long long>(total.overloads), 2, mpl_end);
+  return ok ? 0 : 2;
+}

@@ -1,0 +1,82 @@
+// hdb_client: command-line client for a running hdb_server.
+//
+// Reads SQL statements from stdin (one per line) and prints results —
+// a minimal interactive session over the DESIGN.md §12 wire protocol,
+// including the structured answers a loaded server gives: kOverloaded
+// frames print the retry hint instead of an opaque failure.
+//
+// Build & run:   ./build/examples/hdb_client <port> [sql...]
+// With SQL arguments it runs them and exits; without, it reads stdin.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+using namespace hdb;
+
+namespace {
+
+void RunOne(net::Client& client, const std::string& sql) {
+  auto r = client.Query(sql);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kOverloaded) {
+      std::printf("!! server overloaded; retry in %u ms\n",
+                  client.retry_after_ms());
+    } else {
+      std::printf("!! %s\n", r.status().ToString().c_str());
+    }
+    return;
+  }
+  if (!r->columns.empty()) {
+    for (const auto& c : r->columns) std::printf("%-14s", c.c_str());
+    std::printf("\n");
+    for (const auto& row : r->rows) {
+      for (const auto& v : row) std::printf("%-14s", v.ToString().c_str());
+      std::printf("\n");
+    }
+    std::printf("(%llu rows)\n",
+                static_cast<unsigned long long>(r->row_count));
+  } else {
+    std::printf("ok (%llu rows affected)\n",
+                static_cast<unsigned long long>(r->rows_affected));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: hdb_client <port> [sql...]\n");
+    return 2;
+  }
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  auto client = net::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected (conn_id %llu)\n",
+              static_cast<unsigned long long>((*client)->conn_id()));
+
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) RunOne(**client, argv[i]);
+  } else {
+    std::string line;
+    while (std::printf("sql> "), std::getline(std::cin, line)) {
+      if (line == "\\q" || line == "quit") break;
+      if (line.empty()) continue;
+      RunOne(**client, line);
+      if ((*client)->server_said_goodbye()) {
+        std::printf("server is draining: %s\n",
+                    (*client)->goodbye_reason().c_str());
+        break;
+      }
+    }
+  }
+  (void)(*client)->Close();
+  return 0;
+}

@@ -101,6 +101,16 @@ if [[ "$mode" != "--fast" ]]; then
       note_stage "$san" "FAIL"
     fi
   done
+
+  # The network front end is the most thread-shaped subsystem (epoll loop
+  # + worker pool + client threads, DESIGN.md §12): run its ctest label as
+  # its own TSan stage so a race there is named in the summary instead of
+  # drowning in the full-suite stage above.
+  if (cd "$root/build-matrix-thread" && ctest --output-on-failure -L net); then
+    note_stage "tsan:net" "PASS"
+  else
+    note_stage "tsan:net" "FAIL"
+  fi
 fi
 
 # ---- summary --------------------------------------------------------------

@@ -11,6 +11,10 @@ const char* LockRankName(LockRank rank) {
       return "CatalogDdl";
     case LockRank::kMetricsRegistry:
       return "MetricsRegistry";
+    case LockRank::kNetServer:
+      return "NetServer";
+    case LockRank::kNetSession:
+      return "NetSession";
     case LockRank::kAdmissionGate:
       return "AdmissionGate";
     case LockRank::kEngineObjects:

@@ -30,6 +30,13 @@ namespace hdb {
 enum class LockRank : uint16_t {
   kCatalogDdl = 10,         // engine/database.h ddl_mu_ (DDL vs statements)
   kMetricsRegistry = 15,    // obs/metrics.h (Snapshot calls subsystem stats())
+  kNetServer = 16,          // net/server.h mu_ (conn map, work queue, flush
+                            // set; above kMetricsRegistry: net gauge
+                            // callbacks run under the registry's Snapshot)
+  kNetSession = 17,         // net/server.cc per-connection Conn::mu (read/
+                            // write buffers, pending frames, backpressure
+                            // cv). Never held across engine Execute — the
+                            // worker drains frames, releases, then runs SQL
   kAdmissionGate = 20,      // exec/admission_gate.h (MPL queue + cv)
   kEngineObjects = 25,      // engine/database.h objects_mu_ (heap/index maps)
   kCatalog = 30,            // catalog/catalog.h (schema maps)

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kInternal:
       return "Internal";
   }

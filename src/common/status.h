@@ -25,6 +25,13 @@ enum class StatusCode {
   kConstraintViolation,
   /// Lock conflict or deadlock victim.
   kAborted,
+  /// The server is past its multiprogramming level and the admission
+  /// queue wait timed out (paper §2.1 / Eq. (5)). Distinct from
+  /// kResourceExhausted (a per-statement memory kill): overload is a
+  /// property of the server's load, not of the statement, and clients
+  /// should back off and retry. The network front end maps this onto a
+  /// dedicated overload frame (DESIGN.md §12).
+  kOverloaded,
   kInternal,
 };
 
@@ -79,6 +86,9 @@ class [[nodiscard]] Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

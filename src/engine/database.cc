@@ -25,6 +25,7 @@ enum SysTable : int {
   kSysWal,
   kSysActiveStatements,
   kSysSlowStatements,
+  kSysConnections,
 };
 
 /// HDB_WAL=OFF|off|0 disables the write-ahead log even on durable media —
@@ -430,6 +431,16 @@ Status Database::RegisterSysTables() {
                            {"spans", TypeId::kVarchar, false},
                            {"plan", TypeId::kVarchar, false}},
                           kSysSlowStatements));
+  HDB_RETURN_IF_ERROR(add("sys.connections",
+                          {{"conn_id", TypeId::kBigint, false},
+                           {"peer", TypeId::kVarchar, false},
+                           {"state", TypeId::kVarchar, false},
+                           {"in_txn", TypeId::kBoolean, false},
+                           {"prepared", TypeId::kBigint, false},
+                           {"statements", TypeId::kBigint, false},
+                           {"bytes_in", TypeId::kBigint, false},
+                           {"bytes_out", TypeId::kBigint, false}},
+                          kSysConnections));
   return Status::OK();
 }
 
@@ -582,6 +593,28 @@ Result<std::vector<std::vector<Value>>> Database::VirtualTableRows(
              big(wait(s, obs::WaitCause::kPoolMiss)), big(s.spilled_bytes),
              big(s.rows_scanned), big(s.rows_output),
              Value::String(s.span_tree), Value::String(s.plan)});
+      }
+      break;
+    }
+    case kSysConnections: {
+      // Copy the provider under trace_mu_, invoke unlocked (the provider
+      // takes the net server's mutex, which ranks below trace_mu_ — the
+      // EmitTrace discipline). Empty when no network front end runs.
+      NetConnectionProvider provider;
+      {
+        LockGuard lock(trace_mu_);
+        provider = net_conn_provider_;
+      }
+      if (provider) {
+        const auto big = [](uint64_t v) {
+          return Value::Bigint(static_cast<int64_t>(v));
+        };
+        for (const NetConnectionInfo& c : provider()) {
+          rows.push_back({big(c.conn_id), Value::String(c.peer),
+                          Value::String(c.state), Value::Boolean(c.in_txn),
+                          big(c.prepared), big(c.statements), big(c.bytes_in),
+                          big(c.bytes_out)});
+        }
       }
       break;
     }
@@ -1504,7 +1537,7 @@ Result<QueryResult> Connection::Execute(const std::string& sql) {
   // handle, and the null-aware ScopedCurrentTrace leaves the outer
   // statement's trace installed, so nested spans land in the outer tree.
   obs::StatementRegistry::Handle stmt_trace;
-  if (exec_depth_ == 0) {
+  if (exec_depth_ == 0 && !external_trace_) {
     stmt_trace =
         db_->statement_registry().Begin(conn_id_, NormalizeStatement(sql));
   }

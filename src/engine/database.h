@@ -207,6 +207,28 @@ class Database {
     trace_hook_ = std::move(hook);
   }
 
+  /// One row of sys.connections, produced by the network front end (the
+  /// engine knows nothing about sockets; net/ knows nothing about virtual
+  /// tables — this struct is the seam).
+  struct NetConnectionInfo {
+    uint64_t conn_id = 0;
+    std::string peer;
+    std::string state;  // "handshake" / "ready" / "executing" / "draining"
+    bool in_txn = false;
+    uint64_t prepared = 0;
+    uint64_t statements = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+  using NetConnectionProvider = std::function<std::vector<NetConnectionInfo>()>;
+  /// Installed by net::Server at Start, cleared at Stop. The provider is
+  /// copied out and invoked UNLOCKED (same discipline as EmitTrace): it
+  /// takes the server's own mutex, which ranks below trace_mu_.
+  void set_net_connection_provider(NetConnectionProvider provider) {
+    LockGuard lock(trace_mu_);
+    net_conn_provider_ = std::move(provider);
+  }
+
   /// Index statistics provider for the optimizer.
   optimizer::IndexStatsProvider IndexStatsProvider();
 
@@ -297,6 +319,7 @@ class Database {
 
   mutable RankedMutex<LockRank::kTraceHook> trace_mu_;
   TraceHook trace_hook_;
+  NetConnectionProvider net_conn_provider_;
   std::atomic<int> connections_{0};
   std::atomic<uint64_t> next_conn_id_{1};
 
@@ -359,7 +382,7 @@ class Connection {
   Connection& operator=(const Connection&) = delete;
 
   /// Parses and executes one statement. May block in the admission gate;
-  /// returns kResourceExhausted if the queue wait times out.
+  /// returns kOverloaded if the queue wait times out.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// EXPLAIN convenience: optimizes and renders without executing.
@@ -367,6 +390,21 @@ class Connection {
 
   Database* database() { return db_; }
   const optimizer::PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Stable id surfaced in sys.active_statements / sys.connections.
+  uint64_t conn_id() const { return conn_id_; }
+  /// True between an explicit BEGIN and its COMMIT/ROLLBACK. Owning-thread
+  /// read only (net/ mirrors it into an atomic for sys.connections).
+  bool in_explicit_txn() const { return txn_ != nullptr; }
+
+  /// Network front end mode: the caller (a net/ worker) owns the
+  /// statement-registry handle and installs the trace on its thread
+  /// itself, so the trace also covers result serialization and
+  /// write-backpressure stalls after Execute returns. Execute then skips
+  /// Begin at depth 0 and attributes to the caller's installed trace.
+  void set_external_statement_trace(bool external) {
+    external_trace_ = external;
+  }
 
  private:
   friend class Database;
@@ -423,6 +461,8 @@ class Connection {
   /// Statement nesting depth: >0 inside a procedure body, where locks and
   /// the admission slot are inherited from the top-level statement.
   int exec_depth_ = 0;
+  /// See set_external_statement_trace().
+  bool external_trace_ = false;
   /// Trace events collected while the DDL latch is held; emitted by the
   /// top-level Execute after the latch drops, so a trace hook may itself
   /// execute SQL (the profiler's same-database sink does).

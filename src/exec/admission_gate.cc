@@ -47,7 +47,8 @@ Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
   }
   if (!admitted) {
     ++timed_out_;
-    return Status::ResourceExhausted(
+    if (timeout_counter_ != nullptr) timeout_counter_->Add();
+    return Status::Overloaded(
         "admission queue timeout: server at multiprogramming level");
   }
   ++active_;
@@ -72,8 +73,12 @@ void AdmissionGate::AttachTelemetry(obs::MetricsRegistry* registry) {
   obs::LatencyHistogram* hist =
       registry != nullptr ? registry->RegisterHistogram(obs::kGateWaitMicros)
                           : nullptr;
+  obs::Counter* timeouts =
+      registry != nullptr ? registry->RegisterCounter(obs::kAdmissionTimeouts)
+                          : nullptr;
   LockGuard lock(mu_);
   wait_hist_ = hist;
+  timeout_counter_ = timeouts;
 }
 
 AdmissionGateStats AdmissionGate::stats() const {

@@ -78,7 +78,9 @@ class AdmissionGate {
   AdmissionGate(MemoryGovernor* governor, AdmissionGateOptions options = {});
 
   /// Blocks until a slot is free (or one frees within the timeout).
-  /// Returns kResourceExhausted when the queue wait times out.
+  /// Returns kOverloaded when the queue wait times out — the
+  /// machine-readable "server past its MPL" signal (also counted as
+  /// admission.timeouts), distinct from a per-statement memory kill.
   Result<Ticket> Admit();
 
   /// Wakes all waiters so they re-check capacity; call after raising the
@@ -113,6 +115,7 @@ class AdmissionGate {
 
   // Telemetry (optional; null when not attached).
   obs::LatencyHistogram* wait_hist_ = nullptr;
+  obs::Counter* timeout_counter_ = nullptr;
 };
 
 }  // namespace hdb::exec

@@ -1,0 +1,277 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hdb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+StatusCode CodeFromWire(uint8_t code) {
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(code);
+}
+
+}  // namespace
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd), options_(std::move(options)), assembler_(options_.wire) {}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options.recv_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((options.recv_timeout_ms % 1000) *
+                                          1000);
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return s;
+  }
+
+  std::unique_ptr<Client> client(new Client(fd, std::move(options)));
+  std::string payload;
+  PutU32(&payload, kProtocolVersion);
+  PutString(&payload, client->options_.client_name);
+  HDB_RETURN_IF_ERROR(client->SendFrame(Opcode::kHello, payload));
+
+  std::string storage;
+  HDB_ASSIGN_OR_RETURN(Frame frame, client->ReadFrame(&storage));
+  switch (static_cast<Opcode>(frame.opcode)) {
+    case Opcode::kHelloOk: {
+      PayloadReader in(frame.payload, client->options_.wire);
+      HDB_ASSIGN_OR_RETURN(uint32_t version, in.U32());
+      HDB_ASSIGN_OR_RETURN(client->conn_id_, in.U64());
+      HDB_ASSIGN_OR_RETURN(std::string server_name, in.String());
+      (void)server_name;
+      if (version != kProtocolVersion) {
+        return Status::NotSupported("server protocol version " +
+                                    std::to_string(version));
+      }
+      return client;
+    }
+    case Opcode::kError:
+    case Opcode::kOverloaded:
+      return client->StatusFromError(frame);
+    default:
+      return Status::Internal("unexpected handshake opcode " +
+                              std::to_string(frame.opcode));
+  }
+}
+
+Status Client::SendFrame(Opcode op, std::string_view payload) {
+  if (fd_ < 0) return Status::IOError("client closed");
+  std::string out;
+  AppendFrame(&out, op, payload);
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = send(fd_, out.data() + sent, out.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame(std::string* storage) {
+  for (;;) {
+    HDB_ASSIGN_OR_RETURN(std::optional<Frame> frame, assembler_.Next());
+    if (frame.has_value()) {
+      // Copy out: the view dies at the next Feed()/Next().
+      storage->assign(frame->payload);
+      return Frame{frame->opcode, *storage};
+    }
+    char buf[64 * 1024];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("response timeout");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Client::StatusFromError(const Frame& frame) {
+  PayloadReader in(frame.payload, options_.wire);
+  HDB_ASSIGN_OR_RETURN(uint8_t code, in.U8());
+  if (static_cast<Opcode>(frame.opcode) == Opcode::kOverloaded) {
+    HDB_ASSIGN_OR_RETURN(retry_after_ms_, in.U32());
+    HDB_ASSIGN_OR_RETURN(std::string msg, in.String());
+    return Status::Overloaded(std::move(msg));
+  }
+  HDB_ASSIGN_OR_RETURN(std::string msg, in.String());
+  return Status(CodeFromWire(code), std::move(msg));
+}
+
+Result<NetResult> Client::ReadResult() {
+  NetResult result;
+  std::string storage;
+  for (;;) {
+    HDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(&storage));
+    PayloadReader in(frame.payload, options_.wire);
+    switch (static_cast<Opcode>(frame.opcode)) {
+      case Opcode::kRowHeader: {
+        HDB_ASSIGN_OR_RETURN(uint16_t ncols, in.U16());
+        result.columns.clear();
+        result.columns.reserve(ncols);
+        for (uint16_t i = 0; i < ncols; ++i) {
+          HDB_ASSIGN_OR_RETURN(std::string col, in.String());
+          result.columns.push_back(std::move(col));
+        }
+        break;
+      }
+      case Opcode::kRow: {
+        HDB_ASSIGN_OR_RETURN(uint16_t nvals, in.U16());
+        std::vector<Value> row;
+        row.reserve(nvals);
+        for (uint16_t i = 0; i < nvals; ++i) {
+          HDB_ASSIGN_OR_RETURN(Value v, in.GetValue());
+          row.push_back(std::move(v));
+        }
+        result.rows.push_back(std::move(row));
+        break;
+      }
+      case Opcode::kDone: {
+        HDB_ASSIGN_OR_RETURN(result.rows_affected, in.U64());
+        HDB_ASSIGN_OR_RETURN(result.row_count, in.U64());
+        return result;
+      }
+      case Opcode::kError:
+      case Opcode::kOverloaded:
+        return StatusFromError(frame);
+      case Opcode::kGoodbye: {
+        goodbye_ = true;
+        HDB_ASSIGN_OR_RETURN(goodbye_reason_, in.String());
+        return Status::Aborted("server closing: " + goodbye_reason_);
+      }
+      default:
+        return Status::Internal("unexpected opcode " +
+                                std::to_string(frame.opcode) +
+                                " in result stream");
+    }
+  }
+}
+
+Result<NetResult> Client::Query(const std::string& sql) {
+  std::string payload;
+  PutString(&payload, sql);
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kQuery, payload));
+  return ReadResult();
+}
+
+Result<Client::PreparedInfo> Client::Prepare(const std::string& sql) {
+  std::string payload;
+  PutString(&payload, sql);
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kPrepare, payload));
+  std::string storage;
+  HDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(&storage));
+  if (static_cast<Opcode>(frame.opcode) != Opcode::kPrepareOk) {
+    return StatusFromError(frame);
+  }
+  PayloadReader in(frame.payload, options_.wire);
+  PreparedInfo info;
+  HDB_ASSIGN_OR_RETURN(info.stmt_id, in.U32());
+  HDB_ASSIGN_OR_RETURN(info.param_count, in.U16());
+  return info;
+}
+
+Status Client::Bind(uint32_t stmt_id, const std::vector<Value>& params) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  PutU16(&payload, static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) PutValue(&payload, v);
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kBind, payload));
+  std::string storage;
+  HDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(&storage));
+  if (static_cast<Opcode>(frame.opcode) != Opcode::kBindOk) {
+    return StatusFromError(frame);
+  }
+  return Status::OK();
+}
+
+Result<NetResult> Client::ExecutePrepared(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kExecute, payload));
+  return ReadResult();
+}
+
+Status Client::ClosePrepared(uint32_t stmt_id) {
+  std::string payload;
+  PutU32(&payload, stmt_id);
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kClosePrepared, payload));
+  std::string storage;
+  HDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(&storage));
+  if (static_cast<Opcode>(frame.opcode) != Opcode::kDone) {
+    return StatusFromError(frame);
+  }
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kPing, {}));
+  std::string storage;
+  HDB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(&storage));
+  if (static_cast<Opcode>(frame.opcode) != Opcode::kPong) {
+    return StatusFromError(frame);
+  }
+  return Status::OK();
+}
+
+Status Client::Close() {
+  if (fd_ < 0) return Status::OK();
+  HDB_RETURN_IF_ERROR(SendFrame(Opcode::kClose, {}));
+  std::string storage;
+  Result<Frame> frame = ReadFrame(&storage);
+  // The server may close before we read CloseOk; either way, we're done.
+  close(fd_);
+  fd_ = -1;
+  if (frame.ok() &&
+      static_cast<Opcode>(frame->opcode) != Opcode::kCloseOk) {
+    return Status::Internal("unexpected close reply opcode " +
+                            std::to_string(frame->opcode));
+  }
+  return Status::OK();
+}
+
+}  // namespace hdb::net

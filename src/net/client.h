@@ -1,0 +1,99 @@
+#ifndef HDB_NET_CLIENT_H_
+#define HDB_NET_CLIENT_H_
+
+// Blocking client for the wire protocol (DESIGN.md §12): one socket, one
+// outstanding request. This is what the bench's closed-loop sessions, the
+// smoke test, and examples/hdb_client.cc use; it is deliberately simple —
+// the interesting concurrency lives on the server.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "net/wire.h"
+
+namespace hdb::net {
+
+/// One statement's outcome over the wire.
+struct NetResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  uint64_t rows_affected = 0;
+  uint64_t row_count = 0;  // server-reported; == rows.size()
+};
+
+struct ClientOptions {
+  std::string client_name = "hdb-client";
+  /// SO_RCVTIMEO per response read; 0 = block forever.
+  uint64_t recv_timeout_ms = 0;
+  WireLimits wire;
+};
+
+/// Thread-compatible, not thread-safe: one owner at a time, like an
+/// engine::Connection.
+class Client {
+ public:
+  /// TCP connect + protocol handshake. A server at max_connections
+  /// answers the connect with an overload frame — surfaced here as
+  /// StatusCode::kOverloaded (retry_after_ms() carries the hint).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Simple query. A kOverloaded frame becomes StatusCode::kOverloaded;
+  /// other error frames carry the server's status code through verbatim.
+  Result<NetResult> Query(const std::string& sql);
+
+  /// Prepared statements: Prepare returns the server-assigned id;
+  /// param_count() of the returned handle is the '?' count.
+  struct PreparedInfo {
+    uint32_t stmt_id = 0;
+    uint16_t param_count = 0;
+  };
+  Result<PreparedInfo> Prepare(const std::string& sql);
+  Status Bind(uint32_t stmt_id, const std::vector<Value>& params);
+  Result<NetResult> ExecutePrepared(uint32_t stmt_id);
+  Status ClosePrepared(uint32_t stmt_id);
+
+  Status Ping();
+  /// Graceful close: kClose, wait for kCloseOk, shut the socket down.
+  Status Close();
+
+  /// Server-assigned connection id from the handshake (sys.connections /
+  /// sys.active_statements key).
+  uint64_t conn_id() const { return conn_id_; }
+  /// Retry hint from the most recent kOverloaded frame (0 if none).
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+  /// True once the server sent kGoodbye (drain or idle shed).
+  bool server_said_goodbye() const { return goodbye_; }
+  const std::string& goodbye_reason() const { return goodbye_reason_; }
+
+ private:
+  Client(int fd, ClientOptions options);
+
+  Status SendFrame(Opcode op, std::string_view payload);
+  /// Blocks until one complete frame arrives (feeding the assembler).
+  Result<Frame> ReadFrame(std::string* storage);
+  /// Reads the response stream of a statement: header/rows/done/error.
+  Result<NetResult> ReadResult();
+  Status StatusFromError(const Frame& frame);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  FrameAssembler assembler_;
+  uint64_t conn_id_ = 0;
+  uint32_t retry_after_ms_ = 0;
+  bool goodbye_ = false;
+  std::string goodbye_reason_;
+};
+
+}  // namespace hdb::net
+
+#endif  // HDB_NET_CLIENT_H_

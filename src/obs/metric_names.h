@@ -25,6 +25,10 @@ inline constexpr char kPoolResizesGrow[] = "pool.resizes_grow";
 inline constexpr char kPoolResizesShrink[] = "pool.resizes_shrink";
 
 // exec/ — admission gate, MPL controller, memory governor.
+// admission.timeouts is the machine-readable overload signal: statements
+// rejected with StatusCode::kOverloaded after the queue wait expired (the
+// network front end turns each into an overload frame, DESIGN.md §12).
+inline constexpr char kAdmissionTimeouts[] = "admission.timeouts";
 inline constexpr char kGateAdmittedImmediately[] = "gate.admitted_immediately";
 inline constexpr char kGateAdmittedAfterWait[] = "gate.admitted_after_wait";
 inline constexpr char kGateTimedOut[] = "gate.timed_out";
@@ -96,6 +100,22 @@ inline constexpr char kStmtActive[] = "stmt.active";
 inline constexpr char kStmtSlowCaptured[] = "stmt.slow_captured";
 inline constexpr char kStmtSlowThresholdMicros[] =
     "stmt.slow_threshold_micros";
+
+// net/ — the network front end (DESIGN.md §12): connection lifecycle,
+// wire-level traffic, and overload/shedding activity.
+inline constexpr char kNetConnectionsAccepted[] = "net.connections_accepted";
+inline constexpr char kNetConnectionsClosed[] = "net.connections_closed";
+inline constexpr char kNetConnectionsActive[] = "net.connections_active";
+inline constexpr char kNetConnectionsShed[] = "net.connections_shed";
+inline constexpr char kNetConnectionsRejected[] = "net.connections_rejected";
+inline constexpr char kNetFramesIn[] = "net.frames_in";
+inline constexpr char kNetFramesOut[] = "net.frames_out";
+inline constexpr char kNetBytesIn[] = "net.bytes_in";
+inline constexpr char kNetBytesOut[] = "net.bytes_out";
+inline constexpr char kNetStatements[] = "net.statements";
+inline constexpr char kNetOverloadsSent[] = "net.overloads_sent";
+inline constexpr char kNetProtocolErrors[] = "net.protocol_errors";
+inline constexpr char kNetWriteStalls[] = "net.write_stalls";
 
 // obs/ — the decision log itself.
 inline constexpr char kGovDecisions[] = "gov.decisions";

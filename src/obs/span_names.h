@@ -38,6 +38,7 @@ inline constexpr char kWaitWalDurable[] = "wait.wal_durable";
 inline constexpr char kWaitSpillWrite[] = "wait.spill_write";
 inline constexpr char kWaitSpillRead[] = "wait.spill_read";
 inline constexpr char kWaitPoolMiss[] = "wait.pool_miss";
+inline constexpr char kWaitNetWrite[] = "wait.net_write";
 
 }  // namespace hdb::obs
 

@@ -27,6 +27,8 @@ const char* WaitCauseName(WaitCause cause) {
       return obs::kWaitSpillRead;
     case WaitCause::kPoolMiss:
       return obs::kWaitPoolMiss;
+    case WaitCause::kNetWrite:
+      return obs::kWaitNetWrite;
   }
   return "wait.unknown";
 }

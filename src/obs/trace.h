@@ -51,8 +51,11 @@ enum class WaitCause : uint8_t {
   kSpillWrite = 3,  // writing spill pages (memory-governor eviction)
   kSpillRead = 4,   // reading spilled tuples back
   kPoolMiss = 5,    // buffer-pool miss -> disk read
+  kNetWrite = 6,    // net/ result-flush backpressure: the connection's
+                    // write buffer is over its high-water mark and the
+                    // worker stalls until the event loop drains it
 };
-inline constexpr int kWaitCauseCount = 6;
+inline constexpr int kWaitCauseCount = 7;
 
 /// The wait.* name for a cause (bijection onto span_names.h).
 const char* WaitCauseName(WaitCause cause);

@@ -1,6 +1,6 @@
 // Concurrent-session tests: N threads, each with its own Connection,
 // execute SQL against one Database. The no-wait lock manager may answer
-// kAborted and the admission gate kResourceExhausted — both are legal
+// kAborted and the admission gate kOverloaded — both are legal
 // outcomes under contention; lost updates, crashes and TSan reports are
 // not. Run these under -DHDB_SANITIZE=thread.
 
@@ -22,9 +22,11 @@ namespace hdb {
 namespace {
 
 bool TolerableFailure(const Status& s) {
-  // No-wait lock conflicts abort; admission queues time out. Anything
-  // else is a real bug.
+  // No-wait lock conflicts abort; admission queues time out (kOverloaded);
+  // memory hard limits kill (kResourceExhausted). Anything else is a real
+  // bug.
   return s.code() == StatusCode::kAborted ||
+         s.code() == StatusCode::kOverloaded ||
          s.code() == StatusCode::kResourceExhausted;
 }
 
@@ -62,7 +64,7 @@ TEST(AdmissionGateTest, AdmitsUpToMplThenTimesOut) {
   // Third request finds the gate full and times out.
   auto t3 = f.gate->Admit();
   ASSERT_FALSE(t3.ok());
-  EXPECT_EQ(t3.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(t3.status().code(), StatusCode::kOverloaded);
   EXPECT_EQ(f.gate->stats().timed_out, 1u);
 
   // Releasing a slot makes the next request succeed immediately.
