@@ -3,19 +3,25 @@
 #
 #   check_locks.sh <repo-root>
 #
-# Every latch in src/ must be declared through the ranked wrappers in
-# src/common/lock_rank.h so it carries an explicit LockRank and the
-# runtime hierarchy check sees it. This lint fails on:
+# Every latch in the tree — src/ AND tests/bench/examples, which run
+# against the same engine and feed the same rank checker — must be
+# declared through the ranked wrappers in src/common/lock_rank.h so it
+# carries an explicit LockRank, the runtime hierarchy check sees it, and
+# the Clang Thread Safety Analysis capability attributes apply. This lint
+# fails on:
 #
 #   * naked std::mutex / std::shared_mutex / std::recursive_mutex
-#     declarations (a rank-less latch is invisible to the checker), and
+#     declarations (a rank-less latch is invisible to both checkers), and
 #   * std:: guard types (std::lock_guard / std::unique_lock /
 #     std::shared_lock / std::scoped_lock) — they would capture the
-#     acquisition site inside the STL header instead of the caller, so
-#     the engine uses LockGuard / UniqueLock / SharedLock et al., and
+#     acquisition site inside the STL header instead of the caller, and
+#     they carry no SCOPED_CAPABILITY annotation, so the engine uses
+#     LockGuard / UniqueLock / SharedLock et al., and
 #   * plain std::condition_variable — it only accepts std::mutex, so its
 #     presence means a naked mutex is nearby; waits over ranked mutexes
-#     use std::condition_variable_any.
+#     use std::condition_variable_any, and
+#   * raw pthread mutex/rwlock/cond primitives — the C-level loophole
+#     around all of the above.
 #
 # Only src/common/lock_rank.* (the wrappers' own implementation) may name
 # the raw primitives. Comments and string literals are stripped before
@@ -23,20 +29,27 @@
 set -u
 
 root="${1:?usage: check_locks.sh <repo-root>}"
-src="$root/src"
 
-if [[ ! -d "$src" ]]; then
-  echo "check_locks: missing $src" >&2
+if [[ ! -d "$root/src" ]]; then
+  echo "check_locks: missing $root/src" >&2
   exit 1
 fi
 
-pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b'
+pattern='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b|pthread_(mutex|rwlock|cond)_t\b'
 
 fail=0
 checked=0
+scan_dirs=("$root/src")
+for d in tests bench examples; do
+  if [[ -d "$root/$d" ]]; then
+    scan_dirs+=("$root/$d")
+  fi
+done
+
 while IFS= read -r -d '' file; do
   case "$file" in
-    "$src"/common/lock_rank.h | "$src"/common/lock_rank.cc) continue ;;
+    "$root"/src/common/lock_rank.h | "$root"/src/common/lock_rank.cc)
+      continue ;;
   esac
   checked=$((checked + 1))
   # Strip // and /* */ comments and string literals, then grep. The sed is
@@ -45,12 +58,14 @@ while IFS= read -r -d '' file; do
          grep -nE "$pattern" |
          sed "s|^|$file:|" || true)
   if [[ -n "$hits" ]]; then
-    echo "check_locks: naked std synchronization primitive (declare it" \
-         "through common/lock_rank.h so it carries a LockRank):" >&2
+    echo "check_locks: naked synchronization primitive (declare it" \
+         "through common/lock_rank.h so it carries a LockRank and the" \
+         "thread-safety capability attributes):" >&2
     printf '%s\n' "$hits" >&2
     fail=1
   fi
-done < <(find "$src" \( -name '*.h' -o -name '*.cc' \) -print0 | sort -z)
+done < <(find "${scan_dirs[@]}" \( -name '*.h' -o -name '*.cc' \) -print0 |
+         sort -z)
 
 if [[ "$fail" -ne 0 ]]; then
   exit 1

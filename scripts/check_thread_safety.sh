@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Thread-safety negative-compile harness (wired into ctest as
+# ThreadSafety.negative; SKIP_RETURN_CODE 77).
+#
+#   check_thread_safety.sh <repo-root> [compiler]
+#
+# Clang's Thread Safety Analysis only exists under Clang, and the
+# annotation macros in src/common/thread_annotations.h expand to nothing
+# everywhere else — so a stubbed macro, a flag typo, or a silently-ignored
+# attribute would make the build:tsa stage a no-op without anyone
+# noticing. This harness proves the analysis has teeth:
+#
+#   * tests/thread_safety/positive_control.cc (correct locking) MUST
+#     compile cleanly — otherwise the flags themselves are broken and a
+#     "failing" negative proves nothing;
+#   * tests/thread_safety/guarded_by_violation.cc (unlocked read of a
+#     GUARDED_BY field) MUST fail to compile, with a thread-safety
+#     diagnostic (not some unrelated error);
+#   * tests/thread_safety/missing_requires.cc (REQUIRES helper called
+#     without the lock) MUST fail the same way.
+#
+# Exit 77 (ctest SKIP) when no Clang is available to run the analysis.
+set -u
+
+root="${1:?usage: check_thread_safety.sh <repo-root> [compiler]}"
+configured="${2:-}"
+
+find_clang() {
+  # The build's own compiler, when it is a Clang.
+  if [[ -n "$configured" ]] &&
+      "$configured" --version 2> /dev/null | grep -qi clang; then
+    echo "$configured"
+    return 0
+  fi
+  local c
+  for c in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+           clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$c" > /dev/null 2>&1; then
+      echo "$c"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! cxx="$(find_clang)"; then
+  echo "check_thread_safety: no Clang available — the analysis cannot run" \
+       "(annotations expand to nothing off-Clang); skipping"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+       -I "$root/src")
+fixtures="$root/tests/thread_safety"
+fail=0
+
+# Positive control: correct locking must compile.
+if out=$("$cxx" "${flags[@]}" "$fixtures/positive_control.cc" 2>&1); then
+  echo "check_thread_safety: positive control compiles (flags are live)"
+else
+  echo "check_thread_safety: FAIL — positive control did not compile;" \
+       "the harness flags are broken, negatives would prove nothing:" >&2
+  printf '%s\n' "$out" >&2
+  fail=1
+fi
+
+# Negatives: each must FAIL, and for the right reason.
+for bad in guarded_by_violation missing_requires; do
+  if out=$("$cxx" "${flags[@]}" "$fixtures/$bad.cc" 2>&1); then
+    echo "check_thread_safety: FAIL — seeded violation $bad.cc compiled;" \
+         "the analysis is not rejecting bad code" >&2
+    fail=1
+  elif ! grep -q "thread-safety" <<< "$out"; then
+    echo "check_thread_safety: FAIL — $bad.cc failed to compile, but not" \
+         "with a thread-safety diagnostic:" >&2
+    printf '%s\n' "$out" >&2
+    fail=1
+  else
+    echo "check_thread_safety: $bad.cc rejected with a thread-safety error"
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_thread_safety: analysis verified against seeded violations"

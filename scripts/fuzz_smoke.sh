@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Wire-codec fuzz smoke (wired into ctest as FuzzWire.replay and
+# FuzzWire.libfuzzer).
+#
+#   fuzz_smoke.sh <mode: replay|fuzz> <seedgen-bin> <fuzzer-bin> \
+#                 <libfuzzer: ON|OFF> <workdir>
+#
+# Both modes start by regenerating the seed corpus with wire_fuzz_seedgen
+# (the codec's own encoders write it, so it can never drift from the wire
+# format), then:
+#
+#   replay  runs every seed through the harness once. Always available —
+#           under GCC the fuzzer binary is the same LLVMFuzzerTestOneInput
+#           with a plain replay main(), so the corpus and the decode
+#           logic stay exercised on every toolchain.
+#   fuzz    a short coverage-guided libFuzzer run over the seed dir
+#           (fixed -seed for reproducibility, bounded by -runs and
+#           -max_total_time so ctest stays fast). Exit 77 (ctest SKIP)
+#           when the binary was not built with -DHDB_LIBFUZZER=ON —
+#           libFuzzer needs Clang; the sanitize-matrix build:tsa stage
+#           runs it for real.
+set -u
+
+mode="${1:?usage: fuzz_smoke.sh <replay|fuzz> <seedgen> <fuzzer> <ON|OFF> <workdir>}"
+seedgen="${2:?missing seedgen binary}"
+fuzzer="${3:?missing fuzzer binary}"
+libfuzzer="${4:?missing libfuzzer ON|OFF flag}"
+workdir="${5:?missing workdir}"
+
+if [[ "$mode" == "fuzz" && "$libfuzzer" != "ON" ]]; then
+  echo "fuzz_smoke: built without -DHDB_LIBFUZZER=ON (needs Clang) —" \
+       "coverage-guided run unavailable, skipping (replay still covers" \
+       "the corpus)"
+  exit 77
+fi
+
+seeds="$workdir/wire-fuzz-seeds"
+mkdir -p "$seeds"
+"$seedgen" "$seeds" || exit 1
+
+shopt -s nullglob
+seed_files=("$seeds"/*.bin)
+if [[ "${#seed_files[@]}" -eq 0 ]]; then
+  echo "fuzz_smoke: seed generator produced no corpus files" >&2
+  exit 1
+fi
+
+case "$mode" in
+  replay)
+    "$fuzzer" "${seed_files[@]}"
+    ;;
+  fuzz)
+    artifacts="$workdir/wire-fuzz-artifacts"
+    mkdir -p "$artifacts"
+    "$fuzzer" -seed=1 -runs=20000 -max_total_time=20 -max_len=4096 \
+              -artifact_prefix="$artifacts/" "$seeds"
+    ;;
+  *)
+    echo "fuzz_smoke: unknown mode '$mode' (expected replay|fuzz)" >&2
+    exit 2
+    ;;
+esac

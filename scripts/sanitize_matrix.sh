@@ -14,6 +14,17 @@
 #                   for real (optimized, unsanitized): the BM_Exec*
 #                   numbers are diffed against the committed
 #                   BENCH_exec.json baseline (DESIGN.md §9).
+#   build:tsa       Clang Thread Safety Analysis: the whole tree compiled
+#                   by clang++ with -DHDB_THREAD_SAFETY=ON (-Wthread-safety
+#                   -Werror=thread-safety), plus the negative-compile
+#                   harness (scripts/check_thread_safety.sh) proving the
+#                   annotations reject seeded violations, plus — being the
+#                   matrix's one Clang tree — the coverage-guided libFuzzer
+#                   run over the wire codec (-DHDB_LIBFUZZER=ON, ctest -R
+#                   FuzzWire). Skipped, not failed, when no clang++ is
+#                   installed — neither the analysis nor libFuzzer exists
+#                   under GCC (FuzzWire.replay in the main suite still
+#                   replays the corpus there).
 #   tidy            clang-tidy with the repo .clang-tidy over src/**/*.cc
 #                   (skipped, not failed, when clang-tidy is absent)
 #   tsan            full ctest under ThreadSanitizer (a superset of
@@ -76,6 +87,42 @@ if run_ctest_build "$werror_build" -DHDB_WERROR=ON; then
   note_stage "build:werror" "PASS"
 else
   note_stage "build:werror" "FAIL"
+fi
+
+# ---- Clang Thread Safety Analysis (compile-time lock discipline) ----------
+find_clangxx() {
+  local c
+  for c in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+           clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$c" > /dev/null 2>&1; then
+      echo "$c"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if clangxx="$(find_clangxx)"; then
+  tsa_build="$root/build-matrix-tsa"
+  # Compile only (the suite already runs in build:werror): this stage's
+  # products are the clean -Werror=thread-safety build itself, the
+  # harness run that proves the flags reject seeded violations, and — as
+  # this is the one Clang build tree in the matrix — the coverage-guided
+  # libFuzzer run over the wire codec (FuzzWire.*).
+  if cmake -B "$tsa_build" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+         -DCMAKE_CXX_COMPILER="$clangxx" -DHDB_LOCK_RANK=ON \
+         -DHDB_THREAD_SAFETY=ON -DHDB_LIBFUZZER=ON &&
+      cmake --build "$tsa_build" -j "$jobs" &&
+      "$root/scripts/check_thread_safety.sh" "$root" "$clangxx" &&
+      (cd "$tsa_build" && ctest --output-on-failure -R '^FuzzWire'); then
+    note_stage "build:tsa" "PASS"
+  else
+    note_stage "build:tsa" "FAIL"
+  fi
+else
+  echo "sanitize_matrix: no clang++ installed, skipping build:tsa stage" \
+       "(Thread Safety Analysis does not exist under GCC)"
+  note_stage "build:tsa" "SKIP"
 fi
 
 # ---- clang-tidy -----------------------------------------------------------

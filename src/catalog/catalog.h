@@ -65,7 +65,10 @@ class Catalog {
 
   // --- Referential integrity ---
   Status AddForeignKey(ForeignKey fk);
-  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  std::vector<ForeignKey> foreign_keys() const {
+    LockGuard lock(mu_);
+    return fks_;
+  }
   /// True if `table.col` is declared to reference `ref_table.ref_col`.
   bool HasForeignKey(uint32_t table_oid, int col, uint32_t ref_table_oid,
                      int ref_col) const;
@@ -78,7 +81,8 @@ class Catalog {
   void SetOption(const std::string& name, const std::string& value);
   std::string GetOption(const std::string& name,
                         const std::string& default_value = "") const;
-  const std::map<std::string, std::string>& options() const {
+  std::map<std::string, std::string> options() const {
+    LockGuard lock(mu_);
     return options_;
   }
 
@@ -88,12 +92,15 @@ class Catalog {
 
  private:
   mutable RankedMutex<LockRank::kCatalog> mu_;
-  uint32_t next_oid_ = 1;
-  std::map<std::string, std::unique_ptr<TableDef>> tables_;
-  std::map<std::string, std::unique_ptr<IndexDef>> indexes_;
-  std::vector<ForeignKey> fks_;
-  std::map<std::string, ProcedureDef> procedures_;
-  std::map<std::string, std::string> options_;
+  uint32_t next_oid_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, std::unique_ptr<TableDef>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<IndexDef>> indexes_ GUARDED_BY(mu_);
+  std::vector<ForeignKey> fks_ GUARDED_BY(mu_);
+  std::map<std::string, ProcedureDef> procedures_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> options_ GUARDED_BY(mu_);
+  // Not mu_-guarded: the optimizer holds a pointer into it for the length
+  // of an optimization, stabilized by the engine's DDL latch (ALTER of the
+  // model is DDL). SetDttModel's mu_ only orders concurrent setters.
   os::DttModel dtt_model_ = os::DttModel::Default();
 };
 

@@ -16,6 +16,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/thread_annotations.h"
+
 #if defined(HDB_LOCK_RANK_ENABLED)
 #include <source_location>
 #endif
@@ -115,21 +117,26 @@ inline void OnRelease(const void*) {}
 // *caller's* file:line is what a violation report names. Always acquire
 // through the guard types below (or a defaulted call site); never pass an
 // explicit site except when forwarding one (UniqueLock re-lock).
+//
+// Each wrapper is a Clang Thread Safety Analysis CAPABILITY and each guard
+// a SCOPED_CAPABILITY (common/thread_annotations.h), so `GUARDED_BY(mu_)`
+// fields and `REQUIRES(mu_)` helpers are checked at compile time on every
+// path — the static complement of the runtime rank stack above.
 
 template <LockRank R>
-class RankedMutex {
+class CAPABILITY("mutex") RankedMutex {
  public:
   RankedMutex() = default;
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock(LockSite site = HDB_LOCK_SITE) {
+  void lock(LockSite site = HDB_LOCK_SITE) ACQUIRE() {
     lock_rank_internal::OnAcquire(this, R,
                                   lock_rank_internal::LockMode::kExclusive,
                                   site);
     mu_.lock();
   }
-  bool try_lock(LockSite site = HDB_LOCK_SITE) {
+  bool try_lock(LockSite site = HDB_LOCK_SITE) TRY_ACQUIRE(true) {
     // Check first: a try_lock that *would* deadlock if it ever contended is
     // still a hierarchy bug, and checking unconditionally keeps detection
     // deterministic rather than interleaving-dependent.
@@ -140,7 +147,7 @@ class RankedMutex {
     lock_rank_internal::OnRelease(this);
     return false;
   }
-  void unlock() {
+  void unlock() RELEASE() {
     lock_rank_internal::OnRelease(this);
     mu_.unlock();
   }
@@ -152,28 +159,28 @@ class RankedMutex {
 };
 
 template <LockRank R>
-class RankedSharedMutex {
+class CAPABILITY("shared_mutex") RankedSharedMutex {
  public:
   RankedSharedMutex() = default;
   RankedSharedMutex(const RankedSharedMutex&) = delete;
   RankedSharedMutex& operator=(const RankedSharedMutex&) = delete;
 
-  void lock(LockSite site = HDB_LOCK_SITE) {
+  void lock(LockSite site = HDB_LOCK_SITE) ACQUIRE() {
     lock_rank_internal::OnAcquire(this, R,
                                   lock_rank_internal::LockMode::kExclusive,
                                   site);
     mu_.lock();
   }
-  void unlock() {
+  void unlock() RELEASE() {
     lock_rank_internal::OnRelease(this);
     mu_.unlock();
   }
-  void lock_shared(LockSite site = HDB_LOCK_SITE) {
+  void lock_shared(LockSite site = HDB_LOCK_SITE) ACQUIRE_SHARED() {
     lock_rank_internal::OnAcquire(
         this, R, lock_rank_internal::LockMode::kShared, site);
     mu_.lock_shared();
   }
-  void unlock_shared() {
+  void unlock_shared() RELEASE_SHARED() {
     lock_rank_internal::OnRelease(this);
     mu_.unlock_shared();
   }
@@ -184,20 +191,26 @@ class RankedSharedMutex {
   std::shared_mutex mu_;
 };
 
+// NOTE: Clang's analysis has no notion of re-entrant acquisition, so
+// same-thread re-entry on one RankedRecursiveMutex — legal at runtime —
+// would be flagged as a double acquire. The engine's only recursive rank
+// (kHistogram) therefore keeps its re-entry confined behind
+// Histogram::Lock()/dual-lock helpers whose bodies opt out of the
+// analysis; callers still see ordinary ACQUIRE/RELEASE contracts.
 template <LockRank R>
-class RankedRecursiveMutex {
+class CAPABILITY("recursive_mutex") RankedRecursiveMutex {
  public:
   RankedRecursiveMutex() = default;
   RankedRecursiveMutex(const RankedRecursiveMutex&) = delete;
   RankedRecursiveMutex& operator=(const RankedRecursiveMutex&) = delete;
 
-  void lock(LockSite site = HDB_LOCK_SITE) {
+  void lock(LockSite site = HDB_LOCK_SITE) ACQUIRE() {
     lock_rank_internal::OnAcquire(this, R,
                                   lock_rank_internal::LockMode::kRecursive,
                                   site);
     mu_.lock();
   }
-  void unlock() {
+  void unlock() RELEASE() {
     lock_rank_internal::OnRelease(this);
     mu_.unlock();
   }
@@ -213,15 +226,24 @@ class RankedRecursiveMutex {
 // std::lock_guard-family over a ranked mutex would capture the defaulted
 // source_location inside the STL header, so the engine uses these instead.
 // They are deliberately minimal: exactly the operations the engine needs.
+//
+// Each guard is a SCOPED_CAPABILITY so Clang's analysis tracks the lock it
+// manages through its whole lifetime, including manual unlock()/lock()
+// windows. The member bodies that re-lock through the stored pointer are
+// NO_THREAD_SAFETY_ANALYSIS: the guard itself is the trusted base of the
+// analysis (the attribute, not the body, is the contract — the same
+// arrangement absl::Mutex ships with), and the runtime rank checker still
+// validates every one of these paths.
 
 // Scoped exclusive lock (std::lock_guard equivalent).
 template <typename MutexT>
-class LockGuard {
+class SCOPED_CAPABILITY LockGuard {
  public:
-  explicit LockGuard(MutexT& mu, LockSite site = HDB_LOCK_SITE) : mu_(mu) {
+  explicit LockGuard(MutexT& mu, LockSite site = HDB_LOCK_SITE) ACQUIRE(mu)
+      : mu_(mu) {
     mu_.lock(site);
   }
-  ~LockGuard() { mu_.unlock(); }
+  ~LockGuard() RELEASE() { mu_.unlock(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
 
@@ -231,13 +253,14 @@ class LockGuard {
 
 // Scoped shared lock (std::shared_lock-as-guard equivalent).
 template <typename MutexT>
-class SharedLockGuard {
+class SCOPED_CAPABILITY SharedLockGuard {
  public:
   explicit SharedLockGuard(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+      ACQUIRE_SHARED(mu)
       : mu_(mu) {
     mu_.lock_shared(site);
   }
-  ~SharedLockGuard() { mu_.unlock_shared(); }
+  ~SharedLockGuard() RELEASE_GENERIC() { mu_.unlock_shared(); }
   SharedLockGuard(const SharedLockGuard&) = delete;
   SharedLockGuard& operator=(const SharedLockGuard&) = delete;
 
@@ -250,29 +273,36 @@ class SharedLockGuard {
 // pool's drop-the-latch-around-the-fsync-barrier dance), and move. Re-locks
 // report the guard's original construction site.
 template <typename MutexT>
-class UniqueLock {
+class SCOPED_CAPABILITY UniqueLock {
  public:
   UniqueLock() = default;
-  explicit UniqueLock(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+  explicit UniqueLock(MutexT& mu, LockSite site = HDB_LOCK_SITE) ACQUIRE(mu)
       : mu_(&mu), site_(site) {
     mu_->lock(site_);
     owns_ = true;
   }
   UniqueLock(MutexT& mu, std::defer_lock_t, LockSite site = HDB_LOCK_SITE)
+      EXCLUDES(mu)
       : mu_(&mu), site_(site) {}
-  UniqueLock(MutexT& mu, std::try_to_lock_t, LockSite site = HDB_LOCK_SITE)
+  // Adopts a mutex the caller already locked (via a successful try_lock):
+  // the analysis transfers the held capability into this guard.
+  UniqueLock(MutexT& mu, std::adopt_lock_t, LockSite site = HDB_LOCK_SITE)
+      REQUIRES(mu)
       : mu_(&mu), site_(site) {
-    owns_ = mu_->try_lock(site_);
+    owns_ = true;
   }
-  ~UniqueLock() {
+  ~UniqueLock() RELEASE_GENERIC() {
     if (owns_) mu_->unlock();
   }
+  // Moves transfer ownership the analysis cannot follow (scoped facts are
+  // per-object); the runtime rank checker still sees the eventual unlock.
   UniqueLock(UniqueLock&& other) noexcept
       : mu_(other.mu_), site_(other.site_), owns_(other.owns_) {
     other.mu_ = nullptr;
     other.owns_ = false;
   }
-  UniqueLock& operator=(UniqueLock&& other) noexcept {
+  UniqueLock& operator=(UniqueLock&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
       if (owns_) mu_->unlock();
       mu_ = other.mu_;
@@ -284,11 +314,11 @@ class UniqueLock {
     return *this;
   }
 
-  void lock() {
+  void lock() ACQUIRE() NO_THREAD_SAFETY_ANALYSIS {
     mu_->lock(site_);
     owns_ = true;
   }
-  void unlock() {
+  void unlock() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
     mu_->unlock();
     owns_ = false;
   }
@@ -302,15 +332,16 @@ class UniqueLock {
 
 // Movable shared lock (std::shared_lock equivalent).
 template <typename MutexT>
-class SharedLock {
+class SCOPED_CAPABILITY SharedLock {
  public:
   SharedLock() = default;
   explicit SharedLock(MutexT& mu, LockSite site = HDB_LOCK_SITE)
+      ACQUIRE_SHARED(mu)
       : mu_(&mu), site_(site) {
     mu_->lock_shared(site_);
     owns_ = true;
   }
-  ~SharedLock() {
+  ~SharedLock() RELEASE_GENERIC() {
     if (owns_) mu_->unlock_shared();
   }
   SharedLock(SharedLock&& other) noexcept
@@ -318,7 +349,8 @@ class SharedLock {
     other.mu_ = nullptr;
     other.owns_ = false;
   }
-  SharedLock& operator=(SharedLock&& other) noexcept {
+  SharedLock& operator=(SharedLock&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
       if (owns_) mu_->unlock_shared();
       mu_ = other.mu_;
@@ -330,11 +362,11 @@ class SharedLock {
     return *this;
   }
 
-  void lock() {
+  void lock() ACQUIRE_SHARED() NO_THREAD_SAFETY_ANALYSIS {
     mu_->lock_shared(site_);
     owns_ = true;
   }
-  void unlock() {
+  void unlock() RELEASE_SHARED() NO_THREAD_SAFETY_ANALYSIS {
     mu_->unlock_shared();
     owns_ = false;
   }

@@ -1,0 +1,122 @@
+#ifndef HDB_COMMON_THREAD_ANNOTATIONS_H_
+#define HDB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (ISSUE 9).
+//
+// These turn the latch discipline of DESIGN.md §8 into a compile-time
+// proof: every field annotated GUARDED_BY is verified latched on *all*
+// paths, every helper annotated REQUIRES is verified called with the
+// latch held, on every compile — not just on the paths a test happens to
+// execute (which is all the runtime rank checker in lock_rank.h can see).
+//
+// The macro names follow the official Clang capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the
+// annotations read the same here as in absl/libc++. On any compiler
+// without the attributes (GCC, MSVC) every macro expands to nothing, so
+// the annotated tree builds identically off-Clang; the analysis itself
+// runs as the `thread-safety` stage of scripts/sanitize_matrix.sh
+// (clang++ -Wthread-safety -Werror) and is regression-tested by the
+// negative-compile harness in tests/negative_compile/.
+//
+// Annotation contract (full version in DESIGN.md §8.4):
+//   * every field protected by a ranked mutex in the same object is
+//     GUARDED_BY that mutex (PT_GUARDED_BY when the mutex protects the
+//     pointee rather than the pointer);
+//   * every *Locked() helper is REQUIRES(the latch) instead of carrying
+//     the contract in a comment;
+//   * drop/relock windows (condition-variable waits, the buffer pool's
+//     eviction-vs-fsync dance) are expressed through the UniqueLock
+//     guard's ACQUIRE/RELEASE-annotated lock()/unlock(), so the analysis
+//     tracks the window exactly;
+//   * ASSERT_CAPABILITY is reserved for capabilities established by a
+//     protocol the analysis cannot see (e.g. a frame pinned under the
+//     pool latch, single-threaded startup); each use carries a
+//     justification comment.
+
+#if defined(__clang__) && !defined(SWIG)
+#define HDB_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define HDB_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off Clang
+#endif
+
+// --- Capability declarations ----------------------------------------------
+
+// Marks a class as a capability (a mutex). The string names the capability
+// kind in diagnostics ("mutex 'mu_' is not held...").
+#define CAPABILITY(x) HDB_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+// Marks a RAII class whose lifetime acquires/releases a capability
+// (LockGuard, UniqueLock, ...).
+#define SCOPED_CAPABILITY HDB_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// --- Data annotations ------------------------------------------------------
+
+// Field may only be read/written while holding the given capability.
+#define GUARDED_BY(x) HDB_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// Pointer field whose *pointee* is protected by the capability (the
+// pointer itself may be read freely).
+#define PT_GUARDED_BY(x) HDB_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// --- Lock ordering hints (documentation; checked where expressible) --------
+
+#define ACQUIRED_BEFORE(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// --- Function annotations --------------------------------------------------
+
+// Caller must hold the capability (exclusively / at least shared).
+#define REQUIRES(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return (no argument:
+// `this`, for the capability/scoped types themselves).
+#define ACQUIRE(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// Function releases the capability (which the caller must hold).
+#define RELEASE(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+// Releases a capability held in either mode (scoped-guard destructors,
+// which cannot know whether they hold shared or exclusive).
+#define RELEASE_GENERIC(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+// Function tries to acquire; first argument is the return value meaning
+// success.
+#define TRY_ACQUIRE(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function acquires it itself;
+// calling with it held would self-deadlock on a non-recursive mutex).
+#define EXCLUDES(...) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// Asserts at runtime (by protocol, not by code the analysis can see) that
+// the capability is held, and tells the analysis to believe it. Reserved
+// for documented analysis boundaries — see the contract above.
+#define ASSERT_CAPABILITY(x) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+// Function returns a reference to the given capability (accessor helpers).
+#define RETURN_CAPABILITY(x) \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Opts a function out of the analysis entirely. Last resort; every use
+// carries a justification comment (same rule as IgnoreError).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HDB_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // HDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -33,9 +33,20 @@ Result<AdmissionGate::Ticket> AdmissionGate::Admit() {
   }
   ++waiting_;
   const auto wait_start = std::chrono::steady_clock::now();
-  const bool admitted = cv_.wait_for(
-      lock, std::chrono::microseconds(options_.queue_timeout_micros),
-      [&] { return active_ < capacity(); });
+  const auto deadline =
+      wait_start + std::chrono::microseconds(options_.queue_timeout_micros);
+  // Explicit wait loop rather than a wait_for predicate: the predicate
+  // reads mu_-guarded active_, and the analysis checks a lambda as a
+  // separate (lock-free) function — the loop keeps the guarded read in
+  // this scope, where `lock` visibly holds mu_. Semantics match
+  // wait_for(pred): one final predicate check after a timeout.
+  bool admitted;
+  while (!(admitted = active_ < capacity())) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      admitted = active_ < capacity();
+      break;
+    }
+  }
   --waiting_;
   const auto waited_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -107,15 +107,18 @@ class AdmissionGate {
 
   mutable RankedMutex<LockRank::kAdmissionGate> mu_;
   std::condition_variable_any cv_;
-  uint64_t active_ = 0;
-  uint64_t waiting_ = 0;
-  uint64_t admitted_immediately_ = 0;
-  uint64_t admitted_after_wait_ = 0;
-  uint64_t timed_out_ = 0;
+  uint64_t active_ GUARDED_BY(mu_) = 0;
+  uint64_t waiting_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_immediately_ GUARDED_BY(mu_) = 0;
+  uint64_t admitted_after_wait_ GUARDED_BY(mu_) = 0;
+  uint64_t timed_out_ GUARDED_BY(mu_) = 0;
 
-  // Telemetry (optional; null when not attached).
-  obs::LatencyHistogram* wait_hist_ = nullptr;
-  obs::Counter* timeout_counter_ = nullptr;
+  // Telemetry (optional; null when not attached). Published under mu_ by
+  // AttachTelemetry and only ever read inside Admit()'s critical section,
+  // so these are genuinely mu_-guarded (unlike the set-once pointers
+  // elsewhere — DESIGN.md §8.4).
+  obs::LatencyHistogram* wait_hist_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* timeout_counter_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace hdb::exec

@@ -129,6 +129,8 @@ class MemoryGovernor {
 
   // Telemetry (optional; null when not attached). Counters are atomic, so
   // concurrent tasks may bump them without the governor's involvement.
+  // Set once by AttachTelemetry before concurrent task traffic, read
+  // lock-free afterwards (DESIGN.md §8.4 set-once contract).
   obs::Counter* reclamations_counter_ = nullptr;
   obs::Counter* reclaimed_pages_counter_ = nullptr;
   obs::Counter* kills_counter_ = nullptr;
@@ -161,16 +163,28 @@ class TaskMemoryContext {
   void UnregisterConsumer(MemoryConsumer* c);
 
   uint64_t pages_charged() const;
-  uint64_t bytes_charged() const { return bytes_; }
+  uint64_t bytes_charged() const {
+    LockGuard lock(mu_);
+    return bytes_;
+  }
   uint64_t soft_limit_pages() const { return governor_->SoftLimitPages(); }
   uint64_t hard_limit_pages() const { return governor_->HardLimitPages(); }
 
   /// Scheduler passes (soft-limit crossings that found work to do).
-  uint64_t reclamations() const { return reclamations_; }
-  uint64_t reclaimed_pages() const { return reclaimed_pages_; }
+  uint64_t reclamations() const {
+    LockGuard lock(mu_);
+    return reclamations_;
+  }
+  uint64_t reclaimed_pages() const {
+    LockGuard lock(mu_);
+    return reclaimed_pages_;
+  }
   /// Individual victim choices across all passes (one DecisionLog row
   /// each when telemetry is attached).
-  uint64_t spill_decisions() const { return spill_decisions_; }
+  uint64_t spill_decisions() const {
+    LockGuard lock(mu_);
+    return spill_decisions_;
+  }
 
  private:
   /// The spill scheduler: while over the soft limit, pick the cheapest
@@ -178,15 +192,15 @@ class TaskMemoryContext {
   /// spillable) among consumers with spillable bytes, honoring each
   /// consumer's reserve floor, and ask it to spill the deficit. Errors
   /// from a victim's spill write propagate to the caller.
-  [[nodiscard]] Status RunSpillSchedulerLocked();
+  [[nodiscard]] Status RunSpillSchedulerLocked() REQUIRES(mu_);
 
   MemoryGovernor* governor_;
   mutable RankedMutex<LockRank::kTaskMemory> mu_;
-  uint64_t bytes_ = 0;
-  std::vector<MemoryConsumer*> consumers_;
-  uint64_t reclamations_ = 0;
-  uint64_t reclaimed_pages_ = 0;
-  uint64_t spill_decisions_ = 0;
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  std::vector<MemoryConsumer*> consumers_ GUARDED_BY(mu_);
+  uint64_t reclamations_ GUARDED_BY(mu_) = 0;
+  uint64_t reclaimed_pages_ GUARDED_BY(mu_) = 0;
+  uint64_t spill_decisions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hdb::exec

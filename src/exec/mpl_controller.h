@@ -76,14 +76,15 @@ class MplController {
   mutable RankedMutex<LockRank::kMplController> mu_;
   std::atomic<int64_t> interval_start_;
   std::atomic<uint64_t> completed_in_interval_{0};
-  double last_throughput_ = -1;
-  int direction_ = +1;
-  std::vector<Sample> history_;
+  double last_throughput_ GUARDED_BY(mu_) = -1;
+  int direction_ GUARDED_BY(mu_) = +1;
+  std::vector<Sample> history_ GUARDED_BY(mu_);
 
-  // Telemetry (optional; null when not attached).
-  obs::Counter* adaptations_counter_ = nullptr;
-  obs::Counter* changes_counter_ = nullptr;
-  obs::DecisionLog* decisions_ = nullptr;
+  // Telemetry (optional; null when not attached). Published under mu_ by
+  // AttachTelemetry and only read inside MaybeAdapt's critical section.
+  obs::Counter* adaptations_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* changes_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::DecisionLog* decisions_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace hdb::exec

@@ -95,10 +95,11 @@ class ParallelHashPipeline {
 
    private:
     RankedMutex<LockRank::kParallelDispenser> mu_;
-    table::TableHeap::Iterator it_;
-    size_t batch_rows_;
-    std::vector<Rid> rids_;  // scratch for the batched copy
-    bool done_ = false;
+    table::TableHeap::Iterator it_ GUARDED_BY(mu_);
+    size_t batch_rows_;  // construction-time constant
+    // Scratch for the batched copy.
+    std::vector<Rid> rids_ GUARDED_BY(mu_);
+    bool done_ GUARDED_BY(mu_) = false;
   };
 
   HeapProvider heaps_;

@@ -92,22 +92,26 @@ class BTree {
     storage::PageId right_page;
   };
 
-  Status InitLocked();
+  Status InitLocked() REQUIRES(latch_);
   Status ScanRangeLocked(double lo, bool lo_inclusive, double hi,
                          bool hi_inclusive,
-                         const std::function<bool(double, Rid)>& fn) const;
-  Result<storage::PageId> NewNode(bool is_leaf);
+                         const std::function<bool(double, Rid)>& fn) const
+      REQUIRES_SHARED(latch_);
+  Result<storage::PageId> NewNode(bool is_leaf) REQUIRES(latch_);
   Result<std::optional<SplitResult>> InsertRec(storage::PageId node,
-                                               double key, Rid rid);
-  /// Page id of the first leaf whose range may contain `key`.
-  Result<storage::PageId> FindLeaf(double key) const;
+                                               double key, Rid rid)
+      REQUIRES(latch_);
+  /// Page id of the first leaf whose range may contain `key` (shared
+  /// suffices: the walk only reads node pages).
+  Result<storage::PageId> FindLeaf(double key) const REQUIRES_SHARED(latch_);
 
   storage::BufferPool* pool_;
   catalog::IndexDef* def_;
-  IndexStats stats_;
+  IndexStats stats_;  // relaxed atomics: read latch-free by the optimizer
   // Heap page of the key-order predecessor of the entry just inserted
   // (set by InsertRec; kInvalidPageId when the entry became the minimum).
-  storage::PageId last_pred_heap_page_ = storage::kInvalidPageId;
+  storage::PageId last_pred_heap_page_ GUARDED_BY(latch_) =
+      storage::kInvalidPageId;
   /// Tree-level reader/writer latch: page bytes are mutated through
   /// pinned handles outside the buffer pool's latch, so structural
   /// modifications (Insert/Remove, root growth) are exclusive while

@@ -108,7 +108,41 @@ class Server {
   ServerStats stats() const;
 
  private:
-  struct Conn;
+  /// Per-connection state. The fd and epoll registration belong to the
+  /// event-loop thread; everything under `mu` (rank kNetSession) is shared
+  /// between the event loop and whichever worker currently owns the
+  /// connection's frames. The atomics at the bottom are read lock-free by
+  /// stats()/sys.connections. Defined here (not in the .cc) so the
+  /// annotations below can name `mu` from Server's method declarations.
+  struct Conn {
+    int fd = -1;  // event-loop thread only; -1 once closed
+    std::string peer;
+    std::unique_ptr<Session> session;
+
+    RankedMutex<LockRank::kNetSession> mu;
+    std::condition_variable_any write_cv;  // backpressure waiters
+    FrameAssembler assembler GUARDED_BY(mu);
+    std::string write_buf GUARDED_BY(mu);
+    size_t write_pos GUARDED_BY(mu) = 0;
+    // A worker is draining this conn's frames.
+    bool busy GUARDED_BY(mu) = false;
+    bool queued GUARDED_BY(mu) = false;   // sitting in work_queue_
+    bool closing GUARDED_BY(mu) = false;  // close once the write buf drains
+    bool goodbye_sent GUARDED_BY(mu) = false;
+    // Stalled past the write timeout: hard close.
+    bool aborted GUARDED_BY(mu) = false;
+    bool closed GUARDED_BY(mu) = false;  // fd is gone; sinks must fail
+    bool want_write = false;  // EPOLLOUT armed (event-loop thread only)
+
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> last_activity_ms{0};
+    std::atomic<bool> executing{false};
+
+    size_t buffered() const REQUIRES(mu) {
+      return write_buf.size() - write_pos;
+    }
+  };
   class ConnSink;
 
   Server(engine::Database* db, ServerOptions options);
@@ -135,7 +169,8 @@ class Server {
   /// Queues `c` for the event loop to write out (any thread).
   void RequestFlush(const std::shared_ptr<Conn>& c);
   /// Appends encoded frames to the write buffer; caller holds c->mu.
-  void AppendOutboundLocked(Conn* c, std::string_view bytes);
+  void AppendOutboundLocked(Conn* c, std::string_view bytes)
+      REQUIRES(c->mu);
 
   engine::Database* db_;
   const ServerOptions options_;
@@ -151,10 +186,10 @@ class Server {
 
   mutable RankedMutex<LockRank::kNetServer> mu_;
   std::condition_variable_any work_cv_;
-  std::map<int, std::shared_ptr<Conn>> conns_;        // keyed by fd
-  std::deque<std::shared_ptr<Conn>> work_queue_;
-  std::vector<std::shared_ptr<Conn>> flush_queue_;
-  bool workers_stop_ = false;
+  std::map<int, std::shared_ptr<Conn>> conns_ GUARDED_BY(mu_);  // by fd
+  std::deque<std::shared_ptr<Conn>> work_queue_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Conn>> flush_queue_ GUARDED_BY(mu_);
+  bool workers_stop_ GUARDED_BY(mu_) = false;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};

@@ -42,8 +42,10 @@ class DecisionLog {
  private:
   const size_t capacity_;
   mutable RankedMutex<LockRank::kDecisionLog> mu_;
-  uint64_t next_seq_ = 0;    // == total recorded
-  std::vector<Decision> ring_;  // ring_[seq % capacity_]
+  // == total recorded
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  // ring_[seq % capacity_]
+  std::vector<Decision> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::obs

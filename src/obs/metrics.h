@@ -134,10 +134,11 @@ class MetricsRegistry {
 
  private:
   mutable RankedMutex<LockRank::kMetricsRegistry> mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
-  std::map<std::string, std::function<double()>> callbacks_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::function<double()>> callbacks_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::obs

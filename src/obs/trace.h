@@ -149,11 +149,15 @@ class StatementTrace {
   std::atomic<uint64_t> dropped_spans_{0};
 
   mutable RankedMutex<LockRank::kStatementTrace> mu_;
-  std::vector<SpanRecord> spans_;       // id = index + 1; append-only
-  std::vector<uint32_t> open_stack_;    // ids of open spans, root→leaf
-  std::vector<WaitEvent> wait_ring_;    // kMaxWaitEvents cap, overwrite
-  uint64_t wait_seq_ = 0;               // total wait events ever recorded
-  std::string plan_;
+  // id = index + 1; append-only.
+  std::vector<SpanRecord> spans_ GUARDED_BY(mu_);
+  // ids of open spans, root→leaf.
+  std::vector<uint32_t> open_stack_ GUARDED_BY(mu_);
+  // kMaxWaitEvents cap, overwrite.
+  std::vector<WaitEvent> wait_ring_ GUARDED_BY(mu_);
+  // Total wait events ever recorded.
+  uint64_t wait_seq_ GUARDED_BY(mu_) = 0;
+  std::string plan_ GUARDED_BY(mu_);
 };
 
 // --- Thread-local current statement ---------------------------------------
@@ -367,11 +371,15 @@ class StatementRegistry {
   const StatementRegistryOptions opts_;
   mutable RankedMutex<LockRank::kStatementRegistry> mu_;
   std::atomic<uint64_t> next_stmt_id_{1};
-  std::map<uint64_t, std::shared_ptr<StatementTrace>> active_;
-  std::vector<SlowStatement> slow_ring_;  // capacity opts_.slow_ring_capacity
-  uint64_t slow_seq_ = 0;                 // total captures ever
+  std::map<uint64_t, std::shared_ptr<StatementTrace>> active_ GUARDED_BY(mu_);
+  // Capacity opts_.slow_ring_capacity.
+  std::vector<SlowStatement> slow_ring_ GUARDED_BY(mu_);
+  // Total captures ever.
+  uint64_t slow_seq_ GUARDED_BY(mu_) = 0;
 
-  // Telemetry (null until AttachTelemetry).
+  // Telemetry (null until AttachTelemetry). Set once before concurrent
+  // statement traffic, read lock-free afterwards — deliberately not
+  // GUARDED_BY (DESIGN.md §8.4 set-once contract).
   LatencyHistogram* statement_latency_ = nullptr;
   Counter* spans_counter_ = nullptr;
   Counter* wait_events_counter_ = nullptr;

@@ -54,11 +54,11 @@ class MemoryEnv {
   uint64_t FreePhysical() const;
 
  private:
-  uint64_t TotalDemandLocked() const;
+  uint64_t TotalDemandLocked() const REQUIRES(mu_);
 
   const uint64_t physical_;
   mutable RankedMutex<LockRank::kMemoryEnv> mu_;
-  std::map<std::string, uint64_t> allocations_;
+  std::map<std::string, uint64_t> allocations_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::os

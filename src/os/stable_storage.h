@@ -103,25 +103,24 @@ class StableStorage {
     uint64_t order = 0;  // insertion order among pending writes
   };
 
-  // All Locked methods require mu_ held.
-  bool ConsumeOpLocked();    // false => this op crashed the device
-  void ApplyPendingLocked(bool partial);
-  void TearFreshestPendingLocked();
+  bool ConsumeOpLocked() REQUIRES(mu_);  // false => this op crashed the device
+  void ApplyPendingLocked(bool partial) REQUIRES(mu_);
+  void TearFreshestPendingLocked() REQUIRES(mu_);
 
   const uint32_t page_bytes_;
-  FaultOptions faults_;
 
   mutable RankedMutex<LockRank::kStableStorage> mu_;
-  Rng rng_;
-  std::unordered_map<uint64_t, Image> durable_;
-  std::unordered_map<uint64_t, Image> pending_;
-  uint64_t next_order_ = 0;
-  int64_t ops_until_crash_ = -1;
+  FaultOptions faults_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Image> durable_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Image> pending_ GUARDED_BY(mu_);
+  uint64_t next_order_ GUARDED_BY(mu_) = 0;
+  int64_t ops_until_crash_ GUARDED_BY(mu_) = -1;
   std::atomic<bool> crashed_{false};
 
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> syncs_{0};
-  uint64_t reads_ = 0;  // under mu_ (drives read_error_every)
+  uint64_t reads_ GUARDED_BY(mu_) = 0;  // drives read_error_every
 };
 
 }  // namespace hdb::os

@@ -69,6 +69,10 @@ class RequestTracer {
 
   const size_t batch_size_;
   const size_t ring_capacity_;
+  // Set by Attach before it installs the trace hook (i.e. before any
+  // concurrent event delivery), read lock-free afterwards — deliberately
+  // not GUARDED_BY (DESIGN.md §8.4 set-once contract). Detach clears the
+  // hook first for the same reason.
   engine::Database* monitored_ = nullptr;
   engine::Database* sink_ = nullptr;
   std::unique_ptr<engine::Connection> sink_conn_;
@@ -76,14 +80,16 @@ class RequestTracer {
   /// Guards events_/event_seq_ and pending_tuples_; never held across a
   /// sink write.
   mutable RankedMutex<LockRank::kTracer> mu_;
-  std::vector<engine::TraceEvent> events_;  // ring, ring_capacity_ cap
-  uint64_t event_seq_ = 0;                  // events ever delivered
-  std::vector<std::string> pending_tuples_;  // rendered "(...)" row tuples
+  std::vector<engine::TraceEvent> events_ GUARDED_BY(mu_);  // bounded ring
+  uint64_t event_seq_ GUARDED_BY(mu_) = 0;  // events ever delivered
+  // Rendered "(...)" row tuples awaiting a batch INSERT.
+  std::vector<std::string> pending_tuples_ GUARDED_BY(mu_);
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> dropped_ring_{0};
 
   // Telemetry (registered on Attach; null when the monitored database is
-  // gone or Attach was never called).
+  // gone or Attach was never called). Same set-once-before-hook contract
+  // as monitored_ above.
   obs::Counter* events_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* dropped_ring_counter_ = nullptr;

@@ -123,15 +123,17 @@ class Histogram {
   /// Pins the histogram across several calls (the lock is recursive, so
   /// the individual calls still locking internally is fine). JoinHistogram
   /// uses this to read a consistent snapshot of both input histograms.
+  /// The returned scoped capability transfers to the caller (copy-elided),
+  /// which is how the analysis sees the pin.
   UniqueLock<RankedRecursiveMutex<LockRank::kHistogram>> Lock(
-      LockSite site = HDB_LOCK_SITE) const {
+      LockSite site = HDB_LOCK_SITE) const ACQUIRE(mu_) {
     return UniqueLock<RankedRecursiveMutex<LockRank::kHistogram>>(mu_, site);
   }
 
   // --- Join-histogram support (paper §3.2) ---
   /// The frequent-value (singleton) buckets: value -> row count.
   /// Caller must hold Lock() while iterating.
-  const std::map<double, double>& singleton_buckets() const {
+  const std::map<double, double>& singleton_buckets() const REQUIRES(mu_) {
     return singletons_;
   }
   /// Interpolated non-singleton rows in [lo, hi].
@@ -145,30 +147,37 @@ class Histogram {
     double count;  // non-singleton rows in (previous hi, hi]
   };
 
-  double BucketLo(size_t i) const { return i == 0 ? lo_ : buckets_[i - 1].hi; }
+  double BucketLo(size_t i) const REQUIRES(mu_) {
+    return i == 0 ? lo_ : buckets_[i - 1].hi;
+  }
   /// Index of the bucket containing v, or -1 when outside the domain.
-  int FindBucket(double v) const;
-  void ExtendDomain(double v);
-  void AddToBuckets(double v, double count);
-  void MaybeRestructure();
-  void Restructure();
-  double NonNullCount() const;
-  double SingletonTotal() const;
+  int FindBucket(double v) const REQUIRES(mu_);
+  void ExtendDomain(double v) REQUIRES(mu_);
+  void AddToBuckets(double v, double count) REQUIRES(mu_);
+  void MaybeRestructure() REQUIRES(mu_);
+  void Restructure() REQUIRES(mu_);
+  double NonNullCount() const REQUIRES(mu_);
+  double SingletonTotal() const REQUIRES(mu_);
 
   /// Guards every field below against concurrent estimate / maintenance.
   mutable RankedRecursiveMutex<LockRank::kHistogram> mu_;
 
+  // Construction-time state: written only by the ctor and the (externally
+  // serialized) move operations, read without the lock by type().
   TypeId type_;
   Options options_;
   double value_width_;
 
-  double lo_ = 0;  // inclusive lower bound of bucket domain
-  std::vector<Bucket> buckets_;
-  std::map<double, double> singletons_;  // value -> row count
-  double null_count_ = 0;
-  double total_ = 0;
-  double distinct_estimate_ = 0;  // non-null distinct values
-  int updates_since_restructure_ = 0;
+  // Inclusive lower bound of bucket domain.
+  double lo_ GUARDED_BY(mu_) = 0;
+  std::vector<Bucket> buckets_ GUARDED_BY(mu_);
+  // Value -> row count.
+  std::map<double, double> singletons_ GUARDED_BY(mu_);
+  double null_count_ GUARDED_BY(mu_) = 0;
+  double total_ GUARDED_BY(mu_) = 0;
+  // Non-null distinct values.
+  double distinct_estimate_ GUARDED_BY(mu_) = 0;
+  int updates_since_restructure_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hdb::stats

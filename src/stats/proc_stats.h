@@ -57,7 +57,7 @@ class ProcStatsRegistry {
 
   Options options_;
   mutable RankedMutex<LockRank::kProcStats> mu_;
-  std::map<std::string, Entry> procs_;
+  std::map<std::string, Entry> procs_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::stats

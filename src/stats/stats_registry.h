@@ -91,7 +91,7 @@ class StatsRegistry {
   using Key = std::pair<uint32_t, int>;
 
   mutable RankedMutex<LockRank::kStatsRegistry> mu_;
-  std::map<Key, ColumnStats> columns_;
+  std::map<Key, ColumnStats> columns_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::stats

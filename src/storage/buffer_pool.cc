@@ -108,7 +108,8 @@ void BufferPool::EvictFrameLocked(uint32_t frame_id) {
 }
 
 Result<uint32_t> BufferPool::GetVictimFrame(
-    UniqueLock<RankedMutex<LockRank::kBufferPool>>& lock) {
+    UniqueLock<RankedMutex<LockRank::kBufferPool>>& lock)
+    NO_THREAD_SAFETY_ANALYSIS {
   while (true) {
     if (!free_frames_.empty()) {
       const uint32_t id = free_frames_.back();
@@ -140,10 +141,13 @@ Result<uint32_t> BufferPool::GetVictimFrame(
       // inside EvictFrameLocked (the page is dropped unwritten, which
       // preserves WAL-before-data).
       const Lsn barrier_lsn = f.lsn;
+      // Copy the barrier out before dropping the latch (it is guarded by
+      // mu_; invoking the member unlocked would race SetFlushBarrier).
+      const std::function<Status(Lsn)> barrier = flush_barrier_;
       f.pin_count++;
       replacer_.SetEvictable(*victim, false);
       lock.unlock();
-      IgnoreError(flush_barrier_(barrier_lsn));
+      IgnoreError(barrier(barrier_lsn));
       lock.lock();
       Frame& g = frames_[*victim];  // frames_ may have been reallocated
       g.pin_count--;
@@ -289,8 +293,9 @@ Status BufferPool::FlushAll() {
       }
     }
     if (max_lsn != kNullLsn) {
+      const std::function<Status(Lsn)> barrier = flush_barrier_;
       lock.unlock();
-      HDB_RETURN_IF_ERROR(flush_barrier_(max_lsn));
+      HDB_RETURN_IF_ERROR(barrier(max_lsn));
       lock.lock();
     }
   }

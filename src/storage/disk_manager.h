@@ -122,7 +122,7 @@ class DiskManager {
   std::shared_ptr<os::StableStorage> media_;
 
   mutable RankedMutex<LockRank::kDiskManager> mu_;
-  Space spaces_[kNumSpaces];
+  Space spaces_[kNumSpaces] GUARDED_BY(mu_);
 
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};

@@ -129,8 +129,8 @@ class PoolGovernor {
   }
 
  private:
-  PoolGovernorSample PollNowLocked();
-  uint64_t SoftUpperBoundLocked() const;
+  PoolGovernorSample PollNowLocked() REQUIRES(mu_);
+  uint64_t SoftUpperBoundLocked() const REQUIRES(mu_);
   void PublishAllocation();
 
   BufferPool* pool_;
@@ -142,23 +142,23 @@ class PoolGovernor {
   /// is inside the buffer pool other than the Resize/stat calls the poll
   /// itself makes.
   mutable RankedMutex<LockRank::kPoolGovernor> mu_;
-  int polls_done_ = 0;
+  int polls_done_ GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_poll_micros_{0};
-  uint64_t last_db_bytes_ = 0;
-  uint64_t last_free_physical_ = 0;
-  int fast_polls_remaining_ = 0;
+  uint64_t last_db_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t last_free_physical_ GUARDED_BY(mu_) = 0;
+  int fast_polls_remaining_ GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> main_heap_bytes_{0};
   // Anti-hysteresis state.
-  int polls_since_shrink_ = 1 << 20;
-  uint64_t last_shrink_amount_ = 0;
+  int polls_since_shrink_ GUARDED_BY(mu_) = 1 << 20;
+  uint64_t last_shrink_amount_ GUARDED_BY(mu_) = 0;
 
   // Telemetry (optional; null when not attached).
-  obs::Counter* polls_counter_ = nullptr;
-  obs::Counter* grows_counter_ = nullptr;
-  obs::Counter* shrinks_counter_ = nullptr;
-  obs::DecisionLog* decisions_ = nullptr;
+  obs::Counter* polls_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* grows_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* shrinks_counter_ GUARDED_BY(mu_) = nullptr;
+  obs::DecisionLog* decisions_ GUARDED_BY(mu_) = nullptr;
 
-  std::vector<PoolGovernorSample> history_;
+  std::vector<PoolGovernorSample> history_ GUARDED_BY(mu_);
 };
 
 }  // namespace hdb::storage

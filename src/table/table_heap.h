@@ -113,13 +113,14 @@ class TableHeap {
 
   // Unlatched bodies; public methods take latch_ and delegate here so
   // Update can compose Delete + Insert under one exclusive acquisition.
-  Result<Rid> InsertLocked(std::string_view row_bytes);
-  Status DeleteLocked(Rid rid);
+  Result<Rid> InsertLocked(std::string_view row_bytes) REQUIRES(latch_);
+  Status DeleteLocked(Rid rid) REQUIRES(latch_);
 
   // Page layout lives in table/heap_page.h, shared with wal/recovery.
   Result<Rid> InsertIntoPage(storage::PageId page_id,
-                             std::string_view row_bytes, bool* fit);
-  Status AppendPage();
+                             std::string_view row_bytes, bool* fit)
+      REQUIRES(latch_);
+  Status AppendPage() REQUIRES(latch_);
 
   /// Appends a WAL record for a mutation about to be applied, attributed
   /// to the calling thread's transaction, registering the LSN as in-flight
@@ -127,7 +128,8 @@ class TableHeap {
   /// frame(s) via MarkDirty(lsn) (checkpoint race, see
   /// wal::WalManager::InflightLsn). Returns kNullLsn when logging is off.
   Result<storage::Lsn> LogOp(wal::WalRecordType type, std::string payload,
-                             wal::WalManager::InflightLsn* inflight);
+                             wal::WalManager::InflightLsn* inflight)
+      REQUIRES(latch_);
 
   storage::BufferPool* pool_;
   catalog::TableDef* def_;

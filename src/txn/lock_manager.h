@@ -61,10 +61,10 @@ class LockManager {
   Status Acquire(uint64_t txn_id, uint64_t key, LockMode mode);
 
   mutable RankedMutex<LockRank::kLockManager> mu_;
-  storage::ExtHashTable table_;
+  storage::ExtHashTable table_ GUARDED_BY(mu_);
 
   // Telemetry (optional; null when not attached).
-  obs::Counter* conflicts_counter_ = nullptr;
+  obs::Counter* conflicts_counter_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace hdb::txn

@@ -105,14 +105,15 @@ class TransactionManager {
   wal::WalManager* wal_ = nullptr;
 
   mutable RankedMutex<LockRank::kTxnManager> mu_;
-  uint64_t next_txn_id_ = 1;
-  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> txns_;
-  uint64_t active_ = 0;
+  uint64_t next_txn_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> txns_
+      GUARDED_BY(mu_);
+  uint64_t active_ GUARDED_BY(mu_) = 0;
 
-  // Redo log cursor (under mu_; log_bytes_ is atomic for the unlatched
-  // log_bytes() statistic read).
-  storage::PageId log_page_ = storage::kInvalidPageId;
-  uint32_t log_offset_ = 0;
+  // Redo log cursor (log_bytes_ is atomic for the unlatched log_bytes()
+  // statistic read).
+  storage::PageId log_page_ GUARDED_BY(mu_) = storage::kInvalidPageId;
+  uint32_t log_offset_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> log_bytes_{0};
 };
 

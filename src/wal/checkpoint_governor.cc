@@ -47,8 +47,8 @@ bool CheckpointGovernor::MaybeCheckpoint() {
     if (dirty_ratio <= kDirtyRatioGuard) return false;
   }
 
-  UniqueLock lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) return false;  // a checkpoint is already running
+  if (!mu_.try_lock()) return false;  // a checkpoint is already running
+  UniqueLock lock(mu_, std::adopt_lock);
 
   // Re-derive the balance with the measured estimates under the lock.
   const uint64_t est_ckpt = EstimatedCheckpointMicrosLocked();
@@ -172,15 +172,24 @@ CheckpointStats CheckpointGovernor::stats() const {
 
 void CheckpointGovernor::AttachTelemetry(obs::MetricsRegistry* registry,
                                          obs::DecisionLog* decisions) {
+  obs::Counter* count = nullptr;
+  obs::Counter* pages = nullptr;
+  obs::Counter* micros = nullptr;
   if (registry != nullptr) {
-    m_count_ = registry->RegisterCounter(obs::kCheckpointCount);
-    m_pages_ = registry->RegisterCounter(obs::kCheckpointPagesFlushed);
-    m_micros_ = registry->RegisterCounter(obs::kCheckpointMicros);
+    // Register outside mu_: the registry has its own mutex, and nothing
+    // orders it after the governor's.
+    count = registry->RegisterCounter(obs::kCheckpointCount);
+    pages = registry->RegisterCounter(obs::kCheckpointPagesFlushed);
+    micros = registry->RegisterCounter(obs::kCheckpointMicros);
     registry->RegisterCallback(obs::kCheckpointTargetLogBytes, [this] {
       return static_cast<double>(
           target_log_bytes_.load(std::memory_order_relaxed));
     });
   }
+  LockGuard lock(mu_);
+  m_count_ = count;
+  m_pages_ = pages;
+  m_micros_ = micros;
   decisions_ = decisions;
 }
 

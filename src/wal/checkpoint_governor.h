@@ -64,8 +64,8 @@ class CheckpointGovernor {
                        obs::DecisionLog* decisions);
 
  private:
-  Status RunCheckpointLocked(const char* reason);
-  uint64_t EstimatedCheckpointMicrosLocked() const;
+  Status RunCheckpointLocked(const char* reason) REQUIRES(mu_);
+  uint64_t EstimatedCheckpointMicrosLocked() const REQUIRES(mu_);
 
   WalManager* wal_;
   storage::BufferPool* pool_;
@@ -74,17 +74,19 @@ class CheckpointGovernor {
   mutable RankedMutex<LockRank::kCheckpointGovernor> mu_;
   // Measured-cost EMAs (micros). Seeds only matter for the first trigger;
   // the first real checkpoint replaces them with measurements.
-  double flush_micros_per_page_ = 100.0;
-  double sync_micros_ = 500.0;
-  double redo_micros_per_byte_ = 0.05;
+  double flush_micros_per_page_ GUARDED_BY(mu_) = 100.0;
+  double sync_micros_ GUARDED_BY(mu_) = 500.0;
+  double redo_micros_per_byte_ GUARDED_BY(mu_) = 0.05;
   std::atomic<uint64_t> target_log_bytes_{64 * 1024};
 
-  CheckpointStats stats_;
+  CheckpointStats stats_ GUARDED_BY(mu_);
 
-  obs::Counter* m_count_ = nullptr;
-  obs::Counter* m_pages_ = nullptr;
-  obs::Counter* m_micros_ = nullptr;
-  obs::DecisionLog* decisions_ = nullptr;
+  // Telemetry sinks: set once by AttachTelemetry before concurrent
+  // checkpointing starts, read under mu_ afterwards.
+  obs::Counter* m_count_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* m_pages_ GUARDED_BY(mu_) = nullptr;
+  obs::Counter* m_micros_ GUARDED_BY(mu_) = nullptr;
+  obs::DecisionLog* decisions_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace hdb::wal

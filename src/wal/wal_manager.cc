@@ -178,9 +178,13 @@ Status WalManager::WaitDurable(storage::Lsn lsn) {
   obs::ScopedWait durable_wait(obs::WaitCause::kWalDurable, lsn);
   gc_target_ = std::max(gc_target_, lsn);
   gc_work_cv_.notify_one();
-  gc_done_cv_.wait(gl, [&] {
-    return durable_lsn() >= lsn || !gc_error_.ok() || stop_flusher_;
-  });
+  // Explicit wait loop rather than a predicate lambda: the predicate reads
+  // gc_mu_-guarded state, and the analysis checks a lambda as a separate
+  // (lock-free) function — the loop keeps the guarded reads in this scope,
+  // where gl visibly holds gc_mu_.
+  while (!(durable_lsn() >= lsn || !gc_error_.ok() || stop_flusher_)) {
+    gc_done_cv_.wait(gl);
+  }
   if (durable_lsn() >= lsn) return Status::OK();
   if (!gc_error_.ok()) return gc_error_;
   return Status::Aborted("wal flusher stopped before commit became durable");
@@ -198,9 +202,11 @@ void WalManager::StartFlusher() {
 void WalManager::FlusherLoop() {
   UniqueLock gl(gc_mu_);
   while (true) {
-    gc_work_cv_.wait(gl, [&] {
-      return stop_flusher_ || gc_target_ > durable_lsn();
-    });
+    // Explicit wait loop (see WaitDurable): keeps the gc_mu_-guarded reads
+    // in a scope where the analysis can see the lock held.
+    while (!(stop_flusher_ || gc_target_ > durable_lsn())) {
+      gc_work_cv_.wait(gl);
+    }
     if (stop_flusher_) break;
     gl.unlock();
     // Linger so commits arriving "while the fsync is in flight" join this
@@ -313,7 +319,13 @@ Result<WalManager::ScanResult> WalManager::ScanLog() {
     res.tail_offset = off;
   }
   res.max_lsn = last_lsn;
-  max_epoch_seen_ = last_epoch;
+  {
+    // Recovery runs single-threaded, but max_epoch_seen_ is writer state
+    // under mu_ (ResumeAt consumes it there); publish it under the lock so
+    // the handoff does not depend on the single-threaded assumption.
+    LockGuard lock(mu_);
+    max_epoch_seen_ = last_epoch;
+  }
   return res;
 }
 

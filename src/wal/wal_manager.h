@@ -196,8 +196,8 @@ class WalManager {
   static TxnContext CurrentTxn();
 
  private:
-  Status WriteTailPageLocked();   // requires mu_
-  Status AdvancePageLocked();     // requires mu_
+  Status WriteTailPageLocked() REQUIRES(mu_);
+  Status AdvancePageLocked() REQUIRES(mu_);
   void FlusherLoop();
 
   storage::DiskManager* disk_;
@@ -205,14 +205,18 @@ class WalManager {
 
   // Writer state.
   mutable RankedMutex<LockRank::kWalBuffer> mu_;
-  std::vector<char> page_buf_;
-  storage::PageId cur_page_ = storage::kInvalidPageId;
-  uint32_t cur_offset_ = 0;
-  bool tail_dirty_ = false;  // bytes appended since last WritePage
-  storage::Lsn next_lsn_ = 1;
-  uint32_t epoch_ = 1;           // see wal_record.h: bumped per recovery
-  uint32_t max_epoch_seen_ = 0;  // set by ScanLog, consumed by ResumeAt
-  std::multiset<storage::Lsn> inflight_lsns_;  // see InflightLsn (under mu_)
+  std::vector<char> page_buf_ GUARDED_BY(mu_);
+  storage::PageId cur_page_ GUARDED_BY(mu_) = storage::kInvalidPageId;
+  uint32_t cur_offset_ GUARDED_BY(mu_) = 0;
+  // Bytes appended since last WritePage.
+  bool tail_dirty_ GUARDED_BY(mu_) = false;
+  storage::Lsn next_lsn_ GUARDED_BY(mu_) = 1;
+  // See wal_record.h: bumped per recovery.
+  uint32_t epoch_ GUARDED_BY(mu_) = 1;
+  // Set by ScanLog, consumed by ResumeAt.
+  uint32_t max_epoch_seen_ GUARDED_BY(mu_) = 0;
+  // See InflightLsn.
+  std::multiset<storage::Lsn> inflight_lsns_ GUARDED_BY(mu_);
 
   std::atomic<storage::Lsn> appended_lsn_{storage::kNullLsn};
   std::atomic<storage::Lsn> durable_lsn_{storage::kNullLsn};
@@ -225,10 +229,12 @@ class WalManager {
   RankedMutex<LockRank::kWalGroupCommit> gc_mu_;
   std::condition_variable_any gc_work_cv_;   // wakes the flusher
   std::condition_variable_any gc_done_cv_;   // wakes committers
-  storage::Lsn gc_target_ = storage::kNullLsn;
-  Status gc_error_;  // sticky media failure, delivered to all waiters
-  bool stop_flusher_ = false;
-  bool flusher_running_ = false;
+  storage::Lsn gc_target_ GUARDED_BY(gc_mu_) = storage::kNullLsn;
+  // Sticky media failure, delivered to all waiters.
+  Status gc_error_ GUARDED_BY(gc_mu_);
+  bool stop_flusher_ GUARDED_BY(gc_mu_) = false;
+  bool flusher_running_ GUARDED_BY(gc_mu_) = false;
+  // Joined outside gc_mu_ (Shutdown); started/cleared under it.
   std::thread flusher_;
 
   // Checkpoint bookkeeping.

@@ -130,6 +130,62 @@ TEST(AdmissionGateTest, DisabledGateAlwaysAdmits) {
 }
 
 // ---------------------------------------------------------------------------
+// TaskMemoryContext telemetry accessors vs concurrent charging
+// ---------------------------------------------------------------------------
+
+// Regression (DESIGN.md §8.4): the thread-safety annotation sweep found
+// bytes_charged()/reclamations()/reclaimed_pages()/spill_decisions()
+// reading mu_-guarded counters with no lock — an exact pattern for a TSan
+// report (and a torn read on platforms without atomic 64-bit loads) when
+// a monitor thread polls a task that operators are concurrently charging.
+// The accessors now lock. This test reproduces that shape; run it under
+// -DHDB_SANITIZE=thread to see the original bug.
+TEST(MemoryGovernorConcurrencyTest, TelemetryAccessorsRaceCharging) {
+  storage::DiskManager disk(storage::kDefaultPageBytes, nullptr, nullptr);
+  storage::BufferPool pool(&disk);
+  exec::MemoryGovernorOptions g;
+  g.multiprogramming_level = 4;
+  exec::MemoryGovernor governor(&pool, g);
+  auto task = governor.BeginTask();
+
+  constexpr int kChargers = 3;
+  constexpr int kRoundsPerCharger = 400;
+  constexpr uint64_t kBytesPerRound = 1024;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kChargers; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRoundsPerCharger; ++i) {
+        if (task->ChargeBytes(kBytesPerRound).ok()) {
+          task->ReleaseBytes(kBytesPerRound);
+        }
+      }
+    });
+  }
+  // The monitor: hammer every telemetry accessor while charging runs.
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t bytes = task->bytes_charged();
+      // Charges are matched by releases of the same size, so any
+      // observed value is a multiple of the round size — a torn read
+      // would not be.
+      EXPECT_EQ(bytes % kBytesPerRound, 0u);
+      (void)task->pages_charged();
+      (void)task->reclamations();
+      (void)task->reclaimed_pages();
+      (void)task->spill_decisions();
+    }
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  // Every charge was released: the task must end balanced.
+  EXPECT_EQ(task->bytes_charged(), 0u);
+  EXPECT_EQ(task->pages_charged(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Buffer pool under concurrent pin/unpin/dirty + Resize
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,185 @@
+// Seed-corpus generator for the wire-codec fuzzer: writes a directory of
+// starting inputs for wire_codec_fuzzer — well-formed frames for every
+// opcode (built with the codec's own encoders, so the corpus can never
+// drift from the format), the known-nasty malformations from
+// tests/net_wire_test.cc (truncation, zero/oversized lengths, trailing
+// bytes, garbage opcodes), and a deterministic seeded-mutation sweep over
+// the valid session stream. scripts/fuzz_smoke.sh runs this into the
+// build tree and hands the directory to the fuzzer (or the replay
+// driver) as its seed dir.
+//
+//   wire_fuzz_seedgen <output-dir>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+namespace {
+
+using hdb::StatusCode;
+using hdb::TypeId;
+using hdb::Value;
+using hdb::net::AppendDoneFrame;
+using hdb::net::AppendErrorFrame;
+using hdb::net::AppendFrame;
+using hdb::net::AppendGoodbyeFrame;
+using hdb::net::AppendOverloadedFrame;
+using hdb::net::kProtocolVersion;
+using hdb::net::Opcode;
+using hdb::net::PutString;
+using hdb::net::PutU16;
+using hdb::net::PutU32;
+using hdb::net::PutValue;
+
+bool WriteSeed(const std::string& dir, const std::string& name,
+               std::string_view bytes) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "wire_fuzz_seedgen: cannot write %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// A full client session: hello, ad-hoc query, prepare/bind/execute with
+// every value type, ping, close. The richest single seed — most of the
+// decoder's branches are on its path.
+std::string ClientSession() {
+  std::string stream;
+  std::string p;
+  PutU32(&p, kProtocolVersion);
+  PutString(&p, "fuzz-seed-client");
+  AppendFrame(&stream, Opcode::kHello, p);
+
+  p.clear();
+  PutString(&p, "SELECT id, name FROM t WHERE id < 10");
+  AppendFrame(&stream, Opcode::kQuery, p);
+
+  p.clear();
+  PutString(&p, "INSERT INTO t VALUES (?, ?, ?, ?, ?, ?, ?)");
+  AppendFrame(&stream, Opcode::kPrepare, p);
+
+  p.clear();
+  PutU32(&p, 1);  // stmt_id
+  PutU16(&p, 7);
+  PutValue(&p, Value::Boolean(true));
+  PutValue(&p, Value::Int(-7));
+  PutValue(&p, Value::Bigint(1LL << 40));
+  PutValue(&p, Value::Double(-0.5));
+  PutValue(&p, Value::String("it's quoted"));
+  PutValue(&p, Value::Date(19000));
+  PutValue(&p, Value::Null(TypeId::kVarchar));
+  AppendFrame(&stream, Opcode::kBind, p);
+
+  p.clear();
+  PutU32(&p, 1);
+  AppendFrame(&stream, Opcode::kExecute, p);
+
+  AppendFrame(&stream, Opcode::kPing, {});
+  AppendFrame(&stream, Opcode::kClose, {});
+  return stream;
+}
+
+// A full server response stream: hello-ok, row header, rows, done, plus
+// the three standalone server frames.
+std::string ServerSession() {
+  std::string stream;
+  std::string p;
+  PutU32(&p, kProtocolVersion);
+  hdb::net::PutU64(&p, 42);  // conn_id
+  PutString(&p, "holisticdb");
+  AppendFrame(&stream, Opcode::kHelloOk, p);
+
+  p.clear();
+  PutU16(&p, 2);
+  PutString(&p, "id");
+  PutString(&p, "name");
+  AppendFrame(&stream, Opcode::kRowHeader, p);
+
+  for (int i = 0; i < 3; ++i) {
+    p.clear();
+    PutU16(&p, 2);
+    PutValue(&p, Value::Int(i));
+    PutValue(&p, Value::String("row"));
+    AppendFrame(&stream, Opcode::kRow, p);
+  }
+  AppendDoneFrame(&stream, 0, 3);
+  AppendErrorFrame(&stream, StatusCode::kInvalidArgument, "seed error");
+  AppendOverloadedFrame(&stream, 250, "past the MPL");
+  AppendGoodbyeFrame(&stream, "draining");
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: wire_fuzz_seedgen <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const std::string client = ClientSession();
+  const std::string server = ServerSession();
+
+  bool ok = WriteSeed(dir, "client_session.bin", client) &&
+            WriteSeed(dir, "server_session.bin", server);
+
+  // The known-nasty framing malformations (mirrors net_wire_test.cc).
+  ok = ok && WriteSeed(dir, "truncated.bin",
+                       std::string_view(client).substr(0, client.size() / 3));
+  std::string zero_len(4, '\0');  // length field of 0: poisons the stream
+  ok = ok && WriteSeed(dir, "zero_length.bin", zero_len);
+  std::string oversized = {'\xff', '\xff', '\xff', '\xff'};  // 4 GiB frame
+  ok = ok && WriteSeed(dir, "oversized_length.bin", oversized);
+  std::string trailing;
+  std::string p;
+  PutU32(&p, 1);
+  p += "junk after the last declared field";
+  AppendFrame(&trailing, Opcode::kExecute, p);
+  ok = ok && WriteSeed(dir, "trailing_bytes.bin", trailing);
+  std::string badop;
+  AppendFrame(&badop, static_cast<Opcode>(0x7f), "\x01\x02\x03");
+  ok = ok && WriteSeed(dir, "unknown_opcode.bin", badop);
+
+  // Seeded mutation sweep (fixed seed: the corpus is reproducible, which
+  // keeps FuzzWire.replay deterministic): byte flips, truncations, and
+  // splices of the valid session streams — the same three mutation
+  // flavors net_wire_test.cc's corpus uses.
+  std::mt19937 rng(0x5eedu);
+  for (int i = 0; i < 24 && ok; ++i) {
+    std::string m = (i % 2 == 0) ? client : server;
+    switch (i % 3) {
+      case 0: {  // flip a handful of bytes
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int f = 0; f < flips; ++f) {
+          m[rng() % m.size()] ^= static_cast<char>(1u << (rng() % 8));
+        }
+        break;
+      }
+      case 1:  // truncate mid-stream
+        m.resize(1 + rng() % (m.size() - 1));
+        break;
+      default: {  // splice a slice of one stream into the other
+        const std::string& other = (i % 2 == 0) ? server : client;
+        const size_t at = rng() % m.size();
+        const size_t from = rng() % other.size();
+        const size_t len = rng() % (other.size() - from);
+        m.insert(at, other, from, len);
+        break;
+      }
+    }
+    ok = WriteSeed(dir, "mutated_" + std::to_string(i) + ".bin", m);
+  }
+
+  if (ok) {
+    std::printf("wire_fuzz_seedgen: corpus written to %s\n", dir.c_str());
+  }
+  return ok ? 0 : 1;
+}

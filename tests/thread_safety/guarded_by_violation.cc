@@ -1,0 +1,30 @@
+// Seeded GUARDED_BY violation: reads a guarded field without holding its
+// mutex. ThreadSafety.negative asserts this file FAILS to compile under
+// -Werror=thread-safety — i.e. the annotations in common/lock_rank.h and
+// common/thread_annotations.h actually reject unlocked accesses rather
+// than expanding to nothing.
+#include "common/lock_rank.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    hdb::LockGuard lock(mu_);
+    balance_ += amount;
+  }
+  // BUG (intentional): unlocked read of a mu_-guarded field.
+  int balance_racy() const { return balance_; }
+
+ private:
+  mutable hdb::RankedMutex<hdb::LockRank::kCatalog> mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance_racy() == 1 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Seeded REQUIRES violation: calls an assumes-lock-held helper without
+// holding the mutex. ThreadSafety.negative asserts this file FAILS to
+// compile under -Werror=thread-safety — the *Locked-helper contract
+// (DESIGN.md §8.4) is machine-checked, not just a naming convention.
+#include "common/lock_rank.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    hdb::LockGuard lock(mu_);
+    DepositLocked(amount);
+  }
+  // BUG (intentional): calls the REQUIRES(mu_) helper with no lock held.
+  void deposit_racy(int amount) { DepositLocked(amount); }
+
+ private:
+  void DepositLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  mutable hdb::RankedMutex<hdb::LockRank::kCatalog> mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  a.deposit_racy(1);
+  return 0;
+}

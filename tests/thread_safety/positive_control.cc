@@ -1,0 +1,34 @@
+// Positive control for ThreadSafety.negative: correctly-locked code that
+// MUST compile cleanly under -Werror=thread-safety. If this file fails,
+// the harness's compiler or flags are broken — and a "failing" seeded
+// violation would prove nothing — so the ctest fails loudly instead of
+// reporting a hollow pass.
+#include "common/lock_rank.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    hdb::LockGuard lock(mu_);
+    DepositLocked(amount);
+  }
+  int balance() const {
+    hdb::LockGuard lock(mu_);
+    return balance_;
+  }
+
+ private:
+  void DepositLocked(int amount) REQUIRES(mu_) { balance_ += amount; }
+
+  mutable hdb::RankedMutex<hdb::LockRank::kCatalog> mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance() == 1 ? 0 : 1;
+}
