@@ -28,6 +28,7 @@ set -eu
 
 baseline=""
 spill_baseline=""
+parallel_baseline=""
 build_type="RelWithDebInfo"
 sanitize=""
 trace_overhead=0
@@ -38,6 +39,8 @@ while [[ "${1:-}" == --* ]]; do
     --compare=*)     baseline="${1#*=}"; shift ;;
     --compare-spill)   spill_baseline="$2"; shift 2 ;;
     --compare-spill=*) spill_baseline="${1#*=}"; shift ;;
+    --compare-parallel)   parallel_baseline="$2"; shift 2 ;;
+    --compare-parallel=*) parallel_baseline="${1#*=}"; shift ;;
     --build-type)    build_type="$2"; shift 2 ;;
     --build-type=*)  build_type="${1#*=}"; shift ;;
     --sanitize)      sanitize="$2"; shift 2 ;;
@@ -172,7 +175,8 @@ fi
 micro="$build/bench/micro_operators"
 sessions="$build/bench/concurrent_sessions"
 spill="$build/bench/spill_scan"
-for bin in "$micro" "$sessions" "$spill"; do
+parallel="$build/bench/parallel_exec"
+for bin in "$micro" "$sessions" "$spill" "$parallel"; do
   if [[ ! -x "$bin" ]]; then
     echo "bench_smoke: missing benchmark binary $bin" >&2
     exit 1
@@ -244,3 +248,57 @@ if [[ -n "$spill_baseline" ]]; then
   python3 "$here/bench_compare.py" "$spill_baseline" "$spill_out" \
           --tolerance 0.15
 fi
+
+# Intra-query parallelism (DESIGN.md §13, EXPERIMENTS C5): parallel_exec
+# sweeps parallel.max_workers over the same join + group-by queries and
+# emits BENCH_parallel.json. Wall-clock speedup is bounded by the host's
+# core count, so the gate checks MECHANISM invariants — identical results
+# at every width, zero pipelines in the serial run, crews and morsels
+# actually dispatched at every parallel width — never times. With
+# --compare-parallel the committed baseline's row counts must also match
+# the fresh run (the workload is seeded, so a drift means an executor
+# change, not a data change).
+parallel_out="$(dirname "$out")/BENCH_parallel_current.json"
+"$parallel" "$parallel_out"
+python3 - "$parallel_out" "${parallel_baseline:-}" <<'EOF'
+import json
+import sys
+
+cur_path, base_path = sys.argv[1], sys.argv[2]
+fail = []
+
+def check(path, doc):
+    for key in ("hash_join", "hash_group_by"):
+        runs = doc.get(key, [])
+        if [r["max_workers"] for r in runs] != [1, 2, 4, 8]:
+            fail.append(f"{path}: {key}: expected widths 1/2/4/8")
+            continue
+        for r in runs:
+            w = r["max_workers"]
+            if not r.get("result_identical"):
+                fail.append(f"{path}: {key}@{w}: results differ from serial")
+            if w == 1 and r["pipelines"] != 0:
+                fail.append(f"{path}: {key}@1: serial run built a pipeline")
+            if w > 1 and (r["pipelines"] < 1 or r["workers_started"] < 2
+                          or r["morsels"] < 1):
+                fail.append(f"{path}: {key}@{w}: no parallel execution "
+                            f"(pipelines={r['pipelines']}, "
+                            f"started={r['workers_started']}, "
+                            f"morsels={r['morsels']})")
+    return {k: [r["rows"] for r in doc.get(k, [])]
+            for k in ("hash_join", "hash_group_by")}
+
+with open(cur_path) as f:
+    cur_rows = check(cur_path, json.load(f))
+if base_path:
+    with open(base_path) as f:
+        base_rows = check(base_path, json.load(f))
+    if base_rows != cur_rows:
+        fail.append(f"row counts drifted: baseline {base_rows} "
+                    f"vs current {cur_rows}")
+if fail:
+    sys.exit("bench_smoke: parallel mechanism check failed:\n  "
+             + "\n  ".join(fail))
+print("bench_smoke: parallel mechanism invariants hold"
+      + (" (baseline row counts match)" if base_path else ""))
+EOF

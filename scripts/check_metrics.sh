@@ -112,18 +112,22 @@ if [[ "$mode" == "--tsan" ]]; then
   # commit's flusher thread + concurrent committers, crash sweeps that
   # tear the Database down while the flusher is live), and the spill
   # scheduler (concurrent starved statements sharing the DecisionLog and
-  # temp-page path), and the network front end (epoll loop + workers +
+  # temp-page path), the network front end (epoll loop + workers +
   # client threads hammering one server, DESIGN.md §12 — the `net` ctest
-  # label).
+  # label), and the intra-query parallel executor (exchange worker crews
+  # sharing one TaskMemoryContext and PacketQueue, DESIGN.md §13 — the
+  # `parallel` ctest label).
   build="$root/build-tsan-obs"
   cmake -B "$build" -S "$root" -DHDB_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
   cmake --build "$build" -j "$(nproc)" \
         --target obs_test profile_test concurrency_test wal_test \
                  recovery_test spill_parity_test trace_test \
+                 parallel_parity_test \
                  net_wire_test net_server_test net_smoke_test || exit 1
   (cd "$build" && ctest --output-on-failure \
       -R 'MetricsRegistry|DecisionLog|SysTables|ExplainAnalyze|GovernorLog|Tracer|Concurren|Wal|CheckpointGovernor|Recovery|CrashSweep|SpillParity|StatementTrace|StatementRegistry|ActiveStatements|SlowStatements|TraceExport') || exit 1
   (cd "$build" && ctest --output-on-failure -L net) || exit 1
-  echo "check_metrics: TSan observability+durability+net run clean"
+  (cd "$build" && ctest --output-on-failure -L parallel) || exit 1
+  echo "check_metrics: TSan observability+durability+net+parallel run clean"
 fi

@@ -35,6 +35,10 @@
 #                   self-skips under every sanitizer (exit 77).
 #   asan            full ctest under AddressSanitizer
 #   ubsan           full ctest under UndefinedBehaviorSanitizer
+#   tsan:net        ctest -L net re-run in the TSan tree, named in the
+#                   summary (the epoll/worker-pool subsystem, §12)
+#   tsan:parallel   ctest -L parallel likewise (exchange worker crews,
+#                   morsel dispenser, shared memory account, §13)
 #
 # --fast keeps only lint + build:werror + tidy (the cheap static stages).
 # Build trees live in <root>/build-matrix-*; they are reused across runs.
@@ -157,6 +161,17 @@ if [[ "$mode" != "--fast" ]]; then
     note_stage "tsan:net" "PASS"
   else
     note_stage "tsan:net" "FAIL"
+  fi
+
+  # The intra-query parallel executor (DESIGN.md §13) is the other
+  # deliberately thread-shaped subsystem: exchange worker crews racing on
+  # the morsel dispenser, packet queues, and one shared TaskMemoryContext.
+  # Same reasoning as tsan:net — name it in the summary.
+  if (cd "$root/build-matrix-thread" &&
+      ctest --output-on-failure -L parallel); then
+    note_stage "tsan:parallel" "PASS"
+  else
+    note_stage "tsan:parallel" "FAIL"
   fi
 fi
 

@@ -45,6 +45,8 @@ const char* LockRankName(LockRank rank) {
       return "ProcStats";
     case LockRank::kParallelDispenser:
       return "ParallelDispenser";
+    case LockRank::kParallelQueue:
+      return "ParallelQueue";
     case LockRank::kParallelMerge:
       return "ParallelMerge";
     case LockRank::kBufferPool:

@@ -48,15 +48,17 @@ enum class LockRank : uint16_t {
   kMplController = 55,      // exec/mpl_controller.h (MPL poll state)
   kLockManager = 60,        // txn/lock_manager.h (row-lock ext. hash table)
   kTxnManager = 65,         // txn/transaction.h (txn table + redo append)
-  kParallelDispenser = 68,  // exec/parallel.h (scan row dispenser; advances
-                            // the heap iterator — which latches the heap per
-                            // step — inside its critical section)
+  kParallelDispenser = 68,  // exec/morsel.h (morsel dispenser; advances the
+                            // heap iterator — which latches the heap per
+                            // morsel — inside its critical section)
   kTableHeap = 70,          // table/table_heap.h latch_ (heap pages/chain)
   kIndex = 75,              // index/btree.h latch_ (tree structure)
   kStatsRegistry = 80,      // stats/stats_registry.h (column stats map)
   kHistogram = 85,          // stats/histogram.h (recursive; dual-lock joins)
   kProcStats = 88,          // stats/proc_stats.h (procedure cost EMAs)
-  kParallelMerge = 95,      // exec/parallel.cc (worker merge)
+  kParallelQueue = 93,      // exec/exchange.cc (worker→coordinator packet
+                            // queue; pushed/popped holding no other lock)
+  kParallelMerge = 95,      // exec/exchange.cc (worker barrier + stats merge)
   kBufferPool = 100,        // storage/buffer_pool.h (frames + page table)
   kWalGroupCommit = 110,    // wal/wal_manager.h gc_mu_ (commit batching)
   kWalFlush = 115,          // wal/wal_manager.h flush_mu_ (flush sections)

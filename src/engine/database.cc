@@ -159,6 +159,8 @@ Status Database::Init() {
       memory_governor_.get(), &clock_, options_.mpl_controller);
   admission_gate_ = std::make_unique<exec::AdmissionGate>(
       memory_governor_.get(), options_.admission_gate);
+  parallel_governor_ = std::make_unique<exec::ParallelismGovernor>(
+      memory_governor_.get(), admission_gate_.get(), options_.parallel);
 
   catalog_ = std::make_unique<catalog::Catalog>();
   lock_manager_ = std::make_unique<txn::LockManager>(pool_.get());
@@ -173,6 +175,7 @@ Status Database::Init() {
   memory_governor_->AttachTelemetry(&metrics_, &decision_log_, &clock_);
   mpl_controller_->AttachTelemetry(&metrics_, &decision_log_);
   admission_gate_->AttachTelemetry(&metrics_);
+  parallel_governor_->AttachTelemetry(&decision_log_, &clock_);
   lock_manager_->AttachTelemetry(&metrics_);
   wal_->AttachTelemetry(&metrics_);
   RegisterEngineTelemetry();
@@ -300,6 +303,13 @@ void Database::RegisterEngineTelemetry() {
   exec_batch_rows_ = metrics_.RegisterCounter(obs::kExecBatchRows);
   exec_batch_arena_bytes_ = metrics_.RegisterCounter(obs::kExecBatchArenaBytes);
   exec_batch_cap_shrinks_ = metrics_.RegisterCounter(obs::kExecBatchCapShrinks);
+  exec_parallel_pipelines_ =
+      metrics_.RegisterCounter(obs::kExecParallelPipelines);
+  exec_parallel_workers_started_ =
+      metrics_.RegisterCounter(obs::kExecParallelWorkersStarted);
+  exec_parallel_workers_revoked_ =
+      metrics_.RegisterCounter(obs::kExecParallelWorkersRevoked);
+  exec_parallel_morsels_ = metrics_.RegisterCounter(obs::kExecParallelMorsels);
 
   // Pull callbacks: the pool and the gate already maintain these under
   // their own latches, so the registry reads them at snapshot time instead
@@ -1016,6 +1026,9 @@ optimizer::OptimizerContext Connection::MakeOptimizerContext() {
       static_cast<double>(db_->memory_governor().PredictedSoftLimitPages());
   ctx.governor = db_->options().optimizer_governor;
   ctx.arena_budget_bytes = db_->options().optimizer_arena_bytes;
+  ctx.parallel_max_workers = db_->options().parallel.max_workers;
+  ctx.parallel_rows_per_worker = db_->options().parallel.rows_per_worker;
+  ctx.parallel_min_table_rows = db_->options().parallel.min_table_rows;
   return ctx;
 }
 
@@ -1239,6 +1252,9 @@ Result<QueryResult> Connection::ExecuteSelect(
   ec.num_quantifiers = q.quantifiers.size();
   ec.params = params;
   ec.batch_cap = db_->options().exec_batch_cap;
+  if (db_->options().parallel.max_workers > 1) {
+    ec.parallel = &db_->parallel_governor();
+  }
 
   HDB_ASSIGN_OR_RETURN(out->rows,
                        exec::ExecuteToRows(plan_to_run.get(), &ec));
@@ -1275,6 +1291,10 @@ Result<QueryResult> Connection::ExecuteSelect(
   db_->exec_batch_rows_->Add(ec.stats.batch_rows);
   db_->exec_batch_arena_bytes_->Add(ec.stats.batch_arena_peak_bytes);
   db_->exec_batch_cap_shrinks_->Add(ec.stats.batch_cap_shrinks);
+  db_->exec_parallel_pipelines_->Add(ec.stats.parallel_pipelines);
+  db_->exec_parallel_workers_started_->Add(ec.stats.parallel_workers_started);
+  db_->exec_parallel_workers_revoked_->Add(ec.stats.parallel_workers_revoked);
+  db_->exec_parallel_morsels_->Add(ec.stats.parallel_morsels);
   // Move, don't copy: the caller re-assigns the returned value into *out,
   // so the result set (possibly large) takes two moves instead of a deep
   // copy per row.
@@ -1311,6 +1331,9 @@ Result<QueryResult> Connection::ExecuteExplainAnalyze(const SelectAst& ast,
   ec.num_quantifiers = q.quantifiers.size();
   ec.actuals = &actuals;
   ec.batch_cap = db_->options().exec_batch_cap;
+  if (db_->options().parallel.max_workers > 1) {
+    ec.parallel = &db_->parallel_governor();
+  }
 
   // The statement runs in full; the result set is discarded and the
   // annotated plan is the output (estimates vs. actuals, §4's cost-model

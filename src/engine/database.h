@@ -77,6 +77,12 @@ struct DatabaseOptions {
   /// row-at-a-time — the batch-parity tests sweep this.
   size_t exec_batch_cap = 0;
 
+  /// Intra-query parallelism (paper §4.4, DESIGN.md §13). The default
+  /// max_workers = 1 keeps every statement on the serial operators; raise
+  /// it to let the optimizer mark exchange-eligible fragments and the
+  /// ParallelismGovernor grant workers per pipeline.
+  exec::ParallelExecOptions parallel;
+
   /// Durable medium (DESIGN.md §7). Null = volatile database (all pre-WAL
   /// behavior: nothing survives the Database object). Non-null = the
   /// database's pages live in this StableStorage, which outlives the
@@ -148,6 +154,7 @@ class Database {
   exec::MemoryGovernor& memory_governor() { return *memory_governor_; }
   exec::MplController& mpl_controller() { return *mpl_controller_; }
   exec::AdmissionGate& admission_gate() { return *admission_gate_; }
+  exec::ParallelismGovernor& parallel_governor() { return *parallel_governor_; }
   os::VirtualClock& clock() { return clock_; }
   os::MemoryEnv& memory_env() { return *memory_env_; }
   stats::StatsRegistry& stats() { return stats_; }
@@ -303,6 +310,7 @@ class Database {
   std::unique_ptr<exec::MemoryGovernor> memory_governor_;
   std::unique_ptr<exec::MplController> mpl_controller_;
   std::unique_ptr<exec::AdmissionGate> admission_gate_;
+  std::unique_ptr<exec::ParallelismGovernor> parallel_governor_;
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<txn::LockManager> lock_manager_;
   std::unique_ptr<txn::TransactionManager> txn_manager_;
@@ -371,6 +379,10 @@ class Database {
   obs::Counter* exec_batch_rows_ = nullptr;
   obs::Counter* exec_batch_arena_bytes_ = nullptr;
   obs::Counter* exec_batch_cap_shrinks_ = nullptr;
+  obs::Counter* exec_parallel_pipelines_ = nullptr;
+  obs::Counter* exec_parallel_workers_started_ = nullptr;
+  obs::Counter* exec_parallel_workers_revoked_ = nullptr;
+  obs::Counter* exec_parallel_morsels_ = nullptr;
 };
 
 /// A client connection: SQL execution, per-connection plan cache,

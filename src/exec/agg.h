@@ -1,0 +1,96 @@
+#ifndef HDB_EXEC_AGG_H_
+#define HDB_EXEC_AGG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "optimizer/query.h"
+
+namespace hdb::exec {
+
+/// Running state of one aggregate over one group. Shared by the serial
+/// hash group by (executor.cc), its spill encode/decode, and the parallel
+/// pre-aggregation workers (exchange.cc) — AggMerge is exactly the
+/// partial-merge both the spill replay and the worker barrier need.
+struct AggState {
+  int64_t count = 0;       // non-null inputs
+  int64_t count_star = 0;  // all rows
+  double sum = 0;
+  bool int_only = true;
+  bool has = false;
+  Value min, max;
+};
+
+inline void AggUpdate(AggState& s, optimizer::AggKind kind, const Value& v) {
+  s.count_star++;
+  if (kind == optimizer::AggKind::kCountStar) return;
+  if (v.is_null()) return;
+  s.count++;
+  if (v.type() == TypeId::kDouble) s.int_only = false;
+  const double d = v.type() == TypeId::kVarchar ? 0 : v.AsDouble();
+  s.sum += d;
+  if (!s.has || v.Compare(s.min) < 0) s.min = v;
+  if (!s.has || v.Compare(s.max) > 0) s.max = v;
+  s.has = true;
+}
+
+inline void AggMerge(AggState& into, const AggState& from) {
+  into.count += from.count;
+  into.count_star += from.count_star;
+  into.sum += from.sum;
+  into.int_only = into.int_only && from.int_only;
+  if (from.has) {
+    if (!into.has || from.min.Compare(into.min) < 0) into.min = from.min;
+    if (!into.has || from.max.Compare(into.max) > 0) into.max = from.max;
+    into.has = true;
+  }
+}
+
+inline Value AggFinalize(const AggState& s, optimizer::AggKind kind) {
+  switch (kind) {
+    case optimizer::AggKind::kCountStar:
+      return Value::Bigint(s.count_star);
+    case optimizer::AggKind::kCount:
+      return Value::Bigint(s.count);
+    case optimizer::AggKind::kSum:
+      if (s.count == 0) return Value::Null(TypeId::kDouble);
+      return s.int_only ? Value::Bigint(static_cast<int64_t>(s.sum))
+                        : Value::Double(s.sum);
+    case optimizer::AggKind::kMin:
+      return s.has ? s.min : Value::Null();
+    case optimizer::AggKind::kMax:
+      return s.has ? s.max : Value::Null();
+    case optimizer::AggKind::kAvg:
+      if (s.count == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(s.sum / static_cast<double>(s.count));
+  }
+  return Value::Null();
+}
+
+/// Spill wire format for a partial AggState: kAggStateArity Values per
+/// aggregate, appended after the group-key values.
+inline constexpr size_t kAggStateArity = 7;
+
+inline std::vector<Value> EncodeAggState(const AggState& s) {
+  return {Value::Bigint(s.count),          Value::Bigint(s.count_star),
+          Value::Double(s.sum),            Value::Boolean(s.int_only),
+          Value::Boolean(s.has),           s.has ? s.min : Value::Null(),
+          s.has ? s.max : Value::Null()};
+}
+
+inline AggState DecodeAggState(const std::vector<Value>& v, size_t at) {
+  AggState s;
+  s.count = v[at].AsInt();
+  s.count_star = v[at + 1].AsInt();
+  s.sum = v[at + 2].AsDouble();
+  s.int_only = v[at + 3].AsBool();
+  s.has = v[at + 4].AsBool();
+  s.min = v[at + 5];
+  s.max = v[at + 6];
+  return s;
+}
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_AGG_H_

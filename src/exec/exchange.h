@@ -1,0 +1,36 @@
+#ifndef HDB_EXEC_EXCHANGE_H_
+#define HDB_EXEC_EXCHANGE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "optimizer/plan.h"
+
+namespace hdb::exec {
+
+/// Builds the exchange (morsel-parallel) operator for a plan node the
+/// optimizer marked parallel-eligible (plan->parallel_workers > 1) and
+/// the ParallelismGovernor granted `workers` > 1 workers (DESIGN.md §13,
+/// paper §4.4). Dispatch by kind:
+///
+///  * kSeqScan / kFilter / kProject — ExchangeScanOp: workers each run a
+///    private copy of the fragment over a shared MorselDispenser and
+///    stream row packets to the coordinator through a bounded queue.
+///  * kHashJoin — ExchangeHashJoinOp: parallel partitioned build over the
+///    inner fragment (per-worker staging, partition-parallel merge), then
+///    parallel probe over the outer fragment.
+///  * kHashGroupBy / kHashDistinct — parallel pre-aggregation: per-worker
+///    partial maps merged at the barrier, serial emission.
+///
+/// The caller (BuildExecutorNode) is responsible for falling back to the
+/// serial operator when the grant is a single worker, so the parallel
+/// machinery adds zero overhead to serial plans. Fragments never spill —
+/// the governor's memory clamp is the admission control — but Eq. (4)
+/// hard-limit kills still fire from any worker via ChargeBytesFromWorker.
+Result<std::unique_ptr<Operator>> MakeExchangeOp(
+    const optimizer::PlanNode* plan, ExecContext* ctx, int workers);
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_EXCHANGE_H_

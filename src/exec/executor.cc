@@ -14,6 +14,8 @@
 #include <string_view>
 
 #include "common/ophash.h"
+#include "exec/agg.h"
+#include "exec/exchange.h"
 #include "exec/spill.h"
 #include "obs/trace.h"
 #include "table/row_codec.h"
@@ -340,7 +342,14 @@ size_t EffectiveBatchCap(ExecContext* ec, size_t row_bytes_hint) {
 Status ChargeArena(ExecContext* ec, uint64_t bytes, uint64_t* charged) {
   if (bytes == 0) return Status::OK();
   if (ec->memory != nullptr) {
-    HDB_RETURN_IF_ERROR(ec->memory->ChargeBytes(bytes));
+    // Exchange workers must never run the coordinator-only spill
+    // scheduler (memory_governor.h concurrency contract); their charges
+    // take the latch-only path and rely on Eq. (4) for the hard stop.
+    if (ec->in_parallel_worker) {
+      HDB_RETURN_IF_ERROR(ec->memory->ChargeBytesFromWorker(bytes));
+    } else {
+      HDB_RETURN_IF_ERROR(ec->memory->ChargeBytes(bytes));
+    }
   }
   *charged += bytes;
   ec->batch_arena_live += bytes;
@@ -536,7 +545,15 @@ class SeqScanOp : public Operator {
     }
     heap_ = ec_->table_heap(plan_->table->oid);
     if (heap_ == nullptr) return Status::Internal("missing table heap");
-    it_ = heap_->Scan();
+    // Exchange-worker fragment: this scan's rows come from the pipeline's
+    // shared morsel dispenser (FCFS over one heap iterator, DESIGN.md
+    // §13) instead of a private iterator. Decoding still happens here,
+    // outside the dispenser's latch.
+    morsel_mode_ = ec_->morsel_source != nullptr &&
+                   plan_->quantifier == ec_->morsel_quantifier;
+    morsel_n_ = 0;
+    morsel_pos_ = 0;
+    if (!morsel_mode_) it_ = heap_->Scan();
     const size_t hint = ApproxRowBytes(*plan_->table);
     cap_ = EffectiveBatchCap(ec_, hint);
     HDB_RETURN_IF_ERROR(ChargeArena(ec_, cap_ * hint, &arena_charged_));
@@ -578,6 +595,36 @@ class SeqScanOp : public Operator {
           ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
       return true;
     }
+    if (morsel_mode_) {
+      if (morsel_pos_ >= morsel_n_) {
+        // The revocation boundary (DESIGN.md §13): only between morsels,
+        // never mid-morsel — rows already dispensed to this worker must
+        // be fully consumed before it may stand down.
+        if (ec_->morsel_revoked && ec_->morsel_revoked()) return false;
+        HDB_ASSIGN_OR_RETURN(morsel_n_, ec_->morsel_source->Next(
+                                            &morsel_bytes_, &morsel_rids_));
+        morsel_pos_ = 0;
+        if (morsel_n_ == 0) return false;
+      }
+      // A morsel can exceed the (governor-shrunk) batch cap; carry the
+      // remainder over to the next pull instead of over-filling.
+      const size_t n = std::min(cap, morsel_n_ - morsel_pos_);
+      if (rows_pool_.size() < n) rows_pool_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const std::string& bytes = morsel_bytes_[morsel_pos_ + i];
+        HDB_RETURN_IF_ERROR(
+            decoder_.DecodeInto(bytes.data(), bytes.size(), &rows_pool_[i]));
+      }
+      morsel_pos_ += n;
+      ec_->stats.rows_scanned += n;
+      BumpBatchStats(ec_, n);
+      const table::Row** col = b->BindSlot(plan_->quantifier);
+      for (size_t i = 0; i < n; ++i) col[i] = &rows_pool_[i];
+      b->SetSize(n);
+      HDB_RETURN_IF_ERROR(
+          ApplyPredsToBatch(ec_, plan_->table->oid, preds_, b, &scratch_));
+      return true;
+    }
     HDB_ASSIGN_OR_RETURN(
         const size_t n, it_->NextRows(cap, &rows_pool_, &rids_pool_,
                                       &decoder_));
@@ -597,6 +644,29 @@ class SeqScanOp : public Operator {
       while (virtual_pos_ < virtual_rows_.size()) {
         ec_->stats.rows_scanned++;
         row_ = virtual_rows_[virtual_pos_++];
+        ctx->rows[plan_->quantifier] = &row_;
+        HDB_ASSIGN_OR_RETURN(
+            const bool pass,
+            EvalResidual(ec_, plan_->table->oid, preds_, *ctx));
+        if (pass) return true;
+      }
+      ctx->rows[plan_->quantifier] = nullptr;
+      return false;
+    }
+    if (morsel_mode_) {
+      for (;;) {
+        if (morsel_pos_ >= morsel_n_) {
+          // Morsel-boundary revocation; see the NextBatch twin above.
+          if (ec_->morsel_revoked && ec_->morsel_revoked()) break;
+          HDB_ASSIGN_OR_RETURN(morsel_n_, ec_->morsel_source->Next(
+                                              &morsel_bytes_, &morsel_rids_));
+          morsel_pos_ = 0;
+          if (morsel_n_ == 0) break;
+        }
+        const std::string& bytes = morsel_bytes_[morsel_pos_++];
+        ec_->stats.rows_scanned++;
+        HDB_RETURN_IF_ERROR(
+            decoder_.DecodeInto(bytes.data(), bytes.size(), &row_));
         ctx->rows[plan_->quantifier] = &row_;
         HDB_ASSIGN_OR_RETURN(
             const bool pass,
@@ -641,6 +711,13 @@ class SeqScanOp : public Operator {
   uint64_t arena_charged_ = 0;
   std::vector<table::Row> rows_pool_;
   std::vector<Rid> rids_pool_;
+  // Morsel mode (exchange-worker fragments): encoded rows pulled from the
+  // shared dispenser, consumed across batch pulls at morsel_pos_.
+  bool morsel_mode_ = false;
+  std::vector<std::string> morsel_bytes_;
+  std::vector<Rid> morsel_rids_;
+  size_t morsel_n_ = 0;
+  size_t morsel_pos_ = 0;
   std::vector<uint8_t> mask_storage_;  // padded to the table's arity
   table::RowDecoder decoder_;          // compiled (schema, mask) decode
   RowContext scratch_;
@@ -2092,80 +2169,8 @@ class HashJoinOp : public Operator, public MemoryConsumer {
 // Hash group by with the low-memory fallback (paper §4.3)
 // ---------------------------------------------------------------------------
 
-struct AggState {
-  int64_t count = 0;       // non-null inputs
-  int64_t count_star = 0;  // all rows
-  double sum = 0;
-  bool int_only = true;
-  bool has = false;
-  Value min, max;
-};
-
-void AggUpdate(AggState& s, optimizer::AggKind kind, const Value& v) {
-  s.count_star++;
-  if (kind == optimizer::AggKind::kCountStar) return;
-  if (v.is_null()) return;
-  s.count++;
-  if (v.type() == TypeId::kDouble) s.int_only = false;
-  const double d = v.type() == TypeId::kVarchar ? 0 : v.AsDouble();
-  s.sum += d;
-  if (!s.has || v.Compare(s.min) < 0) s.min = v;
-  if (!s.has || v.Compare(s.max) > 0) s.max = v;
-  s.has = true;
-}
-
-void AggMerge(AggState& into, const AggState& from) {
-  into.count += from.count;
-  into.count_star += from.count_star;
-  into.sum += from.sum;
-  into.int_only = into.int_only && from.int_only;
-  if (from.has) {
-    if (!into.has || from.min.Compare(into.min) < 0) into.min = from.min;
-    if (!into.has || from.max.Compare(into.max) > 0) into.max = from.max;
-    into.has = true;
-  }
-}
-
-Value AggFinalize(const AggState& s, optimizer::AggKind kind) {
-  switch (kind) {
-    case optimizer::AggKind::kCountStar:
-      return Value::Bigint(s.count_star);
-    case optimizer::AggKind::kCount:
-      return Value::Bigint(s.count);
-    case optimizer::AggKind::kSum:
-      if (s.count == 0) return Value::Null(TypeId::kDouble);
-      return s.int_only ? Value::Bigint(static_cast<int64_t>(s.sum))
-                        : Value::Double(s.sum);
-    case optimizer::AggKind::kMin:
-      return s.has ? s.min : Value::Null();
-    case optimizer::AggKind::kMax:
-      return s.has ? s.max : Value::Null();
-    case optimizer::AggKind::kAvg:
-      if (s.count == 0) return Value::Null(TypeId::kDouble);
-      return Value::Double(s.sum / static_cast<double>(s.count));
-  }
-  return Value::Null();
-}
-
-std::vector<Value> EncodeAggState(const AggState& s) {
-  return {Value::Bigint(s.count),          Value::Bigint(s.count_star),
-          Value::Double(s.sum),            Value::Boolean(s.int_only),
-          Value::Boolean(s.has),           s.has ? s.min : Value::Null(),
-          s.has ? s.max : Value::Null()};
-}
-
-AggState DecodeAggState(const std::vector<Value>& v, size_t at) {
-  AggState s;
-  s.count = v[at].AsInt();
-  s.count_star = v[at + 1].AsInt();
-  s.sum = v[at + 2].AsDouble();
-  s.int_only = v[at + 3].AsBool();
-  s.has = v[at + 4].AsBool();
-  s.min = v[at + 5];
-  s.max = v[at + 6];
-  return s;
-}
-constexpr size_t kAggStateArity = 7;
+// AggState and its update/merge/finalize/encode helpers live in
+// exec/agg.h, shared with the parallel pre-aggregation in exchange.cc.
 
 class HashGroupByOp : public Operator, public MemoryConsumer {
  public:
@@ -2885,6 +2890,28 @@ namespace {
 // when EXPLAIN ANALYZE instrumentation is on.
 Result<std::unique_ptr<Operator>> BuildExecutorNode(const PlanNode* plan,
                                                     ExecContext* ctx) {
+  // Intra-query parallelism (paper §4.4, DESIGN.md §13): for nodes the
+  // optimizer marked parallel-eligible, ask the governor for a worker
+  // grant at pipeline start. grant == 1 (the default under load, and
+  // always when parallel.max_workers is 1) falls through to the serial
+  // operators below — the parallel machinery costs serial plans nothing.
+  // Worker fragments never recurse here (in_parallel_worker), and an
+  // exchange already consuming a dispenser never nests another.
+  if (ctx->parallel != nullptr && plan->parallel_workers > 1 &&
+      ctx->morsel_source == nullptr && !ctx->in_parallel_worker) {
+    // Per-worker predicted share: the optimizer's quota is for the whole
+    // operator; join build partitions are disjoint across the crew and
+    // pre-aggregation maps split the same way, so the crew collectively
+    // holds roughly the serial plan's memory.
+    const uint32_t share =
+        plan->memory_quota_pages == 0
+            ? 0
+            : std::max<uint32_t>(
+                  1, plan->memory_quota_pages /
+                         static_cast<uint32_t>(plan->parallel_workers));
+    const int grant = ctx->parallel->PickWorkers(plan->parallel_workers, share);
+    if (grant > 1) return MakeExchangeOp(plan, ctx, grant);
+  }
   switch (plan->kind) {
     case PlanKind::kSeqScan:
       return std::unique_ptr<Operator>(new SeqScanOp(plan, ctx));

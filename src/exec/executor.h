@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "exec/memory_governor.h"
+#include "exec/morsel.h"
+#include "exec/parallel_governor.h"
 #include "exec/row_batch.h"
 #include "index/btree.h"
 #include "optimizer/expr.h"
@@ -42,6 +44,14 @@ struct RuntimeStats {
   uint64_t spill_bytes_read = 0;
   uint64_t spill_repartitions = 0;
   uint64_t spill_decisions = 0;
+  /// Intra-query parallelism counters (exec.parallel.* metrics, paper
+  /// §4.4): pipelines that ran with more than one worker, workers
+  /// launched, workers revoked at a morsel boundary by the
+  /// ParallelismGovernor, and morsels dispensed to exchange workers.
+  uint64_t parallel_pipelines = 0;
+  uint64_t parallel_workers_started = 0;
+  uint64_t parallel_workers_revoked = 0;
+  uint64_t parallel_morsels = 0;
 };
 
 /// Everything an executor needs from the engine.
@@ -78,6 +88,27 @@ struct ExecContext {
   /// scan_masks[quantifier] (when present and sized to its table) down to
   /// DecodeRowInto so unreferenced columns are skipped, not copied.
   std::vector<std::vector<uint8_t>> scan_masks;
+  /// Intra-query parallelism (paper §4.4, DESIGN.md §13). Non-null when
+  /// the engine permits parallel pipelines; BuildExecutor consults it for
+  /// plan nodes the optimizer marked parallel-eligible and falls back to
+  /// the serial operators when the governor grants a single worker.
+  ParallelismGovernor* parallel = nullptr;
+  /// Worker-fragment fields, set only in the private ExecContext an
+  /// exchange operator hands each worker: the shared morsel dispenser
+  /// that replaces the scan's own heap iterator (for quantifier
+  /// `morsel_quantifier`), and the flag that reroutes arena charges
+  /// through TaskMemoryContext::ChargeBytesFromWorker (see the
+  /// concurrency contract in memory_governor.h).
+  MorselDispenser* morsel_source = nullptr;
+  int morsel_quantifier = -1;
+  bool in_parallel_worker = false;
+  /// Revocation probe, polled by the morsel-consuming scan immediately
+  /// before pulling a NEW morsel from `morsel_source` — never mid-morsel,
+  /// so a revoked worker can't drop rows the dispenser already handed it.
+  /// Returning true makes the scan report end-of-input; the worker then
+  /// winds down through its normal drain path (flush packets, merge
+  /// partial aggregation state). Null = never revoked.
+  std::function<bool()> morsel_revoked;
   RuntimeStats stats;
 };
 

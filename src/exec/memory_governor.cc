@@ -209,6 +209,37 @@ Status TaskMemoryContext::ChargeBytes(uint64_t bytes) {
   return Status::OK();
 }
 
+Status TaskMemoryContext::ChargeBytesFromWorker(uint64_t bytes) {
+  LockGuard lock(mu_);
+  const uint64_t page_bytes = governor_->pool()->page_bytes();
+  bytes_ += bytes;
+  const uint64_t pages = (bytes_ + page_bytes - 1) / page_bytes;
+  if (pages > governor_->HardLimitPages()) {
+    bytes_ -= std::min(bytes_, bytes);
+    if (governor_->kills_counter_ != nullptr) {
+      governor_->kills_counter_->Add();
+    }
+    if (governor_->decisions_ != nullptr) {
+      const int64_t now = governor_->telemetry_clock_ != nullptr
+                              ? governor_->telemetry_clock_->NowMicros()
+                              : 0;
+      governor_->decisions_->Record(
+          now, "memory", "kill", "hard_limit_exceeded_parallel_worker",
+          static_cast<double>(pages),
+          static_cast<double>(governor_->HardLimitPages()));
+    }
+    return Status::ResourceExhausted(
+        "statement exceeded its hard memory limit (Eq. 4)");
+  }
+  return Status::OK();
+}
+
+bool TaskMemoryContext::over_soft_limit() const {
+  LockGuard lock(mu_);
+  const uint64_t page_bytes = governor_->pool()->page_bytes();
+  return (bytes_ + page_bytes - 1) / page_bytes > governor_->SoftLimitPages();
+}
+
 void TaskMemoryContext::ReleaseBytes(uint64_t bytes) {
   LockGuard lock(mu_);
   bytes_ = bytes_ > bytes ? bytes_ - bytes : 0;

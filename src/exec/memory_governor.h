@@ -142,6 +142,27 @@ class MemoryGovernor {
 /// scheduler: one broker owning every spill decision for the query
 /// (DESIGN.md §10). Operators never spill on their own initiative; they
 /// charge bytes here and the scheduler picks victims plan-wide.
+///
+/// Concurrency contract (DESIGN.md §13): one statement's exchange workers
+/// all share this one context. Every accounting path — ChargeBytes,
+/// ChargeBytesFromWorker, ReleaseBytes, Register/UnregisterConsumer, and
+/// the spill scheduler itself — is linearized under the single task
+/// latch, so a worker charging while the scheduler picks a victim simply
+/// waits its turn; the scheduler's own victim accounting (it subtracts
+/// released bytes itself, which is why SpillSome must not call
+/// ChargeBytes/ReleaseBytes) can therefore never interleave with a
+/// concurrent charge or release. Fairness is the latch's: chargers are
+/// admitted in acquisition order and each pass charges exactly the bytes
+/// it asked for — no charger can consume another's release.
+///
+/// SpillSome victims are only ever invoked from ChargeBytes, the
+/// coordinating thread's entry point. Worker threads must charge via
+/// ChargeBytesFromWorker, which never runs the spill scheduler: victims
+/// mutate operator state owned by the coordinating thread, which may be
+/// mid-Next() in that very operator while the worker charges. Worker-side
+/// soft-limit pressure instead surfaces through over_soft_limit(), which
+/// the ParallelismGovernor polls at morsel boundaries to revoke workers;
+/// the hard limit, Eq. (4), still kills the statement from any thread.
 class TaskMemoryContext {
  public:
   explicit TaskMemoryContext(MemoryGovernor* governor);
@@ -158,6 +179,17 @@ class TaskMemoryContext {
   /// Eq. (4)).
   [[nodiscard]] Status ChargeBytes(uint64_t bytes);
   void ReleaseBytes(uint64_t bytes);
+
+  /// ChargeBytes for exchange worker threads (see the concurrency
+  /// contract above): accounts against the same statement total and
+  /// enforces the Eq. (4) hard limit, but never invokes the spill
+  /// scheduler — soft-limit pressure is left for the ParallelismGovernor
+  /// to resolve by revoking workers at the next morsel boundary.
+  [[nodiscard]] Status ChargeBytesFromWorker(uint64_t bytes);
+
+  /// True when the statement's charged pages exceed Eq. (5). The
+  /// ParallelismGovernor's morsel-boundary revocation signal.
+  bool over_soft_limit() const;
 
   void RegisterConsumer(MemoryConsumer* c);
   void UnregisterConsumer(MemoryConsumer* c);

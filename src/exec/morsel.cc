@@ -1,0 +1,31 @@
+#include "exec/morsel.h"
+
+namespace hdb::exec {
+
+MorselDispenser::MorselDispenser(table::TableHeap* heap, size_t morsel_rows)
+    : morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows),
+      it_(heap->Scan()) {}
+
+Result<size_t> MorselDispenser::Next(std::vector<std::string>* bytes,
+                                     std::vector<Rid>* rids) {
+  // NextBytes resizes the buffers up and reuses their string capacity, so
+  // callers recycle the same pair across pulls; entries past the returned
+  // count are stale.
+  LockGuard lock(mu_);
+  if (done_) return 0;
+  HDB_ASSIGN_OR_RETURN(const size_t n, it_.NextBytes(morsel_rows_, bytes, rids));
+  if (n == 0) {
+    done_ = true;
+    return 0;
+  }
+  first_pages_.push_back((*rids)[0].page_id);
+  morsels_.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+std::vector<uint32_t> MorselDispenser::DispatchedPages() const {
+  LockGuard lock(mu_);
+  return first_pages_;
+}
+
+}  // namespace hdb::exec

@@ -1,0 +1,60 @@
+#ifndef HDB_EXEC_MORSEL_H_
+#define HDB_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/result.h"
+#include "table/table_heap.h"
+
+namespace hdb::exec {
+
+/// Rows handed out per dispenser call. Matches the executor's default
+/// batch capacity: one morsel fills one worker RowBatch.
+inline constexpr size_t kDefaultMorselRows = 1024;
+
+/// FCFS morsel dispenser over a single heap scan — "the single scan
+/// feeding the pipeline" of paper §4.4. Exchange workers pull morsels
+/// first-come-first-served; the critical section is deliberately short
+/// (copy up to `morsel_rows` encoded rows off consecutive heap pages) and
+/// the iterator only ever moves forward, so concurrent workers receive
+/// disjoint page ranges *in scan order* and parallelism never turns the
+/// heap's sequential I/O pattern into random I/O. Decoding happens on the
+/// worker, outside the latch.
+///
+/// Thread safety: fully thread-safe; this class exists to be shared.
+class MorselDispenser {
+ public:
+  /// The iterator must come from `heap->Scan()`; the heap must outlive
+  /// the dispenser. `morsel_rows` == 0 falls back to kDefaultMorselRows.
+  MorselDispenser(table::TableHeap* heap, size_t morsel_rows);
+
+  /// Fills `bytes`/`rids` with the next morsel in scan order, resizing
+  /// the buffers up as needed (entries past the returned count are
+  /// stale — reuse the same pair across pulls to recycle string
+  /// capacity). Returns the row count; 0 = end of table (sticky).
+  Result<size_t> Next(std::vector<std::string>* bytes, std::vector<Rid>* rids);
+
+  size_t morsel_rows() const { return morsel_rows_; }
+  uint64_t morsels() const { return morsels_.load(std::memory_order_relaxed); }
+
+  /// Heap page of the first row of every dispensed morsel, in dispatch
+  /// order. Test introspection for the sequential-I/O property: the
+  /// sequence must be non-decreasing no matter how many workers pull.
+  std::vector<uint32_t> DispatchedPages() const;
+
+ private:
+  const size_t morsel_rows_;
+  mutable RankedMutex<LockRank::kParallelDispenser> mu_;
+  table::TableHeap::Iterator it_ GUARDED_BY(mu_);
+  bool done_ GUARDED_BY(mu_) = false;
+  std::vector<uint32_t> first_pages_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> morsels_{0};
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_MORSEL_H_

@@ -1,0 +1,86 @@
+#include "exec/parallel_governor.h"
+
+#include <algorithm>
+
+namespace hdb::exec {
+
+ParallelismGovernor::ParallelismGovernor(MemoryGovernor* memory,
+                                         AdmissionGate* gate,
+                                         ParallelExecOptions options)
+    : memory_(memory), gate_(gate), options_(options) {}
+
+int ParallelismGovernor::MplAllowance(int upper) const {
+  if (gate_ == nullptr) return upper;
+  const AdmissionGateStats s = gate_->stats();
+  // Queued statements are entitled to the slots extra workers would
+  // consume: grant nothing beyond the statement's own slot.
+  if (s.waiting > 0) return 1;
+  const int64_t idle = static_cast<int64_t>(memory_->multiprogramming_level()) -
+                       static_cast<int64_t>(s.active);
+  return static_cast<int>(
+      std::min<int64_t>(upper, 1 + std::max<int64_t>(0, idle)));
+}
+
+int ParallelismGovernor::PickWorkers(int requested,
+                                     uint32_t per_worker_quota_pages) const {
+  int w = std::clamp(requested, 1, std::max(1, options_.max_workers));
+  if (w <= 1) return 1;
+  w = MplAllowance(w);
+  if (w > 1 && per_worker_quota_pages > 0) {
+    // Parallel operators run no-spill, so w worker shares must fit the
+    // statement's Eq. (5) budget up front.
+    const uint64_t shares = std::max<uint64_t>(
+        1, memory_->SoftLimitPages() / per_worker_quota_pages);
+    w = static_cast<int>(std::min<uint64_t>(w, shares));
+  }
+  return std::max(1, w);
+}
+
+std::shared_ptr<ParallelismGovernor::Pipeline>
+ParallelismGovernor::StartPipeline(int workers) {
+  RecordDecision("grant", "pipeline_start",
+                 static_cast<double>(options_.max_workers),
+                 static_cast<double>(workers));
+  return std::make_shared<Pipeline>(workers);
+}
+
+int ParallelismGovernor::Reassess(Pipeline* pipeline,
+                                  const TaskMemoryContext* task) {
+  int target = pipeline->target.load(std::memory_order_relaxed);
+  if (target <= 1) return std::max(1, target);
+  int want = MplAllowance(target);
+  const char* reason = "mpl_pressure";
+  if (want > 1 && task != nullptr && task->over_soft_limit()) {
+    // Parallel operators cannot spill; shedding workers is how the
+    // statement hands memory back (each worker's partial state and
+    // arena die with it).
+    want = 1;
+    reason = "memory_pressure";
+  }
+  if (want < target) {
+    // Several workers may reassess at once; a min-CAS keeps the target
+    // monotonically non-increasing.
+    while (target > want && !pipeline->target.compare_exchange_weak(
+                                target, want, std::memory_order_relaxed)) {
+    }
+    RecordDecision("revoke", reason, static_cast<double>(pipeline->started),
+                   static_cast<double>(want));
+  }
+  return std::max(1, pipeline->target.load(std::memory_order_relaxed));
+}
+
+void ParallelismGovernor::AttachTelemetry(obs::DecisionLog* decisions,
+                                          os::VirtualClock* clock) {
+  decisions_ = decisions;
+  clock_ = clock;
+}
+
+void ParallelismGovernor::RecordDecision(const char* action,
+                                         const char* reason, double input,
+                                         double output) const {
+  if (decisions_ == nullptr) return;
+  const int64_t now = clock_ != nullptr ? clock_->NowMicros() : 0;
+  decisions_->Record(now, "parallel", action, reason, input, output);
+}
+
+}  // namespace hdb::exec

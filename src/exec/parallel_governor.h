@@ -1,0 +1,104 @@
+#ifndef HDB_EXEC_PARALLEL_GOVERNOR_H_
+#define HDB_EXEC_PARALLEL_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "exec/admission_gate.h"
+#include "exec/memory_governor.h"
+#include "exec/morsel.h"
+#include "obs/decision_log.h"
+#include "os/virtual_clock.h"
+
+namespace hdb::exec {
+
+/// Intra-query parallelism knobs (paper §4.4, DESIGN.md §13).
+struct ParallelExecOptions {
+  /// Hard cap on workers per parallel pipeline. 1 (the default) keeps
+  /// every plan serial — the exchange operators are never even built.
+  int max_workers = 1;
+  /// Rows per dispensed morsel; 0 = kDefaultMorselRows. The revocation
+  /// granularity: workers re-check their grant between morsels.
+  size_t morsel_rows = 0;
+  /// Worker-count seed: the optimizer asks for one worker per this many
+  /// estimated fragment input rows (capped by max_workers).
+  double rows_per_worker = 8192;
+  /// Fragments whose scan estimates fewer rows than this stay serial —
+  /// thread startup would cost more than the scan.
+  double min_table_rows = 2048;
+};
+
+/// Decides how many workers each parallel pipeline gets (paper §4.4,
+/// EXPERIMENTS C5). Two decision points:
+///
+///  * PickWorkers — at pipeline start: the optimizer's seeded worker
+///    count is clamped by the admission gate's idle MPL slots (workers
+///    beyond the first consume the very capacity Eq. (5) budgets per
+///    statement, so a gate with queued statements grants no parallelism
+///    at all) and by memory headroom (every worker's predicted share
+///    must fit the statement's soft limit).
+///
+///  * Reassess — at every morsel boundary, called by the workers
+///    themselves: re-applies the same MPL rule against live gate stats
+///    and additionally sheds workers when the statement is over its soft
+///    limit (parallel operators never spill; giving memory back means
+///    giving back concurrency). The pipeline target only ever decreases
+///    — the paper's "number of threads can easily be changed during
+///    execution", restricted to revocation so no worker ever joins a
+///    half-built pipeline.
+///
+/// Thread safety: fully thread-safe; Reassess is called from worker
+/// threads while PickWorkers serves the coordinating thread.
+class ParallelismGovernor {
+ public:
+  /// One running parallel pipeline. `target` starts at the granted count
+  /// and only ever decreases; worker `w` exits at the next morsel
+  /// boundary once `w >= target` (worker 0 always runs to completion).
+  struct Pipeline {
+    explicit Pipeline(int started) : started(started), target(started) {}
+    const int started;
+    std::atomic<int> target;
+  };
+
+  ParallelismGovernor(MemoryGovernor* memory, AdmissionGate* gate,
+                      ParallelExecOptions options = {});
+
+  /// Start-of-pipeline grant: `requested` workers (the optimizer's seed)
+  /// clamped by max_workers, the gate's idle MPL slots, and — when
+  /// `per_worker_quota_pages` is non-zero — the number of worker shares
+  /// that fit the statement soft limit. Always >= 1.
+  int PickWorkers(int requested, uint32_t per_worker_quota_pages) const;
+
+  /// Registers a pipeline running `workers` workers (records the grant).
+  std::shared_ptr<Pipeline> StartPipeline(int workers);
+
+  /// Morsel-boundary re-check; lowers `pipeline->target` under MPL or
+  /// memory pressure (`task` may be null) and returns the current target.
+  int Reassess(Pipeline* pipeline, const TaskMemoryContext* task);
+
+  const ParallelExecOptions& options() const { return options_; }
+
+  /// Decision telemetry (DESIGN.md §6): one Decision per grant and per
+  /// revocation. `clock` stamps them; null stamps 0.
+  void AttachTelemetry(obs::DecisionLog* decisions, os::VirtualClock* clock);
+
+ private:
+  /// Workers admissible under the gate right now, at most `upper`.
+  int MplAllowance(int upper) const;
+  void RecordDecision(const char* action, const char* reason, double input,
+                      double output) const;
+
+  MemoryGovernor* memory_;
+  AdmissionGate* gate_;
+  ParallelExecOptions options_;
+
+  // Set once by AttachTelemetry before query traffic, read lock-free
+  // afterwards (DESIGN.md §8.4 set-once contract).
+  obs::DecisionLog* decisions_ = nullptr;
+  os::VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace hdb::exec
+
+#endif  // HDB_EXEC_PARALLEL_GOVERNOR_H_

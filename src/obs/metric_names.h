@@ -87,6 +87,14 @@ inline constexpr char kExecBatchRows[] = "exec.batch.rows";
 inline constexpr char kExecBatchArenaBytes[] = "exec.batch.arena_bytes";
 inline constexpr char kExecBatchCapShrinks[] = "exec.batch.cap_shrinks";
 
+// exec/ — intra-query parallelism (paper §4.4, DESIGN.md §13).
+inline constexpr char kExecParallelPipelines[] = "exec.parallel.pipelines";
+inline constexpr char kExecParallelWorkersStarted[] =
+    "exec.parallel.workers_started";
+inline constexpr char kExecParallelWorkersRevoked[] =
+    "exec.parallel.workers_revoked";
+inline constexpr char kExecParallelMorsels[] = "exec.parallel.morsels";
+
 // profile/ — request tracer sink backpressure.
 inline constexpr char kTraceEvents[] = "trace.events";
 inline constexpr char kTraceDroppedSinkWrites[] = "trace.dropped_sink_writes";

@@ -31,6 +31,10 @@ inline constexpr char kSpanOpHashDistinct[] = "op.hash_distinct";
 // the memory governor forced a spill).
 inline constexpr char kSpanSpill[] = "op.spill";
 
+// One detached span per exchange worker thread (child of the span open
+// when the pipeline started; siblings overlap in time, DESIGN.md §13).
+inline constexpr char kSpanOpParallelWorker[] = "op.parallel_worker";
+
 // Wait causes (obs::WaitCause), in enum order.
 inline constexpr char kWaitAdmission[] = "wait.admission";
 inline constexpr char kWaitLock[] = "wait.lock";

@@ -73,6 +73,30 @@ uint32_t StatementTrace::OpenSpan(const char* name, std::string detail) {
 #endif
 }
 
+uint32_t StatementTrace::OpenDetachedSpan(const char* name,
+                                          std::string detail) {
+#ifndef HDB_NO_TELEMETRY
+  const uint64_t now = TraceNowMicros();
+  LockGuard lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  SpanRecord s;
+  s.id = static_cast<uint32_t>(spans_.size()) + 1;
+  s.parent = open_stack_.empty() ? 0 : open_stack_.back();
+  s.name = name;
+  s.detail = std::move(detail);
+  s.start_micros = now;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+#else
+  (void)name;
+  (void)detail;
+  return 0;
+#endif
+}
+
 void StatementTrace::CloseSpan(uint32_t id) {
 #ifndef HDB_NO_TELEMETRY
   if (id == 0) return;

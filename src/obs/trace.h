@@ -27,16 +27,21 @@ class MetricsRegistry;
 /// thread-local pointer (CurrentStatementTrace), so a lock conflict deep
 /// inside txn/ or a group-commit wait inside wal/ attributes itself to the
 /// right statement without plumbing a context argument through every
-/// layer. Parallel scan workers have no thread-local trace and record
-/// nothing — the coordinating thread's spans still bracket them.
+/// layer. Exchange worker threads (DESIGN.md §13) install the owning
+/// statement's trace with ScopedCurrentTrace for the duration of their
+/// fragment, so waits incurred inside morsels (pool misses, lock
+/// conflicts, WAL) land in the same per-statement tallies; each worker
+/// brackets itself with a detached span (OpenDetachedSpan) rather than a
+/// stack span, because sibling workers overlap in time.
 ///
-/// Thread-safety: the owning connection thread mutates the trace; the
-/// cumulative wait/byte tallies are relaxed atomics (safe to bump while
-/// holding any subsystem latch), and the span tree + wait-event ring are
-/// guarded by a kStatementTrace mutex — the highest rank in the
-/// hierarchy, so recording under e.g. the lock-manager or task-memory
-/// latch is always hierarchy-legal. Readers (sys.active_statements,
-/// TraceExportJson) snapshot under the same mutex.
+/// Thread-safety: the owning connection thread mutates the span stack;
+/// the cumulative wait/byte tallies are relaxed atomics (safe to bump
+/// from any thread while holding any subsystem latch), and the span tree
+/// + wait-event ring are guarded by a kStatementTrace mutex — the highest
+/// rank in the hierarchy, so recording under e.g. the lock-manager or
+/// task-memory latch is always hierarchy-legal, from workers too. Readers
+/// (sys.active_statements, TraceExportJson) snapshot under the same
+/// mutex.
 ///
 /// Under -DHDB_TELEMETRY=OFF every mutation below compiles to a no-op,
 /// matching the Counter/Gauge contract in obs/metrics.h.
@@ -100,6 +105,13 @@ class StatementTrace {
   /// dropped — CloseSpan(0) is a no-op).
   uint32_t OpenSpan(const char* name, std::string detail = {});
   void CloseSpan(uint32_t id);
+  /// Opens a child of the innermost open span WITHOUT pushing it on the
+  /// open-span stack — for exchange worker threads, whose spans are
+  /// overlapping siblings closed from their own threads. CloseSpan on a
+  /// detached id just stamps its end time (the not-on-stack path), so
+  /// the coordinating thread's stack discipline is never perturbed.
+  /// Safe to call from any thread.
+  uint32_t OpenDetachedSpan(const char* name, std::string detail = {});
   /// Records a discrete wait event AND adds it to the cumulative tally.
   void RecordWait(WaitCause cause, uint64_t resource,
                   uint64_t duration_micros);

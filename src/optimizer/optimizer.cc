@@ -375,7 +375,9 @@ Result<PlanPtr> Optimizer::Optimize(const Query& q, bool allow_bypass,
                                     OptimizeDiagnostics* diag) {
   if (allow_bypass && QualifiesForBypass(q)) {
     if (diag != nullptr) diag->bypassed = true;
-    return BuildBypassPlan(q);
+    HDB_ASSIGN_OR_RETURN(PlanPtr plan, BuildBypassPlan(q));
+    MarkParallelFragments(plan.get());
+    return plan;
   }
   EnumeratorOptions opts;
   opts.governor = ctx_.governor;
@@ -386,7 +388,144 @@ Result<PlanPtr> Optimizer::Optimize(const Query& q, bool allow_bypass,
                             ctx_.pool, ctx_.virtual_indexes, opts);
   HDB_ASSIGN_OR_RETURN(EnumerationResult result, enumerator.Run());
   if (diag != nullptr) diag->enumeration = result;
-  return BuildPlanFromSteps(q, result);
+  HDB_ASSIGN_OR_RETURN(PlanPtr plan, BuildPlanFromSteps(q, result));
+  MarkParallelFragments(plan.get());
+  return plan;
+}
+
+namespace {
+
+/// Walks a {Filter, Project}* chain down to its scan; returns it when the
+/// chain is exchange-runnable: a plain SeqScan over a real (non-virtual)
+/// base table, so workers can share one FCFS morsel dispenser.
+const PlanNode* EligibleFragmentScan(const PlanNode* n) {
+  while (n->kind == PlanKind::kFilter || n->kind == PlanKind::kProject) {
+    if (n->children.size() != 1) return nullptr;
+    n = n->children[0].get();
+  }
+  if (n->kind != PlanKind::kSeqScan) return nullptr;
+  if (n->table == nullptr || n->table->is_virtual) return nullptr;
+  return n;
+}
+
+bool FragmentHasProjection(const PlanNode* n) {
+  for (;;) {
+    switch (n->kind) {
+      case PlanKind::kProject:
+        return true;
+      case PlanKind::kFilter:
+        n = n->children[0].get();
+        break;
+      default:
+        return false;
+    }
+  }
+}
+
+}  // namespace
+
+int Optimizer::SeedWorkers(double scan_rows) const {
+  if (scan_rows < ctx_.parallel_min_table_rows) return 1;
+  const double per = std::max(1.0, ctx_.parallel_rows_per_worker);
+  const int w = static_cast<int>(std::ceil(scan_rows / per));
+  return std::clamp(w, 1, ctx_.parallel_max_workers);
+}
+
+void Optimizer::MarkParallelFragments(PlanNode* root) {
+  if (ctx_.parallel_max_workers <= 1 || root == nullptr) return;
+  MarkParallelNode(root, /*under_limit=*/false);
+}
+
+/// Seeds parallel_workers on the topmost exchange-capable nodes. The
+/// worker count is driven by the scanned tables' cardinalities — that is
+/// what the dispenser dispenses, regardless of predicate selectivity.
+/// `under_limit` tracks a LIMIT above us with no intervening Sort:
+/// exchange packet order is nondeterministic, so parallelizing there
+/// would change *which* rows a LIMIT keeps, not just their order (a Sort
+/// or a group-by in between restores determinism — both emit in an order
+/// independent of arrival). NL-join inner sides are never descended
+/// into: they re-Open per outer row, which would relaunch a worker crew
+/// each time.
+void Optimizer::MarkParallelNode(PlanNode* n, bool under_limit) {
+  switch (n->kind) {
+    case PlanKind::kLimit:
+      MarkParallelNode(n->children[0].get(), true);
+      return;
+    case PlanKind::kSort:
+      MarkParallelNode(n->children[0].get(), false);
+      return;
+    case PlanKind::kNLJoin:
+    case PlanKind::kIndexNLJoin:
+      MarkParallelNode(n->children[0].get(), under_limit);
+      return;
+    case PlanKind::kHashJoin: {
+      const PlanNode* outer = EligibleFragmentScan(n->children[0].get());
+      const PlanNode* inner = EligibleFragmentScan(n->children[1].get());
+      // alt_index_nl joins stay serial: the build-side cardinality check
+      // and index-NL switchover are serial-operator machinery.
+      if (!under_limit && outer != nullptr && inner != nullptr &&
+          !n->alt_index_nl) {
+        const double rows = std::max(
+            static_cast<double>(outer->table->row_count),
+            static_cast<double>(inner->table->row_count));
+        const int w = SeedWorkers(rows);
+        if (w > 1) {
+          n->parallel_workers = w;
+          return;
+        }
+      }
+      MarkParallelNode(n->children[0].get(), under_limit);
+      MarkParallelNode(n->children[1].get(), under_limit);
+      return;
+    }
+    case PlanKind::kHashGroupBy: {
+      // Parallel pre-aggregation emits in encoded-key order — the same
+      // order as the serial operator — so a LIMIT above is still
+      // deterministic and under_limit does not block marking.
+      const PlanNode* scan = EligibleFragmentScan(n->children[0].get());
+      if (scan != nullptr) {
+        const int w =
+            SeedWorkers(static_cast<double>(scan->table->row_count));
+        if (w > 1) {
+          n->parallel_workers = w;
+          return;
+        }
+      }
+      MarkParallelNode(n->children[0].get(), under_limit);
+      return;
+    }
+    case PlanKind::kHashDistinct: {
+      // Needs the fragment's projected output as the dedup key; emission
+      // order differs from the serial arrival order, so not under LIMIT.
+      const PlanNode* scan = EligibleFragmentScan(n->children[0].get());
+      if (!under_limit && scan != nullptr &&
+          FragmentHasProjection(n->children[0].get())) {
+        const int w =
+            SeedWorkers(static_cast<double>(scan->table->row_count));
+        if (w > 1) {
+          n->parallel_workers = w;
+          return;
+        }
+      }
+      MarkParallelNode(n->children[0].get(), under_limit);
+      return;
+    }
+    default: {
+      const PlanNode* scan = EligibleFragmentScan(n);
+      if (scan != nullptr) {
+        // This whole subtree is one fragment; either it parallelizes as a
+        // unit or it stays serial — nothing below to mark separately.
+        if (!under_limit) {
+          const int w =
+              SeedWorkers(static_cast<double>(scan->table->row_count));
+          if (w > 1) n->parallel_workers = w;
+        }
+        return;
+      }
+      for (auto& c : n->children) MarkParallelNode(c.get(), under_limit);
+      return;
+    }
+  }
 }
 
 }  // namespace hdb::optimizer

@@ -31,6 +31,13 @@ struct OptimizerContext {
   bool use_virtual_indexes = false;
   bool invert_promise_order = false;  // ablation experiments only
   CostModelOptions cost_options;
+  /// Intra-query parallelism seeding (paper §4.4, DESIGN.md §13). With
+  /// parallel_max_workers <= 1 the marking pass is disabled and every
+  /// plan stays serial. Seeds are upper bounds: the ParallelismGovernor
+  /// grants the actual worker count at pipeline start.
+  int parallel_max_workers = 1;
+  double parallel_rows_per_worker = 8192;
+  double parallel_min_table_rows = 2048;
 };
 
 struct OptimizeDiagnostics {
@@ -69,6 +76,12 @@ class Optimizer {
   void AnnotateHashJoinAlternate(const Query& q, PlanNode* join,
                                  int outer_quantifier, int outer_column,
                                  double est_build_rows, double probe_rows);
+  /// Post-pass marking parallel-eligible fragments (paper §4.4): seeds
+  /// PlanNode::parallel_workers on exchange-capable nodes from the scanned
+  /// tables' cardinalities. Runs on both the enumerated and bypass paths.
+  void MarkParallelFragments(PlanNode* root);
+  void MarkParallelNode(PlanNode* n, bool under_limit);
+  int SeedWorkers(double scan_rows) const;
 
   OptimizerContext ctx_;
   SelectivityEstimator estimator_;

@@ -51,6 +51,9 @@ std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
     out += " mem=" + std::to_string(memory_quota_pages) + "p";
   }
   if (alt_index_nl) out += " [alt: index-NL]";
+  if (parallel_workers > 1) {
+    out += " parallel<=" + std::to_string(parallel_workers);
+  }
   char buf[128];
   std::snprintf(buf, sizeof(buf), "  (rows=%.0f cost=%.0f)", est_rows,
                 est_cost);
@@ -68,6 +71,10 @@ std::string PlanNode::Explain(int indent, const OpActualsMap* actuals) const {
       if (a.batches > 0) {
         std::snprintf(buf, sizeof(buf), " batches=%llu",
                       static_cast<unsigned long long>(a.batches));
+        out += buf;
+      }
+      if (a.workers > 0) {
+        std::snprintf(buf, sizeof(buf), " workers=%d", a.workers);
         out += buf;
       }
       if (a.peak_memory_bytes > 0) {

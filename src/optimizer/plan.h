@@ -35,6 +35,9 @@ struct OpActuals {
   uint64_t wait_wal_micros = 0;
   uint64_t wait_spill_micros = 0;  // spill write + read
   uint64_t wait_pool_micros = 0;
+  // Exchange workers actually granted by the ParallelismGovernor for this
+  // node's pipeline (0 = ran serial). EXPLAIN ANALYZE prints `workers=`.
+  int workers = 0;
 };
 
 using OpActualsMap = std::map<const PlanNode*, OpActuals>;
@@ -106,6 +109,15 @@ struct PlanNode {
   // --- Estimates (for EXPLAIN, adaptivity thresholds, benches) ---
   double est_rows = 0;
   double est_cost = 0;
+
+  // --- Intra-query parallelism (paper §4.4, DESIGN.md §13) ---
+  /// Worker count the optimizer seeded for this node's pipeline from the
+  /// cardinality estimate (MarkParallelFragments); 1 = serial. An upper
+  /// bound only — the ParallelismGovernor grants the actual count at
+  /// pipeline start and may revoke workers at morsel boundaries.
+  /// Excluded from Fingerprint(): parallelism is a runtime decision, and
+  /// cached plans must keep matching across MPL changes.
+  int parallel_workers = 1;
 
   /// Stable structural fingerprint: equal plans (same shape, same access
   /// choices) fingerprint equal. The plan cache's training test (§4.1).

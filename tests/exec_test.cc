@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "catalog/catalog.h"
 #include "exec/memory_governor.h"
+#include "exec/morsel.h"
 #include "exec/mpl_controller.h"
-#include "exec/parallel.h"
 #include "exec/recursive_union.h"
 #include "exec/spill.h"
 #include "table/row_codec.h"
@@ -427,7 +429,7 @@ TEST(MplControllerTest, ReversesWhenThroughputDrops) {
   EXPECT_EQ(ctl.history()[1].direction, -1);
 }
 
-// --- Parallel pipeline (§4.4) ---
+// --- Morsel dispenser (§4.4) ---
 
 struct ParallelFixture {
   ParallelFixture()
@@ -459,97 +461,75 @@ struct ParallelFixture {
   std::map<uint32_t, std::unique_ptr<table::TableHeap>> heaps;
 };
 
-TEST(ParallelPipelineTest, MatchesSerialSemantics) {
+TEST(MorselDispenserTest, DispensesAllRowsExactlyOnce) {
   ParallelFixture f;
   catalog::Catalog cat;
-  auto* probe = f.MakeTable(cat, "probe", 20000, 100, 1);
-  auto* build = f.MakeTable(cat, "build", 500, 200, 2);
-
-  ParallelHashPipeline::Spec spec;
-  spec.probe_table = probe;
-  spec.joins.push_back({build, 0, 0, /*bloom=*/true});
-  spec.group_by_column = 1;
-
-  auto run = [&](int workers) {
-    ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); },
-                              spec, workers);
-    auto stats = pipe.Run();
-    EXPECT_TRUE(stats.ok());
-    return *stats;
-  };
-  const auto serial = run(1);
-  const auto parallel = run(4);
-  EXPECT_EQ(serial.probe_rows, 20000u);
-  EXPECT_EQ(parallel.probe_rows, 20000u);
-  EXPECT_EQ(serial.output_rows, parallel.output_rows);
-  EXPECT_EQ(serial.groups, parallel.groups);
-  EXPECT_GT(serial.output_rows, 0u);
-}
-
-TEST(ParallelPipelineTest, BloomFilterRejectsMissingKeys) {
-  ParallelFixture f;
-  catalog::Catalog cat;
-  // Probe keys in [0,100); build keys in [1000,1100): nothing joins.
-  auto* probe = f.MakeTable(cat, "p2", 5000, 100, 3);
-  auto def = cat.CreateTable("b2", {{"k", TypeId::kInt, false},
-                                    {"g", TypeId::kInt, false}});
-  auto heap = std::make_unique<table::TableHeap>(&f.pool, *def);
-  for (int i = 0; i < 200; ++i) {
-    auto bytes =
-        table::EncodeRow(**def, {Value::Int(1000 + i), Value::Int(0)});
-    ASSERT_TRUE(heap->Insert(*bytes).ok());
+  auto* t = f.MakeTable(cat, "md1", 20000, 100, 1);
+  MorselDispenser d(f.Heap(t->oid), 512);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      std::vector<std::string> bytes;
+      std::vector<Rid> rids;
+      for (;;) {
+        auto n = d.Next(&bytes, &rids);
+        if (!n.ok() || *n == 0) break;
+        total.fetch_add(*n, std::memory_order_relaxed);
+      }
+    });
   }
-  f.heaps[(*def)->oid] = std::move(heap);
-
-  ParallelHashPipeline::Spec spec;
-  spec.probe_table = probe;
-  spec.joins.push_back({*def, 0, 0, /*bloom=*/true});
-  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
-                            2);
-  auto stats = pipe.Run();
-  ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->output_rows, 0u);
-  EXPECT_GT(stats->bloom_rejects, 4000u);
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(total.load(), 20000u);
+  EXPECT_GE(d.morsels(), 20000u / 512);
 }
 
-TEST(ParallelPipelineTest, MultiJoinPipeline) {
+// The small-fix satellite: FCFS dispensing must preserve the heap scan's
+// sequential page order no matter how many workers pull concurrently —
+// parallelism must not turn sequential I/O into random I/O (paper §4.4).
+TEST(MorselDispenserTest, DispatchPreservesHeapPageOrder) {
   ParallelFixture f;
   catalog::Catalog cat;
-  auto* probe = f.MakeTable(cat, "p3", 10000, 50, 4);
-  // Sparse build sides: only a fraction of the probe key domain is
-  // covered, so the joins genuinely filter.
-  auto* b1 = f.MakeTable(cat, "b3a", 20, 50, 5);
-  auto* b2 = f.MakeTable(cat, "b3b", 3, 5, 6);
-
-  ParallelHashPipeline::Spec spec;
-  spec.probe_table = probe;
-  spec.joins.push_back({b1, 0, 0, true});
-  spec.joins.push_back({b2, 0, 1, false});
-  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
-                            4);
-  auto stats = pipe.Run();
-  ASSERT_TRUE(stats.ok());
-  EXPECT_GT(stats->output_rows, 0u);
-  EXPECT_LT(stats->output_rows, stats->probe_rows);
+  auto* t = f.MakeTable(cat, "md2", 50000, 100, 2);
+  MorselDispenser d(f.Heap(t->oid), 256);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&] {
+      std::vector<std::string> bytes;
+      std::vector<Rid> rids;
+      for (;;) {
+        auto n = d.Next(&bytes, &rids);
+        if (!n.ok() || *n == 0) break;
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const std::vector<uint32_t> pages = d.DispatchedPages();
+  ASSERT_GT(pages.size(), 4u);
+  for (size_t i = 1; i < pages.size(); ++i) {
+    ASSERT_GE(pages[i], pages[i - 1])
+        << "morsel " << i << " dispatched out of page order";
+  }
 }
 
-TEST(ParallelPipelineTest, DynamicWorkerReduction) {
+TEST(MorselDispenserTest, EndOfTableIsSticky) {
   ParallelFixture f;
   catalog::Catalog cat;
-  auto* probe = f.MakeTable(cat, "p4", 50000, 100, 7);
-  auto* build = f.MakeTable(cat, "b4", 1000, 100, 8);
-
-  ParallelHashPipeline::Spec spec;
-  spec.probe_table = probe;
-  spec.joins.push_back({build, 0, 0, true});
-  ParallelHashPipeline pipe([&f](uint32_t oid) { return f.Heap(oid); }, spec,
-                            4);
-  pipe.ReduceWorkers(1);  // reduced before/while running
-  auto stats = pipe.Run();
-  ASSERT_TRUE(stats.ok());
-  // All rows still processed, exactly once.
-  EXPECT_EQ(stats->probe_rows, 50000u);
-  EXPECT_LE(stats->workers_at_finish, 2);
+  auto* t = f.MakeTable(cat, "md3", 100, 10, 3);
+  MorselDispenser d(f.Heap(t->oid), 0);  // 0 = kDefaultMorselRows
+  std::vector<std::string> bytes;
+  std::vector<Rid> rids;
+  uint64_t total = 0;
+  for (;;) {
+    auto n = d.Next(&bytes, &rids);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    total += *n;
+  }
+  EXPECT_EQ(total, 100u);
+  auto again = d.Next(&bytes, &rids);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
 }
 
 }  // namespace
